@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every file in this directory regenerates one exhibit of the paper's
+evaluation (or one ablation from DESIGN.md): it runs the experiment under
+``pytest-benchmark``, prints the numeric series behind the exhibit,
+writes it to ``benchmarks/results/``, and asserts the paper's qualitative
+shape relations.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import paper_dataset
+from repro.trajectory import Trajectory
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def dataset() -> list[Trajectory]:
+    """The standard ten-trajectory evaluation dataset (fixed seed)."""
+    return paper_dataset()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print an exhibit's table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,62 @@
+"""Ablation: recursive vs explicit-stack Douglas-Peucker engines.
+
+DESIGN.md: the textbook recursion is kept as an executable specification;
+production uses an explicit stack (no recursion-depth hazard). Identical
+outputs, comparable cost — this bench pins both, for NDP and TD-TR.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core.douglas_peucker import (
+    perpendicular_segment_error,
+    top_down_indices,
+    top_down_indices_recursive,
+)
+from repro.core.td_tr import synchronized_segment_error
+from repro.experiments.reporting import render_table
+
+EPS = 50.0
+
+
+def test_ablation_dp_engines(benchmark, dataset, results_dir):
+    def run_iterative():
+        out = []
+        for traj in dataset:
+            out.append(top_down_indices(traj, EPS, perpendicular_segment_error))
+            out.append(top_down_indices(traj, EPS, synchronized_segment_error))
+        return out
+
+    iterative = benchmark.pedantic(run_iterative, rounds=1, iterations=1)
+
+    started = time.perf_counter()
+    run_iterative()
+    iterative_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    recursive = []
+    for traj in dataset:
+        recursive.append(
+            top_down_indices_recursive(traj, EPS, perpendicular_segment_error)
+        )
+        recursive.append(
+            top_down_indices_recursive(traj, EPS, synchronized_segment_error)
+        )
+    recursive_seconds = time.perf_counter() - started
+
+    for a, b in zip(iterative, recursive):
+        np.testing.assert_array_equal(a, b)
+
+    table = render_table(
+        ["engine", "total_seconds"],
+        [
+            ("iterative (explicit stack)", iterative_seconds),
+            ("recursive (textbook)", recursive_seconds),
+        ],
+        title="Ablation: DP engines agree exactly (NDP + TD-TR criteria, 10 trajectories)",
+    )
+    publish(results_dir, "ablation_dp_impl", table)

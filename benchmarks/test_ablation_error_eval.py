@@ -1,0 +1,54 @@
+"""Ablation: closed-form error integral vs sampled approximation.
+
+DESIGN.md: the Sect. 4.2 average synchronized error has a closed form;
+a trapezoid-sampled estimator cross-checks it. This bench measures the
+cost gap and verifies agreement at fine sampling on the real sweep
+workload (TD-TR at 50 m over the ten trajectories).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core import TDTR
+from repro.error import mean_synchronized_error, mean_synchronized_error_sampled
+from repro.experiments.reporting import render_table
+
+
+def test_ablation_error_evaluation(benchmark, dataset, results_dir):
+    pairs = [(traj, TDTR(50.0).compress(traj).compressed) for traj in dataset]
+
+    closed = benchmark.pedantic(
+        lambda: [mean_synchronized_error(p, a) for p, a in pairs],
+        rounds=1,
+        iterations=1,
+    )
+
+    timings = []
+    started = time.perf_counter()
+    closed_again = [mean_synchronized_error(p, a) for p, a in pairs]
+    timings.append(("closed form (exact)", time.perf_counter() - started, 0.0))
+    assert np.allclose(closed, closed_again)
+
+    for n_samples in (256, 4096, 65_536):
+        started = time.perf_counter()
+        sampled = [
+            mean_synchronized_error_sampled(p, a, n_samples) for p, a in pairs
+        ]
+        elapsed = time.perf_counter() - started
+        max_rel = float(
+            np.max(np.abs(np.asarray(sampled) - np.asarray(closed)) / np.asarray(closed))
+        )
+        timings.append((f"sampled n={n_samples}", elapsed, max_rel))
+        if n_samples == 65_536:
+            assert max_rel < 1e-3, "fine sampling must agree with the closed form"
+
+    table = render_table(
+        ["evaluator", "total_seconds", "max_rel_error_vs_closed"],
+        timings,
+        title="Ablation: error-integral evaluation (TD-TR @ 50 m, 10 trajectories)",
+    )
+    publish(results_dir, "ablation_error_eval", table)

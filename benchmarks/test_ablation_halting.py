@@ -1,0 +1,95 @@
+"""Ablation: the paper's three halting conditions, compared head-on.
+
+Sect. 2 lists three possible halting conditions — per-segment error
+threshold, point budget, and total-error budget. This bench fixes a
+*point budget* (whatever TD-TR @ 50 m happens to keep per trajectory) and
+compares what each condition buys at that exact size:
+
+* TD-TR @ 50 m (per-segment threshold, the paper's main setting);
+* TDTRBudget / BottomUpBudget at the same point count;
+* BottomUpTotalError tuned to TD-TR's achieved α;
+* EveryIth decimation to (roughly) the same point count, as the floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core import (
+    BottomUpBudget,
+    BottomUpTotalError,
+    EveryIth,
+    TDTR,
+    TDTRBudget,
+)
+from repro.error import mean_synchronized_error
+from repro.experiments.reporting import render_table
+
+EPS = 50.0
+
+
+def test_ablation_halting_conditions(benchmark, dataset, results_dir):
+    def run() -> dict[str, list[float]]:
+        errors: dict[str, list[float]] = {
+            "td-tr @ 50m": [],
+            "td-tr-budget": [],
+            "bottom-up-budget": [],
+            "bottom-up-total-error": [],
+            "every-ith": [],
+        }
+        kept: dict[str, list[int]] = {name: [] for name in errors}
+
+        for traj in dataset:
+            reference = TDTR(EPS).compress(traj)
+            budget = reference.n_kept
+            alpha = mean_synchronized_error(traj, reference.compressed)
+            contenders = {
+                "td-tr @ 50m": reference,
+                "td-tr-budget": TDTRBudget(budget).compress(traj),
+                "bottom-up-budget": BottomUpBudget(budget).compress(traj),
+                "bottom-up-total-error": BottomUpTotalError(alpha).compress(traj),
+                "every-ith": EveryIth(max(len(traj) // budget, 1)).compress(traj),
+            }
+            for name, result in contenders.items():
+                errors[name].append(
+                    mean_synchronized_error(traj, result.compressed)
+                )
+                kept[name].append(result.n_kept)
+        return {"errors": errors, "kept": kept}  # type: ignore[return-value]
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    errors = out["errors"]
+    kept = out["kept"]
+
+    rows = [
+        (
+            name,
+            float(np.mean(kept[name])),
+            float(np.mean(errors[name])),
+            float(np.max(errors[name])),
+        )
+        for name in errors
+    ]
+    table = render_table(
+        ["halting condition", "mean points kept", "mean alpha (m)", "worst alpha (m)"],
+        rows,
+        title="Ablation: halting conditions at matched size/error budgets",
+    )
+    publish(results_dir, "ablation_halting", table)
+
+    mean_err = {name: float(np.mean(errors[name])) for name in errors}
+
+    # Budgeted variants at TD-TR's size do no worse than ~TD-TR itself.
+    assert mean_err["td-tr-budget"] <= mean_err["td-tr @ 50m"] * 1.25
+    assert mean_err["bottom-up-budget"] <= mean_err["td-tr @ 50m"] * 1.25
+
+    # The total-error condition respects its α budget per trajectory.
+    for traj_alpha, budget_alpha in zip(
+        errors["td-tr @ 50m"], errors["bottom-up-total-error"]
+    ):
+        assert budget_alpha <= traj_alpha + 1e-9
+
+    # Uniform decimation at the same size is clearly worse: it spends its
+    # points blindly.
+    assert mean_err["every-ith"] > 1.5 * mean_err["td-tr @ 50m"]

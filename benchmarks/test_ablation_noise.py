@@ -1,0 +1,81 @@
+"""Ablation: GPS noise sensitivity of NOPW vs OPW-TR.
+
+The paper motivates opening-window algorithms as working "reasonably well
+in presence of noise". This ablation regenerates the same drive with
+increasing observation noise and reports how the two online algorithms'
+compression and error respond. Expected shape: both retain more points as
+noise grows (noise looks like movement), and OPW-TR's error advantage
+over NOPW persists at every noise level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core import NOPW, OPWTR
+from repro.datagen import GpsNoise, TrajectoryGenerator, URBAN
+from repro.error import mean_synchronized_error
+from repro.experiments.reporting import render_table
+from repro.trajectory import Trajectory
+
+SIGMAS = (0.0, 2.0, 5.0, 10.0, 20.0)
+EPS = 50.0
+
+
+def _noisy_copies(seed: int) -> list[tuple[float, Trajectory]]:
+    """One drive observed under each noise level (same true movement)."""
+    generator = TrajectoryGenerator(seed=seed)
+    true, _ = generator.generate_true_and_observed(URBAN.with_length(9_000.0), "noise")
+    rng = np.random.default_rng(seed + 1)
+    out = []
+    for sigma in SIGMAS:
+        noise = GpsNoise(sigma_m=sigma, correlation_time_s=20.0)
+        observed = Trajectory(true.t, noise.apply(true.t, true.xy, rng), f"sigma-{sigma}")
+        out.append((sigma, observed))
+    return out
+
+
+def test_ablation_noise_sensitivity(benchmark, results_dir):
+    observations = benchmark.pedantic(
+        lambda: _noisy_copies(seed=77), rounds=1, iterations=1
+    )
+
+    rows = []
+    nopw_errors = []
+    opwtr_errors = []
+    opwtr_kept = []
+    for sigma, traj in observations:
+        nopw_result = NOPW(EPS).compress(traj)
+        opwtr_result = OPWTR(EPS).compress(traj)
+        nopw_err = mean_synchronized_error(traj, nopw_result.compressed)
+        opwtr_err = mean_synchronized_error(traj, opwtr_result.compressed)
+        nopw_errors.append(nopw_err)
+        opwtr_errors.append(opwtr_err)
+        opwtr_kept.append(opwtr_result.n_kept)
+        rows.append(
+            (
+                sigma,
+                nopw_result.compression_percent,
+                nopw_err,
+                opwtr_result.compression_percent,
+                opwtr_err,
+            )
+        )
+    table = render_table(
+        ["noise_sigma_m", "nopw_compression_%", "nopw_err_m", "opwtr_compression_%", "opwtr_err_m"],
+        rows,
+        title=f"Ablation: noise sensitivity (same drive, eps = {EPS:g} m)",
+    )
+    publish(results_dir, "ablation_noise", table)
+
+    # OPW-TR stays more accurate than NOPW at every noise level.
+    for nopw_err, opwtr_err in zip(nopw_errors, opwtr_errors):
+        assert opwtr_err < nopw_err
+
+    # Heavy noise forces the window to retain more points than no noise.
+    assert opwtr_kept[-1] >= opwtr_kept[0]
+
+    # OPW-TR's error stays bounded by the threshold regardless of noise.
+    for err in opwtr_errors:
+        assert err <= EPS

@@ -1,0 +1,44 @@
+"""Fig. 9: NOPW vs OPW-TR.
+
+Paper findings asserted (DESIGN.md S4): OPW-TR's synchronized error is far
+below NOPW's, and it reacts only mildly to the threshold choice — "a
+change in threshold value does not dramatically impact error level" — so
+one can pick generous thresholds for compression without losing much
+accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.experiments import figure_09, render_aggregate_rows
+
+
+def test_fig09_nopw_vs_opwtr(benchmark, dataset, results_dir):
+    fig = benchmark.pedantic(lambda: figure_09(dataset), rounds=1, iterations=1)
+    publish(results_dir, "fig09", render_aggregate_rows(fig.rows, title=fig.title))
+
+    nopw = fig.series("nopw")
+    opwtr = fig.series("opw-tr")
+
+    # S4a: OPW-TR error is far lower at every threshold.
+    for nopw_row, opwtr_row in zip(nopw, opwtr):
+        assert opwtr_row.mean_sync_error_m < 0.5 * nopw_row.mean_sync_error_m
+
+    # S4b: OPW-TR's error curve is comparatively flat: its rise across
+    # the whole sweep is bounded by the threshold rise itself, whereas
+    # NOPW starts high already at the smallest threshold.
+    opwtr_errors = [r.mean_sync_error_m for r in opwtr]
+    threshold_span = opwtr[-1].threshold_m - opwtr[0].threshold_m
+    assert opwtr_errors[-1] - opwtr_errors[0] < threshold_span / 2
+    assert nopw[0].mean_sync_error_m > opwtr_errors[-1]
+
+    # OPW-TR bounds its max synchronized error by the threshold.
+    for row in opwtr:
+        assert row.max_sync_error_m <= row.threshold_m + 1e-6
+
+    # NOPW compresses more (it ignores time), but pays in error.
+    assert float(np.mean([r.compression_percent for r in nopw])) > float(
+        np.mean([r.compression_percent for r in opwtr])
+    )

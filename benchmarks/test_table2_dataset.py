@@ -1,0 +1,72 @@
+"""Table 2: statistics of the ten evaluation trajectories.
+
+Regenerates the paper's Table 2 for our synthetic stand-in dataset and
+asserts the calibration contract from DESIGN.md: every mean within ±35%
+of the published value, and the short/lengthy series mix preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import DATASET_SEED, PAPER_TABLE2, paper_dataset
+from repro.experiments.reporting import render_table
+from repro.trajectory import dataset_stats, trajectory_stats
+
+
+def _fmt_hms(seconds: float) -> str:
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def test_table2_dataset_statistics(benchmark, dataset, results_dir):
+    agg = benchmark.pedantic(
+        lambda: dataset_stats(paper_dataset(DATASET_SEED)), rounds=1, iterations=1
+    )
+    ref = PAPER_TABLE2
+
+    per_trip = render_table(
+        ["trajectory", "duration", "speed_kmh", "length_km", "displacement_km", "points"],
+        [
+            (
+                traj.object_id,
+                trajectory_stats(traj).duration_hms,
+                trajectory_stats(traj).mean_speed_kmh,
+                trajectory_stats(traj).length_m / 1000.0,
+                trajectory_stats(traj).displacement_m / 1000.0,
+                len(traj),
+            )
+            for traj in dataset
+        ],
+        title="Per-trajectory statistics (synthetic stand-in dataset)",
+    )
+    comparison = render_table(
+        ["statistic", "paper_mean", "paper_std", "ours_mean", "ours_std"],
+        [
+            ("duration", _fmt_hms(ref.duration_mean_s), _fmt_hms(ref.duration_std_s),
+             _fmt_hms(agg.duration_mean_s), _fmt_hms(agg.duration_std_s)),
+            ("speed (km/h)", ref.speed_mean_kmh, ref.speed_std_kmh,
+             agg.speed_mean_kmh, agg.speed_std_kmh),
+            ("length (km)", ref.length_mean_km, ref.length_std_km,
+             agg.length_mean_km, agg.length_std_km),
+            ("displacement (km)", ref.displacement_mean_km, ref.displacement_std_km,
+             agg.displacement_mean_km, agg.displacement_std_km),
+            ("# of data points", ref.points_mean, ref.points_std,
+             agg.points_mean, agg.points_std),
+        ],
+        title="Table 2: paper vs this reproduction",
+    )
+    publish(results_dir, "table2", per_trip + "\n\n" + comparison)
+
+    assert agg.n_trajectories == 10
+    assert agg.duration_mean_s == pytest.approx(ref.duration_mean_s, rel=0.35)
+    assert agg.speed_mean_kmh == pytest.approx(ref.speed_mean_kmh, rel=0.35)
+    assert agg.length_mean_km == pytest.approx(ref.length_mean_km, rel=0.35)
+    assert agg.displacement_mean_km == pytest.approx(ref.displacement_mean_km, rel=0.35)
+    assert agg.points_mean == pytest.approx(ref.points_mean, rel=0.35)
+    # The dataset mixes short and lengthy series, like the paper's.
+    sizes = sorted(len(traj) for traj in dataset)
+    assert sizes[0] < 110 < 230 < sizes[-1]

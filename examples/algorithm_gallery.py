@@ -1,0 +1,91 @@
+"""Algorithm gallery: the paper's Figs. 1-3 walkthrough, in text.
+
+Reproduces the behaviour the paper's illustration figures show on a
+19-point data series:
+
+* Fig. 1 — Douglas-Peucker recursively cutting the series;
+* Fig. 2 — NOPW breaking at the threshold-violating point;
+* Fig. 3 — BOPW breaking at the point just before the float;
+
+and then contrasts the spatiotemporal algorithms on the same series with
+a timing deviation that the spatial algorithms cannot see.
+
+Run:
+    python examples/algorithm_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BOPW, NOPW, OPWSP, OPWTR, TDTR, DouglasPeucker, Trajectory
+
+
+def ascii_selection(n: int, kept: np.ndarray) -> str:
+    """One character per data point: '#' kept, '.' discarded."""
+    marks = ["."] * n
+    for index in kept:
+        marks[index] = "#"
+    return "".join(marks)
+
+
+def nineteen_point_series() -> Trajectory:
+    """A 19-point series with gentle waves, in the spirit of Fig. 1."""
+    t = np.arange(19.0) * 10.0
+    x = t * 8.0
+    y = np.array(
+        [0.0, 14, 22, 16, 2, -12, -20, -14, -2, 10, 18, 13, 3, -7, -13, -9, -1, 5, 0.0]
+    ) * 4.0
+    return Trajectory(t, np.column_stack([x, y]), object_id="fig1-series")
+
+
+def timing_skewed_series() -> Trajectory:
+    """Geometrically straight east-bound drive with a mid-route dwell."""
+    rows = []
+    t = 0.0
+    x = 0.0
+    for i in range(19):
+        rows.append((t, x, 0.0))
+        # Dwell between points 8 and 11: the clock advances, x barely does.
+        if 8 <= i <= 10:
+            t += 60.0
+            x += 15.0
+        else:
+            t += 10.0
+            x += 150.0
+    return Trajectory.from_points(rows, object_id="dwell-series")
+
+
+def main() -> None:
+    series = nineteen_point_series()
+    print(f"data series: {len(series)} points (index 0..18)")
+    print()
+    print("spatial algorithms on the wavy series (threshold 30 m):")
+    for algorithm in (DouglasPeucker(30.0), NOPW(30.0), BOPW(30.0)):
+        kept = algorithm.compress(series).indices
+        print(f"  {algorithm.name:5s} keeps {ascii_selection(len(series), kept)}"
+              f"  ({len(kept)} points: {kept.tolist()})")
+
+    print()
+    skewed = timing_skewed_series()
+    print("the same comparison on a geometrically straight series with a")
+    print("mid-route dwell (the object stops; the line does not show it):")
+    for algorithm in (
+        DouglasPeucker(30.0),
+        NOPW(30.0),
+        TDTR(30.0),
+        OPWTR(30.0),
+        OPWSP(30.0, 5.0),
+    ):
+        kept = algorithm.compress(skewed).indices
+        print(f"  {algorithm.name:6s} keeps {ascii_selection(len(skewed), kept)}"
+              f"  ({len(kept)} points)")
+    print()
+    print("NDP and NOPW collapse the dwell (their perpendicular criterion sees")
+    print("a straight line); the time-ratio algorithms keep the dwell's")
+    print("boundary points because the synchronized positions drift hundreds")
+    print("of metres — exactly the paper's Sect. 3 argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Fleet compression: the urban commuter scenario from the paper's intro.
+
+Simulates a morning's worth of commuter trips on a synthetic city road
+network, ingests them into a :class:`~repro.storage.TrajectoryStore`
+under different compressors, and prints the storage ledger each choice
+yields — the trade-off a fleet operator actually tunes.
+
+Run:
+    python examples/fleet_compression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OPWSP, OPWTR, TDTR, DouglasPeucker
+from repro.core.base import Compressor
+from repro.datagen import TrajectoryGenerator, URBAN
+from repro.error import mean_synchronized_error
+from repro.storage import TrajectoryStore
+from repro.trajectory import Trajectory
+
+FLEET_SIZE = 20
+
+
+def simulate_fleet(seed: int = 8) -> list[Trajectory]:
+    generator = TrajectoryGenerator(seed=seed)
+    rng = np.random.default_rng(seed)
+    fleet = []
+    for i in range(FLEET_SIZE):
+        length = float(rng.uniform(4_000.0, 14_000.0))
+        start = float(rng.uniform(0.0, 3_600.0))  # staggered departures
+        traj = generator.generate(
+            URBAN.with_length(length), object_id=f"commuter-{i:02d}", start_time_s=start
+        )
+        fleet.append(traj)
+    return fleet
+
+
+def ingest(fleet: list[Trajectory], compressor: Compressor | None) -> tuple[TrajectoryStore, float]:
+    store = TrajectoryStore(compressor=compressor, coord_resolution_m=0.1)
+    errors = []
+    for traj in fleet:
+        store.insert(traj)
+        errors.append(mean_synchronized_error(traj, store.get(traj.object_id)))
+    return store, float(np.mean(errors))
+
+
+def main() -> None:
+    fleet = simulate_fleet()
+    total_fixes = sum(len(traj) for traj in fleet)
+    print(f"simulated fleet: {len(fleet)} commuters, {total_fixes} GPS fixes")
+    print()
+
+    choices: list[tuple[str, Compressor | None]] = [
+        ("raw (no point compression)", None),
+        ("ndp @ 50 m (spatial)", DouglasPeucker(50.0)),
+        ("td-tr @ 50 m", TDTR(50.0)),
+        ("opw-tr @ 50 m (online)", OPWTR(50.0)),
+        ("opw-sp @ 50 m, 5 m/s (online)", OPWSP(50.0, 5.0)),
+    ]
+    header = (
+        f"{'ingest policy':32s} {'points':>7s} {'bytes':>8s} "
+        f"{'ratio':>6s} {'mean sync err':>13s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, compressor in choices:
+        store, mean_error = ingest(fleet, compressor)
+        stats = store.stats()
+        print(
+            f"{label:32s} {stats.n_stored_points:7d} {stats.stored_bytes:8d} "
+            f"{stats.byte_compression_ratio:5.1f}x {mean_error:11.2f} m"
+        )
+
+    print()
+    print("the spatiotemporal algorithms buy nearly the spatial algorithms'")
+    print("storage savings at a tenth of the reconstruction error — and the")
+    print("opw-* rows could have been computed on the vehicles, online.")
+
+
+if __name__ == "__main__":
+    main()

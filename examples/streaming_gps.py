@@ -1,0 +1,83 @@
+"""Streaming compression: fixes arrive one at a time from a live tracker.
+
+Simulates a tracking server receiving an interleaved feed from three
+vehicles and compressing each stream *as it arrives* with the online
+OPW-SP algorithm — the scenario the paper's online/batch distinction is
+about. Shows per-vehicle emission decisions, buffer occupancy, and that
+the result matches what the batch algorithm would have produced with the
+whole series in hand.
+
+Run:
+    python examples/streaming_gps.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OPWSP
+from repro.datagen import TrajectoryGenerator, URBAN
+from repro.streaming import StreamingOPW, merge_streams
+from repro.trajectory import Trajectory
+
+EPSILON = 40.0
+MAX_SPEED_ERROR = 5.0
+
+
+def simulate_vehicles(n: int = 3, seed: int = 12) -> dict[str, Trajectory]:
+    generator = TrajectoryGenerator(seed=seed)
+    vehicles = {}
+    for i in range(n):
+        object_id = f"vehicle-{i}"
+        vehicles[object_id] = generator.generate(
+            URBAN.with_length(6_000.0), object_id, start_time_s=float(i * 3)
+        )
+    return vehicles
+
+
+def main() -> None:
+    vehicles = simulate_vehicles()
+    print("live feed from", len(vehicles), "vehicles (interleaved by timestamp)")
+    print()
+
+    compressors = {
+        object_id: StreamingOPW(
+            EPSILON, "synchronized", max_speed_error=MAX_SPEED_ERROR
+        )
+        for object_id in vehicles
+    }
+    kept: dict[str, list] = {object_id: [] for object_id in vehicles}
+    max_buffer = {object_id: 0 for object_id in vehicles}
+
+    # The server loop: one interleaved, time-ordered feed.
+    feed = merge_streams({oid: iter(traj) for oid, traj in vehicles.items()})
+    for object_id, fix in feed:
+        compressor = compressors[object_id]
+        kept[object_id].extend(compressor.push(fix))
+        max_buffer[object_id] = max(max_buffer[object_id], compressor.window_size)
+    for object_id, compressor in compressors.items():
+        kept[object_id].extend(compressor.finish())
+
+    header = f"{'vehicle':12s} {'fixes in':>8s} {'kept':>5s} {'compression':>11s} {'max buffer':>10s} {'== batch?':>9s}"
+    print(header)
+    print("-" * len(header))
+    for object_id, traj in vehicles.items():
+        batch = OPWSP(EPSILON, MAX_SPEED_ERROR).compress(traj)
+        batch_times = traj.t[batch.indices]
+        streamed_times = np.array([fix.t for fix in kept[object_id]])
+        agrees = bool(np.array_equal(streamed_times, batch_times))
+        n = len(traj)
+        k = len(kept[object_id])
+        print(
+            f"{object_id:12s} {n:8d} {k:5d} {100 * (1 - k / n):10.1f}% "
+            f"{max_buffer[object_id]:10d} {str(agrees):>9s}"
+        )
+
+    print()
+    print(f"every vehicle's streamed selection is identical to the batch")
+    print(f"OPW-SP result; the server only ever buffered the open window")
+    print(f"(max {max(max_buffer.values())} fixes), not the whole trip.")
+
+
+if __name__ == "__main__":
+    main()

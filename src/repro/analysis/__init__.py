@@ -1,0 +1,45 @@
+"""Movement-pattern analysis: similarity, clustering, traffic flow.
+
+The paper's stated aim is "to provide tools to study, analyse and
+understand" movement patterns; this package supplies the first rung of
+those tools on top of the trajectory model and the Sect. 4 distance
+notion: pairwise trajectory similarity (synchronized and route-shape),
+dependency-free agglomerative clustering, and rush-hour style flow
+analytics (fleet speed over time, spatial occupancy hotspots).
+"""
+
+from repro.analysis.clustering import ClusterResult, agglomerate, cluster_trajectories
+from repro.analysis.encounters import ClosestApproach, closest_approach, encounters
+from repro.analysis.flow import (
+    OccupancyGrid,
+    SpeedProfile,
+    occupancy_grid,
+    od_matrix,
+    speed_over_time,
+)
+from repro.analysis.similarity import (
+    hausdorff_distance,
+    max_synchronized_distance,
+    mean_synchronized_distance,
+    overlap_interval,
+    pairwise_matrix,
+)
+
+__all__ = [
+    "ClosestApproach",
+    "ClusterResult",
+    "OccupancyGrid",
+    "SpeedProfile",
+    "agglomerate",
+    "closest_approach",
+    "cluster_trajectories",
+    "encounters",
+    "hausdorff_distance",
+    "max_synchronized_distance",
+    "mean_synchronized_distance",
+    "occupancy_grid",
+    "od_matrix",
+    "overlap_interval",
+    "pairwise_matrix",
+    "speed_over_time",
+]

@@ -1,0 +1,139 @@
+"""Agglomerative clustering of trajectories.
+
+A small, dependency-free hierarchical clusterer over a precomputed
+distance matrix — enough to support the paper's motivating analyses
+(grouping commuters by route, finding the distinct flows in a rush hour)
+without dragging in a learning framework. Merging is cheapest-pair-first
+with single / complete / average linkage; cut either at a target cluster
+count or at a distance ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.similarity import mean_synchronized_distance, pairwise_matrix
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = ["ClusterResult", "agglomerate", "cluster_trajectories"]
+
+_LINKAGES = ("single", "complete", "average")
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of a clustering run.
+
+    Attributes:
+        labels: cluster id per input item, ``0 .. n_clusters - 1``,
+            numbered by first appearance.
+        merge_distances: distance at which each merge happened, in order;
+            useful for picking a cut by eye.
+    """
+
+    labels: np.ndarray
+    merge_distances: tuple[float, ...]
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of the items in one cluster."""
+        return np.nonzero(self.labels == cluster)[0]
+
+
+def _linkage_distance(
+    distances: np.ndarray, members_a: list[int], members_b: list[int], linkage: str
+) -> float:
+    block = distances[np.ix_(members_a, members_b)]
+    if linkage == "single":
+        return float(block.min())
+    if linkage == "complete":
+        return float(block.max())
+    return float(block.mean())
+
+
+def agglomerate(
+    distances: np.ndarray,
+    n_clusters: int | None = None,
+    max_distance: float | None = None,
+    linkage: str = "average",
+) -> ClusterResult:
+    """Agglomerative clustering over a distance matrix.
+
+    Args:
+        distances: symmetric ``(n, n)`` matrix with zero diagonal.
+        n_clusters: stop when this many clusters remain.
+        max_distance: stop before any merge whose linkage distance
+            exceeds this.
+        linkage: ``"single"``, ``"complete"`` or ``"average"``.
+
+    Exactly one of ``n_clusters`` / ``max_distance`` must be given.
+
+    Returns:
+        A :class:`ClusterResult`; labels are renumbered by first
+        appearance so output is deterministic.
+    """
+    distances = np.asarray(distances, dtype=float)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise ValueError(f"distance matrix must be square, got {distances.shape}")
+    if not np.allclose(distances, distances.T):
+        raise ValueError("distance matrix must be symmetric")
+    if (n_clusters is None) == (max_distance is None):
+        raise ValueError("give exactly one of n_clusters / max_distance")
+    if n_clusters is not None and not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in 1..{n}, got {n_clusters}")
+    if linkage not in _LINKAGES:
+        raise ValueError(f"unknown linkage {linkage!r}; use one of {_LINKAGES}")
+
+    clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+    merge_distances: list[float] = []
+    target = n_clusters if n_clusters is not None else 1
+    while len(clusters) > target:
+        keys = sorted(clusters)
+        best: tuple[float, int, int] | None = None
+        for ai, a in enumerate(keys):
+            for b in keys[ai + 1 :]:
+                d = _linkage_distance(distances, clusters[a], clusters[b], linkage)
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        assert best is not None
+        d, a, b = best
+        if max_distance is not None and d > max_distance:
+            break
+        clusters[a] = clusters[a] + clusters[b]
+        del clusters[b]
+        merge_distances.append(d)
+
+    labels = np.full(n, -1, dtype=int)
+    next_label = 0
+    order: dict[int, int] = {}
+    for key in sorted(clusters, key=lambda k: min(clusters[k])):
+        order[key] = next_label
+        next_label += 1
+    for key, members in clusters.items():
+        labels[members] = order[key]
+    return ClusterResult(labels, tuple(merge_distances))
+
+
+def cluster_trajectories(
+    trajectories: Sequence[Trajectory],
+    n_clusters: int | None = None,
+    max_distance: float | None = None,
+    metric: Callable[[Trajectory, Trajectory], float] = mean_synchronized_distance,
+    linkage: str = "average",
+) -> ClusterResult:
+    """Cluster trajectories under a trajectory metric.
+
+    Convenience wrapper: builds the pairwise matrix with ``metric`` and
+    runs :func:`agglomerate`.
+    """
+    matrix = pairwise_matrix(trajectories, metric)
+    return agglomerate(
+        matrix, n_clusters=n_clusters, max_distance=max_distance, linkage=linkage
+    )

@@ -1,0 +1,470 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's everyday operations without writing code:
+
+* ``stats`` — Table 2 style statistics of a trajectory file;
+* ``compress`` — run any registered algorithm on a trajectory file;
+* ``generate`` — produce synthetic GPS trajectories;
+* ``dataset`` — materialize the standard ten-trip evaluation dataset;
+* ``figures`` — regenerate the numeric series behind the paper's
+  evaluation figures (7–11) as text tables;
+* ``table2`` — regenerate the paper's Table 2 comparison;
+* ``cluster`` — group trajectory files by route or synchronized
+  similarity;
+* ``flow`` — rush-hour analytics (speed profile, hotspots, OD counts)
+  over a set of trajectory files;
+* ``report`` — per-segment error diagnostics of a compression.
+
+File formats are chosen by suffix: ``.csv``, ``.json`` and ``.gpx`` are
+supported for input; ``.csv`` and ``.json`` for output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.registry import available_compressors, make_compressor
+from repro.datagen.generator import TrajectoryGenerator
+from repro.datagen import profiles as _profiles
+from repro.error.metrics import evaluate_compression
+from repro.exceptions import ReproError
+from repro.experiments import figures as _figures
+from repro.experiments.dataset import (
+    DATASET_SEED,
+    PAPER_TABLE2,
+    paper_dataset,
+)
+from repro.experiments.reporting import (
+    render_aggregate_rows,
+    render_series_chart,
+    render_table,
+    series_by_algorithm,
+)
+from repro.trajectory import gpx as _gpx
+from repro.trajectory import io as _io
+from repro.trajectory.stats import dataset_stats, trajectory_stats
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = ["main", "build_parser"]
+
+_PROFILES = {
+    "urban": _profiles.URBAN,
+    "rural": _profiles.RURAL,
+    "highway": _profiles.HIGHWAY,
+}
+
+#: Parameters each algorithm accepts: maps CLI options to ctor kwargs.
+_EPSILON_ALGOS = {
+    "ndp", "td-tr", "nopw", "bopw", "opw-tr", "distance-threshold",
+    "sliding-window", "bottom-up",
+}
+
+
+def _load_trajectory(path: Path) -> Trajectory:
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return _io.read_csv(path, object_id=path.stem)
+    if suffix == ".json":
+        return _io.read_json(path)
+    if suffix == ".gpx":
+        return _gpx.read_gpx(path)
+    raise ReproError(f"unsupported input format {suffix!r} (use .csv/.json/.gpx)")
+
+
+def _save_trajectory(traj: Trajectory, path: Path) -> None:
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        _io.write_csv(traj, path)
+    elif suffix == ".json":
+        _io.write_json(traj, path)
+    else:
+        raise ReproError(f"unsupported output format {suffix!r} (use .csv/.json)")
+
+
+def _stats_table(traj: Trajectory) -> str:
+    stats = trajectory_stats(traj)
+    return render_table(
+        ["statistic", "value"],
+        [
+            ("object id", traj.object_id or "-"),
+            ("points", stats.n_points),
+            ("duration", stats.duration_hms),
+            ("length (km)", stats.length_m / 1000.0),
+            ("displacement (km)", stats.displacement_m / 1000.0),
+            ("mean speed (km/h)", stats.mean_speed_kmh),
+        ],
+        title=f"trajectory statistics",
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    traj = _load_trajectory(Path(args.input))
+    print(_stats_table(traj))
+    return 0
+
+
+def _make_cli_compressor(args: argparse.Namespace):
+    name = args.algorithm
+    if name in _EPSILON_ALGOS:
+        if args.epsilon is None:
+            raise ReproError(f"{name} requires --epsilon")
+        return make_compressor(name, epsilon=args.epsilon)
+    if name in ("opw-sp", "td-sp"):
+        if args.epsilon is None or args.speed is None:
+            raise ReproError(f"{name} requires --epsilon and --speed")
+        return make_compressor(
+            name, max_dist_error=args.epsilon, max_speed_error=args.speed
+        )
+    if name == "every-ith":
+        if args.step is None:
+            raise ReproError("every-ith requires --step")
+        return make_compressor(name, step=args.step)
+    if name == "angular":
+        if args.angle is None:
+            raise ReproError("angular requires --angle (radians)")
+        return make_compressor(name, max_angle_rad=args.angle)
+    if name in ("td-tr-budget", "bottom-up-budget"):
+        if args.budget is None:
+            raise ReproError(f"{name} requires --budget")
+        return make_compressor(name, budget=args.budget)
+    if name == "bottom-up-total-error":
+        if args.epsilon is None:
+            raise ReproError(f"{name} requires --epsilon (the alpha budget)")
+        return make_compressor(name, max_mean_error=args.epsilon)
+    raise ReproError(f"unknown algorithm {name!r}")  # pragma: no cover
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    traj = _load_trajectory(Path(args.input))
+    compressor = _make_cli_compressor(args)
+    result = compressor.compress(traj)
+    report = evaluate_compression(traj, result.compressed)
+    print(
+        f"{compressor.name}: {result.n_original} -> {result.n_kept} points "
+        f"({result.compression_percent:.1f}% removed)"
+    )
+    print(
+        f"mean sync error {report.mean_sync_error_m:.2f} m, "
+        f"max {report.max_sync_error_m:.2f} m, "
+        f"mean speed error {report.mean_speed_error_ms:.2f} m/s"
+    )
+    if args.output:
+        _save_trajectory(result.compressed, Path(args.output))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.error.report import detailed_report
+
+    traj = _load_trajectory(Path(args.input))
+    compressor = _make_cli_compressor(args)
+    result = compressor.compress(traj)
+    report = detailed_report(traj, result.compressed)
+    print(f"algorithm: {compressor.name}")
+    print(report.render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = _PROFILES[args.profile]
+    if args.length_km is not None:
+        profile = profile.with_length(args.length_km * 1000.0)
+    generator = TrajectoryGenerator(seed=args.seed)
+    traj = generator.generate(profile, object_id=args.object_id)
+    _save_trajectory(traj, Path(args.output))
+    print(f"wrote {args.output} ({len(traj)} fixes)")
+    print(_stats_table(traj))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dataset = paper_dataset(args.seed)
+    for traj in dataset:
+        _io.write_csv(traj, out_dir / f"{traj.object_id}.csv")
+    agg = dataset_stats(dataset)
+    print(f"wrote {len(dataset)} trajectories to {out_dir}/")
+    print(
+        f"aggregate: {agg.points_mean:.0f} points avg, "
+        f"{agg.length_mean_km:.1f} km avg, {agg.speed_mean_kmh:.1f} km/h avg"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    wanted = sorted(_figures.ALL_FIGURES) if args.figure == "all" else [args.figure]
+    if args.quick:
+        dataset = paper_dataset(DATASET_SEED)[:3]
+        thresholds: Sequence[float] = (30.0, 60.0, 100.0)
+    else:
+        dataset = paper_dataset(DATASET_SEED)
+        thresholds = tuple(_figures.DISTANCE_THRESHOLDS_M)
+    for figure_id in wanted:
+        fig = _figures.ALL_FIGURES[figure_id](dataset, thresholds)
+        print(render_aggregate_rows(fig.rows, title=f"{fig.figure_id}: {fig.title}"))
+        if args.chart:
+            grouped = series_by_algorithm(fig.rows)
+            for quantity, attr in (
+                ("compression %", "compression_percent"),
+                ("mean sync error (m)", "mean_sync_error_m"),
+            ):
+                chart_series = {
+                    name: [(r.threshold_m, getattr(r, attr)) for r in rows]
+                    for name, rows in grouped.items()
+                }
+                print()
+                print(
+                    render_series_chart(
+                        chart_series,
+                        title=f"{fig.figure_id}: {quantity} vs threshold",
+                        x_label="threshold (m)",
+                        y_label=quantity,
+                    )
+                )
+        print()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        cluster_trajectories,
+        hausdorff_distance,
+        mean_synchronized_distance,
+    )
+
+    paths = _collect_input_files(args.inputs)
+    if len(paths) < 2:
+        raise ReproError("clustering needs at least two trajectory files")
+    trajectories = [_load_trajectory(path) for path in paths]
+    names = [
+        traj.object_id or path.stem for traj, path in zip(trajectories, paths)
+    ]
+    metric = (
+        hausdorff_distance if args.metric == "route" else mean_synchronized_distance
+    )
+    result = cluster_trajectories(
+        trajectories,
+        n_clusters=args.clusters,
+        max_distance=args.max_distance,
+        metric=metric,
+    )
+    print(
+        f"{len(trajectories)} trajectories -> {result.n_clusters} clusters "
+        f"({args.metric} metric)"
+    )
+    for cluster in range(result.n_clusters):
+        members = [names[i] for i in result.members(cluster)]
+        print(f"  cluster {cluster}: {', '.join(members)}")
+    return 0
+
+
+def _collect_input_files(entries: list[str]) -> list[Path]:
+    paths: list[Path] = []
+    for entry in entries:
+        path = Path(entry)
+        if path.is_dir():
+            for suffix in ("*.csv", "*.json", "*.gpx"):
+                paths.extend(sorted(path.glob(suffix)))
+        else:
+            paths.append(path)
+    return paths
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.analysis import occupancy_grid, od_matrix, speed_over_time
+
+    paths = _collect_input_files(args.inputs)
+    if not paths:
+        raise ReproError("no trajectory files found")
+    fleet = [_load_trajectory(path) for path in paths]
+
+    profile = speed_over_time(fleet, bin_seconds=args.bin_seconds)
+    rows = []
+    for k in range(profile.bin_centers.size):
+        if profile.observations[k] == 0:
+            continue
+        rows.append(
+            (
+                f"{profile.bin_edges[k]:.0f}-{profile.bin_edges[k + 1]:.0f}",
+                profile.mean_speed_ms[k] * 3.6,
+                int(profile.observations[k]),
+            )
+        )
+    print(render_table(["time window (s)", "mean km/h", "segments"], rows,
+                       title=f"fleet speed profile ({len(fleet)} trajectories)"))
+
+    grid = occupancy_grid(fleet, cell_size_m=args.cell_m)
+    print()
+    print(render_table(
+        ["cell", "distinct objects"],
+        [(str(cell), count) for cell, count in grid.top_cells(args.top)],
+        title=f"busiest {args.cell_m:g} m cells",
+    ))
+
+    od = od_matrix(fleet, cell_size_m=args.cell_m * 4)
+    ranked = sorted(od.items(), key=lambda kv: -kv[1])[: args.top]
+    print()
+    print(render_table(
+        ["origin zone", "destination zone", "trips"],
+        [(str(o), str(d), count) for (o, d), count in ranked],
+        title=f"top origin-destination pairs ({args.cell_m * 4:g} m zones)",
+    ))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    agg = dataset_stats(paper_dataset(args.seed))
+    ref = PAPER_TABLE2
+    print(
+        render_table(
+            ["statistic", "paper_mean", "ours_mean"],
+            [
+                ("duration (s)", ref.duration_mean_s, agg.duration_mean_s),
+                ("speed (km/h)", ref.speed_mean_kmh, agg.speed_mean_kmh),
+                ("length (km)", ref.length_mean_km, agg.length_mean_km),
+                ("displacement (km)", ref.displacement_mean_km, agg.displacement_mean_km),
+                ("# of data points", ref.points_mean, agg.points_mean),
+            ],
+            title="Table 2: paper vs this reproduction",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatiotemporal trajectory compression (Meratnia & de By, EDBT 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print statistics of a trajectory file")
+    p_stats.add_argument("input", help="trajectory file (.csv/.json/.gpx)")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_compress = sub.add_parser("compress", help="compress a trajectory file")
+    p_compress.add_argument("input", help="trajectory file (.csv/.json/.gpx)")
+    p_compress.add_argument(
+        "--algorithm", "-a", default="td-tr", choices=available_compressors()
+    )
+    p_compress.add_argument("--epsilon", "-e", type=float, default=None,
+                            help="distance threshold in metres (or alpha budget)")
+    p_compress.add_argument("--speed", type=float, default=None,
+                            help="speed-difference threshold in m/s (SP algorithms)")
+    p_compress.add_argument("--step", type=int, default=None,
+                            help="decimation step (every-ith)")
+    p_compress.add_argument("--angle", type=float, default=None,
+                            help="angular threshold in radians (angular)")
+    p_compress.add_argument("--budget", type=int, default=None,
+                            help="point budget (budget algorithms)")
+    p_compress.add_argument("--output", "-o", default=None,
+                            help="write the compressed trajectory here (.csv/.json)")
+    p_compress.set_defaults(func=_cmd_compress)
+
+    p_report = sub.add_parser(
+        "report", help="detailed per-segment error diagnostics of a compression"
+    )
+    p_report.add_argument("input", help="trajectory file (.csv/.json/.gpx)")
+    p_report.add_argument(
+        "--algorithm", "-a", default="td-tr", choices=available_compressors()
+    )
+    p_report.add_argument("--epsilon", "-e", type=float, default=None)
+    p_report.add_argument("--speed", type=float, default=None)
+    p_report.add_argument("--step", type=int, default=None)
+    p_report.add_argument("--angle", type=float, default=None)
+    p_report.add_argument("--budget", type=int, default=None)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_generate = sub.add_parser("generate", help="generate a synthetic trajectory")
+    p_generate.add_argument("--profile", choices=sorted(_PROFILES), default="urban")
+    p_generate.add_argument("--seed", type=int, default=0)
+    p_generate.add_argument("--length-km", type=float, default=None)
+    p_generate.add_argument("--object-id", default=None)
+    p_generate.add_argument("--output", "-o", required=True)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_dataset = sub.add_parser(
+        "dataset", help="materialize the standard evaluation dataset as CSVs"
+    )
+    p_dataset.add_argument("output_dir")
+    p_dataset.add_argument("--seed", type=int, default=DATASET_SEED)
+    p_dataset.set_defaults(func=_cmd_dataset)
+
+    p_figures = sub.add_parser(
+        "figures", help="regenerate the paper's evaluation figures as tables"
+    )
+    p_figures.add_argument(
+        "figure", choices=[*sorted(_figures.ALL_FIGURES), "all"], default="all",
+        nargs="?",
+    )
+    p_figures.add_argument(
+        "--quick", action="store_true",
+        help="3 trajectories x 3 thresholds instead of the full grid",
+    )
+    p_figures.add_argument(
+        "--chart", action="store_true",
+        help="also draw ASCII charts of each figure's series",
+    )
+    p_figures.set_defaults(func=_cmd_figures)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="group trajectory files by similarity"
+    )
+    p_cluster.add_argument(
+        "inputs", nargs="+", help="trajectory files and/or directories"
+    )
+    p_cluster.add_argument(
+        "--metric", choices=("route", "synchronized"), default="route",
+        help="route shape (Hausdorff, time-blind) or synchronized distance",
+    )
+    group = p_cluster.add_mutually_exclusive_group(required=True)
+    group.add_argument("--clusters", type=int, default=None,
+                       help="stop at this many clusters")
+    group.add_argument("--max-distance", type=float, default=None,
+                       help="stop before merges beyond this distance (m)")
+    p_cluster.set_defaults(func=_cmd_cluster)
+
+    p_flow = sub.add_parser(
+        "flow", help="rush-hour analytics over trajectory files"
+    )
+    p_flow.add_argument("inputs", nargs="+", help="trajectory files/directories")
+    p_flow.add_argument("--bin-seconds", type=float, default=600.0,
+                        help="speed-profile bin width")
+    p_flow.add_argument("--cell-m", type=float, default=400.0,
+                        help="occupancy cell size in metres")
+    p_flow.add_argument("--top", type=int, default=5,
+                        help="how many hotspots / OD pairs to list")
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_table2 = sub.add_parser("table2", help="regenerate the Table 2 comparison")
+    p_table2.add_argument("--seed", type=int, default=DATASET_SEED)
+    p_table2.set_defaults(func=_cmd_table2)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro stats x.csv | head`): exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

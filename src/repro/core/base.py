@@ -1,0 +1,161 @@
+"""Compressor interface and result type.
+
+Every algorithm in :mod:`repro.core` — the paper's spatiotemporal
+contributions and the spatial baselines alike — is a :class:`Compressor`:
+a configured, reusable object whose :meth:`~Compressor.compress` maps a
+trajectory to a :class:`CompressionResult`. All compressors in this
+library are *selective*: they keep a subseries of the original data points
+(never inventing new ones), always including the first and last point so
+the compressed trajectory covers the original's full time interval — the
+counter-measure the paper calls for against opening-window algorithms
+losing the series tail (Sect. 2.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import CompressionError, ThresholdError
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = ["Compressor", "CompressionResult", "require_positive"]
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate a strictly positive threshold parameter.
+
+    Raises:
+        ThresholdError: when ``value`` is not a finite positive number.
+    """
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ThresholdError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+@dataclass(frozen=True, eq=False)
+class CompressionResult:
+    """Outcome of compressing one trajectory.
+
+    Attributes:
+        original: the input trajectory.
+        indices: sorted indices (into the original) of the retained
+            points; always starts at 0 and ends at ``len(original) - 1``.
+        compressor_name: name of the algorithm that produced the result.
+
+    Results compare by identity (``eq=False``): the numpy ``indices``
+    field has no unambiguous element-wise ``==``; compare
+    ``result.indices`` explicitly when needed.
+    """
+
+    original: Trajectory
+    indices: np.ndarray
+    compressor_name: str
+    _compressed_cache: list = field(default_factory=list, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.indices, dtype=int)
+        object.__setattr__(self, "indices", idx)
+        n = len(self.original)
+        if idx.size == 0:
+            raise CompressionError("a compression result must retain >= 1 point")
+        if idx[0] != 0 or idx[-1] != n - 1:
+            raise CompressionError(
+                "retained indices must include the first and last data point"
+            )
+        if np.any(np.diff(idx) <= 0):
+            raise CompressionError("retained indices must be strictly increasing")
+
+    @property
+    def compressed(self) -> Trajectory:
+        """The compressed trajectory (materialized lazily, then cached)."""
+        if not self._compressed_cache:
+            self._compressed_cache.append(self.original.subset(self.indices))
+        return self._compressed_cache[0]
+
+    @property
+    def n_original(self) -> int:
+        return len(self.original)
+
+    @property
+    def n_kept(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def n_removed(self) -> int:
+        return self.n_original - self.n_kept
+
+    @property
+    def compression_percent(self) -> float:
+        """Percent of points removed (the paper's y-axis in Figs. 7–10)."""
+        return 100.0 * (1.0 - self.n_kept / self.n_original)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressionResult({self.compressor_name}: "
+            f"{self.n_original} -> {self.n_kept} points, "
+            f"{self.compression_percent:.1f}%)"
+        )
+
+
+class Compressor(abc.ABC):
+    """A configured trajectory compression algorithm.
+
+    Subclasses implement :meth:`select_indices`; the base class handles
+    the degenerate inputs (series of one or two points are returned
+    unchanged — there is nothing to discard) and packages the result.
+    """
+
+    #: Short machine name, e.g. ``"td-tr"``; set by each subclass.
+    name: str = "abstract"
+
+    #: True when the algorithm can run point-by-point over a stream
+    #: (the paper's batch/online distinction, Sect. 2).
+    online: bool = False
+
+    def sync_error_bound(self) -> float | None:
+        """A priori bound on the result's max synchronized error, if any.
+
+        The paper's third objective is "a data series with known, small
+        margins of error"; algorithms whose discard criterion *is* the
+        synchronized distance can promise that margin up front (TD-TR,
+        OPW-TR, OPW-SP, ...). Returns the bound in metres, or ``None``
+        when the algorithm gives no such guarantee (the spatial
+        baselines bound only perpendicular distance, which does not
+        bound the synchronized deviation).
+        """
+        return None
+
+    @abc.abstractmethod
+    def select_indices(self, traj: Trajectory) -> np.ndarray:
+        """Return sorted retained indices for a trajectory of >= 3 points.
+
+        Implementations may assume ``len(traj) >= 3`` and must include
+        indices ``0`` and ``len(traj) - 1``.
+        """
+
+    def compress(self, traj: Trajectory) -> CompressionResult:
+        """Compress ``traj``, returning the retained subseries.
+
+        Trajectories of one or two points are passed through unchanged.
+        """
+        n = len(traj)
+        if n <= 2:
+            indices = np.arange(n)
+        else:
+            indices = np.asarray(self.select_indices(traj), dtype=int)
+        return CompressionResult(traj, indices, self.name)
+
+    def __call__(self, traj: Trajectory) -> CompressionResult:
+        return self.compress(traj)
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"

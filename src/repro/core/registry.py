@@ -1,0 +1,72 @@
+"""Name-based compressor construction.
+
+The experiment harness, the benchmarks and the examples refer to
+algorithms by the short names the paper uses (``ndp``, ``td-tr``,
+``opw-sp``...). :func:`make_compressor` turns such a name plus parameters
+into a configured :class:`~repro.core.base.Compressor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.angular import AngularChange
+from repro.core.base import Compressor
+from repro.core.bottom_up import BottomUp
+from repro.core.budget import BottomUpBudget, BottomUpTotalError, TDTRBudget
+from repro.core.dead_reckoning import DeadReckoning
+from repro.core.douglas_peucker import DouglasPeucker
+from repro.core.opening_window import BOPW, NOPW
+from repro.core.opw_tr import OPWTR
+from repro.core.sliding_window import SlidingWindow
+from repro.core.spt import OPWSP, TDSP
+from repro.core.td_tr import TDTR
+from repro.core.uniform import DistanceThreshold, EveryIth
+
+__all__ = ["COMPRESSORS", "make_compressor", "available_compressors"]
+
+#: Registry of constructors keyed by the paper's algorithm names.
+COMPRESSORS: dict[str, Callable[..., Compressor]] = {
+    "ndp": DouglasPeucker,
+    "td-tr": TDTR,
+    "nopw": NOPW,
+    "bopw": BOPW,
+    "opw-tr": OPWTR,
+    "opw-sp": OPWSP,
+    "td-sp": TDSP,
+    "every-ith": EveryIth,
+    "distance-threshold": DistanceThreshold,
+    "angular": AngularChange,
+    "sliding-window": SlidingWindow,
+    "bottom-up": BottomUp,
+    "td-tr-budget": TDTRBudget,
+    "bottom-up-budget": BottomUpBudget,
+    "bottom-up-total-error": BottomUpTotalError,
+    "dead-reckoning": DeadReckoning,
+}
+
+
+def available_compressors() -> list[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(COMPRESSORS)
+
+
+def make_compressor(name: str, **params: object) -> Compressor:
+    """Construct a compressor by its registry name.
+
+    Args:
+        name: one of :func:`available_compressors`.
+        **params: constructor parameters, e.g. ``epsilon=50.0`` for
+            ``"td-tr"`` or ``max_dist_error=50.0, max_speed_error=5.0``
+            for ``"opw-sp"``.
+
+    Raises:
+        KeyError: for unknown names (listing the valid ones).
+    """
+    try:
+        factory = COMPRESSORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {available_compressors()}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,56 @@
+"""Synthetic GPS workload generation.
+
+The paper evaluates on ten real car-GPS trajectories that were never
+published; this package is the faithful synthetic substitute (see
+DESIGN.md's substitution table): a road-network + routing + vehicle
+kinematics + GPS-noise pipeline whose output matches the shape statistics
+the compression algorithms are sensitive to, calibrated against the
+paper's Table 2.
+"""
+
+from repro.datagen.freespace import (
+    MigrationModel,
+    PedestrianModel,
+    generate_migration_trajectory,
+    generate_pedestrian_trajectory,
+    simulate_migration,
+    simulate_pedestrian,
+)
+from repro.datagen.generator import TrajectoryGenerator, generate_dataset, sample_trace
+from repro.datagen.noise import GpsNoise
+from repro.datagen.profiles import (
+    HIGHWAY,
+    PAPER_PROFILES,
+    RURAL,
+    URBAN,
+    WorkloadProfile,
+)
+from repro.datagen.roadnet import SPEED_LIMITS_MS, RoadNetwork
+from repro.datagen.route import Route, plan_route, random_route
+from repro.datagen.vehicle import DriveTrace, VehicleModel, simulate_drive
+
+__all__ = [
+    "DriveTrace",
+    "GpsNoise",
+    "HIGHWAY",
+    "MigrationModel",
+    "PedestrianModel",
+    "PAPER_PROFILES",
+    "RURAL",
+    "RoadNetwork",
+    "Route",
+    "SPEED_LIMITS_MS",
+    "TrajectoryGenerator",
+    "URBAN",
+    "VehicleModel",
+    "WorkloadProfile",
+    "generate_dataset",
+    "generate_migration_trajectory",
+    "generate_pedestrian_trajectory",
+    "plan_route",
+    "random_route",
+    "sample_trace",
+    "simulate_drive",
+    "simulate_migration",
+    "simulate_pedestrian",
+]

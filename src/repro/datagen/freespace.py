@@ -1,0 +1,247 @@
+"""Free-space movement models: pedestrians and migratory animals.
+
+The paper's container term "moving objects" spans far more than cars —
+"pedestrians in shopping malls, airports or railway stations, ... even
+migratory animals" — and its future work plans "to look into the issue of
+moving objects of different nature". These two models cover the ends of
+that spectrum the road-network simulator cannot:
+
+* :func:`simulate_pedestrian` — random-waypoint walking inside a bounded
+  area: short straight-ish legs at walking speed, heading wobble, and
+  frequent pauses (window shopping, waiting);
+* :func:`simulate_migration` — a correlated random walk with a persistent
+  drift bearing: long fast legs, slowly meandering heading, and rare long
+  rest stops.
+
+Both produce the same dense :class:`~repro.datagen.vehicle.DriveTrace`
+the vehicle simulator does, so the GPS sampling and noise pipeline — and
+everything downstream — is shared. The object-nature ablation bench runs
+the compression algorithms across all three natures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.noise import GpsNoise
+from repro.datagen.vehicle import DriveTrace
+from repro.exceptions import DataGenError
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "PedestrianModel",
+    "MigrationModel",
+    "simulate_pedestrian",
+    "simulate_migration",
+    "generate_pedestrian_trajectory",
+    "generate_migration_trajectory",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PedestrianModel:
+    """Random-waypoint walking parameters."""
+
+    area_m: float = 300.0
+    speed_range_ms: tuple[float, float] = (0.7, 1.8)
+    heading_wobble_rad: float = 0.15
+    pause_prob: float = 0.45
+    pause_duration_range_s: tuple[float, float] = (5.0, 90.0)
+    dt_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.area_m <= 0:
+            raise ValueError("area must be positive")
+        lo, hi = self.speed_range_ms
+        if not 0 < lo <= hi:
+            raise ValueError(f"bad speed range ({lo}, {hi})")
+        if not 0.0 <= self.pause_prob <= 1.0:
+            raise ValueError("pause_prob must be in [0, 1]")
+        plo, phi = self.pause_duration_range_s
+        if plo < 0 or phi < plo:
+            raise ValueError(f"bad pause duration range ({plo}, {phi})")
+        if self.dt_s <= 0:
+            raise ValueError("dt must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationModel:
+    """Correlated-random-walk migration parameters."""
+
+    mean_speed_ms: float = 14.0
+    speed_std_ms: float = 2.5
+    bearing_rad: float = np.pi / 3  # north-east by default
+    heading_persistence: float = 0.95
+    heading_noise_rad: float = 0.2
+    rest_prob_per_hour: float = 0.35
+    rest_duration_range_s: tuple[float, float] = (600.0, 3600.0)
+    dt_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mean_speed_ms <= 0 or self.speed_std_ms < 0:
+            raise ValueError("bad speed parameters")
+        if not 0.0 <= self.heading_persistence < 1.0:
+            raise ValueError("heading_persistence must be in [0, 1)")
+        if self.heading_noise_rad < 0:
+            raise ValueError("heading noise must be non-negative")
+        if self.rest_prob_per_hour < 0:
+            raise ValueError("rest probability must be non-negative")
+        lo, hi = self.rest_duration_range_s
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad rest duration range ({lo}, {hi})")
+        if self.dt_s <= 0:
+            raise ValueError("dt must be positive")
+
+
+def simulate_pedestrian(
+    duration_s: float,
+    model: PedestrianModel,
+    rng: np.random.Generator,
+    start_time_s: float = 0.0,
+) -> DriveTrace:
+    """Random-waypoint walk inside a ``area_m`` x ``area_m`` square.
+
+    The walker heads toward a uniformly drawn waypoint at a per-leg speed
+    with per-step heading wobble, may pause on arrival, then draws the
+    next waypoint, until ``duration_s`` has elapsed.
+    """
+    if duration_s <= 0:
+        raise DataGenError(f"duration must be positive, got {duration_s}")
+    dt = model.dt_s
+    position = rng.uniform(0.0, model.area_m, size=2)
+    times = [start_time_s]
+    points = [position.copy()]
+    now = start_time_s
+    end = start_time_s + duration_s
+    while now < end:
+        waypoint = rng.uniform(0.0, model.area_m, size=2)
+        speed = float(rng.uniform(*model.speed_range_ms))
+        while now < end:
+            to_target = waypoint - position
+            distance = float(np.hypot(*to_target))
+            if distance < speed * dt:
+                position = waypoint.copy()
+                now += dt
+                times.append(now)
+                points.append(position.copy())
+                break
+            heading = np.arctan2(to_target[1], to_target[0]) + rng.normal(
+                0.0, model.heading_wobble_rad
+            )
+            position = position + speed * dt * np.array(
+                [np.cos(heading), np.sin(heading)]
+            )
+            position = np.clip(position, 0.0, model.area_m)
+            now += dt
+            times.append(now)
+            points.append(position.copy())
+        if now < end and rng.uniform() < model.pause_prob:
+            pause = float(rng.uniform(*model.pause_duration_range_s))
+            steps = int(np.ceil(min(pause, end - now) / dt))
+            for _ in range(steps):
+                now += dt
+                times.append(now)
+                points.append(position.copy())
+    return DriveTrace(np.asarray(times), np.asarray(points))
+
+
+def simulate_migration(
+    duration_s: float,
+    model: MigrationModel,
+    rng: np.random.Generator,
+    start_time_s: float = 0.0,
+) -> DriveTrace:
+    """Correlated random walk with drift (a migrating animal's day).
+
+    Heading follows an AR(1) process around the migration bearing; speed
+    is redrawn slowly; rest stops freeze the position for long spells.
+    """
+    if duration_s <= 0:
+        raise DataGenError(f"duration must be positive, got {duration_s}")
+    dt = model.dt_s
+    n_steps = int(np.ceil(duration_s / dt))
+    rest_prob_per_step = model.rest_prob_per_hour * dt / 3600.0
+    position = np.zeros(2)
+    heading_offset = 0.0
+    speed = max(float(rng.normal(model.mean_speed_ms, model.speed_std_ms)), 0.5)
+    times = [start_time_s]
+    points = [position.copy()]
+    now = start_time_s
+    step = 0
+    while step < n_steps:
+        if rng.uniform() < rest_prob_per_step:
+            rest = float(rng.uniform(*model.rest_duration_range_s))
+            rest_steps = int(np.ceil(rest / dt))
+            for _ in range(min(rest_steps, n_steps - step)):
+                now += dt
+                times.append(now)
+                points.append(position.copy())
+                step += 1
+            speed = max(
+                float(rng.normal(model.mean_speed_ms, model.speed_std_ms)), 0.5
+            )
+            continue
+        heading_offset = (
+            model.heading_persistence * heading_offset
+            + rng.normal(0.0, model.heading_noise_rad)
+        )
+        heading = model.bearing_rad + heading_offset
+        position = position + speed * dt * np.array(
+            [np.cos(heading), np.sin(heading)]
+        )
+        now += dt
+        times.append(now)
+        points.append(position.copy())
+        step += 1
+    return DriveTrace(np.asarray(times), np.asarray(points))
+
+
+def _observe(
+    trace: DriveTrace,
+    sample_interval_s: float,
+    noise: GpsNoise,
+    rng: np.random.Generator,
+    object_id: str | None,
+) -> Trajectory:
+    from repro.datagen.generator import sample_trace
+
+    t, xy = sample_trace(trace, sample_interval_s, noise, rng)
+    return Trajectory(t, xy, object_id)
+
+
+def generate_pedestrian_trajectory(
+    seed: int,
+    duration_s: float = 1_800.0,
+    model: PedestrianModel | None = None,
+    sample_interval_s: float = 5.0,
+    noise: GpsNoise | None = None,
+    object_id: str | None = "pedestrian",
+) -> Trajectory:
+    """One observed pedestrian trajectory (walk + GPS sampling + noise).
+
+    Indoor-ish positioning is noisier relative to the movement scale, so
+    the default noise sigma is high for the speeds involved.
+    """
+    rng = np.random.default_rng(seed)
+    model = model or PedestrianModel()
+    noise = noise or GpsNoise(sigma_m=6.0, correlation_time_s=15.0)
+    trace = simulate_pedestrian(duration_s, model, rng)
+    return _observe(trace, sample_interval_s, noise, rng, object_id)
+
+
+def generate_migration_trajectory(
+    seed: int,
+    duration_s: float = 6.0 * 3600.0,
+    model: MigrationModel | None = None,
+    sample_interval_s: float = 60.0,
+    noise: GpsNoise | None = None,
+    object_id: str | None = "migrant",
+) -> Trajectory:
+    """One observed migration trajectory (tag duty-cycled to a slow rate)."""
+    rng = np.random.default_rng(seed)
+    model = model or MigrationModel()
+    noise = noise or GpsNoise(sigma_m=15.0, correlation_time_s=120.0)
+    trace = simulate_migration(duration_s, model, rng)
+    return _observe(trace, sample_interval_s, noise, rng, object_id)

@@ -1,0 +1,91 @@
+"""GPS observation noise models.
+
+Consumer GPS error is not white: position fixes drift slowly around the
+true position as the satellite constellation and multipath environment
+change. We model the error as a first-order Gauss–Markov process (an
+exponentially autocorrelated random walk), which reproduces both the
+metre-scale jitter that the compression thresholds must tolerate and the
+slow wander that makes "noise" different from "movement". A pure white
+model is available as the degenerate case ``correlation_time_s = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GpsNoise"]
+
+
+@dataclass(frozen=True, slots=True)
+class GpsNoise:
+    """First-order Gauss–Markov positional noise.
+
+    Attributes:
+        sigma_m: stationary standard deviation per axis, metres.
+        correlation_time_s: e-folding time of the error autocorrelation;
+            0 gives white noise.
+        outlier_prob: per-fix probability of a gross outlier (multipath
+            spike), replacing the correlated error with a large white one.
+        outlier_sigma_m: standard deviation of outlier fixes.
+    """
+
+    sigma_m: float = 4.0
+    correlation_time_s: float = 20.0
+    outlier_prob: float = 0.0
+    outlier_sigma_m: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_m < 0 or self.outlier_sigma_m < 0:
+            raise ValueError("noise standard deviations must be non-negative")
+        if self.correlation_time_s < 0:
+            raise ValueError("correlation time must be non-negative")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError(f"outlier_prob must be in [0, 1], got {self.outlier_prob}")
+
+    def sample_errors(
+        self, t: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Error vectors for fixes at times ``t`` (shape ``(n, 2)``).
+
+        The Gauss–Markov recursion over a possibly irregular time grid is
+        ``e_k = rho_k e_{k-1} + sqrt(1 - rho_k²) w_k`` with
+        ``rho_k = exp(-dt_k / tau)`` and ``w_k ~ N(0, sigma² I)``, which
+        keeps the stationary variance exactly ``sigma²`` for any spacing.
+        """
+        t = np.asarray(t, dtype=float)
+        n = t.shape[0]
+        if n == 0:
+            return np.zeros((0, 2))
+        errors = np.zeros((n, 2))
+        if self.sigma_m == 0.0:
+            white = np.zeros((n, 2))
+        else:
+            white = rng.normal(0.0, self.sigma_m, size=(n, 2))
+        if self.correlation_time_s == 0.0 or self.sigma_m == 0.0:
+            errors = white
+        else:
+            errors[0] = white[0]
+            dt = np.diff(t)
+            rho = np.exp(-dt / self.correlation_time_s)
+            innovation_scale = np.sqrt(1.0 - rho**2)
+            for k in range(1, n):
+                errors[k] = (
+                    rho[k - 1] * errors[k - 1] + innovation_scale[k - 1] * white[k]
+                )
+        if self.outlier_prob > 0.0:
+            is_outlier = rng.uniform(size=n) < self.outlier_prob
+            count = int(is_outlier.sum())
+            if count:
+                errors[is_outlier] = rng.normal(
+                    0.0, self.outlier_sigma_m, size=(count, 2)
+                )
+        return errors
+
+    def apply(
+        self, t: np.ndarray, xy: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """True positions plus sampled errors (new array)."""
+        xy = np.asarray(xy, dtype=float)
+        return xy + self.sample_errors(t, rng)

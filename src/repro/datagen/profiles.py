@@ -1,0 +1,107 @@
+"""Workload profiles: named parameter bundles for the generator.
+
+A profile fixes the road-network character, the trip length, the driver
+behaviour and the GPS sampling setup. The ``PAPER_PROFILES`` list defines
+the ten trips whose aggregate statistics are calibrated to the paper's
+Table 2 (urban and rural roads, short and lengthy series — see
+:mod:`repro.experiments.dataset` for the verification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.datagen.noise import GpsNoise
+from repro.datagen.vehicle import VehicleModel
+
+__all__ = ["WorkloadProfile", "URBAN", "RURAL", "HIGHWAY", "PAPER_PROFILES"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """All parameters needed to generate one class of trajectory.
+
+    Attributes:
+        name: profile label (becomes part of the object id).
+        rows/cols/spacing_m: road-network lattice dimensions.
+        jitter_frac: lattice node jitter as a fraction of spacing.
+        arterial_every: arterial line spacing (0 = none).
+        highway_rows: row lines that are highways.
+        target_length_m: desired route length.
+        vehicle: driver/vehicle dynamics parameters.
+        noise: GPS noise model.
+        sample_interval_s: GPS fix period (the paper's example uses 10 s).
+    """
+
+    name: str
+    rows: int = 30
+    cols: int = 30
+    spacing_m: float = 500.0
+    jitter_frac: float = 0.25
+    arterial_every: int = 5
+    highway_rows: tuple[int, ...] = ()
+    target_length_m: float = 15_000.0
+    vehicle: VehicleModel = VehicleModel()
+    noise: GpsNoise = GpsNoise()
+    sample_interval_s: float = 10.0
+
+    def with_length(self, target_length_m: float) -> "WorkloadProfile":
+        """The same profile with a different trip length."""
+        return replace(self, target_length_m=target_length_m)
+
+
+#: Dense city grid: short blocks, many stops, low speed limits.
+URBAN = WorkloadProfile(
+    name="urban",
+    rows=36,
+    cols=36,
+    spacing_m=350.0,
+    jitter_frac=0.28,
+    arterial_every=6,
+    target_length_m=8_000.0,
+    vehicle=VehicleModel(stop_prob=0.45, stop_duration_range_s=(10.0, 55.0)),
+    noise=GpsNoise(sigma_m=5.0, correlation_time_s=25.0),
+)
+
+#: Sparse country roads: long blocks, few stops, moderate limits.
+RURAL = WorkloadProfile(
+    name="rural",
+    rows=26,
+    cols=26,
+    spacing_m=1_400.0,
+    jitter_frac=0.32,
+    arterial_every=0,
+    target_length_m=25_000.0,
+    vehicle=VehicleModel(stop_prob=0.14),
+    noise=GpsNoise(sigma_m=4.0, correlation_time_s=20.0),
+)
+
+#: Intercity mix with highway rows for long fast stretches.
+HIGHWAY = WorkloadProfile(
+    name="highway",
+    rows=22,
+    cols=22,
+    spacing_m=2_200.0,
+    jitter_frac=0.3,
+    arterial_every=0,
+    highway_rows=(7, 14),
+    target_length_m=40_000.0,
+    vehicle=VehicleModel(stop_prob=0.08),
+    noise=GpsNoise(sigma_m=4.0, correlation_time_s=20.0),
+)
+
+#: The ten trips of the paper's evaluation dataset: a spread of short
+#: urban commutes and lengthy rural/intercity drives whose aggregate
+#: statistics land on Table 2 (verified by the Table 2 benchmark).
+PAPER_PROFILES: tuple[WorkloadProfile, ...] = (
+    URBAN.with_length(5_500.0),
+    URBAN.with_length(8_000.0),
+    URBAN.with_length(10_500.0),
+    URBAN.with_length(13_000.0),
+    URBAN.with_length(15_500.0),
+    RURAL.with_length(17_000.0),
+    RURAL.with_length(23_000.0),
+    RURAL.with_length(28_000.0),
+    HIGHWAY.with_length(36_000.0),
+    HIGHWAY.with_length(43_000.0),
+)

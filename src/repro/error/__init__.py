@@ -1,0 +1,60 @@
+"""Error notions for trajectory compression (paper Sect. 4).
+
+Two families:
+
+* **Synchronized (spatiotemporal)** — the paper's contribution: distance
+  between the original and approximated object travelling synchronously,
+  averaged over time with a closed-form per-segment integral
+  (:func:`mean_synchronized_error`).
+* **Perpendicular (spatial)** — the classic line-generalization measures
+  the paper argues are biased for moving objects
+  (:func:`mean_perpendicular_error` and friends).
+
+:func:`evaluate_compression` bundles everything into one report.
+"""
+
+from repro.error.metrics import (
+    CompressionReport,
+    compression_percent,
+    compression_ratio,
+    evaluate_compression,
+    mean_speed_error,
+)
+from repro.error.paths import TimedPath, max_path_distance, mean_path_distance
+from repro.error.report import DetailedReport, SegmentErrorRow, detailed_report
+from repro.error.perpendicular import (
+    area_error_sampled,
+    max_perpendicular_error,
+    mean_perpendicular_error,
+    perpendicular_deltas,
+)
+from repro.error.synchronized import (
+    max_synchronized_error,
+    mean_synchronized_error,
+    mean_synchronized_error_sampled,
+    segment_mean_distance,
+    synchronized_deltas,
+)
+
+__all__ = [
+    "CompressionReport",
+    "DetailedReport",
+    "SegmentErrorRow",
+    "detailed_report",
+    "area_error_sampled",
+    "compression_percent",
+    "compression_ratio",
+    "evaluate_compression",
+    "max_perpendicular_error",
+    "max_synchronized_error",
+    "mean_perpendicular_error",
+    "mean_speed_error",
+    "max_path_distance",
+    "mean_path_distance",
+    "mean_synchronized_error",
+    "mean_synchronized_error_sampled",
+    "TimedPath",
+    "perpendicular_deltas",
+    "segment_mean_distance",
+    "synchronized_deltas",
+]

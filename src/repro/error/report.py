@@ -1,0 +1,134 @@
+"""Detailed per-trajectory compression diagnostics.
+
+:func:`repro.error.evaluate_compression` answers "how good is this
+compression" with one number per notion; this module answers "where and
+how is it wrong": per-retained-segment error breakdown, the distribution
+(percentiles) of the synchronized deviation over time, and the worst
+moments — the report an engineer reads when a threshold choice needs
+justifying. Rendered as text via :meth:`DetailedReport.render`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.error.synchronized import synchronized_deltas
+from repro.exceptions import TrajectoryError
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = ["SegmentErrorRow", "DetailedReport", "detailed_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentErrorRow:
+    """Error profile of one retained segment of the approximation."""
+
+    segment_index: int
+    start_time: float
+    end_time: float
+    n_original_points: int
+    max_sync_error_m: float
+    mean_sync_error_m: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True)
+class DetailedReport:
+    """Full diagnostic picture of one compression."""
+
+    n_original: int
+    n_kept: int
+    percentiles_m: dict[int, float]
+    worst_time: float
+    worst_error_m: float
+    segments: tuple[SegmentErrorRow, ...]
+
+    @property
+    def compression_percent(self) -> float:
+        return 100.0 * (1.0 - self.n_kept / self.n_original)
+
+    def worst_segments(self, k: int = 3) -> list[SegmentErrorRow]:
+        """The ``k`` segments with the largest max error, worst first."""
+        ranked = sorted(self.segments, key=lambda s: -s.max_sync_error_m)
+        return ranked[:k]
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"compression: {self.n_original} -> {self.n_kept} points "
+            f"({self.compression_percent:.1f}% removed, "
+            f"{len(self.segments)} segments)",
+            "synchronized deviation percentiles (over original fixes):",
+        ]
+        lines.append(
+            "  "
+            + "  ".join(
+                f"p{p}={v:.1f}m" for p, v in sorted(self.percentiles_m.items())
+            )
+        )
+        lines.append(
+            f"worst moment: t={self.worst_time:.1f} s "
+            f"({self.worst_error_m:.1f} m off)"
+        )
+        lines.append("worst segments (max / mean deviation):")
+        for seg in self.worst_segments():
+            lines.append(
+                f"  #{seg.segment_index}: t=[{seg.start_time:.0f}, {seg.end_time:.0f}] s"
+                f", {seg.n_original_points} pts, "
+                f"{seg.max_sync_error_m:.1f} / {seg.mean_sync_error_m:.1f} m"
+            )
+        return "\n".join(lines)
+
+
+def detailed_report(
+    original: Trajectory,
+    approx: Trajectory,
+    percentiles: tuple[int, ...] = (50, 90, 95, 99),
+) -> DetailedReport:
+    """Build the full diagnostic report for one compression.
+
+    Args:
+        original: the raw trajectory.
+        approx: its compression (timestamps a subseries of the
+            original's, covering the same interval).
+        percentiles: which deviation percentiles to report.
+    """
+    if len(approx) < 2:
+        raise TrajectoryError("report needs an approximation with >= 2 points")
+    deltas = synchronized_deltas(original, approx)
+    worst_index = int(np.argmax(deltas))
+    percentile_values = {
+        int(p): float(np.percentile(deltas, p)) for p in percentiles
+    }
+    # Assign each original point to its covering approx segment.
+    assignment = np.clip(
+        np.searchsorted(approx.t, original.t, side="right") - 1, 0, len(approx) - 2
+    )
+    segments = []
+    for seg in range(len(approx) - 1):
+        mask = assignment == seg
+        count = int(mask.sum())
+        seg_deltas = deltas[mask] if count else np.array([0.0])
+        segments.append(
+            SegmentErrorRow(
+                segment_index=seg,
+                start_time=float(approx.t[seg]),
+                end_time=float(approx.t[seg + 1]),
+                n_original_points=count,
+                max_sync_error_m=float(seg_deltas.max()),
+                mean_sync_error_m=float(seg_deltas.mean()),
+            )
+        )
+    return DetailedReport(
+        n_original=len(original),
+        n_kept=len(approx),
+        percentiles_m=percentile_values,
+        worst_time=float(original.t[worst_index]),
+        worst_error_m=float(deltas[worst_index]),
+        segments=tuple(segments),
+    )

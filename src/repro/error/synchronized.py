@@ -1,0 +1,208 @@
+"""The paper's time-synchronous error notion (Sect. 4.2), in closed form.
+
+Given an original trajectory ``p`` and an approximation ``a``, the quality
+measure is the **average distance between the original and the
+approximated object travelling synchronously** over the shared time
+interval::
+
+    α(p, a) = (1 / (T_end - T_start)) ∫ dist(loc(p, t), loc(a, t)) dt
+
+The paper evaluates the integral per original segment (its Eq. 3–5) with a
+case analysis on the polynomial under the square root. We implement the
+same mathematics in a numerically safer parametrization: on any interval
+where both ``p`` and ``a`` are linear, the difference vector
+``d(u) = loc(p) - loc(a)`` is itself linear in the normalized time
+``u ∈ [0, 1]``, so with ``v0 = d(0)``, ``v1 = d(1)`` and ``w = v1 - v0``::
+
+    dist(u)² = A u² + B u + C,   A = |w|²,  B = 2 v0·w,  C = |v0|²
+
+and the paper's three cases become:
+
+* ``A = 0`` — the approximation is a translated copy of the segment
+  (paper: *c1 = 0*); the distance is the constant ``sqrt(C)``.
+* ``4AC - B² = 0`` — the difference vectors are parallel (paper: *δ ratios
+  respected*, subsuming *segments share start/end point*); the integrand
+  is a piecewise-linear ``sqrt(A)·|u - r|``.
+* ``4AC - B² > 0`` — the general case, solved with the ``arcsinh``
+  antiderivative exactly as in the paper.
+
+By Cauchy–Schwarz the discriminant ``4AC - B²`` is never negative; small
+negative values from floating-point round-off are clamped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory.ops import merge_grids
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "segment_mean_distance",
+    "mean_synchronized_error",
+    "max_synchronized_error",
+    "synchronized_deltas",
+    "mean_synchronized_error_sampled",
+]
+
+#: Relative tolerance for degenerate-case detection in the integral.
+_CASE_RTOL = 1e-12
+
+
+def segment_mean_distance(v0: np.ndarray, v1: np.ndarray) -> float:
+    """Average of ``|v0 + u (v1 - v0)|`` over ``u ∈ [0, 1]``.
+
+    This is the single-interval building block of α(p, a) — the paper's
+    Eq. 4/5 after normalizing time to the unit interval (which leaves the
+    *average* unchanged). See the module docstring for the case analysis.
+
+    Args:
+        v0: difference vector at the interval start, shape ``(2,)``.
+        v1: difference vector at the interval end, shape ``(2,)``.
+    """
+    v0 = np.asarray(v0, dtype=float)
+    v1 = np.asarray(v1, dtype=float)
+    w = v1 - v0
+    a = float(w @ w)
+    b = 2.0 * float(v0 @ w)
+    c = float(v0 @ v0)
+    scale = max(a, abs(b), c, 1e-300)
+    if a <= _CASE_RTOL * scale:
+        # Paper case c1 = 0: pure translation, constant distance.
+        return float(np.sqrt(c))
+    disc = 4.0 * a * c - b * b
+    if disc <= _CASE_RTOL * scale * scale:
+        # Paper case c2² - 4 c1 c3 = 0: parallel difference vectors; the
+        # integrand is sqrt(a) * |u - r| with r the zero crossing.
+        r = -b / (2.0 * a)
+        if r <= 0.0:
+            integral = 0.5 - r
+        elif r >= 1.0:
+            integral = r - 0.5
+        else:
+            integral = (r * r + (1.0 - r) * (1.0 - r)) / 2.0
+        return float(np.sqrt(a) * integral)
+    # General case: arcsinh antiderivative (the paper's F(t)).
+    sqrt_disc = np.sqrt(disc)
+    sqrt_a = np.sqrt(a)
+
+    def antiderivative(u: float) -> float:
+        s = np.sqrt(max(a * u * u + b * u + c, 0.0))
+        return float(
+            (2.0 * a * u + b) / (4.0 * a) * s
+            + disc / (8.0 * a * sqrt_a) * np.arcsinh((2.0 * a * u + b) / sqrt_disc)
+        )
+
+    return antiderivative(1.0) - antiderivative(0.0)
+
+
+def _interval_tolerance(original: Trajectory) -> float:
+    """Allowed start/end mismatch between original and approximation.
+
+    Codec round trips quantize timestamps (default quantum 1 ms), so an
+    approximation decoded from storage may disagree with the raw data by
+    a sub-millisecond amount; treating that as a different interval would
+    make the error notion unusable on exactly the comparisons users want.
+    """
+    duration = original.end_time - original.start_time
+    return 1e-9 + 1e-5 * max(duration, 1.0)
+
+
+def _check_same_interval(original: Trajectory, approx: Trajectory) -> None:
+    if len(original) < 2:
+        raise TrajectoryError("error notion needs an original with >= 2 points")
+    tol = _interval_tolerance(original)
+    if (
+        abs(approx.start_time - original.start_time) > tol
+        or abs(approx.end_time - original.end_time) > tol
+    ):
+        raise TrajectoryError(
+            "approximation must cover the original's time interval: "
+            f"[{original.start_time}, {original.end_time}] vs "
+            f"[{approx.start_time}, {approx.end_time}]"
+        )
+
+
+def _synchronized_positions(
+    original: Trajectory, approx: Trajectory, grid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of both trajectories over ``grid``, clamping each query
+    into the respective trajectory's own (tolerance-aligned) domain."""
+    p_times = np.clip(grid, original.start_time, original.end_time)
+    a_times = np.clip(grid, approx.start_time, approx.end_time)
+    return original.positions_at(p_times), approx.positions_at(a_times)
+
+
+def synchronized_deltas(original: Trajectory, approx: Trajectory) -> np.ndarray:
+    """Synchronized distances at every *original* timestamp.
+
+    ``out[i] = dist(p[i], loc(a, t_i))`` — the per-point view of the error
+    the spatiotemporal algorithms bound. Shape ``(len(original),)``.
+    """
+    _check_same_interval(original, approx)
+    _, approx_positions = _synchronized_positions(original, approx, original.t)
+    diff = original.xy - approx_positions
+    return np.hypot(diff[:, 0], diff[:, 1])
+
+
+def mean_synchronized_error(original: Trajectory, approx: Trajectory) -> float:
+    """The paper's α(p, a): time-weighted mean synchronized distance.
+
+    Exact (closed form), assuming both trajectories are piecewise linear.
+    Works for any approximation covering the same time interval — when
+    the approximation's timestamps are a subseries of the original's (the
+    compression case) the merged evaluation grid is just the original's
+    timestamps, exactly the paper's Eq. 3.
+
+    Returns:
+        Average distance in metres over the whole time interval.
+    """
+    _check_same_interval(original, approx)
+    grid = merge_grids(original.t, approx.t)
+    p_pos, a_pos = _synchronized_positions(original, approx, grid)
+    deltas = p_pos - a_pos
+    weights = np.diff(grid)
+    total = 0.0
+    for i in range(grid.size - 1):
+        total += weights[i] * segment_mean_distance(deltas[i], deltas[i + 1])
+    duration = float(grid[-1] - grid[0])
+    if duration == 0.0:
+        raise TrajectoryError("error notion undefined on a zero-length interval")
+    return total / duration
+
+
+def max_synchronized_error(original: Trajectory, approx: Trajectory) -> float:
+    """Maximum synchronized distance over the whole time interval.
+
+    Exact: on each interval of the merged time grid both paths are linear,
+    so the distance is convex in time and attains its maximum at grid
+    points.
+    """
+    _check_same_interval(original, approx)
+    grid = merge_grids(original.t, approx.t)
+    p_pos, a_pos = _synchronized_positions(original, approx, grid)
+    diff = p_pos - a_pos
+    return float(np.hypot(diff[:, 0], diff[:, 1]).max())
+
+
+def mean_synchronized_error_sampled(
+    original: Trajectory, approx: Trajectory, n_samples: int = 2048
+) -> float:
+    """Numeric cross-check of :func:`mean_synchronized_error`.
+
+    Trapezoid rule over ``n_samples`` uniform time samples. Converges to
+    the closed form as ``n_samples`` grows; used by the test suite and the
+    error-evaluation ablation bench, not by production code paths.
+    """
+    _check_same_interval(original, approx)
+    if n_samples < 2:
+        raise ValueError(f"need at least 2 samples, got {n_samples}")
+    times = np.linspace(original.start_time, original.end_time, n_samples)
+    p_pos, a_pos = _synchronized_positions(original, approx, times)
+    diff = p_pos - a_pos
+    dist = np.hypot(diff[:, 0], diff[:, 1])
+    duration = original.end_time - original.start_time
+    if duration == 0.0:
+        raise TrajectoryError("error notion undefined on a zero-length interval")
+    return float(np.trapezoid(dist, times) / duration)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch every library-specific failure with one ``except`` clause
+while still letting programming errors (``TypeError`` from misuse of the
+Python API, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TrajectoryError",
+    "EmptyTrajectoryError",
+    "TimestampOrderError",
+    "CompressionError",
+    "ThresholdError",
+    "StorageError",
+    "ObjectNotFoundError",
+    "CodecError",
+    "StreamError",
+    "DataGenError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TrajectoryError(ReproError, ValueError):
+    """A trajectory is structurally invalid (shape, dtype, content)."""
+
+
+class EmptyTrajectoryError(TrajectoryError):
+    """An operation required a non-empty trajectory but received none."""
+
+
+class TimestampOrderError(TrajectoryError):
+    """Timestamps are not strictly increasing."""
+
+
+class CompressionError(ReproError):
+    """A compression algorithm could not run on the given input."""
+
+
+class ThresholdError(CompressionError, ValueError):
+    """A threshold parameter is out of its valid domain."""
+
+
+class StorageError(ReproError):
+    """The trajectory store could not complete an operation."""
+
+
+class ObjectNotFoundError(StorageError, KeyError):
+    """The requested object id is not present in the store."""
+
+
+class CodecError(StorageError):
+    """Encoded trajectory bytes are malformed or unsupported."""
+
+
+class StreamError(ReproError):
+    """A point stream violated its protocol (e.g. time went backwards)."""
+
+
+class DataGenError(ReproError):
+    """The synthetic workload generator received unsatisfiable parameters."""

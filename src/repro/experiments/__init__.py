@@ -1,0 +1,77 @@
+"""The paper's evaluation, as a library: dataset, harness, figures.
+
+* :func:`paper_dataset` — the fixed-seed ten-trip dataset standing in for
+  the paper's unpublished car traces (calibrated against Table 2);
+* :func:`run_sweep` / :func:`aggregate` — the algorithm x threshold x
+  trajectory experiment harness;
+* :func:`figure_07` ... :func:`figure_11` — one function per paper
+  figure, returning the numeric series behind it;
+* :func:`render_table` — text rendering for benchmark output and
+  EXPERIMENTS.md.
+"""
+
+from repro.experiments.dataset import (
+    DATASET_SEED,
+    DISTANCE_THRESHOLDS_M,
+    PAPER_TABLE2,
+    SPEED_THRESHOLDS_MS,
+    Table2Reference,
+    paper_dataset,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure_07,
+    figure_08,
+    figure_09,
+    figure_10,
+    figure_11,
+)
+from repro.experiments.harness import (
+    AggregateRow,
+    SweepRecord,
+    aggregate,
+    run_single,
+    run_sweep,
+)
+from repro.experiments.significance import (
+    PairedComparison,
+    bootstrap_ci,
+    compare_algorithms,
+    paired_differences,
+)
+from repro.experiments.reporting import (
+    render_aggregate_rows,
+    render_series_chart,
+    render_table,
+    series_by_algorithm,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "PairedComparison",
+    "AggregateRow",
+    "DATASET_SEED",
+    "DISTANCE_THRESHOLDS_M",
+    "FigureResult",
+    "PAPER_TABLE2",
+    "SPEED_THRESHOLDS_MS",
+    "SweepRecord",
+    "Table2Reference",
+    "aggregate",
+    "bootstrap_ci",
+    "compare_algorithms",
+    "figure_07",
+    "figure_08",
+    "figure_09",
+    "figure_10",
+    "figure_11",
+    "paired_differences",
+    "paper_dataset",
+    "render_aggregate_rows",
+    "render_series_chart",
+    "render_table",
+    "run_single",
+    "run_sweep",
+    "series_by_algorithm",
+]

@@ -1,0 +1,138 @@
+"""Text rendering of experiment results.
+
+The paper presents its evaluation as bar/line figures; our benchmarks
+regenerate the numeric series behind each figure and print them as
+aligned text tables, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import AggregateRow
+
+__all__ = [
+    "render_table",
+    "render_aggregate_rows",
+    "series_by_algorithm",
+    "render_series_chart",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned, pipe-separated text table.
+
+    Numbers are formatted with sensible precision; everything else via
+    ``str``.
+    """
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    body = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_by_algorithm(
+    rows: Iterable[AggregateRow],
+) -> dict[str, list[AggregateRow]]:
+    """Group aggregate rows into per-algorithm series sorted by threshold."""
+    series: dict[str, list[AggregateRow]] = {}
+    for row in rows:
+        series.setdefault(row.algorithm, []).append(row)
+    for bucket in series.values():
+        bucket.sort(key=lambda r: r.threshold_m)
+    return series
+
+
+def render_aggregate_rows(
+    rows: Iterable[AggregateRow], title: str | None = None
+) -> str:
+    """Standard table for harness output: one row per (algo, threshold)."""
+    return render_table(
+        ["algorithm", "threshold_m", "compression_%", "mean_sync_err_m", "max_sync_err_m"],
+        [
+            (r.algorithm, r.threshold_m, r.compression_percent, r.mean_sync_error_m, r.max_sync_error_m)
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def render_series_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 14,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot several (x, y) series as an ASCII chart.
+
+    A terminal-friendly stand-in for the paper's line figures: each
+    series gets a letter marker; axes are annotated with their ranges.
+    Useful for eyeballing the figure benches' output without leaving the
+    terminal.
+
+    Args:
+        series: label -> list of (x, y) points (each non-empty).
+        width/height: plot area size in characters.
+        title: optional heading.
+        x_label / y_label: axis captions.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to be legible")
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for index, (label, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {label}")
+        for x, y in points:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = "*" if cell not in (" ", marker) else marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_min:.4g} .. {y_max:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_min:.4g} .. {x_max:.4g}]    " + "; ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Statistical backing for the evaluation's comparisons.
+
+The paper reports averages over ten trajectories; with a sample that
+small, a responsible reproduction should say how sure it is that one
+algorithm beats another. This module provides the paired machinery:
+
+* :func:`paired_differences` — per-trajectory differences of a metric
+  between two algorithms at matched thresholds;
+* :func:`bootstrap_ci` — a percentile bootstrap confidence interval for
+  the mean of those differences (deterministic under a seed);
+* :func:`compare_algorithms` — the full paired comparison the
+  significance bench runs: mean difference, CI, and win fraction.
+
+All of it is dependency-free (numpy only) and deliberately simple — the
+point is honest uncertainty, not a statistics framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.experiments.harness import SweepRecord
+
+__all__ = ["PairedComparison", "paired_differences", "bootstrap_ci", "compare_algorithms"]
+
+
+def paired_differences(
+    records_a: Iterable[SweepRecord],
+    records_b: Iterable[SweepRecord],
+    metric: str = "mean_sync_error_m",
+) -> np.ndarray:
+    """Per-(trajectory, threshold) differences ``metric(a) - metric(b)``.
+
+    Records are matched on (trajectory id, threshold); unmatched records
+    are an error — the comparison must be on identical workloads.
+
+    Args:
+        records_a: sweep records of the first algorithm.
+        records_b: sweep records of the second algorithm.
+        metric: any numeric :class:`SweepRecord` field.
+    """
+    def key(record: SweepRecord) -> tuple[str, float]:
+        return (record.trajectory_id, record.threshold_m)
+
+    b_by_key = {key(r): r for r in records_b}
+    diffs = []
+    seen = set()
+    for record in records_a:
+        k = key(record)
+        other = b_by_key.get(k)
+        if other is None:
+            raise ValueError(f"no matching record for {k} in the second sweep")
+        diffs.append(getattr(record, metric) - getattr(other, metric))
+        seen.add(k)
+    if seen != set(b_by_key):
+        missing = sorted(set(b_by_key) - seen)[:3]
+        raise ValueError(f"second sweep has unmatched records, e.g. {missing}")
+    if not diffs:
+        raise ValueError("no records to compare")
+    return np.asarray(diffs, dtype=float)
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 10_000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``values``.
+
+    Deterministic under ``seed``; suitable for asserting in benchmarks.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(n_resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PairedComparison:
+    """Outcome of a paired algorithm comparison on one metric."""
+
+    algorithm_a: str
+    algorithm_b: str
+    metric: str
+    n_pairs: int
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    win_fraction_a: float
+
+    @property
+    def conclusive(self) -> bool:
+        """True when the confidence interval excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable statement of the comparison."""
+        direction = "lower" if self.mean_difference < 0 else "higher"
+        return (
+            f"{self.algorithm_a} vs {self.algorithm_b} on {self.metric}: "
+            f"mean diff {self.mean_difference:+.2f} "
+            f"(95% CI [{self.ci_low:+.2f}, {self.ci_high:+.2f}], "
+            f"{self.n_pairs} pairs) — {self.algorithm_a} {direction} in "
+            f"{self.win_fraction_a:.0%} of pairs"
+        )
+
+
+def compare_algorithms(
+    records_a: Iterable[SweepRecord],
+    records_b: Iterable[SweepRecord],
+    metric: str = "mean_sync_error_m",
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> PairedComparison:
+    """Full paired comparison of two sweeps on one metric.
+
+    ``win_fraction_a`` counts pairs where algorithm A's value is strictly
+    lower (for error metrics, lower is better).
+    """
+    records_a = list(records_a)
+    records_b = list(records_b)
+    diffs = paired_differences(records_a, records_b, metric)
+    low, high = bootstrap_ci(diffs, confidence=confidence, seed=seed)
+    return PairedComparison(
+        algorithm_a=records_a[0].algorithm,
+        algorithm_b=records_b[0].algorithm,
+        metric=metric,
+        n_pairs=int(diffs.size),
+        mean_difference=float(diffs.mean()),
+        ci_low=low,
+        ci_high=high,
+        win_fraction_a=float(np.mean(diffs < 0.0)),
+    )

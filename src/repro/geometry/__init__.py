@@ -1,0 +1,42 @@
+"""Planar geometry substrate: distances, interpolation, boxes, projection.
+
+These are the primitives every compression algorithm and error notion is
+built from. All functions accept plain numpy arrays (positions as
+``(n, 2)`` float arrays) so the higher layers can stay allocation-light.
+"""
+
+from repro.geometry.bbox import BBox
+from repro.geometry.distance import (
+    EARTH_RADIUS_M,
+    euclidean,
+    euclidean_many,
+    haversine,
+    perpendicular_distance,
+    perpendicular_distances,
+    point_segment_distance,
+    point_segment_distances,
+)
+from repro.geometry.interpolation import (
+    segment_speeds,
+    synchronized_distances,
+    time_ratio_position,
+    time_ratio_positions,
+)
+from repro.geometry.projection import LocalProjection
+
+__all__ = [
+    "BBox",
+    "EARTH_RADIUS_M",
+    "LocalProjection",
+    "euclidean",
+    "euclidean_many",
+    "haversine",
+    "perpendicular_distance",
+    "perpendicular_distances",
+    "point_segment_distance",
+    "point_segment_distances",
+    "segment_speeds",
+    "synchronized_distances",
+    "time_ratio_position",
+    "time_ratio_positions",
+]

@@ -1,0 +1,107 @@
+"""Axis-aligned bounding boxes for spatial indexing and queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["BBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate boxes (zero width and/or height) are valid: a single GPS
+    fix has a point-sized bounding box.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"invalid bbox: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def of_points(cls, xy: np.ndarray) -> "BBox":
+        """Tight bounding box of an ``(n, 2)`` point array (``n >= 1``)."""
+        xy = np.asarray(xy, dtype=float)
+        if xy.ndim != 2 or xy.shape[1] != 2 or xy.shape[0] == 0:
+            raise ValueError(f"expected non-empty (n, 2) array, got shape {xy.shape}")
+        mins = xy.min(axis=0)
+        maxs = xy.max(axis=0)
+        return cls(float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    @classmethod
+    def union_all(cls, boxes: Iterable["BBox"]) -> "BBox":
+        """Smallest box containing every box in ``boxes`` (non-empty)."""
+        it: Iterator[BBox] = iter(boxes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("union_all of no boxes") from None
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for box in it:
+            min_x = min(min_x, box.min_x)
+            min_y = min(min_y, box.min_y)
+            max_x = max(max_x, box.max_x)
+            max_y = max(max_y, box.max_y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies inside or on the boundary."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "BBox") -> bool:
+        """Whether the two closed boxes share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expanded(self, margin: float) -> "BBox":
+        """A copy grown by ``margin`` on every side (``margin >= 0``)."""
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        return BBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box containing both boxes."""
+        return BBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )

@@ -1,0 +1,53 @@
+"""Segment-rectangle intersection (Liang–Barsky clipping).
+
+Used by the spatial index to verify candidate matches exactly: a
+trajectory passes through a query rectangle iff at least one of its
+segments intersects it, even when no sample point falls inside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bbox import BBox
+
+__all__ = ["segment_intersects_bbox", "clip_segment_to_bbox"]
+
+
+def clip_segment_to_bbox(
+    p0: np.ndarray, p1: np.ndarray, box: BBox
+) -> tuple[float, float] | None:
+    """Parameter interval of segment ``p0``–``p1`` inside ``box``.
+
+    Liang–Barsky: returns ``(u_enter, u_exit)`` with
+    ``0 <= u_enter <= u_exit <= 1`` when the segment intersects the closed
+    rectangle, else ``None``.
+    """
+    p0 = np.asarray(p0, dtype=float)
+    p1 = np.asarray(p1, dtype=float)
+    u0, u1 = 0.0, 1.0
+    # Plain Python floats: near-zero deltas divide to +-inf silently
+    # (numpy scalars would emit overflow warnings), and inf parameters
+    # clamp correctly below.
+    for delta, low, high, origin in (
+        (float(p1[0] - p0[0]), box.min_x, box.max_x, float(p0[0])),
+        (float(p1[1] - p0[1]), box.min_y, box.max_y, float(p0[1])),
+    ):
+        if delta == 0.0:
+            if origin < low or origin > high:
+                return None
+            continue
+        t_low = (low - origin) / delta
+        t_high = (high - origin) / delta
+        if t_low > t_high:
+            t_low, t_high = t_high, t_low
+        u0 = max(u0, t_low)
+        u1 = min(u1, t_high)
+        if u0 > u1:
+            return None
+    return u0, u1
+
+
+def segment_intersects_bbox(p0: np.ndarray, p1: np.ndarray, box: BBox) -> bool:
+    """Whether the closed segment ``p0``–``p1`` meets the closed box."""
+    return clip_segment_to_bbox(p0, p1, box) is not None

@@ -1,0 +1,132 @@
+"""Temporal interpolation along piecewise-linear trajectories.
+
+The paper's central idea (Sect. 3.2) is that a discarded point ``P_i``
+should be compared against its *time-synchronized* position ``P'_i`` on the
+approximating segment ``P_s``–``P_e``::
+
+    Δe = t_e - t_s
+    Δi = t_i - t_s
+    x'_i = x_s + Δi/Δe (x_e - x_s)        (paper Eq. 1)
+    y'_i = y_s + Δi/Δe (y_e - y_s)        (paper Eq. 2)
+
+This module implements Eqs. 1–2 (scalar and vectorized) plus the derived
+synchronized distances that TD-TR / OPW-TR / OPW-SP use as their discard
+criterion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.distance import euclidean_many
+
+__all__ = [
+    "time_ratio_position",
+    "time_ratio_positions",
+    "synchronized_distances",
+    "segment_speeds",
+]
+
+
+def time_ratio_position(
+    ts: float,
+    ps: np.ndarray,
+    te: float,
+    pe: np.ndarray,
+    ti: float,
+) -> np.ndarray:
+    """Synchronized position at time ``ti`` on the chord ``ps``–``pe``.
+
+    Implements paper Eqs. 1–2. If the chord carries no time extent
+    (``te == ts``) the start position is returned: the object is
+    considered stationary over a zero-length interval.
+
+    Args:
+        ts: chord start time.
+        ps: chord start position, shape ``(2,)``.
+        te: chord end time.
+        pe: chord end position, shape ``(2,)``.
+        ti: query time; callers normally keep ``ts <= ti <= te`` but the
+            linear form extrapolates naturally outside that range.
+    """
+    ps = np.asarray(ps, dtype=float)
+    pe = np.asarray(pe, dtype=float)
+    delta_e = te - ts
+    if delta_e == 0.0:
+        return ps.copy()
+    ratio = (ti - ts) / delta_e
+    return ps + ratio * (pe - ps)
+
+
+def time_ratio_positions(
+    ts: float,
+    ps: np.ndarray,
+    te: float,
+    pe: np.ndarray,
+    times: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`time_ratio_position` for many query times.
+
+    Returns:
+        Array of shape ``(len(times), 2)`` of synchronized positions.
+    """
+    ps = np.asarray(ps, dtype=float)
+    pe = np.asarray(pe, dtype=float)
+    times = np.asarray(times, dtype=float)
+    delta_e = te - ts
+    if delta_e == 0.0:
+        return np.broadcast_to(ps, (times.shape[0], 2)).copy()
+    ratios = (times - ts) / delta_e
+    return ps + ratios[:, None] * (pe - ps)
+
+
+def synchronized_distances(
+    t: np.ndarray,
+    xy: np.ndarray,
+    start: int,
+    end: int,
+) -> np.ndarray:
+    """Synchronized (time-ratio) distances of interior points to a chord.
+
+    For the candidate chord between data points ``start`` and ``end`` of a
+    time series (``t`` strictly increasing, ``xy`` the matching positions),
+    computes ``dist(P_i, P'_i)`` for every interior index
+    ``start < i < end`` — the quantity the spatiotemporal algorithms test
+    against ``max_dist_error``.
+
+    Args:
+        t: timestamps, shape ``(n,)``.
+        xy: positions, shape ``(n, 2)``.
+        start: chord start index.
+        end: chord end index (``end > start``).
+
+    Returns:
+        Array of shape ``(end - start - 1,)``; empty when the chord spans
+        adjacent points.
+    """
+    if end <= start:
+        raise ValueError(f"chord end {end} must exceed start {start}")
+    interior_t = t[start + 1 : end]
+    interior_xy = xy[start + 1 : end]
+    approx = time_ratio_positions(
+        float(t[start]), xy[start], float(t[end]), xy[end], interior_t
+    )
+    return euclidean_many(interior_xy, approx)
+
+
+def segment_speeds(t: np.ndarray, xy: np.ndarray) -> np.ndarray:
+    """Derived speed of every segment of a time series.
+
+    ``v[i] = dist(xy[i+1], xy[i]) / (t[i+1] - t[i])`` — the derived (not
+    measured) speeds the SPT algorithm compares against the speed
+    threshold (paper Sect. 3.3).
+
+    Returns:
+        Array of shape ``(n - 1,)``.
+    """
+    t = np.asarray(t, dtype=float)
+    xy = np.asarray(xy, dtype=float)
+    dt = np.diff(t)
+    step = np.diff(xy, axis=0)
+    dist = np.hypot(step[:, 0], step[:, 1])
+    return dist / dt

@@ -1,0 +1,58 @@
+"""Local planar projection for lon/lat GPS input.
+
+The compression algorithms and the error notion operate in a local planar
+frame with metre units. Raw GPS data arrives as lon/lat degrees; an
+equirectangular projection centred on the data is accurate to well under
+0.1% for the city-to-region extents the paper works with (trajectories of
+5–45 km), which is far below GPS noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.distance import EARTH_RADIUS_M
+
+__all__ = ["LocalProjection"]
+
+
+@dataclass(frozen=True, slots=True)
+class LocalProjection:
+    """Equirectangular projection around a reference lon/lat (degrees).
+
+    ``x`` grows east, ``y`` grows north; the reference point maps to
+    ``(0, 0)``. The inverse is exact for the forward map (round-trips are
+    lossless up to float precision).
+    """
+
+    ref_lon: float
+    ref_lat: float
+
+    @classmethod
+    def centered_on(cls, lons: np.ndarray, lats: np.ndarray) -> "LocalProjection":
+        """Projection centred on the mean of the given coordinates."""
+        lons = np.asarray(lons, dtype=float)
+        lats = np.asarray(lats, dtype=float)
+        if lons.size == 0:
+            raise ValueError("cannot centre a projection on zero points")
+        return cls(float(lons.mean()), float(lats.mean()))
+
+    def forward(self, lon: np.ndarray, lat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project lon/lat degrees to local ``(x, y)`` metres."""
+        lon = np.asarray(lon, dtype=float)
+        lat = np.asarray(lat, dtype=float)
+        cos_ref = np.cos(np.radians(self.ref_lat))
+        x = np.radians(lon - self.ref_lon) * cos_ref * EARTH_RADIUS_M
+        y = np.radians(lat - self.ref_lat) * EARTH_RADIUS_M
+        return x, y
+
+    def inverse(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Unproject local ``(x, y)`` metres back to lon/lat degrees."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        cos_ref = np.cos(np.radians(self.ref_lat))
+        lon = self.ref_lon + np.degrees(x / (EARTH_RADIUS_M * cos_ref))
+        lat = self.ref_lat + np.degrees(y / EARTH_RADIUS_M)
+        return lon, lat

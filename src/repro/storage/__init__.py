@@ -1,0 +1,38 @@
+"""Compressed moving-object storage: codec, spatial index, store.
+
+The applied payoff of the paper's algorithms: a
+:class:`TrajectoryStore` that point-compresses trajectories at ingest,
+keeps them as delta/varint blobs, and serves reconstruction,
+position-at-time, time-window and rectangle queries with storage
+accounting.
+"""
+
+from repro.storage.codec import (
+    decode_trajectory,
+    decode_varint,
+    encode_trajectory,
+    encode_varint,
+    raw_size_bytes,
+    unzigzag,
+    zigzag,
+)
+from repro.storage.index import GridIndex
+from repro.storage.interval_index import IntervalIndex
+from repro.storage.ingest import StreamIngestor
+from repro.storage.store import StoreStats, StoredRecord, TrajectoryStore
+
+__all__ = [
+    "GridIndex",
+    "IntervalIndex",
+    "StoreStats",
+    "StreamIngestor",
+    "StoredRecord",
+    "TrajectoryStore",
+    "decode_trajectory",
+    "decode_varint",
+    "encode_trajectory",
+    "encode_varint",
+    "raw_size_bytes",
+    "unzigzag",
+    "zigzag",
+]

@@ -1,0 +1,176 @@
+"""Compact binary encoding of trajectories.
+
+The paper motivates compression with storage arithmetic ("100 Mb ... for
+just over 400 objects for a single day"); this codec is the byte-level
+half of that story. Point selection (the algorithms of
+:mod:`repro.core`) reduces the number of records; the codec then stores
+the survivors compactly:
+
+* timestamps and coordinates are quantized to configurable resolutions
+  (defaults: 1 ms, 1 cm — far below GPS error),
+* consecutive records are delta-encoded (GPS deltas are small),
+* deltas are zigzag + varint encoded (small magnitudes → few bytes).
+
+A typical car fix shrinks from 24 raw float bytes to 4–7 bytes. Decoding
+reproduces the trajectory within half a quantum per field.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import CodecError
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "zigzag",
+    "unzigzag",
+    "encode_trajectory",
+    "decode_trajectory",
+    "raw_size_bytes",
+]
+
+_MAGIC = b"RTRJ"
+_VERSION = 1
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one (small |v| stays small)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise CodecError(f"varint requires a non-negative value, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read an unsigned varint at ``offset``; returns ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long")
+
+
+def raw_size_bytes(n_points: int) -> int:
+    """Size of the naive representation: three float64 per record."""
+    return 24 * n_points
+
+
+def encode_trajectory(
+    traj: Trajectory,
+    time_resolution_s: float = 1e-3,
+    coord_resolution_m: float = 0.01,
+) -> bytes:
+    """Serialize a trajectory to compact bytes.
+
+    Args:
+        traj: the trajectory (often an already point-compressed one).
+        time_resolution_s: timestamp quantum; consecutive timestamps must
+            differ by at least this much or encoding refuses (the
+            round trip could otherwise collapse them).
+        coord_resolution_m: coordinate quantum.
+
+    Raises:
+        CodecError: on unencodable input (non-positive resolutions,
+            timestamps closer than the time quantum).
+    """
+    if time_resolution_s <= 0 or coord_resolution_m <= 0:
+        raise CodecError("resolutions must be positive")
+    t_q = np.round(traj.t / time_resolution_s).astype(np.int64)
+    x_q = np.round(traj.xy[:, 0] / coord_resolution_m).astype(np.int64)
+    y_q = np.round(traj.xy[:, 1] / coord_resolution_m).astype(np.int64)
+    if len(traj) > 1 and np.any(np.diff(t_q) <= 0):
+        raise CodecError(
+            f"timestamps closer than the {time_resolution_s} s quantum; "
+            "choose a finer time resolution"
+        )
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    object_id = (traj.object_id or "").encode("utf-8")
+    encode_varint(len(object_id), out)
+    out += object_id
+    out += struct.pack("<dd", time_resolution_s, coord_resolution_m)
+    encode_varint(len(traj), out)
+    prev_t = prev_x = prev_y = 0
+    for i in range(len(traj)):
+        encode_varint(zigzag(int(t_q[i]) - prev_t), out)
+        encode_varint(zigzag(int(x_q[i]) - prev_x), out)
+        encode_varint(zigzag(int(y_q[i]) - prev_y), out)
+        prev_t, prev_x, prev_y = int(t_q[i]), int(x_q[i]), int(y_q[i])
+    return bytes(out)
+
+
+def decode_trajectory(data: bytes) -> Trajectory:
+    """Inverse of :func:`encode_trajectory`.
+
+    Raises:
+        CodecError: on malformed or truncated input.
+    """
+    if len(data) < 5 or data[:4] != _MAGIC:
+        raise CodecError("not a repro trajectory blob (bad magic)")
+    version = data[4]
+    if version != _VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    offset = 5
+    id_len, offset = decode_varint(data, offset)
+    if offset + id_len > len(data):
+        raise CodecError("truncated object id")
+    object_id = data[offset : offset + id_len].decode("utf-8") or None
+    offset += id_len
+    if offset + 16 > len(data):
+        raise CodecError("truncated resolution header")
+    time_res, coord_res = struct.unpack_from("<dd", data, offset)
+    offset += 16
+    n, offset = decode_varint(data, offset)
+    if n < 1:
+        raise CodecError(f"blob declares {n} points")
+    t = np.empty(n, dtype=np.int64)
+    x = np.empty(n, dtype=np.int64)
+    y = np.empty(n, dtype=np.int64)
+    prev_t = prev_x = prev_y = 0
+    for i in range(n):
+        dt, offset = decode_varint(data, offset)
+        dx, offset = decode_varint(data, offset)
+        dy, offset = decode_varint(data, offset)
+        prev_t += unzigzag(dt)
+        prev_x += unzigzag(dx)
+        prev_y += unzigzag(dy)
+        t[i] = prev_t
+        x[i] = prev_x
+        y[i] = prev_y
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after records")
+    return Trajectory(
+        t.astype(float) * time_res,
+        np.column_stack([x, y]).astype(float) * coord_res,
+        object_id,
+    )

@@ -1,0 +1,131 @@
+"""Streaming ingestion: live fixes -> online compression -> the store.
+
+Glues the two online halves of the system together: a
+:class:`StreamIngestor` accepts interleaved fixes from many objects,
+pushes each through a per-object online compressor
+(:class:`~repro.streaming.online.StreamingOPW` by default), buffers the
+retained fixes, and flushes finished objects into a
+:class:`~repro.storage.store.TrajectoryStore` — the full
+tracker-to-database pipeline, with only the open windows and retained
+points ever held in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import StorageError
+from repro.storage.store import StoredRecord, TrajectoryStore
+from repro.streaming.online import StreamingOPW
+from repro.trajectory.builder import TrajectoryBuilder
+from repro.types import Fix
+
+__all__ = ["StreamIngestor"]
+
+
+def _default_compressor_factory() -> StreamingOPW:
+    return StreamingOPW(epsilon=50.0, criterion="synchronized")
+
+
+class StreamIngestor:
+    """Per-object online compression in front of a trajectory store.
+
+    Args:
+        store: destination store. Its own batch ``compressor`` is
+            bypassed — points arriving here are already compressed.
+        compressor_factory: builds a fresh online compressor per object;
+            defaults to OPW-TR at 50 m.
+
+    Usage::
+
+        ingestor = StreamIngestor(store)
+        for object_id, fix in live_feed:
+            ingestor.push(object_id, fix)
+        ingestor.finish_all()
+    """
+
+    def __init__(
+        self,
+        store: TrajectoryStore,
+        compressor_factory: Callable[[], StreamingOPW] | None = None,
+    ) -> None:
+        self.store = store
+        self._factory = compressor_factory or _default_compressor_factory
+        self._compressors: dict[str, StreamingOPW] = {}
+        self._builders: dict[str, TrajectoryBuilder] = {}
+        self._raw_counts: dict[str, int] = {}
+
+    @property
+    def active_objects(self) -> list[str]:
+        """Ids currently being ingested (not yet flushed), sorted."""
+        return sorted(self._builders)
+
+    def raw_count(self, object_id: str) -> int:
+        """Fixes received so far for one object (including discarded)."""
+        return self._raw_counts.get(object_id, 0)
+
+    def window_size(self, object_id: str) -> int:
+        """Open-window occupancy of one object's online compressor.
+
+        This is the device-side memory the compression itself needs; the
+        retained points counted by :meth:`buffered_points` accumulate on
+        the receiving side.
+        """
+        window = self._compressors.get(object_id)
+        return window.window_size if window else 0
+
+    def buffered_points(self, object_id: str) -> int:
+        """Retained points waiting to be flushed for one object."""
+        builder = self._builders.get(object_id)
+        window = self._compressors.get(object_id)
+        buffered = len(builder) if builder else 0
+        return buffered + (window.window_size if window else 0)
+
+    def push(self, object_id: str, fix: Fix) -> int:
+        """Feed one fix; returns how many points were retained by it."""
+        if not object_id:
+            raise StorageError("fixes need a non-empty object id")
+        compressor = self._compressors.get(object_id)
+        if compressor is None:
+            compressor = self._factory()
+            self._compressors[object_id] = compressor
+            self._builders[object_id] = TrajectoryBuilder(object_id)
+            self._raw_counts[object_id] = 0
+        self._raw_counts[object_id] += 1
+        kept = compressor.push(fix)
+        builder = self._builders[object_id]
+        for point in kept:
+            builder.append_fix(point)
+        return len(kept)
+
+    def finish(self, object_id: str, replace: bool = False) -> StoredRecord:
+        """Close one object's stream and flush it to the store.
+
+        Raises:
+            StorageError: unknown object id, or no retained points.
+        """
+        compressor = self._compressors.pop(object_id, None)
+        builder = self._builders.pop(object_id, None)
+        raw_count = self._raw_counts.pop(object_id, 0)
+        if compressor is None or builder is None:
+            raise StorageError(f"no active stream for object {object_id!r}")
+        for point in compressor.finish():
+            builder.append_fix(point)
+        trajectory = builder.build()
+        # Points were already chosen online; insert uncompressed but have
+        # the store account the raw stream size so its stats stay honest.
+        return self.store.insert(
+            trajectory,
+            object_id=object_id,
+            compressor=None,
+            replace=replace,
+            raw_point_count=raw_count,
+            sync_error_bound_m=compressor.sync_error_bound(),
+        )
+
+    def finish_all(self, replace: bool = False) -> list[StoredRecord]:
+        """Flush every active object, in id order."""
+        return [
+            self.finish(object_id, replace=replace)
+            for object_id in self.active_objects
+        ]

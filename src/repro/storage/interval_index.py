@@ -1,0 +1,98 @@
+"""Interval index over stored trajectories' time extents.
+
+``query_time_window`` is the store's hottest lookup (every
+``nearest``-at-time call starts with one); a linear scan over the catalog
+is O(#objects) per query. This index answers it in
+O(log n + answer size) using two sorted endpoint arrays:
+
+* objects whose interval overlaps ``[t0, t1]`` are exactly those with
+  ``start <= t1`` **minus** those with ``end < t0``;
+* both sides are prefix ranges of the arrays sorted by start and end
+  respectively, found by bisection.
+
+Mutations mark the index dirty; the sorted arrays are rebuilt lazily on
+the next query (ingest-heavy workloads then pay sorting once per query
+burst, not per insert).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["IntervalIndex"]
+
+
+class IntervalIndex:
+    """Lazy-rebuilt endpoint index of ``object_id -> [start, end]``."""
+
+    def __init__(self) -> None:
+        self._intervals: dict[str, tuple[float, float]] = {}
+        self._dirty = True
+        self._starts: list[float] = []
+        self._ids_by_start: list[str] = []
+        self._ends: list[float] = []
+        self._ids_by_end: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._intervals
+
+    def insert(self, object_id: str, start: float, end: float) -> None:
+        """Register (or re-register) one object's time interval."""
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        self._intervals[object_id] = (float(start), float(end))
+        self._dirty = True
+
+    def remove(self, object_id: str) -> None:
+        """Unregister an id; unknown ids are ignored."""
+        if self._intervals.pop(object_id, None) is not None:
+            self._dirty = True
+
+    def _rebuild(self) -> None:
+        by_start = sorted(
+            self._intervals.items(), key=lambda kv: (kv[1][0], kv[0])
+        )
+        by_end = sorted(self._intervals.items(), key=lambda kv: (kv[1][1], kv[0]))
+        self._starts = [interval[0] for _, interval in by_start]
+        self._ids_by_start = [object_id for object_id, _ in by_start]
+        self._ends = [interval[1] for _, interval in by_end]
+        self._ids_by_end = [object_id for object_id, _ in by_end]
+        self._dirty = False
+
+    def overlapping(self, t0: float, t1: float) -> list[str]:
+        """Ids whose closed interval intersects ``[t0, t1]``, sorted.
+
+        Raises:
+            ValueError: for a reversed window.
+        """
+        if t1 < t0:
+            raise ValueError(f"empty time window [{t0}, {t1}]")
+        if self._dirty:
+            self._rebuild()
+        # Candidates: start <= t1 (a prefix of the by-start order).
+        n_started = bisect.bisect_right(self._starts, t1)
+        # Excluded: end < t0 (a prefix of the by-end order).
+        n_ended = bisect.bisect_left(self._ends, t0)
+        # Enumerate the smaller side and filter with the cheap predicate.
+        if n_started <= len(self._intervals) - n_ended:
+            out = [
+                object_id
+                for object_id in self._ids_by_start[:n_started]
+                if self._intervals[object_id][1] >= t0
+            ]
+        else:
+            ended_early = set(self._ids_by_end[:n_ended])
+            out = [
+                object_id
+                for object_id in self._intervals
+                if object_id not in ended_early
+                and self._intervals[object_id][0] <= t1
+            ]
+        return sorted(out)
+
+    def covering(self, when: float) -> list[str]:
+        """Ids whose interval contains the instant ``when``, sorted."""
+        return self.overlapping(when, when)

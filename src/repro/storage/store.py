@@ -1,0 +1,534 @@
+"""A compressing trajectory store.
+
+The database piece the paper's introduction asks for: ingest moving-object
+trajectories, compress them on the way in (any
+:class:`~repro.core.base.Compressor`), keep them as compact encoded blobs
+(:mod:`repro.storage.codec`), and answer the queries a moving-object
+application needs:
+
+* reconstruction (:meth:`TrajectoryStore.get`) and position-at-time
+  (:meth:`TrajectoryStore.position_at`) via the piecewise-linear model,
+* time-window and spatial-rectangle queries
+  (:meth:`TrajectoryStore.query_time_window`,
+  :meth:`TrajectoryStore.query_bbox`), the latter backed by a grid index
+  with exact verification,
+* storage accounting (:meth:`TrajectoryStore.stats`) that quantifies the
+  paper's motivating arithmetic,
+* single-file persistence (:meth:`TrajectoryStore.save` /
+  :meth:`TrajectoryStore.load`).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import Compressor
+from repro.exceptions import ObjectNotFoundError, StorageError
+from repro.geometry.bbox import BBox
+from repro.geometry.clip import segment_intersects_bbox
+from repro.storage.codec import decode_trajectory, encode_trajectory, raw_size_bytes
+from repro.storage.index import GridIndex
+from repro.storage.interval_index import IntervalIndex
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = ["StoredRecord", "StoreStats", "TrajectoryStore"]
+
+_FILE_MAGIC = b"RSTO"
+_FILE_VERSION = 2
+
+
+@dataclass(frozen=True, slots=True)
+class StoredRecord:
+    """Catalog entry for one stored trajectory.
+
+    ``sync_error_bound_m`` is the known margin of error of the stored
+    geometry against the raw movement (the paper's third objective:
+    "known, small margins of error"): the ingest compressor's guaranteed
+    synchronized bound plus the codec's quantization slack, or ``None``
+    when the compressor gave no guarantee.
+    """
+
+    object_id: str
+    blob: bytes
+    n_raw_points: int
+    n_stored_points: int
+    start_time: float
+    end_time: float
+    bbox: BBox
+    sync_error_bound_m: float | None = None
+
+    @property
+    def stored_bytes(self) -> int:
+        return len(self.blob)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Bytes the *uncompressed* trajectory would need naively."""
+        return raw_size_bytes(self.n_raw_points)
+
+
+@dataclass(frozen=True, slots=True)
+class StoreStats:
+    """Aggregate storage accounting over the whole store."""
+
+    n_objects: int
+    n_raw_points: int
+    n_stored_points: int
+    raw_bytes: int
+    stored_bytes: int
+
+    @property
+    def point_compression_percent(self) -> float:
+        """Percent of points removed by the compressors at ingest."""
+        if self.n_raw_points == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.n_stored_points / self.n_raw_points)
+
+    @property
+    def byte_compression_ratio(self) -> float:
+        """Raw bytes over stored bytes (points + codec combined)."""
+        if self.stored_bytes == 0:
+            return float("inf") if self.raw_bytes else 1.0
+        return self.raw_bytes / self.stored_bytes
+
+
+class TrajectoryStore:
+    """In-memory (optionally file-persisted) compressed trajectory store.
+
+    Args:
+        compressor: applied to every ingested trajectory unless an
+            ``insert`` call overrides it; ``None`` stores raw points.
+        cell_size_m: grid-index cell size.
+        time_resolution_s / coord_resolution_m: codec quanta.
+        cache_size: number of decoded trajectories kept in the LRU cache.
+    """
+
+    def __init__(
+        self,
+        compressor: Compressor | None = None,
+        cell_size_m: float = 500.0,
+        time_resolution_s: float = 1e-3,
+        coord_resolution_m: float = 0.01,
+        cache_size: int = 32,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        self.compressor = compressor
+        self.time_resolution_s = float(time_resolution_s)
+        self.coord_resolution_m = float(coord_resolution_m)
+        self._records: dict[str, StoredRecord] = {}
+        self._index = GridIndex(cell_size_m)
+        self._time_index = IntervalIndex()
+        self._cache: OrderedDict[str, Trajectory] = OrderedDict()
+        self._cache_size = cache_size
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def insert(
+        self,
+        traj: Trajectory,
+        object_id: str | None = None,
+        compressor: Compressor | None = None,
+        replace: bool = False,
+        raw_point_count: int | None = None,
+        sync_error_bound_m: float | None | str = "auto",
+    ) -> StoredRecord:
+        """Compress, encode and index one trajectory.
+
+        Args:
+            traj: the raw trajectory.
+            object_id: storage key; defaults to ``traj.object_id``.
+            compressor: overrides the store default for this insert.
+            replace: allow overwriting an existing id.
+            raw_point_count: how many raw fixes this trajectory stands
+                for, when the caller compressed upstream (the streaming
+                ingestor does); defaults to ``len(traj)``.
+            sync_error_bound_m: the upstream compression's guaranteed
+                synchronized bound, when the caller compressed before
+                inserting. ``"auto"`` (default) derives it from the
+                applied compressor (0 when storing raw); ``None`` records
+                "no known margin". Codec quantization slack is added to
+                any numeric value.
+
+        Raises:
+            StorageError: missing id, or duplicate id without ``replace``.
+        """
+        key = object_id or traj.object_id
+        if not key:
+            raise StorageError("trajectory has no object id and none was given")
+        if key in self._records and not replace:
+            raise StorageError(f"object id {key!r} already stored (use replace=True)")
+        chosen = compressor if compressor is not None else self.compressor
+        stored = chosen.compress(traj).compressed if chosen is not None else traj
+        stored = stored.with_object_id(key)
+        if sync_error_bound_m == "auto":
+            upstream_bound = chosen.sync_error_bound() if chosen is not None else 0.0
+        else:
+            upstream_bound = sync_error_bound_m  # type: ignore[assignment]
+        bound = self._total_error_bound(upstream_bound)
+        blob = encode_trajectory(
+            stored, self.time_resolution_s, self.coord_resolution_m
+        )
+        if raw_point_count is not None and raw_point_count < len(stored):
+            raise StorageError(
+                f"raw_point_count {raw_point_count} below stored size {len(stored)}"
+            )
+        record = StoredRecord(
+            object_id=key,
+            blob=blob,
+            n_raw_points=raw_point_count if raw_point_count is not None else len(traj),
+            n_stored_points=len(stored),
+            start_time=stored.start_time,
+            end_time=stored.end_time,
+            bbox=stored.bbox(),
+            sync_error_bound_m=bound,
+        )
+        self._records[key] = record
+        self._index.insert(key, stored.xy)
+        self._time_index.insert(key, record.start_time, record.end_time)
+        self._cache.pop(key, None)
+        return record
+
+    def _total_error_bound(self, compressor_bound: float | None) -> float | None:
+        """Compression guarantee plus codec quantization slack."""
+        if compressor_bound is None:
+            return None
+        codec_slack = 0.5 * self.coord_resolution_m * float(np.sqrt(2.0))
+        return compressor_bound + codec_slack
+
+    def append(
+        self,
+        object_id: str,
+        continuation: Trajectory,
+        compressor: Compressor | None = None,
+    ) -> StoredRecord:
+        """Extend a stored trajectory with a later continuation.
+
+        Real objects report across sessions (a vehicle's morning and
+        evening trips, a tag's daily uplinks); ``append`` decodes the
+        stored prefix, compresses only the *new* points, concatenates and
+        re-encodes. The stored prefix's already-selected points are left
+        untouched.
+
+        The recorded raw count grows by ``len(continuation)``; the error
+        margin is widened to the larger of the old margin and the new
+        compressor's (an unknown margin on either side stays unknown).
+
+        Raises:
+            ObjectNotFoundError: unknown id.
+            StorageError: continuation overlaps the stored interval.
+        """
+        record = self.record(object_id)
+        if continuation.start_time <= record.end_time:
+            raise StorageError(
+                f"continuation starts at {continuation.start_time} but "
+                f"{object_id!r} is stored through {record.end_time}"
+            )
+        chosen = compressor if compressor is not None else self.compressor
+        new_part = (
+            chosen.compress(continuation).compressed
+            if chosen is not None
+            else continuation
+        )
+        prefix = self.get(object_id)
+        combined = Trajectory(
+            np.concatenate([prefix.t, new_part.t]),
+            np.concatenate([prefix.xy, new_part.xy]),
+            object_id,
+            _validated=True,
+        )
+        old_bound = record.sync_error_bound_m
+        new_bound = self._total_error_bound(
+            chosen.sync_error_bound() if chosen is not None else 0.0
+        )
+        if old_bound is None or new_bound is None:
+            merged_bound: float | None = None
+        else:
+            merged_bound = max(old_bound, new_bound)
+        blob = encode_trajectory(
+            combined, self.time_resolution_s, self.coord_resolution_m
+        )
+        updated = StoredRecord(
+            object_id=object_id,
+            blob=blob,
+            n_raw_points=record.n_raw_points + len(continuation),
+            n_stored_points=len(combined),
+            start_time=combined.start_time,
+            end_time=combined.end_time,
+            bbox=combined.bbox(),
+            sync_error_bound_m=merged_bound,
+        )
+        self._records[object_id] = updated
+        self._index.insert(object_id, combined.xy)
+        self._time_index.insert(object_id, updated.start_time, updated.end_time)
+        self._cache.pop(object_id, None)
+        return updated
+
+    def remove(self, object_id: str) -> None:
+        """Delete a stored trajectory.
+
+        Raises:
+            ObjectNotFoundError: for unknown ids.
+        """
+        if object_id not in self._records:
+            raise ObjectNotFoundError(object_id)
+        del self._records[object_id]
+        self._index.remove(object_id)
+        self._time_index.remove(object_id)
+        self._cache.pop(object_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Retrieval
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._records
+
+    def object_ids(self) -> list[str]:
+        """All stored ids, sorted."""
+        return sorted(self._records)
+
+    def record(self, object_id: str) -> StoredRecord:
+        """Catalog entry (no decoding).
+
+        Raises:
+            ObjectNotFoundError: for unknown ids.
+        """
+        try:
+            return self._records[object_id]
+        except KeyError:
+            raise ObjectNotFoundError(object_id) from None
+
+    def get(self, object_id: str) -> Trajectory:
+        """Decode the stored (compressed) trajectory."""
+        cached = self._cache.get(object_id)
+        if cached is not None:
+            self._cache.move_to_end(object_id)
+            return cached
+        traj = decode_trajectory(self.record(object_id).blob)
+        if self._cache_size:
+            self._cache[object_id] = traj
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return traj
+
+    def position_at(self, object_id: str, when: float) -> np.ndarray:
+        """Interpolated position of an object at time ``when``.
+
+        Raises:
+            ObjectNotFoundError: unknown id.
+            ValueError: time outside the stored interval.
+        """
+        return self.get(object_id).position_at(when)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query_time_window(self, t0: float, t1: float) -> list[str]:
+        """Ids whose stored time interval overlaps ``[t0, t1]``.
+
+        Served by the endpoint interval index in O(log n + answers).
+        """
+        return self._time_index.overlapping(t0, t1)
+
+    def query_bbox(
+        self,
+        box: BBox,
+        t0: float | None = None,
+        t1: float | None = None,
+        mode: str = "stored",
+    ) -> list[str]:
+        """Ids whose trajectory passes through ``box``.
+
+        Compression makes stored geometry approximate; the recorded error
+        margin (see :class:`StoredRecord`) turns that into three honest
+        answer semantics:
+
+        * ``"stored"`` — exact on the stored geometry (default);
+        * ``"possibly"`` — every object whose *true* movement may have
+          entered the box: the box is expanded by each object's recorded
+          margin (objects without a margin fall back to the stored test,
+          since their deviation is unknown rather than unbounded);
+        * ``"definitely"`` — only objects whose true movement must have
+          entered the box: the box is shrunk by the margin (objects
+          without a margin can never be definite).
+
+        Args:
+            box: query rectangle.
+            t0, t1: optional time window; both or neither.
+            mode: ``"stored"``, ``"possibly"`` or ``"definitely"``.
+        """
+        if (t0 is None) != (t1 is None):
+            raise ValueError("provide both t0 and t1, or neither")
+        if mode not in ("stored", "possibly", "definitely"):
+            raise ValueError(f"unknown query mode {mode!r}")
+        # The candidate sweep must see the widest relevant box.
+        max_bound = max(
+            (rec.sync_error_bound_m or 0.0 for rec in self._records.values()),
+            default=0.0,
+        )
+        sweep_box = box.expanded(max_bound) if mode == "possibly" else box
+        out = []
+        for key in self._index.candidates(sweep_box):
+            rec = self._records.get(key)
+            if rec is None:  # pragma: no cover - index and catalog in sync
+                continue
+            if t0 is not None and (rec.start_time > t1 or rec.end_time < t0):
+                continue
+            effective = self._effective_box(box, rec, mode)
+            if effective is None or not rec.bbox.intersects(effective):
+                continue
+            traj = self.get(key)
+            if t0 is not None:
+                lo = max(t0, traj.start_time)
+                hi = min(t1, traj.end_time)
+                try:
+                    traj = traj.slice_time(lo, hi)
+                except Exception:
+                    continue
+            if self._passes_through(traj, effective):
+                out.append(key)
+        return sorted(out)
+
+    @staticmethod
+    def _effective_box(box: BBox, rec: StoredRecord, mode: str) -> BBox | None:
+        """The box to test stored geometry against, per answer semantics."""
+        if mode == "stored":
+            return box
+        bound = rec.sync_error_bound_m
+        if mode == "possibly":
+            # Unknown margin: fall back to the stored-geometry test.
+            return box.expanded(bound if bound is not None else 0.0)
+        # mode == "definitely"
+        if bound is None:
+            return None
+        if box.width <= 2 * bound or box.height <= 2 * bound:
+            return None  # the box cannot certify anything this coarse
+        return BBox(
+            box.min_x + bound, box.min_y + bound,
+            box.max_x - bound, box.max_y - bound,
+        )
+
+    def nearest(
+        self, x: float, y: float, when: float, k: int = 1
+    ) -> list[tuple[str, float]]:
+        """The ``k`` objects nearest to ``(x, y)`` at time ``when``.
+
+        Positions are interpolated on the stored (compressed)
+        trajectories; objects whose stored interval does not cover
+        ``when`` are not candidates.
+
+        Returns:
+            Up to ``k`` pairs ``(object_id, distance_m)``, nearest first;
+            ties broken by object id.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        target = np.array([float(x), float(y)])
+        ranked: list[tuple[float, str]] = []
+        for key in self.query_time_window(when, when):
+            position = self.get(key).position_at(when)
+            ranked.append((float(np.hypot(*(position - target))), key))
+        ranked.sort()
+        return [(key, distance) for distance, key in ranked[:k]]
+
+    @staticmethod
+    def _passes_through(traj: Trajectory, box: BBox) -> bool:
+        if len(traj) == 1:
+            return box.contains_point(float(traj.x[0]), float(traj.y[0]))
+        for i in range(len(traj) - 1):
+            if segment_intersects_bbox(traj.xy[i], traj.xy[i + 1], box):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Accounting & persistence
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> StoreStats:
+        """Aggregate storage accounting."""
+        records = self._records.values()
+        return StoreStats(
+            n_objects=len(self._records),
+            n_raw_points=sum(rec.n_raw_points for rec in records),
+            n_stored_points=sum(rec.n_stored_points for rec in records),
+            raw_bytes=sum(rec.raw_bytes for rec in records),
+            stored_bytes=sum(rec.stored_bytes for rec in records),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Persist the store to one file (records only; config implied)."""
+        path = Path(path)
+        with path.open("wb") as handle:
+            handle.write(_FILE_MAGIC)
+            handle.write(struct.pack("<BI", _FILE_VERSION, len(self._records)))
+            for key in sorted(self._records):
+                rec = self._records[key]
+                bound = (
+                    rec.sync_error_bound_m
+                    if rec.sync_error_bound_m is not None
+                    else float("nan")
+                )
+                handle.write(
+                    struct.pack("<IdI", rec.n_raw_points, bound, len(rec.blob))
+                )
+                handle.write(rec.blob)
+
+    @classmethod
+    def load(cls, path: str | Path, **store_kwargs: object) -> "TrajectoryStore":
+        """Load a store written by :meth:`save`.
+
+        Raises:
+            StorageError: on malformed files.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        if len(data) < 9 or data[:4] != _FILE_MAGIC:
+            raise StorageError(f"{path}: not a repro store file")
+        version, count = struct.unpack_from("<BI", data, 4)
+        if version != _FILE_VERSION:
+            raise StorageError(f"{path}: unsupported store version {version}")
+        store = cls(**store_kwargs)  # type: ignore[arg-type]
+        offset = 9
+        for _ in range(count):
+            if offset + 16 > len(data):
+                raise StorageError(f"{path}: truncated record header")
+            n_raw, bound_raw, blob_len = struct.unpack_from("<IdI", data, offset)
+            offset += 16
+            if offset + blob_len > len(data):
+                raise StorageError(f"{path}: truncated record blob")
+            blob = data[offset : offset + blob_len]
+            offset += blob_len
+            traj = decode_trajectory(blob)
+            if not traj.object_id:
+                raise StorageError(f"{path}: stored blob lacks an object id")
+            record = StoredRecord(
+                object_id=traj.object_id,
+                blob=blob,
+                n_raw_points=n_raw,
+                n_stored_points=len(traj),
+                start_time=traj.start_time,
+                end_time=traj.end_time,
+                bbox=traj.bbox(),
+                sync_error_bound_m=None if math.isnan(bound_raw) else float(bound_raw),
+            )
+            store._records[traj.object_id] = record
+            store._index.insert(traj.object_id, traj.xy)
+            store._time_index.insert(
+                traj.object_id, record.start_time, record.end_time
+            )
+        if offset != len(data):
+            raise StorageError(f"{path}: trailing bytes after records")
+        return store

@@ -1,0 +1,18 @@
+"""Online operation: point streams and incremental compression.
+
+:class:`PointStream` replays or wraps live fix feeds with protocol
+enforcement; :func:`merge_streams` interleaves a fleet's feeds;
+:class:`StreamingOPW` compresses a stream push-by-push, selecting exactly
+the points the corresponding batch algorithm (NOPW / OPW-TR / OPW-SP)
+would.
+"""
+
+from repro.streaming.online import StreamingOPW, make_online_compressor
+from repro.streaming.stream import PointStream, merge_streams
+
+__all__ = [
+    "PointStream",
+    "StreamingOPW",
+    "make_online_compressor",
+    "merge_streams",
+]

@@ -1,0 +1,75 @@
+"""Trajectory data model: the positional time series of a moving object.
+
+The :class:`Trajectory` class is the library's core data structure — an
+immutable, numpy-backed, strictly time-ordered point series interpreted as
+a piecewise-linear path. The submodules provide statistics (Table 2
+quantities), structural operations, incremental building, and file I/O
+(CSV/JSON/GPX).
+"""
+
+from repro.trajectory.builder import TrajectoryBuilder
+from repro.trajectory.gpx import read_gpx, write_gpx
+from repro.trajectory.io import (
+    read_csv,
+    read_dataset_json,
+    read_json,
+    write_csv,
+    write_dataset_json,
+    write_json,
+)
+from repro.trajectory.ops import (
+    concat,
+    drop_duplicate_times,
+    every_ith_indices,
+    merge_grids,
+    split_on_gaps,
+)
+from repro.trajectory.quality import (
+    QualityIssue,
+    clean,
+    drop_speed_outliers,
+    quality_issues,
+)
+from repro.trajectory.spline import CubicHermitePath
+from repro.trajectory.stats import (
+    DatasetStats,
+    TrajectoryStats,
+    dataset_stats,
+    headings,
+    speeds,
+    stop_episodes,
+    trajectory_stats,
+    turning_angles,
+)
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "CubicHermitePath",
+    "DatasetStats",
+    "QualityIssue",
+    "Trajectory",
+    "TrajectoryBuilder",
+    "TrajectoryStats",
+    "clean",
+    "concat",
+    "dataset_stats",
+    "drop_speed_outliers",
+    "drop_duplicate_times",
+    "every_ith_indices",
+    "headings",
+    "merge_grids",
+    "quality_issues",
+    "read_csv",
+    "read_dataset_json",
+    "read_gpx",
+    "read_json",
+    "speeds",
+    "split_on_gaps",
+    "stop_episodes",
+    "trajectory_stats",
+    "turning_angles",
+    "write_csv",
+    "write_dataset_json",
+    "write_gpx",
+    "write_json",
+]

@@ -1,0 +1,95 @@
+"""Incremental trajectory construction.
+
+Streaming consumers (the online compressors, the GPS simulator, the
+storage ingest path) accumulate fixes one at a time; a
+:class:`TrajectoryBuilder` collects them with validation-on-append and
+materializes an immutable :class:`~repro.trajectory.Trajectory` at the
+end, without re-validating the whole series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EmptyTrajectoryError, TimestampOrderError
+from repro.trajectory.trajectory import Trajectory
+from repro.types import Fix
+
+__all__ = ["TrajectoryBuilder"]
+
+
+class TrajectoryBuilder:
+    """Append-only builder of a :class:`~repro.trajectory.Trajectory`.
+
+    Example:
+        >>> builder = TrajectoryBuilder("car-1")
+        >>> builder.append(0.0, 0.0, 0.0)
+        >>> builder.append(10.0, 120.0, 5.0)
+        >>> traj = builder.build()
+        >>> len(traj)
+        2
+    """
+
+    def __init__(self, object_id: str | None = None) -> None:
+        self.object_id = object_id
+        self._t: list[float] = []
+        self._x: list[float] = []
+        self._y: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def last_time(self) -> float | None:
+        """Timestamp of the most recent fix, or None when empty."""
+        return self._t[-1] if self._t else None
+
+    def append(self, t: float, x: float, y: float) -> None:
+        """Append one fix; time must strictly exceed the previous fix's.
+
+        Raises:
+            TimestampOrderError: when ``t`` does not advance the clock.
+        """
+        t = float(t)
+        if self._t and t <= self._t[-1]:
+            raise TimestampOrderError(
+                f"appended time {t} does not advance past {self._t[-1]}"
+            )
+        if not (np.isfinite(t) and np.isfinite(x) and np.isfinite(y)):
+            raise ValueError(f"non-finite fix ({t}, {x}, {y})")
+        self._t.append(t)
+        self._x.append(float(x))
+        self._y.append(float(y))
+
+    def append_fix(self, fix: Fix) -> None:
+        """Append a :class:`~repro.types.Fix`."""
+        self.append(fix.t, fix.x, fix.y)
+
+    def extend(self, fixes: list[Fix]) -> None:
+        """Append many fixes in order."""
+        for fix in fixes:
+            self.append_fix(fix)
+
+    def build(self) -> Trajectory:
+        """Materialize the accumulated fixes as an immutable trajectory.
+
+        The builder remains usable afterwards (more fixes can be appended
+        and ``build`` called again).
+
+        Raises:
+            EmptyTrajectoryError: when no fix was appended.
+        """
+        if not self._t:
+            raise EmptyTrajectoryError("builder holds no fixes")
+        return Trajectory(
+            np.asarray(self._t, dtype=float),
+            np.column_stack([self._x, self._y]).astype(float),
+            self.object_id,
+            _validated=True,
+        )
+
+    def clear(self) -> None:
+        """Drop all accumulated fixes."""
+        self._t.clear()
+        self._x.clear()
+        self._y.clear()

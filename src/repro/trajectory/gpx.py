@@ -1,0 +1,156 @@
+"""Minimal, dependency-free GPX reading and writing.
+
+Real moving-object traces — the kind the paper collected with a car-mounted
+GPS — typically arrive as GPX track files. This module parses the track
+points (``trkpt``: lat/lon/time) of GPX 1.0/1.1 documents with
+``xml.etree`` and projects them to the local planar frame the library
+operates in (see :class:`repro.geometry.LocalProjection`).
+
+Only the subset needed for trajectories is supported: waypoint extensions,
+routes, and elevation profiles are ignored.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from pathlib import Path
+from xml.etree import ElementTree
+
+from repro.exceptions import TrajectoryError
+from repro.geometry.projection import LocalProjection
+from repro.trajectory.trajectory import Trajectory
+from repro.trajectory.ops import drop_duplicate_times
+
+import numpy as np
+
+__all__ = ["read_gpx", "write_gpx", "parse_gpx_time"]
+
+_GPX_TIME_RE = re.compile(
+    r"^(\d{4})-(\d{2})-(\d{2})T(\d{2}):(\d{2}):(\d{2})(\.\d+)?(Z|[+-]\d{2}:\d{2})?$"
+)
+
+
+def parse_gpx_time(text: str) -> float:
+    """Parse an ISO-8601 GPX timestamp to epoch seconds (UTC).
+
+    Accepts the common GPX forms ``2004-03-14T09:00:00Z`` and variants
+    with fractional seconds or explicit offsets.
+    """
+    match = _GPX_TIME_RE.match(text.strip())
+    if not match:
+        raise TrajectoryError(f"unparseable GPX timestamp: {text!r}")
+    year, month, day, hour, minute, second = (int(g) for g in match.groups()[:6])
+    frac = float(match.group(7) or 0.0)
+    offset_text = match.group(8)
+    moment = _dt.datetime(
+        year, month, day, hour, minute, second, tzinfo=_dt.timezone.utc
+    )
+    if offset_text and offset_text != "Z":
+        sign = 1 if offset_text[0] == "+" else -1
+        oh, om = int(offset_text[1:3]), int(offset_text[4:6])
+        moment -= sign * _dt.timedelta(hours=oh, minutes=om)
+    return moment.timestamp() + frac
+
+
+def _local_name(tag: str) -> str:
+    """Strip the XML namespace from an element tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def read_gpx(
+    path: str | Path,
+    object_id: str | None = None,
+    projection: LocalProjection | None = None,
+) -> Trajectory:
+    """Read the first track of a GPX file as a planar trajectory.
+
+    Args:
+        path: GPX file path.
+        object_id: id for the resulting trajectory (defaults to the track
+            name when present).
+        projection: planar projection to apply; defaults to an
+            equirectangular projection centred on the track.
+
+    Raises:
+        TrajectoryError: when the document has no usable track points or
+            points lack timestamps.
+    """
+    path = Path(path)
+    try:
+        root = ElementTree.parse(path).getroot()
+    except ElementTree.ParseError as exc:
+        raise TrajectoryError(f"{path}: not well-formed XML") from exc
+
+    name: str | None = None
+    lats: list[float] = []
+    lons: list[float] = []
+    times: list[float] = []
+    for elem in root.iter():
+        tag = _local_name(elem.tag)
+        if tag == "name" and name is None and elem.text:
+            name = elem.text.strip()
+        elif tag == "trkpt":
+            try:
+                lat = float(elem.attrib["lat"])
+                lon = float(elem.attrib["lon"])
+            except (KeyError, ValueError) as exc:
+                raise TrajectoryError(f"{path}: trkpt without valid lat/lon") from exc
+            time_el = next(
+                (child for child in elem if _local_name(child.tag) == "time"), None
+            )
+            if time_el is None or not time_el.text:
+                raise TrajectoryError(
+                    f"{path}: trkpt without <time> — timestamps are required"
+                )
+            lats.append(lat)
+            lons.append(lon)
+            times.append(parse_gpx_time(time_el.text))
+    if not lats:
+        raise TrajectoryError(f"{path}: no track points found")
+
+    lats_arr = np.asarray(lats)
+    lons_arr = np.asarray(lons)
+    if projection is None:
+        projection = LocalProjection.centered_on(lons_arr, lats_arr)
+    x, y = projection.forward(lons_arr, lats_arr)
+    return drop_duplicate_times(
+        np.asarray(times), np.column_stack([x, y]), object_id or name
+    )
+
+
+def write_gpx(
+    traj: Trajectory,
+    path: str | Path,
+    projection: LocalProjection,
+    creator: str = "repro",
+) -> None:
+    """Write a planar trajectory back to GPX via the inverse projection.
+
+    Args:
+        traj: trajectory in the local planar frame.
+        path: output file.
+        projection: the projection whose inverse maps ``(x, y)`` to
+            lon/lat — normally the one used when reading.
+        creator: value for the GPX ``creator`` attribute.
+    """
+    path = Path(path)
+    lon, lat = projection.inverse(traj.x, traj.y)
+    gpx = ElementTree.Element(
+        "gpx", attrib={"version": "1.1", "creator": creator}
+    )
+    trk = ElementTree.SubElement(gpx, "trk")
+    if traj.object_id:
+        name_el = ElementTree.SubElement(trk, "name")
+        name_el.text = traj.object_id
+    seg = ElementTree.SubElement(trk, "trkseg")
+    for i in range(len(traj)):
+        pt = ElementTree.SubElement(
+            seg, "trkpt", attrib={"lat": f"{lat[i]:.8f}", "lon": f"{lon[i]:.8f}"}
+        )
+        time_el = ElementTree.SubElement(pt, "time")
+        moment = _dt.datetime.fromtimestamp(float(traj.t[i]), tz=_dt.timezone.utc)
+        time_el.text = moment.strftime("%Y-%m-%dT%H:%M:%S") + (
+            f".{int(moment.microsecond):06d}Z" if moment.microsecond else "Z"
+        )
+    ElementTree.ElementTree(gpx).write(path, xml_declaration=True, encoding="unicode")

@@ -1,0 +1,132 @@
+"""Plain-file trajectory I/O: CSV and JSON.
+
+Formats are deliberately boring and self-describing so traces survive
+round trips through spreadsheets and shell tools:
+
+* **CSV** — header ``t,x,y``; one fix per row; ``#`` lines are comments.
+* **JSON** — ``{"object_id": ..., "points": [[t, x, y], ...]}``.
+
+GPX support (for real GPS loggers) lives in :mod:`repro.trajectory.gpx`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "write_json",
+    "read_json",
+    "write_dataset_json",
+    "read_dataset_json",
+]
+
+_CSV_HEADER = ["t", "x", "y"]
+
+
+def write_csv(traj: Trajectory, path: str | Path) -> None:
+    """Write a trajectory to ``path`` as ``t,x,y`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for i in range(len(traj)):
+            writer.writerow(
+                [repr(float(traj.t[i])), repr(float(traj.xy[i, 0])), repr(float(traj.xy[i, 1]))]
+            )
+
+
+def read_csv(path: str | Path, object_id: str | None = None) -> Trajectory:
+    """Read a ``t,x,y`` CSV written by :func:`write_csv` (or compatible).
+
+    Blank lines and lines starting with ``#`` are skipped. A header row is
+    optional but, when present, must name the three columns ``t,x,y``.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return _read_csv_stream(handle, object_id, source=str(path))
+
+
+def _read_csv_stream(handle: TextIO, object_id: str | None, source: str) -> Trajectory:
+    rows: list[tuple[float, float, float]] = []
+    reader = csv.reader(line for line in handle if line.strip() and not line.startswith("#"))
+    for lineno, row in enumerate(reader, start=1):
+        if lineno == 1 and [cell.strip().lower() for cell in row] == _CSV_HEADER:
+            continue
+        if len(row) != 3:
+            raise TrajectoryError(
+                f"{source}: expected 3 columns at data row {lineno}, got {len(row)}"
+            )
+        try:
+            rows.append((float(row[0]), float(row[1]), float(row[2])))
+        except ValueError as exc:
+            raise TrajectoryError(f"{source}: non-numeric value at row {lineno}") from exc
+    if not rows:
+        raise TrajectoryError(f"{source}: no data rows")
+    return Trajectory.from_points(rows, object_id)
+
+
+def write_json(traj: Trajectory, path: str | Path) -> None:
+    """Write one trajectory as a JSON document."""
+    path = Path(path)
+    payload = {
+        "object_id": traj.object_id,
+        "points": np.column_stack([traj.t, traj.xy]).tolist(),
+    }
+    path.write_text(json.dumps(payload))
+
+
+def read_json(path: str | Path) -> Trajectory:
+    """Read one trajectory from a JSON document written by :func:`write_json`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    return _trajectory_from_payload(payload, source=str(path))
+
+
+def write_dataset_json(trajectories: Iterable[Trajectory], path: str | Path) -> None:
+    """Write a whole dataset (list of trajectories) as one JSON document."""
+    path = Path(path)
+    payload = [
+        {
+            "object_id": traj.object_id,
+            "points": np.column_stack([traj.t, traj.xy]).tolist(),
+        }
+        for traj in trajectories
+    ]
+    path.write_text(json.dumps(payload))
+
+
+def read_dataset_json(path: str | Path) -> list[Trajectory]:
+    """Read a dataset written by :func:`write_dataset_json`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, list):
+        raise TrajectoryError(f"{path}: expected a JSON list of trajectories")
+    return [
+        _trajectory_from_payload(entry, source=f"{path}[{i}]")
+        for i, entry in enumerate(payload)
+    ]
+
+
+def _trajectory_from_payload(payload: object, source: str) -> Trajectory:
+    if not isinstance(payload, dict) or "points" not in payload:
+        raise TrajectoryError(f"{source}: expected an object with a 'points' key")
+    points = payload["points"]
+    if not isinstance(points, list) or not points:
+        raise TrajectoryError(f"{source}: 'points' must be a non-empty list")
+    object_id = payload.get("object_id")
+    if object_id is not None and not isinstance(object_id, str):
+        raise TrajectoryError(f"{source}: 'object_id' must be a string or null")
+    try:
+        return Trajectory.from_points(points, object_id)
+    except (TypeError, IndexError) as exc:
+        raise TrajectoryError(f"{source}: malformed point rows") from exc

@@ -1,0 +1,133 @@
+"""Structural operations over trajectories beyond the core methods.
+
+The :class:`~repro.trajectory.Trajectory` class carries the operations a
+compressor needs (``subset``, slicing, interpolation); this module hosts
+the dataset-level plumbing: concatenation, splitting on time gaps,
+deduplication of repeated timestamps from noisy loggers, and uniform
+decimation used by the naive baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "concat",
+    "split_on_gaps",
+    "drop_duplicate_times",
+    "every_ith_indices",
+    "merge_grids",
+]
+
+
+def concat(parts: Sequence[Trajectory], object_id: str | None = None) -> Trajectory:
+    """Concatenate trajectories whose time intervals are strictly ordered.
+
+    Args:
+        parts: non-empty sequence; each part must start strictly after the
+            previous part ended.
+        object_id: id for the result (defaults to the first part's id).
+
+    Raises:
+        TrajectoryError: when parts overlap or touch in time.
+    """
+    if not parts:
+        raise TrajectoryError("concat of no trajectories")
+    for prev, nxt in zip(parts, parts[1:]):
+        if nxt.start_time <= prev.end_time:
+            raise TrajectoryError(
+                f"parts overlap in time: {prev.end_time} .. {nxt.start_time}"
+            )
+    t = np.concatenate([p.t for p in parts])
+    xy = np.concatenate([p.xy for p in parts])
+    return Trajectory(t, xy, object_id or parts[0].object_id, _validated=True)
+
+
+def split_on_gaps(traj: Trajectory, max_gap_s: float) -> list[Trajectory]:
+    """Split a trajectory wherever consecutive samples are too far apart.
+
+    Real GPS traces contain signal-loss gaps (tunnels, garages); treating
+    the pieces as one continuous movement would let the piecewise-linear
+    model invent motion that never happened. This splits at every gap
+    longer than ``max_gap_s``.
+
+    Returns:
+        List of sub-trajectories in time order (length >= 1).
+    """
+    if max_gap_s <= 0:
+        raise ValueError(f"max_gap_s must be positive, got {max_gap_s}")
+    if len(traj) < 2:
+        return [traj]
+    gaps = np.diff(traj.t)
+    cut_after = np.nonzero(gaps > max_gap_s)[0]
+    if cut_after.size == 0:
+        return [traj]
+    pieces: list[Trajectory] = []
+    start = 0
+    for cut in cut_after:
+        pieces.append(traj.slice_index(start, int(cut) + 1))
+        start = int(cut) + 1
+    pieces.append(traj.slice_index(start, len(traj)))
+    return pieces
+
+
+def drop_duplicate_times(
+    t: np.ndarray, xy: np.ndarray, object_id: str | None = None
+) -> Trajectory:
+    """Build a trajectory from raw arrays, keeping the first of ties.
+
+    Raw logger output occasionally repeats a timestamp (clock granularity)
+    or delivers records out of order. This sorts by time (stable) and
+    keeps the first record of each timestamp, producing a valid strictly
+    increasing series.
+    """
+    t = np.asarray(t, dtype=float)
+    xy = np.asarray(xy, dtype=float)
+    if t.ndim != 1 or xy.shape != (t.shape[0], 2):
+        raise TrajectoryError(
+            f"expected t shape (n,) and xy shape (n, 2), got {t.shape} and {xy.shape}"
+        )
+    order = np.argsort(t, kind="stable")
+    t_sorted = t[order]
+    xy_sorted = xy[order]
+    keep = np.ones(t_sorted.shape[0], dtype=bool)
+    keep[1:] = np.diff(t_sorted) > 0
+    return Trajectory(t_sorted[keep], xy_sorted[keep], object_id)
+
+
+def every_ith_indices(n: int, step: int) -> np.ndarray:
+    """Indices retained by the "keep every i-th point" baseline.
+
+    The first point is always kept and the last point is always appended
+    (so the compressed series still covers the full time interval — the
+    counter-measure the paper asks for against losing the series tail).
+
+    Args:
+        n: number of points in the original series.
+        step: keep one point out of every ``step`` (``step >= 1``).
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    if n < 1:
+        raise ValueError("series must be non-empty")
+    idx = np.arange(0, n, step)
+    if idx[-1] != n - 1:
+        idx = np.append(idx, n - 1)
+    return idx
+
+
+def merge_grids(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted union of two sorted 1-D time grids (exact, no tolerance).
+
+    Used by the error integrator to split original segments at the
+    approximation's breakpoints when the approximation's timestamps are
+    *not* a subseries of the original's (the general case the paper does
+    not need, but which the library supports).
+    """
+    merged = np.union1d(np.asarray(a, dtype=float), np.asarray(b, dtype=float))
+    return merged

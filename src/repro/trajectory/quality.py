@@ -1,0 +1,182 @@
+"""Raw GPS quality checks and cleaning.
+
+The paper's error-tolerance argument starts from "(i) we know our raw
+data to already contain error" — and real logger output contains more
+than Gaussian jitter: multipath teleports (physically impossible derived
+speeds), frozen fixes (the receiver repeating its last solution), and
+signal-loss gaps. Compressing such artifacts wastes retained points on
+garbage (every spike looks like a must-keep corner), so production
+pipelines clean first:
+
+* :func:`quality_issues` — a typed audit of one trajectory;
+* :func:`drop_speed_outliers` — remove fixes whose implied in-and-out
+  speeds are impossible for the platform;
+* :func:`clean` — the standard pipeline: outlier removal plus gap
+  splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trajectory.ops import split_on_gaps
+from repro.trajectory.stats import speeds
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "QualityIssue",
+    "quality_issues",
+    "drop_speed_outliers",
+    "clean",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class QualityIssue:
+    """One detected data-quality problem.
+
+    Attributes:
+        kind: ``"speed-spike"``, ``"frozen"`` or ``"gap"``.
+        index: index of the offending fix (spikes) or of the fix *before*
+            the problem interval (frozen runs, gaps).
+        detail: human-readable specifics.
+    """
+
+    kind: str
+    index: int
+    detail: str
+
+
+def quality_issues(
+    traj: Trajectory,
+    max_speed_ms: float = 70.0,
+    max_gap_s: float = 120.0,
+    frozen_min_count: int = 3,
+) -> list[QualityIssue]:
+    """Audit a trajectory for common logger artifacts.
+
+    Args:
+        traj: the raw trajectory.
+        max_speed_ms: derived speeds above this are physically impossible
+            for the tracked platform (70 m/s = 252 km/h default).
+        max_gap_s: sampling gaps longer than this are signal loss.
+        frozen_min_count: this many consecutive *identical* positions
+            count as a frozen receiver (identical, not merely slow — real
+            stops still jitter by the noise floor).
+
+    Returns:
+        Issues in index order (possibly empty).
+    """
+    if max_speed_ms <= 0 or max_gap_s <= 0:
+        raise ValueError("thresholds must be positive")
+    if frozen_min_count < 2:
+        raise ValueError("frozen_min_count must be at least 2")
+    issues: list[QualityIssue] = []
+    if len(traj) < 2:
+        return issues
+    v = speeds(traj)
+    for i in np.nonzero(v > max_speed_ms)[0]:
+        issues.append(
+            QualityIssue(
+                "speed-spike",
+                int(i) + 1,
+                f"segment {i}->{i + 1} implies {v[i]:.1f} m/s",
+            )
+        )
+    gaps = np.diff(traj.t)
+    for i in np.nonzero(gaps > max_gap_s)[0]:
+        issues.append(
+            QualityIssue("gap", int(i), f"{gaps[i]:.0f} s between fixes")
+        )
+    identical = np.all(np.diff(traj.xy, axis=0) == 0.0, axis=1)
+    run_start: int | None = None
+    run_length = 0
+    for i, same in enumerate(identical):
+        if same:
+            if run_start is None:
+                run_start = i
+                run_length = 1
+            else:
+                run_length += 1
+        else:
+            if run_start is not None and run_length + 1 >= frozen_min_count:
+                issues.append(
+                    QualityIssue(
+                        "frozen",
+                        run_start,
+                        f"{run_length + 1} identical fixes from index {run_start}",
+                    )
+                )
+            run_start = None
+    if run_start is not None and run_length + 1 >= frozen_min_count:
+        issues.append(
+            QualityIssue(
+                "frozen",
+                run_start,
+                f"{run_length + 1} identical fixes from index {run_start}",
+            )
+        )
+    issues.sort(key=lambda issue: issue.index)
+    return issues
+
+
+def drop_speed_outliers(
+    traj: Trajectory, max_speed_ms: float = 70.0, max_passes: int = 8
+) -> Trajectory:
+    """Remove fixes that create physically impossible derived speeds.
+
+    A single teleported fix creates *two* impossible segments (in and
+    out); removing the fix between them restores plausibility. The scan
+    repeats (an outlier pair can mask another) up to ``max_passes``.
+    Endpoints are never dropped — an impossible first/last segment keeps
+    its boundary fix and the offending interior one goes.
+
+    Returns:
+        A cleaned trajectory (possibly the input, unchanged).
+    """
+    if max_speed_ms <= 0:
+        raise ValueError("max_speed_ms must be positive")
+    current = traj
+    for _ in range(max_passes):
+        if len(current) < 3:
+            return current
+        v = speeds(current)
+        bad_segments = v > max_speed_ms
+        if not bad_segments.any():
+            return current
+        keep = np.ones(len(current), dtype=bool)
+        i = 0
+        n_seg = bad_segments.shape[0]
+        while i < n_seg:
+            if bad_segments[i]:
+                # Drop the interior endpoint of the offending segment:
+                # the later fix, unless that is the final point.
+                victim = i + 1 if i + 1 < len(current) - 1 else i
+                if victim == 0:
+                    victim = 1
+                keep[victim] = False
+                i += 2  # the segment after the victim is re-derived next pass
+            else:
+                i += 1
+        if keep.all():
+            return current
+        current = current.subset(np.nonzero(keep)[0])
+    return current
+
+
+def clean(
+    traj: Trajectory,
+    max_speed_ms: float = 70.0,
+    max_gap_s: float = 120.0,
+) -> list[Trajectory]:
+    """Standard cleaning pipeline: outlier removal, then gap splitting.
+
+    Returns:
+        One or more clean trajectory pieces in time order (frozen runs
+        are left alone — they are valid "object stood still" data unless
+        an application decides otherwise).
+    """
+    without_outliers = drop_speed_outliers(traj, max_speed_ms)
+    return split_on_gaps(without_outliers, max_gap_s)

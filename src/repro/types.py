@@ -1,0 +1,54 @@
+"""Shared lightweight value types.
+
+The library's heavyweight data model lives in
+:class:`repro.trajectory.Trajectory`; this module holds the small,
+dependency-free value objects that flow between subsystems: a single
+time-stamped position (:class:`Fix`) and a couple of type aliases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+__all__ = ["Fix", "Seconds", "Meters", "MetersPerSecond"]
+
+#: A point in time, in seconds (any epoch; only differences matter).
+Seconds = float
+
+#: A planar distance in metres.
+Meters = float
+
+#: A speed in metres per second.
+MetersPerSecond = float
+
+
+class Fix(NamedTuple):
+    """A single time-stamped position ``(t, x, y)``.
+
+    ``t`` is in seconds, ``x``/``y`` in metres in a local planar frame
+    (see :mod:`repro.geometry.projection` for converting lon/lat input).
+    The paper models a moving object data stream as a sequence of
+    ``<t, x, y>`` records (Sect. 1); :class:`Fix` is that record.
+    """
+
+    t: Seconds
+    x: Meters
+    y: Meters
+
+    def distance_to(self, other: "Fix") -> Meters:
+        """Euclidean distance between the positions of two fixes."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def speed_to(self, other: "Fix") -> MetersPerSecond:
+        """Derived speed travelling from this fix to ``other``.
+
+        Mirrors the paper's derived (not measured) speed
+        ``dist(s[i+1], s[i]) / (s[i+1].t - s[i].t)`` used by the SPT
+        algorithm (Sect. 3.3).
+
+        Raises:
+            ZeroDivisionError: if both fixes carry the same timestamp.
+        """
+        dt = other.t - self.t
+        return self.distance_to(other) / dt

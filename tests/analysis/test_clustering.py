@@ -1,0 +1,110 @@
+"""Tests for agglomerative trajectory clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import agglomerate, cluster_trajectories, hausdorff_distance
+from repro.trajectory import Trajectory
+
+
+def block_matrix() -> np.ndarray:
+    """Two tight groups ({0,1,2} and {3,4}) far apart."""
+    n = 5
+    out = np.full((n, n), 100.0)
+    np.fill_diagonal(out, 0.0)
+    for i in (0, 1, 2):
+        for j in (0, 1, 2):
+            if i != j:
+                out[i, j] = 1.0
+    out[3, 4] = out[4, 3] = 2.0
+    return out
+
+
+class TestAgglomerate:
+    def test_two_clusters_found(self):
+        result = agglomerate(block_matrix(), n_clusters=2)
+        assert result.n_clusters == 2
+        assert len(set(result.labels[:3])) == 1
+        assert len(set(result.labels[3:])) == 1
+        assert result.labels[0] != result.labels[3]
+
+    def test_max_distance_cut(self):
+        result = agglomerate(block_matrix(), max_distance=10.0)
+        assert result.n_clusters == 2
+        assert all(d <= 10.0 for d in result.merge_distances)
+
+    def test_tight_cut_keeps_singletons(self):
+        result = agglomerate(block_matrix(), max_distance=0.5)
+        assert result.n_clusters == 5
+
+    def test_one_cluster(self):
+        result = agglomerate(block_matrix(), n_clusters=1)
+        assert result.n_clusters == 1
+        assert len(result.merge_distances) == 4
+
+    def test_labels_numbered_by_first_appearance(self):
+        result = agglomerate(block_matrix(), n_clusters=2)
+        assert result.labels[0] == 0
+        assert result.labels[3] == 1
+
+    def test_members(self):
+        result = agglomerate(block_matrix(), n_clusters=2)
+        np.testing.assert_array_equal(result.members(0), [0, 1, 2])
+        np.testing.assert_array_equal(result.members(1), [3, 4])
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_all_linkages_on_clean_blocks(self, linkage):
+        result = agglomerate(block_matrix(), n_clusters=2, linkage=linkage)
+        assert result.n_clusters == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            agglomerate(np.zeros((2, 3)), n_clusters=1)
+        with pytest.raises(ValueError, match="symmetric"):
+            bad = block_matrix()
+            bad[0, 1] = 42.0
+            agglomerate(bad, n_clusters=2)
+        with pytest.raises(ValueError, match="exactly one"):
+            agglomerate(block_matrix())
+        with pytest.raises(ValueError, match="exactly one"):
+            agglomerate(block_matrix(), n_clusters=2, max_distance=1.0)
+        with pytest.raises(ValueError, match="linkage"):
+            agglomerate(block_matrix(), n_clusters=2, linkage="psychic")
+        with pytest.raises(ValueError, match="n_clusters"):
+            agglomerate(block_matrix(), n_clusters=0)
+
+
+class TestClusterTrajectories:
+    def test_groups_by_route(self):
+        """Three commuters on road A, two on road B."""
+        t = np.arange(0.0, 100.0, 10.0)
+        road_a = [
+            Trajectory(t, np.column_stack([t * 10.0, np.full_like(t, dy)]), f"a{dy}")
+            for dy in (0.0, 8.0, 16.0)
+        ]
+        road_b = [
+            Trajectory(t, np.column_stack([t * 10.0, np.full_like(t, dy)]), f"b{dy}")
+            for dy in (900.0, 912.0)
+        ]
+        result = cluster_trajectories(road_a + road_b, n_clusters=2)
+        assert set(result.labels[:3]) == {0}
+        assert set(result.labels[3:]) == {1}
+
+    def test_route_metric_ignores_departure_time(self):
+        """With the Hausdorff metric, staggered departures on the same
+        road cluster together."""
+        t = np.arange(0.0, 100.0, 10.0)
+        same_road = [
+            Trajectory(t + lag, np.column_stack([t * 10.0, np.zeros_like(t)]), f"l{lag}")
+            for lag in (0.0, 30.0, 60.0)
+        ]
+        other_road = [
+            Trajectory(t, np.column_stack([np.zeros_like(t), t * 10.0]), "north")
+        ]
+        result = cluster_trajectories(
+            same_road + other_road, n_clusters=2, metric=hausdorff_distance
+        )
+        assert set(result.labels[:3]) == {0}
+        assert result.labels[3] == 1

@@ -1,0 +1,135 @@
+"""Tests for closed-form encounter detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.encounters import closest_approach, encounters
+from repro.exceptions import TrajectoryError
+from repro.trajectory import Trajectory
+
+
+def mover(x0: float, y0: float, vx: float, vy: float, n: int = 11) -> Trajectory:
+    t = np.arange(n) * 10.0
+    return Trajectory(
+        t, np.column_stack([x0 + vx * t, y0 + vy * t]), f"m{x0}-{y0}"
+    )
+
+
+class TestClosestApproach:
+    def test_head_on_crossing(self):
+        """Two objects crossing the same point at the same instant."""
+        east = mover(0.0, 0.0, 10.0, 0.0)
+        north = mover(500.0, -500.0, 0.0, 10.0)
+        result = closest_approach(east, north)
+        assert result.time == pytest.approx(50.0)
+        assert result.distance_m == pytest.approx(0.0, abs=1e-9)
+        assert result.position_a == pytest.approx((500.0, 0.0))
+
+    def test_parallel_offset_constant_distance(self):
+        a = mover(0.0, 0.0, 10.0, 0.0)
+        b = mover(0.0, 30.0, 10.0, 0.0)
+        result = closest_approach(a, b)
+        assert result.distance_m == pytest.approx(30.0)
+        assert result.time == pytest.approx(0.0)  # ties resolve earliest
+
+    def test_near_miss_midsegment(self):
+        """Closest approach strictly inside a segment (not at a sample)."""
+        a = mover(0.0, 0.0, 10.0, 0.0)
+        b = mover(1000.0, 40.0, -10.0, 0.0)
+        result = closest_approach(a, b)
+        # They pass at t=50 with a 40 m lateral gap; t=50 is a sample
+        # here, so shift b to break the alignment:
+        b2 = Trajectory(b.t + 3.0, b.xy, "b2")
+        result2 = closest_approach(a, b2)
+        assert result.distance_m == pytest.approx(40.0)
+        assert result2.distance_m == pytest.approx(40.0, rel=0.05)
+        assert result2.time not in set(a.t.tolist())
+
+    def test_matches_dense_sampling(self, urban_trajectory):
+        other = urban_trajectory.shifted(dt=0.0, dx=120.0, dy=-60.0)
+        result = closest_approach(urban_trajectory, other)
+        times = np.linspace(
+            urban_trajectory.start_time, urban_trajectory.end_time, 50_001
+        )
+        dists = np.hypot(
+            *(urban_trajectory.positions_at(times) - other.positions_at(times)).T
+        )
+        assert result.distance_m == pytest.approx(float(dists.min()), abs=0.05)
+
+    def test_disjoint_raises(self):
+        a = mover(0.0, 0.0, 1.0, 0.0)
+        b = Trajectory(a.t + 1e6, a.xy, "late")
+        with pytest.raises(TrajectoryError):
+            closest_approach(a, b)
+
+
+class TestEncounters:
+    def test_crossing_window(self):
+        """Objects crossing at t=50: within 100 m while |20t-1000| <= ...
+
+        east at (10t, 0), north at (500, -500+10t): the gap is
+        sqrt((10t-500)^2 + (10t-500)^2) = |10t-500|*sqrt(2), so the 100 m
+        window is |t-50| <= 100/(10*sqrt(2)) ~= 7.071 s.
+        """
+        east = mover(0.0, 0.0, 10.0, 0.0)
+        north = mover(500.0, -500.0, 0.0, 10.0)
+        windows = encounters(east, north, within_m=100.0)
+        assert len(windows) == 1
+        start, end = windows[0]
+        half_width = 100.0 / (10.0 * np.sqrt(2.0))
+        assert start == pytest.approx(50.0 - half_width, abs=1e-6)
+        assert end == pytest.approx(50.0 + half_width, abs=1e-6)
+
+    def test_never_close(self):
+        a = mover(0.0, 0.0, 10.0, 0.0)
+        b = mover(0.0, 10_000.0, 10.0, 0.0)
+        assert encounters(a, b, within_m=50.0) == []
+
+    def test_always_close_single_window(self):
+        a = mover(0.0, 0.0, 10.0, 0.0)
+        b = mover(0.0, 5.0, 10.0, 0.0)
+        windows = encounters(a, b, within_m=50.0)
+        assert len(windows) == 1
+        assert windows[0][0] == pytest.approx(a.start_time)
+        assert windows[0][1] == pytest.approx(a.end_time)
+
+    def test_two_separate_encounters(self):
+        """A weaving object crosses the corridor twice."""
+        t = np.arange(0.0, 110.0, 10.0)
+        a = Trajectory(t, np.column_stack([t * 10.0, np.zeros_like(t)]), "a")
+        # b oscillates in y: near at t~20 and t~80, far in between.
+        y = np.array([500.0, 300, 50, 300, 500, 600, 500, 300, 50, 300, 500.0])
+        b = Trajectory(t, np.column_stack([t * 10.0, y]), "b")
+        windows = encounters(a, b, within_m=100.0)
+        assert len(windows) == 2
+        assert windows[0][1] < windows[1][0]
+
+    def test_windows_match_dense_sampling(self, urban_trajectory):
+        other = urban_trajectory.shifted(dx=70.0)
+        windows = encounters(urban_trajectory, other, within_m=70.5)
+        times = np.linspace(
+            urban_trajectory.start_time, urban_trajectory.end_time, 20_001
+        )
+        dists = np.hypot(
+            *(urban_trajectory.positions_at(times) - other.positions_at(times)).T
+        )
+        inside = dists <= 70.5
+        sampled_fraction = float(inside.mean())
+        duration = urban_trajectory.end_time - urban_trajectory.start_time
+        window_fraction = sum(end - start for start, end in windows) / duration
+        assert window_fraction == pytest.approx(sampled_fraction, abs=0.01)
+
+    def test_validation(self):
+        a = mover(0.0, 0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            encounters(a, a, within_m=0.0)
+
+    def test_windows_disjoint_and_ordered(self, urban_trajectory):
+        other = urban_trajectory.shifted(dx=45.0, dy=20.0)
+        windows = encounters(urban_trajectory, other, within_m=50.0)
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert s1 <= e1
+            assert e1 < s2
+            assert s2 <= e2

@@ -1,0 +1,131 @@
+"""Tests for traffic-flow analytics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import occupancy_grid, speed_over_time
+from repro.trajectory import Trajectory
+
+
+def constant_speed_trip(speed_ms: float, start: float = 0.0, n: int = 11) -> Trajectory:
+    t = start + np.arange(n) * 10.0
+    x = (t - start) * speed_ms
+    return Trajectory(t, np.column_stack([x, np.zeros_like(x)]), f"v{speed_ms}")
+
+
+class TestSpeedOverTime:
+    def test_single_constant_trip(self):
+        profile = speed_over_time([constant_speed_trip(12.0)], bin_seconds=25.0)
+        measured = profile.mean_speed_ms[~np.isnan(profile.mean_speed_ms)]
+        np.testing.assert_allclose(measured, 12.0)
+
+    def test_congestion_dip_visible(self):
+        """A fast trip early and a slow trip late produce a falling
+        profile."""
+        early = constant_speed_trip(20.0, start=0.0)
+        late = constant_speed_trip(5.0, start=200.0)
+        profile = speed_over_time([early, late], bin_seconds=100.0)
+        valid = profile.mean_speed_ms[~np.isnan(profile.mean_speed_ms)]
+        assert valid[0] == pytest.approx(20.0)
+        assert valid[-1] == pytest.approx(5.0)
+
+    def test_overlapping_trips_average(self):
+        a = constant_speed_trip(10.0)
+        b = constant_speed_trip(20.0)
+        profile = speed_over_time([a, b], bin_seconds=50.0)
+        valid = profile.mean_speed_ms[~np.isnan(profile.mean_speed_ms)]
+        np.testing.assert_allclose(valid, 15.0)
+
+    def test_empty_bins_are_nan(self):
+        early = constant_speed_trip(10.0, start=0.0)
+        late = constant_speed_trip(10.0, start=1000.0)
+        profile = speed_over_time([early, late], bin_seconds=100.0)
+        assert np.isnan(profile.mean_speed_ms[3])
+
+    def test_bin_centers(self):
+        profile = speed_over_time([constant_speed_trip(10.0)], bin_seconds=50.0)
+        np.testing.assert_allclose(
+            profile.bin_centers, (profile.bin_edges[:-1] + profile.bin_edges[1:]) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speed_over_time([constant_speed_trip(10.0)], bin_seconds=0.0)
+        with pytest.raises(ValueError):
+            speed_over_time([Trajectory.from_points([(0, 0, 0)])], bin_seconds=10.0)
+
+
+class TestOdMatrix:
+    def test_counts_trips_between_zones(self):
+        from repro.analysis import od_matrix
+
+        a = constant_speed_trip(10.0)          # 0 -> 1000 east
+        b = constant_speed_trip(10.0).shifted(dy=5.0).with_object_id("b")
+        back = Trajectory(
+            a.t, a.xy[::-1].copy(), "back"
+        )  # 1000 -> 0 (reverse positions)
+        matrix = od_matrix([a, b, back], cell_size_m=500.0)
+        assert matrix[((0, 0), (2, 0))] == 2   # a and b: west zone -> east zone
+        assert matrix[((2, 0), (0, 0))] == 1   # the return trip
+
+    def test_single_zone_trip(self):
+        from repro.analysis import od_matrix
+
+        stationary = Trajectory.from_points([(0, 5.0, 5.0), (10, 6.0, 6.0)])
+        matrix = od_matrix([stationary], cell_size_m=100.0)
+        assert matrix == {((0, 0), (0, 0)): 1}
+
+    def test_validation(self):
+        from repro.analysis import od_matrix
+
+        with pytest.raises(ValueError):
+            od_matrix([], cell_size_m=100.0)
+        with pytest.raises(ValueError):
+            od_matrix([constant_speed_trip(10.0)], cell_size_m=0.0)
+
+
+class TestOccupancyGrid:
+    def test_counts_distinct_objects_once_per_cell(self):
+        # Two objects traverse the same corridor; one stays put.
+        a = constant_speed_trip(10.0)
+        b = constant_speed_trip(10.0).shifted(dy=5.0).with_object_id("b")
+        stationary = Trajectory.from_points([(0, 5000.0, 5000.0), (100, 5000.0, 5000.0)])
+        grid = occupancy_grid([a, b, stationary], cell_size_m=250.0)
+        top_cell, top_count = grid.top_cells(1)[0]
+        assert top_count == 2  # a and b, each once
+        assert grid.cell_bbox(top_cell).width == 250.0
+
+    def test_time_window_restricts(self):
+        trip = constant_speed_trip(10.0)  # covers x 0..1000 over t 0..100
+        full = occupancy_grid([trip], cell_size_m=100.0)
+        early = occupancy_grid([trip], cell_size_m=100.0, t0=0.0, t1=30.0)
+        assert len(early.counts) < len(full.counts)
+
+    def test_compressed_trajectory_covers_same_cells(self):
+        """Sampling the piecewise-linear path means a compressed straight
+        run still visits every corridor cell."""
+        trip = constant_speed_trip(10.0)
+        compressed = trip.subset([0, len(trip) - 1])
+        full = occupancy_grid([trip], cell_size_m=100.0)
+        small = occupancy_grid([compressed], cell_size_m=100.0)
+        assert set(small.counts) == set(full.counts)
+
+    def test_top_cells_ordering(self):
+        a = constant_speed_trip(10.0)
+        b = constant_speed_trip(10.0).shifted(dy=1.0).with_object_id("b")
+        grid = occupancy_grid([a, b], cell_size_m=100.0)
+        counts = [count for _, count in grid.top_cells(100)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_validation(self):
+        trip = constant_speed_trip(10.0)
+        with pytest.raises(ValueError):
+            occupancy_grid([trip], cell_size_m=0.0)
+        with pytest.raises(ValueError, match="both"):
+            occupancy_grid([trip], cell_size_m=100.0, t0=0.0)
+        with pytest.raises(ValueError):
+            occupancy_grid([], cell_size_m=100.0)
+        with pytest.raises(ValueError):
+            occupancy_grid([trip], cell_size_m=100.0, sample_interval_s=0.0)

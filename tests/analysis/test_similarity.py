@@ -1,0 +1,120 @@
+"""Tests for trajectory similarity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    hausdorff_distance,
+    max_synchronized_distance,
+    mean_synchronized_distance,
+    overlap_interval,
+    pairwise_matrix,
+)
+from repro.exceptions import TrajectoryError
+from repro.trajectory import Trajectory
+
+
+@pytest.fixture
+def eastbound() -> Trajectory:
+    t = np.arange(0.0, 110.0, 10.0)
+    return Trajectory(t, np.column_stack([t * 10.0, np.zeros_like(t)]), "east")
+
+
+class TestOverlapInterval:
+    def test_full_overlap(self, eastbound):
+        assert overlap_interval(eastbound, eastbound) == (0.0, 100.0)
+
+    def test_partial_overlap(self, eastbound):
+        late = eastbound.shifted(dt=50.0)
+        assert overlap_interval(eastbound, late) == (50.0, 100.0)
+
+    def test_disjoint_raises(self, eastbound):
+        far = eastbound.shifted(dt=1000.0)
+        with pytest.raises(TrajectoryError, match="overlap"):
+            overlap_interval(eastbound, far)
+
+
+class TestSynchronizedDistance:
+    def test_identical_is_zero(self, eastbound):
+        assert mean_synchronized_distance(eastbound, eastbound) == pytest.approx(0.0)
+        assert max_synchronized_distance(eastbound, eastbound) == pytest.approx(0.0)
+
+    def test_parallel_offset(self, eastbound):
+        offset = eastbound.shifted(dy=40.0)
+        assert mean_synchronized_distance(eastbound, offset) == pytest.approx(40.0)
+        assert max_synchronized_distance(eastbound, offset) == pytest.approx(40.0)
+
+    def test_symmetry(self, eastbound):
+        other = eastbound.shifted(dx=15.0, dy=-30.0)
+        assert mean_synchronized_distance(eastbound, other) == pytest.approx(
+            mean_synchronized_distance(other, eastbound)
+        )
+
+    def test_time_lag_registers(self, eastbound):
+        """Same route, driven 20 s later: spatially identical, but the
+        synchronized distance sees the 200 m lag over the overlap."""
+        lagged = eastbound.shifted(dt=20.0)
+        sync = mean_synchronized_distance(eastbound, lagged)
+        assert sync == pytest.approx(200.0)
+        assert hausdorff_distance(eastbound, lagged) < 250.0  # routes overlap
+
+    def test_mean_at_most_max(self, eastbound, urban_trajectory):
+        shifted = urban_trajectory.shifted(dx=25.0)
+        assert mean_synchronized_distance(
+            urban_trajectory, shifted
+        ) <= max_synchronized_distance(urban_trajectory, shifted) + 1e-9
+
+    def test_compression_distance_matches_error_notion(self, urban_trajectory):
+        from repro.core import TDTR
+        from repro.error import mean_synchronized_error
+
+        approx = TDTR(40.0).compress(urban_trajectory).compressed
+        assert mean_synchronized_distance(
+            urban_trajectory, approx
+        ) == pytest.approx(mean_synchronized_error(urban_trajectory, approx), rel=1e-9)
+
+
+class TestHausdorff:
+    def test_identical_routes(self, eastbound):
+        assert hausdorff_distance(eastbound, eastbound) == pytest.approx(0.0)
+
+    def test_offset_routes(self, eastbound):
+        offset = eastbound.shifted(dy=75.0)
+        assert hausdorff_distance(eastbound, offset) == pytest.approx(75.0, rel=0.05)
+
+    def test_time_blind(self, eastbound):
+        """The same road an hour later: Hausdorff ~0, synchronized huge."""
+        later = Trajectory(eastbound.t + 3600.0, eastbound.xy, "later")
+        assert hausdorff_distance(eastbound, later) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self, eastbound):
+        bent = eastbound.shifted(dx=100.0, dy=33.0)
+        assert hausdorff_distance(eastbound, bent) == pytest.approx(
+            hausdorff_distance(bent, eastbound)
+        )
+
+    def test_rejects_bad_samples(self, eastbound):
+        with pytest.raises(ValueError):
+            hausdorff_distance(eastbound, eastbound, n_samples=1)
+
+
+class TestPairwiseMatrix:
+    def test_shape_and_symmetry(self, eastbound):
+        trajs = [eastbound, eastbound.shifted(dy=10.0), eastbound.shifted(dy=50.0)]
+        matrix = pairwise_matrix(trajs)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+        assert matrix[0, 1] == pytest.approx(10.0)
+        assert matrix[0, 2] == pytest.approx(50.0)
+
+    def test_custom_metric(self, eastbound):
+        trajs = [eastbound, eastbound.shifted(dy=10.0)]
+        matrix = pairwise_matrix(trajs, metric=hausdorff_distance)
+        assert matrix[0, 1] == pytest.approx(10.0, rel=0.05)
+
+    def test_rejects_single_trajectory(self, eastbound):
+        with pytest.raises(ValueError):
+            pairwise_matrix([eastbound])

@@ -1,0 +1,56 @@
+"""Tests for the angular-change baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AngularChange
+from repro.trajectory import Trajectory
+
+
+@pytest.fixture
+def l_corner() -> Trajectory:
+    """Straight east, 90-degree corner at index 4, straight north."""
+    pts = [(float(i), 100.0 * i, 0.0) for i in range(5)]
+    pts += [(float(5 + i), 400.0, 100.0 * (i + 1)) for i in range(4)]
+    return Trajectory.from_points(pts)
+
+
+class TestAngularChange:
+    def test_keeps_the_corner(self, l_corner):
+        result = AngularChange(max_angle_rad=np.radians(30)).compress(l_corner)
+        assert 4 in result.indices
+
+    def test_drops_straight_interior(self, l_corner):
+        result = AngularChange(max_angle_rad=np.radians(30)).compress(l_corner)
+        # Straight-run interiors are gone.
+        assert result.n_kept <= 4
+
+    def test_max_gap_limits_span(self, l_corner):
+        capped = AngularChange(
+            max_angle_rad=np.radians(30), max_gap_m=150.0
+        ).compress(l_corner)
+        uncapped = AngularChange(max_angle_rad=np.radians(30)).compress(l_corner)
+        assert capped.n_kept > uncapped.n_kept
+        xy = l_corner.xy[capped.indices]
+        gaps = np.hypot(*(np.diff(xy, axis=0)).T)
+        assert np.all(gaps <= 150.0 * 2 + 1e-9)  # gap checked before adding
+
+    def test_handles_coincident_points(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (1, 0, 0), (2, 100, 0), (3, 100, 100), (4, 200, 100)]
+        )
+        result = AngularChange(np.radians(30)).compress(traj)
+        assert result.indices[0] == 0
+        assert result.indices[-1] == len(traj) - 1
+
+    def test_rejects_bad_angles(self):
+        with pytest.raises(ValueError):
+            AngularChange(max_angle_rad=0.0)
+        with pytest.raises(ValueError, match="at most pi"):
+            AngularChange(max_angle_rad=4.0)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            AngularChange(np.radians(10), max_gap_m=-5.0)

@@ -1,0 +1,81 @@
+"""Tests for the Compressor base class and CompressionResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionResult, Compressor, TDTR
+from repro.core.base import require_positive
+from repro.exceptions import CompressionError, ThresholdError
+from repro.trajectory import Trajectory
+
+
+class KeepEverything(Compressor):
+    name = "keep-everything"
+
+    def select_indices(self, traj):
+        return np.arange(len(traj))
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad(self, bad):
+        with pytest.raises(ThresholdError):
+            require_positive("x", bad)
+
+
+class TestCompressionResult:
+    def test_derived_quantities(self, zigzag):
+        result = CompressionResult(zigzag, np.array([0, 5, 18]), "test")
+        assert result.n_original == 19
+        assert result.n_kept == 3
+        assert result.n_removed == 16
+        assert result.compression_percent == pytest.approx(100 * 16 / 19)
+        assert len(result.compressed) == 3
+
+    def test_compressed_is_cached(self, zigzag):
+        result = CompressionResult(zigzag, np.array([0, 18]), "test")
+        assert result.compressed is result.compressed
+
+    def test_requires_endpoints(self, zigzag):
+        with pytest.raises(CompressionError, match="first and last"):
+            CompressionResult(zigzag, np.array([0, 5]), "test")
+        with pytest.raises(CompressionError, match="first and last"):
+            CompressionResult(zigzag, np.array([1, 18]), "test")
+
+    def test_requires_increasing(self, zigzag):
+        with pytest.raises(CompressionError, match="strictly increasing"):
+            CompressionResult(zigzag, np.array([0, 5, 5, 18]), "test")
+
+    def test_requires_nonempty(self, zigzag):
+        with pytest.raises(CompressionError, match=">= 1 point"):
+            CompressionResult(zigzag, np.array([], dtype=int), "test")
+
+    def test_repr(self, zigzag):
+        result = CompressionResult(zigzag, np.array([0, 18]), "demo")
+        assert "demo" in repr(result)
+        assert "19 -> 2" in repr(result)
+
+
+class TestCompressorBase:
+    def test_short_series_pass_through(self):
+        traj = Trajectory.from_points([(0, 0, 0), (1, 500, 500)])
+        result = KeepEverything().compress(traj)
+        assert result.n_kept == 2
+        single = Trajectory.from_points([(0, 0, 0)])
+        assert KeepEverything().compress(single).n_kept == 1
+
+    def test_call_is_compress(self, zigzag):
+        compressor = KeepEverything()
+        assert np.array_equal(
+            compressor(zigzag).indices, compressor.compress(zigzag).indices
+        )
+
+    def test_repr_shows_params(self):
+        text = repr(TDTR(epsilon=25.0))
+        assert "TDTR" in text
+        assert "25.0" in text

@@ -1,0 +1,98 @@
+"""Tests for dead-reckoning compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import DeadReckoning, OPWTR
+from repro.error import mean_synchronized_error
+from repro.exceptions import ThresholdError
+from repro.trajectory import Trajectory
+
+from tests.conftest import trajectories
+
+
+class TestDeadReckoning:
+    def test_constant_velocity_collapses(self, straight_line):
+        """After the first update, the extrapolation is exact forever."""
+        result = DeadReckoning(epsilon=30.0).compress(straight_line)
+        # First point predicts stationary, so the second moving point
+        # violates once; from then on the velocity is right.
+        assert result.n_kept <= 3
+
+    def test_turn_forces_update(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 100, 0), (20, 200, 0), (30, 200, 100), (40, 200, 200)]
+        )
+        result = DeadReckoning(epsilon=30.0).compress(traj)
+        assert 3 in result.indices  # first point off the predicted line
+
+    def test_stop_forces_update(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 100, 0), (20, 200, 0), (30, 205, 0), (40, 207, 0)]
+        )
+        result = DeadReckoning(epsilon=30.0).compress(traj)
+        assert 3 in result.indices  # prediction says x=300, actual 205
+
+    def test_threshold_bounds_prediction_error(self, urban_trajectory):
+        """Every discarded point was within epsilon of the anchor's
+        extrapolation at its own timestamp."""
+        eps = 40.0
+        result = DeadReckoning(eps).compress(urban_trajectory)
+        kept = set(result.indices.tolist())
+        t = urban_trajectory.t
+        xy = urban_trajectory.xy
+        anchor = 0
+        velocity = np.zeros(2)
+        for i in range(1, len(urban_trajectory) - 1):
+            predicted = xy[anchor] + velocity * (t[i] - t[anchor])
+            deviation = float(np.hypot(*(xy[i] - predicted)))
+            if i in kept:
+                anchor = i
+                velocity = (xy[i] - xy[i - 1]) / (t[i] - t[i - 1])
+            else:
+                assert deviation <= eps + 1e-9
+
+    def test_monotone_in_threshold(self, urban_trajectory):
+        kept = [
+            DeadReckoning(eps).compress(urban_trajectory).n_kept
+            for eps in (10.0, 30.0, 90.0)
+        ]
+        assert kept == sorted(kept, reverse=True)
+
+    def test_online_and_linear_time(self):
+        assert DeadReckoning(10.0).online
+
+    def test_worse_error_than_opw_tr_but_cheaper_selection(self, small_dataset):
+        """Hindsight chords beat forward extrapolation at equal epsilon
+        in the compression/error trade — DR's niche is its O(N) cost."""
+        eps = 40.0
+        dr_err = np.mean(
+            [
+                mean_synchronized_error(t, DeadReckoning(eps).compress(t).compressed)
+                for t in small_dataset
+            ]
+        )
+        opw_err = np.mean(
+            [
+                mean_synchronized_error(t, OPWTR(eps).compress(t).compressed)
+                for t in small_dataset
+            ]
+        )
+        # DR is allowed to be worse, never catastrophically so at this eps.
+        assert dr_err <= eps
+        assert opw_err <= dr_err * 1.5 + 1e-9 or dr_err >= opw_err
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ThresholdError):
+            DeadReckoning(0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(min_points=3, max_points=30))
+    def test_property_contract(self, traj):
+        result = DeadReckoning(25.0).compress(traj)
+        assert result.indices[0] == 0
+        assert result.indices[-1] == len(traj) - 1
+        assert np.all(np.diff(result.indices) > 0)

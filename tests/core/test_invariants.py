@@ -1,0 +1,81 @@
+"""Cross-algorithm property tests: invariants every compressor honours."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Compressor, available_compressors, make_compressor
+from repro.trajectory import Trajectory
+
+from tests.conftest import trajectories
+
+_PARAMS: dict[str, dict[str, float | int]] = {
+    "ndp": {"epsilon": 25.0},
+    "td-tr": {"epsilon": 25.0},
+    "nopw": {"epsilon": 25.0},
+    "bopw": {"epsilon": 25.0},
+    "opw-tr": {"epsilon": 25.0},
+    "opw-sp": {"max_dist_error": 25.0, "max_speed_error": 5.0},
+    "td-sp": {"max_dist_error": 25.0, "max_speed_error": 5.0},
+    "every-ith": {"step": 3},
+    "distance-threshold": {"epsilon": 25.0},
+    "angular": {"max_angle_rad": 0.4},
+    "sliding-window": {"epsilon": 25.0},
+    "bottom-up": {"epsilon": 25.0},
+    "td-tr-budget": {"budget": 6},
+    "bottom-up-budget": {"budget": 6},
+    "bottom-up-total-error": {"max_mean_error": 10.0},
+    "dead-reckoning": {"epsilon": 25.0},
+}
+
+
+def all_compressors() -> list[Compressor]:
+    assert sorted(_PARAMS) == available_compressors()
+    return [make_compressor(name, **kwargs) for name, kwargs in _PARAMS.items()]
+
+
+@pytest.mark.parametrize("compressor", all_compressors(), ids=lambda c: c.name)
+class TestUniversalInvariants:
+    def test_keeps_endpoints(self, compressor, urban_trajectory):
+        result = compressor.compress(urban_trajectory)
+        assert result.indices[0] == 0
+        assert result.indices[-1] == len(urban_trajectory) - 1
+
+    def test_indices_strictly_increasing(self, compressor, urban_trajectory):
+        result = compressor.compress(urban_trajectory)
+        assert np.all(np.diff(result.indices) > 0)
+
+    def test_compressed_is_subseries(self, compressor, urban_trajectory):
+        result = compressor.compress(urban_trajectory)
+        approx = result.compressed
+        np.testing.assert_array_equal(approx.t, urban_trajectory.t[result.indices])
+        np.testing.assert_array_equal(approx.xy, urban_trajectory.xy[result.indices])
+
+    def test_deterministic(self, compressor, urban_trajectory):
+        first = compressor.compress(urban_trajectory).indices
+        second = compressor.compress(urban_trajectory).indices
+        np.testing.assert_array_equal(first, second)
+
+    def test_two_point_trajectory_pass_through(self, compressor):
+        traj = Trajectory.from_points([(0, 0, 0), (5, 1000, -1000)])
+        assert compressor.compress(traj).n_kept == 2
+
+    def test_preserves_object_id(self, compressor, urban_trajectory):
+        assert (
+            compressor.compress(urban_trajectory).compressed.object_id
+            == urban_trajectory.object_id
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(trajectories(min_points=3, max_points=30))
+def test_all_algorithms_on_random_trajectories(traj):
+    """No compressor crashes or violates the subseries contract on
+    arbitrary valid input (stationary stretches, wild speeds, ...)."""
+    for compressor in all_compressors():
+        result = compressor.compress(traj)
+        assert result.indices[0] == 0
+        assert result.indices[-1] == len(traj) - 1
+        assert np.all(np.diff(result.indices) > 0)

@@ -1,0 +1,54 @@
+"""Tests for the name-based compressor registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    OPWSP,
+    TDTR,
+    available_compressors,
+    make_compressor,
+)
+
+
+class TestRegistry:
+    def test_all_names_construct(self, zigzag):
+        params = {
+            "ndp": {"epsilon": 30.0},
+            "td-tr": {"epsilon": 30.0},
+            "nopw": {"epsilon": 30.0},
+            "bopw": {"epsilon": 30.0},
+            "opw-tr": {"epsilon": 30.0},
+            "opw-sp": {"max_dist_error": 30.0, "max_speed_error": 5.0},
+            "td-sp": {"max_dist_error": 30.0, "max_speed_error": 5.0},
+            "every-ith": {"step": 3},
+            "distance-threshold": {"epsilon": 30.0},
+            "angular": {"max_angle_rad": 0.5},
+            "sliding-window": {"epsilon": 30.0},
+            "bottom-up": {"epsilon": 30.0},
+            "td-tr-budget": {"budget": 6},
+            "bottom-up-budget": {"budget": 6},
+            "bottom-up-total-error": {"max_mean_error": 10.0},
+            "dead-reckoning": {"epsilon": 30.0},
+        }
+        assert sorted(params) == available_compressors()
+        for name, kwargs in params.items():
+            compressor = make_compressor(name, **kwargs)
+            result = compressor.compress(zigzag)
+            assert result.indices[0] == 0
+            assert result.indices[-1] == len(zigzag) - 1
+
+    def test_constructed_types(self):
+        assert isinstance(make_compressor("td-tr", epsilon=10.0), TDTR)
+        assert isinstance(
+            make_compressor("opw-sp", max_dist_error=10.0, max_speed_error=5.0), OPWSP
+        )
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            make_compressor("super-compress")
+
+    def test_bad_params_propagate(self):
+        with pytest.raises(TypeError):
+            make_compressor("td-tr", wrong_param=1.0)

@@ -1,0 +1,132 @@
+"""Tests for the SP class: OPW-SP, TD-SP and the paper's SPT pseudocode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import OPWSP, OPWTR, TDSP, TDTR, speed_violations, spt_paper_indices
+from repro.error import max_synchronized_error
+from repro.exceptions import ThresholdError
+from repro.trajectory import Trajectory
+
+from tests.conftest import trajectories
+
+
+@pytest.fixture
+def braking() -> Trajectory:
+    """Constant-heading drive with a hard braking event at index 3.
+
+    Geometrically and temporally the line is well approximated by its
+    endpoints at coarse thresholds, but the speed profile jumps from
+    20 m/s to 2 m/s — the event the SP criterion exists to retain.
+    """
+    return Trajectory.from_points(
+        [(0, 0, 0), (10, 200, 0), (20, 400, 0), (30, 600, 0),
+         (40, 620, 0), (50, 640, 0), (60, 660, 0)]
+    )
+
+
+class TestSpeedViolations:
+    def test_flags_braking_point(self, braking):
+        mask = speed_violations(braking, max_speed_error=5.0)
+        assert mask[3]
+        assert not mask[1]
+
+    def test_endpoints_never_flagged(self, braking):
+        mask = speed_violations(braking, max_speed_error=0.001)
+        assert not mask[0]
+        assert not mask[-1]
+
+    def test_short_series(self):
+        two = Trajectory.from_points([(0, 0, 0), (1, 100, 0)])
+        assert not speed_violations(two, 1.0).any()
+
+
+class TestOPWSP:
+    def test_matches_paper_pseudocode_exactly(self, urban_trajectory, zigzag):
+        """OPWSP is the vectorized form of the paper's SPT pseudocode."""
+        for traj in (urban_trajectory, zigzag):
+            for dist_eps, speed_eps in ((20.0, 2.0), (40.0, 5.0), (80.0, 25.0)):
+                faithful = spt_paper_indices(traj, dist_eps, speed_eps)
+                optimized = OPWSP(dist_eps, speed_eps).compress(traj).indices
+                np.testing.assert_array_equal(faithful, optimized)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(min_points=3, max_points=25))
+    def test_property_matches_paper_pseudocode(self, traj):
+        faithful = spt_paper_indices(traj, 25.0, 5.0)
+        optimized = OPWSP(25.0, 5.0).compress(traj).indices
+        np.testing.assert_array_equal(faithful, optimized)
+
+    def test_retains_braking_point(self, braking):
+        # Distance threshold generous; only the speed criterion fires.
+        result = OPWSP(max_dist_error=500.0, max_speed_error=5.0).compress(braking)
+        assert 3 in result.indices
+
+    def test_large_speed_threshold_degenerates_to_opw_tr(self, urban_trajectory):
+        """The paper: OPW-SP(25 m/s) coincides with OPW-TR."""
+        sp = OPWSP(50.0, 1000.0).compress(urban_trajectory)
+        tr = OPWTR(50.0).compress(urban_trajectory)
+        np.testing.assert_array_equal(sp.indices, tr.indices)
+
+    def test_smaller_speed_threshold_keeps_more(self, urban_trajectory):
+        kept = [
+            OPWSP(50.0, speed).compress(urban_trajectory).n_kept
+            for speed in (1.0, 5.0, 25.0)
+        ]
+        assert kept == sorted(kept, reverse=True)
+
+    def test_sed_bound_still_holds(self, urban_trajectory):
+        approx = OPWSP(40.0, 5.0).compress(urban_trajectory).compressed
+        assert max_synchronized_error(urban_trajectory, approx) <= 40.0 + 1e-9
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ThresholdError):
+            OPWSP(0.0, 5.0)
+        with pytest.raises(ThresholdError):
+            OPWSP(50.0, -1.0)
+
+    def test_is_online(self):
+        assert OPWSP(10.0, 5.0).online
+
+
+class TestSptPaperPort:
+    def test_short_series_returned_as_is(self):
+        two = Trajectory.from_points([(0, 0, 0), (1, 9, 9)])
+        np.testing.assert_array_equal(spt_paper_indices(two, 10.0, 5.0), [0, 1])
+
+    def test_endpoints_always_kept(self, zigzag):
+        idx = spt_paper_indices(zigzag, 30.0, 5.0)
+        assert idx[0] == 0
+        assert idx[-1] == len(zigzag) - 1
+
+    def test_rejects_bad_thresholds(self, zigzag):
+        with pytest.raises(ThresholdError):
+            spt_paper_indices(zigzag, -1.0, 5.0)
+
+
+class TestTDSP:
+    def test_retains_braking_point(self, braking):
+        result = TDSP(max_dist_error=500.0, max_speed_error=5.0).compress(braking)
+        assert 3 in result.indices
+
+    def test_retains_all_speed_violations(self, urban_trajectory):
+        speed_eps = 3.0
+        mask = speed_violations(urban_trajectory, speed_eps)
+        result = TDSP(60.0, speed_eps).compress(urban_trajectory)
+        violating = set(np.nonzero(mask)[0].tolist())
+        assert violating <= set(result.indices.tolist())
+
+    def test_large_speed_threshold_degenerates_to_td_tr(self, urban_trajectory):
+        sp = TDSP(50.0, 1000.0).compress(urban_trajectory)
+        tr = TDTR(50.0).compress(urban_trajectory)
+        np.testing.assert_array_equal(sp.indices, tr.indices)
+
+    def test_sed_bound_still_holds(self, urban_trajectory):
+        approx = TDSP(40.0, 5.0).compress(urban_trajectory).compressed
+        assert max_synchronized_error(urban_trajectory, approx) <= 40.0 + 1e-9
+
+    def test_batch_flag(self):
+        assert not TDSP(10.0, 5.0).online

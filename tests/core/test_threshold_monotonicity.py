@@ -1,0 +1,85 @@
+"""Threshold-nesting properties of the top-down algorithms.
+
+For Douglas–Peucker-style recursion, raising the threshold can only stop
+the recursion earlier: the split decisions for a larger epsilon are a
+prefix of those for a smaller one, so the retained index set *nests* —
+``keep(eps_large) ⊆ keep(eps_small)``. This is a strong structural
+property worth pinning (the opening-window family does not share it: a
+different early break can shift all later windows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NOPW, DouglasPeucker, TDTR
+
+from tests.conftest import trajectories
+
+
+def _is_subset(smaller: np.ndarray, larger: np.ndarray) -> bool:
+    return set(smaller.tolist()) <= set(larger.tolist())
+
+
+class TestTopDownNesting:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        trajectories(min_points=3, max_points=40),
+        st.floats(5.0, 50.0),
+        st.floats(1.01, 4.0),
+    )
+    def test_ndp_nesting(self, traj, eps, factor):
+        small = DouglasPeucker(eps).compress(traj).indices
+        large = DouglasPeucker(eps * factor).compress(traj).indices
+        assert _is_subset(large, small)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        trajectories(min_points=3, max_points=40),
+        st.floats(5.0, 50.0),
+        st.floats(1.01, 4.0),
+    )
+    def test_tdtr_nesting(self, traj, eps, factor):
+        small = TDTR(eps).compress(traj).indices
+        large = TDTR(eps * factor).compress(traj).indices
+        assert _is_subset(large, small)
+
+    def test_nesting_over_the_paper_grid(self, urban_trajectory):
+        """Across the paper's whole 30..100 m sweep the TD-TR index sets
+        form a chain."""
+        previous: np.ndarray | None = None
+        for eps in np.arange(30.0, 101.0, 5.0):
+            current = TDTR(float(eps)).compress(urban_trajectory).indices
+            if previous is not None:
+                assert _is_subset(current, previous)
+            previous = current
+
+    def test_opening_window_does_not_nest(self, urban_trajectory):
+        """Documenting the contrast: OPW selections genuinely shift with
+        the threshold rather than nesting (at least somewhere on the
+        sweep for this fixture)."""
+        nested_everywhere = True
+        previous: np.ndarray | None = None
+        for eps in np.arange(30.0, 101.0, 5.0):
+            current = NOPW(float(eps)).compress(urban_trajectory).indices
+            if previous is not None and not _is_subset(current, previous):
+                nested_everywhere = False
+            previous = current
+        assert not nested_everywhere
+
+
+class TestBudgetNesting:
+    def test_td_tr_budget_is_nested_in_itself(self, urban_trajectory):
+        """Best-first splitting grows the kept set one point at a time,
+        so smaller budgets are prefixes of larger ones."""
+        from repro.core import TDTRBudget
+
+        previous: np.ndarray | None = None
+        for budget in (2, 4, 8, 16, 32):
+            current = TDTRBudget(budget).compress(urban_trajectory).indices
+            if previous is not None:
+                assert _is_subset(previous, current)
+            previous = current

@@ -1,0 +1,55 @@
+"""Tests for the naive baselines (every-ith, distance-threshold)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceThreshold, EveryIth
+from repro.trajectory import Trajectory
+
+
+class TestEveryIth:
+    def test_decimation(self, zigzag):
+        result = EveryIth(step=4).compress(zigzag)
+        np.testing.assert_array_equal(result.indices, [0, 4, 8, 12, 16, 18])
+
+    def test_step_one_is_identity(self, zigzag):
+        result = EveryIth(step=1).compress(zigzag)
+        assert result.n_kept == len(zigzag)
+
+    def test_huge_step_keeps_endpoints(self, zigzag):
+        result = EveryIth(step=100).compress(zigzag)
+        np.testing.assert_array_equal(result.indices, [0, 18])
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            EveryIth(step=0)
+        with pytest.raises(ValueError):
+            EveryIth(step=2.5)  # type: ignore[arg-type]
+
+
+class TestDistanceThreshold:
+    def test_drops_close_points(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (1, 2, 0), (2, 4, 0), (3, 100, 0), (4, 102, 0), (5, 200, 0)]
+        )
+        result = DistanceThreshold(epsilon=50.0).compress(traj)
+        np.testing.assert_array_equal(result.indices, [0, 3, 5])
+
+    def test_spacing_between_kept_points(self, urban_trajectory):
+        eps = 120.0
+        idx = DistanceThreshold(eps).compress(urban_trajectory).indices
+        xy = urban_trajectory.xy[idx]
+        # All gaps except possibly the final one respect the spacing.
+        gaps = np.hypot(*(np.diff(xy, axis=0)).T)
+        assert np.all(gaps[:-1] >= eps - 1e-9)
+
+    def test_stationary_object_collapses(self):
+        traj = Trajectory.from_points([(i, 0.0, 0.0) for i in range(10)])
+        result = DistanceThreshold(1.0).compress(traj)
+        np.testing.assert_array_equal(result.indices, [0, 9])
+
+    def test_is_online(self):
+        assert DistanceThreshold(1.0).online
+        assert EveryIth(2).online

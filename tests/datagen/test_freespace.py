@@ -1,0 +1,117 @@
+"""Tests for pedestrian and migration movement models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    MigrationModel,
+    PedestrianModel,
+    generate_migration_trajectory,
+    generate_pedestrian_trajectory,
+    simulate_migration,
+    simulate_pedestrian,
+)
+from repro.exceptions import DataGenError
+from repro.trajectory import Trajectory, stop_episodes, trajectory_stats
+
+
+class TestPedestrianModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PedestrianModel(area_m=0.0)
+        with pytest.raises(ValueError):
+            PedestrianModel(speed_range_ms=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            PedestrianModel(pause_prob=1.5)
+
+    def test_stays_inside_area(self):
+        model = PedestrianModel(area_m=200.0)
+        trace = simulate_pedestrian(600.0, model, np.random.default_rng(1))
+        assert float(trace.xy.min()) >= -1e-9
+        assert float(trace.xy.max()) <= 200.0 + 1e-9
+
+    def test_duration_honoured(self):
+        model = PedestrianModel()
+        trace = simulate_pedestrian(900.0, model, np.random.default_rng(2))
+        assert trace.duration_s >= 900.0 - model.dt_s
+        # Pauses may push slightly past the end, never wildly.
+        assert trace.duration_s <= 900.0 + max(model.pause_duration_range_s)
+
+    def test_walking_speeds(self):
+        traj = generate_pedestrian_trajectory(seed=4, duration_s=1200.0)
+        stats = trajectory_stats(traj)
+        assert 1.0 <= stats.mean_speed_kmh <= 8.0  # pauses drag it down
+
+    def test_pauses_present(self):
+        model = PedestrianModel(pause_prob=1.0, pause_duration_range_s=(30.0, 60.0))
+        trace = simulate_pedestrian(600.0, model, np.random.default_rng(5))
+        traj = Trajectory(trace.t, trace.xy)
+        assert stop_episodes(traj, speed_threshold_ms=0.05, min_duration_s=20.0)
+
+    def test_deterministic_under_seed(self):
+        a = generate_pedestrian_trajectory(seed=6)
+        b = generate_pedestrian_trajectory(seed=6)
+        assert a == b
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(DataGenError):
+            simulate_pedestrian(0.0, PedestrianModel(), np.random.default_rng(0))
+
+
+class TestMigrationModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationModel(mean_speed_ms=0.0)
+        with pytest.raises(ValueError):
+            MigrationModel(heading_persistence=1.0)
+        with pytest.raises(ValueError):
+            MigrationModel(rest_duration_range_s=(100.0, 50.0))
+
+    def test_net_drift_along_bearing(self):
+        model = MigrationModel(bearing_rad=0.0, rest_prob_per_hour=0.0)
+        trace = simulate_migration(3600.0, model, np.random.default_rng(7))
+        displacement = trace.xy[-1] - trace.xy[0]
+        assert displacement[0] > 10_000.0  # strong eastward progress
+        assert abs(displacement[1]) < displacement[0]
+
+    def test_rests_freeze_position(self):
+        model = MigrationModel(
+            rest_prob_per_hour=50.0, rest_duration_range_s=(300.0, 600.0)
+        )
+        trace = simulate_migration(3600.0, model, np.random.default_rng(8))
+        traj = Trajectory(trace.t, trace.xy)
+        assert stop_episodes(traj, speed_threshold_ms=0.05, min_duration_s=200.0)
+
+    def test_plausible_statistics(self):
+        traj = generate_migration_trajectory(seed=9)
+        stats = trajectory_stats(traj)
+        assert stats.duration_s == pytest.approx(6 * 3600.0, rel=0.02)
+        assert 20.0 <= stats.mean_speed_kmh <= 70.0
+        # A migrant is far more direct than a commuter.
+        assert stats.displacement_m / stats.length_m > 0.5
+
+    def test_deterministic_under_seed(self):
+        a = generate_migration_trajectory(seed=10)
+        b = generate_migration_trajectory(seed=10)
+        assert a == b
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(DataGenError):
+            simulate_migration(-5.0, MigrationModel(), np.random.default_rng(0))
+
+
+class TestCompressionAcrossNatures:
+    def test_all_algorithms_run_on_every_nature(self):
+        from repro.core import OPWSP, TDTR
+
+        natures = [
+            generate_pedestrian_trajectory(seed=11, duration_s=900.0),
+            generate_migration_trajectory(seed=11, duration_s=2 * 3600.0),
+        ]
+        for traj in natures:
+            for algo in (TDTR(25.0), OPWSP(25.0, 5.0)):
+                result = algo.compress(traj)
+                assert result.indices[0] == 0
+                assert result.indices[-1] == len(traj) - 1

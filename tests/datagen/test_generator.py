@@ -1,0 +1,103 @@
+"""Tests for the top-level trajectory generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    GpsNoise,
+    PAPER_PROFILES,
+    TrajectoryGenerator,
+    URBAN,
+    WorkloadProfile,
+    generate_dataset,
+    sample_trace,
+)
+from repro.datagen.vehicle import DriveTrace
+from repro.exceptions import DataGenError
+from repro.trajectory import trajectory_stats
+
+
+class TestSampleTrace:
+    @pytest.fixture
+    def trace(self) -> DriveTrace:
+        t = np.arange(0.0, 100.5, 0.5)
+        xy = np.column_stack([t * 10.0, np.zeros_like(t)])
+        return DriveTrace(t, xy)
+
+    def test_sampling_interval(self, trace):
+        t, xy = sample_trace(trace, 10.0, GpsNoise(sigma_m=0.0), np.random.default_rng(0))
+        np.testing.assert_allclose(np.diff(t), 10.0)
+        np.testing.assert_allclose(xy[:, 0], t * 10.0)
+
+    def test_final_instant_included(self, trace):
+        t, _ = sample_trace(trace, 7.0, GpsNoise(sigma_m=0.0), np.random.default_rng(0))
+        assert t[-1] == pytest.approx(100.0)
+
+    def test_start_time_rebased(self, trace):
+        t, _ = sample_trace(
+            trace, 10.0, GpsNoise(sigma_m=0.0), np.random.default_rng(0),
+            start_time_s=500.0,
+        )
+        assert t[0] == pytest.approx(500.0)
+
+    def test_rejects_bad_interval(self, trace):
+        with pytest.raises(DataGenError):
+            sample_trace(trace, 0.0, GpsNoise(), np.random.default_rng(0))
+
+
+class TestTrajectoryGenerator:
+    def test_deterministic_under_seed(self):
+        a = TrajectoryGenerator(seed=9).generate(URBAN, "x")
+        b = TrajectoryGenerator(seed=9).generate(URBAN, "x")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TrajectoryGenerator(seed=9).generate(URBAN, "x")
+        b = TrajectoryGenerator(seed=10).generate(URBAN, "x")
+        assert a != b
+
+    def test_sampling_interval_respected(self):
+        traj = TrajectoryGenerator(seed=3).generate(URBAN)
+        gaps = np.diff(traj.t)
+        # All gaps are the profile's interval except possibly the last.
+        np.testing.assert_allclose(gaps[:-1], URBAN.sample_interval_s)
+
+    def test_statistics_plausible_for_profile(self):
+        profile = URBAN.with_length(8_000.0)
+        stats = trajectory_stats(TrajectoryGenerator(seed=4).generate(profile))
+        assert 4_000 <= stats.length_m <= 16_000
+        assert 10.0 <= stats.mean_speed_kmh <= 60.0
+
+    def test_network_cache_reused(self):
+        generator = TrajectoryGenerator(seed=5)
+        generator.generate(URBAN)
+        generator.generate(URBAN.with_length(9_000.0))  # same network geometry
+        assert len(generator._networks) == 1
+
+    def test_true_and_observed_pair(self):
+        generator = TrajectoryGenerator(seed=6)
+        true, observed = generator.generate_true_and_observed(URBAN, "car")
+        assert len(true) == len(observed)
+        np.testing.assert_array_equal(true.t, observed.t)
+        offsets = np.hypot(*(true.xy - observed.xy).T)
+        assert 0.0 < float(offsets.mean()) < 30.0
+        assert true.object_id == "car-true"
+        assert observed.object_id == "car"
+
+
+class TestGenerateDataset:
+    def test_ids_and_count(self):
+        profiles = (URBAN.with_length(4_000.0), URBAN.with_length(5_000.0))
+        dataset = generate_dataset(profiles, seed=1, id_prefix="t")
+        assert [traj.object_id for traj in dataset] == ["t-00-urban", "t-01-urban"]
+
+    def test_paper_profiles_have_ten_trips(self):
+        assert len(PAPER_PROFILES) == 10
+
+    def test_profile_with_length(self):
+        modified = URBAN.with_length(12_345.0)
+        assert modified.target_length_m == 12_345.0
+        assert modified.name == URBAN.name
+        assert isinstance(modified, WorkloadProfile)

@@ -1,0 +1,76 @@
+"""Tests for the GPS noise model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import GpsNoise
+
+
+class TestGpsNoise:
+    def test_zero_sigma_is_noiseless(self):
+        noise = GpsNoise(sigma_m=0.0)
+        t = np.arange(0.0, 100.0, 10.0)
+        xy = np.random.default_rng(0).normal(size=(10, 2))
+        np.testing.assert_array_equal(
+            noise.apply(t, xy, np.random.default_rng(1)), xy
+        )
+
+    def test_stationary_variance_matches_sigma(self):
+        noise = GpsNoise(sigma_m=5.0, correlation_time_s=20.0)
+        t = np.arange(0.0, 50_000.0, 10.0)
+        errors = noise.sample_errors(t, np.random.default_rng(2))
+        assert float(errors.std()) == pytest.approx(5.0, rel=0.1)
+
+    def test_white_noise_variance(self):
+        noise = GpsNoise(sigma_m=3.0, correlation_time_s=0.0)
+        t = np.arange(0.0, 20_000.0, 10.0)
+        errors = noise.sample_errors(t, np.random.default_rng(3))
+        assert float(errors.std()) == pytest.approx(3.0, rel=0.1)
+
+    def test_autocorrelation_present(self):
+        """Correlated noise: adjacent errors are similar; white: not."""
+        t = np.arange(0.0, 20_000.0, 10.0)
+        correlated = GpsNoise(sigma_m=5.0, correlation_time_s=60.0).sample_errors(
+            t, np.random.default_rng(4)
+        )
+        white = GpsNoise(sigma_m=5.0, correlation_time_s=0.0).sample_errors(
+            t, np.random.default_rng(4)
+        )
+
+        def lag1(e: np.ndarray) -> float:
+            x = e[:, 0]
+            return float(np.corrcoef(x[:-1], x[1:])[0, 1])
+
+        assert lag1(correlated) > 0.5
+        assert abs(lag1(white)) < 0.1
+
+    def test_outliers_injected(self):
+        noise = GpsNoise(
+            sigma_m=1.0, correlation_time_s=0.0, outlier_prob=0.2, outlier_sigma_m=100.0
+        )
+        t = np.arange(0.0, 5_000.0, 10.0)
+        errors = noise.sample_errors(t, np.random.default_rng(5))
+        magnitudes = np.hypot(errors[:, 0], errors[:, 1])
+        assert np.count_nonzero(magnitudes > 20.0) > 10
+
+    def test_deterministic_under_seed(self):
+        noise = GpsNoise(sigma_m=4.0)
+        t = np.arange(0.0, 1_000.0, 10.0)
+        a = noise.sample_errors(t, np.random.default_rng(6))
+        b = noise.sample_errors(t, np.random.default_rng(6))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpsNoise(sigma_m=-1.0)
+        with pytest.raises(ValueError):
+            GpsNoise(correlation_time_s=-1.0)
+        with pytest.raises(ValueError):
+            GpsNoise(outlier_prob=2.0)
+
+    def test_empty_input(self):
+        noise = GpsNoise()
+        out = noise.sample_errors(np.array([]), np.random.default_rng(0))
+        assert out.shape == (0, 2)

@@ -1,0 +1,54 @@
+"""Tests for workload profiles."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.datagen import HIGHWAY, PAPER_PROFILES, RURAL, URBAN, WorkloadProfile
+
+
+class TestProfiles:
+    def test_named_profiles_distinct_characters(self):
+        # Urban: small blocks, many stops. Rural/highway: long blocks.
+        assert URBAN.spacing_m < RURAL.spacing_m < HIGHWAY.spacing_m
+        assert URBAN.vehicle.stop_prob > RURAL.vehicle.stop_prob
+        assert HIGHWAY.highway_rows  # highways exist only there
+        assert not URBAN.highway_rows
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            URBAN.target_length_m = 1.0  # type: ignore[misc]
+
+    def test_with_length_returns_modified_copy(self):
+        longer = URBAN.with_length(99_000.0)
+        assert longer.target_length_m == 99_000.0
+        assert URBAN.target_length_m != 99_000.0
+        assert longer.name == URBAN.name
+        assert longer.vehicle == URBAN.vehicle
+
+    def test_paper_profiles_composition(self):
+        names = [profile.name for profile in PAPER_PROFILES]
+        assert len(PAPER_PROFILES) == 10
+        assert names.count("urban") >= 3
+        assert names.count("rural") >= 2
+        assert names.count("highway") >= 2
+
+    def test_paper_profiles_length_spread_matches_table2_spirit(self):
+        """Short and lengthy trips, averaging near the paper's 19.95 km."""
+        lengths = sorted(p.target_length_m for p in PAPER_PROFILES)
+        assert lengths[0] < 8_000.0
+        assert lengths[-1] > 35_000.0
+        mean_km = sum(lengths) / len(lengths) / 1000.0
+        assert mean_km == pytest.approx(19.95, rel=0.15)
+
+    def test_default_sampling_matches_paper_example(self):
+        """The paper's storage arithmetic assumes a fix every 10 s."""
+        for profile in (URBAN, RURAL, HIGHWAY):
+            assert profile.sample_interval_s == 10.0
+
+    def test_custom_profile_construction(self):
+        profile = WorkloadProfile(name="test", rows=5, cols=5, spacing_m=100.0)
+        assert profile.target_length_m > 0
+        assert profile.noise.sigma_m >= 0

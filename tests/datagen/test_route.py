@@ -1,0 +1,120 @@
+"""Tests for route planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import RoadNetwork, Route, plan_route, random_route
+from repro.exceptions import DataGenError
+
+
+@pytest.fixture
+def net() -> RoadNetwork:
+    return RoadNetwork.grid(
+        20, 20, 500.0, np.random.default_rng(13), jitter_frac=0.2, arterial_every=5
+    )
+
+
+class TestRoute:
+    def test_geometry_accessors(self):
+        route = Route(
+            np.array([[0.0, 0.0], [300.0, 400.0], [300.0, 900.0]]),
+            np.array([10.0, 20.0]),
+        )
+        np.testing.assert_allclose(route.leg_lengths, [500.0, 500.0])
+        np.testing.assert_allclose(route.cumulative_lengths, [0, 500, 1000])
+        assert route.total_length_m == pytest.approx(1000.0)
+        assert route.displacement_m == pytest.approx(np.hypot(300, 900))
+
+    def test_turn_angles(self):
+        route = Route(
+            np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 100.0]]),
+            np.array([10.0, 10.0]),
+        )
+        np.testing.assert_allclose(route.turn_angles(), [np.pi / 2])
+
+    def test_position_at_arclength(self):
+        route = Route(
+            np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 100.0]]),
+            np.array([10.0, 10.0]),
+        )
+        np.testing.assert_allclose(route.position_at_arclength(50.0), [50, 0])
+        np.testing.assert_allclose(route.position_at_arclength(150.0), [100, 50])
+        # Clamped at the ends.
+        np.testing.assert_allclose(route.position_at_arclength(-10.0), [0, 0])
+        np.testing.assert_allclose(route.position_at_arclength(999.0), [100, 100])
+
+    def test_position_vectorized(self):
+        route = Route(
+            np.array([[0.0, 0.0], [100.0, 0.0]]), np.array([10.0])
+        )
+        out = route.position_at_arclength(np.array([0.0, 25.0, 100.0]))
+        np.testing.assert_allclose(out, [[0, 0], [25, 0], [100, 0]])
+
+    def test_validation(self):
+        with pytest.raises(DataGenError):
+            Route(np.array([[0.0, 0.0]]), np.array([]))
+        with pytest.raises(DataGenError):
+            Route(np.zeros((3, 2)), np.array([1.0]))
+        with pytest.raises(DataGenError):
+            Route(np.zeros((2, 2)), np.array([-1.0]))
+
+
+class TestPlanRoute:
+    def test_path_endpoints(self, net):
+        route = plan_route(net, (0, 0), (10, 10))
+        np.testing.assert_allclose(route.points[0], net.node_position((0, 0)))
+        np.testing.assert_allclose(route.points[-1], net.node_position((10, 10)))
+
+    def test_speed_limits_match_edges(self, net):
+        route = plan_route(net, (0, 0), (0, 3))
+        assert route.speed_limits.shape[0] == route.points.shape[0] - 1
+        assert np.all(route.speed_limits > 0)
+
+    def test_rejects_same_endpoints(self, net):
+        with pytest.raises(DataGenError, match="coincide"):
+            plan_route(net, (0, 0), (0, 0))
+
+    def test_rejects_unknown_node(self, net):
+        with pytest.raises(DataGenError, match="no route"):
+            plan_route(net, (0, 0), (99, 99))
+
+    def test_prefers_fast_roads(self):
+        """Travel-time routing detours via an arterial when it pays."""
+        net = RoadNetwork.grid(
+            9, 9, 500.0, np.random.default_rng(3), jitter_frac=0.0, arterial_every=4
+        )
+        route = plan_route(net, (3, 0), (5, 8))
+        # The route should use some arterial edges (limit > local 50 km/h).
+        assert float(route.speed_limits.max()) > 14.0
+
+
+class TestRandomRoute:
+    def test_length_near_target(self, net):
+        rng = np.random.default_rng(21)
+        for target in (4_000.0, 8_000.0):
+            route = random_route(net, rng, target)
+            assert 0.6 * target <= route.total_length_m <= 1.6 * target
+
+    def test_displacement_ratio_respected(self, net):
+        rng = np.random.default_rng(22)
+        ratios = []
+        for _ in range(8):
+            route = random_route(net, rng, 6_000.0, displacement_ratio=0.53)
+            ratios.append(route.displacement_m / route.total_length_m)
+        assert 0.35 <= float(np.mean(ratios)) <= 0.75
+
+    def test_rejects_impossible_target(self, net):
+        rng = np.random.default_rng(23)
+        with pytest.raises(DataGenError, match="extent"):
+            random_route(net, rng, 1e9)
+
+    def test_rejects_nonpositive_target(self, net):
+        with pytest.raises(DataGenError, match="positive"):
+            random_route(net, np.random.default_rng(0), 0.0)
+
+    def test_deterministic_under_seed(self, net):
+        r1 = random_route(net, np.random.default_rng(5), 5_000.0)
+        r2 = random_route(net, np.random.default_rng(5), 5_000.0)
+        np.testing.assert_allclose(r1.points, r2.points)

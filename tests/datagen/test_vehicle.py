@@ -1,0 +1,154 @@
+"""Tests for the kinematic vehicle simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import Route, VehicleModel, simulate_drive
+from repro.datagen.vehicle import _backward_pass, _vertex_speed_caps
+from repro.exceptions import DataGenError
+
+
+@pytest.fixture
+def straight_route() -> Route:
+    """Two 1 km legs, no corner (collinear)."""
+    return Route(
+        np.array([[0.0, 0.0], [1000.0, 0.0], [2000.0, 0.0]]),
+        np.array([50.0 / 3.6, 50.0 / 3.6]),
+    )
+
+
+@pytest.fixture
+def corner_route() -> Route:
+    """1 km east then 1 km north: a 90-degree corner."""
+    return Route(
+        np.array([[0.0, 0.0], [1000.0, 0.0], [1000.0, 1000.0]]),
+        np.array([70.0 / 3.6, 70.0 / 3.6]),
+    )
+
+
+class TestVehicleModel:
+    def test_corner_speed_monotone_in_angle(self):
+        model = VehicleModel()
+        limit = 25.0
+        speeds = [
+            model.corner_speed(np.radians(angle), limit) for angle in (0, 30, 60, 90, 150)
+        ]
+        assert speeds[0] == limit  # straight-through: unconstrained
+        assert all(a >= b for a, b in zip(speeds, speeds[1:]))
+        assert speeds[-1] >= model.min_corner_speed_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VehicleModel(accel_ms2=0.0)
+        with pytest.raises(ValueError):
+            VehicleModel(stop_prob=1.5)
+        with pytest.raises(ValueError):
+            VehicleModel(stop_duration_range_s=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            VehicleModel(dt_s=0.0)
+
+
+class TestSpeedEnvelope:
+    def test_backward_pass_enforces_braking_feasibility(self, corner_route):
+        model = VehicleModel(stop_prob=0.0)
+        caps = _vertex_speed_caps(corner_route, model, np.random.default_rng(0))
+        allowed = _backward_pass(corner_route, caps, model.decel_ms2)
+        # From any vertex, the next vertex's allowed speed must be
+        # reachable under the braking limit.
+        lengths = corner_route.leg_lengths
+        for k in range(len(allowed) - 1):
+            max_reachable = np.sqrt(
+                allowed[k + 1] ** 2 + 2 * model.decel_ms2 * lengths[k]
+            )
+            assert allowed[k] <= max_reachable + 1e-9
+
+    def test_final_vertex_is_stop(self, straight_route):
+        model = VehicleModel(stop_prob=0.0)
+        caps = _vertex_speed_caps(straight_route, model, np.random.default_rng(0))
+        assert caps[-1] == 0.0
+
+
+class TestSimulateDrive:
+    def test_starts_and_ends_at_route_ends(self, straight_route):
+        trace = simulate_drive(
+            straight_route, VehicleModel(stop_prob=0.0), np.random.default_rng(1)
+        )
+        np.testing.assert_allclose(trace.xy[0], [0, 0], atol=1e-6)
+        np.testing.assert_allclose(trace.xy[-1], [2000, 0], atol=1.0)
+
+    def test_time_strictly_increasing(self, corner_route):
+        trace = simulate_drive(
+            corner_route, VehicleModel(stop_prob=0.0), np.random.default_rng(1)
+        )
+        assert np.all(np.diff(trace.t) > 0)
+
+    def test_speed_never_exceeds_limit(self, straight_route):
+        model = VehicleModel(stop_prob=0.0)
+        trace = simulate_drive(straight_route, model, np.random.default_rng(2))
+        step = np.diff(trace.xy, axis=0)
+        speeds = np.hypot(step[:, 0], step[:, 1]) / np.diff(trace.t)
+        assert float(speeds.max()) <= float(straight_route.speed_limits.max()) + 0.5
+
+    def test_acceleration_bounded(self, straight_route):
+        model = VehicleModel(stop_prob=0.0)
+        trace = simulate_drive(straight_route, model, np.random.default_rng(2))
+        step = np.diff(trace.xy, axis=0)
+        speeds = np.hypot(step[:, 0], step[:, 1]) / np.diff(trace.t)
+        accel = np.diff(speeds) / model.dt_s
+        assert float(accel.max()) <= model.accel_ms2 + 0.2
+        # Snap-to-vertex on arrival can exceed the braking limit in one
+        # sample; everywhere else deceleration respects the model.
+        assert float(np.percentile(accel, 1)) >= -(model.decel_ms2) - 0.5
+
+    def test_corner_slows_the_vehicle(self, corner_route):
+        model = VehicleModel(stop_prob=0.0)
+        trace = simulate_drive(corner_route, model, np.random.default_rng(3))
+        # Find the sample nearest the corner and check local speed.
+        corner = np.array([1000.0, 0.0])
+        distances = np.hypot(*(trace.xy - corner).T)
+        k = int(np.argmin(distances))
+        k = max(k, 1)
+        local_speed = float(
+            np.hypot(*(trace.xy[k] - trace.xy[k - 1])) / (trace.t[k] - trace.t[k - 1])
+        )
+        limit = float(corner_route.speed_limits.max())
+        assert local_speed < 0.7 * limit
+
+    def test_stop_probability_one_dwells_at_interior_vertex(self, corner_route):
+        model = VehicleModel(stop_prob=1.0, stop_duration_range_s=(20.0, 30.0))
+        trace = simulate_drive(corner_route, model, np.random.default_rng(4))
+        # Dwell: many consecutive samples at (nearly) the same position.
+        step = np.hypot(*(np.diff(trace.xy, axis=0)).T)
+        longest_still = 0
+        run = 0
+        for s in step:
+            run = run + 1 if s < 1e-9 else 0
+            longest_still = max(longest_still, run)
+        assert longest_still * model.dt_s >= 19.0
+
+    def test_start_time_offset(self, straight_route):
+        trace = simulate_drive(
+            straight_route,
+            VehicleModel(stop_prob=0.0),
+            np.random.default_rng(5),
+            start_time_s=1000.0,
+        )
+        assert trace.t[0] == pytest.approx(1000.0)
+
+    def test_timeout_guard(self, straight_route):
+        with pytest.raises(DataGenError, match="did not finish"):
+            simulate_drive(
+                straight_route,
+                VehicleModel(stop_prob=0.0),
+                np.random.default_rng(6),
+                max_sim_hours=0.001,
+            )
+
+    def test_duration_plausible(self, straight_route):
+        """2 km at <= 50 km/h with accel ramps: between 2.4 and 10 min."""
+        trace = simulate_drive(
+            straight_route, VehicleModel(stop_prob=0.0), np.random.default_rng(7)
+        )
+        assert 144.0 <= trace.duration_s <= 600.0

@@ -1,0 +1,76 @@
+"""Tests for compression accounting and the composite report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TDTR
+from repro.error import (
+    compression_percent,
+    compression_ratio,
+    evaluate_compression,
+    mean_speed_error,
+)
+from repro.trajectory import Trajectory
+
+
+class TestCompressionAccounting:
+    def test_percent(self):
+        assert compression_percent(100, 10) == pytest.approx(90.0)
+        assert compression_percent(100, 100) == 0.0
+
+    def test_percent_validation(self):
+        with pytest.raises(ValueError):
+            compression_percent(0, 0)
+        with pytest.raises(ValueError):
+            compression_percent(10, 0)
+        with pytest.raises(ValueError):
+            compression_percent(10, 11)
+
+    def test_ratio(self):
+        assert compression_ratio(100, 10) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+
+class TestMeanSpeedError:
+    def test_zero_when_speed_profile_preserved(self, straight_line):
+        approx = straight_line.subset([0, len(straight_line) - 1])
+        assert mean_speed_error(straight_line, approx) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_value(self):
+        # Original: 20 m/s for 5 s then 0 m/s for 5 s. Approx: 10 m/s
+        # throughout. Mean |diff| = (10 + 10) / 2.
+        original = Trajectory.from_points([(0, 0, 0), (5, 100, 0), (10, 100, 0)])
+        approx = original.subset([0, 2])
+        assert mean_speed_error(original, approx) == pytest.approx(10.0)
+
+    def test_requires_two_points(self):
+        single = Trajectory.from_points([(0, 0, 0)])
+        with pytest.raises(ValueError):
+            mean_speed_error(single, single)
+
+
+class TestEvaluateCompression:
+    def test_report_fields_consistent(self, urban_trajectory):
+        result = TDTR(40.0).compress(urban_trajectory)
+        report = evaluate_compression(urban_trajectory, result.compressed)
+        assert report.n_original == len(urban_trajectory)
+        assert report.n_kept == result.n_kept
+        assert report.compression_percent == pytest.approx(result.compression_percent)
+        assert report.compression_ratio >= 1.0
+        assert 0.0 <= report.mean_sync_error_m <= report.max_sync_error_m
+        assert report.max_sync_error_m <= 40.0 + 1e-9  # the TD-TR guarantee
+        assert report.mean_speed_error_ms >= 0.0
+
+    def test_summary_mentions_counts(self, zigzag):
+        report = evaluate_compression(zigzag, zigzag)
+        text = report.summary()
+        assert "19 -> 19" in text
+        assert "0.0%" in text
+
+    def test_identity_report_is_all_zero(self, zigzag):
+        report = evaluate_compression(zigzag, zigzag)
+        assert report.mean_sync_error_m == pytest.approx(0.0, abs=1e-9)
+        assert report.max_perp_error_m == pytest.approx(0.0, abs=1e-9)
+        assert report.mean_speed_error_ms == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,50 @@
+"""Tests for generic path-to-path error evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.error import (
+    max_path_distance,
+    mean_path_distance,
+    mean_synchronized_error,
+)
+from repro.exceptions import TrajectoryError
+from repro.trajectory import CubicHermitePath, Trajectory
+
+
+class TestPathDistances:
+    def test_matches_closed_form_for_linear_paths(self, zigzag):
+        approx = zigzag.subset([0, 9, len(zigzag) - 1])
+        sampled = mean_path_distance(zigzag, approx, n_samples=20_001)
+        exact = mean_synchronized_error(zigzag, approx)
+        assert sampled == pytest.approx(exact, rel=2e-3)
+
+    def test_identical_paths_zero(self, zigzag):
+        assert mean_path_distance(zigzag, zigzag) == pytest.approx(0.0, abs=1e-9)
+        assert max_path_distance(zigzag, zigzag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_spline_vs_trajectory(self, straight_line):
+        spline = CubicHermitePath(straight_line)
+        assert mean_path_distance(straight_line, spline) == pytest.approx(0.0, abs=1e-6)
+
+    def test_partial_overlap_evaluates_intersection(self):
+        t = np.arange(0.0, 100.0, 10.0)
+        a = Trajectory(t, np.column_stack([t, np.zeros_like(t)]))
+        b = Trajectory(t + 50.0, np.column_stack([t + 50.0, np.full_like(t, 7.0)]))
+        assert mean_path_distance(a, b) == pytest.approx(7.0)
+
+    def test_disjoint_paths_raise(self):
+        a = Trajectory.from_points([(0, 0, 0), (10, 1, 1)])
+        b = Trajectory.from_points([(100, 0, 0), (110, 1, 1)])
+        with pytest.raises(TrajectoryError, match="overlap"):
+            mean_path_distance(a, b)
+
+    def test_mean_at_most_max(self, zigzag):
+        approx = zigzag.subset([0, len(zigzag) - 1])
+        assert mean_path_distance(zigzag, approx) <= max_path_distance(zigzag, approx)
+
+    def test_sample_count_validation(self, zigzag):
+        with pytest.raises(ValueError):
+            mean_path_distance(zigzag, zigzag, n_samples=1)

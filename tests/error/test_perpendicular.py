@@ -1,0 +1,88 @@
+"""Tests for the classic perpendicular error notions (paper Sect. 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DouglasPeucker
+from repro.error import (
+    area_error_sampled,
+    max_perpendicular_error,
+    mean_perpendicular_error,
+    perpendicular_deltas,
+)
+from repro.exceptions import TrajectoryError
+from repro.trajectory import Trajectory
+
+
+class TestPerpendicularDeltas:
+    def test_retained_points_contribute_zero(self, zigzag):
+        approx = zigzag.subset([0, 5, 11, len(zigzag) - 1])
+        deltas = perpendicular_deltas(zigzag, approx)
+        assert deltas[0] == pytest.approx(0.0, abs=1e-9)
+        assert deltas[5] == pytest.approx(0.0, abs=1e-9)
+        assert deltas[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_geometry(self):
+        original = Trajectory.from_points([(0, 0, 0), (5, 50, 30), (10, 100, 0)])
+        approx = original.subset([0, 2])
+        deltas = perpendicular_deltas(original, approx)
+        np.testing.assert_allclose(deltas, [0.0, 30.0, 0.0])
+
+    def test_requires_covering_interval(self, zigzag):
+        with pytest.raises(TrajectoryError):
+            perpendicular_deltas(zigzag, zigzag.slice_index(0, 3))
+
+    def test_line_vs_segment_distance(self):
+        # A dwell point "behind" the chord start: segment distance is to
+        # the endpoint, line distance is the (smaller) perpendicular one.
+        original = Trajectory.from_points([(0, 0, 0), (5, -30, 40), (10, 100, 0)])
+        approx = original.subset([0, 2])
+        to_segment = perpendicular_deltas(original, approx, to_segment=True)
+        to_line = perpendicular_deltas(original, approx, to_segment=False)
+        assert to_segment[1] == pytest.approx(50.0)
+        assert to_line[1] == pytest.approx(40.0)
+
+
+class TestAggregates:
+    def test_mean_and_max(self):
+        original = Trajectory.from_points(
+            [(0, 0, 0), (5, 50, 30), (10, 100, 0), (15, 150, -12), (20, 200, 0)]
+        )
+        approx = original.subset([0, 4])
+        assert max_perpendicular_error(original, approx) == pytest.approx(30.0)
+        assert mean_perpendicular_error(original, approx) == pytest.approx(
+            (0 + 30 + 0 + 12 + 0) / 5
+        )
+
+    def test_ndp_threshold_bounds_max_line_error(self, urban_trajectory):
+        for eps in (20.0, 50.0, 80.0):
+            approx = DouglasPeucker(eps).compress(urban_trajectory).compressed
+            assert (
+                max_perpendicular_error(urban_trajectory, approx, to_segment=False)
+                <= eps + 1e-9
+            )
+
+
+class TestAreaError:
+    def test_zero_for_identity(self, zigzag):
+        assert area_error_sampled(zigzag, zigzag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_lossy_approx(self, zigzag):
+        approx = zigzag.subset([0, len(zigzag) - 1])
+        assert area_error_sampled(zigzag, approx) > 1.0
+
+    def test_at_most_max_perpendicular(self, zigzag):
+        approx = zigzag.subset([0, len(zigzag) - 1])
+        assert area_error_sampled(zigzag, approx) <= max_perpendicular_error(
+            zigzag, approx, to_segment=True
+        )
+
+    def test_rejects_bad_sample_count(self, zigzag):
+        with pytest.raises(ValueError):
+            area_error_sampled(zigzag, zigzag, n_samples=1)
+
+    def test_requires_covering_interval(self, zigzag):
+        with pytest.raises(TrajectoryError):
+            area_error_sampled(zigzag, zigzag.slice_index(1, len(zigzag)))

@@ -1,0 +1,88 @@
+"""Tests for the detailed compression report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TDTR
+from repro.error import max_synchronized_error
+from repro.error.report import detailed_report
+from repro.exceptions import TrajectoryError
+from repro.trajectory import Trajectory
+
+
+class TestDetailedReport:
+    @pytest.fixture
+    def report_pair(self, urban_trajectory):
+        approx = TDTR(40.0).compress(urban_trajectory).compressed
+        return urban_trajectory, approx, detailed_report(urban_trajectory, approx)
+
+    def test_counts(self, report_pair):
+        original, approx, report = report_pair
+        assert report.n_original == len(original)
+        assert report.n_kept == len(approx)
+        assert len(report.segments) == len(approx) - 1
+
+    def test_percentiles_ordered(self, report_pair):
+        _, _, report = report_pair
+        values = [report.percentiles_m[p] for p in sorted(report.percentiles_m)]
+        assert values == sorted(values)
+        assert all(v >= 0 for v in values)
+
+    def test_worst_moment_consistent_with_max_error(self, report_pair):
+        original, approx, report = report_pair
+        assert report.worst_error_m == pytest.approx(
+            max_synchronized_error(original, approx)
+        )
+        assert original.start_time <= report.worst_time <= original.end_time
+
+    def test_segment_rows_partition_points(self, report_pair):
+        original, _, report = report_pair
+        # Interior points are covered once; boundary points are assigned
+        # to the segment starting at them.
+        assert sum(s.n_original_points for s in report.segments) == len(original)
+
+    def test_segment_max_bounded_by_threshold(self, report_pair):
+        _, _, report = report_pair
+        for seg in report.segments:
+            assert seg.max_sync_error_m <= 40.0 + 1e-9
+            assert seg.mean_sync_error_m <= seg.max_sync_error_m + 1e-12
+
+    def test_worst_segments_sorted(self, report_pair):
+        _, _, report = report_pair
+        worst = report.worst_segments(5)
+        errors = [s.max_sync_error_m for s in worst]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_render_mentions_key_numbers(self, report_pair):
+        _, _, report = report_pair
+        text = report.render()
+        assert "compression:" in text
+        assert "p50=" in text
+        assert "worst moment" in text
+
+    def test_identity_report_zero_everywhere(self, zigzag):
+        report = detailed_report(zigzag, zigzag)
+        assert report.worst_error_m == pytest.approx(0.0, abs=1e-9)
+        assert all(s.max_sync_error_m <= 1e-9 for s in report.segments)
+
+    def test_custom_percentiles(self, zigzag):
+        approx = zigzag.subset([0, len(zigzag) - 1])
+        report = detailed_report(zigzag, approx, percentiles=(25, 75))
+        assert set(report.percentiles_m) == {25, 75}
+
+    def test_rejects_single_point_approx(self, zigzag):
+        with pytest.raises(TrajectoryError):
+            detailed_report(zigzag, Trajectory.from_points([(0, 0, 0)]))
+
+    def test_hand_computed_segment_stats(self):
+        original = Trajectory.from_points(
+            [(0, 0, 0), (5, 100, 0), (10, 100, 0), (15, 100, 0), (20, 200, 0)]
+        )
+        approx = original.subset([0, 2, 4])
+        report = detailed_report(original, approx)
+        # Segment 0 covers originals at t=0 and t=5 (boundary at t=10
+        # belongs to segment 1).
+        assert report.segments[0].n_original_points == 2
+        assert report.segments[0].max_sync_error_m == pytest.approx(50.0)

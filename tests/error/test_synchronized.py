@@ -1,0 +1,169 @@
+"""Tests for the closed-form time-synchronous error (paper Sect. 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.error import (
+    max_synchronized_error,
+    mean_synchronized_error,
+    mean_synchronized_error_sampled,
+    segment_mean_distance,
+    synchronized_deltas,
+)
+from repro.exceptions import TrajectoryError
+from repro.trajectory import Trajectory
+
+from tests.conftest import trajectories, vectors2
+
+
+def numeric_mean_distance(v0: np.ndarray, v1: np.ndarray, samples: int = 200_001) -> float:
+    """Brute-force average of |v0 + u (v1 - v0)| over [0, 1]."""
+    u = np.linspace(0.0, 1.0, samples)
+    pts = v0[None, :] + u[:, None] * (v1 - v0)[None, :]
+    return float(np.trapezoid(np.hypot(pts[:, 0], pts[:, 1]), u))
+
+
+class TestSegmentMeanDistance:
+    """The per-interval integral, case by case (paper's case analysis)."""
+
+    def test_translation_case_constant_distance(self):
+        # Paper case c1 = 0: v0 == v1 -> constant distance.
+        assert segment_mean_distance([3, 4], [3, 4]) == pytest.approx(5.0)
+
+    def test_shared_start_case(self):
+        # Paper: segments share start point -> half the end distance.
+        assert segment_mean_distance([0, 0], [6, 8]) == pytest.approx(5.0)
+
+    def test_shared_end_case(self):
+        # Paper: segments share end point -> half the start distance.
+        assert segment_mean_distance([6, 8], [0, 0]) == pytest.approx(5.0)
+
+    def test_parallel_deltas_with_sign_change(self):
+        # delta ratios respected with a zero crossing inside the interval:
+        # |u - 1/2| integrates to 1/4 per unit length.
+        v0 = np.array([-2.0, 0.0])
+        v1 = np.array([2.0, 0.0])
+        assert segment_mean_distance(v0, v1) == pytest.approx(1.0)
+
+    def test_general_case_against_numeric(self):
+        v0 = np.array([10.0, -3.0])
+        v1 = np.array([-4.0, 12.0])
+        assert segment_mean_distance(v0, v1) == pytest.approx(
+            numeric_mean_distance(v0, v1), rel=1e-6
+        )
+
+    def test_zero_everywhere(self):
+        assert segment_mean_distance([0, 0], [0, 0]) == 0.0
+
+    @settings(max_examples=200)
+    @given(vectors2(500.0), vectors2(500.0))
+    def test_matches_numeric_integration(self, v0, v1):
+        closed = segment_mean_distance(v0, v1)
+        numeric = numeric_mean_distance(np.asarray(v0), np.asarray(v1), samples=20_001)
+        assert closed == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    @given(vectors2(), vectors2())
+    def test_bounds(self, v0, v1):
+        """Mean distance lies between 0 and max(|v0|, |v1|)."""
+        mean = segment_mean_distance(v0, v1)
+        upper = max(np.hypot(*v0), np.hypot(*v1))
+        assert -1e-9 <= mean <= upper + 1e-9
+
+    @given(vectors2(), vectors2())
+    def test_symmetry_in_time_reversal(self, v0, v1):
+        assert segment_mean_distance(v0, v1) == pytest.approx(
+            segment_mean_distance(v1, v0), rel=1e-9, abs=1e-12
+        )
+
+
+class TestMeanSynchronizedError:
+    def test_identical_trajectories_zero_error(self, zigzag):
+        assert mean_synchronized_error(zigzag, zigzag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_straight_line_fully_compressed_zero_error(self, straight_line):
+        approx = straight_line.subset([0, len(straight_line) - 1])
+        assert mean_synchronized_error(straight_line, approx) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_translated_approximation_constant_error(self, zigzag):
+        shifted = zigzag.shifted(dx=3.0, dy=4.0)
+        assert mean_synchronized_error(zigzag, shifted) == pytest.approx(5.0)
+        assert max_synchronized_error(zigzag, shifted) == pytest.approx(5.0)
+
+    def test_hand_computed_triangle(self):
+        # Original dwells at (100, 0) from t=5..10 while the approximation
+        # keeps moving: distance grows 0 -> 50 over [0,5] (avg 25) and
+        # shrinks 50 -> 0 over [5,10]... computed exactly below.
+        original = Trajectory.from_points([(0, 0, 0), (5, 100, 0), (10, 100, 0)])
+        approx = Trajectory.from_points([(0, 0, 0), (10, 100, 0)])
+        # Approx position at t: 10t. Original: 20t then 100.
+        # [0,5]: |20t-10t| = 10t, avg 25. [5,10]: |100-10t|, avg 25.
+        assert mean_synchronized_error(original, approx) == pytest.approx(25.0)
+        assert max_synchronized_error(original, approx) == pytest.approx(50.0)
+
+    def test_requires_matching_interval(self, zigzag):
+        truncated = zigzag.slice_index(0, len(zigzag) - 1)
+        with pytest.raises(TrajectoryError, match="time interval"):
+            mean_synchronized_error(zigzag, truncated)
+
+    def test_rejects_single_point_original(self):
+        single = Trajectory.from_points([(0, 0, 0)])
+        with pytest.raises(TrajectoryError):
+            mean_synchronized_error(single, single)
+
+    def test_general_approximation_with_new_breakpoints(self, zigzag):
+        """The error notion also works when the approximation is not a
+        subseries of the original (merged-grid path)."""
+        approx = zigzag.resample(13.0)
+        closed = mean_synchronized_error(zigzag, approx)
+        sampled = mean_synchronized_error_sampled(zigzag, approx, n_samples=40_001)
+        assert closed == pytest.approx(sampled, rel=1e-3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(trajectories(min_points=3, max_points=25))
+    def test_closed_form_matches_numeric(self, traj):
+        approx = traj.subset([0, len(traj) - 1])
+        closed = mean_synchronized_error(traj, approx)
+        sampled = mean_synchronized_error_sampled(traj, approx, n_samples=30_001)
+        assert closed == pytest.approx(sampled, rel=2e-3, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(trajectories(min_points=3, max_points=25))
+    def test_mean_below_max(self, traj):
+        approx = traj.subset([0, len(traj) - 1])
+        assert (
+            mean_synchronized_error(traj, approx)
+            <= max_synchronized_error(traj, approx) + 1e-9
+        )
+
+
+class TestSynchronizedDeltas:
+    def test_per_point_view(self):
+        original = Trajectory.from_points([(0, 0, 0), (5, 100, 0), (10, 100, 0)])
+        approx = Trajectory.from_points([(0, 0, 0), (10, 100, 0)])
+        deltas = synchronized_deltas(original, approx)
+        np.testing.assert_allclose(deltas, [0.0, 50.0, 0.0])
+
+    def test_max_error_equals_max_delta_for_subseries(self, zigzag):
+        approx = zigzag.subset([0, 9, len(zigzag) - 1])
+        assert max_synchronized_error(zigzag, approx) == pytest.approx(
+            float(synchronized_deltas(zigzag, approx).max())
+        )
+
+
+class TestSampledEstimator:
+    def test_rejects_too_few_samples(self, zigzag):
+        approx = zigzag.subset([0, len(zigzag) - 1])
+        with pytest.raises(ValueError, match="2 samples"):
+            mean_synchronized_error_sampled(zigzag, approx, n_samples=1)
+
+    def test_converges_with_resolution(self, zigzag):
+        approx = zigzag.subset([0, len(zigzag) - 1])
+        exact = mean_synchronized_error(zigzag, approx)
+        coarse = mean_synchronized_error_sampled(zigzag, approx, n_samples=64)
+        fine = mean_synchronized_error_sampled(zigzag, approx, n_samples=8192)
+        assert abs(fine - exact) < abs(coarse - exact) + 1e-9

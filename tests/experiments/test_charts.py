@@ -1,0 +1,58 @@
+"""Tests for the ASCII series chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_series_chart
+
+
+class TestRenderSeriesChart:
+    def test_basic_structure(self):
+        text = render_series_chart(
+            {"up": [(0.0, 0.0), (1.0, 1.0)], "down": [(0.0, 1.0), (1.0, 0.0)]},
+            width=20,
+            height=6,
+            title="demo",
+            x_label="t",
+            y_label="v",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("v [")
+        assert len([line for line in lines if line.startswith("|")]) == 6
+        assert lines[-2].startswith("+")
+        assert "a = up" in lines[-1]
+        assert "b = down" in lines[-1]
+
+    def test_markers_placed_at_extremes(self):
+        text = render_series_chart(
+            {"s": [(0.0, 0.0), (10.0, 5.0)]}, width=10, height=4
+        )
+        rows = [line[1:] for line in text.splitlines() if line.startswith("|")]
+        # Max y -> top row, at right edge; min y -> bottom row, left edge.
+        assert rows[0][-1] == "a"
+        assert rows[-1][0] == "a"
+
+    def test_collision_marker(self):
+        text = render_series_chart(
+            {"one": [(0.0, 0.0)], "two": [(0.0, 0.0)]}, width=10, height=4
+        )
+        assert "*" in text
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        text = render_series_chart({"flat": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nothing"):
+            render_series_chart({})
+        with pytest.raises(ValueError, match="small"):
+            render_series_chart({"s": [(0, 0)]}, width=3, height=3)
+        with pytest.raises(ValueError, match="empty"):
+            render_series_chart({"s": []})
+
+    def test_many_series_cycle_markers(self):
+        series = {f"series-{i}": [(float(i), float(i))] for i in range(30)}
+        text = render_series_chart(series)
+        assert "a = series-0" in text

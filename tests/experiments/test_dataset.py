@@ -1,0 +1,69 @@
+"""Tests for the standard evaluation dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DATASET_SEED,
+    DISTANCE_THRESHOLDS_M,
+    PAPER_TABLE2,
+    SPEED_THRESHOLDS_MS,
+    paper_dataset,
+)
+from repro.trajectory import dataset_stats
+
+
+class TestParameterGrid:
+    def test_fifteen_thresholds_30_to_100(self):
+        """The paper: 'fifteen different spatial threshold values ranging
+        from 30 to 100 m'."""
+        assert len(DISTANCE_THRESHOLDS_M) == 15
+        assert DISTANCE_THRESHOLDS_M[0] == 30.0
+        assert DISTANCE_THRESHOLDS_M[-1] == 100.0
+        np.testing.assert_allclose(np.diff(DISTANCE_THRESHOLDS_M), 5.0)
+
+    def test_three_speed_thresholds(self):
+        assert SPEED_THRESHOLDS_MS == (5.0, 15.0, 25.0)
+
+
+class TestPaperDataset:
+    def test_ten_trajectories(self):
+        assert len(paper_dataset()) == 10
+
+    def test_deterministic_and_cached(self):
+        first = paper_dataset()
+        second = paper_dataset()
+        assert first == second
+        assert first is not second  # fresh list each call
+        assert first[0] is second[0]  # cached trajectories shared
+
+    def test_other_seed_differs(self):
+        assert paper_dataset(seed=DATASET_SEED + 1) != paper_dataset()
+
+    def test_object_ids_unique(self):
+        ids = [traj.object_id for traj in paper_dataset()]
+        assert len(set(ids)) == 10
+
+    def test_statistics_in_table2_bands(self):
+        """The substitution contract: aggregate statistics within ±35% of
+        the paper's Table 2 means (documented in DESIGN.md)."""
+        agg = dataset_stats(paper_dataset())
+        ref = PAPER_TABLE2
+        checks = [
+            (agg.duration_mean_s, ref.duration_mean_s),
+            (agg.speed_mean_kmh, ref.speed_mean_kmh),
+            (agg.length_mean_km, ref.length_mean_km),
+            (agg.displacement_mean_km, ref.displacement_mean_km),
+            (agg.points_mean, ref.points_mean),
+        ]
+        for measured, expected in checks:
+            assert measured == pytest.approx(expected, rel=0.35)
+
+    def test_mix_of_short_and_long_series(self):
+        """Table 2's large standard deviations: the dataset must contain
+        both short and lengthy time series."""
+        sizes = sorted(len(traj) for traj in paper_dataset())
+        assert sizes[0] < 110
+        assert sizes[-1] > 230

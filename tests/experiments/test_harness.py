@@ -1,0 +1,57 @@
+"""Tests for the sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TDTR
+from repro.experiments import aggregate, run_single, run_sweep
+
+
+class TestRunSingle:
+    def test_record_fields(self, urban_trajectory):
+        record = run_single(TDTR(40.0), urban_trajectory, 40.0)
+        assert record.algorithm == "td-tr"
+        assert record.threshold_m == 40.0
+        assert record.trajectory_id == urban_trajectory.object_id
+        assert record.n_original == len(urban_trajectory)
+        assert 0 < record.n_kept <= record.n_original
+        assert record.max_sync_error_m <= 40.0 + 1e-9
+        assert record.runtime_s >= 0.0
+
+
+class TestRunSweep:
+    def test_grid_size(self, small_dataset):
+        records = run_sweep(lambda eps: TDTR(eps), [20.0, 40.0], small_dataset)
+        assert len(records) == 2 * len(small_dataset)
+        assert {r.threshold_m for r in records} == {20.0, 40.0}
+
+    def test_every_trajectory_present(self, small_dataset):
+        records = run_sweep(lambda eps: TDTR(eps), [30.0], small_dataset)
+        assert {r.trajectory_id for r in records} == {
+            t.object_id for t in small_dataset
+        }
+
+
+class TestAggregate:
+    def test_averages_over_trajectories(self, small_dataset):
+        records = run_sweep(lambda eps: TDTR(eps), [20.0, 40.0], small_dataset)
+        rows = aggregate(records)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.n_trajectories == len(small_dataset)
+            bucket = [
+                r
+                for r in records
+                if r.threshold_m == row.threshold_m and r.algorithm == row.algorithm
+            ]
+            expected = sum(r.compression_percent for r in bucket) / len(bucket)
+            assert row.compression_percent == pytest.approx(expected)
+
+    def test_rows_sorted(self, small_dataset):
+        records = run_sweep(lambda eps: TDTR(eps), [40.0, 20.0, 30.0], small_dataset)
+        rows = aggregate(records)
+        assert [r.threshold_m for r in rows] == [20.0, 30.0, 40.0]
+
+    def test_empty_aggregate(self):
+        assert aggregate([]) == []

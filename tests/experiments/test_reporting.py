@@ -1,0 +1,62 @@
+"""Tests for text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    AggregateRow,
+    render_aggregate_rows,
+    render_table,
+    series_by_algorithm,
+)
+
+
+def make_row(algorithm: str, threshold: float, error: float = 10.0) -> AggregateRow:
+    return AggregateRow(
+        algorithm=algorithm,
+        threshold_m=threshold,
+        n_trajectories=3,
+        compression_percent=75.0,
+        mean_sync_error_m=error,
+        max_sync_error_m=error * 3,
+        runtime_s=0.01,
+    )
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "value"], [("a", 1.5), ("bbbb", 22.25)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [(1.23456,)])
+        assert "1.23" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [(1,)])
+
+
+class TestSeriesGrouping:
+    def test_grouped_and_sorted(self):
+        rows = [make_row("b", 50.0), make_row("a", 40.0), make_row("a", 30.0)]
+        series = series_by_algorithm(rows)
+        assert list(series) == ["b", "a"]
+        assert [r.threshold_m for r in series["a"]] == [30.0, 40.0]
+
+
+class TestRenderAggregateRows:
+    def test_contains_all_rows(self):
+        rows = [make_row("ndp", 30.0), make_row("td-tr", 30.0)]
+        text = render_aggregate_rows(rows, title="Fig")
+        assert "ndp" in text
+        assert "td-tr" in text
+        assert text.splitlines()[0] == "Fig"

@@ -1,0 +1,99 @@
+"""Tests for the paired-comparison statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NOPW, OPWTR
+from repro.experiments import run_sweep
+from repro.experiments.harness import SweepRecord
+from repro.experiments.significance import (
+    bootstrap_ci,
+    compare_algorithms,
+    paired_differences,
+)
+
+
+def record(algo: str, traj: str, threshold: float, error: float) -> SweepRecord:
+    return SweepRecord(
+        algorithm=algo,
+        threshold_m=threshold,
+        trajectory_id=traj,
+        n_original=100,
+        n_kept=10,
+        compression_percent=90.0,
+        mean_sync_error_m=error,
+        max_sync_error_m=error * 2,
+        runtime_s=0.0,
+    )
+
+
+class TestPairedDifferences:
+    def test_matched_pairs(self):
+        a = [record("a", "t1", 30.0, 5.0), record("a", "t2", 30.0, 7.0)]
+        b = [record("b", "t2", 30.0, 10.0), record("b", "t1", 30.0, 6.0)]
+        np.testing.assert_allclose(paired_differences(a, b), [-1.0, -3.0])
+
+    def test_unmatched_record_raises(self):
+        a = [record("a", "t1", 30.0, 5.0)]
+        b = [record("b", "t1", 40.0, 6.0)]
+        with pytest.raises(ValueError, match="no matching"):
+            paired_differences(a, b)
+
+    def test_extra_record_in_b_raises(self):
+        a = [record("a", "t1", 30.0, 5.0)]
+        b = [record("b", "t1", 30.0, 6.0), record("b", "t2", 30.0, 6.0)]
+        with pytest.raises(ValueError, match="unmatched"):
+            paired_differences(a, b)
+
+    def test_other_metric(self):
+        a = [record("a", "t1", 30.0, 5.0)]
+        b = [record("b", "t1", 30.0, 6.0)]
+        diff = paired_differences(a, b, metric="compression_percent")
+        np.testing.assert_allclose(diff, [0.0])
+
+
+class TestBootstrapCi:
+    def test_ci_brackets_mean_of_tight_sample(self):
+        values = np.full(50, 3.0) + np.linspace(-0.01, 0.01, 50)
+        low, high = bootstrap_ci(values)
+        assert low <= 3.0 <= high
+        assert high - low < 0.02
+
+    def test_deterministic_under_seed(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=40)
+        assert bootstrap_ci(values, seed=9) == bootstrap_ci(values, seed=9)
+
+    def test_wider_sample_wider_ci(self):
+        rng = np.random.default_rng(5)
+        tight = bootstrap_ci(rng.normal(0, 0.1, size=50))
+        wide = bootstrap_ci(rng.normal(0, 10.0, size=50))
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]), confidence=1.5)
+
+
+class TestCompareAlgorithms:
+    def test_real_sweep_comparison(self, small_dataset):
+        thresholds = [30.0, 60.0]
+        opwtr = run_sweep(lambda e: OPWTR(e), thresholds, small_dataset)
+        nopw = run_sweep(lambda e: NOPW(e), thresholds, small_dataset)
+        comparison = compare_algorithms(opwtr, nopw)
+        assert comparison.n_pairs == len(small_dataset) * len(thresholds)
+        assert comparison.mean_difference < 0  # OPW-TR errs less
+        assert comparison.win_fraction_a == 1.0
+        assert comparison.conclusive
+        assert comparison.ci_high < 0
+        assert "opw-tr vs nopw" in comparison.summary()
+
+    def test_self_comparison_inconclusive(self, small_dataset):
+        sweep = run_sweep(lambda e: OPWTR(e), [40.0], small_dataset)
+        comparison = compare_algorithms(sweep, sweep)
+        assert comparison.mean_difference == 0.0
+        assert not comparison.conclusive

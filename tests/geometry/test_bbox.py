@@ -1,0 +1,93 @@
+"""Tests for repro.geometry.bbox."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import BBox
+
+
+def boxes() -> st.SearchStrategy[BBox]:
+    coord = st.floats(-1000, 1000, allow_nan=False)
+    return st.builds(
+        lambda x1, y1, x2, y2: BBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+        coord,
+        coord,
+        coord,
+        coord,
+    )
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="invalid bbox"):
+            BBox(1.0, 0.0, 0.0, 2.0)
+
+    def test_degenerate_point_box_is_valid(self):
+        box = BBox(1.0, 2.0, 1.0, 2.0)
+        assert box.area == 0.0
+        assert box.contains_point(1.0, 2.0)
+
+    def test_of_points(self):
+        box = BBox.of_points(np.array([[1.0, 5.0], [-2.0, 3.0], [4.0, 4.0]]))
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2.0, 3.0, 4.0, 5.0)
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            BBox.of_points(np.empty((0, 2)))
+
+    def test_union_all_rejects_empty(self):
+        with pytest.raises(ValueError, match="no boxes"):
+            BBox.union_all([])
+
+    def test_union_all(self):
+        box = BBox.union_all([BBox(0, 0, 1, 1), BBox(5, -2, 6, 0)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, -2, 6, 1)
+
+
+class TestPredicates:
+    def test_contains_boundary(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains_point(0, 0)
+        assert box.contains_point(10, 10)
+        assert not box.contains_point(10.001, 5)
+
+    def test_intersects_touching_edges(self):
+        assert BBox(0, 0, 1, 1).intersects(BBox(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not BBox(0, 0, 1, 1).intersects(BBox(2, 2, 3, 3))
+
+    def test_nested(self):
+        assert BBox(0, 0, 10, 10).intersects(BBox(2, 2, 3, 3))
+
+    @given(boxes(), boxes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        for box in (a, b):
+            assert u.contains_point(box.min_x, box.min_y)
+            assert u.contains_point(box.max_x, box.max_y)
+
+
+class TestDerived:
+    def test_center_width_height(self):
+        box = BBox(0, 2, 4, 8)
+        assert box.center == (2.0, 5.0)
+        assert box.width == 4.0
+        assert box.height == 6.0
+        assert box.area == 24.0
+
+    def test_expanded(self):
+        box = BBox(0, 0, 2, 2).expanded(1.0)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, -1, 3, 3)
+
+    def test_expanded_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BBox(0, 0, 1, 1).expanded(-0.5)

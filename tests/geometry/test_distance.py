@@ -1,0 +1,140 @@
+"""Tests for repro.geometry.distance."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    euclidean,
+    euclidean_many,
+    haversine,
+    perpendicular_distance,
+    perpendicular_distances,
+    point_segment_distance,
+    point_segment_distances,
+)
+
+from tests.conftest import vectors2
+
+
+class TestEuclidean:
+    def test_pythagorean_triple(self):
+        assert euclidean([0, 0], [3, 4]) == 5.0
+
+    def test_zero_distance(self):
+        assert euclidean([2.5, -1.0], [2.5, -1.0]) == 0.0
+
+    def test_many_matches_scalar(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0], [-3.0, 2.0]])
+        b = np.array([[3.0, 4.0], [1.0, 1.0], [0.0, -2.0]])
+        many = euclidean_many(a, b)
+        for i in range(3):
+            assert many[i] == pytest.approx(euclidean(a[i], b[i]))
+
+    def test_many_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            euclidean_many(np.zeros((3, 2)), np.zeros((2, 2)))
+
+    @given(vectors2(), vectors2())
+    def test_symmetry(self, p, q):
+        assert euclidean(p, q) == pytest.approx(euclidean(q, p))
+
+    @given(vectors2(), vectors2(), vectors2())
+    def test_triangle_inequality(self, a, b, c):
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+
+class TestHaversine:
+    def test_zero(self):
+        assert haversine(5.0, 52.0, 5.0, 52.0) == 0.0
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is about 111.2 km anywhere.
+        d = haversine(6.0, 52.0, 6.0, 53.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine(0.0, 0.0, 1.0, 0.0)
+        at_52n = haversine(0.0, 52.0, 1.0, 52.0)
+        assert at_52n == pytest.approx(at_equator * math.cos(math.radians(52)), rel=0.01)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine(0.0, 0.0, 180.0, 0.0)
+        assert d == pytest.approx(math.pi * 6_371_008.8, rel=1e-6)
+
+
+class TestPerpendicularDistance:
+    def test_point_above_horizontal_line(self):
+        assert perpendicular_distance([5, 3], [0, 0], [10, 0]) == pytest.approx(3.0)
+
+    def test_point_beyond_segment_still_uses_line(self):
+        # Perpendicular distance is to the infinite line, not the segment.
+        assert perpendicular_distance([20, 4], [0, 0], [10, 0]) == pytest.approx(4.0)
+
+    def test_degenerate_chord_falls_back_to_point_distance(self):
+        assert perpendicular_distance([3, 4], [0, 0], [0, 0]) == pytest.approx(5.0)
+
+    def test_vectorized_matches_scalar(self):
+        pts = np.array([[1.0, 2.0], [5.0, -3.0], [9.0, 0.5]])
+        a, b = np.array([0.0, 0.0]), np.array([10.0, 10.0])
+        batch = perpendicular_distances(pts, a, b)
+        for i, p in enumerate(pts):
+            assert batch[i] == pytest.approx(perpendicular_distance(p, a, b))
+
+    @given(vectors2(), vectors2(), vectors2())
+    def test_nonnegative(self, p, a, b):
+        assert perpendicular_distance(p, a, b) >= 0.0
+
+    @given(vectors2(), vectors2())
+    def test_point_on_line_is_zero(self, a, b):
+        midpoint = (a + b) / 2.0
+        assert perpendicular_distance(midpoint, a, b) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestPointSegmentDistance:
+    def test_interior_projection_equals_perpendicular(self):
+        assert point_segment_distance([5, 3], [0, 0], [10, 0]) == pytest.approx(3.0)
+
+    def test_beyond_end_measures_to_endpoint(self):
+        assert point_segment_distance([13, 4], [0, 0], [10, 0]) == pytest.approx(5.0)
+
+    def test_before_start_measures_to_start(self):
+        assert point_segment_distance([-3, 4], [0, 0], [10, 0]) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance([3, 4], [1, 1], [1, 1]) == pytest.approx(
+            math.hypot(2, 3)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        pts = np.array([[-5.0, 1.0], [5.0, 5.0], [15.0, -2.0]])
+        a, b = np.array([0.0, 0.0]), np.array([10.0, 0.0])
+        batch = point_segment_distances(pts, a, b)
+        for i, p in enumerate(pts):
+            assert batch[i] == pytest.approx(point_segment_distance(p, a, b))
+
+    @given(vectors2(), vectors2(), vectors2())
+    def test_segment_distance_at_least_line_distance(self, p, a, b):
+        seg = point_segment_distance(p, a, b)
+        line = perpendicular_distance(p, a, b)
+        assert seg >= line - 1e-9
+
+
+@given(
+    st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)), min_size=1, max_size=8),
+    vectors2(100.0),
+    vectors2(100.0),
+)
+def test_perpendicular_invariant_under_translation(points, a, b):
+    """Distances are translation invariant (for non-degenerate chords)."""
+    assume(float(np.hypot(*(b - a))) > 1e-6)
+    pts = np.asarray(points, dtype=float)
+    shift = np.array([37.5, -12.25])
+    d1 = perpendicular_distances(pts, a, b)
+    d2 = perpendicular_distances(pts + shift, a + shift, b + shift)
+    np.testing.assert_allclose(d1, d2, atol=1e-8)

@@ -1,0 +1,64 @@
+"""Tests for repro.geometry.projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import LocalProjection, haversine
+
+
+class TestLocalProjection:
+    def test_reference_maps_to_origin(self):
+        proj = LocalProjection(6.9, 52.2)
+        x, y = proj.forward(6.9, 52.2)
+        assert float(x) == pytest.approx(0.0)
+        assert float(y) == pytest.approx(0.0)
+
+    def test_axes_orientation(self):
+        proj = LocalProjection(6.0, 52.0)
+        x_east, _ = proj.forward(6.01, 52.0)
+        _, y_north = proj.forward(6.0, 52.01)
+        assert float(x_east) > 0
+        assert float(y_north) > 0
+
+    def test_roundtrip_exact(self):
+        proj = LocalProjection(6.9, 52.2)
+        lons = np.array([6.85, 6.9, 7.02])
+        lats = np.array([52.1, 52.25, 52.18])
+        x, y = proj.forward(lons, lats)
+        lon2, lat2 = proj.inverse(x, y)
+        np.testing.assert_allclose(lon2, lons, atol=1e-12)
+        np.testing.assert_allclose(lat2, lats, atol=1e-12)
+
+    def test_matches_haversine_at_city_scale(self):
+        # Planar distance should agree with the great-circle distance to
+        # well under a percent over ~10 km.
+        proj = LocalProjection(6.9, 52.2)
+        x1, y1 = proj.forward(6.9, 52.2)
+        x2, y2 = proj.forward(7.0, 52.25)
+        planar = float(np.hypot(x2 - x1, y2 - y1))
+        great_circle = haversine(6.9, 52.2, 7.0, 52.25)
+        assert planar == pytest.approx(great_circle, rel=5e-3)
+
+    def test_centered_on(self):
+        proj = LocalProjection.centered_on(np.array([6.0, 8.0]), np.array([50.0, 54.0]))
+        assert proj.ref_lon == 7.0
+        assert proj.ref_lat == 52.0
+
+    def test_centered_on_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero points"):
+            LocalProjection.centered_on(np.array([]), np.array([]))
+
+    @given(
+        st.floats(-0.2, 0.2, allow_nan=False),
+        st.floats(-0.2, 0.2, allow_nan=False),
+    )
+    def test_roundtrip_property(self, dlon, dlat):
+        proj = LocalProjection(5.0, 51.0)
+        x, y = proj.forward(5.0 + dlon, 51.0 + dlat)
+        lon, lat = proj.inverse(x, y)
+        assert float(lon) == pytest.approx(5.0 + dlon, abs=1e-9)
+        assert float(lat) == pytest.approx(51.0 + dlat, abs=1e-9)

@@ -1,0 +1,89 @@
+"""Tests for appending continuations to stored trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TDTR
+from repro.exceptions import ObjectNotFoundError, StorageError
+from repro.geometry import BBox
+from repro.storage import TrajectoryStore
+from repro.trajectory import Trajectory
+
+
+def leg(t0: float, x0: float, n: int = 10, v: float = 10.0) -> Trajectory:
+    t = t0 + np.arange(n) * 10.0
+    x = x0 + (t - t0) * v
+    return Trajectory(t, np.column_stack([x, np.zeros_like(x)]), "commuter")
+
+
+class TestAppend:
+    def test_extends_interval_and_counts(self):
+        store = TrajectoryStore(compressor=TDTR(20.0))
+        morning = leg(0.0, 0.0)
+        evening = leg(10_000.0, 2_000.0)
+        store.insert(morning)
+        record = store.append("commuter", evening)
+        assert record.start_time == pytest.approx(morning.start_time, abs=1e-3)
+        assert record.end_time == pytest.approx(evening.end_time, abs=1e-3)
+        assert record.n_raw_points == len(morning) + len(evening)
+
+    def test_prefix_points_untouched(self):
+        store = TrajectoryStore(compressor=TDTR(20.0))
+        store.insert(leg(0.0, 0.0))
+        before = store.get("commuter")
+        store.append("commuter", leg(10_000.0, 2_000.0))
+        after = store.get("commuter")
+        np.testing.assert_allclose(after.t[: len(before)], before.t, atol=1e-3)
+
+    def test_position_queries_span_both_legs(self):
+        store = TrajectoryStore()
+        store.insert(leg(0.0, 0.0))
+        store.append("commuter", leg(10_000.0, 2_000.0))
+        early = store.position_at("commuter", 45.0)
+        late = store.position_at("commuter", 10_045.0)
+        np.testing.assert_allclose(early, [450.0, 0.0], atol=0.1)
+        np.testing.assert_allclose(late, [2_450.0, 0.0], atol=0.1)
+
+    def test_bbox_query_sees_new_region(self):
+        store = TrajectoryStore()
+        store.insert(leg(0.0, 0.0))
+        far_box = BBox(2_400.0, -10.0, 2_500.0, 10.0)
+        assert store.query_bbox(far_box) == []
+        store.append("commuter", leg(10_000.0, 2_000.0))
+        assert store.query_bbox(far_box) == ["commuter"]
+
+    def test_overlapping_continuation_rejected(self):
+        store = TrajectoryStore()
+        store.insert(leg(0.0, 0.0))
+        with pytest.raises(StorageError, match="stored through"):
+            store.append("commuter", leg(50.0, 0.0))
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(ObjectNotFoundError):
+            TrajectoryStore().append("ghost", leg(0.0, 0.0))
+
+    def test_bound_widened_to_worst_leg(self):
+        store = TrajectoryStore(compressor=TDTR(20.0))
+        store.insert(leg(0.0, 0.0))
+        record = store.append("commuter", leg(10_000.0, 2_000.0), compressor=TDTR(60.0))
+        assert record.sync_error_bound_m == pytest.approx(60.0, abs=0.1)
+
+    def test_bound_none_is_sticky(self):
+        store = TrajectoryStore()
+        store.insert(leg(0.0, 0.0), sync_error_bound_m=None)
+        record = store.append("commuter", leg(10_000.0, 2_000.0))
+        assert record.sync_error_bound_m is None
+
+    def test_survives_save_load(self, tmp_path):
+        store = TrajectoryStore(compressor=TDTR(20.0))
+        store.insert(leg(0.0, 0.0))
+        store.append("commuter", leg(10_000.0, 2_000.0))
+        path = tmp_path / "appended.store"
+        store.save(path)
+        loaded = TrajectoryStore.load(path)
+        assert loaded.get("commuter") == store.get("commuter")
+        assert loaded.record("commuter").n_raw_points == store.record(
+            "commuter"
+        ).n_raw_points

@@ -1,0 +1,124 @@
+"""Tests for the delta/varint trajectory codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CodecError
+from repro.storage import (
+    decode_trajectory,
+    decode_varint,
+    encode_trajectory,
+    encode_varint,
+    raw_size_bytes,
+    unzigzag,
+    zigzag,
+)
+from repro.trajectory import Trajectory
+
+from tests.conftest import trajectories
+
+
+class TestZigzagVarint:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)]
+    )
+    def test_zigzag_known_values(self, value, expected):
+        assert zigzag(value) == expected
+        assert unzigzag(expected) == value
+
+    @given(st.integers(-(2**62), 2**62))
+    def test_zigzag_roundtrip(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    @given(st.integers(0, 2**63))
+    def test_varint_roundtrip(self, value):
+        out = bytearray()
+        encode_varint(value, out)
+        decoded, offset = decode_varint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_varint_small_values_one_byte(self):
+        out = bytearray()
+        encode_varint(100, out)
+        assert len(out) == 1
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(CodecError):
+            encode_varint(-1, bytearray())
+
+    def test_truncated_varint(self):
+        with pytest.raises(CodecError, match="truncated"):
+            decode_varint(b"\x80", 0)
+
+
+class TestTrajectoryCodec:
+    def test_roundtrip_within_quantum(self, zigzag: Trajectory):
+        blob = encode_trajectory(zigzag)
+        back = decode_trajectory(blob)
+        assert back.object_id == "zigzag"
+        assert len(back) == len(zigzag)
+        np.testing.assert_allclose(back.t, zigzag.t, atol=0.5e-3)
+        np.testing.assert_allclose(back.xy, zigzag.xy, atol=0.5e-2)
+
+    def test_compression_beats_raw(self, urban_trajectory):
+        blob = encode_trajectory(urban_trajectory)
+        assert len(blob) < raw_size_bytes(len(urban_trajectory)) / 2
+
+    def test_single_point(self):
+        traj = Trajectory.from_points([(12.5, 3.25, -7.75)], object_id="p")
+        back = decode_trajectory(encode_trajectory(traj))
+        assert len(back) == 1
+        np.testing.assert_allclose(back.t, [12.5], atol=1e-3)
+
+    def test_missing_object_id_roundtrips_as_none(self):
+        traj = Trajectory.from_points([(0, 0, 0), (1, 1, 1)])
+        assert decode_trajectory(encode_trajectory(traj)).object_id is None
+
+    def test_rejects_timestamps_below_quantum(self):
+        traj = Trajectory.from_points([(0, 0, 0), (1e-6, 1, 1)])
+        with pytest.raises(CodecError, match="quantum"):
+            encode_trajectory(traj)
+
+    def test_custom_resolutions(self, zigzag: Trajectory):
+        blob = encode_trajectory(zigzag, time_resolution_s=1.0, coord_resolution_m=1.0)
+        back = decode_trajectory(blob)
+        np.testing.assert_allclose(back.t, zigzag.t, atol=0.5)
+        np.testing.assert_allclose(back.xy, zigzag.xy, atol=0.5)
+
+    def test_rejects_bad_resolution(self, zigzag: Trajectory):
+        with pytest.raises(CodecError):
+            encode_trajectory(zigzag, time_resolution_s=0.0)
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(CodecError, match="magic"):
+            decode_trajectory(b"NOPE\x01\x00")
+
+    def test_rejects_bad_version(self, zigzag: Trajectory):
+        blob = bytearray(encode_trajectory(zigzag))
+        blob[4] = 99
+        with pytest.raises(CodecError, match="version"):
+            decode_trajectory(bytes(blob))
+
+    def test_rejects_trailing_garbage(self, zigzag: Trajectory):
+        blob = encode_trajectory(zigzag) + b"\x00\x00"
+        with pytest.raises(CodecError, match="trailing"):
+            decode_trajectory(blob)
+
+    def test_rejects_truncation(self, zigzag: Trajectory):
+        blob = encode_trajectory(zigzag)
+        with pytest.raises(CodecError):
+            decode_trajectory(blob[: len(blob) // 2])
+
+    @settings(max_examples=40, deadline=None)
+    @given(trajectories(min_points=1, max_points=40))
+    def test_property_roundtrip_bounded_error(self, traj):
+        blob = encode_trajectory(traj)
+        back = decode_trajectory(blob)
+        assert len(back) == len(traj)
+        np.testing.assert_allclose(back.t, traj.t, atol=0.51e-3)
+        np.testing.assert_allclose(back.xy, traj.xy, atol=0.51e-2)

@@ -1,0 +1,91 @@
+"""Failure injection: corrupted blobs and store files must fail loudly.
+
+The codec and the store file format are the persistence boundary; a
+corrupted byte must surface as a :class:`~repro.exceptions.CodecError` /
+:class:`~repro.exceptions.StorageError` (or, at worst, decode into a
+*valid* trajectory object) — never an unhandled crash or a silently
+malformed Trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError, TrajectoryError
+from repro.storage import TrajectoryStore, decode_trajectory, encode_trajectory
+from repro.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def blob() -> bytes:
+    traj = Trajectory.from_points(
+        [(float(i * 10), float(i * 37 % 211), float(i * 53 % 173)) for i in range(40)],
+        object_id="fuzz-source",
+    )
+    return encode_trajectory(traj)
+
+
+class TestCodecFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_single_byte_corruption_never_crashes(self, blob, data):
+        position = data.draw(st.integers(0, len(blob) - 1))
+        new_byte = data.draw(st.integers(0, 255))
+        corrupted = bytearray(blob)
+        corrupted[position] = new_byte
+        try:
+            decoded = decode_trajectory(bytes(corrupted))
+        except ReproError:
+            return  # loud, typed failure: exactly what we want
+        except (UnicodeDecodeError, OverflowError):
+            return  # id bytes / quantized values hit: acceptable, typed
+        # If decoding "succeeded", the result must be a valid trajectory.
+        assert len(decoded) >= 1
+        assert np.all(np.isfinite(decoded.t))
+        assert np.all(np.isfinite(decoded.xy))
+        if len(decoded) > 1:
+            assert np.all(np.diff(decoded.t) > 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 200))
+    def test_truncation_never_crashes(self, blob, cut):
+        truncated = blob[: min(cut, len(blob) - 1)]
+        with pytest.raises((ReproError, UnicodeDecodeError)):
+            decode_trajectory(truncated)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_random_bytes_never_crash(self, junk):
+        with pytest.raises(ReproError):
+            decode_trajectory(junk)
+
+
+class TestStoreFileFuzz:
+    @pytest.fixture(scope="class")
+    def store_file(self, tmp_path_factory, small_dataset):
+        store = TrajectoryStore()
+        for traj in small_dataset:
+            store.insert(traj)
+        path = tmp_path_factory.mktemp("fuzz") / "fuzz.store"
+        store.save(path)
+        return path
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_flipped_byte_fails_loudly_or_loads_valid(self, store_file, data):
+        raw = bytearray(store_file.read_bytes())
+        position = data.draw(st.integers(0, len(raw) - 1))
+        raw[position] ^= data.draw(st.integers(1, 255))
+        mutated = store_file.with_suffix(".mut")
+        mutated.write_bytes(bytes(raw))
+        try:
+            store = TrajectoryStore.load(mutated)
+        except (ReproError, UnicodeDecodeError, OverflowError, TrajectoryError):
+            return
+        for key in store.object_ids():
+            traj = store.get(key)
+            assert np.all(np.isfinite(traj.t))
+            assert np.all(np.isfinite(traj.xy))

@@ -1,0 +1,76 @@
+"""Tests for the grid spatial index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import BBox
+from repro.storage import GridIndex
+
+
+class TestGridIndex:
+    def test_insert_and_candidates(self):
+        index = GridIndex(cell_size_m=100.0)
+        index.insert("a", np.array([[10.0, 10.0], [50.0, 50.0]]))
+        index.insert("b", np.array([[1000.0, 1000.0], [1100.0, 1000.0]]))
+        assert index.candidates(BBox(0, 0, 60, 60)) == {"a"}
+        assert index.candidates(BBox(900, 900, 1200, 1100)) == {"b"}
+        assert index.candidates(BBox(0, 0, 2000, 2000)) == {"a", "b"}
+
+    def test_candidates_is_superset_of_truth(self):
+        """Grid candidates may be false positives but never miss."""
+        rng = np.random.default_rng(3)
+        index = GridIndex(cell_size_m=50.0)
+        polylines = {}
+        for i in range(20):
+            xy = rng.uniform(0, 1000, size=(10, 2))
+            polylines[f"t{i}"] = xy
+            index.insert(f"t{i}", xy)
+        box = BBox(200, 200, 500, 500)
+        candidates = index.candidates(box)
+        for name, xy in polylines.items():
+            has_point_inside = any(box.contains_point(x, y) for x, y in xy)
+            if has_point_inside:
+                assert name in candidates
+
+    def test_single_point_object(self):
+        index = GridIndex(100.0)
+        index.insert("p", np.array([[55.0, 250.0]]))
+        assert index.candidates(BBox(0, 200, 100, 300)) == {"p"}
+        assert index.candidates(BBox(0, 0, 40, 40)) == set()
+
+    def test_remove(self):
+        index = GridIndex(100.0)
+        index.insert("a", np.array([[10.0, 10.0], [20.0, 20.0]]))
+        assert "a" in index
+        index.remove("a")
+        assert "a" not in index
+        assert index.candidates(BBox(0, 0, 100, 100)) == set()
+        assert index.n_cells == 0
+
+    def test_remove_unknown_is_noop(self):
+        GridIndex(100.0).remove("ghost")
+
+    def test_reinsert_replaces(self):
+        index = GridIndex(100.0)
+        index.insert("a", np.array([[10.0, 10.0], [20.0, 20.0]]))
+        index.insert("a", np.array([[910.0, 910.0], [920.0, 920.0]]))
+        assert index.candidates(BBox(0, 0, 100, 100)) == set()
+        assert index.candidates(BBox(900, 900, 1000, 1000)) == {"a"}
+        assert len(index) == 1
+
+    def test_negative_coordinates(self):
+        index = GridIndex(100.0)
+        index.insert("n", np.array([[-250.0, -50.0], [-150.0, -60.0]]))
+        assert index.candidates(BBox(-300, -100, -100, 0)) == {"n"}
+
+    def test_long_segment_spans_many_cells(self):
+        index = GridIndex(100.0)
+        index.insert("long", np.array([[0.0, 50.0], [1000.0, 50.0]]))
+        # A query in the middle of the segment must still find it.
+        assert index.candidates(BBox(480, 0, 520, 100)) == {"long"}
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)

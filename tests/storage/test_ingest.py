@@ -1,0 +1,114 @@
+"""Tests for the streaming ingestor (stream -> online compression -> store)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OPWTR
+from repro.exceptions import StorageError
+from repro.storage import StreamIngestor, TrajectoryStore
+from repro.streaming import StreamingOPW, merge_streams
+
+
+@pytest.fixture
+def store() -> TrajectoryStore:
+    return TrajectoryStore()
+
+
+@pytest.fixture
+def ingestor(store) -> StreamIngestor:
+    return StreamIngestor(
+        store, compressor_factory=lambda: StreamingOPW(30.0, "synchronized")
+    )
+
+
+class TestStreamIngestor:
+    def test_end_to_end_matches_batch(self, ingestor, store, small_dataset):
+        feed = merge_streams({t.object_id: iter(t) for t in small_dataset})
+        for object_id, fix in feed:
+            ingestor.push(object_id, fix)
+        records = ingestor.finish_all()
+        assert len(records) == len(small_dataset)
+        for traj in small_dataset:
+            batch = OPWTR(30.0).compress(traj)
+            stored = store.get(traj.object_id)
+            np.testing.assert_allclose(
+                stored.t, traj.t[batch.indices], atol=1e-3
+            )
+
+    def test_raw_counts_accounted(self, ingestor, store, small_dataset):
+        traj = small_dataset[0]
+        for fix in traj:
+            ingestor.push(traj.object_id, fix)
+        record = ingestor.finish(traj.object_id)
+        assert record.n_raw_points == len(traj)
+        assert record.n_stored_points <= len(traj)
+        assert store.stats().n_raw_points == len(traj)
+
+    def test_active_objects_and_buffering(self, ingestor, small_dataset):
+        traj = small_dataset[0]
+        for fix in list(traj)[:10]:
+            ingestor.push(traj.object_id, fix)
+        assert ingestor.active_objects == [traj.object_id]
+        assert ingestor.raw_count(traj.object_id) == 10
+        assert 0 < ingestor.buffered_points(traj.object_id) <= 10
+
+    def test_finish_unknown_raises(self, ingestor):
+        with pytest.raises(StorageError, match="no active stream"):
+            ingestor.finish("ghost")
+
+    def test_push_requires_object_id(self, ingestor, small_dataset):
+        with pytest.raises(StorageError, match="object id"):
+            ingestor.push("", small_dataset[0].point(0))
+
+    def test_finish_clears_state(self, ingestor, small_dataset):
+        traj = small_dataset[0]
+        for fix in traj:
+            ingestor.push(traj.object_id, fix)
+        ingestor.finish(traj.object_id)
+        assert ingestor.active_objects == []
+        with pytest.raises(StorageError):
+            ingestor.finish(traj.object_id)
+
+    def test_duplicate_flush_needs_replace(self, ingestor, store, small_dataset):
+        traj = small_dataset[0]
+        for fix in traj:
+            ingestor.push(traj.object_id, fix)
+        ingestor.finish(traj.object_id)
+        for fix in traj:
+            ingestor.push(traj.object_id, fix)
+        with pytest.raises(StorageError, match="already stored"):
+            ingestor.finish(traj.object_id)
+
+    def test_insert_raw_count_validation(self, store, small_dataset):
+        with pytest.raises(StorageError, match="raw_point_count"):
+            store.insert(small_dataset[0], raw_point_count=1)
+
+
+class TestNearestQuery:
+    def test_nearest_at_time(self, store):
+        from repro.trajectory import Trajectory
+
+        a = Trajectory.from_points([(0, 0, 0), (100, 1000, 0)], "a")
+        b = Trajectory.from_points([(0, 0, 500), (100, 1000, 500)], "b")
+        store.insert(a)
+        store.insert(b)
+        hits = store.nearest(500.0, 100.0, when=50.0, k=2)
+        assert [key for key, _ in hits] == ["a", "b"]
+        assert hits[0][1] == pytest.approx(100.0)
+        assert hits[1][1] == pytest.approx(400.0)
+
+    def test_nearest_excludes_objects_outside_time(self, store):
+        from repro.trajectory import Trajectory
+
+        early = Trajectory.from_points([(0, 0, 0), (10, 100, 0)], "early")
+        late = Trajectory.from_points([(100, 0, 0), (110, 100, 0)], "late")
+        store.insert(early)
+        store.insert(late)
+        hits = store.nearest(0.0, 0.0, when=5.0, k=5)
+        assert [key for key, _ in hits] == ["early"]
+
+    def test_nearest_validation(self, store):
+        with pytest.raises(ValueError):
+            store.nearest(0.0, 0.0, when=0.0, k=0)

@@ -1,0 +1,110 @@
+"""Tests for the endpoint interval index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.interval_index import IntervalIndex
+
+
+class TestIntervalIndex:
+    @pytest.fixture
+    def index(self) -> IntervalIndex:
+        idx = IntervalIndex()
+        idx.insert("a", 0.0, 10.0)
+        idx.insert("b", 5.0, 15.0)
+        idx.insert("c", 20.0, 30.0)
+        return idx
+
+    def test_overlapping_basic(self, index):
+        assert index.overlapping(0.0, 4.0) == ["a"]
+        assert index.overlapping(6.0, 7.0) == ["a", "b"]
+        assert index.overlapping(12.0, 25.0) == ["b", "c"]
+        assert index.overlapping(16.0, 19.0) == []
+        assert index.overlapping(-10.0, 100.0) == ["a", "b", "c"]
+
+    def test_closed_interval_boundaries(self, index):
+        assert index.overlapping(10.0, 10.0) == ["a", "b"]
+        assert index.overlapping(30.0, 31.0) == ["c"]
+
+    def test_covering(self, index):
+        assert index.covering(7.0) == ["a", "b"]
+        assert index.covering(17.0) == []
+
+    def test_reinsert_replaces(self, index):
+        index.insert("a", 100.0, 110.0)
+        assert index.overlapping(0.0, 4.0) == []
+        assert index.overlapping(100.0, 105.0) == ["a"]
+
+    def test_remove(self, index):
+        index.remove("b")
+        assert index.overlapping(6.0, 7.0) == ["a"]
+        index.remove("ghost")  # no-op
+        assert len(index) == 2
+        assert "a" in index and "b" not in index
+
+    def test_point_interval(self):
+        idx = IntervalIndex()
+        idx.insert("p", 5.0, 5.0)
+        assert idx.covering(5.0) == ["p"]
+        assert idx.overlapping(5.0, 9.0) == ["p"]
+        assert idx.overlapping(5.1, 9.0) == []
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            index.insert("x", 10.0, 5.0)
+        with pytest.raises(ValueError):
+            index.overlapping(10.0, 5.0)
+
+    def test_empty_index(self):
+        assert IntervalIndex().overlapping(0.0, 1.0) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=0,
+            max_size=25,
+        ),
+        st.floats(-10, 110),
+        st.floats(0, 60),
+    )
+    def test_matches_naive_scan(self, intervals, t0, span):
+        """The index answers exactly like a brute-force scan."""
+        idx = IntervalIndex()
+        truth: dict[str, tuple[float, float]] = {}
+        for k, (a, b) in enumerate(intervals):
+            lo, hi = min(a, b), max(a, b)
+            key = f"i{k}"
+            idx.insert(key, lo, hi)
+            truth[key] = (lo, hi)
+        t1 = t0 + span
+        expected = sorted(
+            key for key, (lo, hi) in truth.items() if lo <= t1 and hi >= t0
+        )
+        assert idx.overlapping(t0, t1) == expected
+
+    def test_lazy_rebuild_amortized(self):
+        """Interleaved mutations and queries stay consistent."""
+        rng = np.random.default_rng(3)
+        idx = IntervalIndex()
+        truth: dict[str, tuple[float, float]] = {}
+        for step in range(200):
+            op = rng.integers(0, 3)
+            key = f"k{rng.integers(0, 20)}"
+            if op == 0:
+                a, b = sorted(rng.uniform(0, 100, size=2))
+                idx.insert(key, float(a), float(b))
+                truth[key] = (float(a), float(b))
+            elif op == 1 and truth:
+                idx.remove(key)
+                truth.pop(key, None)
+            else:
+                t0, t1 = sorted(rng.uniform(0, 100, size=2))
+                expected = sorted(
+                    k for k, (lo, hi) in truth.items() if lo <= t1 and hi >= t0
+                )
+                assert idx.overlapping(float(t0), float(t1)) == expected

@@ -1,0 +1,162 @@
+"""Tests for push-based online compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import NOPW, OPWSP, OPWTR
+from repro.exceptions import StreamError
+from repro.streaming import PointStream, StreamingOPW, make_online_compressor
+from repro.trajectory import Trajectory
+from repro.types import Fix
+
+from tests.conftest import trajectories
+
+
+def drain(compressor: StreamingOPW, traj: Trajectory) -> list[Fix]:
+    out: list[Fix] = []
+    for fix in PointStream.from_trajectory(traj):
+        out.extend(compressor.push(fix))
+    out.extend(compressor.finish())
+    return out
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize(
+        "batch,online_kwargs",
+        [
+            (NOPW(35.0), dict(epsilon=35.0, criterion="perpendicular")),
+            (OPWTR(35.0), dict(epsilon=35.0, criterion="synchronized")),
+            (
+                OPWSP(35.0, 4.0),
+                dict(epsilon=35.0, criterion="synchronized", max_speed_error=4.0),
+            ),
+        ],
+        ids=["nopw", "opw-tr", "opw-sp"],
+    )
+    def test_identical_selection(self, batch, online_kwargs, urban_trajectory):
+        batch_times = urban_trajectory.t[batch.compress(urban_trajectory).indices]
+        emitted = drain(StreamingOPW(**online_kwargs), urban_trajectory)
+        np.testing.assert_array_equal([f.t for f in emitted], batch_times)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(min_points=2, max_points=30))
+    def test_property_equivalence_opw_tr(self, traj):
+        batch_times = traj.t[OPWTR(20.0).compress(traj).indices]
+        emitted = drain(StreamingOPW(20.0, "synchronized"), traj)
+        np.testing.assert_array_equal([f.t for f in emitted], batch_times)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(min_points=2, max_points=30))
+    def test_property_equivalence_opw_sp(self, traj):
+        batch_times = traj.t[OPWSP(20.0, 5.0).compress(traj).indices]
+        streaming = StreamingOPW(20.0, "synchronized", max_speed_error=5.0)
+        emitted = drain(streaming, traj)
+        np.testing.assert_array_equal([f.t for f in emitted], batch_times)
+
+
+class TestStreamingBehaviour:
+    def test_first_fix_emitted_immediately(self):
+        opw = StreamingOPW(10.0)
+        out = opw.push(Fix(0.0, 0.0, 0.0))
+        assert out == [Fix(0.0, 0.0, 0.0)]
+
+    def test_finish_emits_last_fix(self):
+        opw = StreamingOPW(10.0)
+        opw.push(Fix(0.0, 0.0, 0.0))
+        opw.push(Fix(1.0, 10.0, 0.0))
+        tail = opw.finish()
+        assert tail == [Fix(1.0, 10.0, 0.0)]
+
+    def test_finish_idempotent(self):
+        opw = StreamingOPW(10.0)
+        opw.push(Fix(0.0, 0.0, 0.0))
+        opw.finish()
+        assert opw.finish() == []
+
+    def test_finish_on_empty(self):
+        assert StreamingOPW(10.0).finish() == []
+
+    def test_push_after_finish_raises(self):
+        opw = StreamingOPW(10.0)
+        opw.finish()
+        with pytest.raises(StreamError, match="finish"):
+            opw.push(Fix(0.0, 0.0, 0.0))
+
+    def test_backwards_time_raises(self):
+        opw = StreamingOPW(10.0)
+        opw.push(Fix(1.0, 0.0, 0.0))
+        with pytest.raises(StreamError, match="backwards"):
+            opw.push(Fix(0.5, 0.0, 0.0))
+
+    def test_counters(self, urban_trajectory):
+        opw = StreamingOPW(35.0)
+        emitted = drain(opw, urban_trajectory)
+        assert opw.n_pushed == len(urban_trajectory)
+        assert opw.n_emitted == len(emitted)
+
+    def test_max_window_bounds_buffer(self, urban_trajectory):
+        opw = StreamingOPW(1e9, max_window=8)  # huge eps: never violates
+        for fix in PointStream.from_trajectory(urban_trajectory):
+            opw.push(fix)
+            assert opw.window_size <= 8
+        opw.finish()
+
+    def test_max_window_output_still_covers_stream(self, urban_trajectory):
+        opw = StreamingOPW(1e9, max_window=8)
+        emitted = drain(opw, urban_trajectory)
+        assert emitted[0].t == urban_trajectory.start_time
+        assert emitted[-1].t == urban_trajectory.end_time
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="criterion"):
+            StreamingOPW(10.0, criterion="psychic")
+        with pytest.raises(ValueError, match="max_window"):
+            StreamingOPW(10.0, max_window=2)
+
+    def test_sync_error_bound_reporting(self):
+        assert StreamingOPW(25.0, "synchronized").sync_error_bound() == 25.0
+        assert StreamingOPW(25.0, "perpendicular").sync_error_bound() is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(trajectories(min_points=4, max_points=30))
+    def test_max_window_keeps_sed_bound(self, traj):
+        """Forced BOPW-style cuts still only close fully-validated
+        segments, so the synchronized bound survives the memory cap."""
+        from repro.error import max_synchronized_error
+        from repro.trajectory import Trajectory as _T
+
+        eps = 30.0
+        opw = StreamingOPW(eps, "synchronized", max_window=4)
+        emitted = drain(opw, traj)
+        approx = _T.from_points([(f.t, f.x, f.y) for f in emitted])
+        assert max_synchronized_error(traj, approx) <= eps + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(trajectories(min_points=4, max_points=40))
+    def test_max_window_never_exceeded(self, traj):
+        opw = StreamingOPW(1e9, max_window=5)
+        for fix in PointStream.from_trajectory(traj):
+            opw.push(fix)
+            assert opw.window_size <= 5
+        opw.finish()
+
+
+class TestFactory:
+    def test_builds_each_kind(self):
+        assert make_online_compressor("nopw", 10.0).criterion == "perpendicular"
+        assert make_online_compressor("opw-tr", 10.0).criterion == "synchronized"
+        sp = make_online_compressor("opw-sp", 10.0, max_speed_error=5.0)
+        assert sp.max_speed_error == 5.0
+
+    def test_rejects_wrong_speed_usage(self):
+        with pytest.raises(ValueError):
+            make_online_compressor("nopw", 10.0, max_speed_error=5.0)
+        with pytest.raises(ValueError):
+            make_online_compressor("opw-sp", 10.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_online_compressor("dp", 10.0)

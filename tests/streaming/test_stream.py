@@ -1,0 +1,73 @@
+"""Tests for point streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streaming import PointStream, merge_streams
+from repro.types import Fix
+
+
+class TestPointStream:
+    def test_replays_trajectory(self, zigzag):
+        fixes = list(PointStream.from_trajectory(zigzag))
+        assert len(fixes) == len(zigzag)
+        assert fixes[0] == zigzag.point(0)
+        assert fixes[-1] == zigzag.point(-1)
+
+    def test_counts_delivered(self, zigzag):
+        stream = PointStream.from_trajectory(zigzag)
+        next(stream)
+        next(stream)
+        assert stream.delivered == 2
+
+    def test_rejects_backwards_time(self):
+        stream = PointStream([Fix(1.0, 0, 0), Fix(0.5, 1, 1)])
+        next(stream)
+        with pytest.raises(StreamError, match="backwards"):
+            next(stream)
+
+    def test_rejects_duplicate_time(self):
+        stream = PointStream([Fix(1.0, 0, 0), Fix(1.0, 1, 1)])
+        next(stream)
+        with pytest.raises(StreamError):
+            next(stream)
+
+    def test_rejects_non_finite(self):
+        stream = PointStream([Fix(float("inf"), 0, 0)], source_id="bad")
+        with pytest.raises(StreamError, match="non-finite"):
+            next(stream)
+
+    def test_accepts_plain_tuples(self):
+        stream = PointStream([(0.0, 1.0, 2.0), (1.0, 3.0, 4.0)])
+        assert list(stream) == [Fix(0.0, 1.0, 2.0), Fix(1.0, 3.0, 4.0)]
+
+
+class TestMergeStreams:
+    def test_global_time_order(self):
+        a = [Fix(0.0, 0, 0), Fix(10.0, 1, 1), Fix(20.0, 2, 2)]
+        b = [Fix(5.0, 9, 9), Fix(15.0, 8, 8)]
+        merged = list(merge_streams({"a": a, "b": b}))
+        times = [fix.t for _, fix in merged]
+        assert times == sorted(times)
+        assert [obj for obj, _ in merged] == ["a", "b", "a", "b", "a"]
+
+    def test_tie_broken_by_object_id(self):
+        a = [Fix(0.0, 0, 0)]
+        b = [Fix(0.0, 1, 1)]
+        merged = list(merge_streams({"b": b, "a": a}))
+        assert [obj for obj, _ in merged] == ["a", "b"]
+
+    def test_empty_streams_skipped(self):
+        merged = list(merge_streams({"empty": [], "one": [Fix(1.0, 0, 0)]}))
+        assert len(merged) == 1
+        assert merged[0][0] == "one"
+
+    def test_no_streams(self):
+        assert list(merge_streams({})) == []
+
+    def test_invalid_substream_raises(self):
+        bad = [Fix(2.0, 0, 0), Fix(1.0, 0, 0)]
+        with pytest.raises(StreamError):
+            list(merge_streams({"bad": bad}))

@@ -1,0 +1,85 @@
+"""Public API surface tests: the README's promises hold."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart(self):
+        traj = repro.Trajectory.from_points(
+            [(0, 0, 0), (10, 95, 8), (20, 210, 4)], object_id="demo"
+        )
+        result = repro.TDTR(epsilon=30.0).compress(traj)
+        report = repro.evaluate_compression(traj, result.compressed)
+        assert "points" in report.summary()
+
+    def test_readme_streaming_snippet(self):
+        traj = repro.Trajectory.from_points(
+            [(float(i * 10), float(i * 100), 0.0) for i in range(10)]
+        )
+        opw = repro.make_online_compressor(
+            "opw-sp", epsilon=50.0, max_speed_error=5.0
+        )
+        kept = []
+        for fix in repro.PointStream.from_trajectory(traj):
+            kept.extend(opw.push(fix))
+        kept.extend(opw.finish())
+        assert kept[0].t == 0.0
+        assert kept[-1].t == 90.0
+
+    def test_readme_store_snippet(self):
+        from repro.geometry import BBox
+
+        traj = repro.Trajectory.from_points(
+            [(0, 0, 0), (10, 110, 6), (20, 230, 2), (30, 330, -5)], object_id="car-1"
+        )
+        store = repro.TrajectoryStore(compressor=repro.OPWTR(epsilon=50.0))
+        store.insert(traj)
+        pos = store.position_at("car-1", when=17.0)
+        assert pos.shape == (2,)
+        assert store.query_bbox(BBox(0, -10, 250, 10)) == ["car-1"]
+        assert store.stats().byte_compression_ratio > 1.0
+
+    def test_registry_names_match_readme_table(self):
+        names = set(repro.available_compressors())
+        assert {
+            "ndp", "nopw", "bopw", "td-tr", "opw-tr", "opw-sp", "td-sp",
+            "every-ith", "distance-threshold", "angular", "sliding-window",
+            "bottom-up", "td-tr-budget", "bottom-up-budget",
+            "bottom-up-total-error", "dead-reckoning",
+        } == names
+
+    def test_error_functions_exported(self):
+        traj = repro.Trajectory.from_points([(0, 0, 0), (10, 100, 0), (20, 150, 0)])
+        approx = traj.subset([0, 2])
+        assert repro.mean_synchronized_error(traj, approx) >= 0.0
+        assert repro.max_synchronized_error(traj, approx) >= 0.0
+
+    def test_exceptions_hierarchy(self):
+        from repro.exceptions import (
+            CodecError,
+            CompressionError,
+            ReproError,
+            StorageError,
+            ThresholdError,
+            TrajectoryError,
+        )
+
+        assert issubclass(TrajectoryError, ReproError)
+        assert issubclass(TrajectoryError, ValueError)
+        assert issubclass(ThresholdError, CompressionError)
+        assert issubclass(CodecError, StorageError)
+
+    def test_threshold_error_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            repro.TDTR(epsilon=-5.0)

@@ -1,0 +1,237 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trajectory import read_csv, read_json, write_csv
+
+
+@pytest.fixture
+def trip_csv(tmp_path, zigzag):
+    path = tmp_path / "trip.csv"
+    write_csv(zigzag, path)
+    return path
+
+
+class TestStats:
+    def test_prints_statistics(self, trip_csv, capsys):
+        assert main(["stats", str(trip_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "points" in out
+        assert "19" in out
+        assert "mean speed" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.csv")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unsupported_format(self, tmp_path, capsys):
+        bad = tmp_path / "trip.xlsx"
+        bad.write_text("whatever")
+        assert main(["stats", str(bad)]) == 2
+        assert "unsupported" in capsys.readouterr().err
+
+
+class TestCompress:
+    def test_epsilon_algorithm_roundtrip(self, trip_csv, tmp_path, capsys):
+        out = tmp_path / "small.csv"
+        code = main(
+            ["compress", str(trip_csv), "-a", "td-tr", "-e", "30", "-o", str(out)]
+        )
+        assert code == 0
+        compressed = read_csv(out)
+        original = read_csv(trip_csv)
+        assert 2 <= len(compressed) < len(original)
+        text = capsys.readouterr().out
+        assert "mean sync error" in text
+
+    def test_json_output(self, trip_csv, tmp_path):
+        out = tmp_path / "small.json"
+        main(["compress", str(trip_csv), "-a", "ndp", "-e", "30", "-o", str(out)])
+        assert json.loads(out.read_text())["points"]
+        assert read_json(out).object_id
+
+    def test_sp_algorithm_needs_speed(self, trip_csv, capsys):
+        assert main(["compress", str(trip_csv), "-a", "opw-sp", "-e", "30"]) == 2
+        assert "--speed" in capsys.readouterr().err
+
+    def test_sp_algorithm_with_speed(self, trip_csv):
+        assert (
+            main(["compress", str(trip_csv), "-a", "opw-sp", "-e", "30", "--speed", "5"])
+            == 0
+        )
+
+    def test_every_ith_needs_step(self, trip_csv, capsys):
+        assert main(["compress", str(trip_csv), "-a", "every-ith"]) == 2
+        assert "--step" in capsys.readouterr().err
+
+    def test_budget_algorithm(self, trip_csv, tmp_path):
+        out = tmp_path / "b.csv"
+        code = main(
+            ["compress", str(trip_csv), "-a", "td-tr-budget", "--budget", "5",
+             "-o", str(out)]
+        )
+        assert code == 0
+        assert len(read_csv(out)) == 5
+
+    def test_angular_algorithm(self, trip_csv):
+        assert main(["compress", str(trip_csv), "-a", "angular", "--angle", "0.5"]) == 0
+
+    def test_total_error_budget(self, trip_csv):
+        assert (
+            main(["compress", str(trip_csv), "-a", "bottom-up-total-error", "-e", "10"])
+            == 0
+        )
+
+    def test_missing_epsilon(self, trip_csv, capsys):
+        assert main(["compress", str(trip_csv), "-a", "td-tr"]) == 2
+        assert "--epsilon" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_output(self, trip_csv, capsys):
+        assert main(["report", str(trip_csv), "-a", "td-tr", "-e", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: td-tr" in out
+        assert "percentiles" in out
+        assert "worst moment" in out
+
+    def test_report_needs_params(self, trip_csv, capsys):
+        assert main(["report", str(trip_csv), "-a", "opw-sp", "-e", "30"]) == 2
+        assert "--speed" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_writes_trajectory(self, tmp_path, capsys):
+        out = tmp_path / "gen.csv"
+        code = main(
+            ["generate", "--profile", "urban", "--seed", "4", "--length-km", "5",
+             "-o", str(out)]
+        )
+        assert code == 0
+        traj = read_csv(out)
+        assert len(traj) > 10
+        assert "fixes" in capsys.readouterr().out
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        for out in (a, b):
+            main(["generate", "--seed", "9", "--length-km", "4", "-o", str(out)])
+        assert a.read_text() == b.read_text()
+
+
+class TestDataset:
+    def test_writes_ten_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        assert main(["dataset", str(out_dir)]) == 0
+        files = sorted(out_dir.glob("*.csv"))
+        assert len(files) == 10
+        assert "10 trajectories" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_quick_figure(self, capsys):
+        assert main(["figures", "fig07", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out
+        assert "td-tr" in out
+        assert "ndp" in out
+
+    def test_quick_figure_with_chart(self, capsys):
+        assert main(["figures", "fig07", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "vs threshold" in out
+        assert "a = " in out  # chart legend
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "40.85" in out  # the paper's speed mean
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+
+class TestCluster:
+    @pytest.fixture
+    def fleet_dir(self, tmp_path):
+        import numpy as np
+
+        from repro.trajectory import Trajectory, write_csv
+
+        t = np.arange(0.0, 100.0, 10.0)
+        for name, dy in (("a1", 0.0), ("a2", 12.0), ("b1", 900.0)):
+            traj = Trajectory(
+                t, np.column_stack([t * 10.0, np.full_like(t, dy)]), name
+            )
+            write_csv(traj, tmp_path / f"{name}.csv")
+        return tmp_path
+
+    def test_cluster_directory_by_route(self, fleet_dir, capsys):
+        assert main(["cluster", str(fleet_dir), "--clusters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 clusters" in out
+        assert "a1, a2" in out
+
+    def test_cluster_with_max_distance(self, fleet_dir, capsys):
+        assert main(["cluster", str(fleet_dir), "--max-distance", "50"]) == 0
+        assert "2 clusters" in capsys.readouterr().out
+
+    def test_cluster_synchronized_metric(self, fleet_dir, capsys):
+        assert (
+            main(["cluster", str(fleet_dir), "--metric", "synchronized",
+                  "--clusters", "2"])
+            == 0
+        )
+        assert "synchronized" in capsys.readouterr().out
+
+    def test_cluster_needs_two_files(self, fleet_dir, capsys):
+        only = fleet_dir / "a1.csv"
+        assert main(["cluster", str(only), "--clusters", "1"]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+    def test_cluster_requires_stop_criterion(self, fleet_dir):
+        with pytest.raises(SystemExit):
+            main(["cluster", str(fleet_dir)])
+
+
+class TestFlow:
+    def test_flow_over_directory(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.trajectory import Trajectory, write_csv
+
+        t = np.arange(0.0, 100.0, 10.0)
+        for name, dy in (("a", 0.0), ("b", 10.0)):
+            write_csv(
+                Trajectory(t, np.column_stack([t * 10.0, np.full_like(t, dy)]), name),
+                tmp_path / f"{name}.csv",
+            )
+        assert main(["flow", str(tmp_path), "--bin-seconds", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet speed profile" in out
+        assert "busiest" in out
+        assert "origin-destination" in out
+
+    def test_flow_no_inputs(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["flow", str(empty)]) == 2
+        assert "no trajectory files" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

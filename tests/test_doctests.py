@@ -1,0 +1,22 @@
+"""Executable docstring examples stay correct."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.trajectory.builder
+
+MODULES_WITH_EXAMPLES = [
+    repro.trajectory.builder,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert results.failed == 0

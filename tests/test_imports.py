@@ -1,0 +1,61 @@
+"""Every module imports cleanly and exports what it declares."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules() -> list[str]:
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _walk_modules())
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", _walk_modules())
+def test_declared_exports_exist(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_no_duplicate_all_entries():
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", None)
+        if exported is not None:
+            assert len(exported) == len(set(exported)), name
+
+
+def test_package_count_matches_design():
+    """DESIGN.md's inventory: these subpackages exist (and only these)."""
+    subpackages = {
+        name.split(".")[1]
+        for name in _walk_modules()
+        if name.count(".") == 1 and not name.endswith(("cli", "__main__", "exceptions", "types"))
+    }
+    assert subpackages == {
+        "analysis",
+        "core",
+        "datagen",
+        "error",
+        "experiments",
+        "geometry",
+        "storage",
+        "streaming",
+        "trajectory",
+    }

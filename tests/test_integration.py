@@ -1,0 +1,138 @@
+"""End-to-end integration: the full pipeline in one scenario.
+
+Generate a fleet -> corrupt it like a real logger would -> clean ->
+stream through online compression into the store -> persist -> reload ->
+answer the application queries -> run the analyses — asserting the
+system-level contracts at every hand-off. Anything that breaks an
+interface between subpackages should fail here even if every unit test
+passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import cluster_trajectories, hausdorff_distance, speed_over_time
+from repro.core import OPWSP
+from repro.error import evaluate_compression
+from repro.geometry import BBox
+from repro.storage import StreamIngestor, TrajectoryStore
+from repro.streaming import StreamingOPW, merge_streams
+from repro.trajectory import Trajectory, drop_speed_outliers, quality_issues
+from repro.datagen import TrajectoryGenerator, URBAN
+
+EPSILON = 35.0
+SPEED_EPS = 5.0
+FLEET = 4
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """The full pipeline, executed once and inspected by every test."""
+    generator = TrajectoryGenerator(seed=77)
+    rng = np.random.default_rng(77)
+    raw_fleet: dict[str, Trajectory] = {}
+    clean_fleet: dict[str, Trajectory] = {}
+    for i in range(FLEET):
+        object_id = f"veh-{i}"
+        trip = generator.generate(
+            URBAN.with_length(5_000.0), object_id, start_time_s=float(i * 17)
+        )
+        # Inject one teleported fix per trip (multipath spike).
+        xy = trip.xy.copy()
+        victim = int(rng.integers(2, len(trip) - 2))
+        xy[victim] = xy[victim] + rng.normal(0.0, 8_000.0, size=2)
+        dirty = Trajectory(trip.t, xy, object_id)
+        raw_fleet[object_id] = dirty
+        clean_fleet[object_id] = drop_speed_outliers(dirty, max_speed_ms=60.0)
+
+    store = TrajectoryStore(coord_resolution_m=0.1)
+    ingestor = StreamIngestor(
+        store,
+        compressor_factory=lambda: StreamingOPW(
+            EPSILON, "synchronized", max_speed_error=SPEED_EPS
+        ),
+    )
+    feed = merge_streams({oid: iter(t) for oid, t in clean_fleet.items()})
+    for object_id, fix in feed:
+        ingestor.push(object_id, fix)
+    records = {record.object_id: record for record in ingestor.finish_all()}
+    return {
+        "raw": raw_fleet,
+        "clean": clean_fleet,
+        "store": store,
+        "records": records,
+    }
+
+
+class TestPipeline:
+    def test_cleaning_removed_the_spikes(self, scenario):
+        for object_id, dirty in scenario["raw"].items():
+            cleaned = scenario["clean"][object_id]
+            assert len(cleaned) == len(dirty) - 1
+            assert quality_issues(cleaned, max_speed_ms=60.0) == []
+
+    def test_streamed_selection_matches_batch(self, scenario):
+        for object_id, cleaned in scenario["clean"].items():
+            batch = OPWSP(EPSILON, SPEED_EPS).compress(cleaned)
+            stored = scenario["store"].get(object_id)
+            np.testing.assert_allclose(
+                stored.t, cleaned.t[batch.indices], atol=1e-3
+            )
+
+    def test_error_bounds_recorded_and_sound(self, scenario):
+        for object_id, cleaned in scenario["clean"].items():
+            record = scenario["records"][object_id]
+            assert record.sync_error_bound_m == pytest.approx(EPSILON, abs=0.1)
+            report = evaluate_compression(
+                cleaned, scenario["store"].get(object_id)
+            )
+            assert report.max_sync_error_m <= record.sync_error_bound_m + 1e-6
+
+    def test_storage_accounting(self, scenario):
+        stats = scenario["store"].stats()
+        assert stats.n_objects == FLEET
+        assert stats.n_raw_points == sum(len(t) for t in scenario["clean"].values())
+        assert stats.byte_compression_ratio > 2.0
+
+    def test_persistence_roundtrip(self, scenario, tmp_path):
+        path = tmp_path / "fleet.store"
+        scenario["store"].save(path)
+        reloaded = TrajectoryStore.load(path)
+        assert reloaded.object_ids() == scenario["store"].object_ids()
+        for object_id in reloaded.object_ids():
+            assert reloaded.get(object_id) == scenario["store"].get(object_id)
+            assert reloaded.record(object_id).sync_error_bound_m == pytest.approx(
+                scenario["records"][object_id].sync_error_bound_m
+            )
+
+    def test_queries_against_ground_truth(self, scenario):
+        store = scenario["store"]
+        for object_id, cleaned in scenario["clean"].items():
+            mid_time = (cleaned.start_time + cleaned.end_time) / 2.0
+            truth = cleaned.position_at(mid_time)
+            answer = store.position_at(object_id, mid_time)
+            assert float(np.hypot(*(truth - answer))) <= EPSILON + 0.2
+            box = BBox(truth[0] - 80, truth[1] - 80, truth[0] + 80, truth[1] + 80)
+            assert object_id in store.query_bbox(box, mode="possibly")
+
+    def test_nearest_at_time(self, scenario):
+        store = scenario["store"]
+        some_id = sorted(scenario["clean"])[0]
+        traj = scenario["clean"][some_id]
+        when = (traj.start_time + traj.end_time) / 2.0
+        position = traj.position_at(when)
+        hits = store.nearest(float(position[0]), float(position[1]), when, k=1)
+        assert hits[0][0] == some_id
+        assert hits[0][1] <= EPSILON + 0.2
+
+    def test_analyses_run_on_stored_data(self, scenario):
+        store = scenario["store"]
+        stored = [store.get(object_id) for object_id in store.object_ids()]
+        profile = speed_over_time(stored, bin_seconds=120.0)
+        assert np.nanmax(profile.mean_speed_ms) > 1.0
+        result = cluster_trajectories(
+            stored, max_distance=1_000.0, metric=hausdorff_distance
+        )
+        assert 1 <= result.n_clusters <= FLEET

@@ -1,0 +1,64 @@
+"""Tests for TrajectoryBuilder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyTrajectoryError, TimestampOrderError
+from repro.trajectory import TrajectoryBuilder
+from repro.types import Fix
+
+
+class TestTrajectoryBuilder:
+    def test_build_matches_appends(self):
+        builder = TrajectoryBuilder("bus-7")
+        builder.append(0.0, 1.0, 2.0)
+        builder.append(10.0, 3.0, 4.0)
+        traj = builder.build()
+        assert traj.object_id == "bus-7"
+        np.testing.assert_allclose(traj.t, [0, 10])
+        np.testing.assert_allclose(traj.xy, [[1, 2], [3, 4]])
+
+    def test_append_fix_and_extend(self):
+        builder = TrajectoryBuilder()
+        builder.append_fix(Fix(0.0, 0.0, 0.0))
+        builder.extend([Fix(1.0, 1.0, 1.0), Fix(2.0, 2.0, 2.0)])
+        assert len(builder) == 3
+
+    def test_rejects_non_advancing_time(self):
+        builder = TrajectoryBuilder()
+        builder.append(5.0, 0.0, 0.0)
+        with pytest.raises(TimestampOrderError, match="advance"):
+            builder.append(5.0, 1.0, 1.0)
+
+    def test_rejects_non_finite(self):
+        builder = TrajectoryBuilder()
+        with pytest.raises(ValueError, match="non-finite"):
+            builder.append(0.0, float("nan"), 0.0)
+
+    def test_build_empty_raises(self):
+        with pytest.raises(EmptyTrajectoryError):
+            TrajectoryBuilder().build()
+
+    def test_builder_reusable_after_build(self):
+        builder = TrajectoryBuilder()
+        builder.append(0.0, 0.0, 0.0)
+        first = builder.build()
+        builder.append(1.0, 1.0, 1.0)
+        second = builder.build()
+        assert len(first) == 1
+        assert len(second) == 2
+
+    def test_clear(self):
+        builder = TrajectoryBuilder()
+        builder.append(0.0, 0.0, 0.0)
+        builder.clear()
+        assert len(builder) == 0
+        assert builder.last_time is None
+
+    def test_last_time(self):
+        builder = TrajectoryBuilder()
+        assert builder.last_time is None
+        builder.append(7.0, 0.0, 0.0)
+        assert builder.last_time == 7.0

@@ -1,0 +1,99 @@
+"""Tests for the GPX reader/writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.geometry import LocalProjection
+from repro.trajectory import read_gpx, write_gpx
+from repro.trajectory.gpx import parse_gpx_time
+
+GPX_DOC = """<?xml version="1.0"?>
+<gpx version="1.1" creator="unit-test" xmlns="http://www.topografix.com/GPX/1/1">
+  <trk>
+    <name>morning-commute</name>
+    <trkseg>
+      <trkpt lat="52.2000" lon="6.9000"><time>2004-03-14T08:00:00Z</time></trkpt>
+      <trkpt lat="52.2010" lon="6.9030"><time>2004-03-14T08:00:10Z</time></trkpt>
+      <trkpt lat="52.2030" lon="6.9050"><time>2004-03-14T08:00:20Z</time></trkpt>
+    </trkseg>
+  </trk>
+</gpx>
+"""
+
+
+class TestParseGpxTime:
+    def test_utc_z(self):
+        assert parse_gpx_time("2004-03-14T08:00:00Z") == pytest.approx(1079251200.0)
+
+    def test_fractional_seconds(self):
+        base = parse_gpx_time("2004-03-14T08:00:00Z")
+        assert parse_gpx_time("2004-03-14T08:00:00.500Z") == pytest.approx(base + 0.5)
+
+    def test_explicit_offset(self):
+        utc = parse_gpx_time("2004-03-14T08:00:00Z")
+        plus_two = parse_gpx_time("2004-03-14T10:00:00+02:00")
+        assert plus_two == pytest.approx(utc)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TrajectoryError, match="unparseable"):
+            parse_gpx_time("yesterday at noon")
+
+
+class TestReadGpx:
+    def test_reads_points_and_name(self, tmp_path):
+        path = tmp_path / "trip.gpx"
+        path.write_text(GPX_DOC)
+        traj = read_gpx(path)
+        assert len(traj) == 3
+        assert traj.object_id == "morning-commute"
+        np.testing.assert_allclose(np.diff(traj.t), [10.0, 10.0])
+
+    def test_planar_distances_are_plausible(self, tmp_path):
+        path = tmp_path / "trip.gpx"
+        path.write_text(GPX_DOC)
+        traj = read_gpx(path)
+        # ~0.003 deg lon at 52N is about 200 m.
+        step = float(np.hypot(*(traj.xy[1] - traj.xy[0])))
+        assert 150 < step < 300
+
+    def test_explicit_projection_controls_frame(self, tmp_path):
+        path = tmp_path / "trip.gpx"
+        path.write_text(GPX_DOC)
+        proj = LocalProjection(6.9, 52.2)
+        traj = read_gpx(path, projection=proj)
+        np.testing.assert_allclose(traj.xy[0], [0.0, 0.0], atol=1e-6)
+
+    def test_missing_time_raises(self, tmp_path):
+        path = tmp_path / "bad.gpx"
+        path.write_text(
+            '<gpx><trk><trkseg><trkpt lat="52" lon="6"/></trkseg></trk></gpx>'
+        )
+        with pytest.raises(TrajectoryError, match="time"):
+            read_gpx(path)
+
+    def test_no_track_points_raises(self, tmp_path):
+        path = tmp_path / "empty.gpx"
+        path.write_text("<gpx><trk><trkseg/></trk></gpx>")
+        with pytest.raises(TrajectoryError, match="no track points"):
+            read_gpx(path)
+
+    def test_malformed_xml_raises(self, tmp_path):
+        path = tmp_path / "broken.gpx"
+        path.write_text("<gpx><trk>")
+        with pytest.raises(TrajectoryError, match="XML"):
+            read_gpx(path)
+
+
+class TestWriteGpx:
+    def test_roundtrip_through_projection(self, tmp_path, zigzag):
+        proj = LocalProjection(6.9, 52.2)
+        path = tmp_path / "out.gpx"
+        shifted = zigzag.shifted(dt=1_079_251_200.0)  # epoch-plausible times
+        write_gpx(shifted, path, proj)
+        back = read_gpx(path, projection=proj)
+        assert back.object_id == "zigzag"
+        np.testing.assert_allclose(back.t, shifted.t, atol=1e-3)
+        np.testing.assert_allclose(back.xy, shifted.xy, atol=1e-2)

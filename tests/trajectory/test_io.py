@@ -1,0 +1,102 @@
+"""Tests for CSV/JSON trajectory I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory import (
+    read_csv,
+    read_dataset_json,
+    read_json,
+    write_csv,
+    write_dataset_json,
+    write_json,
+)
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, zigzag, tmp_path):
+        path = tmp_path / "traj.csv"
+        write_csv(zigzag, path)
+        back = read_csv(path, object_id="zigzag")
+        assert back == zigzag
+        assert back.object_id == "zigzag"
+
+    def test_reads_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0,1,2\n5,3,4\n")
+        traj = read_csv(path)
+        np.testing.assert_allclose(traj.t, [0, 5])
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("# a comment\nt,x,y\n0,1,2\n\n5,3,4\n")
+        assert len(read_csv(path)) == 2
+
+    def test_rejects_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1\n")
+        with pytest.raises(TrajectoryError, match="3 columns"):
+            read_csv(path)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,one,2\n")
+        with pytest.raises(TrajectoryError, match="non-numeric"):
+            read_csv(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("t,x,y\n")
+        with pytest.raises(TrajectoryError, match="no data rows"):
+            read_csv(path)
+
+
+class TestJson:
+    def test_roundtrip_with_object_id(self, zigzag, tmp_path):
+        path = tmp_path / "traj.json"
+        write_json(zigzag, path)
+        back = read_json(path)
+        assert back == zigzag
+        assert back.object_id == "zigzag"
+
+    def test_rejects_missing_points(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"object_id": "x"}')
+        with pytest.raises(TrajectoryError, match="points"):
+            read_json(path)
+
+    def test_rejects_bad_object_id_type(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"object_id": 5, "points": [[0, 1, 2]]}')
+        with pytest.raises(TrajectoryError, match="object_id"):
+            read_json(path)
+
+    def test_rejects_malformed_rows(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"points": [[0, 1]]}')
+        with pytest.raises(TrajectoryError):
+            read_json(path)
+
+
+class TestDatasetJson:
+    def test_roundtrip(self, zigzag, straight_line, tmp_path):
+        path = tmp_path / "dataset.json"
+        write_dataset_json([zigzag, straight_line], path)
+        back = read_dataset_json(path)
+        assert back == [zigzag, straight_line]
+        assert back[0].object_id == "zigzag"
+
+    def test_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"points": [[0, 1, 2]]}')
+        with pytest.raises(TrajectoryError, match="JSON list"):
+            read_dataset_json(path)
+
+    def test_error_names_offending_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"points": [[0, 1, 2]]}, {"nope": 1}]')
+        with pytest.raises(TrajectoryError, match=r"\[1\]"):
+            read_dataset_json(path)

@@ -1,0 +1,134 @@
+"""Tests for repro.trajectory.ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory import (
+    Trajectory,
+    concat,
+    drop_duplicate_times,
+    every_ith_indices,
+    merge_grids,
+    split_on_gaps,
+)
+
+
+class TestConcat:
+    def test_orders_preserved(self):
+        a = Trajectory.from_points([(0, 0, 0), (1, 1, 1)])
+        b = Trajectory.from_points([(2, 2, 2), (3, 3, 3)])
+        joined = concat([a, b])
+        np.testing.assert_allclose(joined.t, [0, 1, 2, 3])
+
+    def test_rejects_overlap(self):
+        a = Trajectory.from_points([(0, 0, 0), (2, 1, 1)])
+        b = Trajectory.from_points([(2, 2, 2), (3, 3, 3)])
+        with pytest.raises(TrajectoryError, match="overlap"):
+            concat([a, b])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(TrajectoryError, match="no trajectories"):
+            concat([])
+
+    def test_object_id_defaults_to_first(self):
+        a = Trajectory.from_points([(0, 0, 0)], object_id="first")
+        b = Trajectory.from_points([(1, 1, 1)], object_id="second")
+        assert concat([a, b]).object_id == "first"
+        assert concat([a, b], object_id="explicit").object_id == "explicit"
+
+
+class TestSplitOnGaps:
+    def test_no_gaps_returns_whole(self, zigzag):
+        pieces = split_on_gaps(zigzag, max_gap_s=15.0)
+        assert len(pieces) == 1
+        assert pieces[0] == zigzag
+
+    def test_splits_at_long_gap(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 1, 1), (200, 2, 2), (210, 3, 3)]
+        )
+        pieces = split_on_gaps(traj, max_gap_s=60.0)
+        assert [len(p) for p in pieces] == [2, 2]
+        np.testing.assert_allclose(pieces[1].t, [200, 210])
+
+    def test_multiple_gaps(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (100, 1, 1), (200, 2, 2)]
+        )
+        pieces = split_on_gaps(traj, max_gap_s=50.0)
+        assert [len(p) for p in pieces] == [1, 1, 1]
+
+    def test_single_point(self):
+        traj = Trajectory.from_points([(0, 0, 0)])
+        assert split_on_gaps(traj, 10.0) == [traj]
+
+    def test_rejects_nonpositive_gap(self, zigzag):
+        with pytest.raises(ValueError, match="positive"):
+            split_on_gaps(zigzag, 0.0)
+
+    def test_roundtrip_with_concat(self, zigzag):
+        pieces = split_on_gaps(zigzag, max_gap_s=5.0)  # every gap is 10 s
+        assert len(pieces) == len(zigzag)
+        assert concat(pieces) == zigzag
+
+
+class TestDropDuplicateTimes:
+    def test_keeps_first_of_ties(self):
+        t = np.array([0.0, 1.0, 1.0, 2.0])
+        xy = np.array([[0, 0], [1, 1], [9, 9], [2, 2]], dtype=float)
+        traj = drop_duplicate_times(t, xy)
+        np.testing.assert_allclose(traj.t, [0, 1, 2])
+        np.testing.assert_allclose(traj.xy[1], [1, 1])
+
+    def test_sorts_out_of_order_records(self):
+        t = np.array([5.0, 1.0, 3.0])
+        xy = np.array([[5, 5], [1, 1], [3, 3]], dtype=float)
+        traj = drop_duplicate_times(t, xy)
+        np.testing.assert_allclose(traj.t, [1, 3, 5])
+        np.testing.assert_allclose(traj.xy[:, 0], [1, 3, 5])
+
+    def test_shape_validation(self):
+        with pytest.raises(TrajectoryError):
+            drop_duplicate_times(np.array([0.0]), np.zeros((2, 2)))
+
+
+class TestEveryIthIndices:
+    def test_basic(self):
+        np.testing.assert_array_equal(every_ith_indices(10, 3), [0, 3, 6, 9])
+
+    def test_always_includes_last(self):
+        np.testing.assert_array_equal(every_ith_indices(11, 3), [0, 3, 6, 9, 10])
+
+    def test_step_one_keeps_all(self):
+        np.testing.assert_array_equal(every_ith_indices(4, 1), [0, 1, 2, 3])
+
+    def test_single_point(self):
+        np.testing.assert_array_equal(every_ith_indices(1, 5), [0])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            every_ith_indices(10, 0)
+        with pytest.raises(ValueError):
+            every_ith_indices(0, 1)
+
+    @given(st.integers(1, 500), st.integers(1, 50))
+    def test_covers_endpoints_strictly_increasing(self, n, step):
+        idx = every_ith_indices(n, step)
+        assert idx[0] == 0
+        assert idx[-1] == n - 1
+        assert np.all(np.diff(idx) > 0)
+
+
+class TestMergeGrids:
+    def test_union_sorted(self):
+        merged = merge_grids([0.0, 2.0, 4.0], [1.0, 2.0, 5.0])
+        np.testing.assert_allclose(merged, [0, 1, 2, 4, 5])
+
+    def test_subset_merge_is_identity(self):
+        a = np.array([0.0, 1.0, 2.0, 3.0])
+        np.testing.assert_allclose(merge_grids(a, a[[0, 2]]), a)

@@ -1,0 +1,130 @@
+"""Tests for GPS quality auditing and cleaning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trajectory import Trajectory
+from repro.trajectory.quality import (
+    clean,
+    drop_speed_outliers,
+    quality_issues,
+)
+
+
+def with_teleport(index: int = 3) -> Trajectory:
+    """A clean 10-fix drive with one fix teleported 5 km away."""
+    t = np.arange(0.0, 100.0, 10.0)
+    xy = np.column_stack([t * 12.0, np.zeros_like(t)])
+    xy[index] = [5_000.0, 5_000.0]
+    return Trajectory(t, xy, "teleport")
+
+
+class TestQualityIssues:
+    def test_clean_data_has_no_issues(self, urban_trajectory):
+        assert quality_issues(urban_trajectory, max_speed_ms=70.0) == []
+
+    def test_detects_speed_spike(self):
+        issues = quality_issues(with_teleport(), max_speed_ms=70.0)
+        kinds = [issue.kind for issue in issues]
+        assert kinds.count("speed-spike") == 2  # in and out of the teleport
+
+    def test_detects_gap(self):
+        traj = Trajectory.from_points([(0, 0, 0), (10, 10, 0), (500, 20, 0)])
+        issues = quality_issues(traj, max_gap_s=120.0)
+        assert [i.kind for i in issues] == ["gap"]
+        assert issues[0].index == 1
+
+    def test_detects_frozen_run(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 5, 5), (20, 5, 5), (30, 5, 5), (40, 9, 9)]
+        )
+        issues = quality_issues(traj, frozen_min_count=3)
+        frozen = [i for i in issues if i.kind == "frozen"]
+        assert len(frozen) == 1
+        assert frozen[0].index == 1
+        assert "3 identical" in frozen[0].detail
+
+    def test_frozen_run_at_end_detected(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 5, 5), (20, 5, 5), (30, 5, 5)]
+        )
+        assert any(i.kind == "frozen" for i in quality_issues(traj))
+
+    def test_short_frozen_run_ignored(self):
+        traj = Trajectory.from_points([(0, 0, 0), (10, 5, 5), (20, 5, 5), (30, 9, 9)])
+        assert quality_issues(traj, frozen_min_count=3) == []
+
+    def test_issues_sorted_by_index(self):
+        traj = with_teleport(5)
+        issues = quality_issues(traj, max_speed_ms=70.0, max_gap_s=1e9)
+        indices = [i.index for i in issues]
+        assert indices == sorted(indices)
+
+    def test_single_point_no_issues(self):
+        assert quality_issues(Trajectory.from_points([(0, 0, 0)])) == []
+
+    def test_validation(self, zigzag):
+        with pytest.raises(ValueError):
+            quality_issues(zigzag, max_speed_ms=0.0)
+        with pytest.raises(ValueError):
+            quality_issues(zigzag, frozen_min_count=1)
+
+
+class TestDropSpeedOutliers:
+    def test_removes_teleported_fix(self):
+        traj = with_teleport(3)
+        cleaned = drop_speed_outliers(traj, max_speed_ms=70.0)
+        assert len(cleaned) == len(traj) - 1
+        assert 30.0 not in cleaned.t  # the teleported fix is gone
+        assert quality_issues(cleaned, max_speed_ms=70.0) == []
+
+    def test_keeps_clean_data_object_identical(self, urban_trajectory):
+        assert drop_speed_outliers(urban_trajectory) is urban_trajectory
+
+    def test_never_drops_endpoints(self):
+        traj = with_teleport(1)
+        cleaned = drop_speed_outliers(traj, max_speed_ms=70.0)
+        assert cleaned.t[0] == traj.t[0]
+        assert cleaned.t[-1] == traj.t[-1]
+
+    def test_teleported_final_interior_fix(self):
+        traj = with_teleport(8)  # next-to-last fix
+        cleaned = drop_speed_outliers(traj, max_speed_ms=70.0)
+        assert 80.0 not in cleaned.t
+        assert cleaned.t[-1] == traj.t[-1]
+
+    def test_two_separate_outliers(self):
+        t = np.arange(0.0, 150.0, 10.0)
+        xy = np.column_stack([t * 12.0, np.zeros_like(t)])
+        xy[3] = [9_000.0, 0.0]
+        xy[10] = [-7_000.0, 0.0]
+        traj = Trajectory(t, xy)
+        cleaned = drop_speed_outliers(traj, max_speed_ms=70.0)
+        assert quality_issues(cleaned, max_speed_ms=70.0) == []
+        assert len(cleaned) == len(traj) - 2
+
+    def test_validation(self, zigzag):
+        with pytest.raises(ValueError):
+            drop_speed_outliers(zigzag, max_speed_ms=-1.0)
+
+
+class TestCleanPipeline:
+    def test_outliers_and_gaps_handled(self):
+        rows = [(float(i * 10), float(i * 120), 0.0) for i in range(6)]
+        rows += [(1_000.0 + i * 10, 720.0 + i * 120, 0.0) for i in range(5)]
+        traj = Trajectory.from_points(rows)
+        # Teleport one fix in the first half.
+        xy = traj.xy.copy()
+        xy[2] = [50_000.0, 0.0]
+        dirty = Trajectory(traj.t, xy)
+        pieces = clean(dirty, max_speed_ms=70.0, max_gap_s=120.0)
+        assert len(pieces) == 2
+        for piece in pieces:
+            assert quality_issues(piece, max_speed_ms=70.0, max_gap_s=120.0) == []
+
+    def test_clean_input_passes_through(self, urban_trajectory):
+        pieces = clean(urban_trajectory)
+        assert len(pieces) == 1
+        assert pieces[0] == urban_trajectory

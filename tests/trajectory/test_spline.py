@@ -1,0 +1,80 @@
+"""Tests for the cubic Hermite spline path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory import CubicHermitePath, Trajectory
+
+
+@pytest.fixture
+def wave() -> Trajectory:
+    t = np.arange(0.0, 100.0, 10.0)
+    return Trajectory(t, np.column_stack([t * 10.0, 50.0 * np.sin(t / 15.0)]), "wave")
+
+
+class TestCubicHermitePath:
+    def test_interpolates_control_points(self, wave):
+        spline = CubicHermitePath(wave)
+        np.testing.assert_allclose(spline.positions_at(wave.t), wave.xy, atol=1e-9)
+
+    def test_linear_data_reproduced_exactly(self, straight_line):
+        """On constant-velocity data the tangents match the chords, so
+        the Hermite cubics collapse to the linear interpolant."""
+        spline = CubicHermitePath(straight_line)
+        times = np.linspace(straight_line.start_time, straight_line.end_time, 101)
+        np.testing.assert_allclose(
+            spline.positions_at(times), straight_line.positions_at(times), atol=1e-8
+        )
+
+    def test_continuity_at_knots(self, wave):
+        """C1: positions and derivatives agree across each knot."""
+        spline = CubicHermitePath(wave)
+        eps = 1e-6
+        for knot in wave.t[1:-1]:
+            before = spline.position_at(float(knot) - eps)
+            after = spline.position_at(float(knot) + eps)
+            np.testing.assert_allclose(before, after, atol=1e-3)
+
+    def test_interval_and_len(self, wave):
+        spline = CubicHermitePath(wave)
+        assert spline.start_time == wave.start_time
+        assert spline.end_time == wave.end_time
+        assert len(spline) == len(wave)
+
+    def test_rejects_out_of_range_queries(self, wave):
+        spline = CubicHermitePath(wave)
+        with pytest.raises(ValueError, match="outside"):
+            spline.position_at(wave.end_time + 5.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(TrajectoryError):
+            CubicHermitePath(Trajectory.from_points([(0, 0, 0)]))
+
+    def test_two_points_is_linear(self):
+        traj = Trajectory.from_points([(0, 0, 0), (10, 100, 50)])
+        spline = CubicHermitePath(traj)
+        np.testing.assert_allclose(spline.position_at(5.0), [50, 25], atol=1e-9)
+
+    def test_sample_returns_trajectory(self, wave):
+        dense = CubicHermitePath(wave).sample(64)
+        assert len(dense) == 64
+        assert dense.start_time == wave.start_time
+        assert dense.end_time == wave.end_time
+        assert dense.object_id == "wave"
+
+    def test_sample_validation(self, wave):
+        with pytest.raises(ValueError):
+            CubicHermitePath(wave).sample(1)
+
+    def test_smoother_than_chords_on_smooth_motion(self, wave):
+        """On smooth (sinusoidal) movement, a spline through a decimated
+        subseries tracks the original better than the chords do."""
+        from repro.error import mean_path_distance, mean_synchronized_error
+
+        decimated = wave.subset([0, 3, 6, 9])
+        linear_err = mean_synchronized_error(wave, decimated)
+        spline_err = mean_path_distance(wave, CubicHermitePath(decimated))
+        assert spline_err < linear_err

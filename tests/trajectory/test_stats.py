@@ -1,0 +1,115 @@
+"""Tests for repro.trajectory.stats (Table 2 quantities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trajectory import (
+    Trajectory,
+    dataset_stats,
+    headings,
+    speeds,
+    stop_episodes,
+    trajectory_stats,
+    turning_angles,
+)
+
+
+@pytest.fixture
+def l_shape() -> Trajectory:
+    """East 300 m in 30 s, then north 400 m in 40 s."""
+    return Trajectory.from_points(
+        [(0, 0, 0), (10, 100, 0), (20, 200, 0), (30, 300, 0),
+         (40, 300, 100), (50, 300, 200), (60, 300, 300), (70, 300, 400)]
+    )
+
+
+class TestTrajectoryStats:
+    def test_l_shape_statistics(self, l_shape):
+        stats = trajectory_stats(l_shape)
+        assert stats.n_points == 8
+        assert stats.duration_s == 70.0
+        assert stats.length_m == pytest.approx(700.0)
+        assert stats.displacement_m == pytest.approx(500.0)
+        assert stats.mean_speed_ms == pytest.approx(10.0)
+        assert stats.mean_speed_kmh == pytest.approx(36.0)
+
+    def test_duration_formatting(self, l_shape):
+        assert trajectory_stats(l_shape).duration_hms == "00:01:10"
+
+    def test_single_point_stats_are_zero(self):
+        stats = trajectory_stats(Trajectory.from_points([(0, 1, 1)]))
+        assert stats.duration_s == 0.0
+        assert stats.length_m == 0.0
+        assert stats.mean_speed_ms == 0.0
+
+    def test_displacement_zero_for_round_trip(self):
+        traj = Trajectory.from_points([(0, 0, 0), (10, 100, 0), (20, 0, 0)])
+        stats = trajectory_stats(traj)
+        assert stats.displacement_m == 0.0
+        assert stats.length_m == pytest.approx(200.0)
+
+
+class TestSeries:
+    def test_speeds(self, l_shape):
+        np.testing.assert_allclose(speeds(l_shape), 10.0)
+
+    def test_speeds_single_point(self):
+        assert speeds(Trajectory.from_points([(0, 0, 0)])).size == 0
+
+    def test_headings(self, l_shape):
+        h = headings(l_shape)
+        np.testing.assert_allclose(h[:3], 0.0, atol=1e-12)  # east
+        np.testing.assert_allclose(h[3:], np.pi / 2, atol=1e-12)  # north
+
+    def test_turning_angles(self, l_shape):
+        angles = turning_angles(l_shape)
+        # Only the corner point turns (90 degrees); the rest are straight.
+        assert angles.max() == pytest.approx(np.pi / 2)
+        assert np.count_nonzero(angles > 0.01) == 1
+
+    def test_turning_angle_wraps_correctly(self):
+        # Heading from +170deg to -170deg is a 20-degree turn, not 340.
+        traj = Trajectory.from_points(
+            [(0, 0, 0),
+             (1, -np.cos(np.radians(10)), np.sin(np.radians(10))),
+             (2, -2 * np.cos(np.radians(10)), 0.0)]
+        )
+        assert turning_angles(traj)[0] == pytest.approx(np.radians(20), abs=1e-9)
+
+
+class TestStopEpisodes:
+    def test_detects_middle_stop(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 100, 0), (20, 100.1, 0), (30, 100.2, 0), (40, 200, 0)]
+        )
+        assert stop_episodes(traj, speed_threshold_ms=0.5) == [(1, 2)]
+
+    def test_no_stops_on_constant_speed(self, l_shape):
+        assert stop_episodes(l_shape) == []
+
+    def test_trailing_stop(self):
+        traj = Trajectory.from_points([(0, 0, 0), (10, 100, 0), (20, 100, 0)])
+        assert stop_episodes(traj) == [(1, 1)]
+
+    def test_min_duration_filter(self):
+        traj = Trajectory.from_points(
+            [(0, 0, 0), (10, 100, 0), (20, 100, 0), (30, 200, 0)]
+        )
+        assert stop_episodes(traj, min_duration_s=5.0) == [(1, 1)]
+        assert stop_episodes(traj, min_duration_s=15.0) == []
+
+
+class TestDatasetStats:
+    def test_aggregates_two_trajectories(self, l_shape):
+        double_speed = Trajectory(l_shape.t / 2.0, l_shape.xy)
+        agg = dataset_stats([l_shape, double_speed])
+        assert agg.n_trajectories == 2
+        assert agg.speed_mean_kmh == pytest.approx((36.0 + 72.0) / 2)
+        assert agg.length_mean_km == pytest.approx(0.7)
+        assert agg.length_std_km == pytest.approx(0.0)
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="empty"):
+            dataset_stats([])

@@ -1,0 +1,210 @@
+"""Tests for the core Trajectory data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.exceptions import (
+    EmptyTrajectoryError,
+    TimestampOrderError,
+    TrajectoryError,
+)
+from repro.trajectory import Trajectory
+from repro.types import Fix
+
+from tests.conftest import trajectories
+
+
+class TestConstruction:
+    def test_from_points(self):
+        traj = Trajectory.from_points([(0, 1, 2), (5, 3, 4)], object_id="a")
+        assert len(traj) == 2
+        assert traj.object_id == "a"
+        np.testing.assert_allclose(traj.t, [0, 5])
+        np.testing.assert_allclose(traj.xy, [[1, 2], [3, 4]])
+
+    def test_from_arrays(self):
+        traj = Trajectory.from_arrays([0, 1], [10, 20], [30, 40])
+        np.testing.assert_allclose(traj.xy, [[10, 30], [20, 40]])
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(TrajectoryError, match="equal shapes"):
+            Trajectory.from_arrays([0, 1], [10], [30, 40])
+
+    def test_single_point_valid(self):
+        traj = Trajectory.from_points([(1.5, 2.0, 3.0)])
+        assert len(traj) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyTrajectoryError):
+            Trajectory.from_points([])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(TimestampOrderError, match="strictly increasing"):
+            Trajectory.from_points([(0, 0, 0), (2, 1, 1), (1, 2, 2)])
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(TimestampOrderError):
+            Trajectory.from_points([(0, 0, 0), (0, 1, 1)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(TrajectoryError, match="finite"):
+            Trajectory(np.array([0.0, 1.0]), np.array([[0.0, 0.0], [np.nan, 1.0]]))
+
+    def test_rejects_bad_xy_shape(self):
+        with pytest.raises(TrajectoryError, match=r"\(n, 2\)"):
+            Trajectory(np.array([0.0]), np.array([1.0, 2.0, 3.0]).reshape(1, 3))
+
+    def test_arrays_are_readonly(self):
+        traj = Trajectory.from_points([(0, 0, 0), (1, 1, 1)])
+        with pytest.raises(ValueError):
+            traj.t[0] = 99.0
+        with pytest.raises(ValueError):
+            traj.xy[0, 0] = 99.0
+
+
+class TestAccessors:
+    def test_point_and_iteration(self, zigzag):
+        first = zigzag.point(0)
+        assert first == Fix(0.0, 0.0, 0.0)
+        assert zigzag.point(-1) == zigzag.point(len(zigzag) - 1)
+        assert list(zigzag)[3] == zigzag.point(3)
+
+    def test_point_out_of_range(self, zigzag):
+        with pytest.raises(IndexError):
+            zigzag.point(len(zigzag))
+
+    def test_equality_ignores_object_id(self, zigzag):
+        clone = Trajectory(zigzag.t.copy(), zigzag.xy.copy(), "other-id")
+        assert clone == zigzag
+        assert hash(clone) == hash(zigzag)
+
+    def test_inequality(self, zigzag, straight_line):
+        assert zigzag != straight_line
+
+    def test_repr_mentions_size(self, zigzag):
+        assert "n=19" in repr(zigzag)
+
+
+class TestInterpolation:
+    def test_position_at_sample_times(self, zigzag):
+        for i in (0, 5, len(zigzag) - 1):
+            np.testing.assert_allclose(
+                zigzag.position_at(float(zigzag.t[i])), zigzag.xy[i]
+            )
+
+    def test_position_between_samples(self):
+        traj = Trajectory.from_points([(0, 0, 0), (10, 100, 50)])
+        np.testing.assert_allclose(traj.position_at(4.0), [40, 20])
+
+    def test_position_outside_interval_raises(self, zigzag):
+        with pytest.raises(ValueError, match="outside"):
+            zigzag.position_at(zigzag.end_time + 1.0)
+
+    def test_positions_at_matches_scalar(self, zigzag):
+        times = np.linspace(zigzag.start_time, zigzag.end_time, 23)
+        batch = zigzag.positions_at(times)
+        for i, when in enumerate(times):
+            np.testing.assert_allclose(batch[i], zigzag.position_at(float(when)))
+
+    def test_positions_at_empty(self, zigzag):
+        assert zigzag.positions_at(np.array([])).shape == (0, 2)
+
+    def test_single_point_position(self):
+        traj = Trajectory.from_points([(5, 1, 2)])
+        np.testing.assert_allclose(traj.position_at(5.0), [1, 2])
+        with pytest.raises(ValueError):
+            traj.position_at(6.0)
+
+    def test_segment_index_at(self, zigzag):
+        assert zigzag.segment_index_at(zigzag.start_time) == 0
+        assert zigzag.segment_index_at(zigzag.end_time) == len(zigzag) - 2
+        assert zigzag.segment_index_at(15.0) == 1
+
+    @given(trajectories(min_points=2))
+    def test_position_at_is_within_segment_bbox(self, traj):
+        mid = (traj.start_time + traj.end_time) / 2.0
+        pos = traj.position_at(mid)
+        i = traj.segment_index_at(mid)
+        lo = np.minimum(traj.xy[i], traj.xy[i + 1]) - 1e-9
+        hi = np.maximum(traj.xy[i], traj.xy[i + 1]) + 1e-9
+        assert np.all(pos >= lo) and np.all(pos <= hi)
+
+
+class TestStructuralOps:
+    def test_subset(self, zigzag):
+        sub = zigzag.subset([0, 4, 18])
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.t, [0.0, 40.0, 180.0])
+
+    def test_subset_rejects_unsorted(self, zigzag):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            zigzag.subset([0, 4, 4, 18])
+
+    def test_subset_rejects_out_of_range(self, zigzag):
+        with pytest.raises(IndexError):
+            zigzag.subset([0, 99])
+
+    def test_subset_rejects_empty(self, zigzag):
+        with pytest.raises(EmptyTrajectoryError):
+            zigzag.subset([])
+
+    def test_slice_index(self, zigzag):
+        part = zigzag.slice_index(2, 5)
+        assert len(part) == 3
+        np.testing.assert_allclose(part.t, zigzag.t[2:5])
+
+    def test_slice_index_empty_raises(self, zigzag):
+        with pytest.raises(EmptyTrajectoryError):
+            zigzag.slice_index(5, 5)
+
+    def test_slice_time(self, zigzag):
+        part = zigzag.slice_time(25.0, 65.0)
+        np.testing.assert_allclose(part.t, [30, 40, 50, 60])
+
+    def test_slice_time_no_samples(self, zigzag):
+        with pytest.raises(EmptyTrajectoryError):
+            zigzag.slice_time(31.0, 39.0)
+
+    def test_slice_time_reversed_window(self, zigzag):
+        with pytest.raises(ValueError, match="empty time window"):
+            zigzag.slice_time(50.0, 40.0)
+
+    def test_shifted(self, zigzag):
+        moved = zigzag.shifted(dt=100.0, dx=-5.0, dy=2.0)
+        np.testing.assert_allclose(moved.t, zigzag.t + 100.0)
+        np.testing.assert_allclose(moved.xy, zigzag.xy + [-5.0, 2.0])
+
+    def test_with_object_id_shares_arrays(self, zigzag):
+        renamed = zigzag.with_object_id("new")
+        assert renamed.object_id == "new"
+        assert renamed.t is zigzag.t
+        assert renamed == zigzag
+
+    def test_bbox(self, straight_line):
+        box = straight_line.bbox()
+        assert box.min_x == 0.0
+        assert box.max_x == pytest.approx(1200.0)
+
+    def test_resample_covers_interval(self, zigzag):
+        resampled = zigzag.resample(7.0)
+        assert resampled.start_time == zigzag.start_time
+        assert resampled.end_time == zigzag.end_time
+        assert np.all(np.diff(resampled.t) > 0)
+
+    def test_resample_on_line_preserves_positions(self, straight_line):
+        resampled = straight_line.resample(3.0)
+        expected = straight_line.positions_at(resampled.t)
+        np.testing.assert_allclose(resampled.xy, expected)
+
+    def test_resample_rejects_nonpositive(self, zigzag):
+        with pytest.raises(ValueError, match="positive"):
+            zigzag.resample(0.0)
+
+    @given(trajectories())
+    def test_subset_endpoints_preserves_interval(self, traj):
+        sub = traj.subset([0, len(traj) - 1]) if len(traj) > 1 else traj
+        assert sub.start_time == traj.start_time
+        assert sub.end_time == traj.end_time
