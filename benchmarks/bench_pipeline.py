@@ -1,0 +1,127 @@
+"""Benchmark: serial vs parallel batch compression of a synthetic fleet.
+
+Times :class:`repro.pipeline.engine.BatchEngine` over the same fleet with
+``workers=0`` (inline) and ``workers=4`` (process pool), verifies the two
+runs select identical indices, and writes the timings to
+``BENCH_pipeline.json`` next to this script's repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--fleet 48] [--points 3000]
+
+or via pytest (a smaller fleet keeps the suite fast)::
+
+    pytest benchmarks/bench_pipeline.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen import URBAN, TrajectoryGenerator
+from repro.pipeline.engine import BatchEngine
+from repro.trajectory import Trajectory
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+#: OPW-TR is the paper's O(N^2) online family: per-item work heavy enough
+#: that the pool amortizes its startup (TD-TR at the same size is
+#: millisecond-fast and the serial path simply wins).
+SPEC = "opw-tr:epsilon=30"
+
+
+def make_fleet(n: int, target_points: int, seed: int = 23) -> list[Trajectory]:
+    """A deterministic synthetic fleet of ``n`` urban trips."""
+    generator = TrajectoryGenerator(seed=seed)
+    fleet = []
+    for i in range(n):
+        traj = generator.generate(URBAN, object_id=f"bench-{i:03d}")
+        # Resample (up or down) to the target density so the per-item
+        # work is heavy enough to measure the pool against.
+        step = (traj.end_time - traj.start_time) / target_points
+        fleet.append(traj.resample(step))
+    return fleet
+
+
+def time_run(fleet: list[Trajectory], workers: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time for one engine configuration."""
+    engine = BatchEngine(SPEC, workers=workers, evaluate="none")
+    best = None
+    run = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run = engine.run(fleet)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    assert run is not None
+    return {
+        "workers": workers,
+        "best_s": best,
+        "n_items": run.n_items,
+        "points_in": sum(r.n_original for r in run.results),
+        "points_kept": sum(r.n_kept for r in run.results),
+        "run": run,
+    }
+
+
+def bench(n_fleet: int, target_points: int, output: Path = OUTPUT) -> dict:
+    """Time serial vs workers=4 over one fleet and write the JSON report."""
+    fleet = make_fleet(n_fleet, target_points)
+    serial = time_run(fleet, workers=0)
+    parallel = time_run(fleet, workers=4)
+
+    serial_run, parallel_run = serial.pop("run"), parallel.pop("run")
+    for left, right in zip(serial_run.results, parallel_run.results):
+        assert left.item_id == right.item_id
+        assert np.array_equal(left.indices, right.indices), (
+            f"parallel indices diverged on {left.item_id}"
+        )
+
+    report = {
+        "benchmark": "pipeline",
+        "spec": SPEC,
+        "fleet_size": len(fleet),
+        "total_points": sum(len(t) for t in fleet),
+        # Speedup is hardware-bound: on a single-CPU box the pool can
+        # only add overhead, so read it against cpu_count.
+        "cpu_count": os.cpu_count(),
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": serial["best_s"] / parallel["best_s"],
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_pipeline_quick():
+    """Suite-sized smoke: both paths agree and the report lands on disk."""
+    report = bench(8, 400)
+    assert OUTPUT.exists()
+    assert report["serial"]["points_kept"] == report["parallel"]["points_kept"]
+    assert report["serial"]["n_items"] == 8
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fleet", type=int, default=48, help="fleet size")
+    parser.add_argument(
+        "--points", type=int, default=3_000, help="target points per trajectory"
+    )
+    args = parser.parse_args()
+    report = bench(args.fleet, args.points)
+    print(
+        f"{report['fleet_size']} trajectories, {report['total_points']} points: "
+        f"serial {report['serial']['best_s']:.2f}s, "
+        f"workers=4 {report['parallel']['best_s']:.2f}s "
+        f"({report['speedup']:.2f}x) -> {OUTPUT.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,9 +26,9 @@ def test_ablation_dead_reckoning(benchmark, dataset, results_dir):
     def run():
         out = {}
         for label, algo in (
-            ("dead-reckoning", DeadReckoning(EPS)),
-            ("opw-tr", OPWTR(EPS)),
-            ("opw-sp(5m/s)", OPWSP(EPS, 5.0)),
+            ("dead-reckoning", DeadReckoning(epsilon=EPS)),
+            ("opw-tr", OPWTR(epsilon=EPS)),
+            ("opw-sp(5m/s)", OPWSP(max_dist_error=EPS, max_speed_error=5.0)),
         ):
             started = time.perf_counter()
             results = [algo.compress(traj) for traj in dataset]

@@ -19,7 +19,7 @@ from repro.experiments.reporting import render_table
 
 
 def test_ablation_error_evaluation(benchmark, dataset, results_dir):
-    pairs = [(traj, TDTR(50.0).compress(traj).compressed) for traj in dataset]
+    pairs = [(traj, TDTR(epsilon=50.0).compress(traj).compressed) for traj in dataset]
 
     closed = benchmark.pedantic(
         lambda: [mean_synchronized_error(p, a) for p, a in pairs],

@@ -41,15 +41,15 @@ def test_ablation_halting_conditions(benchmark, dataset, results_dir):
         kept: dict[str, list[int]] = {name: [] for name in errors}
 
         for traj in dataset:
-            reference = TDTR(EPS).compress(traj)
+            reference = TDTR(epsilon=EPS).compress(traj)
             budget = reference.n_kept
             alpha = mean_synchronized_error(traj, reference.compressed)
             contenders = {
                 "td-tr @ 50m": reference,
-                "td-tr-budget": TDTRBudget(budget).compress(traj),
-                "bottom-up-budget": BottomUpBudget(budget).compress(traj),
-                "bottom-up-total-error": BottomUpTotalError(alpha).compress(traj),
-                "every-ith": EveryIth(max(len(traj) // budget, 1)).compress(traj),
+                "td-tr-budget": TDTRBudget(budget=budget).compress(traj),
+                "bottom-up-budget": BottomUpBudget(budget=budget).compress(traj),
+                "bottom-up-total-error": BottomUpTotalError(max_mean_error=alpha).compress(traj),
+                "every-ith": EveryIth(step=max(len(traj) // budget, 1)).compress(traj),
             }
             for name, result in contenders.items():
                 errors[name].append(

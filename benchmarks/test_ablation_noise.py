@@ -46,8 +46,8 @@ def test_ablation_noise_sensitivity(benchmark, results_dir):
     opwtr_errors = []
     opwtr_kept = []
     for sigma, traj in observations:
-        nopw_result = NOPW(EPS).compress(traj)
-        opwtr_result = OPWTR(EPS).compress(traj)
+        nopw_result = NOPW(epsilon=EPS).compress(traj)
+        opwtr_result = OPWTR(epsilon=EPS).compress(traj)
         nopw_err = mean_synchronized_error(traj, nopw_result.compressed)
         opwtr_err = mean_synchronized_error(traj, opwtr_result.compressed)
         nopw_errors.append(nopw_err)

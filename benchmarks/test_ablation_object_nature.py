@@ -49,9 +49,9 @@ def test_ablation_object_nature(benchmark, results_dir):
         eps = NATURES[nature]["eps"]
         speed_eps = NATURES[nature]["speed_eps"]
         for label, algo in (
-            ("ndp", DouglasPeucker(eps)),
-            ("td-tr", TDTR(eps)),
-            ("opw-sp", OPWSP(eps, speed_eps)),
+            ("ndp", DouglasPeucker(epsilon=eps)),
+            ("td-tr", TDTR(epsilon=eps)),
+            ("opw-sp", OPWSP(max_dist_error=eps, max_speed_error=speed_eps)),
         ):
             result = algo.compress(traj)
             error = mean_synchronized_error(traj, result.compressed)

@@ -46,7 +46,7 @@ def test_ablation_sampling_rate(benchmark, results_dir):
     rows = []
     kept_counts = []
     for interval, traj in observations:
-        result = OPWTR(EPS).compress(traj)
+        result = OPWTR(epsilon=EPS).compress(traj)
         error = mean_synchronized_error(traj, result.compressed)
         rows.append(
             (interval, len(traj), result.n_kept, result.compression_percent, error)

@@ -32,7 +32,7 @@ def test_ablation_spline_reconstruction(benchmark, dataset, results_dir):
             linear_errors = []
             spline_errors = []
             for traj in dataset:
-                approx = TDTR(eps).compress(traj).compressed
+                approx = TDTR(epsilon=eps).compress(traj).compressed
                 linear_errors.append(mean_synchronized_error(traj, approx))
                 spline_errors.append(
                     mean_path_distance(traj, CubicHermitePath(approx))

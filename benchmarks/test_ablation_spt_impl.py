@@ -23,7 +23,7 @@ SPEED_EPS = 5.0
 
 def test_ablation_spt_implementations(benchmark, dataset, results_dir):
     def run_vectorized():
-        return [OPWSP(DIST_EPS, SPEED_EPS).compress(traj).indices for traj in dataset]
+        return [OPWSP(max_dist_error=DIST_EPS, max_speed_error=SPEED_EPS).compress(traj).indices for traj in dataset]
 
     vectorized = benchmark.pedantic(run_vectorized, rounds=1, iterations=1)
 

@@ -43,10 +43,10 @@ def test_headline_relations_across_seeds(benchmark, results_dir):
             rows.append(
                 (
                     seed,
-                    mean_error(DouglasPeucker(EPS)),
-                    mean_error(TDTR(EPS)),
-                    mean_error(NOPW(EPS)),
-                    mean_error(OPWTR(EPS)),
+                    mean_error(DouglasPeucker(epsilon=EPS)),
+                    mean_error(TDTR(epsilon=EPS)),
+                    mean_error(NOPW(epsilon=EPS)),
+                    mean_error(OPWTR(epsilon=EPS)),
                 )
             )
         return rows

@@ -38,13 +38,13 @@ def test_scaling_with_series_length(benchmark, results_dir):
     assert len(base) >= SIZES[-1], "need a long enough series for the sweep"
 
     algorithms = [
-        DouglasPeucker(50.0),
-        TDTR(50.0),
-        NOPW(50.0),
-        OPWTR(50.0),
-        OPWSP(50.0, 5.0),
-        BottomUp(50.0),
-        EveryIth(5),
+        DouglasPeucker(epsilon=50.0),
+        TDTR(epsilon=50.0),
+        NOPW(epsilon=50.0),
+        OPWTR(epsilon=50.0),
+        OPWSP(max_dist_error=50.0, max_speed_error=5.0),
+        BottomUp(epsilon=50.0),
+        EveryIth(step=5),
     ]
     timings: dict[str, list[float]] = {algo.name: [] for algo in algorithms}
     for size in SIZES:

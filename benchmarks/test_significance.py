@@ -29,10 +29,10 @@ from repro.experiments.reporting import render_table
 def test_headline_claims_are_conclusive(benchmark, dataset, results_dir):
     def run():
         sweeps = {
-            "ndp": run_sweep(lambda e: DouglasPeucker(e), DISTANCE_THRESHOLDS_M, dataset),
-            "td-tr": run_sweep(lambda e: TDTR(e), DISTANCE_THRESHOLDS_M, dataset),
-            "nopw": run_sweep(lambda e: NOPW(e), DISTANCE_THRESHOLDS_M, dataset),
-            "opw-tr": run_sweep(lambda e: OPWTR(e), DISTANCE_THRESHOLDS_M, dataset),
+            "ndp": run_sweep(lambda e: DouglasPeucker(epsilon=e), DISTANCE_THRESHOLDS_M, dataset),
+            "td-tr": run_sweep(lambda e: TDTR(epsilon=e), DISTANCE_THRESHOLDS_M, dataset),
+            "nopw": run_sweep(lambda e: NOPW(epsilon=e), DISTANCE_THRESHOLDS_M, dataset),
+            "opw-tr": run_sweep(lambda e: OPWTR(epsilon=e), DISTANCE_THRESHOLDS_M, dataset),
         }
         return [
             compare_algorithms(sweeps["td-tr"], sweeps["ndp"]),

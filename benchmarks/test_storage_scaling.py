@@ -29,7 +29,7 @@ N_QUERIES = 120
 def _build_store(fleet_size: int) -> tuple[TrajectoryStore, list]:
     generator = TrajectoryGenerator(seed=88)
     rng = np.random.default_rng(88)
-    store = TrajectoryStore(compressor=TDTR(40.0), cell_size_m=400.0)
+    store = TrajectoryStore(compressor=TDTR(epsilon=40.0), cell_size_m=400.0)
     trips = []
     for i in range(fleet_size):
         trip = generator.generate(

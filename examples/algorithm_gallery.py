@@ -61,7 +61,7 @@ def main() -> None:
     print(f"data series: {len(series)} points (index 0..18)")
     print()
     print("spatial algorithms on the wavy series (threshold 30 m):")
-    for algorithm in (DouglasPeucker(30.0), NOPW(30.0), BOPW(30.0)):
+    for algorithm in (DouglasPeucker(epsilon=30.0), NOPW(epsilon=30.0), BOPW(epsilon=30.0)):
         kept = algorithm.compress(series).indices
         print(f"  {algorithm.name:5s} keeps {ascii_selection(len(series), kept)}"
               f"  ({len(kept)} points: {kept.tolist()})")
@@ -71,11 +71,11 @@ def main() -> None:
     print("the same comparison on a geometrically straight series with a")
     print("mid-route dwell (the object stops; the line does not show it):")
     for algorithm in (
-        DouglasPeucker(30.0),
-        NOPW(30.0),
-        TDTR(30.0),
-        OPWTR(30.0),
-        OPWSP(30.0, 5.0),
+        DouglasPeucker(epsilon=30.0),
+        NOPW(epsilon=30.0),
+        TDTR(epsilon=30.0),
+        OPWTR(epsilon=30.0),
+        OPWSP(max_dist_error=30.0, max_speed_error=5.0),
     ):
         kept = algorithm.compress(skewed).indices
         print(f"  {algorithm.name:6s} keeps {ascii_selection(len(skewed), kept)}"

@@ -54,10 +54,10 @@ def main() -> None:
 
     choices: list[tuple[str, Compressor | None]] = [
         ("raw (no point compression)", None),
-        ("ndp @ 50 m (spatial)", DouglasPeucker(50.0)),
-        ("td-tr @ 50 m", TDTR(50.0)),
-        ("opw-tr @ 50 m (online)", OPWTR(50.0)),
-        ("opw-sp @ 50 m, 5 m/s (online)", OPWSP(50.0, 5.0)),
+        ("ndp @ 50 m (spatial)", DouglasPeucker(epsilon=50.0)),
+        ("td-tr @ 50 m", TDTR(epsilon=50.0)),
+        ("opw-tr @ 50 m (online)", OPWTR(epsilon=50.0)),
+        ("opw-sp @ 50 m, 5 m/s (online)", OPWSP(max_dist_error=50.0, max_speed_error=5.0)),
     ]
     header = (
         f"{'ingest policy':32s} {'points':>7s} {'bytes':>8s} "

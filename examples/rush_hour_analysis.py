@@ -71,7 +71,7 @@ def simulate_rush_hour(seed: int = 23) -> list[Trajectory]:
 
 def main() -> None:
     raw_fleet = simulate_rush_hour()
-    compressor = OPWSP(EPSILON, SPEED_EPS)
+    compressor = OPWSP(max_dist_error=EPSILON, max_speed_error=SPEED_EPS)
     compressed_fleet = [compressor.compress(t).compressed for t in raw_fleet]
     n_raw = sum(len(t) for t in raw_fleet)
     n_small = sum(len(t) for t in compressed_fleet)

@@ -62,7 +62,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for object_id, traj in vehicles.items():
-        batch = OPWSP(EPSILON, MAX_SPEED_ERROR).compress(traj)
+        batch = OPWSP(max_dist_error=EPSILON, max_speed_error=MAX_SPEED_ERROR).compress(traj)
         batch_times = traj.t[batch.indices]
         streamed_times = np.array([fix.t for fix in kept[object_id]])
         agrees = bool(np.array_equal(streamed_times, batch_times))

@@ -28,18 +28,28 @@ from repro.core import (
     BottomUp,
     CompressionResult,
     Compressor,
+    CompressorSpec,
     DistanceThreshold,
     DouglasPeucker,
     EveryIth,
     SlidingWindow,
     available_compressors,
     make_compressor,
+    parse_compressor_spec,
 )
 from repro.error import (
     CompressionReport,
     evaluate_compression,
     max_synchronized_error,
     mean_synchronized_error,
+)
+from repro.pipeline import (
+    BatchEngine,
+    BatchRunResult,
+    FailurePolicy,
+    ItemFailure,
+    ItemResult,
+    Metrics,
 )
 from repro.storage import TrajectoryStore
 from repro.streaming import PointStream, StreamingOPW, make_online_compressor
@@ -51,14 +61,21 @@ __version__ = "1.0.0"
 __all__ = [
     "AngularChange",
     "BOPW",
+    "BatchEngine",
+    "BatchRunResult",
     "BottomUp",
     "CompressionReport",
     "CompressionResult",
     "Compressor",
+    "CompressorSpec",
     "DistanceThreshold",
     "DouglasPeucker",
     "EveryIth",
+    "FailurePolicy",
     "Fix",
+    "ItemFailure",
+    "ItemResult",
+    "Metrics",
     "NOPW",
     "OPWSP",
     "OPWTR",
@@ -76,5 +93,6 @@ __all__ = [
     "make_online_compressor",
     "max_synchronized_error",
     "mean_synchronized_error",
+    "parse_compressor_spec",
     "__version__",
 ]

@@ -13,8 +13,13 @@ Exposes the library's everyday operations without writing code:
   similarity;
 * ``flow`` — rush-hour analytics (speed profile, hotspots, OD counts)
   over a set of trajectory files;
+* ``pipeline`` — batch-compress a whole fleet of trajectory files
+  through the parallel engine, with fault isolation and a metrics
+  JSON export;
 * ``report`` — per-segment error diagnostics of a compression.
 
+Algorithms are selected either by name plus flags (``-a opw-sp -e 30
+--speed 5``) or as one spec string (``-a "opw-sp:epsilon=30,speed=5"``).
 File formats are chosen by suffix: ``.csv``, ``.json`` and ``.gpx`` are
 supported for input; ``.csv`` and ``.json`` for output.
 """
@@ -43,6 +48,9 @@ from repro.experiments.reporting import (
     render_table,
     series_by_algorithm,
 )
+from repro.pipeline.engine import BatchEngine, load_fleet
+from repro.pipeline.executor import execute
+from repro.trajectory.stats import aggregate_trajectory_stats
 from repro.trajectory import gpx as _gpx
 from repro.trajectory import io as _io
 from repro.trajectory.stats import dataset_stats, trajectory_stats
@@ -106,8 +114,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_spec(spec: str):
+    """Build a compressor from a spec string, mapping errors to ReproError."""
+    try:
+        return make_compressor(spec)
+    except KeyError as exc:
+        raise ReproError(str(exc.args[0] if exc.args else exc)) from None
+    except TypeError as exc:
+        raise ReproError(f"bad compressor spec {spec!r}: {exc}") from None
+
+
 def _make_cli_compressor(args: argparse.Namespace):
     name = args.algorithm
+    if ":" in name or "=" in name:
+        return _build_spec(name)
+    if name not in available_compressors():
+        raise ReproError(
+            f"unknown algorithm {name!r}; available: {available_compressors()}"
+        )
     if name in _EPSILON_ALGOS:
         if args.epsilon is None:
             raise ReproError(f"{name} requires --epsilon")
@@ -134,6 +158,10 @@ def _make_cli_compressor(args: argparse.Namespace):
         if args.epsilon is None:
             raise ReproError(f"{name} requires --epsilon (the alpha budget)")
         return make_compressor(name, max_mean_error=args.epsilon)
+    if name == "dead-reckoning":
+        if args.epsilon is None:
+            raise ReproError(f"{name} requires --epsilon")
+        return make_compressor(name, epsilon=args.epsilon)
     raise ReproError(f"unknown algorithm {name!r}")  # pragma: no cover
 
 
@@ -281,7 +309,17 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     paths = _collect_input_files(args.inputs)
     if not paths:
         raise ReproError("no trajectory files found")
-    fleet = [_load_trajectory(path) for path in paths]
+    fleet, failures = load_fleet(
+        paths, workers=args.workers, on_error=args.on_error
+    )
+    for failure in failures:
+        print(
+            f"warning: skipped {failure.item_id}: "
+            f"{failure.error_type}: {failure.message}",
+            file=sys.stderr,
+        )
+    if not fleet:
+        raise ReproError("no trajectory files could be loaded")
 
     profile = speed_over_time(fleet, bin_seconds=args.bin_seconds)
     rows = []
@@ -318,7 +356,16 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    agg = dataset_stats(paper_dataset(args.seed))
+    dataset = paper_dataset(args.seed)
+    # Per-trajectory statistics go through the pipeline executor (the
+    # dataset itself is generated sequentially — one seeded RNG stream).
+    outcomes = execute(
+        trajectory_stats,
+        [(traj.object_id or f"trip-{i:02d}", traj) for i, traj in enumerate(dataset)],
+        workers=args.workers,
+        policy="raise",
+    )
+    agg = aggregate_trajectory_stats(outcome.value for outcome in outcomes)
     ref = PAPER_TABLE2
     print(
         render_table(
@@ -333,6 +380,66 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             title="Table 2: paper vs this reproduction",
         )
     )
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    paths = _collect_input_files(args.inputs)
+    if not paths:
+        raise ReproError("no trajectory files found")
+    compressor = _build_spec(args.spec)  # validate the spec before any work
+    engine = BatchEngine(
+        args.spec,
+        workers=args.workers,
+        on_error=args.on_error,
+        evaluate="sync",
+    )
+    run = engine.run(paths)
+    rows = []
+    for item in run.results:
+        sync = (
+            f"{item.mean_sync_error_m:.2f}"
+            if item.mean_sync_error_m is not None
+            else "-"
+        )
+        rows.append(
+            (
+                item.item_id,
+                item.n_original,
+                item.n_kept,
+                f"{item.compression_percent:.1f}",
+                sync,
+                f"{item.runtime_s * 1000.0:.1f}",
+            )
+        )
+    print(
+        render_table(
+            ["trajectory", "points", "kept", "removed %", "mean sync err (m)", "ms"],
+            rows,
+            title=f"pipeline: {compressor.name} on {len(paths)} file(s)",
+        )
+    )
+    for failure in run.failures:
+        print(
+            f"failed: {failure.item_id} after {failure.attempts} attempt(s): "
+            f"{failure.error_type}: {failure.message}",
+            file=sys.stderr,
+        )
+    print(run.summary())
+    if args.output_dir:
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        by_id = {path.stem: path for path in paths}
+        for item in run.results:
+            source = by_id.get(item.item_id)
+            if source is None:
+                continue
+            compressed = _load_trajectory(source).subset(item.indices)
+            _io.write_csv(compressed, out_dir / f"{item.item_id}.csv")
+        print(f"wrote {len(run.results)} compressed trajectories to {out_dir}/")
+    if args.metrics_json:
+        run.write_metrics_json(args.metrics_json)
+        print(f"wrote metrics to {args.metrics_json}")
     return 0
 
 
@@ -351,7 +458,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_compress = sub.add_parser("compress", help="compress a trajectory file")
     p_compress.add_argument("input", help="trajectory file (.csv/.json/.gpx)")
     p_compress.add_argument(
-        "--algorithm", "-a", default="td-tr", choices=available_compressors()
+        "--algorithm", "-a", default="td-tr",
+        help="algorithm name or spec string, e.g. td-tr or "
+             "'opw-sp:epsilon=30,speed=5'",
     )
     p_compress.add_argument("--epsilon", "-e", type=float, default=None,
                             help="distance threshold in metres (or alpha budget)")
@@ -372,7 +481,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("input", help="trajectory file (.csv/.json/.gpx)")
     p_report.add_argument(
-        "--algorithm", "-a", default="td-tr", choices=available_compressors()
+        "--algorithm", "-a", default="td-tr",
+        help="algorithm name or spec string",
     )
     p_report.add_argument("--epsilon", "-e", type=float, default=None)
     p_report.add_argument("--speed", type=float, default=None)
@@ -440,11 +550,45 @@ def build_parser() -> argparse.ArgumentParser:
                         help="occupancy cell size in metres")
     p_flow.add_argument("--top", type=int, default=5,
                         help="how many hotspots / OD pairs to list")
+    p_flow.add_argument("--workers", "-w", type=int, default=0,
+                        help="worker processes for loading files (0 = inline)")
+    p_flow.add_argument("--on-error", default="raise",
+                        help="raise, skip, or retry(n) for unreadable files")
     p_flow.set_defaults(func=_cmd_flow)
 
     p_table2 = sub.add_parser("table2", help="regenerate the Table 2 comparison")
     p_table2.add_argument("--seed", type=int, default=DATASET_SEED)
+    p_table2.add_argument("--workers", "-w", type=int, default=0,
+                          help="worker processes for the per-trip statistics")
     p_table2.set_defaults(func=_cmd_table2)
+
+    p_pipeline = sub.add_parser(
+        "pipeline",
+        help="batch-compress a fleet of trajectory files through the "
+             "parallel engine",
+    )
+    p_pipeline.add_argument(
+        "inputs", nargs="+", help="trajectory files and/or directories"
+    )
+    p_pipeline.add_argument(
+        "--spec", "-s", default="td-tr:epsilon=30",
+        help="compressor spec string, e.g. 'opw-sp:epsilon=30,speed=5'",
+    )
+    p_pipeline.add_argument("--workers", "-w", type=int, default=0,
+                            help="worker processes (0 = inline serial)")
+    p_pipeline.add_argument(
+        "--on-error", default="raise",
+        help="failure policy: raise, skip, or retry(n)",
+    )
+    p_pipeline.add_argument(
+        "--metrics-json", default=None,
+        help="write the run's aggregated metrics JSON here",
+    )
+    p_pipeline.add_argument(
+        "--output-dir", "-o", default=None,
+        help="write each compressed trajectory as CSV into this directory",
+    )
+    p_pipeline.set_defaults(func=_cmd_pipeline)
 
     return parser
 

@@ -24,7 +24,11 @@ name-based construction.
 """
 
 from repro.core.angular import AngularChange
-from repro.core.base import CompressionResult, Compressor
+from repro.core.base import (
+    CompressionResult,
+    Compressor,
+    deprecated_positional_init,
+)
 from repro.core.bottom_up import BottomUp
 from repro.core.budget import BottomUpBudget, BottomUpTotalError, TDTRBudget
 from repro.core.dead_reckoning import DeadReckoning, dead_reckoning_indices
@@ -41,7 +45,13 @@ from repro.core.opening_window import (
     perpendicular_scan,
 )
 from repro.core.opw_tr import OPWTR, synchronized_scan
-from repro.core.registry import COMPRESSORS, available_compressors, make_compressor
+from repro.core.registry import (
+    COMPRESSORS,
+    CompressorSpec,
+    available_compressors,
+    make_compressor,
+    parse_compressor_spec,
+)
 from repro.core.sliding_window import SlidingWindow
 from repro.core.spt import (
     OPWSP,
@@ -62,6 +72,7 @@ __all__ = [
     "COMPRESSORS",
     "CompressionResult",
     "Compressor",
+    "CompressorSpec",
     "DeadReckoning",
     "DistanceThreshold",
     "DouglasPeucker",
@@ -75,7 +86,9 @@ __all__ = [
     "TDTRBudget",
     "available_compressors",
     "dead_reckoning_indices",
+    "deprecated_positional_init",
     "make_compressor",
+    "parse_compressor_spec",
     "opening_window_indices",
     "perpendicular_scan",
     "perpendicular_segment_error",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["AngularChange"]
@@ -42,7 +42,10 @@ class AngularChange(Compressor):
     name = "angular"
     online = True
 
-    def __init__(self, max_angle_rad: float, max_gap_m: float | None = None) -> None:
+    @deprecated_positional_init
+    def __init__(
+        self, *, max_angle_rad: float, max_gap_m: float | None = None
+    ) -> None:
         self.max_angle_rad = require_positive("max_angle_rad", max_angle_rad)
         if self.max_angle_rad > np.pi:
             raise ValueError(

@@ -17,7 +17,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.geometry.distance import perpendicular_distances
 from repro.geometry.interpolation import synchronized_distances
 from repro.trajectory.trajectory import Trajectory
@@ -36,7 +36,8 @@ class BottomUp(Compressor):
 
     name = "bottom-up"
 
-    def __init__(self, epsilon: float, criterion: str = "synchronized") -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float, criterion: str = "synchronized") -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         if criterion not in ("perpendicular", "synchronized"):
             raise ValueError(f"unknown criterion {criterion!r}")

@@ -26,7 +26,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.core.douglas_peucker import perpendicular_segment_error
 from repro.core.td_tr import synchronized_segment_error
 from repro.error.synchronized import segment_mean_distance
@@ -63,7 +63,8 @@ class TDTRBudget(Compressor):
 
     name = "td-tr-budget"
 
-    def __init__(self, budget: int, criterion: str = "synchronized") -> None:
+    @deprecated_positional_init
+    def __init__(self, *, budget: int, criterion: str = "synchronized") -> None:
         if not isinstance(budget, (int, np.integer)) or budget < 2:
             raise ValueError(f"budget must be an integer >= 2, got {budget!r}")
         if criterion not in _CRITERIA:
@@ -112,7 +113,8 @@ class BottomUpBudget(Compressor):
 
     name = "bottom-up-budget"
 
-    def __init__(self, budget: int, criterion: str = "synchronized") -> None:
+    @deprecated_positional_init
+    def __init__(self, *, budget: int, criterion: str = "synchronized") -> None:
         if not isinstance(budget, (int, np.integer)) or budget < 2:
             raise ValueError(f"budget must be an integer >= 2, got {budget!r}")
         if criterion not in _CRITERIA:
@@ -181,7 +183,8 @@ class BottomUpTotalError(Compressor):
 
     name = "bottom-up-total-error"
 
-    def __init__(self, max_mean_error: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, max_mean_error: float) -> None:
         self.max_mean_error = require_positive("max_mean_error", max_mean_error)
 
     def _span_integral(self, traj: Trajectory, start: int, end: int) -> float:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["DeadReckoning", "dead_reckoning_indices"]
@@ -80,7 +80,8 @@ class DeadReckoning(Compressor):
     name = "dead-reckoning"
     online = True
 
-    def __init__(self, epsilon: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:

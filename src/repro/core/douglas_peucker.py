@@ -24,7 +24,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.geometry.distance import perpendicular_distances
 from repro.trajectory.trajectory import Trajectory
 
@@ -131,7 +131,8 @@ class DouglasPeucker(Compressor):
 
     name = "ndp"
 
-    def __init__(self, epsilon: float, engine: str = "iterative") -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float, engine: str = "iterative") -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         if engine not in ("iterative", "recursive"):
             raise ValueError(f"unknown engine {engine!r}")

@@ -32,7 +32,7 @@ from typing import Protocol
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.geometry.distance import perpendicular_distances
 from repro.trajectory.trajectory import Trajectory
 
@@ -136,12 +136,14 @@ class NOPW(Compressor):
     name = "nopw"
     online = True
 
-    def __init__(self, epsilon: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
-        self._scan = perpendicular_scan(self.epsilon)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        return opening_window_indices(traj, self._scan, "violating")
+        return opening_window_indices(
+            traj, perpendicular_scan(self.epsilon), "violating"
+        )
 
 
 class BOPW(Compressor):
@@ -157,9 +159,11 @@ class BOPW(Compressor):
     name = "bopw"
     online = True
 
-    def __init__(self, epsilon: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
-        self._scan = perpendicular_scan(self.epsilon)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        return opening_window_indices(traj, self._scan, "before-float")
+        return opening_window_indices(
+            traj, perpendicular_scan(self.epsilon), "before-float"
+        )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.core.opening_window import (
     BreakStrategy,
     WindowScanFn,
@@ -55,10 +55,12 @@ class OPWTR(Compressor):
     name = "opw-tr"
     online = True
 
-    def __init__(self, epsilon: float, strategy: BreakStrategy = "violating") -> None:
+    @deprecated_positional_init
+    def __init__(
+        self, *, epsilon: float, strategy: BreakStrategy = "violating"
+    ) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         self.strategy = strategy
-        self._scan = synchronized_scan(self.epsilon)
 
     def sync_error_bound(self) -> float:
         """Each emitted segment was fully validated against its own chord
@@ -67,4 +69,6 @@ class OPWTR(Compressor):
         return self.epsilon
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        return opening_window_indices(traj, self._scan, self.strategy)
+        return opening_window_indices(
+            traj, synchronized_scan(self.epsilon), self.strategy
+        )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.geometry.distance import perpendicular_distances
 from repro.geometry.interpolation import synchronized_distances
 from repro.trajectory.trajectory import Trajectory
@@ -37,8 +37,10 @@ class SlidingWindow(Compressor):
     name = "sliding-window"
     online = True
 
+    @deprecated_positional_init
     def __init__(
         self,
+        *,
         epsilon: float,
         window_size: int = 32,
         criterion: str = "perpendicular",

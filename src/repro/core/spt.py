@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.core.douglas_peucker import top_down_indices
 from repro.core.opening_window import WindowScanFn, opening_window_indices
 from repro.geometry.interpolation import segment_speeds, synchronized_distances
@@ -155,7 +155,8 @@ class OPWSP(Compressor):
     name = "opw-sp"
     online = True
 
-    def __init__(self, max_dist_error: float, max_speed_error: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, max_dist_error: float, max_speed_error: float) -> None:
         self.max_dist_error = require_positive("max_dist_error", max_dist_error)
         self.max_speed_error = require_positive("max_speed_error", max_speed_error)
 
@@ -187,7 +188,8 @@ class TDSP(Compressor):
 
     name = "td-sp"
 
-    def __init__(self, max_dist_error: float, max_speed_error: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, max_dist_error: float, max_speed_error: float) -> None:
         self.max_dist_error = require_positive("max_dist_error", max_dist_error)
         self.max_speed_error = require_positive("max_speed_error", max_speed_error)
 

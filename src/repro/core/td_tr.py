@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.core.douglas_peucker import (
     top_down_indices,
     top_down_indices_recursive,
@@ -56,7 +56,8 @@ class TDTR(Compressor):
 
     name = "td-tr"
 
-    def __init__(self, epsilon: float, engine: str = "iterative") -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float, engine: str = "iterative") -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         if engine not in ("iterative", "recursive"):
             raise ValueError(f"unknown engine {engine!r}")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Compressor, require_positive
+from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.trajectory.ops import every_ith_indices
 from repro.trajectory.trajectory import Trajectory
 
@@ -34,7 +34,8 @@ class EveryIth(Compressor):
     name = "every-ith"
     online = True
 
-    def __init__(self, step: int) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, step: int) -> None:
         if not isinstance(step, (int, np.integer)) or step < 1:
             raise ValueError(f"step must be a positive integer, got {step!r}")
         self.step = int(step)
@@ -58,7 +59,8 @@ class DistanceThreshold(Compressor):
     name = "distance-threshold"
     online = True
 
-    def __init__(self, epsilon: float) -> None:
+    @deprecated_positional_init
+    def __init__(self, *, epsilon: float) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:

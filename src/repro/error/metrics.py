@@ -7,10 +7,11 @@ the benchmarks aggregate into the paper's figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro.core.base import CompressionResult
 from repro.error.perpendicular import (
     max_perpendicular_error,
     mean_perpendicular_error,
@@ -108,16 +109,62 @@ class CompressionReport:
             f"perp err mean {self.mean_perp_error_m:.1f} m"
         )
 
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-ready dict of all fields plus the derived size ratios.
 
-def evaluate_compression(original: Trajectory, approx: Trajectory) -> CompressionReport:
+        Round-trips through :meth:`from_dict`; the derived entries are
+        for human consumers and are ignored on the way back in.
+        """
+        out: dict[str, float | int] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        out["compression_percent"] = self.compression_percent
+        out["compression_ratio"] = self.compression_ratio
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float | int]) -> "CompressionReport":
+        """Rebuild a report from :meth:`to_dict` output (extras ignored).
+
+        Raises:
+            ValueError: when a required field is missing.
+        """
+        names = [f.name for f in fields(cls)]
+        missing = [name for name in names if name not in data]
+        if missing:
+            raise ValueError(f"CompressionReport dict is missing {missing}")
+        return cls(**{name: data[name] for name in names})
+
+
+def evaluate_compression(
+    original: Trajectory | CompressionResult | tuple[Trajectory, Trajectory],
+    approx: Trajectory | None = None,
+) -> CompressionReport:
     """Compute the full quality report for a compressed trajectory.
 
+    Accepts either the classic ``(original, approx)`` pair of
+    trajectories (as two arguments or one tuple) or a
+    :class:`~repro.core.base.CompressionResult` directly —
+    ``evaluate_compression(TDTR(epsilon=30).compress(traj))``.
+
     Args:
-        original: the raw trajectory.
-        approx: its compression — timestamps must be a subseries of the
+        original: the raw trajectory, a ``(original, approx)`` tuple, or
+            a :class:`~repro.core.base.CompressionResult`.
+        approx: the compression — timestamps must be a subseries of the
             original's and cover the same interval (what every compressor
-            in :mod:`repro.core` produces).
+            in :mod:`repro.core` produces). Omit when ``original`` is a
+            result or a pair.
     """
+    if approx is None:
+        if isinstance(original, CompressionResult):
+            original, approx = original.original, original.compressed
+        elif isinstance(original, tuple) and len(original) == 2:
+            original, approx = original
+        else:
+            raise TypeError(
+                "evaluate_compression needs (original, approx) trajectories "
+                "or a CompressionResult"
+            )
     return CompressionReport(
         n_original=len(original),
         n_kept=len(approx),

@@ -15,6 +15,8 @@ __all__ = [
     "TimestampOrderError",
     "CompressionError",
     "ThresholdError",
+    "CompressorSpecError",
+    "PipelineError",
     "StorageError",
     "ObjectNotFoundError",
     "CodecError",
@@ -45,6 +47,14 @@ class CompressionError(ReproError):
 
 class ThresholdError(CompressionError, ValueError):
     """A threshold parameter is out of its valid domain."""
+
+
+class CompressorSpecError(ReproError, ValueError):
+    """A compressor spec string could not be parsed."""
+
+
+class PipelineError(ReproError):
+    """The batch pipeline could not complete a run."""
 
 
 class StorageError(ReproError):

@@ -89,8 +89,8 @@ def figure_07(
     while its compression rate is only slightly lower.
     """
     dataset = paper_dataset() if dataset is None else list(dataset)
-    rows = _sweep(lambda eps: DouglasPeucker(eps), "ndp", dataset, thresholds)
-    rows += _sweep(lambda eps: TDTR(eps), "td-tr", dataset, thresholds)
+    rows = _sweep(lambda eps: DouglasPeucker(epsilon=eps), "ndp", dataset, thresholds)
+    rows += _sweep(lambda eps: TDTR(epsilon=eps), "td-tr", dataset, thresholds)
     return FigureResult("fig07", "NDP vs TD-TR (compression %, sync error)", tuple(rows))
 
 
@@ -103,8 +103,8 @@ def figure_08(
     The paper's finding: BOPW compresses more but errs worse.
     """
     dataset = paper_dataset() if dataset is None else list(dataset)
-    rows = _sweep(lambda eps: BOPW(eps), "bopw", dataset, thresholds)
-    rows += _sweep(lambda eps: NOPW(eps), "nopw", dataset, thresholds)
+    rows = _sweep(lambda eps: BOPW(epsilon=eps), "bopw", dataset, thresholds)
+    rows += _sweep(lambda eps: NOPW(epsilon=eps), "nopw", dataset, thresholds)
     return FigureResult("fig08", "BOPW vs NOPW (error, compression %)", tuple(rows))
 
 
@@ -118,8 +118,8 @@ def figure_09(
     the threshold.
     """
     dataset = paper_dataset() if dataset is None else list(dataset)
-    rows = _sweep(lambda eps: NOPW(eps), "nopw", dataset, thresholds)
-    rows += _sweep(lambda eps: OPWTR(eps), "opw-tr", dataset, thresholds)
+    rows = _sweep(lambda eps: NOPW(epsilon=eps), "nopw", dataset, thresholds)
+    rows += _sweep(lambda eps: OPWTR(epsilon=eps), "opw-tr", dataset, thresholds)
     return FigureResult("fig09", "NOPW vs OPW-TR (error, compression %)", tuple(rows))
 
 
@@ -135,14 +135,14 @@ def figure_10(
     TD-SP(5 m/s) compresses more at higher error.
     """
     dataset = paper_dataset() if dataset is None else list(dataset)
-    rows = _sweep(lambda eps: OPWTR(eps), "opw-tr", dataset, thresholds)
+    rows = _sweep(lambda eps: OPWTR(epsilon=eps), "opw-tr", dataset, thresholds)
     slowest = float(min(speed_thresholds))
     rows += _sweep(
-        lambda eps: TDSP(eps, slowest), f"td-sp({slowest:g}m/s)", dataset, thresholds
+        lambda eps: TDSP(max_dist_error=eps, max_speed_error=slowest), f"td-sp({slowest:g}m/s)", dataset, thresholds
     )
     for speed in speed_thresholds:
         rows += _sweep(
-            lambda eps, s=float(speed): OPWSP(eps, s),
+            lambda eps, s=float(speed): OPWSP(max_dist_error=eps, max_speed_error=s),
             f"opw-sp({speed:g}m/s)",
             dataset,
             thresholds,
@@ -164,13 +164,13 @@ def figure_11(
     TD-TR reaches the best compression among the low-error algorithms.
     """
     dataset = paper_dataset() if dataset is None else list(dataset)
-    rows = _sweep(lambda eps: DouglasPeucker(eps), "ndp", dataset, thresholds)
-    rows += _sweep(lambda eps: TDTR(eps), "td-tr", dataset, thresholds)
-    rows += _sweep(lambda eps: NOPW(eps), "nopw", dataset, thresholds)
-    rows += _sweep(lambda eps: OPWTR(eps), "opw-tr", dataset, thresholds)
+    rows = _sweep(lambda eps: DouglasPeucker(epsilon=eps), "ndp", dataset, thresholds)
+    rows += _sweep(lambda eps: TDTR(epsilon=eps), "td-tr", dataset, thresholds)
+    rows += _sweep(lambda eps: NOPW(epsilon=eps), "nopw", dataset, thresholds)
+    rows += _sweep(lambda eps: OPWTR(epsilon=eps), "opw-tr", dataset, thresholds)
     for speed in speed_thresholds:
         rows += _sweep(
-            lambda eps, s=float(speed): OPWSP(eps, s),
+            lambda eps, s=float(speed): OPWSP(max_dist_error=eps, max_speed_error=s),
             f"opw-sp({speed:g}m/s)",
             dataset,
             thresholds,

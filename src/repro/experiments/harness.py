@@ -5,6 +5,11 @@ time-synchronous error notion, and aggregates per (algorithm, threshold)
 by averaging over trajectories — exactly how the paper's Figs. 7–11
 report their values ("figures given are averages over ten different, real
 trajectories").
+
+The per-threshold fleet runs go through the batch pipeline
+(:class:`~repro.pipeline.engine.BatchEngine`), so sweeps share the
+store's and the CLI's execution path and can fan out over worker
+processes (``run_sweep(..., workers=4)``) without changing any numbers.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from repro.error.synchronized import (
     max_synchronized_error,
     mean_synchronized_error,
 )
+from repro.pipeline.engine import BatchEngine
+from repro.pipeline.executor import FailurePolicy
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -86,21 +93,47 @@ def run_sweep(
     factory: CompressorFactory,
     thresholds_m: Sequence[float],
     trajectories: Iterable[Trajectory],
+    *,
+    workers: int = 0,
+    on_error: "FailurePolicy | str" = "raise",
 ) -> list[SweepRecord]:
     """Run a factory's algorithm over a threshold grid and a dataset.
+
+    Each threshold's fleet pass runs through the batch pipeline, so the
+    sweep inherits its process-pool parallelism and fault isolation;
+    the records are identical for any ``workers`` value.
 
     Args:
         factory: maps a distance threshold to a configured compressor
             (speed thresholds etc. are baked into the factory).
         thresholds_m: the distance-threshold grid.
         trajectories: the evaluation dataset.
+        workers: worker processes per fleet pass (0/1 = inline).
+        on_error: pipeline failure policy; under ``"skip"``/``"retry"``
+            failing trajectories simply produce no record.
     """
     dataset = list(trajectories)
     records: list[SweepRecord] = []
     for threshold in thresholds_m:
         compressor = factory(float(threshold))
-        for traj in dataset:
-            records.append(run_single(compressor, traj, float(threshold)))
+        engine = BatchEngine(
+            compressor, workers=workers, on_error=on_error, evaluate="sync"
+        )
+        run = engine.run(dataset)
+        for item in run.results:
+            records.append(
+                SweepRecord(
+                    algorithm=compressor.name,
+                    threshold_m=float(threshold),
+                    trajectory_id=item.item_id,
+                    n_original=item.n_original,
+                    n_kept=item.n_kept,
+                    compression_percent=item.compression_percent,
+                    mean_sync_error_m=item.mean_sync_error_m or 0.0,
+                    max_sync_error_m=item.max_sync_error_m or 0.0,
+                    runtime_s=item.runtime_s,
+                )
+            )
     return records
 
 

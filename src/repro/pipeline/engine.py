@@ -1,0 +1,479 @@
+"""The batch compression engine: fleets in, results + metrics out.
+
+A :class:`BatchEngine` compresses a whole fleet of trajectories —
+given as an in-memory iterable, a directory of trajectory files, or a
+:class:`~repro.storage.store.TrajectoryStore` — through any registered
+compressor, with:
+
+* a process-pool parallel executor (``workers=N``) with chunked
+  dispatch and deterministic, input-ordered results (a serial fallback
+  runs inline for ``workers<=1``);
+* per-item fault isolation: a failing or degenerate trajectory becomes
+  a structured :class:`~repro.pipeline.executor.ItemFailure` under a
+  configurable ``raise``/``skip``/``retry(n)`` policy instead of
+  killing the run;
+* an observability layer: per-item samples (points in/kept,
+  synchronized error, compression time) aggregated into a
+  :class:`~repro.pipeline.metrics.Metrics` registry and exported as
+  JSON (``repro pipeline --metrics-json``).
+
+Parallel determinism note: a compressor *instance* is pickled to the
+workers as-is; a spec string or :class:`~repro.core.registry.CompressorSpec`
+is shipped as data and rebuilt per item, which keeps worker processes
+independent of driver-side state. Either way the algorithms are
+deterministic, so ``workers=N`` selects byte-identical indices to the
+serial path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.base import Compressor
+from repro.core.registry import CompressorSpec, parse_compressor_spec
+from repro.error.synchronized import (
+    max_synchronized_error,
+    mean_synchronized_error,
+)
+from repro.error.metrics import CompressionReport, evaluate_compression
+from repro.exceptions import PipelineError
+from repro.pipeline.executor import (
+    FailurePolicy,
+    ItemFailure,
+    ItemSuccess,
+    execute,
+)
+from repro.pipeline.metrics import Metrics
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "BatchEngine",
+    "BatchRunResult",
+    "ItemResult",
+    "iter_fleet",
+    "load_fleet",
+]
+
+_FILE_SUFFIXES = (".csv", ".json", ".gpx")
+
+#: Evaluation depths: nothing, synchronized error only, or full report.
+_EVALUATE_MODES = ("none", "sync", "full")
+
+
+def _load_path(path: Path) -> Trajectory:
+    """Load one trajectory file by suffix (.csv/.json/.gpx)."""
+    from repro.trajectory import gpx as _gpx
+    from repro.trajectory import io as _io
+
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return _io.read_csv(path, object_id=path.stem)
+    if suffix == ".json":
+        return _io.read_json(path)
+    if suffix == ".gpx":
+        return _gpx.read_gpx(path)
+    raise PipelineError(
+        f"unsupported trajectory format {suffix!r} (use .csv/.json/.gpx)"
+    )
+
+
+def iter_fleet(source: Any) -> Iterator[tuple[str, "Trajectory | Path"]]:
+    """Normalize a fleet source into ``(item_id, payload)`` pairs.
+
+    Accepted sources:
+
+    * a directory path — every ``.csv``/``.json``/``.gpx`` file in it,
+      sorted; payloads stay as paths so loading happens inside the
+      engine's fault-isolation boundary (and in parallel workers);
+    * a single file path;
+    * a :class:`~repro.storage.store.TrajectoryStore` (anything with
+      ``object_ids()`` and ``get()``), iterated in id order;
+    * an iterable of :class:`~repro.trajectory.trajectory.Trajectory`
+      objects, ``(item_id, trajectory)`` pairs, or file paths.
+
+    Item ids come from the trajectory's ``object_id`` / the file stem /
+    the store id; anonymous items fall back to ``item-<index>``.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.is_dir():
+            files = sorted(
+                p for p in path.iterdir()
+                if p.suffix.lower() in _FILE_SUFFIXES
+            )
+            for file in files:
+                yield file.stem, file
+            return
+        yield path.stem, path
+        return
+    if hasattr(source, "object_ids") and hasattr(source, "get"):
+        for object_id in source.object_ids():
+            yield object_id, source.get(object_id)
+        return
+    if isinstance(source, Trajectory):
+        raise PipelineError(
+            "pass a list of trajectories (or wrap the single trajectory "
+            "in a list) — a bare Trajectory is not a fleet"
+        )
+    for index, entry in enumerate(source):
+        if isinstance(entry, Trajectory):
+            yield entry.object_id or f"item-{index:05d}", entry
+        elif isinstance(entry, (str, Path)):
+            path = Path(entry)
+            yield path.stem, path
+        elif isinstance(entry, tuple) and len(entry) == 2:
+            item_id, payload = entry
+            yield str(item_id), payload
+        else:
+            raise PipelineError(
+                f"fleet entry {index} is {type(entry).__name__}; expected "
+                f"a Trajectory, a path, or an (id, trajectory) pair"
+            )
+
+
+@dataclass(frozen=True)
+class _LoadTask:
+    """Picklable per-item loader used by :func:`load_fleet`."""
+
+    def __call__(self, payload: "Trajectory | str | Path") -> Trajectory:
+        """Return the payload as a trajectory, loading files by suffix."""
+        if isinstance(payload, Trajectory):
+            return payload
+        return _load_path(Path(payload))
+
+
+@dataclass(frozen=True)
+class _CompressTask:
+    """Picklable per-item compression task shipped to worker processes.
+
+    Exactly one of ``spec`` / ``compressor`` is set. Specs are rebuilt
+    into a fresh compressor per item (construction is cheap parameter
+    validation); instances are pickled once per chunk by the executor.
+    """
+
+    spec: CompressorSpec | None
+    compressor: Compressor | None
+    evaluate: str
+
+    def _build(self) -> Compressor:
+        if self.spec is not None:
+            return self.spec.build()
+        assert self.compressor is not None
+        return self.compressor
+
+    def __call__(self, payload: "Trajectory | str | Path") -> dict[str, Any]:
+        """Compress one item, returning a plain picklable sample dict."""
+        traj = payload if isinstance(payload, Trajectory) else _load_path(Path(payload))
+        compressor = self._build()
+        started = time.perf_counter()
+        result = compressor.compress(traj)
+        runtime = time.perf_counter() - started
+        sample: dict[str, Any] = {
+            "n_original": result.n_original,
+            "n_kept": result.n_kept,
+            "indices": result.indices,
+            "runtime_s": runtime,
+            "mean_sync_error_m": None,
+            "max_sync_error_m": None,
+            "report": None,
+        }
+        if self.evaluate != "none" and len(traj) >= 2:
+            approx = result.compressed
+            if self.evaluate == "full":
+                report = evaluate_compression(traj, approx)
+                sample["report"] = report.to_dict()
+                sample["mean_sync_error_m"] = report.mean_sync_error_m
+                sample["max_sync_error_m"] = report.max_sync_error_m
+            else:
+                sample["mean_sync_error_m"] = mean_synchronized_error(traj, approx)
+                sample["max_sync_error_m"] = max_synchronized_error(traj, approx)
+        return sample
+
+
+@dataclass(frozen=True)
+class ItemResult:
+    """One successfully compressed fleet item."""
+
+    item_id: str
+    index: int
+    n_original: int
+    n_kept: int
+    indices: np.ndarray
+    runtime_s: float
+    mean_sync_error_m: float | None = None
+    max_sync_error_m: float | None = None
+    report: CompressionReport | None = None
+    attempts: int = 1
+
+    #: Discriminator shared with ItemFailure (`outcome.ok`).
+    ok = True
+
+    @property
+    def compression_percent(self) -> float:
+        """Percent of points removed for this item."""
+        return 100.0 * (1.0 - self.n_kept / self.n_original)
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemResult({self.item_id}: {self.n_original} -> {self.n_kept}, "
+            f"{self.compression_percent:.1f}%)"
+        )
+
+
+@dataclass
+class BatchRunResult:
+    """Everything one :meth:`BatchEngine.run` produced.
+
+    ``outcomes`` holds one :class:`ItemResult` or
+    :class:`~repro.pipeline.executor.ItemFailure` per input item, in
+    input order; ``metrics`` the aggregated run instruments.
+    """
+
+    compressor: str
+    workers: int
+    on_error: str
+    outcomes: list["ItemResult | ItemFailure"]
+    metrics: Metrics
+    elapsed_s: float
+
+    @property
+    def results(self) -> list[ItemResult]:
+        """The successful items, in input order."""
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> list[ItemFailure]:
+        """The failed items, in input order."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def n_items(self) -> int:
+        """Total items processed."""
+        return len(self.outcomes)
+
+    def metrics_dict(self) -> dict[str, Any]:
+        """The run's full JSON-ready metrics document.
+
+        Schema: an ``engine`` header (compressor, workers, policy), a
+        ``run`` summary (item counts, wall time), the ``metrics``
+        instruments, and the structured ``failures`` list.
+        """
+        results = self.results
+        return {
+            "engine": {
+                "compressor": self.compressor,
+                "workers": self.workers,
+                "on_error": self.on_error,
+            },
+            "run": {
+                "n_items": self.n_items,
+                "n_ok": len(results),
+                "n_failed": len(self.failures),
+                "elapsed_s": self.elapsed_s,
+                "points_in": sum(r.n_original for r in results),
+                "points_kept": sum(r.n_kept for r in results),
+            },
+            "metrics": self.metrics.to_dict(),
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def write_metrics_json(self, path: "str | Path") -> None:
+        """Write :meth:`metrics_dict` to ``path`` as indented JSON."""
+        Path(path).write_text(json.dumps(self.metrics_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        results = self.results
+        points_in = sum(r.n_original for r in results)
+        points_kept = sum(r.n_kept for r in results)
+        percent = 100.0 * (1.0 - points_kept / points_in) if points_in else 0.0
+        return (
+            f"{self.compressor}: {len(results)}/{self.n_items} items ok, "
+            f"{points_in} -> {points_kept} points ({percent:.1f}% removed) "
+            f"in {self.elapsed_s:.2f}s ({self.workers or 1} worker(s))"
+        )
+
+
+class BatchEngine:
+    """Compress a fleet of trajectories through one configured algorithm.
+
+    Args:
+        compressor: a :class:`~repro.core.base.Compressor` instance, a
+            :class:`~repro.core.registry.CompressorSpec`, or a spec
+            string such as ``"td-tr:epsilon=30"``.
+        workers: ``0``/``1`` for the inline serial path, ``N > 1`` for a
+            process pool (results are identical either way).
+        chunk_size: items per dispatched chunk (default: balanced
+            against ``workers``).
+        on_error: ``"raise"`` (default), ``"skip"``, or ``"retry(n)"``
+            — see :class:`~repro.pipeline.executor.FailurePolicy`.
+        evaluate: ``"sync"`` (default) samples the paper's synchronized
+            error per item; ``"full"`` attaches a complete
+            :class:`~repro.error.metrics.CompressionReport`; ``"none"``
+            skips error evaluation for maximum throughput. Booleans are
+            accepted (``True`` = ``"sync"``, ``False`` = ``"none"``).
+
+    Example::
+
+        engine = BatchEngine("td-tr:epsilon=30", workers=4, on_error="skip")
+        run = engine.run("fleet_dir/")
+        print(run.summary())
+        run.write_metrics_json("metrics.json")
+    """
+
+    def __init__(
+        self,
+        compressor: "Compressor | CompressorSpec | str",
+        *,
+        workers: int = 0,
+        chunk_size: int | None = None,
+        on_error: "FailurePolicy | str" = "raise",
+        evaluate: "str | bool" = "sync",
+    ) -> None:
+        if isinstance(compressor, str):
+            compressor = parse_compressor_spec(compressor)
+        if isinstance(compressor, CompressorSpec):
+            compressor.build()  # validate early: fail at engine build, not mid-run
+            self._spec: CompressorSpec | None = compressor
+            self._compressor: Compressor | None = None
+            self.compressor_label = str(compressor)
+        elif isinstance(compressor, Compressor):
+            self._spec = None
+            self._compressor = compressor
+            self.compressor_label = repr(compressor)
+        else:
+            raise PipelineError(
+                f"compressor must be a Compressor, CompressorSpec or spec "
+                f"string, got {type(compressor).__name__}"
+            )
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.policy = FailurePolicy.parse(on_error)
+        if isinstance(evaluate, bool):
+            evaluate = "sync" if evaluate else "none"
+        if evaluate not in _EVALUATE_MODES:
+            raise PipelineError(
+                f"evaluate must be one of {_EVALUATE_MODES}, got {evaluate!r}"
+            )
+        self.evaluate = evaluate
+
+    @property
+    def compressor_name(self) -> str:
+        """The registry name of the configured algorithm."""
+        if self._spec is not None:
+            return self._spec.name
+        assert self._compressor is not None
+        return self._compressor.name
+
+    def run(self, source: Any, *, metrics: Metrics | None = None) -> BatchRunResult:
+        """Compress every item of ``source`` (see :func:`iter_fleet`).
+
+        Args:
+            source: the fleet — iterable, directory, file, or store.
+            metrics: an existing registry to aggregate into (a fresh one
+                is created by default).
+
+        Returns:
+            A :class:`BatchRunResult` with input-ordered outcomes and
+            the aggregated metrics.
+        """
+        metrics = metrics if metrics is not None else Metrics()
+        items = list(iter_fleet(source))
+        task = _CompressTask(self._spec, self._compressor, self.evaluate)
+        started = time.perf_counter()
+        raw = execute(
+            task,
+            items,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            policy=self.policy,
+        )
+        elapsed = time.perf_counter() - started
+        outcomes: list[ItemResult | ItemFailure] = []
+        for outcome in raw:
+            if isinstance(outcome, ItemSuccess):
+                outcomes.append(self._to_item_result(outcome))
+            else:
+                outcomes.append(outcome)
+        self._sample_metrics(metrics, outcomes, elapsed)
+        return BatchRunResult(
+            compressor=self.compressor_label,
+            workers=self.workers,
+            on_error=str(self.policy),
+            outcomes=outcomes,
+            metrics=metrics,
+            elapsed_s=elapsed,
+        )
+
+    @staticmethod
+    def _to_item_result(outcome: ItemSuccess) -> ItemResult:
+        sample = outcome.value
+        report = sample["report"]
+        return ItemResult(
+            item_id=outcome.item_id,
+            index=outcome.index,
+            n_original=sample["n_original"],
+            n_kept=sample["n_kept"],
+            indices=np.asarray(sample["indices"], dtype=int),
+            runtime_s=sample["runtime_s"],
+            mean_sync_error_m=sample["mean_sync_error_m"],
+            max_sync_error_m=sample["max_sync_error_m"],
+            report=CompressionReport.from_dict(report) if report else None,
+            attempts=outcome.attempts,
+        )
+
+    def _sample_metrics(
+        self,
+        metrics: Metrics,
+        outcomes: list["ItemResult | ItemFailure"],
+        elapsed: float,
+    ) -> None:
+        """Aggregate one run's per-item samples into the registry."""
+        metrics.timer("run_s").observe(elapsed)
+        for outcome in outcomes:
+            metrics.counter("items_in").inc()
+            metrics.counter("attempts").inc(outcome.attempts)
+            if not outcome.ok:
+                metrics.counter("items_failed").inc()
+                continue
+            metrics.counter("items_ok").inc()
+            metrics.counter("points_in").inc(outcome.n_original)
+            metrics.counter("points_kept").inc(outcome.n_kept)
+            metrics.timer("compress_s").observe(outcome.runtime_s)
+            metrics.histogram("points_in").observe(outcome.n_original)
+            metrics.histogram("points_kept").observe(outcome.n_kept)
+            if outcome.mean_sync_error_m is not None:
+                metrics.histogram("mean_sync_error_m").observe(
+                    outcome.mean_sync_error_m
+                )
+
+
+def load_fleet(
+    source: Any,
+    *,
+    workers: int = 0,
+    on_error: "FailurePolicy | str" = "raise",
+) -> tuple[list[Trajectory], list[ItemFailure]]:
+    """Load a fleet into memory with the engine's fault isolation.
+
+    The CLI's analytics commands (``flow``) use this to parse many
+    trajectory files — in parallel when ``workers > 1``, and skipping
+    corrupt files under ``on_error="skip"`` instead of aborting.
+
+    Returns:
+        ``(trajectories, failures)`` — loaded items in input order plus
+        the structured failures (empty under ``"raise"``).
+    """
+    items = list(iter_fleet(source))
+    outcomes = execute(
+        _LoadTask(), items, workers=workers, policy=FailurePolicy.parse(on_error)
+    )
+    fleet = [o.value for o in outcomes if o.ok]
+    failures = [o for o in outcomes if not o.ok]
+    return fleet, failures

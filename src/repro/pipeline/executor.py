@@ -1,0 +1,241 @@
+"""Fault-isolated serial and process-pool execution of per-item tasks.
+
+The mechanics under the :class:`~repro.pipeline.engine.BatchEngine`,
+kept generic so other layers (the storage ingestor, the CLI's fleet
+loaders) can reuse them: run a picklable callable over a list of
+``(item_id, payload)`` items, either inline or on a process pool with
+chunked dispatch, and isolate per-item failures under a configurable
+:class:`FailurePolicy`.
+
+Guarantees:
+
+* **Deterministic ordering** — results come back aligned with the input
+  order regardless of worker scheduling (chunks are reassembled by
+  chunk index).
+* **Fault isolation** — under ``skip``/``retry`` policies an item that
+  raises becomes a structured :class:`ItemFailure` (error class,
+  item id, traceback summary, attempt count); the run continues.
+* **Transparent errors** — under the ``raise`` policy the original
+  exception propagates unchanged (process pools pickle exceptions back
+  to the parent), with earliest-input-order preference when several
+  items fail in parallel.
+"""
+
+from __future__ import annotations
+
+import re
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import PipelineError
+
+__all__ = [
+    "FailurePolicy",
+    "ItemFailure",
+    "ItemSuccess",
+    "summarize_traceback",
+    "execute",
+]
+
+_RETRY_PATTERN = re.compile(r"retry(?:\((\d+)\)|:(\d+))?")
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What to do when one item of a batch raises.
+
+    Modes:
+
+    * ``"raise"`` — let the exception propagate; the run aborts.
+    * ``"skip"`` — record an :class:`ItemFailure`, keep going.
+    * ``"retry"`` — re-run the item up to ``retries`` extra times, then
+      record an :class:`ItemFailure` (it never aborts the run).
+
+    The string forms ``"raise"``, ``"skip"``, ``"retry"``,
+    ``"retry(3)"`` and ``"retry:3"`` parse via :meth:`parse`.
+    """
+
+    mode: str
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "skip", "retry"):
+            raise PipelineError(
+                f"unknown failure mode {self.mode!r}; "
+                f"use 'raise', 'skip' or 'retry'"
+            )
+        if self.retries < 0:
+            raise PipelineError(f"retries must be >= 0, got {self.retries}")
+
+    @classmethod
+    def parse(cls, value: "FailurePolicy | str") -> "FailurePolicy":
+        """Coerce a policy string (or pass a policy through unchanged)."""
+        if isinstance(value, FailurePolicy):
+            return value
+        text = str(value).strip().lower()
+        if text in ("raise", "skip"):
+            return cls(text)
+        match = _RETRY_PATTERN.fullmatch(text)
+        if match:
+            count = match.group(1) or match.group(2)
+            return cls("retry", int(count) if count is not None else 1)
+        raise PipelineError(
+            f"unknown failure policy {value!r}; "
+            f"use 'raise', 'skip' or 'retry(n)'"
+        )
+
+    @property
+    def attempts(self) -> int:
+        """Total tries per item (1, plus ``retries`` in retry mode)."""
+        return self.retries + 1 if self.mode == "retry" else 1
+
+    def __str__(self) -> str:
+        return f"retry({self.retries})" if self.mode == "retry" else self.mode
+
+
+def summarize_traceback(exc: BaseException, limit: int = 3) -> str:
+    """Compact one-line summary of an exception's deepest frames.
+
+    Keeps the last ``limit`` frames as ``file:line in func`` hops — enough
+    to locate a failure in a metrics report without shipping full
+    tracebacks across process boundaries.
+    """
+    frames = traceback.extract_tb(exc.__traceback__)[-limit:]
+    hops = " <- ".join(
+        f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} in {frame.name}"
+        for frame in reversed(frames)
+    )
+    head = f"{type(exc).__name__}: {exc}"
+    return f"{head} [{hops}]" if hops else head
+
+
+@dataclass(frozen=True)
+class ItemFailure:
+    """Structured record of one item that failed all its attempts."""
+
+    item_id: str
+    index: int
+    error_type: str
+    message: str
+    traceback_summary: str
+    attempts: int
+
+    #: Discriminator shared with success records (`outcome.ok`).
+    ok = False
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict (what lands in the run's metrics export)."""
+        return {
+            "item_id": self.item_id,
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback_summary": self.traceback_summary,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class ItemSuccess:
+    """One item's successful result, tagged with its id and input index."""
+
+    item_id: str
+    index: int
+    value: Any
+    attempts: int = 1
+
+    #: Discriminator shared with failure records (`outcome.ok`).
+    ok = True
+
+
+def _run_item(
+    fn: Callable[[Any], Any],
+    item_id: str,
+    index: int,
+    payload: Any,
+    policy: FailurePolicy,
+) -> ItemSuccess | ItemFailure:
+    """Run one item under the policy. ``raise`` mode lets errors escape."""
+    last: BaseException | None = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return ItemSuccess(item_id, index, fn(payload), attempt)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            if policy.mode == "raise":
+                raise
+            last = exc
+    assert last is not None
+    return ItemFailure(
+        item_id=item_id,
+        index=index,
+        error_type=type(last).__name__,
+        message=str(last),
+        traceback_summary=summarize_traceback(last),
+        attempts=policy.attempts,
+    )
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    chunk: list[tuple[int, str, Any]],
+    policy: FailurePolicy,
+) -> list[ItemSuccess | ItemFailure]:
+    """Worker entry point: process one chunk of (index, id, payload)."""
+    return [
+        _run_item(fn, item_id, index, payload, policy)
+        for index, item_id, payload in chunk
+    ]
+
+
+def _chunked(
+    items: list[tuple[int, str, Any]], chunk_size: int
+) -> list[list[tuple[int, str, Any]]]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def execute(
+    fn: Callable[[Any], Any],
+    items: Sequence[tuple[str, Any]],
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    policy: FailurePolicy | str = "raise",
+) -> list[ItemSuccess | ItemFailure]:
+    """Run ``fn`` over every ``(item_id, payload)`` item, in order.
+
+    Args:
+        fn: a single-argument callable applied to each payload. Must be
+            picklable (a module-level function or an instance of a
+            module-level class) when ``workers > 1``.
+        items: ``(item_id, payload)`` pairs; ids label failures and
+            results but need not be unique.
+        workers: ``0`` or ``1`` runs inline (serial fallback); ``N > 1``
+            uses a process pool of ``N`` workers with chunked dispatch.
+        chunk_size: items per dispatched chunk; defaults to roughly four
+            chunks per worker to balance load against dispatch overhead.
+        policy: see :class:`FailurePolicy`.
+
+    Returns:
+        One :class:`ItemSuccess` or :class:`ItemFailure` per input item,
+        in input order — identical regardless of ``workers``.
+    """
+    policy = FailurePolicy.parse(policy)
+    indexed = [
+        (index, item_id, payload)
+        for index, (item_id, payload) in enumerate(items)
+    ]
+    if workers <= 1 or len(indexed) <= 1:
+        return _run_chunk(fn, indexed, policy)
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(indexed) // (workers * 4)))
+    chunks = _chunked(indexed, chunk_size)
+    outcomes: list[ItemSuccess | ItemFailure] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_chunk, fn, chunk, policy) for chunk in chunks]
+        # Collect in chunk (= input) order: deterministic results, and
+        # under the raise policy the earliest-input failure surfaces.
+        for future in futures:
+            outcomes.extend(future.result())
+    return outcomes

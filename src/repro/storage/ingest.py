@@ -12,9 +12,12 @@ points ever held in memory.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 from repro.exceptions import StorageError
+from repro.pipeline.executor import FailurePolicy, ItemFailure, execute
+from repro.pipeline.metrics import Metrics
 from repro.storage.store import StoredRecord, TrajectoryStore
 from repro.streaming.online import StreamingOPW
 from repro.trajectory.builder import TrajectoryBuilder
@@ -54,6 +57,8 @@ class StreamIngestor:
         self._compressors: dict[str, StreamingOPW] = {}
         self._builders: dict[str, TrajectoryBuilder] = {}
         self._raw_counts: dict[str, int] = {}
+        #: Structured failures from the most recent :meth:`finish_all`.
+        self.last_failures: list[ItemFailure] = []
 
     @property
     def active_objects(self) -> list[str]:
@@ -123,9 +128,43 @@ class StreamIngestor:
             sync_error_bound_m=compressor.sync_error_bound(),
         )
 
-    def finish_all(self, replace: bool = False) -> list[StoredRecord]:
-        """Flush every active object, in id order."""
-        return [
-            self.finish(object_id, replace=replace)
-            for object_id in self.active_objects
-        ]
+    def finish_all(
+        self,
+        replace: bool = False,
+        *,
+        on_error: "FailurePolicy | str" = "raise",
+        metrics: Metrics | None = None,
+    ) -> list[StoredRecord]:
+        """Flush every active object, in id order.
+
+        Runs through the batch pipeline's fault-isolation layer: under
+        ``on_error="skip"`` (or ``"retry(n)"``) an object whose flush
+        fails — e.g. an id already stored without ``replace`` — is
+        recorded in :attr:`last_failures` as a structured
+        :class:`~repro.pipeline.executor.ItemFailure` while the other
+        objects still land in the store. The default ``"raise"`` keeps
+        the original behaviour of propagating the first error.
+
+        Args:
+            replace: overwrite records whose object id already exists.
+            on_error: pipeline failure policy.
+            metrics: optional registry to count flushed objects/points
+                and failures into.
+
+        Returns:
+            The stored records of the successfully flushed objects.
+        """
+        items = [(object_id, object_id) for object_id in self.active_objects]
+        outcomes = execute(
+            functools.partial(self.finish, replace=replace),
+            items,
+            policy=FailurePolicy.parse(on_error),
+        )
+        self.last_failures = [o for o in outcomes if not o.ok]
+        records = [o.value for o in outcomes if o.ok]
+        if metrics is not None:
+            metrics.counter("objects_flushed").inc(len(records))
+            metrics.counter("objects_failed").inc(len(self.last_failures))
+            for record in records:
+                metrics.counter("points_flushed").inc(record.n_stored_points)
+        return records

@@ -25,6 +25,7 @@ __all__ = [
     "stop_episodes",
     "DatasetStats",
     "dataset_stats",
+    "aggregate_trajectory_stats",
 ]
 
 
@@ -165,11 +166,24 @@ class DatasetStats:
 def dataset_stats(trajectories: Iterable[Trajectory]) -> DatasetStats:
     """Aggregate Table 2 style statistics over a dataset.
 
+    Equivalent to :func:`aggregate_trajectory_stats` over
+    :func:`trajectory_stats` of each trajectory; split that way so the
+    per-trajectory half can run on the batch pipeline's executor (the
+    ``repro table2 --workers N`` path).
+    """
+    return aggregate_trajectory_stats(
+        trajectory_stats(traj) for traj in trajectories
+    )
+
+
+def aggregate_trajectory_stats(stats: Iterable[TrajectoryStats]) -> DatasetStats:
+    """Aggregate per-trajectory summaries into dataset means and stds.
+
     Standard deviations use the population convention (``ddof=0``); with
     only ten trajectories the paper does not say which it used, and the
     choice does not affect any of the shape comparisons.
     """
-    per = [trajectory_stats(traj) for traj in trajectories]
+    per = list(stats)
     if not per:
         raise ValueError("dataset_stats of an empty dataset")
     durations = np.array([s.duration_s for s in per])

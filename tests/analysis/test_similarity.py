@@ -70,7 +70,7 @@ class TestSynchronizedDistance:
         from repro.core import TDTR
         from repro.error import mean_synchronized_error
 
-        approx = TDTR(40.0).compress(urban_trajectory).compressed
+        approx = TDTR(epsilon=40.0).compress(urban_trajectory).compressed
         assert mean_synchronized_distance(
             urban_trajectory, approx
         ) == pytest.approx(mean_synchronized_error(urban_trajectory, approx), rel=1e-9)

@@ -41,7 +41,7 @@ class TestAngularChange:
         traj = Trajectory.from_points(
             [(0, 0, 0), (1, 0, 0), (2, 100, 0), (3, 100, 100), (4, 200, 100)]
         )
-        result = AngularChange(np.radians(30)).compress(traj)
+        result = AngularChange(max_angle_rad=np.radians(30)).compress(traj)
         assert result.indices[0] == 0
         assert result.indices[-1] == len(traj) - 1
 
@@ -53,4 +53,4 @@ class TestAngularChange:
 
     def test_rejects_bad_gap(self):
         with pytest.raises(ValueError):
-            AngularChange(np.radians(10), max_gap_m=-5.0)
+            AngularChange(max_angle_rad=np.radians(10), max_gap_m=-5.0)

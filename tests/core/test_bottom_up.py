@@ -12,7 +12,7 @@ from repro.trajectory import Trajectory
 
 class TestBottomUp:
     def test_straight_line_collapses(self, straight_line):
-        result = BottomUp(1.0).compress(straight_line)
+        result = BottomUp(epsilon=1.0).compress(straight_line)
         np.testing.assert_array_equal(result.indices, [0, len(straight_line) - 1])
 
     def test_per_segment_sed_bound(self, urban_trajectory):
@@ -20,14 +20,14 @@ class TestBottomUp:
         the final approximation's max synchronized error is bounded."""
         eps = 40.0
         approx = (
-            BottomUp(eps, criterion="synchronized").compress(urban_trajectory).compressed
+            BottomUp(epsilon=eps, criterion="synchronized").compress(urban_trajectory).compressed
         )
         assert max_synchronized_error(urban_trajectory, approx) <= eps + 1e-9
 
     def test_perpendicular_criterion_bound(self, urban_trajectory):
         eps = 40.0
         approx = (
-            BottomUp(eps, criterion="perpendicular").compress(urban_trajectory).compressed
+            BottomUp(epsilon=eps, criterion="perpendicular").compress(urban_trajectory).compressed
         )
         assert (
             max_perpendicular_error(urban_trajectory, approx, to_segment=False)
@@ -39,12 +39,12 @@ class TestBottomUp:
         y = np.zeros(9)
         y[4] = 70.0
         traj = Trajectory(t, np.column_stack([t * 10.0, y]))
-        result = BottomUp(30.0).compress(traj)
+        result = BottomUp(epsilon=30.0).compress(traj)
         assert 4 in result.indices
 
     def test_compression_monotone_in_threshold(self, urban_trajectory):
         kept = [
-            BottomUp(eps).compress(urban_trajectory).n_kept
+            BottomUp(epsilon=eps).compress(urban_trajectory).n_kept
             for eps in (10.0, 40.0, 160.0)
         ]
         assert kept == sorted(kept, reverse=True)
@@ -53,11 +53,11 @@ class TestBottomUp:
         """Bottom-up chooses merges globally (cheapest first), so it should
         compress at least as well as naive decimation at equal error
         budget — sanity check that the heap logic actually merges."""
-        result = BottomUp(50.0).compress(urban_trajectory)
+        result = BottomUp(epsilon=50.0).compress(urban_trajectory)
         assert result.compression_percent > 10.0
 
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
-            BottomUp(0.0)
+            BottomUp(epsilon=0.0)
         with pytest.raises(ValueError, match="criterion"):
-            BottomUp(10.0, criterion="vibes")
+            BottomUp(epsilon=10.0, criterion="vibes")

@@ -16,21 +16,21 @@ from tests.conftest import trajectories
 class TestTDTRBudget:
     def test_exact_budget(self, urban_trajectory):
         for budget in (2, 5, 20, 40):
-            result = TDTRBudget(budget).compress(urban_trajectory)
+            result = TDTRBudget(budget=budget).compress(urban_trajectory)
             assert result.n_kept == budget
 
     def test_budget_larger_than_series_keeps_all(self, zigzag):
-        result = TDTRBudget(100).compress(zigzag)
+        result = TDTRBudget(budget=100).compress(zigzag)
         assert result.n_kept == len(zigzag)
 
     def test_error_free_series_stops_early(self, straight_line):
-        result = TDTRBudget(5).compress(straight_line)
+        result = TDTRBudget(budget=5).compress(straight_line)
         np.testing.assert_array_equal(result.indices, [0, len(straight_line) - 1])
 
     def test_error_decreases_with_budget(self, urban_trajectory):
         errors = [
             mean_synchronized_error(
-                urban_trajectory, TDTRBudget(b).compress(urban_trajectory).compressed
+                urban_trajectory, TDTRBudget(budget=b).compress(urban_trajectory).compressed
             )
             for b in (4, 8, 16, 32)
         ]
@@ -42,23 +42,23 @@ class TestTDTRBudget:
         y = np.zeros(9)
         y[4] = 100.0
         traj = Trajectory(t, np.column_stack([t * 10.0, y]))
-        result = TDTRBudget(3).compress(traj)
+        result = TDTRBudget(budget=3).compress(traj)
         np.testing.assert_array_equal(result.indices, [0, 4, 8])
 
     def test_perpendicular_criterion(self, urban_trajectory):
-        result = TDTRBudget(10, criterion="perpendicular").compress(urban_trajectory)
+        result = TDTRBudget(budget=10, criterion="perpendicular").compress(urban_trajectory)
         assert result.n_kept == 10
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            TDTRBudget(1)
+            TDTRBudget(budget=1)
         with pytest.raises(ValueError):
-            TDTRBudget(10, criterion="psychic")
+            TDTRBudget(budget=10, criterion="psychic")
 
     @settings(max_examples=25, deadline=None)
     @given(trajectories(min_points=3, max_points=30))
     def test_property_budget_respected(self, traj):
-        result = TDTRBudget(5).compress(traj)
+        result = TDTRBudget(budget=5).compress(traj)
         assert result.n_kept <= max(5, 2)
         assert result.indices[0] == 0
         assert result.indices[-1] == len(traj) - 1
@@ -67,71 +67,71 @@ class TestTDTRBudget:
 class TestBottomUpBudget:
     def test_exact_budget(self, urban_trajectory):
         for budget in (2, 7, 25):
-            result = BottomUpBudget(budget).compress(urban_trajectory)
+            result = BottomUpBudget(budget=budget).compress(urban_trajectory)
             assert result.n_kept == budget
 
     def test_budget_larger_than_series_keeps_all(self, zigzag):
-        assert BottomUpBudget(500).compress(zigzag).n_kept == len(zigzag)
+        assert BottomUpBudget(budget=500).compress(zigzag).n_kept == len(zigzag)
 
     def test_competitive_with_top_down_at_equal_budget(self, urban_trajectory):
         """Global cheapest-first merging should not be much worse than
         best-first splitting at the same budget."""
         budget = 12
         top_down = mean_synchronized_error(
-            urban_trajectory, TDTRBudget(budget).compress(urban_trajectory).compressed
+            urban_trajectory, TDTRBudget(budget=budget).compress(urban_trajectory).compressed
         )
         bottom_up = mean_synchronized_error(
             urban_trajectory,
-            BottomUpBudget(budget).compress(urban_trajectory).compressed,
+            BottomUpBudget(budget=budget).compress(urban_trajectory).compressed,
         )
         assert bottom_up <= top_down * 2.0
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            BottomUpBudget(0)
+            BottomUpBudget(budget=0)
         with pytest.raises(ValueError):
-            BottomUpBudget(5, criterion="vibes")
+            BottomUpBudget(budget=5, criterion="vibes")
 
 
 class TestBottomUpTotalError:
     def test_alpha_stays_within_budget(self, urban_trajectory):
         for budget_m in (2.0, 5.0, 15.0):
             approx = (
-                BottomUpTotalError(budget_m).compress(urban_trajectory).compressed
+                BottomUpTotalError(max_mean_error=budget_m).compress(urban_trajectory).compressed
             )
             alpha = mean_synchronized_error(urban_trajectory, approx)
             assert alpha <= budget_m + 1e-9
 
     def test_larger_budget_compresses_more(self, urban_trajectory):
         kept = [
-            BottomUpTotalError(budget).compress(urban_trajectory).n_kept
+            BottomUpTotalError(max_mean_error=budget).compress(urban_trajectory).n_kept
             for budget in (1.0, 4.0, 16.0, 64.0)
         ]
         assert kept == sorted(kept, reverse=True)
 
     def test_straight_line_collapses_under_any_budget(self, straight_line):
-        result = BottomUpTotalError(0.001).compress(straight_line)
+        result = BottomUpTotalError(max_mean_error=0.001).compress(straight_line)
         np.testing.assert_array_equal(result.indices, [0, len(straight_line) - 1])
 
     def test_tiny_budget_keeps_nearly_everything(self, zigzag):
-        result = BottomUpTotalError(1e-6).compress(zigzag)
+        result = BottomUpTotalError(max_mean_error=1e-6).compress(zigzag)
         assert result.n_kept >= len(zigzag) - 2  # coincident/stop points only
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            BottomUpTotalError(0.0)
+            BottomUpTotalError(max_mean_error=0.0)
 
     @settings(max_examples=20, deadline=None)
     @given(trajectories(min_points=3, max_points=25))
     def test_property_alpha_bound(self, traj):
         budget_m = 10.0
-        approx = BottomUpTotalError(budget_m).compress(traj).compressed
+        approx = BottomUpTotalError(max_mean_error=budget_m).compress(traj).compressed
         assert mean_synchronized_error(traj, approx) <= budget_m + 1e-6
 
     def test_dominates_fixed_threshold_at_matched_error(self, urban_trajectory):
         """Spending the error budget globally should compress at least as
         well as a per-segment threshold that lands on the same α."""
-        eps_result = TDTR(40.0).compress(urban_trajectory)
+        eps_result = TDTR(epsilon=40.0).compress(urban_trajectory)
         alpha = mean_synchronized_error(urban_trajectory, eps_result.compressed)
-        budget_result = BottomUpTotalError(alpha).compress(urban_trajectory)
+        budget_result = BottomUpTotalError(max_mean_error=alpha).compress(urban_trajectory)
         assert budget_result.n_kept <= eps_result.n_kept * 1.2

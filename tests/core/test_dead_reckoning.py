@@ -40,7 +40,7 @@ class TestDeadReckoning:
         """Every discarded point was within epsilon of the anchor's
         extrapolation at its own timestamp."""
         eps = 40.0
-        result = DeadReckoning(eps).compress(urban_trajectory)
+        result = DeadReckoning(epsilon=eps).compress(urban_trajectory)
         kept = set(result.indices.tolist())
         t = urban_trajectory.t
         xy = urban_trajectory.xy
@@ -57,13 +57,13 @@ class TestDeadReckoning:
 
     def test_monotone_in_threshold(self, urban_trajectory):
         kept = [
-            DeadReckoning(eps).compress(urban_trajectory).n_kept
+            DeadReckoning(epsilon=eps).compress(urban_trajectory).n_kept
             for eps in (10.0, 30.0, 90.0)
         ]
         assert kept == sorted(kept, reverse=True)
 
     def test_online_and_linear_time(self):
-        assert DeadReckoning(10.0).online
+        assert DeadReckoning(epsilon=10.0).online
 
     def test_worse_error_than_opw_tr_but_cheaper_selection(self, small_dataset):
         """Hindsight chords beat forward extrapolation at equal epsilon
@@ -71,13 +71,13 @@ class TestDeadReckoning:
         eps = 40.0
         dr_err = np.mean(
             [
-                mean_synchronized_error(t, DeadReckoning(eps).compress(t).compressed)
+                mean_synchronized_error(t, DeadReckoning(epsilon=eps).compress(t).compressed)
                 for t in small_dataset
             ]
         )
         opw_err = np.mean(
             [
-                mean_synchronized_error(t, OPWTR(eps).compress(t).compressed)
+                mean_synchronized_error(t, OPWTR(epsilon=eps).compress(t).compressed)
                 for t in small_dataset
             ]
         )
@@ -87,12 +87,12 @@ class TestDeadReckoning:
 
     def test_rejects_bad_threshold(self):
         with pytest.raises(ThresholdError):
-            DeadReckoning(0.0)
+            DeadReckoning(epsilon=0.0)
 
     @settings(max_examples=25, deadline=None)
     @given(trajectories(min_points=3, max_points=30))
     def test_property_contract(self, traj):
-        result = DeadReckoning(25.0).compress(traj)
+        result = DeadReckoning(epsilon=25.0).compress(traj)
         assert result.indices[0] == 0
         assert result.indices[-1] == len(traj) - 1
         assert np.all(np.diff(result.indices) > 0)

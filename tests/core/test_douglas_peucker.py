@@ -46,7 +46,7 @@ class TestDouglasPeucker:
 
     def test_threshold_bounds_max_line_error(self, urban_trajectory):
         for eps in (15.0, 40.0, 90.0):
-            approx = DouglasPeucker(eps).compress(urban_trajectory).compressed
+            approx = DouglasPeucker(epsilon=eps).compress(urban_trajectory).compressed
             assert (
                 max_perpendicular_error(urban_trajectory, approx, to_segment=False)
                 <= eps + 1e-9
@@ -54,18 +54,18 @@ class TestDouglasPeucker:
 
     def test_monotone_compression_in_threshold(self, urban_trajectory):
         kept = [
-            DouglasPeucker(eps).compress(urban_trajectory).n_kept
+            DouglasPeucker(epsilon=eps).compress(urban_trajectory).n_kept
             for eps in (10.0, 30.0, 60.0, 120.0)
         ]
         assert kept == sorted(kept, reverse=True)
 
     def test_rejects_bad_threshold(self):
         with pytest.raises(ThresholdError):
-            DouglasPeucker(0.0)
+            DouglasPeucker(epsilon=0.0)
 
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError, match="engine"):
-            DouglasPeucker(10.0, engine="magic")
+            DouglasPeucker(epsilon=10.0, engine="magic")
 
     def test_iterative_and_recursive_agree(self, urban_trajectory, zigzag):
         for traj in (urban_trajectory, zigzag):
@@ -80,7 +80,7 @@ class TestDouglasPeucker:
         # Stationary object: all positions identical -> everything is
         # within any threshold of the (degenerate) chord.
         traj = Trajectory.from_points([(i, 5.0, 5.0) for i in range(6)])
-        result = DouglasPeucker(1.0).compress(traj)
+        result = DouglasPeucker(epsilon=1.0).compress(traj)
         np.testing.assert_array_equal(result.indices, [0, 5])
 
     def test_paper_fig1_style_recursion(self):

@@ -61,8 +61,8 @@ class TestNOPWvsBOPW:
     def test_bopw_compresses_at_least_as_much(self, urban_trajectory):
         """The paper's Fig. 8 shape: BOPW keeps fewer (or equal) points."""
         for eps in (20.0, 40.0, 80.0):
-            nopw = NOPW(eps).compress(urban_trajectory)
-            bopw = BOPW(eps).compress(urban_trajectory)
+            nopw = NOPW(epsilon=eps).compress(urban_trajectory)
+            bopw = BOPW(epsilon=eps).compress(urban_trajectory)
             assert bopw.n_kept <= nopw.n_kept
 
     def test_bopw_worse_or_equal_sync_error(self, small_dataset):
@@ -72,10 +72,10 @@ class TestNOPWvsBOPW:
         bopw_errors = []
         for traj in small_dataset:
             nopw_errors.append(
-                mean_synchronized_error(traj, NOPW(eps).compress(traj).compressed)
+                mean_synchronized_error(traj, NOPW(epsilon=eps).compress(traj).compressed)
             )
             bopw_errors.append(
-                mean_synchronized_error(traj, BOPW(eps).compress(traj).compressed)
+                mean_synchronized_error(traj, BOPW(epsilon=eps).compress(traj).compressed)
             )
         assert float(np.mean(bopw_errors)) >= float(np.mean(nopw_errors)) * 0.9
 
@@ -84,7 +84,7 @@ class TestNOPWvsBOPW:
         so the max perpendicular distance of any point to its covering
         chord stays within the threshold."""
         eps = 35.0
-        approx = NOPW(eps).compress(urban_trajectory).compressed
+        approx = NOPW(epsilon=eps).compress(urban_trajectory).compressed
         assert (
             max_perpendicular_error(urban_trajectory, approx, to_segment=False)
             <= eps + 1e-9
@@ -92,10 +92,10 @@ class TestNOPWvsBOPW:
 
     def test_three_point_trajectory(self):
         traj = Trajectory.from_points([(0, 0, 0), (1, 10, 50), (2, 20, 0)])
-        for compressor in (NOPW(5.0), BOPW(5.0)):
+        for compressor in (NOPW(epsilon=5.0), BOPW(epsilon=5.0)):
             idx = compressor.compress(traj).indices
             np.testing.assert_array_equal(idx, [0, 1, 2])
 
     def test_online_flag(self):
-        assert NOPW(10.0).online
-        assert BOPW(10.0).online
+        assert NOPW(epsilon=10.0).online
+        assert BOPW(epsilon=10.0).online

@@ -15,21 +15,21 @@ from tests.conftest import trajectories
 
 class TestOPWTR:
     def test_is_online(self):
-        assert OPWTR(10.0).online
+        assert OPWTR(epsilon=10.0).online
 
     def test_sed_bound_invariant(self, urban_trajectory):
         """Every emitted segment was validated against its own chord when
         its end point was the float, so the continuous max synchronized
         error stays within the threshold."""
         for eps in (15.0, 40.0, 90.0):
-            approx = OPWTR(eps).compress(urban_trajectory).compressed
+            approx = OPWTR(epsilon=eps).compress(urban_trajectory).compressed
             assert max_synchronized_error(urban_trajectory, approx) <= eps + 1e-9
 
     @settings(max_examples=40, deadline=None)
     @given(trajectories(min_points=3, max_points=30))
     def test_property_sed_bound(self, traj):
         eps = 25.0
-        approx = OPWTR(eps).compress(traj).compressed
+        approx = OPWTR(epsilon=eps).compress(traj).compressed
         assert max_synchronized_error(traj, approx) <= eps + 1e-6
 
     def test_keeps_timing_deviation_nopw_drops(self):
@@ -37,8 +37,8 @@ class TestOPWTR:
             [(0, 0, 0), (10, 100, 0), (110, 150, 0), (120, 250, 0),
              (130, 350, 0), (140, 450, 0), (150, 550, 0)]
         )
-        nopw = NOPW(30.0).compress(traj)
-        opwtr = OPWTR(30.0).compress(traj)
+        nopw = NOPW(epsilon=30.0).compress(traj)
+        opwtr = OPWTR(epsilon=30.0).compress(traj)
         assert nopw.n_kept == 2  # geometrically straight
         assert opwtr.n_kept > 2  # temporally skewed
 
@@ -47,30 +47,30 @@ class TestOPWTR:
         eps = 50.0
         opwtr_err = np.mean(
             [
-                mean_synchronized_error(t, OPWTR(eps).compress(t).compressed)
+                mean_synchronized_error(t, OPWTR(epsilon=eps).compress(t).compressed)
                 for t in small_dataset
             ]
         )
         nopw_err = np.mean(
             [
-                mean_synchronized_error(t, NOPW(eps).compress(t).compressed)
+                mean_synchronized_error(t, NOPW(epsilon=eps).compress(t).compressed)
                 for t in small_dataset
             ]
         )
         assert opwtr_err < nopw_err
 
     def test_before_float_strategy_compresses_more(self, urban_trajectory):
-        violating = OPWTR(40.0, strategy="violating").compress(urban_trajectory)
-        before = OPWTR(40.0, strategy="before-float").compress(urban_trajectory)
+        violating = OPWTR(epsilon=40.0, strategy="violating").compress(urban_trajectory)
+        before = OPWTR(epsilon=40.0, strategy="before-float").compress(urban_trajectory)
         assert before.n_kept <= violating.n_kept
 
     def test_compression_monotone_in_threshold(self, urban_trajectory):
         kept = [
-            OPWTR(eps).compress(urban_trajectory).n_kept
+            OPWTR(epsilon=eps).compress(urban_trajectory).n_kept
             for eps in (10.0, 30.0, 60.0, 120.0)
         ]
         assert kept == sorted(kept, reverse=True)
 
     def test_straight_line_collapses(self, straight_line):
-        result = OPWTR(1.0).compress(straight_line)
+        result = OPWTR(epsilon=1.0).compress(straight_line)
         np.testing.assert_array_equal(result.indices, [0, len(straight_line) - 1])

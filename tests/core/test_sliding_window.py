@@ -13,7 +13,7 @@ from repro.trajectory import Trajectory
 class TestSlidingWindow:
     def test_window_boundaries_are_kept(self, urban_trajectory):
         window = 10
-        idx = SlidingWindow(50.0, window_size=window).compress(urban_trajectory).indices
+        idx = SlidingWindow(epsilon=50.0, window_size=window).compress(urban_trajectory).indices
         boundaries = set(range(0, len(urban_trajectory), window - 1))
         boundaries.add(len(urban_trajectory) - 1)
         assert boundaries <= set(idx.tolist())
@@ -23,7 +23,7 @@ class TestSlidingWindow:
         y = np.zeros(12)
         y[5] = 80.0
         traj = Trajectory(t, np.column_stack([t * 10.0, y]))
-        result = SlidingWindow(30.0, window_size=12).compress(traj)
+        result = SlidingWindow(epsilon=30.0, window_size=12).compress(traj)
         assert 5 in result.indices
 
     def test_synchronized_criterion_controls_sed_empirically(self, urban_trajectory):
@@ -33,7 +33,7 @@ class TestSlidingWindow:
         practice (here: within 1.5x on the standard fixture)."""
         eps = 40.0
         approx = (
-            SlidingWindow(eps, window_size=16, criterion="synchronized")
+            SlidingWindow(epsilon=eps, window_size=16, criterion="synchronized")
             .compress(urban_trajectory)
             .compressed
         )
@@ -42,18 +42,18 @@ class TestSlidingWindow:
     def test_window_size_bounds_index_gaps(self, urban_trajectory):
         """Kept points can never be further apart than one window."""
         window = 8
-        idx = SlidingWindow(50.0, window_size=window).compress(urban_trajectory).indices
+        idx = SlidingWindow(epsilon=50.0, window_size=window).compress(urban_trajectory).indices
         assert int(np.diff(idx).max()) <= window - 1
 
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
-            SlidingWindow(10.0, window_size=2)
+            SlidingWindow(epsilon=10.0, window_size=2)
         with pytest.raises(ValueError, match="criterion"):
-            SlidingWindow(10.0, criterion="psychic")
+            SlidingWindow(epsilon=10.0, criterion="psychic")
 
     def test_straight_line_keeps_only_boundaries(self, straight_line):
         window = 5
-        idx = SlidingWindow(1.0, window_size=window).compress(straight_line).indices
+        idx = SlidingWindow(epsilon=1.0, window_size=window).compress(straight_line).indices
         expected = sorted(
             set(range(0, len(straight_line), window - 1)) | {len(straight_line) - 1}
         )

@@ -50,14 +50,14 @@ class TestOPWSP:
         for traj in (urban_trajectory, zigzag):
             for dist_eps, speed_eps in ((20.0, 2.0), (40.0, 5.0), (80.0, 25.0)):
                 faithful = spt_paper_indices(traj, dist_eps, speed_eps)
-                optimized = OPWSP(dist_eps, speed_eps).compress(traj).indices
+                optimized = OPWSP(max_dist_error=dist_eps, max_speed_error=speed_eps).compress(traj).indices
                 np.testing.assert_array_equal(faithful, optimized)
 
     @settings(max_examples=25, deadline=None)
     @given(trajectories(min_points=3, max_points=25))
     def test_property_matches_paper_pseudocode(self, traj):
         faithful = spt_paper_indices(traj, 25.0, 5.0)
-        optimized = OPWSP(25.0, 5.0).compress(traj).indices
+        optimized = OPWSP(max_dist_error=25.0, max_speed_error=5.0).compress(traj).indices
         np.testing.assert_array_equal(faithful, optimized)
 
     def test_retains_braking_point(self, braking):
@@ -67,29 +67,29 @@ class TestOPWSP:
 
     def test_large_speed_threshold_degenerates_to_opw_tr(self, urban_trajectory):
         """The paper: OPW-SP(25 m/s) coincides with OPW-TR."""
-        sp = OPWSP(50.0, 1000.0).compress(urban_trajectory)
-        tr = OPWTR(50.0).compress(urban_trajectory)
+        sp = OPWSP(max_dist_error=50.0, max_speed_error=1000.0).compress(urban_trajectory)
+        tr = OPWTR(epsilon=50.0).compress(urban_trajectory)
         np.testing.assert_array_equal(sp.indices, tr.indices)
 
     def test_smaller_speed_threshold_keeps_more(self, urban_trajectory):
         kept = [
-            OPWSP(50.0, speed).compress(urban_trajectory).n_kept
+            OPWSP(max_dist_error=50.0, max_speed_error=speed).compress(urban_trajectory).n_kept
             for speed in (1.0, 5.0, 25.0)
         ]
         assert kept == sorted(kept, reverse=True)
 
     def test_sed_bound_still_holds(self, urban_trajectory):
-        approx = OPWSP(40.0, 5.0).compress(urban_trajectory).compressed
+        approx = OPWSP(max_dist_error=40.0, max_speed_error=5.0).compress(urban_trajectory).compressed
         assert max_synchronized_error(urban_trajectory, approx) <= 40.0 + 1e-9
 
     def test_rejects_bad_thresholds(self):
         with pytest.raises(ThresholdError):
-            OPWSP(0.0, 5.0)
+            OPWSP(max_dist_error=0.0, max_speed_error=5.0)
         with pytest.raises(ThresholdError):
-            OPWSP(50.0, -1.0)
+            OPWSP(max_dist_error=50.0, max_speed_error=-1.0)
 
     def test_is_online(self):
-        assert OPWSP(10.0, 5.0).online
+        assert OPWSP(max_dist_error=10.0, max_speed_error=5.0).online
 
 
 class TestSptPaperPort:
@@ -115,18 +115,18 @@ class TestTDSP:
     def test_retains_all_speed_violations(self, urban_trajectory):
         speed_eps = 3.0
         mask = speed_violations(urban_trajectory, speed_eps)
-        result = TDSP(60.0, speed_eps).compress(urban_trajectory)
+        result = TDSP(max_dist_error=60.0, max_speed_error=speed_eps).compress(urban_trajectory)
         violating = set(np.nonzero(mask)[0].tolist())
         assert violating <= set(result.indices.tolist())
 
     def test_large_speed_threshold_degenerates_to_td_tr(self, urban_trajectory):
-        sp = TDSP(50.0, 1000.0).compress(urban_trajectory)
-        tr = TDTR(50.0).compress(urban_trajectory)
+        sp = TDSP(max_dist_error=50.0, max_speed_error=1000.0).compress(urban_trajectory)
+        tr = TDTR(epsilon=50.0).compress(urban_trajectory)
         np.testing.assert_array_equal(sp.indices, tr.indices)
 
     def test_sed_bound_still_holds(self, urban_trajectory):
-        approx = TDSP(40.0, 5.0).compress(urban_trajectory).compressed
+        approx = TDSP(max_dist_error=40.0, max_speed_error=5.0).compress(urban_trajectory).compressed
         assert max_synchronized_error(urban_trajectory, approx) <= 40.0 + 1e-9
 
     def test_batch_flag(self):
-        assert not TDSP(10.0, 5.0).online
+        assert not TDSP(max_dist_error=10.0, max_speed_error=5.0).online

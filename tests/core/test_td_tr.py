@@ -49,7 +49,7 @@ class TestTDTR:
         """TD-TR's core guarantee: continuous max synchronized error is
         bounded by the threshold."""
         for eps in (15.0, 40.0, 90.0):
-            approx = TDTR(eps).compress(urban_trajectory).compressed
+            approx = TDTR(epsilon=eps).compress(urban_trajectory).compressed
             assert max_synchronized_error(urban_trajectory, approx) <= eps + 1e-9
 
     def test_constant_velocity_collapses(self, straight_line):
@@ -57,26 +57,26 @@ class TestTDTR:
         np.testing.assert_array_equal(result.indices, [0, len(straight_line) - 1])
 
     def test_engines_agree(self, urban_trajectory):
-        iterative = TDTR(40.0, engine="iterative").compress(urban_trajectory)
-        recursive = TDTR(40.0, engine="recursive").compress(urban_trajectory)
+        iterative = TDTR(epsilon=40.0, engine="iterative").compress(urban_trajectory)
+        recursive = TDTR(epsilon=40.0, engine="recursive").compress(urban_trajectory)
         np.testing.assert_array_equal(iterative.indices, recursive.indices)
 
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
-            TDTR(10.0, engine="quantum")
+            TDTR(epsilon=10.0, engine="quantum")
 
     @settings(max_examples=40, deadline=None)
     @given(trajectories(min_points=3, max_points=30))
     def test_property_sed_bound(self, traj):
         eps = 25.0
-        approx = TDTR(eps).compress(traj).compressed
+        approx = TDTR(epsilon=eps).compress(traj).compressed
         assert max_synchronized_error(traj, approx) <= eps + 1e-6
 
     @settings(max_examples=30, deadline=None)
     @given(trajectories(min_points=3, max_points=30))
     def test_property_mean_error_bounded_by_threshold(self, traj):
         eps = 25.0
-        approx = TDTR(eps).compress(traj).compressed
+        approx = TDTR(epsilon=eps).compress(traj).compressed
         assert mean_synchronized_error(traj, approx) <= eps + 1e-6
 
     def test_better_sync_error_than_ndp_at_same_threshold(self, small_dataset):
@@ -84,14 +84,14 @@ class TestTDTR:
         eps = 50.0
         tdtr_err = np.mean(
             [
-                mean_synchronized_error(t, TDTR(eps).compress(t).compressed)
+                mean_synchronized_error(t, TDTR(epsilon=eps).compress(t).compressed)
                 for t in small_dataset
             ]
         )
         ndp_err = np.mean(
             [
                 mean_synchronized_error(
-                    t, DouglasPeucker(eps).compress(t).compressed
+                    t, DouglasPeucker(epsilon=eps).compress(t).compressed
                 )
                 for t in small_dataset
             ]

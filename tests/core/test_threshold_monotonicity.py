@@ -32,8 +32,8 @@ class TestTopDownNesting:
         st.floats(1.01, 4.0),
     )
     def test_ndp_nesting(self, traj, eps, factor):
-        small = DouglasPeucker(eps).compress(traj).indices
-        large = DouglasPeucker(eps * factor).compress(traj).indices
+        small = DouglasPeucker(epsilon=eps).compress(traj).indices
+        large = DouglasPeucker(epsilon=eps * factor).compress(traj).indices
         assert _is_subset(large, small)
 
     @settings(max_examples=30, deadline=None)
@@ -43,8 +43,8 @@ class TestTopDownNesting:
         st.floats(1.01, 4.0),
     )
     def test_tdtr_nesting(self, traj, eps, factor):
-        small = TDTR(eps).compress(traj).indices
-        large = TDTR(eps * factor).compress(traj).indices
+        small = TDTR(epsilon=eps).compress(traj).indices
+        large = TDTR(epsilon=eps * factor).compress(traj).indices
         assert _is_subset(large, small)
 
     def test_nesting_over_the_paper_grid(self, urban_trajectory):
@@ -52,7 +52,7 @@ class TestTopDownNesting:
         form a chain."""
         previous: np.ndarray | None = None
         for eps in np.arange(30.0, 101.0, 5.0):
-            current = TDTR(float(eps)).compress(urban_trajectory).indices
+            current = TDTR(epsilon=float(eps)).compress(urban_trajectory).indices
             if previous is not None:
                 assert _is_subset(current, previous)
             previous = current
@@ -64,7 +64,7 @@ class TestTopDownNesting:
         nested_everywhere = True
         previous: np.ndarray | None = None
         for eps in np.arange(30.0, 101.0, 5.0):
-            current = NOPW(float(eps)).compress(urban_trajectory).indices
+            current = NOPW(epsilon=float(eps)).compress(urban_trajectory).indices
             if previous is not None and not _is_subset(current, previous):
                 nested_everywhere = False
             previous = current
@@ -79,7 +79,7 @@ class TestBudgetNesting:
 
         previous: np.ndarray | None = None
         for budget in (2, 4, 8, 16, 32):
-            current = TDTRBudget(budget).compress(urban_trajectory).indices
+            current = TDTRBudget(budget=budget).compress(urban_trajectory).indices
             if previous is not None:
                 assert _is_subset(previous, current)
             previous = current

@@ -39,7 +39,7 @@ class TestDistanceThreshold:
 
     def test_spacing_between_kept_points(self, urban_trajectory):
         eps = 120.0
-        idx = DistanceThreshold(eps).compress(urban_trajectory).indices
+        idx = DistanceThreshold(epsilon=eps).compress(urban_trajectory).indices
         xy = urban_trajectory.xy[idx]
         # All gaps except possibly the final one respect the spacing.
         gaps = np.hypot(*(np.diff(xy, axis=0)).T)
@@ -47,9 +47,9 @@ class TestDistanceThreshold:
 
     def test_stationary_object_collapses(self):
         traj = Trajectory.from_points([(i, 0.0, 0.0) for i in range(10)])
-        result = DistanceThreshold(1.0).compress(traj)
+        result = DistanceThreshold(epsilon=1.0).compress(traj)
         np.testing.assert_array_equal(result.indices, [0, 9])
 
     def test_is_online(self):
-        assert DistanceThreshold(1.0).online
-        assert EveryIth(2).online
+        assert DistanceThreshold(epsilon=1.0).online
+        assert EveryIth(step=2).online

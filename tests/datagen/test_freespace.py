@@ -111,7 +111,7 @@ class TestCompressionAcrossNatures:
             generate_migration_trajectory(seed=11, duration_s=2 * 3600.0),
         ]
         for traj in natures:
-            for algo in (TDTR(25.0), OPWSP(25.0, 5.0)):
+            for algo in (TDTR(epsilon=25.0), OPWSP(max_dist_error=25.0, max_speed_error=5.0)):
                 result = algo.compress(traj)
                 assert result.indices[0] == 0
                 assert result.indices[-1] == len(traj) - 1

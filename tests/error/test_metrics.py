@@ -53,7 +53,7 @@ class TestMeanSpeedError:
 
 class TestEvaluateCompression:
     def test_report_fields_consistent(self, urban_trajectory):
-        result = TDTR(40.0).compress(urban_trajectory)
+        result = TDTR(epsilon=40.0).compress(urban_trajectory)
         report = evaluate_compression(urban_trajectory, result.compressed)
         assert report.n_original == len(urban_trajectory)
         assert report.n_kept == result.n_kept
@@ -74,3 +74,55 @@ class TestEvaluateCompression:
         assert report.mean_sync_error_m == pytest.approx(0.0, abs=1e-9)
         assert report.max_perp_error_m == pytest.approx(0.0, abs=1e-9)
         assert report.mean_speed_error_ms == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReportSerialization:
+    @pytest.fixture
+    def report(self, zigzag):
+        return evaluate_compression(TDTR(epsilon=30.0).compress(zigzag))
+
+    def test_to_dict_has_fields_and_derived(self, report):
+        data = report.to_dict()
+        assert data["n_original"] == report.n_original
+        assert data["mean_sync_error_m"] == report.mean_sync_error_m
+        assert data["compression_percent"] == pytest.approx(
+            report.compression_percent
+        )
+        assert data["compression_ratio"] == pytest.approx(
+            report.compression_ratio
+        )
+
+    def test_round_trip(self, report):
+        from repro.error.metrics import CompressionReport
+
+        clone = CompressionReport.from_dict(report.to_dict())
+        assert clone == report
+
+    def test_from_dict_ignores_extras(self, report):
+        from repro.error.metrics import CompressionReport
+
+        data = report.to_dict()
+        data["something_else"] = 1
+        assert CompressionReport.from_dict(data) == report
+
+    def test_from_dict_missing_field(self, report):
+        from repro.error.metrics import CompressionReport
+
+        data = report.to_dict()
+        del data["max_sync_error_m"]
+        with pytest.raises(ValueError, match="missing.*max_sync_error_m"):
+            CompressionReport.from_dict(data)
+
+
+class TestEvaluateCompressionInputs:
+    def test_accepts_result_pair_and_tuple(self, zigzag):
+        result = TDTR(epsilon=30.0).compress(zigzag)
+        from_pair = evaluate_compression(zigzag, result.compressed)
+        from_result = evaluate_compression(result)
+        from_tuple = evaluate_compression((zigzag, result.compressed))
+        assert from_result == from_pair
+        assert from_tuple == from_pair
+
+    def test_rejects_bare_trajectory(self, zigzag):
+        with pytest.raises(TypeError, match="CompressionResult"):
+            evaluate_compression(zigzag)

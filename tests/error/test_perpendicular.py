@@ -58,7 +58,7 @@ class TestAggregates:
 
     def test_ndp_threshold_bounds_max_line_error(self, urban_trajectory):
         for eps in (20.0, 50.0, 80.0):
-            approx = DouglasPeucker(eps).compress(urban_trajectory).compressed
+            approx = DouglasPeucker(epsilon=eps).compress(urban_trajectory).compressed
             assert (
                 max_perpendicular_error(urban_trajectory, approx, to_segment=False)
                 <= eps + 1e-9

@@ -15,7 +15,7 @@ from repro.trajectory import Trajectory
 class TestDetailedReport:
     @pytest.fixture
     def report_pair(self, urban_trajectory):
-        approx = TDTR(40.0).compress(urban_trajectory).compressed
+        approx = TDTR(epsilon=40.0).compress(urban_trajectory).compressed
         return urban_trajectory, approx, detailed_report(urban_trajectory, approx)
 
     def test_counts(self, report_pair):

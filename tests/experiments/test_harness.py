@@ -10,7 +10,7 @@ from repro.experiments import aggregate, run_single, run_sweep
 
 class TestRunSingle:
     def test_record_fields(self, urban_trajectory):
-        record = run_single(TDTR(40.0), urban_trajectory, 40.0)
+        record = run_single(TDTR(epsilon=40.0), urban_trajectory, 40.0)
         assert record.algorithm == "td-tr"
         assert record.threshold_m == 40.0
         assert record.trajectory_id == urban_trajectory.object_id
@@ -22,12 +22,12 @@ class TestRunSingle:
 
 class TestRunSweep:
     def test_grid_size(self, small_dataset):
-        records = run_sweep(lambda eps: TDTR(eps), [20.0, 40.0], small_dataset)
+        records = run_sweep(lambda eps: TDTR(epsilon=eps), [20.0, 40.0], small_dataset)
         assert len(records) == 2 * len(small_dataset)
         assert {r.threshold_m for r in records} == {20.0, 40.0}
 
     def test_every_trajectory_present(self, small_dataset):
-        records = run_sweep(lambda eps: TDTR(eps), [30.0], small_dataset)
+        records = run_sweep(lambda eps: TDTR(epsilon=eps), [30.0], small_dataset)
         assert {r.trajectory_id for r in records} == {
             t.object_id for t in small_dataset
         }
@@ -35,7 +35,7 @@ class TestRunSweep:
 
 class TestAggregate:
     def test_averages_over_trajectories(self, small_dataset):
-        records = run_sweep(lambda eps: TDTR(eps), [20.0, 40.0], small_dataset)
+        records = run_sweep(lambda eps: TDTR(epsilon=eps), [20.0, 40.0], small_dataset)
         rows = aggregate(records)
         assert len(rows) == 2
         for row in rows:
@@ -49,7 +49,7 @@ class TestAggregate:
             assert row.compression_percent == pytest.approx(expected)
 
     def test_rows_sorted(self, small_dataset):
-        records = run_sweep(lambda eps: TDTR(eps), [40.0, 20.0, 30.0], small_dataset)
+        records = run_sweep(lambda eps: TDTR(epsilon=eps), [40.0, 20.0, 30.0], small_dataset)
         rows = aggregate(records)
         assert [r.threshold_m for r in rows] == [20.0, 30.0, 40.0]
 

@@ -82,8 +82,8 @@ class TestBootstrapCi:
 class TestCompareAlgorithms:
     def test_real_sweep_comparison(self, small_dataset):
         thresholds = [30.0, 60.0]
-        opwtr = run_sweep(lambda e: OPWTR(e), thresholds, small_dataset)
-        nopw = run_sweep(lambda e: NOPW(e), thresholds, small_dataset)
+        opwtr = run_sweep(lambda e: OPWTR(epsilon=e), thresholds, small_dataset)
+        nopw = run_sweep(lambda e: NOPW(epsilon=e), thresholds, small_dataset)
         comparison = compare_algorithms(opwtr, nopw)
         assert comparison.n_pairs == len(small_dataset) * len(thresholds)
         assert comparison.mean_difference < 0  # OPW-TR errs less
@@ -93,7 +93,7 @@ class TestCompareAlgorithms:
         assert "opw-tr vs nopw" in comparison.summary()
 
     def test_self_comparison_inconclusive(self, small_dataset):
-        sweep = run_sweep(lambda e: OPWTR(e), [40.0], small_dataset)
+        sweep = run_sweep(lambda e: OPWTR(epsilon=e), [40.0], small_dataset)
         comparison = compare_algorithms(sweep, sweep)
         assert comparison.mean_difference == 0.0
         assert not comparison.conclusive

@@ -1,0 +1,224 @@
+"""Tests for the batch compression engine and fleet normalization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OPWTR, TDTR, Compressor
+from repro.exceptions import PipelineError
+from repro.pipeline.engine import BatchEngine, iter_fleet, load_fleet
+from repro.pipeline.metrics import Metrics
+from repro.trajectory import Trajectory
+from repro.trajectory.io import write_csv
+
+
+class ExplodingCompressor(Compressor):
+    """Module-level (hence picklable) compressor failing on marked ids."""
+
+    name = "exploding"
+
+    def __init__(self, *, fail_ids=()):
+        self.fail_ids = frozenset(fail_ids)
+
+    def select_indices(self, traj):
+        if traj.object_id in self.fail_ids:
+            raise RuntimeError(f"injected failure for {traj.object_id}")
+        return np.array([0, len(traj) - 1])
+
+
+def _random_walk_fleet(n=50, points=120, seed=7) -> list[Trajectory]:
+    rng = np.random.default_rng(seed)
+    fleet = []
+    for i in range(n):
+        t = np.arange(points, dtype=float) * 10.0
+        xy = np.cumsum(rng.normal(0.0, 25.0, size=(points, 2)), axis=0)
+        fleet.append(Trajectory(t, xy, object_id=f"walk-{i:02d}"))
+    return fleet
+
+
+@pytest.fixture(scope="module")
+def fleet() -> list[Trajectory]:
+    return _random_walk_fleet()
+
+
+class TestIterFleet:
+    def test_list_of_trajectories(self, fleet):
+        items = list(iter_fleet(fleet[:3]))
+        assert [item_id for item_id, _ in items] == [
+            "walk-00", "walk-01", "walk-02",
+        ]
+
+    def test_anonymous_items_get_index_ids(self):
+        traj = Trajectory(np.array([0.0, 1.0]), np.zeros((2, 2)))
+        (item,) = list(iter_fleet([traj]))
+        assert item[0] == "item-00000"
+
+    def test_directory_sorted_by_filename(self, tmp_path, fleet):
+        for traj in (fleet[2], fleet[0], fleet[1]):
+            write_csv(traj, tmp_path / f"{traj.object_id}.csv")
+        (tmp_path / "notes.txt").write_text("ignored")
+        items = list(iter_fleet(tmp_path))
+        assert [item_id for item_id, _ in items] == [
+            "walk-00", "walk-01", "walk-02",
+        ]
+
+    def test_id_payload_pairs(self, fleet):
+        items = list(iter_fleet([("mine", fleet[0])]))
+        assert items == [("mine", fleet[0])]
+
+    def test_bare_trajectory_rejected(self, fleet):
+        with pytest.raises(PipelineError, match="not a fleet"):
+            list(iter_fleet(fleet[0]))
+
+    def test_unsupported_entry_rejected(self):
+        with pytest.raises(PipelineError, match="fleet entry 0"):
+            list(iter_fleet([42]))
+
+
+class TestBatchEngine:
+    def test_spec_string_engine_runs(self, fleet):
+        run = BatchEngine("td-tr:epsilon=30").run(fleet[:5])
+        assert run.n_items == 5
+        assert not run.failures
+        for item in run.results:
+            assert item.indices[0] == 0
+            assert item.indices[-1] == item.n_original - 1
+            assert item.mean_sync_error_m is not None
+
+    def test_parallel_matches_serial_exactly(self, fleet):
+        """Acceptance: workers=4 selects byte-identical retained indices."""
+        serial = BatchEngine("td-tr:epsilon=30").run(fleet)
+        parallel = BatchEngine("td-tr:epsilon=30", workers=4).run(fleet)
+        assert [r.item_id for r in serial.results] == [
+            r.item_id for r in parallel.results
+        ]
+        for left, right in zip(serial.results, parallel.results):
+            assert np.array_equal(left.indices, right.indices)
+
+    def test_parallel_works_with_compressor_instance(self, fleet):
+        serial = BatchEngine(OPWTR(epsilon=40.0)).run(fleet[:10])
+        parallel = BatchEngine(OPWTR(epsilon=40.0), workers=3).run(fleet[:10])
+        for left, right in zip(serial.results, parallel.results):
+            assert np.array_equal(left.indices, right.indices)
+
+    def test_invalid_spec_fails_at_construction(self):
+        with pytest.raises(KeyError, match="available"):
+            BatchEngine("no-such-algo:epsilon=1")
+        with pytest.raises(TypeError):
+            BatchEngine("td-tr:bogus=1")
+        with pytest.raises(PipelineError, match="compressor must be"):
+            BatchEngine(42)
+
+    def test_invalid_evaluate_mode_rejected(self):
+        with pytest.raises(PipelineError, match="evaluate"):
+            BatchEngine("td-tr:epsilon=30", evaluate="sometimes")
+
+    def test_evaluate_modes(self, fleet):
+        none = BatchEngine("td-tr:epsilon=30", evaluate="none").run(fleet[:2])
+        assert all(r.mean_sync_error_m is None for r in none.results)
+        assert all(r.report is None for r in none.results)
+        full = BatchEngine("td-tr:epsilon=30", evaluate="full").run(fleet[:2])
+        for item in full.results:
+            assert item.report is not None
+            assert item.report.n_original == item.n_original
+
+    def test_raise_policy_aborts_with_original_error(self, fleet):
+        engine = BatchEngine(ExplodingCompressor(fail_ids=["walk-03"]))
+        with pytest.raises(RuntimeError, match="injected failure for walk-03"):
+            engine.run(fleet[:6])
+
+    def test_skip_policy_isolates_one_bad_item(self, fleet, tmp_path):
+        """Acceptance: a fleet with one corrupt member completes under
+        on_error="skip" with exactly one ItemFailure in the metrics JSON."""
+        engine = BatchEngine(
+            ExplodingCompressor(fail_ids=["walk-03"]), on_error="skip"
+        )
+        run = engine.run(fleet[:6])
+        assert len(run.results) == 5
+        (failure,) = run.failures
+        assert failure.item_id == "walk-03"
+        assert failure.error_type == "RuntimeError"
+
+        out = tmp_path / "metrics.json"
+        run.write_metrics_json(out)
+        data = json.loads(out.read_text())
+        assert data["run"]["n_failed"] == 1
+        assert len(data["failures"]) == 1
+        assert data["failures"][0]["item_id"] == "walk-03"
+        assert data["metrics"]["counters"]["items_failed"] == 1
+
+    def test_retry_policy_counts_attempts(self, fleet):
+        engine = BatchEngine(
+            ExplodingCompressor(fail_ids=["walk-01"]), on_error="retry(2)"
+        )
+        run = engine.run(fleet[:3])
+        (failure,) = run.failures
+        assert failure.attempts == 3
+        assert all(item.attempts == 1 for item in run.results)
+        assert run.metrics.counter("attempts").value == 2 + 3
+
+    def test_metrics_aggregation_totals(self, fleet):
+        run = BatchEngine("td-tr:epsilon=30").run(fleet[:8])
+        data = run.metrics_dict()
+        assert data["run"]["points_in"] == sum(len(t) for t in fleet[:8])
+        assert data["run"]["points_in"] == data["metrics"]["counters"]["points_in"]
+        assert data["run"]["points_kept"] == sum(r.n_kept for r in run.results)
+        assert data["metrics"]["counters"]["items_ok"] == 8
+        assert data["metrics"]["histograms"]["points_in"]["count"] == 8
+        assert data["metrics"]["timers"]["compress_s"]["count"] == 8
+        json.dumps(data)  # the whole document must be JSON-serializable
+
+    def test_external_metrics_registry_accumulates_across_runs(self, fleet):
+        metrics = Metrics()
+        engine = BatchEngine("td-tr:epsilon=30")
+        engine.run(fleet[:2], metrics=metrics)
+        engine.run(fleet[2:4], metrics=metrics)
+        assert metrics.counter("items_ok").value == 4
+
+    def test_directory_fleet_with_corrupt_file(self, tmp_path, fleet):
+        for traj in fleet[:3]:
+            write_csv(traj, tmp_path / f"{traj.object_id}.csv")
+        (tmp_path / "corrupt.csv").write_text("t,x,y\nnot,a,number\n")
+        run = BatchEngine("td-tr:epsilon=30", on_error="skip").run(tmp_path)
+        assert len(run.results) == 3
+        (failure,) = run.failures
+        assert failure.item_id == "corrupt"
+
+    def test_store_source(self, fleet):
+        from repro.storage import TrajectoryStore
+
+        store = TrajectoryStore()
+        for traj in fleet[:4]:
+            store.insert(traj)
+        run = BatchEngine("td-tr:epsilon=30").run(store)
+        assert sorted(r.item_id for r in run.results) == [
+            t.object_id for t in fleet[:4]
+        ]
+
+    def test_summary_mentions_compressor_and_counts(self, fleet):
+        run = BatchEngine("td-tr:epsilon=30").run(fleet[:4])
+        text = run.summary()
+        assert "td-tr" in text
+        assert "4/4 items ok" in text
+
+    def test_compressor_name_property(self):
+        assert BatchEngine("td-tr:epsilon=30").compressor_name == "td-tr"
+        assert BatchEngine(TDTR(epsilon=30.0)).compressor_name == "td-tr"
+
+
+class TestLoadFleet:
+    def test_loads_directory_and_skips_corrupt(self, tmp_path, fleet):
+        for traj in fleet[:3]:
+            write_csv(traj, tmp_path / f"{traj.object_id}.csv")
+        (tmp_path / "bad.csv").write_text("garbage")
+        loaded, failures = load_fleet(tmp_path, on_error="skip")
+        assert [t.object_id for t in loaded] == ["walk-00", "walk-01", "walk-02"]
+        assert [f.item_id for f in failures] == ["bad"]
+
+    def test_raise_policy_propagates(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("garbage")
+        with pytest.raises(Exception):
+            load_fleet(tmp_path, on_error="raise")

@@ -1,0 +1,161 @@
+"""Tests for the fault-isolated serial/parallel executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.pipeline.executor import (
+    FailurePolicy,
+    ItemFailure,
+    ItemSuccess,
+    execute,
+    summarize_traceback,
+)
+
+
+def _square(x):
+    """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+def _fail_on_odd(x):
+    """Module-level task that rejects odd payloads."""
+    if x % 2:
+        raise ValueError(f"odd payload {x}")
+    return x
+
+
+class _FlakyOnce:
+    """Serial-only helper: fails each payload's first attempt."""
+
+    def __init__(self):
+        self.seen = set()
+
+    def __call__(self, x):
+        if x not in self.seen:
+            self.seen.add(x)
+            raise RuntimeError(f"transient {x}")
+        return x
+
+
+class TestFailurePolicy:
+    @pytest.mark.parametrize(
+        ("text", "mode", "retries"),
+        [
+            ("raise", "raise", 0),
+            ("skip", "skip", 0),
+            ("retry", "retry", 1),
+            ("retry(3)", "retry", 3),
+            ("retry:2", "retry", 2),
+            ("  SKIP ", "skip", 0),
+        ],
+    )
+    def test_parse_valid(self, text, mode, retries):
+        policy = FailurePolicy.parse(text)
+        assert (policy.mode, policy.retries) == (mode, retries)
+
+    def test_parse_passes_policies_through(self):
+        policy = FailurePolicy("retry", 2)
+        assert FailurePolicy.parse(policy) is policy
+
+    @pytest.mark.parametrize("text", ["explode", "retry(-1)", "retry()", ""])
+    def test_parse_invalid(self, text):
+        with pytest.raises(PipelineError, match="unknown failure policy"):
+            FailurePolicy.parse(text)
+
+    def test_unknown_mode_rejected_at_construction(self):
+        with pytest.raises(PipelineError, match="unknown failure mode"):
+            FailurePolicy("explode")
+
+    def test_attempts(self):
+        assert FailurePolicy("raise").attempts == 1
+        assert FailurePolicy("skip").attempts == 1
+        assert FailurePolicy("retry", 2).attempts == 3
+
+    def test_str_round_trips(self):
+        for text in ("raise", "skip", "retry(2)"):
+            assert str(FailurePolicy.parse(text)) == text
+
+
+class TestExecute:
+    def test_serial_results_in_input_order(self):
+        items = [(f"id-{i}", i) for i in range(7)]
+        outcomes = execute(_square, items, workers=0)
+        assert all(isinstance(o, ItemSuccess) for o in outcomes)
+        assert [o.value for o in outcomes] == [i * i for i in range(7)]
+        assert [o.item_id for o in outcomes] == [f"id-{i}" for i in range(7)]
+
+    def test_parallel_matches_serial_and_preserves_order(self):
+        items = [(f"id-{i}", i) for i in range(23)]
+        serial = execute(_square, items, workers=0)
+        parallel = execute(_square, items, workers=3, chunk_size=4)
+        assert [o.value for o in parallel] == [o.value for o in serial]
+        assert [o.index for o in parallel] == list(range(23))
+
+    def test_raise_policy_propagates_original_exception(self):
+        items = [("a", 2), ("b", 3), ("c", 4)]
+        with pytest.raises(ValueError, match="odd payload 3"):
+            execute(_fail_on_odd, items, policy="raise")
+
+    def test_raise_policy_propagates_from_workers(self):
+        items = [("a", 2), ("b", 3), ("c", 4)]
+        with pytest.raises(ValueError, match="odd payload 3"):
+            execute(_fail_on_odd, items, workers=2, policy="raise")
+
+    def test_skip_policy_records_structured_failures(self):
+        items = [(f"id-{i}", i) for i in range(6)]
+        outcomes = execute(_fail_on_odd, items, policy="skip")
+        failures = [o for o in outcomes if not o.ok]
+        assert len(failures) == 3
+        failure = failures[0]
+        assert isinstance(failure, ItemFailure)
+        assert failure.item_id == "id-1"
+        assert failure.error_type == "ValueError"
+        assert "odd payload 1" in failure.message
+        assert "_fail_on_odd" in failure.traceback_summary
+        assert failure.attempts == 1
+        # successes keep their values and original positions
+        assert [o.value for o in outcomes if o.ok] == [0, 2, 4]
+
+    def test_skip_policy_in_parallel(self):
+        items = [(f"id-{i}", i) for i in range(10)]
+        outcomes = execute(_fail_on_odd, items, workers=2, policy="skip")
+        assert [o.ok for o in outcomes] == [i % 2 == 0 for i in range(10)]
+
+    def test_retry_policy_succeeds_on_second_attempt(self):
+        items = [("a", 1), ("b", 2)]
+        outcomes = execute(_FlakyOnce(), items, policy="retry(2)")
+        assert all(o.ok for o in outcomes)
+        assert [o.attempts for o in outcomes] == [2, 2]
+
+    def test_retry_policy_exhausts_then_records_failure(self):
+        outcomes = execute(_fail_on_odd, [("a", 1)], policy="retry(2)")
+        (failure,) = outcomes
+        assert not failure.ok
+        assert failure.attempts == 3
+
+    def test_failure_to_dict_is_json_ready(self):
+        (failure,) = execute(_fail_on_odd, [("a", 1)], policy="skip")
+        data = failure.to_dict()
+        assert data["item_id"] == "a"
+        assert data["error_type"] == "ValueError"
+        assert data["index"] == 0
+        assert data["attempts"] == 1
+
+    def test_empty_input(self):
+        assert execute(_square, []) == []
+
+
+class TestSummarizeTraceback:
+    def test_includes_type_message_and_frames(self):
+        try:
+            _fail_on_odd(7)
+        except ValueError as exc:
+            summary = summarize_traceback(exc)
+        assert summary.startswith("ValueError: odd payload 7")
+        assert "_fail_on_odd" in summary
+
+    def test_exception_without_traceback(self):
+        summary = summarize_traceback(RuntimeError("bare"))
+        assert summary == "RuntimeError: bare"

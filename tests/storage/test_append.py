@@ -20,7 +20,7 @@ def leg(t0: float, x0: float, n: int = 10, v: float = 10.0) -> Trajectory:
 
 class TestAppend:
     def test_extends_interval_and_counts(self):
-        store = TrajectoryStore(compressor=TDTR(20.0))
+        store = TrajectoryStore(compressor=TDTR(epsilon=20.0))
         morning = leg(0.0, 0.0)
         evening = leg(10_000.0, 2_000.0)
         store.insert(morning)
@@ -30,7 +30,7 @@ class TestAppend:
         assert record.n_raw_points == len(morning) + len(evening)
 
     def test_prefix_points_untouched(self):
-        store = TrajectoryStore(compressor=TDTR(20.0))
+        store = TrajectoryStore(compressor=TDTR(epsilon=20.0))
         store.insert(leg(0.0, 0.0))
         before = store.get("commuter")
         store.append("commuter", leg(10_000.0, 2_000.0))
@@ -65,9 +65,9 @@ class TestAppend:
             TrajectoryStore().append("ghost", leg(0.0, 0.0))
 
     def test_bound_widened_to_worst_leg(self):
-        store = TrajectoryStore(compressor=TDTR(20.0))
+        store = TrajectoryStore(compressor=TDTR(epsilon=20.0))
         store.insert(leg(0.0, 0.0))
-        record = store.append("commuter", leg(10_000.0, 2_000.0), compressor=TDTR(60.0))
+        record = store.append("commuter", leg(10_000.0, 2_000.0), compressor=TDTR(epsilon=60.0))
         assert record.sync_error_bound_m == pytest.approx(60.0, abs=0.1)
 
     def test_bound_none_is_sticky(self):
@@ -77,7 +77,7 @@ class TestAppend:
         assert record.sync_error_bound_m is None
 
     def test_survives_save_load(self, tmp_path):
-        store = TrajectoryStore(compressor=TDTR(20.0))
+        store = TrajectoryStore(compressor=TDTR(epsilon=20.0))
         store.insert(leg(0.0, 0.0))
         store.append("commuter", leg(10_000.0, 2_000.0))
         path = tmp_path / "appended.store"

@@ -27,7 +27,7 @@ def corridor() -> Trajectory:
 
 class TestRecordedBounds:
     def test_guaranteed_compressors_record_bound(self, corridor):
-        store = TrajectoryStore(compressor=TDTR(25.0))
+        store = TrajectoryStore(compressor=TDTR(epsilon=25.0))
         record = store.insert(corridor)
         assert record.sync_error_bound_m == pytest.approx(25.0, abs=0.1)
 
@@ -37,7 +37,7 @@ class TestRecordedBounds:
         assert record.sync_error_bound_m == pytest.approx(0.00707, abs=1e-3)
 
     def test_unguaranteed_compressor_records_none(self, corridor):
-        store = TrajectoryStore(compressor=DouglasPeucker(25.0))
+        store = TrajectoryStore(compressor=DouglasPeucker(epsilon=25.0))
         record = store.insert(corridor)
         assert record.sync_error_bound_m is None
 
@@ -53,7 +53,7 @@ class TestRecordedBounds:
 
     def test_bound_is_sound(self, urban_trajectory):
         """The recorded bound really does bound the stored-vs-raw error."""
-        store = TrajectoryStore(compressor=OPWTR(30.0))
+        store = TrajectoryStore(compressor=OPWTR(epsilon=30.0))
         record = store.insert(urban_trajectory)
         stored = store.get(urban_trajectory.object_id)
         actual = max_synchronized_error(urban_trajectory, stored)
@@ -79,7 +79,7 @@ class TestRecordedBounds:
         assert ingestor.finish("runner").sync_error_bound_m is None
 
     def test_bound_survives_save_load(self, corridor, tmp_path):
-        store = TrajectoryStore(compressor=TDTR(25.0))
+        store = TrajectoryStore(compressor=TDTR(epsilon=25.0))
         store.insert(corridor)
         store.insert(corridor.with_object_id("unbounded"), sync_error_bound_m=None)
         path = tmp_path / "bounds.store"

@@ -31,7 +31,7 @@ class TestStreamIngestor:
         records = ingestor.finish_all()
         assert len(records) == len(small_dataset)
         for traj in small_dataset:
-            batch = OPWTR(30.0).compress(traj)
+            batch = OPWTR(epsilon=30.0).compress(traj)
             stored = store.get(traj.object_id)
             np.testing.assert_allclose(
                 stored.t, traj.t[batch.indices], atol=1e-3

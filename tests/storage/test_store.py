@@ -45,7 +45,7 @@ class TestIngest:
 
     def test_per_insert_compressor_override(self, small_dataset):
         store = TrajectoryStore(compressor=None)
-        record = store.insert(small_dataset[0], compressor=TDTR(50.0))
+        record = store.insert(small_dataset[0], compressor=TDTR(epsilon=50.0))
         assert record.n_stored_points < record.n_raw_points
 
     def test_remove(self, store, small_dataset):

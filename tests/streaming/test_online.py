@@ -27,10 +27,10 @@ class TestBatchEquivalence:
     @pytest.mark.parametrize(
         "batch,online_kwargs",
         [
-            (NOPW(35.0), dict(epsilon=35.0, criterion="perpendicular")),
-            (OPWTR(35.0), dict(epsilon=35.0, criterion="synchronized")),
+            (NOPW(epsilon=35.0), dict(epsilon=35.0, criterion="perpendicular")),
+            (OPWTR(epsilon=35.0), dict(epsilon=35.0, criterion="synchronized")),
             (
-                OPWSP(35.0, 4.0),
+                OPWSP(max_dist_error=35.0, max_speed_error=4.0),
                 dict(epsilon=35.0, criterion="synchronized", max_speed_error=4.0),
             ),
         ],
@@ -44,14 +44,14 @@ class TestBatchEquivalence:
     @settings(max_examples=25, deadline=None)
     @given(trajectories(min_points=2, max_points=30))
     def test_property_equivalence_opw_tr(self, traj):
-        batch_times = traj.t[OPWTR(20.0).compress(traj).indices]
+        batch_times = traj.t[OPWTR(epsilon=20.0).compress(traj).indices]
         emitted = drain(StreamingOPW(20.0, "synchronized"), traj)
         np.testing.assert_array_equal([f.t for f in emitted], batch_times)
 
     @settings(max_examples=25, deadline=None)
     @given(trajectories(min_points=2, max_points=30))
     def test_property_equivalence_opw_sp(self, traj):
-        batch_times = traj.t[OPWSP(20.0, 5.0).compress(traj).indices]
+        batch_times = traj.t[OPWSP(max_dist_error=20.0, max_speed_error=5.0).compress(traj).indices]
         streaming = StreamingOPW(20.0, "synchronized", max_speed_error=5.0)
         emitted = drain(streaming, traj)
         np.testing.assert_array_equal([f.t for f in emitted], batch_times)

@@ -235,3 +235,115 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
+
+
+class TestPipeline:
+    @pytest.fixture
+    def fleet_dir(self, tmp_path, zigzag, straight_line):
+        fleet = tmp_path / "fleet"
+        fleet.mkdir()
+        write_csv(zigzag, fleet / "zigzag.csv")
+        write_csv(straight_line, fleet / "straight.csv")
+        return fleet
+
+    def test_smoke(self, fleet_dir, capsys):
+        assert main(["pipeline", str(fleet_dir), "-s", "td-tr:epsilon=30"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline: td-tr" in out
+        assert "zigzag" in out and "straight" in out
+        assert "2/2 items ok" in out
+
+    def test_metrics_json_export(self, fleet_dir, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["pipeline", str(fleet_dir), "-s", "td-tr:epsilon=30",
+             "--metrics-json", str(metrics)]
+        )
+        assert code == 0
+        data = json.loads(metrics.read_text())
+        assert data["engine"]["compressor"] == "td-tr:epsilon=30"
+        assert data["run"]["n_ok"] == 2
+        assert data["run"]["n_failed"] == 0
+        assert data["metrics"]["counters"]["items_ok"] == 2
+        assert data["failures"] == []
+
+    def test_output_dir_writes_compressed_files(self, fleet_dir, tmp_path):
+        out_dir = tmp_path / "out"
+        code = main(
+            ["pipeline", str(fleet_dir), "-s", "td-tr:epsilon=30",
+             "-o", str(out_dir)]
+        )
+        assert code == 0
+        compressed = read_csv(out_dir / "straight.csv")
+        assert len(compressed) == 2  # a straight line compresses to its ends
+
+    def test_skip_policy_survives_corrupt_file(self, fleet_dir, tmp_path, capsys):
+        (fleet_dir / "corrupt.csv").write_text("t,x,y\nnot,a,number\n")
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["pipeline", str(fleet_dir), "--on-error", "skip",
+             "--metrics-json", str(metrics)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "failed: corrupt" in captured.err
+        data = json.loads(metrics.read_text())
+        assert data["run"]["n_failed"] == 1
+        assert [f["item_id"] for f in data["failures"]] == ["corrupt"]
+
+    def test_parallel_workers(self, fleet_dir, capsys):
+        assert main(["pipeline", str(fleet_dir), "-w", "2"]) == 0
+        assert "2/2 items ok" in capsys.readouterr().out
+
+    def test_invalid_spec_exits_2(self, fleet_dir, capsys):
+        assert main(["pipeline", str(fleet_dir), "-s", "td-tr:oops"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_2(self, fleet_dir, capsys):
+        assert main(["pipeline", str(fleet_dir), "-s", "nope:epsilon=1"]) == 2
+
+    def test_no_inputs(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["pipeline", str(empty)]) == 2
+        assert "no trajectory files" in capsys.readouterr().err
+
+
+class TestSpecStrings:
+    def test_compress_accepts_spec_algorithm(self, trip_csv, tmp_path):
+        out = tmp_path / "out.csv"
+        code = main(
+            ["compress", str(trip_csv), "-a", "td-tr:epsilon=40", "-o", str(out)]
+        )
+        assert code == 0
+        assert len(read_csv(out)) >= 2
+
+    def test_report_accepts_spec_algorithm(self, trip_csv, capsys):
+        code = main(
+            ["report", str(trip_csv), "-a", "opw-sp:epsilon=30,speed=5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm: opw-sp" in out
+        assert "synchronized" in out
+
+    def test_malformed_spec_exits_2(self, trip_csv, capsys):
+        assert main(["compress", str(trip_csv), "-a", "td-tr:=30"]) == 2
+
+
+class TestFlowWorkers:
+    def test_flow_skips_corrupt_file(self, tmp_path, capsys, zigzag):
+        write_csv(zigzag, tmp_path / "good.csv")
+        (tmp_path / "bad.csv").write_text("garbage")
+        code = main(
+            ["flow", str(tmp_path), "--on-error", "skip", "--bin-seconds", "50"]
+        )
+        assert code == 0
+        assert "skipped bad" in capsys.readouterr().err
+
+    def test_table2_workers_match_serial(self, capsys):
+        assert main(["table2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table2", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -55,6 +55,7 @@ def test_package_count_matches_design():
         "error",
         "experiments",
         "geometry",
+        "pipeline",
         "storage",
         "streaming",
         "trajectory",

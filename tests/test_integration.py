@@ -75,7 +75,7 @@ class TestPipeline:
 
     def test_streamed_selection_matches_batch(self, scenario):
         for object_id, cleaned in scenario["clean"].items():
-            batch = OPWSP(EPSILON, SPEED_EPS).compress(cleaned)
+            batch = OPWSP(max_dist_error=EPSILON, max_speed_error=SPEED_EPS).compress(cleaned)
             stored = scenario["store"].get(object_id)
             np.testing.assert_allclose(
                 stored.t, cleaned.t[batch.indices], atol=1e-3
