@@ -48,6 +48,7 @@ from repro.experiments.reporting import (
     render_table,
     series_by_algorithm,
 )
+from repro.pipeline.checkpoint import read_manifest
 from repro.pipeline.engine import BatchEngine, load_fleet
 from repro.pipeline.executor import execute
 from repro.trajectory.stats import aggregate_trajectory_stats
@@ -310,12 +311,16 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     if not paths:
         raise ReproError("no trajectory files found")
     fleet, failures = load_fleet(
-        paths, workers=args.workers, on_error=args.on_error
+        paths,
+        workers=args.workers,
+        on_error=args.on_error,
+        on_malformed=args.on_malformed,
     )
     for failure in failures:
+        where = f" (moved to {failure.quarantined_to})" if failure.quarantined_to else ""
         print(
             f"warning: skipped {failure.item_id}: "
-            f"{failure.error_type}: {failure.message}",
+            f"{failure.error_type}: {failure.message}{where}",
             file=sys.stderr,
         )
     if not fleet:
@@ -387,14 +392,32 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     paths = _collect_input_files(args.inputs)
     if not paths:
         raise ReproError("no trajectory files found")
-    compressor = _build_spec(args.spec)  # validate the spec before any work
+    spec = args.spec
+    on_error = args.on_error
+    on_malformed = args.on_malformed
+    evaluate = "sync"
+    checkpoint = args.checkpoint
+    if args.resume:
+        if checkpoint and Path(checkpoint) != Path(args.resume):
+            raise ReproError("--resume already names the checkpoint directory; "
+                             "drop --checkpoint or make them match")
+        checkpoint = args.resume
+        # Resume under the *original* configuration, not re-typed flags:
+        # the manifest is the source of truth for what this run is.
+        manifest = read_manifest(args.resume)
+        spec = manifest.get("compressor", spec)
+        on_error = manifest.get("on_error", on_error)
+        on_malformed = manifest.get("on_malformed", on_malformed)
+        evaluate = manifest.get("evaluate", evaluate)
+    compressor = _build_spec(spec)  # validate the spec before any work
     engine = BatchEngine(
-        args.spec,
+        spec,
         workers=args.workers,
-        on_error=args.on_error,
-        evaluate="sync",
+        on_error=on_error,
+        evaluate=evaluate,
+        on_malformed=on_malformed,
     )
-    run = engine.run(paths)
+    run = engine.run(paths, checkpoint=checkpoint)
     rows = []
     for item in run.results:
         sync = (
@@ -420,12 +443,17 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         )
     )
     for failure in run.failures:
+        where = f" (quarantined to {failure.quarantined_to})" if failure.quarantined_to else ""
         print(
             f"failed: {failure.item_id} after {failure.attempts} attempt(s): "
-            f"{failure.error_type}: {failure.message}",
+            f"{failure.error_type}: {failure.message}{where}",
             file=sys.stderr,
         )
     print(run.summary())
+    if run.items_resumed:
+        print(f"resumed {run.items_resumed} already-completed item(s) from {checkpoint}")
+    if run.n_quarantined:
+        print(f"quarantined {run.n_quarantined} malformed input file(s)")
     if args.output_dir:
         out_dir = Path(args.output_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -554,6 +582,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for loading files (0 = inline)")
     p_flow.add_argument("--on-error", default="raise",
                         help="raise, skip, or retry(n) for unreadable files")
+    p_flow.add_argument(
+        "--on-malformed", default=None,
+        help="unparsable-file policy: raise, skip, or quarantine:<dir> "
+             "(default: follow --on-error)",
+    )
     p_flow.set_defaults(func=_cmd_flow)
 
     p_table2 = sub.add_parser("table2", help="regenerate the Table 2 comparison")
@@ -578,11 +611,26 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes (0 = inline serial)")
     p_pipeline.add_argument(
         "--on-error", default="raise",
-        help="failure policy: raise, skip, or retry(n)",
+        help="failure policy: raise, skip, retry(n), or retry(n,backoff=s)",
+    )
+    p_pipeline.add_argument(
+        "--on-malformed", default=None,
+        help="unparsable-input policy: raise, skip, or quarantine:<dir> "
+             "(default: follow --on-error)",
+    )
+    p_pipeline.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint directory: journal completed items so a killed "
+             "run can resume",
+    )
+    p_pipeline.add_argument(
+        "--resume", default=None,
+        help="resume a checkpointed run from this directory, restoring "
+             "its original configuration and skipping finished items",
     )
     p_pipeline.add_argument(
         "--metrics-json", default=None,
-        help="write the run's aggregated metrics JSON here",
+        help="write the run's aggregated metrics JSON here (atomically)",
     )
     p_pipeline.add_argument(
         "--output-dir", "-o", default=None,

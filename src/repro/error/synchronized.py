@@ -60,9 +60,20 @@ def segment_mean_distance(v0: np.ndarray, v1: np.ndarray) -> float:
     Args:
         v0: difference vector at the interval start, shape ``(2,)``.
         v1: difference vector at the interval end, shape ``(2,)``.
+
+    Raises:
+        TrajectoryError: a component of ``v0``/``v1`` is NaN or
+            infinite. The case analysis below would otherwise turn such
+            input into a quiet NaN (or a spurious finite value via the
+            clamps), poisoning every aggregate built on top.
     """
     v0 = np.asarray(v0, dtype=float)
     v1 = np.asarray(v1, dtype=float)
+    if not (np.all(np.isfinite(v0)) and np.all(np.isfinite(v1))):
+        raise TrajectoryError(
+            f"difference vectors must be finite, got v0={v0.tolist()}, "
+            f"v1={v1.tolist()}"
+        )
     w = v1 - v0
     a = float(w @ w)
     b = 2.0 * float(v0 @ w)

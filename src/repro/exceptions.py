@@ -17,9 +17,11 @@ __all__ = [
     "ThresholdError",
     "CompressorSpecError",
     "PipelineError",
+    "CheckpointError",
     "StorageError",
     "ObjectNotFoundError",
     "CodecError",
+    "CorruptRecordError",
     "StreamError",
     "DataGenError",
 ]
@@ -57,6 +59,10 @@ class PipelineError(ReproError):
     """The batch pipeline could not complete a run."""
 
 
+class CheckpointError(PipelineError):
+    """A run checkpoint is unusable: mismatched manifest or corrupt journal."""
+
+
 class StorageError(ReproError):
     """The trajectory store could not complete an operation."""
 
@@ -67,6 +73,10 @@ class ObjectNotFoundError(StorageError, KeyError):
 
 class CodecError(StorageError):
     """Encoded trajectory bytes are malformed or unsupported."""
+
+
+class CorruptRecordError(CodecError):
+    """A stored record failed its checksum: bytes were altered after write."""
 
 
 class StreamError(ReproError):

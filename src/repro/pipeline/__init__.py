@@ -11,6 +11,7 @@ the storage ingestor and the ``repro pipeline`` / ``flow`` / ``table2``
 CLI commands all run on this one code path.
 """
 
+from repro.pipeline.checkpoint import RunCheckpoint, read_manifest
 from repro.pipeline.engine import (
     BatchEngine,
     BatchRunResult,
@@ -22,6 +23,7 @@ from repro.pipeline.executor import (
     FailurePolicy,
     ItemFailure,
     ItemSuccess,
+    MalformedItemError,
     execute,
     summarize_traceback,
 )
@@ -43,10 +45,13 @@ __all__ = [
     "ItemFailure",
     "ItemResult",
     "ItemSuccess",
+    "MalformedItemError",
     "Metrics",
+    "RunCheckpoint",
     "Timer",
     "execute",
     "iter_fleet",
     "load_fleet",
+    "read_manifest",
     "summarize_traceback",
 ]

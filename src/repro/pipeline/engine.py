@@ -27,9 +27,9 @@ serial path.
 
 from __future__ import annotations
 
-import json
+import shutil
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -42,11 +42,14 @@ from repro.error.synchronized import (
     mean_synchronized_error,
 )
 from repro.error.metrics import CompressionReport, evaluate_compression
-from repro.exceptions import PipelineError
+from repro.exceptions import CheckpointError, PipelineError, ReproError
+from repro.io_util import parse_on_malformed, write_atomic_json
+from repro.pipeline.checkpoint import RunCheckpoint
 from repro.pipeline.executor import (
     FailurePolicy,
     ItemFailure,
     ItemSuccess,
+    MalformedItemError,
     execute,
 )
 from repro.pipeline.metrics import Metrics
@@ -67,19 +70,103 @@ _EVALUATE_MODES = ("none", "sync", "full")
 
 
 def _load_path(path: Path) -> Trajectory:
-    """Load one trajectory file by suffix (.csv/.json/.gpx)."""
+    """Load one trajectory file by suffix (.csv/.json/.gpx).
+
+    Any parse/IO failure is wrapped in
+    :class:`~repro.pipeline.executor.MalformedItemError` so the executor
+    can dispatch it on the malformed-input policy rather than the
+    general failure policy.
+    """
     from repro.trajectory import gpx as _gpx
     from repro.trajectory import io as _io
 
     suffix = path.suffix.lower()
-    if suffix == ".csv":
-        return _io.read_csv(path, object_id=path.stem)
-    if suffix == ".json":
-        return _io.read_json(path)
-    if suffix == ".gpx":
-        return _gpx.read_gpx(path)
-    raise PipelineError(
+    try:
+        if suffix == ".csv":
+            return _io.read_csv(path, object_id=path.stem)
+        if suffix == ".json":
+            return _io.read_json(path)
+        if suffix == ".gpx":
+            return _gpx.read_gpx(path)
+    except (ReproError, OSError, ValueError, SyntaxError) as exc:
+        # SyntaxError covers xml.etree's ParseError for corrupt GPX.
+        raise MalformedItemError(f"{path.name}: {exc}", exc) from exc
+    error = PipelineError(
         f"unsupported trajectory format {suffix!r} (use .csv/.json/.gpx)"
+    )
+    raise MalformedItemError(str(error), error)
+
+
+def _quarantine_file(path: Path, failure: ItemFailure, directory: Path) -> Path:
+    """Move a malformed input aside with a structured sidecar reason.
+
+    The file keeps its name (a numeric suffix is added on collision) and
+    gains a ``<name>.reason.json`` sibling recording what rejected it.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    dest = directory / path.name
+    counter = 1
+    while dest.exists():
+        dest = directory / f"{path.stem}.{counter}{path.suffix}"
+        counter += 1
+    shutil.move(str(path), str(dest))
+    write_atomic_json(
+        dest.with_name(dest.name + ".reason.json"),
+        {
+            "source": str(path),
+            "item_id": failure.item_id,
+            "error_type": failure.error_type,
+            "message": failure.message,
+            "traceback_summary": failure.traceback_summary,
+        },
+    )
+    return dest
+
+
+def _malformed_exec_mode(mode: "str | None") -> str:
+    """Map an engine-level malformed policy onto the executor's modes."""
+    if mode is None:
+        return "defer"
+    return "raise" if mode == "raise" else "isolate"
+
+
+def _outcome_entry(outcome: "ItemSuccess | ItemFailure") -> dict[str, Any]:
+    """One outcome as a JSON-ready checkpoint-journal entry."""
+    if isinstance(outcome, ItemSuccess):
+        sample = dict(outcome.value)
+        indices = sample.get("indices")
+        if indices is not None and not isinstance(indices, list):
+            sample["indices"] = [int(v) for v in indices]
+        return {
+            "ok": True,
+            "item_id": outcome.item_id,
+            "index": outcome.index,
+            "attempts": outcome.attempts,
+            "sample": sample,
+        }
+    return {"ok": False, **outcome.to_dict()}
+
+
+def _entry_outcome(entry: dict[str, Any]) -> "ItemResult | ItemFailure":
+    """Reconstruct a journalled outcome (inverse of :func:`_outcome_entry`)."""
+    if entry.get("ok"):
+        return BatchEngine._to_item_result(
+            ItemSuccess(
+                item_id=str(entry["item_id"]),
+                index=int(entry["index"]),
+                value=entry["sample"],
+                attempts=int(entry.get("attempts", 1)),
+            )
+        )
+    return ItemFailure(
+        item_id=str(entry["item_id"]),
+        index=int(entry["index"]),
+        error_type=str(entry.get("error_type", "Exception")),
+        message=str(entry.get("message", "")),
+        traceback_summary=str(entry.get("traceback_summary", "")),
+        attempts=int(entry.get("attempts", 1)),
+        malformed=bool(entry.get("malformed", False)),
+        quarantined_to=entry.get("quarantined_to"),
     )
 
 
@@ -241,6 +328,8 @@ class BatchRunResult:
     outcomes: list["ItemResult | ItemFailure"]
     metrics: Metrics
     elapsed_s: float
+    on_malformed: "str | None" = None
+    items_resumed: int = 0
 
     @property
     def results(self) -> list[ItemResult]:
@@ -251,6 +340,16 @@ class BatchRunResult:
     def failures(self) -> list[ItemFailure]:
         """The failed items, in input order."""
         return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def quarantined(self) -> list[ItemFailure]:
+        """Failures whose input file was moved to the quarantine dir."""
+        return [o for o in self.failures if o.quarantined_to is not None]
+
+    @property
+    def n_quarantined(self) -> int:
+        """How many inputs were quarantined this run."""
+        return len(self.quarantined)
 
     @property
     def n_items(self) -> int:
@@ -270,11 +369,14 @@ class BatchRunResult:
                 "compressor": self.compressor,
                 "workers": self.workers,
                 "on_error": self.on_error,
+                "on_malformed": self.on_malformed,
             },
             "run": {
                 "n_items": self.n_items,
                 "n_ok": len(results),
                 "n_failed": len(self.failures),
+                "n_quarantined": self.n_quarantined,
+                "items_resumed": self.items_resumed,
                 "elapsed_s": self.elapsed_s,
                 "points_in": sum(r.n_original for r in results),
                 "points_kept": sum(r.n_kept for r in results),
@@ -284,8 +386,12 @@ class BatchRunResult:
         }
 
     def write_metrics_json(self, path: "str | Path") -> None:
-        """Write :meth:`metrics_dict` to ``path`` as indented JSON."""
-        Path(path).write_text(json.dumps(self.metrics_dict(), indent=2) + "\n")
+        """Write :meth:`metrics_dict` to ``path`` as indented JSON.
+
+        The file is written atomically: a crash mid-export leaves the
+        previous report (or nothing), never a truncated JSON document.
+        """
+        write_atomic_json(Path(path), self.metrics_dict())
 
     def summary(self) -> str:
         """One-line human-readable run summary."""
@@ -311,18 +417,26 @@ class BatchEngine:
             process pool (results are identical either way).
         chunk_size: items per dispatched chunk (default: balanced
             against ``workers``).
-        on_error: ``"raise"`` (default), ``"skip"``, or ``"retry(n)"``
+        on_error: ``"raise"`` (default), ``"skip"``, ``"retry(n)"`` or
+            ``"retry(n,backoff=s)"``
             — see :class:`~repro.pipeline.executor.FailurePolicy`.
         evaluate: ``"sync"`` (default) samples the paper's synchronized
             error per item; ``"full"`` attaches a complete
             :class:`~repro.error.metrics.CompressionReport`; ``"none"``
             skips error evaluation for maximum throughput. Booleans are
             accepted (``True`` = ``"sync"``, ``False`` = ``"none"``).
+        on_malformed: what to do with an input *file* that cannot be
+            parsed: ``None`` (default) lets it follow ``on_error`` as
+            before; ``"raise"`` always aborts; ``"skip"`` records a
+            ``malformed`` failure and continues; ``"quarantine:<dir>"``
+            additionally moves the file into ``<dir>`` with a
+            ``.reason.json`` sidecar. Malformed inputs are never
+            retried.
 
     Example::
 
         engine = BatchEngine("td-tr:epsilon=30", workers=4, on_error="skip")
-        run = engine.run("fleet_dir/")
+        run = engine.run("fleet_dir/", checkpoint="ck/")
         print(run.summary())
         run.write_metrics_json("metrics.json")
     """
@@ -335,6 +449,7 @@ class BatchEngine:
         chunk_size: int | None = None,
         on_error: "FailurePolicy | str" = "raise",
         evaluate: "str | bool" = "sync",
+        on_malformed: "str | None" = None,
     ) -> None:
         if isinstance(compressor, str):
             compressor = parse_compressor_spec(compressor)
@@ -362,6 +477,17 @@ class BatchEngine:
                 f"evaluate must be one of {_EVALUATE_MODES}, got {evaluate!r}"
             )
         self.evaluate = evaluate
+        self.on_malformed = on_malformed
+        if on_malformed is None:
+            self._malformed_mode: str | None = None
+            self._quarantine_dir: Path | None = None
+        else:
+            try:
+                self._malformed_mode, self._quarantine_dir = parse_on_malformed(
+                    on_malformed
+                )
+            except ValueError as exc:
+                raise PipelineError(str(exc)) from exc
 
     @property
     def compressor_name(self) -> str:
@@ -371,13 +497,27 @@ class BatchEngine:
         assert self._compressor is not None
         return self._compressor.name
 
-    def run(self, source: Any, *, metrics: Metrics | None = None) -> BatchRunResult:
+    def run(
+        self,
+        source: Any,
+        *,
+        metrics: Metrics | None = None,
+        checkpoint: "str | Path | None" = None,
+    ) -> BatchRunResult:
         """Compress every item of ``source`` (see :func:`iter_fleet`).
 
         Args:
             source: the fleet — iterable, directory, file, or store.
             metrics: an existing registry to aggregate into (a fresh one
                 is created by default).
+            checkpoint: a directory making the run resumable. A fresh
+                directory records a manifest (compressor, policies, item
+                ids) and journals every completed item durably; pointing
+                a later run at the same directory skips the journalled
+                items and produces results identical to an uninterrupted
+                run. A checkpoint written by a *different* configuration
+                or input set raises
+                :class:`~repro.exceptions.CheckpointError`.
 
         Returns:
             A :class:`BatchRunResult` with input-ordered outcomes and
@@ -386,22 +526,71 @@ class BatchEngine:
         metrics = metrics if metrics is not None else Metrics()
         items = list(iter_fleet(source))
         task = _CompressTask(self._spec, self._compressor, self.evaluate)
+        ckpt: RunCheckpoint | None = None
+        completed: dict[int, dict[str, Any]] = {}
+        if checkpoint is not None:
+            ckpt = RunCheckpoint.open(checkpoint, self._manifest(items))
+            completed = ckpt.completed()
+            for index, entry in completed.items():
+                if index >= len(items) or items[index][0] != entry.get("item_id"):
+                    raise CheckpointError(
+                        f"{checkpoint}: journal entry for index {index} "
+                        f"({entry.get('item_id')!r}) does not match the "
+                        f"current input set"
+                    )
+        pending = [(i, items[i]) for i in range(len(items)) if i not in completed]
+        payload_by_index = {i: item[1] for i, item in pending}
+        quarantined: dict[int, str] = {}
+
+        def handle(outcome: "ItemSuccess | ItemFailure") -> None:
+            if (
+                not outcome.ok
+                and outcome.malformed
+                and self._quarantine_dir is not None
+            ):
+                payload = payload_by_index.get(outcome.index)
+                if isinstance(payload, (str, Path)):
+                    dest = _quarantine_file(
+                        Path(payload), outcome, self._quarantine_dir
+                    )
+                    quarantined[outcome.index] = str(dest)
+                    outcome = replace(outcome, quarantined_to=str(dest))
+            if ckpt is not None:
+                ckpt.record(_outcome_entry(outcome))
+
+        observe = ckpt is not None or self._quarantine_dir is not None
         started = time.perf_counter()
-        raw = execute(
-            task,
-            items,
-            workers=self.workers,
-            chunk_size=self.chunk_size,
-            policy=self.policy,
-        )
+        try:
+            raw = execute(
+                task,
+                [item for _, item in pending],
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                policy=self.policy,
+                malformed_mode=_malformed_exec_mode(self._malformed_mode),
+                indices=[i for i, _ in pending],
+                on_outcome=handle if observe else None,
+            )
+        finally:
+            if ckpt is not None:
+                ckpt.close()
         elapsed = time.perf_counter() - started
-        outcomes: list[ItemResult | ItemFailure] = []
+        merged: dict[int, ItemResult | ItemFailure] = {
+            index: _entry_outcome(entry) for index, entry in completed.items()
+        }
         for outcome in raw:
             if isinstance(outcome, ItemSuccess):
-                outcomes.append(self._to_item_result(outcome))
+                merged[outcome.index] = self._to_item_result(outcome)
+            elif outcome.index in quarantined:
+                merged[outcome.index] = replace(
+                    outcome, quarantined_to=quarantined[outcome.index]
+                )
             else:
-                outcomes.append(outcome)
+                merged[outcome.index] = outcome
+        outcomes = [merged[index] for index in sorted(merged)]
         self._sample_metrics(metrics, outcomes, elapsed)
+        if completed:
+            metrics.counter("items_resumed").inc(len(completed))
         return BatchRunResult(
             compressor=self.compressor_label,
             workers=self.workers,
@@ -409,7 +598,24 @@ class BatchEngine:
             outcomes=outcomes,
             metrics=metrics,
             elapsed_s=elapsed,
+            on_malformed=self.on_malformed,
+            items_resumed=len(completed),
         )
+
+    def _manifest(self, items: list[tuple[str, Any]]) -> dict[str, Any]:
+        """What identifies a run for checkpoint-resume compatibility.
+
+        Workers and chunking are deliberately absent: they change the
+        schedule, never the results, so a run may resume with different
+        parallelism.
+        """
+        return {
+            "compressor": self.compressor_label,
+            "on_error": str(self.policy),
+            "evaluate": self.evaluate,
+            "on_malformed": self.on_malformed,
+            "item_ids": [item_id for item_id, _ in items],
+        }
 
     @staticmethod
     def _to_item_result(outcome: ItemSuccess) -> ItemResult:
@@ -441,6 +647,8 @@ class BatchEngine:
             metrics.counter("attempts").inc(outcome.attempts)
             if not outcome.ok:
                 metrics.counter("items_failed").inc()
+                if outcome.quarantined_to is not None:
+                    metrics.counter("items_quarantined").inc()
                 continue
             metrics.counter("items_ok").inc()
             metrics.counter("points_in").inc(outcome.n_original)
@@ -459,6 +667,7 @@ def load_fleet(
     *,
     workers: int = 0,
     on_error: "FailurePolicy | str" = "raise",
+    on_malformed: "str | None" = None,
 ) -> tuple[list[Trajectory], list[ItemFailure]]:
     """Load a fleet into memory with the engine's fault isolation.
 
@@ -466,14 +675,43 @@ def load_fleet(
     trajectory files — in parallel when ``workers > 1``, and skipping
     corrupt files under ``on_error="skip"`` instead of aborting.
 
+    Args:
+        source: the fleet (see :func:`iter_fleet`).
+        workers: process-pool size (``0``/``1`` = inline).
+        on_error: failure policy for load errors.
+        on_malformed: ``None`` (default) lets unparsable files follow
+            ``on_error``; ``"raise"``/``"skip"``/``"quarantine:<dir>"``
+            dispatch them independently (quarantine moves the file aside
+            with a ``.reason.json`` sidecar).
+
     Returns:
         ``(trajectories, failures)`` — loaded items in input order plus
         the structured failures (empty under ``"raise"``).
     """
+    if on_malformed is None:
+        mode: str | None = None
+        quarantine_dir: Path | None = None
+    else:
+        try:
+            mode, quarantine_dir = parse_on_malformed(on_malformed)
+        except ValueError as exc:
+            raise PipelineError(str(exc)) from exc
     items = list(iter_fleet(source))
     outcomes = execute(
-        _LoadTask(), items, workers=workers, policy=FailurePolicy.parse(on_error)
+        _LoadTask(),
+        items,
+        workers=workers,
+        policy=FailurePolicy.parse(on_error),
+        malformed_mode=_malformed_exec_mode(mode),
     )
-    fleet = [o.value for o in outcomes if o.ok]
-    failures = [o for o in outcomes if not o.ok]
+    processed: list[ItemSuccess | ItemFailure] = []
+    for outcome in outcomes:
+        if not outcome.ok and outcome.malformed and quarantine_dir is not None:
+            payload = items[outcome.index][1]
+            if isinstance(payload, (str, Path)):
+                dest = _quarantine_file(Path(payload), outcome, quarantine_dir)
+                outcome = replace(outcome, quarantined_to=str(dest))
+        processed.append(outcome)
+    fleet = [o.value for o in processed if o.ok]
+    failures = [o for o in processed if not o.ok]
     return fleet, failures

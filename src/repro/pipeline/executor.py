@@ -24,22 +24,46 @@ Guarantees:
 from __future__ import annotations
 
 import re
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import PipelineError
+from repro.io_util import crc32_text
 
 __all__ = [
     "FailurePolicy",
     "ItemFailure",
     "ItemSuccess",
+    "MalformedItemError",
     "summarize_traceback",
     "execute",
 ]
 
-_RETRY_PATTERN = re.compile(r"retry(?:\((\d+)\)|:(\d+))?")
+_RETRY_PATTERN = re.compile(
+    r"retry(?:\((\d+)(?:\s*,\s*backoff\s*=\s*([0-9]*\.?[0-9]+))?\)|:(\d+))?"
+)
+
+#: Sleep hook for retry backoff — module-level so tests can inject a
+#: recorder and run instantly (``executor._sleep = fake``).
+_sleep = time.sleep
+
+
+class MalformedItemError(PipelineError):
+    """A task's signal that an item's *input* is unusable.
+
+    Raised by loaders (corrupt CSV/GPX/JSON, undecodable blobs) to
+    distinguish "this input is bad" from "this computation failed".
+    Malformed items are never retried — retrying cannot fix bad bytes —
+    and they are dispatched on the executor's ``malformed_mode``, not
+    the failure policy. ``cause`` carries the original parse error.
+    """
+
+    def __init__(self, message: str, cause: "BaseException | None" = None) -> None:
+        super().__init__(message)
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -53,12 +77,20 @@ class FailurePolicy:
     * ``"retry"`` — re-run the item up to ``retries`` extra times, then
       record an :class:`ItemFailure` (it never aborts the run).
 
+    Retries optionally back off exponentially: ``backoff`` is the base
+    delay in seconds before the second attempt, doubling per further
+    attempt and scaled by a *deterministic* jitter in ``[0.5, 1.5)``
+    derived from the item id — reruns of the same input sleep the same
+    schedule, so runs stay reproducible.
+
     The string forms ``"raise"``, ``"skip"``, ``"retry"``,
-    ``"retry(3)"`` and ``"retry:3"`` parse via :meth:`parse`.
+    ``"retry(3)"``, ``"retry:3"`` and ``"retry(3,backoff=0.1)"`` parse
+    via :meth:`parse`.
     """
 
     mode: str
     retries: int = 0
+    backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("raise", "skip", "retry"):
@@ -68,6 +100,8 @@ class FailurePolicy:
             )
         if self.retries < 0:
             raise PipelineError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise PipelineError(f"backoff must be >= 0, got {self.backoff}")
 
     @classmethod
     def parse(cls, value: "FailurePolicy | str") -> "FailurePolicy":
@@ -79,11 +113,16 @@ class FailurePolicy:
             return cls(text)
         match = _RETRY_PATTERN.fullmatch(text)
         if match:
-            count = match.group(1) or match.group(2)
-            return cls("retry", int(count) if count is not None else 1)
+            count = match.group(1) or match.group(3)
+            backoff = match.group(2)
+            return cls(
+                "retry",
+                int(count) if count is not None else 1,
+                float(backoff) if backoff is not None else 0.0,
+            )
         raise PipelineError(
             f"unknown failure policy {value!r}; "
-            f"use 'raise', 'skip' or 'retry(n)'"
+            f"use 'raise', 'skip', 'retry(n)' or 'retry(n,backoff=s)'"
         )
 
     @property
@@ -91,8 +130,26 @@ class FailurePolicy:
         """Total tries per item (1, plus ``retries`` in retry mode)."""
         return self.retries + 1 if self.mode == "retry" else 1
 
+    def retry_delay(self, item_id: str, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (attempts are 1-based,
+        so the first retry is attempt 2).
+
+        Exponential in the attempt number, with deterministic per-item
+        jitter: two items that fail together do not hammer a shared
+        resource in lockstep, yet rerunning the same item reproduces the
+        same schedule.
+        """
+        if self.backoff <= 0 or attempt <= 1:
+            return 0.0
+        jitter = 0.5 + crc32_text(f"{item_id}#{attempt}") / 2**32
+        return self.backoff * 2 ** (attempt - 2) * jitter
+
     def __str__(self) -> str:
-        return f"retry({self.retries})" if self.mode == "retry" else self.mode
+        if self.mode != "retry":
+            return self.mode
+        if self.backoff > 0:
+            return f"retry({self.retries},backoff={self.backoff:g})"
+        return f"retry({self.retries})"
 
 
 def summarize_traceback(exc: BaseException, limit: int = 3) -> str:
@@ -113,7 +170,12 @@ def summarize_traceback(exc: BaseException, limit: int = 3) -> str:
 
 @dataclass(frozen=True)
 class ItemFailure:
-    """Structured record of one item that failed all its attempts."""
+    """Structured record of one item that failed all its attempts.
+
+    ``malformed`` marks failures whose *input* was unusable (the task
+    raised :class:`MalformedItemError`); ``quarantined_to`` is set by
+    the engine when such an input was moved to a quarantine directory.
+    """
 
     item_id: str
     index: int
@@ -121,13 +183,15 @@ class ItemFailure:
     message: str
     traceback_summary: str
     attempts: int
+    malformed: bool = False
+    quarantined_to: str | None = None
 
     #: Discriminator shared with success records (`outcome.ok`).
     ok = False
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready dict (what lands in the run's metrics export)."""
-        return {
+        out: dict[str, object] = {
             "item_id": self.item_id,
             "index": self.index,
             "error_type": self.error_type,
@@ -135,6 +199,11 @@ class ItemFailure:
             "traceback_summary": self.traceback_summary,
             "attempts": self.attempts,
         }
+        if self.malformed:
+            out["malformed"] = True
+        if self.quarantined_to is not None:
+            out["quarantined_to"] = self.quarantined_to
+        return out
 
 
 @dataclass(frozen=True)
@@ -156,16 +225,49 @@ def _run_item(
     index: int,
     payload: Any,
     policy: FailurePolicy,
+    malformed_mode: str = "defer",
 ) -> ItemSuccess | ItemFailure:
-    """Run one item under the policy. ``raise`` mode lets errors escape."""
+    """Run one item under the policy. ``raise`` mode lets errors escape.
+
+    ``malformed_mode`` decides what a :class:`MalformedItemError` does:
+
+    * ``"defer"`` (default) — the wrapped cause is treated like any
+      other failure under the policy (legacy behaviour);
+    * ``"raise"`` — the cause always propagates, aborting the run even
+      under ``skip``/``retry`` policies;
+    * ``"isolate"`` — it immediately becomes a ``malformed``
+      :class:`ItemFailure`, never retried (bad bytes don't heal) and
+      never aborting, even under the ``raise`` policy.
+    """
     last: BaseException | None = None
     for attempt in range(1, policy.attempts + 1):
         try:
             return ItemSuccess(item_id, index, fn(payload), attempt)
+        except MalformedItemError as exc:
+            cause = exc.cause if exc.cause is not None else exc
+            if malformed_mode == "raise":
+                raise cause
+            if malformed_mode == "isolate":
+                return ItemFailure(
+                    item_id=item_id,
+                    index=index,
+                    error_type=type(cause).__name__,
+                    message=str(cause),
+                    traceback_summary=summarize_traceback(cause),
+                    attempts=attempt,
+                    malformed=True,
+                )
+            if policy.mode == "raise":
+                raise cause
+            last = cause
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             if policy.mode == "raise":
                 raise
             last = exc
+        if attempt < policy.attempts:
+            delay = policy.retry_delay(item_id, attempt + 1)
+            if delay > 0:
+                _sleep(delay)
     assert last is not None
     return ItemFailure(
         item_id=item_id,
@@ -181,10 +283,11 @@ def _run_chunk(
     fn: Callable[[Any], Any],
     chunk: list[tuple[int, str, Any]],
     policy: FailurePolicy,
+    malformed_mode: str = "defer",
 ) -> list[ItemSuccess | ItemFailure]:
     """Worker entry point: process one chunk of (index, id, payload)."""
     return [
-        _run_item(fn, item_id, index, payload, policy)
+        _run_item(fn, item_id, index, payload, policy, malformed_mode)
         for index, item_id, payload in chunk
     ]
 
@@ -202,6 +305,9 @@ def execute(
     workers: int = 0,
     chunk_size: int | None = None,
     policy: FailurePolicy | str = "raise",
+    malformed_mode: str = "defer",
+    indices: Sequence[int] | None = None,
+    on_outcome: "Callable[[ItemSuccess | ItemFailure], None] | None" = None,
 ) -> list[ItemSuccess | ItemFailure]:
     """Run ``fn`` over every ``(item_id, payload)`` item, in order.
 
@@ -216,26 +322,59 @@ def execute(
         chunk_size: items per dispatched chunk; defaults to roughly four
             chunks per worker to balance load against dispatch overhead.
         policy: see :class:`FailurePolicy`.
+        malformed_mode: what a task's :class:`MalformedItemError` does —
+            ``"defer"`` (default) applies the failure policy to its
+            cause, ``"raise"`` always propagates it, ``"isolate"``
+            always records a ``malformed`` :class:`ItemFailure`.
+        indices: the outcome ``index`` to assign each item, when the
+            caller is running a *subset* of a larger input (a resumed
+            checkpointed run); defaults to ``0..len(items)-1``.
+        on_outcome: called once per outcome, in input order, as soon as
+            the outcome is available (per item on the serial path, per
+            collected chunk on the pool path). The checkpoint journal
+            hangs off this hook.
 
     Returns:
         One :class:`ItemSuccess` or :class:`ItemFailure` per input item,
         in input order — identical regardless of ``workers``.
     """
     policy = FailurePolicy.parse(policy)
+    if malformed_mode not in ("defer", "raise", "isolate"):
+        raise PipelineError(
+            f"malformed_mode must be 'defer', 'raise' or 'isolate', "
+            f"got {malformed_mode!r}"
+        )
+    if indices is not None and len(indices) != len(items):
+        raise PipelineError(
+            f"indices has {len(indices)} entries for {len(items)} items"
+        )
     indexed = [
-        (index, item_id, payload)
-        for index, (item_id, payload) in enumerate(items)
+        (indices[position] if indices is not None else position, item_id, payload)
+        for position, (item_id, payload) in enumerate(items)
     ]
     if workers <= 1 or len(indexed) <= 1:
-        return _run_chunk(fn, indexed, policy)
+        if on_outcome is None:
+            return _run_chunk(fn, indexed, policy, malformed_mode)
+        outcomes: list[ItemSuccess | ItemFailure] = []
+        for index, item_id, payload in indexed:
+            outcome = _run_item(fn, item_id, index, payload, policy, malformed_mode)
+            on_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes
     if chunk_size is None:
         chunk_size = max(1, -(-len(indexed) // (workers * 4)))
     chunks = _chunked(indexed, chunk_size)
-    outcomes: list[ItemSuccess | ItemFailure] = []
+    outcomes = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_chunk, fn, chunk, policy) for chunk in chunks]
+        futures = [
+            pool.submit(_run_chunk, fn, chunk, policy, malformed_mode)
+            for chunk in chunks
+        ]
         # Collect in chunk (= input) order: deterministic results, and
         # under the raise policy the earliest-input failure surfaces.
         for future in futures:
-            outcomes.extend(future.result())
+            for outcome in future.result():
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                outcomes.append(outcome)
     return outcomes

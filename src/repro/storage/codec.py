@@ -13,6 +13,12 @@ the survivors compactly:
 
 A typical car fix shrinks from 24 raw float bytes to 4–7 bytes. Decoding
 reproduces the trajectory within half a quantum per field.
+
+Durability: version-2 blobs end in a CRC-32 over everything before it,
+so a torn write or bit flip is detected as a
+:class:`~repro.exceptions.CorruptRecordError` instead of silently
+decoding into wrong coordinates. Version-1 blobs (no checksum) are
+still decoded for backward compatibility.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ import struct
 
 import numpy as np
 
-from repro.exceptions import CodecError
+from repro.exceptions import CodecError, CorruptRecordError
+from repro.io_util import crc32
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -35,7 +42,11 @@ __all__ = [
 ]
 
 _MAGIC = b"RTRJ"
-_VERSION = 1
+#: Current blob version: 2 = delta/varint records + CRC-32 trailer.
+_VERSION = 2
+#: Oldest version still decoded (1 = no checksum trailer).
+_MIN_VERSION = 1
+_CRC_BYTES = 4
 
 
 def zigzag(value: int) -> int:
@@ -101,6 +112,10 @@ def encode_trajectory(
     Raises:
         CodecError: on unencodable input (non-positive resolutions,
             timestamps closer than the time quantum).
+
+    The returned blob ends in a CRC-32 over all preceding bytes;
+    :func:`decode_trajectory` verifies it, so corruption anywhere in the
+    blob is detected rather than decoded.
     """
     if time_resolution_s <= 0 or coord_resolution_m <= 0:
         raise CodecError("resolutions must be positive")
@@ -126,31 +141,45 @@ def encode_trajectory(
         encode_varint(zigzag(int(x_q[i]) - prev_x), out)
         encode_varint(zigzag(int(y_q[i]) - prev_y), out)
         prev_t, prev_x, prev_y = int(t_q[i]), int(x_q[i]), int(y_q[i])
+    out += struct.pack("<I", crc32(bytes(out)))
     return bytes(out)
 
 
-def decode_trajectory(data: bytes) -> Trajectory:
+def decode_trajectory(data: bytes, *, verify: bool = True) -> Trajectory:
     """Inverse of :func:`encode_trajectory`.
 
+    Args:
+        data: an encoded blob (version 1 or 2).
+        verify: check the CRC-32 trailer of version-2 blobs (default).
+            ``False`` skips the check — forensic use only.
+
     Raises:
-        CodecError: on malformed or truncated input.
+        CorruptRecordError: checksum mismatch — the bytes were altered
+            after encoding (torn write, bit rot).
+        CodecError: on otherwise malformed or truncated input.
     """
     if len(data) < 5 or data[:4] != _MAGIC:
         raise CodecError("not a repro trajectory blob (bad magic)")
     version = data[4]
-    if version != _VERSION:
+    if not _MIN_VERSION <= version <= _VERSION:
         raise CodecError(f"unsupported codec version {version}")
+    end = len(data)
+    if version >= 2:
+        end -= _CRC_BYTES
+        if end < 5:
+            raise CodecError("truncated checksum trailer")
     offset = 5
-    id_len, offset = decode_varint(data, offset)
-    if offset + id_len > len(data):
+    payload = data[:end]
+    id_len, offset = decode_varint(payload, offset)
+    if offset + id_len > len(payload):
         raise CodecError("truncated object id")
-    object_id = data[offset : offset + id_len].decode("utf-8") or None
+    object_id = payload[offset : offset + id_len].decode("utf-8") or None
     offset += id_len
-    if offset + 16 > len(data):
+    if offset + 16 > len(payload):
         raise CodecError("truncated resolution header")
-    time_res, coord_res = struct.unpack_from("<dd", data, offset)
+    time_res, coord_res = struct.unpack_from("<dd", payload, offset)
     offset += 16
-    n, offset = decode_varint(data, offset)
+    n, offset = decode_varint(payload, offset)
     if n < 1:
         raise CodecError(f"blob declares {n} points")
     t = np.empty(n, dtype=np.int64)
@@ -158,17 +187,26 @@ def decode_trajectory(data: bytes) -> Trajectory:
     y = np.empty(n, dtype=np.int64)
     prev_t = prev_x = prev_y = 0
     for i in range(n):
-        dt, offset = decode_varint(data, offset)
-        dx, offset = decode_varint(data, offset)
-        dy, offset = decode_varint(data, offset)
+        dt, offset = decode_varint(payload, offset)
+        dx, offset = decode_varint(payload, offset)
+        dy, offset = decode_varint(payload, offset)
         prev_t += unzigzag(dt)
         prev_x += unzigzag(dx)
         prev_y += unzigzag(dy)
         t[i] = prev_t
         x[i] = prev_x
         y[i] = prev_y
-    if offset != len(data):
-        raise CodecError(f"{len(data) - offset} trailing bytes after records")
+    if offset != len(payload):
+        raise CodecError(f"{len(payload) - offset} trailing bytes after records")
+    if version >= 2 and verify:
+        (stored_crc,) = struct.unpack_from("<I", data, end)
+        actual_crc = crc32(payload)
+        if stored_crc != actual_crc:
+            raise CorruptRecordError(
+                f"record checksum mismatch: stored {stored_crc:#010x}, "
+                f"computed {actual_crc:#010x} — the blob was altered after "
+                f"encoding (torn write or bit corruption)"
+            )
     return Trajectory(
         t.astype(float) * time_res,
         np.column_stack([x, y]).astype(float) * coord_res,

@@ -15,7 +15,7 @@ from __future__ import annotations
 import functools
 from typing import Callable
 
-from repro.exceptions import StorageError
+from repro.exceptions import StorageError, StreamError
 from repro.pipeline.executor import FailurePolicy, ItemFailure, execute
 from repro.pipeline.metrics import Metrics
 from repro.storage.store import StoredRecord, TrajectoryStore
@@ -38,6 +38,13 @@ class StreamIngestor:
             bypassed — points arriving here are already compressed.
         compressor_factory: builds a fresh online compressor per object;
             defaults to OPW-TR at 50 m.
+        on_out_of_order: what to do with a fix whose timestamp is not
+            strictly after the object's last accepted fix (trackers do
+            deliver duplicates and reordered packets): ``"raise"``
+            (default) raises :class:`~repro.exceptions.StreamError`;
+            ``"skip"`` silently drops the fix, counting it in
+            :meth:`dropped_count`. Either way the fix never corrupts the
+            trajectory being built.
 
     Usage::
 
@@ -51,12 +58,21 @@ class StreamIngestor:
         self,
         store: TrajectoryStore,
         compressor_factory: Callable[[], StreamingOPW] | None = None,
+        on_out_of_order: str = "raise",
     ) -> None:
+        if on_out_of_order not in ("raise", "skip"):
+            raise StreamError(
+                f"on_out_of_order must be 'raise' or 'skip', "
+                f"got {on_out_of_order!r}"
+            )
         self.store = store
         self._factory = compressor_factory or _default_compressor_factory
+        self.on_out_of_order = on_out_of_order
         self._compressors: dict[str, StreamingOPW] = {}
         self._builders: dict[str, TrajectoryBuilder] = {}
         self._raw_counts: dict[str, int] = {}
+        self._last_times: dict[str, float] = {}
+        self._dropped: dict[str, int] = {}
         #: Structured failures from the most recent :meth:`finish_all`.
         self.last_failures: list[ItemFailure] = []
 
@@ -86,10 +102,31 @@ class StreamIngestor:
         buffered = len(builder) if builder else 0
         return buffered + (window.window_size if window else 0)
 
+    def dropped_count(self, object_id: str) -> int:
+        """Out-of-order fixes dropped so far for one active object."""
+        return self._dropped.get(object_id, 0)
+
     def push(self, object_id: str, fix: Fix) -> int:
-        """Feed one fix; returns how many points were retained by it."""
+        """Feed one fix; returns how many points were retained by it.
+
+        Raises:
+            StreamError: the fix's timestamp is not strictly after the
+                object's last accepted fix (under the default
+                ``on_out_of_order="raise"``; ``"skip"`` drops it
+                instead).
+        """
         if not object_id:
             raise StorageError("fixes need a non-empty object id")
+        last = self._last_times.get(object_id)
+        if last is not None and fix.t <= last:
+            if self.on_out_of_order == "skip":
+                self._dropped[object_id] = self._dropped.get(object_id, 0) + 1
+                return 0
+            raise StreamError(
+                f"out-of-order fix for {object_id!r}: t={fix.t} is not after "
+                f"the last accepted t={last} (use on_out_of_order='skip' to "
+                f"drop such fixes)"
+            )
         compressor = self._compressors.get(object_id)
         if compressor is None:
             compressor = self._factory()
@@ -97,6 +134,7 @@ class StreamIngestor:
             self._builders[object_id] = TrajectoryBuilder(object_id)
             self._raw_counts[object_id] = 0
         self._raw_counts[object_id] += 1
+        self._last_times[object_id] = float(fix.t)
         kept = compressor.push(fix)
         builder = self._builders[object_id]
         for point in kept:
@@ -112,6 +150,8 @@ class StreamIngestor:
         compressor = self._compressors.pop(object_id, None)
         builder = self._builders.pop(object_id, None)
         raw_count = self._raw_counts.pop(object_id, 0)
+        self._last_times.pop(object_id, None)
+        self._dropped.pop(object_id, None)
         if compressor is None or builder is None:
             raise StorageError(f"no active stream for object {object_id!r}")
         for point in compressor.finish():

@@ -16,6 +16,15 @@ application needs:
   paper's motivating arithmetic,
 * single-file persistence (:meth:`TrajectoryStore.save` /
   :meth:`TrajectoryStore.load`).
+
+Durability: :meth:`~TrajectoryStore.save` writes atomically (tmp file +
+fsync + rename), every record carries a CRC-32 over its catalog header
+and blob (file version 3), and each blob additionally carries the
+codec's own checksum — so a torn write or flipped bit surfaces as a
+:class:`~repro.exceptions.CorruptRecordError` at load, never as silently
+wrong coordinates. ``load(path, verify="skip")`` quarantines corrupt
+records in :attr:`TrajectoryStore.load_failures` and keeps the healthy
+ones.
 """
 
 from __future__ import annotations
@@ -29,9 +38,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.base import Compressor
-from repro.exceptions import ObjectNotFoundError, StorageError
+from repro.exceptions import (
+    CorruptRecordError,
+    ObjectNotFoundError,
+    ReproError,
+    StorageError,
+)
 from repro.geometry.bbox import BBox
 from repro.geometry.clip import segment_intersects_bbox
+from repro.io_util import crc32, write_atomic
 from repro.storage.codec import decode_trajectory, encode_trajectory, raw_size_bytes
 from repro.storage.index import GridIndex
 from repro.storage.interval_index import IntervalIndex
@@ -40,7 +55,10 @@ from repro.trajectory.trajectory import Trajectory
 __all__ = ["StoredRecord", "StoreStats", "TrajectoryStore"]
 
 _FILE_MAGIC = b"RSTO"
-_FILE_VERSION = 2
+#: Current store-file version: 3 = per-record CRC-32 (header + blob).
+_FILE_VERSION = 3
+#: Oldest store-file version still loaded (2 = no record checksums).
+_MIN_FILE_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,6 +145,9 @@ class TrajectoryStore:
         self._time_index = IntervalIndex()
         self._cache: OrderedDict[str, Trajectory] = OrderedDict()
         self._cache_size = cache_size
+        #: Human-readable reasons for records dropped by
+        #: ``load(..., verify="skip")``; empty for clean loads.
+        self.load_failures: list[str] = []
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -468,52 +489,109 @@ class TrajectoryStore:
             stored_bytes=sum(rec.stored_bytes for rec in records),
         )
 
-    def save(self, path: str | Path) -> None:
-        """Persist the store to one file (records only; config implied)."""
-        path = Path(path)
-        with path.open("wb") as handle:
-            handle.write(_FILE_MAGIC)
-            handle.write(struct.pack("<BI", _FILE_VERSION, len(self._records)))
-            for key in sorted(self._records):
-                rec = self._records[key]
-                bound = (
-                    rec.sync_error_bound_m
-                    if rec.sync_error_bound_m is not None
-                    else float("nan")
-                )
-                handle.write(
-                    struct.pack("<IdI", rec.n_raw_points, bound, len(rec.blob))
-                )
-                handle.write(rec.blob)
+    def save(self, path: str | Path, *, durable: bool = True) -> None:
+        """Persist the store to one file (records only; config implied).
+
+        The file is written atomically (temporary sibling + fsync +
+        rename): a crash mid-save leaves either the previous file or the
+        complete new one, never a torn mixture. Each record is followed
+        by a CRC-32 over its catalog header and blob, so later bit
+        corruption is detected at :meth:`load` time.
+
+        Args:
+            path: destination file.
+            durable: fsync before the rename (default); ``False`` keeps
+                atomicity but skips the flushes.
+        """
+        out = bytearray()
+        out += _FILE_MAGIC
+        out += struct.pack("<BI", _FILE_VERSION, len(self._records))
+        for key in sorted(self._records):
+            rec = self._records[key]
+            bound = (
+                rec.sync_error_bound_m
+                if rec.sync_error_bound_m is not None
+                else float("nan")
+            )
+            framed = struct.pack("<IdI", rec.n_raw_points, bound, len(rec.blob))
+            framed += rec.blob
+            out += framed
+            out += struct.pack("<I", crc32(framed))
+        write_atomic(path, bytes(out), durable=durable)
 
     @classmethod
-    def load(cls, path: str | Path, **store_kwargs: object) -> "TrajectoryStore":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        verify: str = "raise",
+        **store_kwargs: object,
+    ) -> "TrajectoryStore":
         """Load a store written by :meth:`save`.
 
+        Args:
+            path: a version-2 (legacy, no record checksums) or version-3
+                store file.
+            verify: what to do with a record whose checksum or blob fails
+                verification: ``"raise"`` (default) aborts the load;
+                ``"skip"`` drops the record, records the reason in
+                :attr:`load_failures`, and keeps loading. File-level
+                framing damage (truncation mid-record) always stops the
+                load at that point — under ``"skip"`` the remainder is
+                recorded as one failure, under ``"raise"`` it raises.
+            **store_kwargs: forwarded to the constructor.
+
         Raises:
+            CorruptRecordError: a record failed its checksum
+                (``verify="raise"`` only).
             StorageError: on malformed files.
         """
+        if verify not in ("raise", "skip"):
+            raise ValueError(f"verify must be 'raise' or 'skip', got {verify!r}")
         path = Path(path)
         data = path.read_bytes()
         if len(data) < 9 or data[:4] != _FILE_MAGIC:
             raise StorageError(f"{path}: not a repro store file")
         version, count = struct.unpack_from("<BI", data, 4)
-        if version != _FILE_VERSION:
+        if not _MIN_FILE_VERSION <= version <= _FILE_VERSION:
             raise StorageError(f"{path}: unsupported store version {version}")
         store = cls(**store_kwargs)  # type: ignore[arg-type]
+        record_size = 16 + (4 if version >= 3 else 0)
         offset = 9
-        for _ in range(count):
+        truncated = None
+        for index in range(count):
             if offset + 16 > len(data):
-                raise StorageError(f"{path}: truncated record header")
+                truncated = f"{path}: truncated record header (record {index})"
+                break
             n_raw, bound_raw, blob_len = struct.unpack_from("<IdI", data, offset)
-            offset += 16
-            if offset + blob_len > len(data):
-                raise StorageError(f"{path}: truncated record blob")
-            blob = data[offset : offset + blob_len]
-            offset += blob_len
-            traj = decode_trajectory(blob)
-            if not traj.object_id:
-                raise StorageError(f"{path}: stored blob lacks an object id")
+            if offset + record_size + blob_len > len(data):
+                truncated = f"{path}: truncated record blob (record {index})"
+                break
+            framed = data[offset : offset + 16 + blob_len]
+            blob = framed[16:]
+            offset += 16 + blob_len
+            try:
+                if version >= 3:
+                    (stored_crc,) = struct.unpack_from("<I", data, offset)
+                    offset += 4
+                    actual_crc = crc32(framed)
+                    if stored_crc != actual_crc:
+                        raise CorruptRecordError(
+                            f"{path}: record {index} checksum mismatch "
+                            f"(stored {stored_crc:#010x}, computed "
+                            f"{actual_crc:#010x}) — the file was altered "
+                            f"after write"
+                        )
+                traj = decode_trajectory(blob)
+                if not traj.object_id:
+                    raise StorageError(f"{path}: stored blob lacks an object id")
+            except ReproError as exc:
+                if verify == "skip":
+                    store.load_failures.append(
+                        f"record {index}: {type(exc).__name__}: {exc}"
+                    )
+                    continue
+                raise
             record = StoredRecord(
                 object_id=traj.object_id,
                 blob=blob,
@@ -529,6 +607,10 @@ class TrajectoryStore:
             store._time_index.insert(
                 traj.object_id, record.start_time, record.end_time
             )
-        if offset != len(data):
+        if truncated is not None:
+            if verify != "skip":
+                raise StorageError(truncated)
+            store.load_failures.append(truncated)
+        elif offset != len(data):
             raise StorageError(f"{path}: trailing bytes after records")
         return store

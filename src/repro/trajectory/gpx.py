@@ -19,6 +19,8 @@ from xml.etree import ElementTree
 
 from repro.exceptions import TrajectoryError
 from repro.geometry.projection import LocalProjection
+from repro.io_util import write_atomic
+from repro.trajectory.io import _parse_row_policy, _write_rejected_rows
 from repro.trajectory.trajectory import Trajectory
 from repro.trajectory.ops import drop_duplicate_times
 
@@ -62,6 +64,7 @@ def read_gpx(
     path: str | Path,
     object_id: str | None = None,
     projection: LocalProjection | None = None,
+    on_malformed: str = "raise",
 ) -> Trajectory:
     """Read the first track of a GPX file as a planar trajectory.
 
@@ -71,12 +74,19 @@ def read_gpx(
             name when present).
         projection: planar projection to apply; defaults to an
             equirectangular projection centred on the track.
+        on_malformed: what to do with a bad *track point* (missing or
+            invalid lat/lon/time): ``"raise"`` (default) aborts,
+            ``"skip"`` drops the point, ``"quarantine:<dir>"`` drops it
+            and records it in ``<dir>/<name>.points.jsonl``. A document
+            that is not well-formed XML always raises — there is no
+            per-point recovery from broken markup.
 
     Raises:
         TrajectoryError: when the document has no usable track points or
             points lack timestamps.
     """
     path = Path(path)
+    mode, quarantine_dir = _parse_row_policy(on_malformed, str(path))
     try:
         root = ElementTree.parse(path).getroot()
     except ElementTree.ParseError as exc:
@@ -86,26 +96,50 @@ def read_gpx(
     lats: list[float] = []
     lons: list[float] = []
     times: list[float] = []
+    rejected: list[dict[str, object]] = []
+    point_number = 0
     for elem in root.iter():
         tag = _local_name(elem.tag)
         if tag == "name" and name is None and elem.text:
             name = elem.text.strip()
         elif tag == "trkpt":
+            point_number += 1
             try:
                 lat = float(elem.attrib["lat"])
                 lon = float(elem.attrib["lon"])
             except (KeyError, ValueError) as exc:
-                raise TrajectoryError(f"{path}: trkpt without valid lat/lon") from exc
+                if mode == "raise":
+                    raise TrajectoryError(
+                        f"{path}: trkpt without valid lat/lon"
+                    ) from exc
+                rejected.append(
+                    {"point": point_number, "reason": "trkpt without valid lat/lon"}
+                )
+                continue
             time_el = next(
                 (child for child in elem if _local_name(child.tag) == "time"), None
             )
             if time_el is None or not time_el.text:
-                raise TrajectoryError(
-                    f"{path}: trkpt without <time> — timestamps are required"
+                if mode == "raise":
+                    raise TrajectoryError(
+                        f"{path}: trkpt without <time> — timestamps are required"
+                    )
+                rejected.append(
+                    {"point": point_number, "reason": "trkpt without <time>"}
                 )
+                continue
+            try:
+                when = parse_gpx_time(time_el.text)
+            except TrajectoryError as exc:
+                if mode == "raise":
+                    raise
+                rejected.append({"point": point_number, "reason": str(exc)})
+                continue
             lats.append(lat)
             lons.append(lon)
-            times.append(parse_gpx_time(time_el.text))
+            times.append(when)
+    if quarantine_dir is not None and rejected:
+        _write_rejected_rows(quarantine_dir, f"{path.name}.points.jsonl", rejected)
     if not lats:
         raise TrajectoryError(f"{path}: no track points found")
 
@@ -125,7 +159,8 @@ def write_gpx(
     projection: LocalProjection,
     creator: str = "repro",
 ) -> None:
-    """Write a planar trajectory back to GPX via the inverse projection.
+    """Write a planar trajectory back to GPX via the inverse projection
+    (atomically).
 
     Args:
         traj: trajectory in the local planar frame.
@@ -153,4 +188,5 @@ def write_gpx(
         time_el.text = moment.strftime("%Y-%m-%dT%H:%M:%S") + (
             f".{int(moment.microsecond):06d}Z" if moment.microsecond else "Z"
         )
-    ElementTree.ElementTree(gpx).write(path, xml_declaration=True, encoding="unicode")
+    document = ElementTree.tostring(gpx, encoding="unicode", xml_declaration=True)
+    write_atomic(path, document)

@@ -12,6 +12,7 @@ GPX support (for real GPS loggers) lives in :mod:`repro.trajectory.gpx`.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Iterable, TextIO
@@ -19,6 +20,7 @@ from typing import Iterable, TextIO
 import numpy as np
 
 from repro.exceptions import TrajectoryError
+from repro.io_util import parse_on_malformed, write_atomic
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -33,56 +35,105 @@ __all__ = [
 _CSV_HEADER = ["t", "x", "y"]
 
 
+def _parse_row_policy(on_malformed: str, source: str) -> tuple[str, "Path | None"]:
+    """Validate a reader's ``on_malformed`` policy string."""
+    try:
+        return parse_on_malformed(on_malformed)
+    except ValueError as exc:
+        raise TrajectoryError(f"{source}: {exc}") from exc
+
+
+def _write_rejected_rows(
+    quarantine_dir: Path, name: str, rejected: list[dict[str, object]]
+) -> None:
+    """Persist a reader's rejected rows/points as a JSONL sidecar."""
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    write_atomic(
+        quarantine_dir / name,
+        "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in rejected),
+    )
+
+
 def write_csv(traj: Trajectory, path: str | Path) -> None:
-    """Write a trajectory to ``path`` as ``t,x,y`` CSV."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(_CSV_HEADER)
-        for i in range(len(traj)):
-            writer.writerow(
-                [repr(float(traj.t[i])), repr(float(traj.xy[i, 0])), repr(float(traj.xy[i, 1]))]
-            )
+    """Write a trajectory to ``path`` as ``t,x,y`` CSV (atomically)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_HEADER)
+    for i in range(len(traj)):
+        writer.writerow(
+            [repr(float(traj.t[i])), repr(float(traj.xy[i, 0])), repr(float(traj.xy[i, 1]))]
+        )
+    write_atomic(Path(path), buffer.getvalue())
 
 
-def read_csv(path: str | Path, object_id: str | None = None) -> Trajectory:
+def read_csv(
+    path: str | Path,
+    object_id: str | None = None,
+    on_malformed: str = "raise",
+) -> Trajectory:
     """Read a ``t,x,y`` CSV written by :func:`write_csv` (or compatible).
 
     Blank lines and lines starting with ``#`` are skipped. A header row is
     optional but, when present, must name the three columns ``t,x,y``.
+
+    Args:
+        path: the CSV file.
+        object_id: id for the resulting trajectory.
+        on_malformed: what to do with an unparsable data *row*:
+            ``"raise"`` (default) aborts, ``"skip"`` drops the row,
+            ``"quarantine:<dir>"`` drops it and records it (with its
+            line number and reason) in ``<dir>/<name>.rows.jsonl``. A
+            file with no healthy rows still raises.
     """
     path = Path(path)
     with path.open(newline="") as handle:
-        return _read_csv_stream(handle, object_id, source=str(path))
+        return _read_csv_stream(
+            handle, object_id, source=str(path), on_malformed=on_malformed,
+            name=path.name,
+        )
 
 
-def _read_csv_stream(handle: TextIO, object_id: str | None, source: str) -> Trajectory:
+def _read_csv_stream(
+    handle: TextIO,
+    object_id: str | None,
+    source: str,
+    on_malformed: str = "raise",
+    name: str = "stream.csv",
+) -> Trajectory:
+    mode, quarantine_dir = _parse_row_policy(on_malformed, source)
     rows: list[tuple[float, float, float]] = []
+    rejected: list[dict[str, object]] = []
     reader = csv.reader(line for line in handle if line.strip() and not line.startswith("#"))
     for lineno, row in enumerate(reader, start=1):
         if lineno == 1 and [cell.strip().lower() for cell in row] == _CSV_HEADER:
             continue
         if len(row) != 3:
-            raise TrajectoryError(
-                f"{source}: expected 3 columns at data row {lineno}, got {len(row)}"
-            )
+            reason = f"expected 3 columns at data row {lineno}, got {len(row)}"
+            if mode == "raise":
+                raise TrajectoryError(f"{source}: {reason}")
+            rejected.append({"row": lineno, "cells": row, "reason": reason})
+            continue
         try:
             rows.append((float(row[0]), float(row[1]), float(row[2])))
         except ValueError as exc:
-            raise TrajectoryError(f"{source}: non-numeric value at row {lineno}") from exc
+            reason = f"non-numeric value at row {lineno}"
+            if mode == "raise":
+                raise TrajectoryError(f"{source}: {reason}") from exc
+            rejected.append({"row": lineno, "cells": row, "reason": reason})
+    if quarantine_dir is not None and rejected:
+        _write_rejected_rows(quarantine_dir, f"{name}.rows.jsonl", rejected)
     if not rows:
         raise TrajectoryError(f"{source}: no data rows")
     return Trajectory.from_points(rows, object_id)
 
 
 def write_json(traj: Trajectory, path: str | Path) -> None:
-    """Write one trajectory as a JSON document."""
-    path = Path(path)
+    """Write one trajectory as a JSON document (atomically)."""
     payload = {
         "object_id": traj.object_id,
         "points": np.column_stack([traj.t, traj.xy]).tolist(),
     }
-    path.write_text(json.dumps(payload))
+    write_atomic(Path(path), json.dumps(payload))
 
 
 def read_json(path: str | Path) -> Trajectory:
@@ -93,8 +144,8 @@ def read_json(path: str | Path) -> Trajectory:
 
 
 def write_dataset_json(trajectories: Iterable[Trajectory], path: str | Path) -> None:
-    """Write a whole dataset (list of trajectories) as one JSON document."""
-    path = Path(path)
+    """Write a whole dataset (list of trajectories) as one JSON document
+    (atomically)."""
     payload = [
         {
             "object_id": traj.object_id,
@@ -102,7 +153,7 @@ def write_dataset_json(trajectories: Iterable[Trajectory], path: str | Path) -> 
         }
         for traj in trajectories
     ]
-    path.write_text(json.dumps(payload))
+    write_atomic(Path(path), json.dumps(payload))
 
 
 def read_dataset_json(path: str | Path) -> list[Trajectory]:

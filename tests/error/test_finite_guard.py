@@ -1,0 +1,65 @@
+"""Property tests for the non-finite input guard on the error integral.
+
+Before the guard, a NaN or infinity in a difference vector flowed
+through :func:`segment_mean_distance`'s case analysis and could come out
+as a quiet NaN — or, worse, a *finite* wrong value via the degenerate-
+case clamps — silently poisoning every aggregate error built on top.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.error import segment_mean_distance
+from repro.exceptions import TrajectoryError
+
+from tests.conftest import vectors2
+
+_BAD = st.sampled_from([float("nan"), float("inf"), float("-inf")])
+
+
+@st.composite
+def vector_with_bad_component(draw: st.DrawFn) -> np.ndarray:
+    vec = draw(vectors2())
+    vec[draw(st.integers(0, 1))] = draw(_BAD)
+    return vec
+
+
+class TestFiniteGuard:
+    @given(bad=vector_with_bad_component(), good=vectors2())
+    @settings(max_examples=60, deadline=None)
+    def test_bad_first_vector_raises(self, bad, good):
+        with pytest.raises(TrajectoryError, match="finite"):
+            segment_mean_distance(bad, good)
+
+    @given(good=vectors2(), bad=vector_with_bad_component())
+    @settings(max_examples=60, deadline=None)
+    def test_bad_second_vector_raises(self, good, bad):
+        with pytest.raises(TrajectoryError, match="finite"):
+            segment_mean_distance(good, bad)
+
+    def test_message_shows_the_offending_vectors(self):
+        with pytest.raises(TrajectoryError, match=r"v0=\[nan"):
+            segment_mean_distance(
+                np.array([float("nan"), 0.0]), np.array([1.0, 1.0])
+            )
+
+    @given(v0=vectors2(), v1=vectors2())
+    @settings(max_examples=120, deadline=None)
+    def test_finite_inputs_give_finite_nonnegative_output(self, v0, v1):
+        result = segment_mean_distance(v0, v1)
+        assert math.isfinite(result)
+        assert result >= 0.0
+
+    @given(v0=vectors2(), v1=vectors2())
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_endpoint_maximum(self, v0, v1):
+        # dist(u) is convex in u, so its mean can't beat the larger
+        # endpoint norm.
+        result = segment_mean_distance(v0, v1)
+        assert result <= max(np.linalg.norm(v0), np.linalg.norm(v1)) + 1e-9

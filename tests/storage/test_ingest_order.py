@@ -1,0 +1,96 @@
+"""Tests for the ingestor's out-of-order / duplicate-fix guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.storage import StreamIngestor, TrajectoryStore
+from repro.streaming import StreamingOPW
+from repro.types import Fix
+
+
+@pytest.fixture
+def ingestor() -> StreamIngestor:
+    return StreamIngestor(
+        TrajectoryStore(),
+        compressor_factory=lambda: StreamingOPW(30.0, "synchronized"),
+    )
+
+
+def _skipping_ingestor() -> StreamIngestor:
+    return StreamIngestor(
+        TrajectoryStore(),
+        compressor_factory=lambda: StreamingOPW(30.0, "synchronized"),
+        on_out_of_order="skip",
+    )
+
+
+class TestOutOfOrderGuard:
+    def test_monotone_fixes_accepted(self, ingestor):
+        for i in range(5):
+            ingestor.push("car", Fix(float(i), float(i * 10), 0.0))
+        assert ingestor.raw_count("car") == 5
+
+    def test_stale_fix_raises_by_default(self, ingestor):
+        ingestor.push("car", Fix(10.0, 0.0, 0.0))
+        with pytest.raises(StreamError, match="out-of-order"):
+            ingestor.push("car", Fix(9.0, 5.0, 0.0))
+
+    def test_duplicate_timestamp_raises_by_default(self, ingestor):
+        ingestor.push("car", Fix(10.0, 0.0, 0.0))
+        with pytest.raises(StreamError, match="not after"):
+            ingestor.push("car", Fix(10.0, 5.0, 0.0))
+
+    def test_error_message_names_the_skip_policy(self, ingestor):
+        ingestor.push("car", Fix(10.0, 0.0, 0.0))
+        with pytest.raises(StreamError, match="on_out_of_order='skip'"):
+            ingestor.push("car", Fix(1.0, 0.0, 0.0))
+
+    def test_guard_is_per_object(self, ingestor):
+        ingestor.push("car", Fix(100.0, 0.0, 0.0))
+        # A different object may be far behind in time.
+        ingestor.push("bus", Fix(1.0, 0.0, 0.0))
+        assert ingestor.raw_count("bus") == 1
+
+    def test_rejected_fix_does_not_poison_state(self, ingestor):
+        ingestor.push("car", Fix(10.0, 0.0, 0.0))
+        with pytest.raises(StreamError):
+            ingestor.push("car", Fix(5.0, 0.0, 0.0))
+        ingestor.push("car", Fix(11.0, 1.0, 0.0))  # the stream continues
+        assert ingestor.raw_count("car") == 2
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(StreamError, match="on_out_of_order"):
+            StreamIngestor(TrajectoryStore(), on_out_of_order="explode")
+
+
+class TestSkipPolicy:
+    def test_skip_drops_and_counts(self):
+        ingestor = _skipping_ingestor()
+        ingestor.push("car", Fix(10.0, 0.0, 0.0))
+        assert ingestor.push("car", Fix(9.0, 1.0, 0.0)) == 0
+        assert ingestor.push("car", Fix(10.0, 2.0, 0.0)) == 0
+        ingestor.push("car", Fix(11.0, 3.0, 0.0))
+        assert ingestor.dropped_count("car") == 2
+        assert ingestor.raw_count("car") == 2  # dropped fixes not counted
+
+    def test_finish_clears_order_state(self):
+        ingestor = _skipping_ingestor()
+        for i in range(3):
+            ingestor.push("car", Fix(float(10 + i), float(i), 0.0))
+        ingestor.push("car", Fix(1.0, 0.0, 0.0))  # dropped
+        ingestor.finish("car")
+        assert ingestor.dropped_count("car") == 0
+        # After finish, the id restarts from scratch: old times are fine.
+        assert ingestor.push("car", Fix(1.0, 0.0, 0.0)) >= 0
+        assert ingestor.raw_count("car") == 1
+
+    def test_flushed_trajectory_is_strictly_increasing(self):
+        ingestor = _skipping_ingestor()
+        for t in [0.0, 10.0, 5.0, 20.0, 20.0, 30.0, 29.0, 40.0]:
+            ingestor.push("car", Fix(t, t * 3.0, -t))
+        record = ingestor.finish("car")
+        assert record.n_raw_points == 5  # three fixes dropped
+        traj = ingestor.store.get("car")
+        assert (traj.t[1:] > traj.t[:-1]).all()

@@ -1,0 +1,152 @@
+"""End-to-end crash recovery: SIGKILL a checkpointed CLI run, resume it,
+and demand byte-identical output.
+
+These spawn real subprocesses and poll the filesystem, so they carry the
+``slow`` marker and are deselected by default (run with ``-m slow``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.pipeline.checkpoint import JOURNAL_NAME
+from repro.trajectory import Trajectory
+from repro.trajectory.io import write_csv
+
+pytestmark = pytest.mark.slow
+
+N_FILES = 8
+POINTS = 4_000
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("fleet")
+    rng = np.random.default_rng(42)
+    for i in range(N_FILES):
+        t = np.arange(POINTS, dtype=float) * 5.0
+        xy = np.cumsum(rng.normal(0.0, 20.0, size=(POINTS, 2)), axis=0)
+        write_csv(
+            Trajectory(t, xy, object_id=f"trip-{i}"), directory / f"trip-{i}.csv"
+        )
+    return directory
+
+
+def _pipeline_cmd(fleet_dir, out_dir, checkpoint=None, resume=None):
+    cmd = [
+        sys.executable, "-m", "repro", "pipeline", str(fleet_dir),
+        "--spec", "td-tr:epsilon=25", "-o", str(out_dir),
+    ]
+    if checkpoint:
+        cmd += ["--checkpoint", str(checkpoint)]
+    if resume:
+        cmd += ["--resume", str(resume)]
+    return cmd
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _run(cmd):
+    return subprocess.run(
+        cmd, env=_env(), capture_output=True, text=True, timeout=300
+    )
+
+
+def _wait_for_journal_lines(journal, n, process, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"pipeline exited before it could be killed "
+                f"(rc={process.returncode})"
+            )
+        try:
+            if journal.read_text().count("\n") >= n:
+                return
+        except FileNotFoundError:
+            pass
+        time.sleep(0.005)
+    raise AssertionError(f"journal never reached {n} lines")
+
+
+def _read_outputs(out_dir):
+    return {p.name: p.read_bytes() for p in sorted(out_dir.iterdir())}
+
+
+class TestCrashRecovery:
+    def test_sigkill_then_resume_is_byte_identical(self, fleet_dir, tmp_path):
+        reference_out = tmp_path / "reference"
+        rc = _run(_pipeline_cmd(fleet_dir, reference_out))
+        assert rc.returncode == 0, rc.stderr
+
+        crash_out = tmp_path / "crashed"
+        checkpoint = tmp_path / "ck"
+        process = subprocess.Popen(
+            _pipeline_cmd(fleet_dir, crash_out, checkpoint=checkpoint),
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Let it finish some items but not all, then kill -9.
+            _wait_for_journal_lines(checkpoint / JOURNAL_NAME, 2, process)
+            os.kill(process.pid, signal.SIGKILL)
+        finally:
+            process.wait(timeout=60)
+        assert process.returncode == -signal.SIGKILL
+
+        journal_lines = (checkpoint / JOURNAL_NAME).read_text().count("\n")
+        assert 0 < journal_lines < N_FILES  # genuinely mid-run
+
+        resumed = _run(
+            _pipeline_cmd(fleet_dir, crash_out, resume=checkpoint)
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed" in resumed.stdout
+
+        assert _read_outputs(crash_out) == _read_outputs(reference_out)
+
+    def test_resume_of_completed_run_rewrites_identically(
+        self, fleet_dir, tmp_path
+    ):
+        out1 = tmp_path / "out1"
+        checkpoint = tmp_path / "ck"
+        first = _run(_pipeline_cmd(fleet_dir, out1, checkpoint=checkpoint))
+        assert first.returncode == 0, first.stderr
+
+        out2 = tmp_path / "out2"
+        second = _run(_pipeline_cmd(fleet_dir, out2, resume=checkpoint))
+        assert second.returncode == 0, second.stderr
+        assert f"resumed {N_FILES}" in second.stdout
+        assert _read_outputs(out1) == _read_outputs(out2)
+
+    def test_resume_against_changed_inputs_fails_loudly(
+        self, fleet_dir, tmp_path
+    ):
+        checkpoint = tmp_path / "ck"
+        first = _run(
+            _pipeline_cmd(fleet_dir, tmp_path / "out", checkpoint=checkpoint)
+        )
+        assert first.returncode == 0, first.stderr
+
+        smaller = tmp_path / "smaller"
+        smaller.mkdir()
+        for path in sorted(fleet_dir.iterdir())[:-1]:
+            (smaller / path.name).write_bytes(path.read_bytes())
+        clashed = _run(
+            _pipeline_cmd(smaller, tmp_path / "out2", resume=checkpoint)
+        )
+        assert clashed.returncode != 0
+        assert "item_ids" in clashed.stderr

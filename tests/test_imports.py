@@ -46,7 +46,8 @@ def test_package_count_matches_design():
     subpackages = {
         name.split(".")[1]
         for name in _walk_modules()
-        if name.count(".") == 1 and not name.endswith(("cli", "__main__", "exceptions", "types"))
+        if name.count(".") == 1
+        and not name.endswith(("cli", "__main__", "exceptions", "types", "io_util"))
     }
     assert subpackages == {
         "analysis",

@@ -1,0 +1,111 @@
+"""Tests for the shared durability helpers in :mod:`repro.io_util`."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.io_util import (
+    ON_MALFORMED_MODES,
+    crc32,
+    crc32_text,
+    parse_on_malformed,
+    write_atomic,
+    write_atomic_json,
+)
+
+
+class TestWriteAtomic:
+    def test_writes_text(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_atomic(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_writes_bytes(self, tmp_path):
+        target = tmp_path / "out.bin"
+        write_atomic(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        write_atomic(target, "new")
+        assert target.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_atomic(target, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_non_durable_mode(self, tmp_path):
+        target = tmp_path / "out.txt"
+        write_atomic(target, "data", durable=False)
+        assert target.read_text() == "data"
+
+    def test_failure_leaves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        import os
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_atomic(target, "overwrite attempt")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert target.read_text() == "precious"
+
+
+class TestWriteAtomicJson:
+    def test_round_trips(self, tmp_path):
+        import json
+
+        target = tmp_path / "data.json"
+        payload = {"b": [1, 2], "a": "x"}
+        write_atomic_json(target, payload)
+        assert json.loads(target.read_text()) == payload
+
+    def test_ends_with_newline(self, tmp_path):
+        target = tmp_path / "data.json"
+        write_atomic_json(target, {"k": 1})
+        assert target.read_text().endswith("\n")
+
+
+class TestParseOnMalformed:
+    def test_raise(self):
+        assert parse_on_malformed("raise") == ("raise", None)
+
+    def test_skip(self):
+        assert parse_on_malformed("skip") == ("skip", None)
+
+    def test_quarantine(self):
+        mode, directory = parse_on_malformed("quarantine:/tmp/bad")
+        assert mode == "quarantine"
+        assert directory == Path("/tmp/bad")
+
+    def test_quarantine_requires_directory(self):
+        with pytest.raises(ValueError, match="directory"):
+            parse_on_malformed("quarantine:")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_malformed"):
+            parse_on_malformed("explode")
+
+    def test_modes_constant_covers_all(self):
+        assert set(ON_MALFORMED_MODES) == {"raise", "skip", "quarantine"}
+
+
+class TestCrc32:
+    def test_deterministic(self):
+        assert crc32(b"abc") == crc32(b"abc")
+        assert crc32_text("abc") == crc32(b"abc")
+
+    def test_sensitive_to_single_bit(self):
+        assert crc32(b"abc") != crc32(b"abd")
+
+    def test_unsigned_range(self):
+        assert 0 <= crc32(b"\xff" * 64) < 2**32
