@@ -1,0 +1,125 @@
+"""Benchmark: numpy batch kernels vs the scalar python reference engine.
+
+Every compressor accepts ``engine="numpy" | "python"``; the two engines
+select identical indices by construction (the conformance suite pins
+bit-identity). This bench measures what the numpy engine buys: it times
+the paper's two headline algorithms (TD-TR and OPW-TR) on one long
+synthetic trajectory under both engines, verifies the outputs match, and
+writes the timings to ``BENCH_kernels.json`` at the repository root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--points 100000]
+
+or the suite-sized variant::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick
+
+or via pytest::
+
+    pytest benchmarks/bench_kernels.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.registry import make_compressor
+from repro.datagen import URBAN, TrajectoryGenerator
+from repro.trajectory import Trajectory
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+#: The paper's two spatiotemporal headliners: top-down (batch) and
+#: opening-window (online). Both inner loops ride the synchronized
+#: distance kernel, the hot path this PR vectorized.
+SPECS = ("td-tr:epsilon=30", "opw-tr:epsilon=30")
+FULL_POINTS = 100_000
+QUICK_POINTS = 4_000
+
+
+def make_trajectory(n_points: int, seed: int = 7) -> Trajectory:
+    """One deterministic urban trip resampled to ``n_points`` fixes."""
+    traj = TrajectoryGenerator(seed=seed).generate(URBAN, object_id="bench")
+    step = (traj.end_time - traj.start_time) / (n_points - 1)
+    return traj.resample(step)
+
+
+def time_engine(spec: str, traj: Trajectory, engine: str, repeats: int) -> dict:
+    """Best-of-``repeats`` wall time for one (spec, engine) pair."""
+    compressor = make_compressor(f"{spec},engine={engine}")
+    best = None
+    indices = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        indices = compressor.select_indices(traj)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    assert indices is not None
+    return {"engine": engine, "best_s": best, "n_kept": int(len(indices)),
+            "indices": indices}
+
+
+def bench(n_points: int, output: Path = OUTPUT) -> dict:
+    """Time both engines per spec, check agreement, write the JSON report."""
+    traj = make_trajectory(n_points)
+    algorithms = {}
+    for spec in SPECS:
+        # The scalar reference is the slow side: time it once; give the
+        # numpy engine best-of-3 to smooth allocator noise.
+        python = time_engine(spec, traj, "python", repeats=1)
+        numpy_ = time_engine(spec, traj, "numpy", repeats=3)
+        assert np.array_equal(python.pop("indices"), numpy_.pop("indices")), (
+            f"engines diverged on {spec}"
+        )
+        algorithms[spec] = {
+            "python": python,
+            "numpy": numpy_,
+            "speedup": python["best_s"] / numpy_["best_s"],
+        }
+    report = {
+        "benchmark": "kernels",
+        "n_points": len(traj),
+        "algorithms": algorithms,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_kernels_quick(tmp_path):
+    """Suite-sized smoke: engines agree and the report lands on disk."""
+    report = bench(800, output=tmp_path / "BENCH_kernels.json")
+    assert (tmp_path / "BENCH_kernels.json").exists()
+    for spec, entry in report["algorithms"].items():
+        assert entry["python"]["n_kept"] == entry["numpy"]["n_kept"], spec
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--points", type=int, default=FULL_POINTS,
+        help=f"trajectory length in fixes (default {FULL_POINTS})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-sized run ({QUICK_POINTS} points instead of {FULL_POINTS})",
+    )
+    args = parser.parse_args()
+    n_points = QUICK_POINTS if args.quick else args.points
+    report = bench(n_points)
+    for spec, entry in report["algorithms"].items():
+        print(
+            f"{spec}: python {entry['python']['best_s']:.2f}s, "
+            f"numpy {entry['numpy']['best_s']:.2f}s "
+            f"({entry['speedup']:.1f}x), kept {entry['numpy']['n_kept']}"
+        )
+    print(f"-> {OUTPUT.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

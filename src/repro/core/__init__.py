@@ -21,9 +21,17 @@ The spatial baselines it compares against:
 All algorithms select a subseries of the input's data points and always
 retain the first and last point. Use :func:`make_compressor` for
 name-based construction.
+
+Every compressor accepts ``engine="numpy" | "python"`` (default numpy;
+overridable via the ``REPRO_ENGINE`` environment variable): the numpy
+engine evaluates its discard criterion with the batch kernels of
+:mod:`repro.core.kernels`, the python engine with their scalar reference
+mirrors — both select identical indices by construction, which the
+differential conformance suite pins.
 """
 
 from repro.core.angular import AngularChange
+from repro.core.kernels import ENGINE_ENV_VAR, ENGINES, resolve_engine
 from repro.core.base import (
     CompressionResult,
     Compressor,
@@ -76,6 +84,8 @@ __all__ = [
     "DeadReckoning",
     "DistanceThreshold",
     "DouglasPeucker",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
     "EveryIth",
     "NOPW",
     "OPWSP",
@@ -92,6 +102,7 @@ __all__ = [
     "opening_window_indices",
     "perpendicular_scan",
     "perpendicular_segment_error",
+    "resolve_engine",
     "spatiotemporal_scan",
     "speed_violations",
     "spt_paper_indices",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.trajectory.trajectory import Trajectory
 
@@ -37,6 +38,9 @@ class AngularChange(Compressor):
             ``(0, pi]``.
         max_gap_m: optional spatial cap on how far apart retained points
             may be; ``None`` disables it.
+        engine: accepted for registry uniformity; the last-kept-point
+            recurrence is inherently sequential, so both engines share
+            the single implementation.
     """
 
     name = "angular"
@@ -44,8 +48,13 @@ class AngularChange(Compressor):
 
     @deprecated_positional_init
     def __init__(
-        self, *, max_angle_rad: float, max_gap_m: float | None = None
+        self,
+        *,
+        max_angle_rad: float,
+        max_gap_m: float | None = None,
+        engine: str | None = None,
     ) -> None:
+        self.engine = kernels.resolve_engine(engine)
         self.max_angle_rad = require_positive("max_angle_rad", max_angle_rad)
         if self.max_angle_rad > np.pi:
             raise ValueError(

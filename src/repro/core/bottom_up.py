@@ -17,9 +17,8 @@ import heapq
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
-from repro.geometry.distance import perpendicular_distances
-from repro.geometry.interpolation import synchronized_distances
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["BottomUp"]
@@ -32,16 +31,27 @@ class BottomUp(Compressor):
         epsilon: maximum per-segment error in metres; a merge whose merged
             segment would exceed this is never performed.
         criterion: ``"perpendicular"`` or ``"synchronized"``.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable. Both engines
+            produce bitwise-equal merge costs, hence the same heap order
+            and the same retained indices.
     """
 
     name = "bottom-up"
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float, criterion: str = "synchronized") -> None:
+    def __init__(
+        self,
+        *,
+        epsilon: float,
+        criterion: str = "synchronized",
+        engine: str | None = None,
+    ) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         if criterion not in ("perpendicular", "synchronized"):
             raise ValueError(f"unknown criterion {criterion!r}")
         self.criterion = criterion
+        self.engine = kernels.resolve_engine(engine)
 
     def sync_error_bound(self) -> float | None:
         """With the synchronized criterion every performed merge kept the
@@ -54,12 +64,18 @@ class BottomUp(Compressor):
         """Max error of the chord ``start``–``end`` over interior points."""
         if end - start < 2:
             return 0.0
+        if self.engine == "python":
+            t, x, y = traj.column_lists
+            if self.criterion == "perpendicular":
+                errors = kernels.perp_distances_py(x, y, start, end)
+            else:
+                errors = kernels.sync_distances_py(t, x, y, start, end)
+            return kernels.max_with_offset_py(errors)[0]
+        t, x, y = traj.columns
         if self.criterion == "perpendicular":
-            errors = perpendicular_distances(
-                traj.xy[start + 1 : end], traj.xy[start], traj.xy[end]
-            )
+            errors = kernels.perp_distances(x, y, start, end)
         else:
-            errors = synchronized_distances(traj.t, traj.xy, start, end)
+            errors = kernels.sync_distances(t, x, y, start, end)
         return float(errors.max())
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:

@@ -24,8 +24,11 @@ bench quantifies.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.trajectory.trajectory import Trajectory
 
@@ -47,20 +50,21 @@ def dead_reckoning_indices(traj: Trajectory, epsilon: float) -> np.ndarray:
         epsilon: prediction-error threshold in metres.
     """
     epsilon = require_positive("epsilon", epsilon)
-    t = traj.t
-    xy = traj.xy
-    n = len(traj)
+    t, x, y = traj.column_lists
+    n = len(t)
     keep = [0]
     anchor = 0
-    velocity = np.zeros(2)  # first anchor: no incoming segment yet
+    vx = vy = 0.0  # first anchor: no incoming segment yet
     for i in range(1, n - 1):
-        predicted = xy[anchor] + velocity * (t[i] - t[anchor])
-        deviation = float(np.hypot(*(xy[i] - predicted)))
-        if deviation > epsilon:
+        elapsed = t[i] - t[anchor]
+        dx = x[i] - (x[anchor] + vx * elapsed)
+        dy = y[i] - (y[anchor] + vy * elapsed)
+        if math.sqrt(dx * dx + dy * dy) > epsilon:
             keep.append(i)
             anchor = i
             dt = t[i] - t[i - 1]
-            velocity = (xy[i] - xy[i - 1]) / dt
+            vx = (x[i] - x[i - 1]) / dt
+            vy = (y[i] - y[i - 1]) / dt
     keep.append(n - 1)
     return np.asarray(keep, dtype=int)
 
@@ -75,14 +79,18 @@ class DeadReckoning(Compressor):
             synchronized error of the result is not bounded by
             ``epsilon`` — the threshold bounds the transmitter-side
             prediction error, matching how update policies are specified.
+        engine: accepted for registry uniformity; the anchor/velocity
+            recurrence is inherently sequential, so both engines share
+            the scalar loop.
     """
 
     name = "dead-reckoning"
     online = True
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float) -> None:
+    def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
+        self.engine = kernels.resolve_engine(engine)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
         return dead_reckoning_indices(traj, self.epsilon)

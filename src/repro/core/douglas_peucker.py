@@ -5,27 +5,33 @@ last, find the intermediate point with maximum perpendicular distance to
 the anchor–float line; if it exceeds the threshold, cut there and recurse
 into both halves.
 
-Two interchangeable engines are provided:
+Two interchangeable traversal drivers are provided:
 
 * :func:`top_down_indices` — iterative, explicit-stack (production
   default; immune to Python's recursion limit on long traces), and
 * :func:`top_down_indices_recursive` — a direct transliteration of the
   textbook recursion, kept as an executable specification and compared
-  against the iterative engine by the ablation bench.
+  against the iterative driver by the ablation bench.
 
 Both are generic over the *segment error function*, which is how
 :class:`~repro.core.td_tr.TDTR` reuses this machinery with the time-ratio
 distance instead of the perpendicular one.
+
+Orthogonally to the traversal, the segment error itself evaluates on one
+of two *engines* (see :mod:`repro.core.kernels`): ``"numpy"`` batch
+kernels (default) or the ``"python"`` scalar reference, which computes
+bit-identical values point by point.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from functools import partial
+from typing import Protocol
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
-from repro.geometry.distance import perpendicular_distances
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -35,6 +41,8 @@ __all__ = [
     "top_down_indices_recursive",
     "DouglasPeucker",
 ]
+
+_TRAVERSALS = ("iterative", "recursive")
 
 
 class SegmentErrorFn(Protocol):
@@ -51,14 +59,20 @@ class SegmentErrorFn(Protocol):
 
 
 def perpendicular_segment_error(
-    traj: Trajectory, start: int, end: int
+    traj: Trajectory, start: int, end: int, *, engine: str = "numpy"
 ) -> tuple[float, int]:
     """NDP's segment error: max perpendicular distance to the chord line."""
-    distances = perpendicular_distances(
-        traj.xy[start + 1 : end], traj.xy[start], traj.xy[end]
-    )
-    offset = int(np.argmax(distances))
-    return float(distances[offset]), start + 1 + offset
+    if engine == "python":
+        _, x, y = traj.column_lists
+        error, offset = kernels.max_with_offset_py(
+            kernels.perp_distances_py(x, y, start, end)
+        )
+    else:
+        _, x, y = traj.columns
+        error, offset = kernels.max_with_offset(
+            kernels.perp_distances(x, y, start, end)
+        )
+    return error, start + 1 + offset
 
 
 def top_down_indices(
@@ -97,7 +111,7 @@ def top_down_indices_recursive(
 
     Kept as an executable specification of the classic DP recursion
     (Fig. 1 of the paper); raises ``RecursionError`` on pathological
-    inputs where the iterative engine keeps working.
+    inputs where the iterative driver keeps working.
     """
     n = len(traj)
     keep = np.zeros(n, dtype=bool)
@@ -116,6 +130,15 @@ def top_down_indices_recursive(
     return np.nonzero(keep)[0]
 
 
+def resolve_traversal(traversal: str):
+    """Map a traversal name to its top-down driver function."""
+    if traversal not in _TRAVERSALS:
+        raise ValueError(
+            f"unknown traversal {traversal!r}; use one of {_TRAVERSALS}"
+        )
+    return top_down_indices if traversal == "iterative" else top_down_indices_recursive
+
+
 class DouglasPeucker(Compressor):
     """NDP: the classic spatial Douglas–Peucker compressor (Sect. 2.1).
 
@@ -126,19 +149,30 @@ class DouglasPeucker(Compressor):
     Args:
         epsilon: perpendicular distance threshold in metres (the paper
             sweeps 30–100 m).
-        engine: ``"iterative"`` (default) or ``"recursive"``.
+        traversal: ``"iterative"`` (default) or ``"recursive"``.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable. Both engines
+            select identical indices (the conformance suite pins this).
     """
 
     name = "ndp"
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float, engine: str = "iterative") -> None:
+    def __init__(
+        self,
+        *,
+        epsilon: float,
+        traversal: str = "iterative",
+        engine: str | None = None,
+    ) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
-        if engine not in ("iterative", "recursive"):
-            raise ValueError(f"unknown engine {engine!r}")
-        self.engine: Callable[..., np.ndarray] = (
-            top_down_indices if engine == "iterative" else top_down_indices_recursive
-        )
+        self.traversal = traversal
+        self._traversal = resolve_traversal(traversal)
+        self.engine = kernels.resolve_engine(engine)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        return self.engine(traj, self.epsilon, perpendicular_segment_error)
+        return self._traversal(
+            traj,
+            self.epsilon,
+            partial(perpendicular_segment_error, engine=self.engine),
+        )

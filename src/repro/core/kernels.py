@@ -1,0 +1,433 @@
+"""Vectorized compression kernels and their scalar reference mirrors.
+
+The discard tests of every algorithm in this library reduce to a handful
+of per-chord sweeps: the synchronized (time-ratio) distance of Eqs. 1–2,
+the perpendicular distance of classic line generalization, the derived
+segment speeds of the SP criterion, and the closed-form α integrand of
+Sect. 4.2. This module implements each sweep twice:
+
+* a **NumPy kernel** (``sync_distances``, ``perp_distances``,
+  ``segment_speeds``, ``speed_deltas``, ``segment_mean_distances``,
+  ``chord_point_distances``, ``chord_line_distances``) — the production
+  fast path, batch-evaluating a whole point range per call; and
+* a **scalar reference mirror** (the ``*_py`` functions) — a faithful
+  point-by-point port in pure Python, kept as the executable
+  specification the fast path is differentially tested against.
+
+Both sides compute the *same floating-point expressions in the same
+order* (for example ``sqrt(dx*dx + dy*dy)`` rather than ``hypot``, whose
+libm rounding may differ from the explicit form by one ulp), so for any
+input the two engines produce **bit-identical** criterion values — which
+is what lets ``tests/core/test_engine_conformance.py`` assert identical
+retained indices and bit-identical error reports rather than mere
+closeness.
+
+Engine selection is centralized in :func:`resolve_engine`: every
+compressor takes ``engine="numpy" | "python"`` (default ``"numpy"``,
+overridable process-wide through the ``REPRO_ENGINE`` environment
+variable).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from repro.exceptions import TrajectoryError
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "resolve_engine",
+    "sync_distances",
+    "sync_distances_py",
+    "perp_distances",
+    "perp_distances_py",
+    "segment_speeds",
+    "segment_speeds_py",
+    "speed_deltas",
+    "speed_deltas_py",
+    "first_above",
+    "first_above_py",
+    "max_with_offset",
+    "max_with_offset_py",
+    "segment_mean_distances",
+    "chord_point_distances",
+    "chord_point_distance_py",
+    "chord_line_distances",
+    "chord_line_distance_py",
+]
+
+#: The two interchangeable execution engines.
+ENGINES = ("numpy", "python")
+
+#: Environment variable overriding the default engine process-wide.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine choice to ``"numpy"`` or ``"python"``.
+
+    Resolution order: an explicit ``engine`` argument wins; otherwise the
+    ``REPRO_ENGINE`` environment variable; otherwise ``"numpy"``.
+
+    Raises:
+        ValueError: for any other value (naming its source, so a typo in
+            the environment variable is attributed correctly).
+    """
+    source = "engine"
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or None
+        source = f"${ENGINE_ENV_VAR}"
+    if engine is None:
+        return "numpy"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown {source} value {engine!r}; use one of {list(ENGINES)}"
+        )
+    return engine
+
+
+# --------------------------------------------------------------------- #
+# Synchronized (time-ratio) distance, Eqs. 1–2
+# --------------------------------------------------------------------- #
+
+
+def sync_distances(
+    t: np.ndarray, x: np.ndarray, y: np.ndarray, start: int, end: int
+) -> np.ndarray:
+    """Batch synchronized distances of interior points to a chord.
+
+    For the candidate chord between data points ``start`` and ``end``,
+    returns ``dist(P_i, P'_i)`` for every interior index
+    ``start < i < end`` in one vectorized sweep — the quantity TD-TR,
+    OPW-TR and OPW-SP test against their distance threshold.
+
+    Args:
+        t: timestamps, shape ``(n,)``, strictly increasing.
+        x, y: coordinate columns, shape ``(n,)``.
+        start: chord start index.
+        end: chord end index (``end > start``).
+
+    Returns:
+        Array of shape ``(end - start - 1,)``; empty for adjacent points.
+    """
+    ts = t[start]
+    delta_e = t[end] - ts
+    ratio = (t[start + 1 : end] - ts) / delta_e
+    px = x[start] + ratio * (x[end] - x[start])
+    py = y[start] + ratio * (y[end] - y[start])
+    dx = x[start + 1 : end] - px
+    dy = y[start + 1 : end] - py
+    return np.sqrt(dx * dx + dy * dy)
+
+
+def sync_distances_py(
+    t: list[float], x: list[float], y: list[float], start: int, end: int
+) -> list[float]:
+    """Scalar reference mirror of :func:`sync_distances`."""
+    ts = t[start]
+    delta_e = t[end] - ts
+    xs, ys = x[start], y[start]
+    ex, ey = x[end] - xs, y[end] - ys
+    out = []
+    for i in range(start + 1, end):
+        ratio = (t[i] - ts) / delta_e
+        dx = x[i] - (xs + ratio * ex)
+        dy = y[i] - (ys + ratio * ey)
+        out.append(math.sqrt(dx * dx + dy * dy))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Perpendicular distance (infinite line through a chord)
+# --------------------------------------------------------------------- #
+
+
+def perp_distances(
+    x: np.ndarray, y: np.ndarray, start: int, end: int
+) -> np.ndarray:
+    """Batch perpendicular distances of interior points to a chord line.
+
+    The discard criterion of the spatial algorithms (NDP, NOPW, BOPW):
+    cross-product magnitude over chord length, degenerating to the plain
+    point distance when the chord has zero length.
+
+    Returns:
+        Array of shape ``(end - start - 1,)``.
+    """
+    ax, ay = x[start], y[start]
+    abx = x[end] - ax
+    aby = y[end] - ay
+    norm = np.sqrt(abx * abx + aby * aby)
+    rx = x[start + 1 : end] - ax
+    ry = y[start + 1 : end] - ay
+    if norm == 0.0:
+        return np.sqrt(rx * rx + ry * ry)
+    cross = rx * aby - ry * abx
+    return np.abs(cross) / norm
+
+
+def perp_distances_py(
+    x: list[float], y: list[float], start: int, end: int
+) -> list[float]:
+    """Scalar reference mirror of :func:`perp_distances`."""
+    ax, ay = x[start], y[start]
+    abx = x[end] - ax
+    aby = y[end] - ay
+    norm = math.sqrt(abx * abx + aby * aby)
+    out = []
+    for i in range(start + 1, end):
+        rx = x[i] - ax
+        ry = y[i] - ay
+        if norm == 0.0:
+            out.append(math.sqrt(rx * rx + ry * ry))
+        else:
+            out.append(abs(rx * aby - ry * abx) / norm)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Derived segment speeds and speed differences (SP criterion)
+# --------------------------------------------------------------------- #
+
+
+def segment_speeds(t: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Batch derived speeds ``v[i] = dist(P_{i+1}, P_i) / (t_{i+1} - t_i)``.
+
+    Returns:
+        Array of shape ``(n - 1,)``.
+    """
+    dx = x[1:] - x[:-1]
+    dy = y[1:] - y[:-1]
+    dt = t[1:] - t[:-1]
+    return np.sqrt(dx * dx + dy * dy) / dt
+
+
+def segment_speeds_py(
+    t: list[float], x: list[float], y: list[float]
+) -> list[float]:
+    """Scalar reference mirror of :func:`segment_speeds`."""
+    out = []
+    for i in range(len(t) - 1):
+        dx = x[i + 1] - x[i]
+        dy = y[i + 1] - y[i]
+        out.append(math.sqrt(dx * dx + dy * dy) / (t[i + 1] - t[i]))
+    return out
+
+
+def speed_deltas(t: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Batch speed differences ``|v_i - v_{i-1}|`` at interior points.
+
+    ``out[j]`` is the speed jump at data point ``j + 1`` — the quantity
+    the SP algorithms compare against ``max_speed_error``.
+
+    Returns:
+        Array of shape ``(n - 2,)``.
+    """
+    v = segment_speeds(t, x, y)
+    return np.abs(v[1:] - v[:-1])
+
+
+def speed_deltas_py(
+    t: list[float], x: list[float], y: list[float]
+) -> list[float]:
+    """Scalar reference mirror of :func:`speed_deltas`."""
+    v = segment_speeds_py(t, x, y)
+    return [abs(v[j + 1] - v[j]) for j in range(len(v) - 1)]
+
+
+# --------------------------------------------------------------------- #
+# Reductions over criterion sweeps
+# --------------------------------------------------------------------- #
+
+
+def first_above(values: np.ndarray, threshold: float) -> int:
+    """Offset of the first value strictly above ``threshold``, or ``-1``."""
+    hits = np.nonzero(values > threshold)[0]
+    if hits.size == 0:
+        return -1
+    return int(hits[0])
+
+
+def first_above_py(values: list[float], threshold: float) -> int:
+    """Scalar reference mirror of :func:`first_above`."""
+    for offset, value in enumerate(values):
+        if value > threshold:
+            return offset
+    return -1
+
+
+def max_with_offset(values: np.ndarray) -> tuple[float, int]:
+    """``(max value, offset of its first occurrence)`` of a sweep."""
+    offset = int(np.argmax(values))
+    return float(values[offset]), offset
+
+
+def max_with_offset_py(values: list[float]) -> tuple[float, int]:
+    """Scalar reference mirror of :func:`max_with_offset`.
+
+    The strict ``>`` keeps the *first* occurrence of the maximum, matching
+    ``np.argmax``.
+    """
+    best = values[0]
+    best_offset = 0
+    for offset in range(1, len(values)):
+        if values[offset] > best:
+            best = values[offset]
+            best_offset = offset
+    return best, best_offset
+
+
+# --------------------------------------------------------------------- #
+# Closed-form α integrand (paper Eq. 4/5), batched
+# --------------------------------------------------------------------- #
+
+#: Relative tolerance for degenerate-case detection; must match the
+#: scalar reference, :func:`repro.error.synchronized.segment_mean_distance`.
+_CASE_RTOL = 1e-12
+
+
+def segment_mean_distances(v0: np.ndarray, v1: np.ndarray) -> np.ndarray:
+    """Batch average of ``|v0 + u (v1 - v0)|`` over ``u ∈ [0, 1]`` per row.
+
+    Vectorized mirror of
+    :func:`repro.error.synchronized.segment_mean_distance` — same case
+    analysis, same expressions, bit-identical output row by row. This is
+    the per-segment sweep of the paper's α(p, a) integral, evaluated for
+    all merged-grid intervals in one call.
+
+    Args:
+        v0: difference vectors at interval starts, shape ``(n, 2)``.
+        v1: difference vectors at interval ends, shape ``(n, 2)``.
+
+    Raises:
+        TrajectoryError: any component is NaN or infinite.
+    """
+    v0 = np.asarray(v0, dtype=float)
+    v1 = np.asarray(v1, dtype=float)
+    if not (np.all(np.isfinite(v0)) and np.all(np.isfinite(v1))):
+        raise TrajectoryError("difference vectors must be finite")
+    wx = v1[:, 0] - v0[:, 0]
+    wy = v1[:, 1] - v0[:, 1]
+    # a, b, c mirror the scalar reference's dot products term by term.
+    a = wx * wx + wy * wy
+    b = 2.0 * (v0[:, 0] * wx + v0[:, 1] * wy)
+    c = v0[:, 0] * v0[:, 0] + v0[:, 1] * v0[:, 1]
+    scale = np.maximum(np.maximum(a, np.abs(b)), np.maximum(c, 1e-300))
+    out = np.empty(a.shape[0])
+
+    # Case c1 = 0: pure translation, constant distance.
+    case1 = a <= _CASE_RTOL * scale
+    out[case1] = np.sqrt(c[case1])
+
+    disc = 4.0 * a * c - b * b
+    rest = ~case1
+
+    # Case c2² - 4 c1 c3 = 0: parallel difference vectors.
+    case2 = rest & (disc <= _CASE_RTOL * scale * scale)
+    if np.any(case2):
+        a2, b2 = a[case2], b[case2]
+        r = -b2 / (2.0 * a2)
+        integral = np.where(
+            r <= 0.0,
+            0.5 - r,
+            np.where(r >= 1.0, r - 0.5, (r * r + (1.0 - r) * (1.0 - r)) / 2.0),
+        )
+        out[case2] = np.sqrt(a2) * integral
+
+    # General case: arcsinh antiderivative (the paper's F(t)).
+    case3 = rest & ~case2
+    if np.any(case3):
+        a3, b3, c3 = a[case3], b[case3], c[case3]
+        disc3 = disc[case3]
+        sqrt_disc = np.sqrt(disc3)
+        sqrt_a = np.sqrt(a3)
+
+        def antiderivative(u: float) -> np.ndarray:
+            s = np.sqrt(np.maximum(a3 * u * u + b3 * u + c3, 0.0))
+            return (2.0 * a3 * u + b3) / (4.0 * a3) * s + disc3 / (
+                8.0 * a3 * sqrt_a
+            ) * np.arcsinh((2.0 * a3 * u + b3) / sqrt_disc)
+
+        out[case3] = antiderivative(1.0) - antiderivative(0.0)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Point-to-chord distances for the error sweeps
+# --------------------------------------------------------------------- #
+
+
+def chord_point_distances(
+    px: np.ndarray,
+    py: np.ndarray,
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+) -> np.ndarray:
+    """Batch distances from points to the closed segment ``a``–``b``."""
+    abx = bx - ax
+    aby = by - ay
+    denom = abx * abx + aby * aby
+    rx = px - ax
+    ry = py - ay
+    if denom == 0.0:
+        return np.sqrt(rx * rx + ry * ry)
+    u = np.clip((rx * abx + ry * aby) / denom, 0.0, 1.0)
+    dx = rx - u * abx
+    dy = ry - u * aby
+    return np.sqrt(dx * dx + dy * dy)
+
+
+def chord_point_distance_py(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Scalar reference mirror of :func:`chord_point_distances`."""
+    abx = bx - ax
+    aby = by - ay
+    denom = abx * abx + aby * aby
+    rx = px - ax
+    ry = py - ay
+    if denom == 0.0:
+        return math.sqrt(rx * rx + ry * ry)
+    u = min(max((rx * abx + ry * aby) / denom, 0.0), 1.0)
+    dx = rx - u * abx
+    dy = ry - u * aby
+    return math.sqrt(dx * dx + dy * dy)
+
+
+def chord_line_distances(
+    px: np.ndarray,
+    py: np.ndarray,
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+) -> np.ndarray:
+    """Batch distances from points to the infinite line through ``a``–``b``."""
+    abx = bx - ax
+    aby = by - ay
+    norm = np.sqrt(abx * abx + aby * aby)
+    rx = px - ax
+    ry = py - ay
+    if norm == 0.0:
+        return np.sqrt(rx * rx + ry * ry)
+    return np.abs(rx * aby - ry * abx) / norm
+
+
+def chord_line_distance_py(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Scalar reference mirror of :func:`chord_line_distances`."""
+    abx = bx - ax
+    aby = by - ay
+    norm = math.sqrt(abx * abx + aby * aby)
+    rx = px - ax
+    ry = py - ay
+    if norm == 0.0:
+        return math.sqrt(rx * rx + ry * ry)
+    return abs(rx * aby - ry * abx) / norm

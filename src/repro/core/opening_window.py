@@ -32,8 +32,8 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
-from repro.geometry.distance import perpendicular_distances
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -63,21 +63,30 @@ class WindowScanFn(Protocol):
         ...  # pragma: no cover - protocol signature only
 
 
-def perpendicular_scan(threshold: float) -> WindowScanFn:
+def perpendicular_scan(threshold: float, engine: str = "numpy") -> WindowScanFn:
     """Window scan testing perpendicular distance to the anchor–float line.
 
     The criterion of the classic (spatial) NOPW/BOPW algorithms.
     """
     threshold = require_positive("threshold", threshold)
 
-    def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
-        distances = perpendicular_distances(
-            traj.xy[anchor + 1 : float_end], traj.xy[anchor], traj.xy[float_end]
-        )
-        violating = np.nonzero(distances > threshold)[0]
-        if violating.size == 0:
-            return -1
-        return anchor + 1 + int(violating[0])
+    if engine == "python":
+
+        def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
+            _, x, y = traj.column_lists
+            offset = kernels.first_above_py(
+                kernels.perp_distances_py(x, y, anchor, float_end), threshold
+            )
+            return -1 if offset < 0 else anchor + 1 + offset
+
+    else:
+
+        def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
+            _, x, y = traj.columns
+            offset = kernels.first_above(
+                kernels.perp_distances(x, y, anchor, float_end), threshold
+            )
+            return -1 if offset < 0 else anchor + 1 + offset
 
     return scan
 
@@ -131,18 +140,21 @@ class NOPW(Compressor):
 
     Args:
         epsilon: perpendicular distance threshold in metres.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "nopw"
     online = True
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float) -> None:
+    def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
+        self.engine = kernels.resolve_engine(engine)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
         return opening_window_indices(
-            traj, perpendicular_scan(self.epsilon), "violating"
+            traj, perpendicular_scan(self.epsilon, self.engine), "violating"
         )
 
 
@@ -154,16 +166,19 @@ class BOPW(Compressor):
 
     Args:
         epsilon: perpendicular distance threshold in metres.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "bopw"
     online = True
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float) -> None:
+    def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
+        self.engine = kernels.resolve_engine(engine)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
         return opening_window_indices(
-            traj, perpendicular_scan(self.epsilon), "before-float"
+            traj, perpendicular_scan(self.epsilon, self.engine), "before-float"
         )

@@ -12,28 +12,39 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.core.opening_window import (
     BreakStrategy,
     WindowScanFn,
     opening_window_indices,
 )
-from repro.geometry.interpolation import synchronized_distances
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["synchronized_scan", "OPWTR"]
 
 
-def synchronized_scan(threshold: float) -> WindowScanFn:
+def synchronized_scan(threshold: float, engine: str = "numpy") -> WindowScanFn:
     """Window scan testing time-ratio distance to the anchor–float chord."""
     threshold = require_positive("threshold", threshold)
 
-    def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
-        distances = synchronized_distances(traj.t, traj.xy, anchor, float_end)
-        violating = np.nonzero(distances > threshold)[0]
-        if violating.size == 0:
-            return -1
-        return anchor + 1 + int(violating[0])
+    if engine == "python":
+
+        def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
+            t, x, y = traj.column_lists
+            offset = kernels.first_above_py(
+                kernels.sync_distances_py(t, x, y, anchor, float_end), threshold
+            )
+            return -1 if offset < 0 else anchor + 1 + offset
+
+    else:
+
+        def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
+            t, x, y = traj.columns
+            offset = kernels.first_above(
+                kernels.sync_distances(t, x, y, anchor, float_end), threshold
+            )
+            return -1 if offset < 0 else anchor + 1 + offset
 
     return scan
 
@@ -50,6 +61,8 @@ class OPWTR(Compressor):
         epsilon: synchronized distance threshold in metres.
         strategy: break-point choice, ``"violating"`` (paper default) or
             ``"before-float"`` for the BOPW-style variant.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "opw-tr"
@@ -57,10 +70,15 @@ class OPWTR(Compressor):
 
     @deprecated_positional_init
     def __init__(
-        self, *, epsilon: float, strategy: BreakStrategy = "violating"
+        self,
+        *,
+        epsilon: float,
+        strategy: BreakStrategy = "violating",
+        engine: str | None = None,
     ) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         self.strategy = strategy
+        self.engine = kernels.resolve_engine(engine)
 
     def sync_error_bound(self) -> float:
         """Each emitted segment was fully validated against its own chord
@@ -70,5 +88,5 @@ class OPWTR(Compressor):
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
         return opening_window_indices(
-            traj, synchronized_scan(self.epsilon), self.strategy
+            traj, synchronized_scan(self.epsilon, self.engine), self.strategy
         )

@@ -11,7 +11,10 @@ Algorithm and parameters can also travel as one value — a *spec string*::
 
 e.g. ``"td-tr:epsilon=30"`` or ``"opw-sp:epsilon=30,speed=5"``. Values
 are coerced to ``int``, ``float`` or ``bool`` when they look like one,
-and are kept as strings otherwise (``engine=recursive``). A few
+and are kept as strings otherwise — which is how the execution engine
+travels in a spec: ``"td-tr:epsilon=30,engine=python"`` (every
+registered compressor accepts ``engine``; see
+:mod:`repro.core.kernels`). A few
 convenience aliases mirror the CLI's flag names: ``epsilon`` and
 ``speed`` map onto ``max_dist_error`` / ``max_speed_error`` for the SP
 algorithms, ``epsilon`` onto ``max_mean_error`` for
@@ -37,7 +40,7 @@ from repro.core.sliding_window import SlidingWindow
 from repro.core.spt import OPWSP, TDSP
 from repro.core.td_tr import TDTR
 from repro.core.uniform import DistanceThreshold, EveryIth
-from repro.exceptions import CompressorSpecError
+from repro.exceptions import CompressorSpecError, UnknownCompressorError
 
 __all__ = [
     "COMPRESSORS",
@@ -129,15 +132,17 @@ class CompressorSpec:
         """Construct the configured compressor this spec describes.
 
         Raises:
-            KeyError: unknown algorithm name (listing the valid ones).
+            UnknownCompressorError: unknown algorithm name; the message
+                lists the registered names. (Also catchable as
+                ``KeyError`` or ``CompressorSpecError``.)
             TypeError: a parameter the algorithm does not accept.
         """
         try:
             factory = COMPRESSORS[self.name]
         except KeyError:
-            raise KeyError(
+            raise UnknownCompressorError(
                 f"unknown compressor {self.name!r}; "
-                f"available: {available_compressors()}"
+                f"available: {', '.join(available_compressors())}"
             ) from None
         aliases = _PARAM_ALIASES.get(self.name, {})
         resolved = {aliases.get(key, key): value for key, value in self.params}
@@ -201,7 +206,8 @@ def make_compressor(name: str, **params: object) -> Compressor:
             the spec's parameters.
 
     Raises:
-        KeyError: for unknown names (listing the valid ones).
+        UnknownCompressorError: for unknown names (listing the valid
+            ones; also catchable as ``KeyError``).
         CompressorSpecError: for a malformed spec string.
     """
     if ":" in name or "=" in name:

@@ -17,9 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
-from repro.geometry.distance import perpendicular_distances
-from repro.geometry.interpolation import synchronized_distances
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["SlidingWindow"]
@@ -32,6 +31,8 @@ class SlidingWindow(Compressor):
         epsilon: error threshold in metres.
         window_size: number of points per window (``>= 3``).
         criterion: ``"perpendicular"`` or ``"synchronized"``.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "sliding-window"
@@ -44,6 +45,7 @@ class SlidingWindow(Compressor):
         epsilon: float,
         window_size: int = 32,
         criterion: str = "perpendicular",
+        engine: str | None = None,
     ) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         if window_size < 3:
@@ -52,13 +54,18 @@ class SlidingWindow(Compressor):
             raise ValueError(f"unknown criterion {criterion!r}")
         self.window_size = int(window_size)
         self.criterion = criterion
+        self.engine = kernels.resolve_engine(engine)
 
-    def _window_errors(self, traj: Trajectory, start: int, end: int) -> np.ndarray:
+    def _window_errors(self, traj: Trajectory, start: int, end: int):
+        if self.engine == "python":
+            t, x, y = traj.column_lists
+            if self.criterion == "perpendicular":
+                return kernels.perp_distances_py(x, y, start, end)
+            return kernels.sync_distances_py(t, x, y, start, end)
+        t, x, y = traj.columns
         if self.criterion == "perpendicular":
-            return perpendicular_distances(
-                traj.xy[start + 1 : end], traj.xy[start], traj.xy[end]
-            )
-        return synchronized_distances(traj.t, traj.xy, start, end)
+            return kernels.perp_distances(x, y, start, end)
+        return kernels.sync_distances(t, x, y, start, end)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
         n = len(traj)
@@ -70,7 +77,12 @@ class SlidingWindow(Compressor):
             keep[start] = keep[end] = True
             if end - start >= 2:
                 errors = self._window_errors(traj, start, end)
-                bad = np.nonzero(errors > self.epsilon)[0]
-                keep[start + 1 + bad] = True
+                if self.engine == "python":
+                    for offset, error in enumerate(errors):
+                        if error > self.epsilon:
+                            keep[start + 1 + offset] = True
+                else:
+                    bad = np.nonzero(errors > self.epsilon)[0]
+                    keep[start + 1 + bad] = True
             start = end
         return np.nonzero(keep)[0]

@@ -24,12 +24,14 @@ Three implementations:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.core.douglas_peucker import top_down_indices
 from repro.core.opening_window import WindowScanFn, opening_window_indices
-from repro.geometry.interpolation import segment_speeds, synchronized_distances
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -41,7 +43,9 @@ __all__ = [
 ]
 
 
-def speed_violations(traj: Trajectory, max_speed_error: float) -> np.ndarray:
+def speed_violations(
+    traj: Trajectory, max_speed_error: float, engine: str = "numpy"
+) -> np.ndarray:
     """Boolean mask over points: speed-difference criterion fires there.
 
     ``out[i]`` is True when ``|v_i - v_{i-1}| > max_speed_error`` with
@@ -52,8 +56,13 @@ def speed_violations(traj: Trajectory, max_speed_error: float) -> np.ndarray:
     out = np.zeros(n, dtype=bool)
     if n < 3:
         return out
-    v = segment_speeds(traj.t, traj.xy)
-    out[1:-1] = np.abs(np.diff(v)) > max_speed_error
+    if engine == "python":
+        t, x, y = traj.column_lists
+        deltas = kernels.speed_deltas_py(t, x, y)
+        out[1:-1] = [delta > max_speed_error for delta in deltas]
+    else:
+        t, x, y = traj.columns
+        out[1:-1] = kernels.speed_deltas(t, x, y) > max_speed_error
     return out
 
 
@@ -72,8 +81,7 @@ def spt_paper_indices(
     """
     max_dist_error = require_positive("max_dist_error", max_dist_error)
     max_speed_error = require_positive("max_speed_error", max_speed_error)
-    t = traj.t
-    xy = traj.xy
+    t, x, y = traj.column_lists
     n = len(traj)
     keep = [0]
     base = 0
@@ -84,16 +92,14 @@ def spt_paper_indices(
         while float_end <= n - 1 and violating < 0:
             j = base + 1
             while j < float_end and violating < 0:
-                delta_e = t[float_end] - t[base]
-                delta_j = t[j] - t[base]
-                approx = xy[base] + (xy[float_end] - xy[base]) * (delta_j / delta_e)
-                v_prev = (
-                    float(np.hypot(*(xy[j] - xy[j - 1]))) / (t[j] - t[j - 1])
-                )
-                v_next = (
-                    float(np.hypot(*(xy[j + 1] - xy[j]))) / (t[j + 1] - t[j])
-                )
-                sync_dist = float(np.hypot(*(xy[j] - approx)))
+                ratio = (t[j] - t[base]) / (t[float_end] - t[base])
+                sx = x[j] - (x[base] + ratio * (x[float_end] - x[base]))
+                sy = y[j] - (y[base] + ratio * (y[float_end] - y[base]))
+                sync_dist = math.sqrt(sx * sx + sy * sy)
+                px, py = x[j] - x[j - 1], y[j] - y[j - 1]
+                v_prev = math.sqrt(px * px + py * py) / (t[j] - t[j - 1])
+                nx, ny = x[j + 1] - x[j], y[j + 1] - y[j]
+                v_next = math.sqrt(nx * nx + ny * ny) / (t[j + 1] - t[j])
                 if sync_dist > max_dist_error or abs(v_next - v_prev) > max_speed_error:
                     violating = j
                 else:
@@ -112,9 +118,11 @@ def spt_paper_indices(
 
 
 def spatiotemporal_scan(
-    max_dist_error: float, speed_violation_mask: np.ndarray
+    max_dist_error: float,
+    speed_violation_mask: np.ndarray,
+    engine: str = "numpy",
 ) -> WindowScanFn:
-    """Vectorized window scan combining the SED and speed criteria.
+    """Window scan combining the SED and speed criteria.
 
     The speed test depends only on the point, not the window, so callers
     precompute its mask once per trajectory (:func:`speed_violations`) and
@@ -124,17 +132,33 @@ def spatiotemporal_scan(
         max_dist_error: synchronized distance threshold in metres.
         speed_violation_mask: boolean mask over the trajectory's points,
             True where the speed-difference criterion fires.
+        engine: ``"numpy"`` (vectorized sweep) or ``"python"`` (scalar
+            reference); both flag the same first violator.
     """
     max_dist_error = require_positive("max_dist_error", max_dist_error)
     mask = np.asarray(speed_violation_mask, dtype=bool)
 
-    def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
-        distances = synchronized_distances(traj.t, traj.xy, anchor, float_end)
-        bad = (distances > max_dist_error) | mask[anchor + 1 : float_end]
-        violating = np.nonzero(bad)[0]
-        if violating.size == 0:
+    if engine == "python":
+        mask_list = mask.tolist()
+
+        def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
+            t, x, y = traj.column_lists
+            distances = kernels.sync_distances_py(t, x, y, anchor, float_end)
+            for offset, distance in enumerate(distances):
+                if distance > max_dist_error or mask_list[anchor + 1 + offset]:
+                    return anchor + 1 + offset
             return -1
-        return anchor + 1 + int(violating[0])
+
+    else:
+
+        def scan(traj: Trajectory, anchor: int, float_end: int) -> int:
+            t, x, y = traj.columns
+            distances = kernels.sync_distances(t, x, y, anchor, float_end)
+            bad = (distances > max_dist_error) | mask[anchor + 1 : float_end]
+            violating = np.nonzero(bad)[0]
+            if violating.size == 0:
+                return -1
+            return anchor + 1 + int(violating[0])
 
     return scan
 
@@ -143,22 +167,31 @@ class OPWSP(Compressor):
     """Opening-window spatiotemporal compressor (the paper's OPW-SP).
 
     Online algorithm; equivalent to the paper's ``SPT`` pseudocode but
-    with a vectorized window scan (identical selected indices, much lower
+    with a batch window scan (identical selected indices, much lower
     constant factor — see the ablation bench).
 
     Args:
         max_dist_error: synchronized distance threshold in metres.
         max_speed_error: speed-difference threshold in m/s (the paper
             sweeps 5, 15 and 25 m/s).
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "opw-sp"
     online = True
 
     @deprecated_positional_init
-    def __init__(self, *, max_dist_error: float, max_speed_error: float) -> None:
+    def __init__(
+        self,
+        *,
+        max_dist_error: float,
+        max_speed_error: float,
+        engine: str | None = None,
+    ) -> None:
         self.max_dist_error = require_positive("max_dist_error", max_dist_error)
         self.max_speed_error = require_positive("max_speed_error", max_speed_error)
+        self.engine = kernels.resolve_engine(engine)
 
     def sync_error_bound(self) -> float:
         """The distance half of the SP criterion bounds the synchronized
@@ -166,8 +199,8 @@ class OPWSP(Compressor):
         return self.max_dist_error
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        mask = speed_violations(traj, self.max_speed_error)
-        scan = spatiotemporal_scan(self.max_dist_error, mask)
+        mask = speed_violations(traj, self.max_speed_error, self.engine)
+        scan = spatiotemporal_scan(self.max_dist_error, mask, self.engine)
         return opening_window_indices(traj, scan, "violating")
 
 
@@ -184,14 +217,23 @@ class TDSP(Compressor):
     Args:
         max_dist_error: synchronized distance threshold in metres.
         max_speed_error: speed-difference threshold in m/s.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "td-sp"
 
     @deprecated_positional_init
-    def __init__(self, *, max_dist_error: float, max_speed_error: float) -> None:
+    def __init__(
+        self,
+        *,
+        max_dist_error: float,
+        max_speed_error: float,
+        engine: str | None = None,
+    ) -> None:
         self.max_dist_error = require_positive("max_dist_error", max_dist_error)
         self.max_speed_error = require_positive("max_speed_error", max_speed_error)
+        self.engine = kernels.resolve_engine(engine)
 
     def sync_error_bound(self) -> float:
         """Splitting continues while any interior synchronized distance
@@ -199,20 +241,45 @@ class TDSP(Compressor):
         return self.max_dist_error
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        speed_diff = np.zeros(len(traj))
-        if len(traj) >= 3:
-            v = segment_speeds(traj.t, traj.xy)
-            speed_diff[1:-1] = np.abs(np.diff(v))
+        n = len(traj)
+        if self.engine == "python":
+            t, x, y = traj.column_lists
+            speed_diff = [0.0] * n
+            if n >= 3:
+                speed_diff[1:-1] = kernels.speed_deltas_py(t, x, y)
 
-        def segment_error(t: Trajectory, start: int, end: int) -> tuple[float, int]:
-            interior = speed_diff[start + 1 : end]
-            worst = int(np.argmax(interior))
-            if interior[worst] > self.max_speed_error:
-                # Force a split at the worst speed violator by reporting
-                # an error above any finite distance threshold.
-                return float("inf"), start + 1 + worst
-            distances = synchronized_distances(t.t, t.xy, start, end)
-            offset = int(np.argmax(distances))
-            return float(distances[offset]), start + 1 + offset
+            def segment_error(
+                tr: Trajectory, start: int, end: int
+            ) -> tuple[float, int]:
+                worst, offset = kernels.max_with_offset_py(
+                    speed_diff[start + 1 : end]
+                )
+                if worst > self.max_speed_error:
+                    # Force a split at the worst speed violator by
+                    # reporting an error above any finite threshold.
+                    return float("inf"), start + 1 + offset
+                error, offset = kernels.max_with_offset_py(
+                    kernels.sync_distances_py(t, x, y, start, end)
+                )
+                return error, start + 1 + offset
+
+        else:
+            t, x, y = traj.columns
+            speed_diff = np.zeros(n)
+            if n >= 3:
+                speed_diff[1:-1] = kernels.speed_deltas(t, x, y)
+
+            def segment_error(
+                tr: Trajectory, start: int, end: int
+            ) -> tuple[float, int]:
+                worst, offset = kernels.max_with_offset(
+                    speed_diff[start + 1 : end]
+                )
+                if worst > self.max_speed_error:
+                    return float("inf"), start + 1 + offset
+                error, offset = kernels.max_with_offset(
+                    kernels.sync_distances(t, x, y, start, end)
+                )
+                return error, start + 1 + offset
 
         return top_down_indices(traj, self.max_dist_error, segment_error)

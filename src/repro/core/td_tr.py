@@ -14,30 +14,37 @@ quantity Sect. 4.2's α measures). The test suite pins this invariant.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
-from repro.core.douglas_peucker import (
-    top_down_indices,
-    top_down_indices_recursive,
-)
-from repro.geometry.interpolation import synchronized_distances
+from repro.core.douglas_peucker import resolve_traversal
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["synchronized_segment_error", "TDTR"]
 
 
 def synchronized_segment_error(
-    traj: Trajectory, start: int, end: int
+    traj: Trajectory, start: int, end: int, *, engine: str = "numpy"
 ) -> tuple[float, int]:
     """TD-TR's segment error: max synchronized distance to the chord.
 
     Returns ``(max_error, argmax_index)`` over interior points of the
     chord ``start``–``end``.
     """
-    distances = synchronized_distances(traj.t, traj.xy, start, end)
-    offset = int(np.argmax(distances))
-    return float(distances[offset]), start + 1 + offset
+    if engine == "python":
+        t, x, y = traj.column_lists
+        error, offset = kernels.max_with_offset_py(
+            kernels.sync_distances_py(t, x, y, start, end)
+        )
+    else:
+        t, x, y = traj.columns
+        error, offset = kernels.max_with_offset(
+            kernels.sync_distances(t, x, y, start, end)
+        )
+    return error, start + 1 + offset
 
 
 class TDTR(Compressor):
@@ -50,24 +57,34 @@ class TDTR(Compressor):
 
     Args:
         epsilon: synchronized distance threshold in metres.
-        engine: ``"iterative"`` (default) or ``"recursive"``, as for
+        traversal: ``"iterative"`` (default) or ``"recursive"``, as for
             :class:`~repro.core.douglas_peucker.DouglasPeucker`.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable.
     """
 
     name = "td-tr"
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float, engine: str = "iterative") -> None:
+    def __init__(
+        self,
+        *,
+        epsilon: float,
+        traversal: str = "iterative",
+        engine: str | None = None,
+    ) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
-        if engine not in ("iterative", "recursive"):
-            raise ValueError(f"unknown engine {engine!r}")
-        self._engine = (
-            top_down_indices if engine == "iterative" else top_down_indices_recursive
-        )
+        self.traversal = traversal
+        self._traversal = resolve_traversal(traversal)
+        self.engine = kernels.resolve_engine(engine)
 
     def sync_error_bound(self) -> float:
         """TD-TR bounds every point's synchronized deviation by epsilon."""
         return self.epsilon
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        return self._engine(traj, self.epsilon, synchronized_segment_error)
+        return self._traversal(
+            traj,
+            self.epsilon,
+            partial(synchronized_segment_error, engine=self.engine),
+        )

@@ -15,8 +15,11 @@ included as the floor of the comparison and for the scaling bench.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.core import kernels
 from repro.core.base import Compressor, deprecated_positional_init, require_positive
 from repro.trajectory.ops import every_ith_indices
 from repro.trajectory.trajectory import Trajectory
@@ -29,16 +32,20 @@ class EveryIth(Compressor):
 
     Args:
         step: decimation factor; ``step=3`` keeps points 0, 3, 6, ...
+        engine: accepted for registry uniformity; index decimation has no
+            floating-point sweep to vectorize, so both engines share the
+            single implementation.
     """
 
     name = "every-ith"
     online = True
 
     @deprecated_positional_init
-    def __init__(self, *, step: int) -> None:
+    def __init__(self, *, step: int, engine: str | None = None) -> None:
         if not isinstance(step, (int, np.integer)) or step < 1:
             raise ValueError(f"step must be a positive integer, got {step!r}")
         self.step = int(step)
+        self.engine = kernels.resolve_engine(engine)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
         return every_ith_indices(len(traj), self.step)
@@ -54,22 +61,29 @@ class DistanceThreshold(Compressor):
 
     Args:
         epsilon: minimum spacing between retained points, in metres.
+        engine: accepted for registry uniformity; the anchor recurrence
+            is inherently sequential (each decision depends on the last
+            *kept* point), so both engines share the scalar loop.
     """
 
     name = "distance-threshold"
     online = True
 
     @deprecated_positional_init
-    def __init__(self, *, epsilon: float) -> None:
+    def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
+        self.engine = kernels.resolve_engine(engine)
 
     def select_indices(self, traj: Trajectory) -> np.ndarray:
-        n = len(traj)
+        _, x, y = traj.column_lists
+        n = len(x)
         keep = [0]
-        last = traj.xy[0]
+        last_x, last_y = x[0], y[0]
         for i in range(1, n - 1):
-            if float(np.hypot(*(traj.xy[i] - last))) >= self.epsilon:
+            dx = x[i] - last_x
+            dy = y[i] - last_y
+            if math.sqrt(dx * dx + dy * dy) >= self.epsilon:
                 keep.append(i)
-                last = traj.xy[i]
+                last_x, last_y = x[i], y[i]
         keep.append(n - 1)
         return np.asarray(keep, dtype=int)

@@ -10,13 +10,13 @@ bias the paper criticizes.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.core import kernels
 from repro.error.synchronized import _check_same_interval
-from repro.geometry.distance import (
-    perpendicular_distances,
-    point_segment_distances,
-)
+from repro.geometry.distance import point_segment_distances
 from repro.exceptions import TrajectoryError
 from repro.trajectory.trajectory import Trajectory
 
@@ -42,7 +42,10 @@ def _chord_assignment(original: Trajectory, approx: Trajectory) -> np.ndarray:
 
 
 def perpendicular_deltas(
-    original: Trajectory, approx: Trajectory, to_segment: bool = True
+    original: Trajectory,
+    approx: Trajectory,
+    to_segment: bool = True,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Perpendicular distance of every original point to its chord.
 
@@ -53,35 +56,72 @@ def perpendicular_deltas(
         to_segment: measure to the closed segment (default) rather than
             the infinite line; the infinite-line variant matches the
             Douglas–Peucker discard test exactly.
+        engine: ``"numpy"`` (default) or ``"python"``; ``None`` defers to
+            the ``REPRO_ENGINE`` environment variable. The chord
+            assignment is shared precompute; the distance sweep is dual
+            and bit-identical.
 
     Returns:
         Distances, shape ``(len(original),)``; retained points contribute
         zero.
     """
+    engine = kernels.resolve_engine(engine)
     assignment = _chord_assignment(original, approx)
+    if engine == "python":
+        _, px, py = original.column_lists
+        _, ax, ay = approx.column_lists
+        measure_py = (
+            kernels.chord_point_distance_py
+            if to_segment
+            else kernels.chord_line_distance_py
+        )
+        return np.asarray(
+            [
+                measure_py(
+                    px[i], py[i], ax[seg], ay[seg], ax[seg + 1], ay[seg + 1]
+                )
+                for i, seg in enumerate(assignment.tolist())
+            ]
+        )
+    _, px, py = original.columns
+    _, ax, ay = approx.columns
+    measure = (
+        kernels.chord_point_distances if to_segment else kernels.chord_line_distances
+    )
     out = np.empty(len(original))
-    measure = point_segment_distances if to_segment else perpendicular_distances
     for seg in np.unique(assignment):
         mask = assignment == seg
         out[mask] = measure(
-            original.xy[mask], approx.xy[seg], approx.xy[seg + 1]
+            px[mask],
+            py[mask],
+            float(ax[seg]),
+            float(ay[seg]),
+            float(ax[seg + 1]),
+            float(ay[seg + 1]),
         )
     return out
 
 
 def mean_perpendicular_error(
-    original: Trajectory, approx: Trajectory, to_segment: bool = True
+    original: Trajectory,
+    approx: Trajectory,
+    to_segment: bool = True,
+    engine: str | None = None,
 ) -> float:
     """Average perpendicular distance over original data points.
 
     The paper notes this is "sensitive to the actual number of data
     points" — it is a per-point average, not a time-weighted one.
     """
-    return float(perpendicular_deltas(original, approx, to_segment).mean())
+    deltas = perpendicular_deltas(original, approx, to_segment, engine=engine)
+    return math.fsum(deltas.tolist()) / deltas.size
 
 
 def max_perpendicular_error(
-    original: Trajectory, approx: Trajectory, to_segment: bool = False
+    original: Trajectory,
+    approx: Trajectory,
+    to_segment: bool = False,
+    engine: str | None = None,
 ) -> float:
     """Maximum perpendicular distance of any original point to its chord.
 
@@ -90,7 +130,9 @@ def max_perpendicular_error(
     ``max_perpendicular_error(p, ndp(p, eps)) <= eps`` is an invariant the
     test suite pins.
     """
-    return float(perpendicular_deltas(original, approx, to_segment).max())
+    return float(
+        perpendicular_deltas(original, approx, to_segment, engine=engine).max()
+    )
 
 
 def area_error_sampled(

@@ -32,8 +32,11 @@ negative values from floating-point round-off are clamped.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.core import kernels
 from repro.exceptions import TrajectoryError
 from repro.trajectory.ops import merge_grids
 from repro.trajectory.trajectory import Trajectory
@@ -74,10 +77,15 @@ def segment_mean_distance(v0: np.ndarray, v1: np.ndarray) -> float:
             f"difference vectors must be finite, got v0={v0.tolist()}, "
             f"v1={v1.tolist()}"
         )
-    w = v1 - v0
-    a = float(w @ w)
-    b = 2.0 * float(v0 @ w)
-    c = float(v0 @ v0)
+    # Explicit component products (not ``w @ w``): the batch kernel in
+    # repro.core.kernels mirrors these expressions term by term, and BLAS
+    # dot products may differ from the written-out form by one ulp.
+    wx = float(v1[0]) - float(v0[0])
+    wy = float(v1[1]) - float(v0[1])
+    v0x, v0y = float(v0[0]), float(v0[1])
+    a = wx * wx + wy * wy
+    b = 2.0 * (v0x * wx + v0y * wy)
+    c = v0x * v0x + v0y * v0y
     scale = max(a, abs(b), c, 1e-300)
     if a <= _CASE_RTOL * scale:
         # Paper case c1 = 0: pure translation, constant distance.
@@ -145,19 +153,33 @@ def _synchronized_positions(
     return original.positions_at(p_times), approx.positions_at(a_times)
 
 
-def synchronized_deltas(original: Trajectory, approx: Trajectory) -> np.ndarray:
+def synchronized_deltas(
+    original: Trajectory, approx: Trajectory, engine: str | None = None
+) -> np.ndarray:
     """Synchronized distances at every *original* timestamp.
 
     ``out[i] = dist(p[i], loc(a, t_i))`` — the per-point view of the error
     the spatiotemporal algorithms bound. Shape ``(len(original),)``.
     """
+    engine = kernels.resolve_engine(engine)
     _check_same_interval(original, approx)
     _, approx_positions = _synchronized_positions(original, approx, original.t)
     diff = original.xy - approx_positions
-    return np.hypot(diff[:, 0], diff[:, 1])
+    if engine == "python":
+        return np.asarray(
+            [
+                math.sqrt(dx * dx + dy * dy)
+                for dx, dy in zip(diff[:, 0].tolist(), diff[:, 1].tolist())
+            ]
+        )
+    dx = diff[:, 0]
+    dy = diff[:, 1]
+    return np.sqrt(dx * dx + dy * dy)
 
 
-def mean_synchronized_error(original: Trajectory, approx: Trajectory) -> float:
+def mean_synchronized_error(
+    original: Trajectory, approx: Trajectory, engine: str | None = None
+) -> float:
     """The paper's α(p, a): time-weighted mean synchronized distance.
 
     Exact (closed form), assuming both trajectories are piecewise linear.
@@ -166,35 +188,56 @@ def mean_synchronized_error(original: Trajectory, approx: Trajectory) -> float:
     compression case) the merged evaluation grid is just the original's
     timestamps, exactly the paper's Eq. 3.
 
+    Both engines share the grid/position precompute; the per-interval α
+    sweep runs either through the batch kernel or the scalar
+    :func:`segment_mean_distance`, and ``math.fsum`` (exactly rounded,
+    order-independent) aggregates both to bit-identical totals.
+
     Returns:
         Average distance in metres over the whole time interval.
     """
+    engine = kernels.resolve_engine(engine)
     _check_same_interval(original, approx)
     grid = merge_grids(original.t, approx.t)
     p_pos, a_pos = _synchronized_positions(original, approx, grid)
     deltas = p_pos - a_pos
     weights = np.diff(grid)
-    total = 0.0
-    for i in range(grid.size - 1):
-        total += weights[i] * segment_mean_distance(deltas[i], deltas[i + 1])
+    if engine == "python":
+        total = math.fsum(
+            weights[i] * segment_mean_distance(deltas[i], deltas[i + 1])
+            for i in range(grid.size - 1)
+        )
+    else:
+        alphas = kernels.segment_mean_distances(deltas[:-1], deltas[1:])
+        total = math.fsum((weights * alphas).tolist())
     duration = float(grid[-1] - grid[0])
     if duration == 0.0:
         raise TrajectoryError("error notion undefined on a zero-length interval")
     return total / duration
 
 
-def max_synchronized_error(original: Trajectory, approx: Trajectory) -> float:
+def max_synchronized_error(
+    original: Trajectory, approx: Trajectory, engine: str | None = None
+) -> float:
     """Maximum synchronized distance over the whole time interval.
 
     Exact: on each interval of the merged time grid both paths are linear,
     so the distance is convex in time and attains its maximum at grid
     points.
     """
+    engine = kernels.resolve_engine(engine)
     _check_same_interval(original, approx)
     grid = merge_grids(original.t, approx.t)
     p_pos, a_pos = _synchronized_positions(original, approx, grid)
     diff = p_pos - a_pos
-    return float(np.hypot(diff[:, 0], diff[:, 1]).max())
+    if engine == "python":
+        return max(
+            math.sqrt(dx * dx + dy * dy)
+            for dx, dy in zip(diff[:, 0].tolist(), diff[:, 1].tolist())
+        )
+    dx = diff[:, 0]
+    dy = diff[:, 1]
+    return float(np.sqrt(dx * dx + dy * dy).max())
 
 
 def mean_synchronized_error_sampled(

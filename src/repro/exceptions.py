@@ -16,6 +16,7 @@ __all__ = [
     "CompressionError",
     "ThresholdError",
     "CompressorSpecError",
+    "UnknownCompressorError",
     "PipelineError",
     "CheckpointError",
     "StorageError",
@@ -53,6 +54,19 @@ class ThresholdError(CompressionError, ValueError):
 
 class CompressorSpecError(ReproError, ValueError):
     """A compressor spec string could not be parsed."""
+
+
+class UnknownCompressorError(CompressorSpecError, KeyError):
+    """A compressor name is not in the registry.
+
+    Subclasses :class:`KeyError` because the failed operation is a
+    registry lookup (and historical callers catch ``KeyError``); the
+    message always lists the registered names.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr-quote the message; report it plain.
+        return Exception.__str__(self)
 
 
 class PipelineError(ReproError):

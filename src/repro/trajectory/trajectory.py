@@ -39,7 +39,7 @@ class Trajectory:
     mutating them raises ``ValueError`` from numpy.
     """
 
-    __slots__ = ("_t", "_xy", "object_id")
+    __slots__ = ("_t", "_xy", "_cols", "object_id")
 
     def __init__(
         self,
@@ -70,6 +70,7 @@ class Trajectory:
         xy.setflags(write=False)
         self._t = t
         self._xy = xy
+        self._cols = {}
         self.object_id = object_id
 
     # ------------------------------------------------------------------ #
@@ -120,6 +121,41 @@ class Trajectory:
         return self._xy
 
     @property
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(t, x, y)`` as C-contiguous read-only float64 arrays (cached).
+
+        The kernel layer (:mod:`repro.core.kernels`) works on flat
+        coordinate columns; ``xy[:, 0]`` is a strided view, so the
+        contiguous copies are materialized once per trajectory and reused
+        by every subsequent compression or error sweep.
+        """
+        cached = self._cols.get("columns")
+        if cached is None:
+            x = np.ascontiguousarray(self._xy[:, 0])
+            y = np.ascontiguousarray(self._xy[:, 1])
+            x.setflags(write=False)
+            y.setflags(write=False)
+            cached = (self._t, x, y)
+            self._cols["columns"] = cached
+        return cached
+
+    @property
+    def column_lists(self) -> tuple[list[float], list[float], list[float]]:
+        """``(t, x, y)`` as plain Python float lists (cached).
+
+        The pure-Python reference engine (``engine="python"``) iterates
+        point by point; indexing numpy arrays from Python allocates a
+        scalar object per access, so the reference loops run on these
+        cached lists instead.
+        """
+        cached = self._cols.get("column_lists")
+        if cached is None:
+            t, x, y = self.columns
+            cached = (t.tolist(), x.tolist(), y.tolist())
+            self._cols["column_lists"] = cached
+        return cached
+
+    @property
     def x(self) -> np.ndarray:
         """Eastings (read-only view, shape ``(n,)``)."""
         return self._xy[:, 0]
@@ -159,6 +195,15 @@ class Trajectory:
 
     def __hash__(self) -> int:
         return hash((self._t.tobytes(), self._xy.tobytes()))
+
+    def __getstate__(self):
+        # Ship only the defining arrays; the column caches are cheap to
+        # rebuild and would otherwise bloat process-pool pickles.
+        return (self._t, self._xy, self.object_id)
+
+    def __setstate__(self, state) -> None:
+        self._t, self._xy, self.object_id = state
+        self._cols = {}
 
     def __repr__(self) -> str:
         ident = f" id={self.object_id!r}" if self.object_id else ""
@@ -312,6 +357,7 @@ class Trajectory:
         clone = Trajectory.__new__(Trajectory)
         clone._t = self._t
         clone._xy = self._xy
+        clone._cols = self._cols  # same arrays, so the caches are shared
         clone.object_id = object_id
         return clone
 

@@ -10,6 +10,22 @@ from repro.datagen import TrajectoryGenerator, URBAN
 from repro.trajectory import Trajectory
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression expectations in tests/data/golden/ "
+             "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden files, not check them."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def zigzag() -> Trajectory:
     """A small deterministic trajectory with turns, stops and speed-ups.

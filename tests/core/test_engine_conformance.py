@@ -1,0 +1,128 @@
+"""Differential conformance: numpy engine vs the scalar python reference.
+
+Every registered compressor accepts ``engine="numpy" | "python"``. The
+numpy engine is the production path (batch kernels); the python engine is
+the deliberately simple scalar oracle. This suite drives both over
+randomized trajectories — including grid-snapped inputs where zero-length
+and exactly collinear segments are common — and requires *identical*
+retained indices plus *bit-identical* error reports. Any one-ulp drift
+between a kernel and its scalar mirror shows up here as a flaky index
+flip long before it would corrupt an experiment.
+
+Duplicate timestamps are excluded by construction (the Trajectory
+constructor rejects them); duplicate *positions* are deliberately common.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import COMPRESSORS, make_compressor
+from repro.error.metrics import evaluate_compression
+from repro.trajectory import Trajectory
+
+#: One fixed, representative parameterization per registered algorithm.
+#: Thresholds sit mid-scale for the coordinate lattice below, so both
+#: "keep" and "drop" branches are exercised constantly.
+ALGORITHM_PARAMS: dict[str, dict] = {
+    "ndp": {"epsilon": 25.0},
+    "td-tr": {"epsilon": 25.0},
+    "nopw": {"epsilon": 25.0},
+    "bopw": {"epsilon": 25.0},
+    "opw-tr": {"epsilon": 25.0},
+    "opw-sp": {"max_dist_error": 25.0, "max_speed_error": 4.0},
+    "td-sp": {"max_dist_error": 25.0, "max_speed_error": 4.0},
+    "every-ith": {"step": 3},
+    "distance-threshold": {"epsilon": 25.0},
+    "angular": {"max_angle_rad": 0.5},
+    "sliding-window": {"epsilon": 25.0},
+    "bottom-up": {"epsilon": 25.0},
+    "td-tr-budget": {"budget": 6},
+    "bottom-up-budget": {"budget": 6},
+    "bottom-up-total-error": {"max_mean_error": 12.0},
+    "dead-reckoning": {"epsilon": 25.0},
+}
+
+
+def test_every_registered_compressor_is_covered():
+    """A new registry entry must join the conformance matrix."""
+    assert set(ALGORITHM_PARAMS) == set(COMPRESSORS)
+
+
+@st.composite
+def conformance_trajectories(
+    draw: st.DrawFn, min_points: int = 2, max_points: int = 24
+) -> Trajectory:
+    """Trajectories biased toward degenerate geometry.
+
+    Coordinates live on a coarse 50 m lattice, so repeated positions
+    (zero-length segments), exactly collinear runs, and exact threshold
+    ties all occur routinely. Time gaps come from a small menu, keeping
+    timestamps strictly increasing (duplicate timestamps are invalid
+    input, rejected by the Trajectory constructor).
+    """
+    n = draw(st.integers(min_points, max_points))
+    gaps = draw(
+        st.lists(
+            st.sampled_from([0.5, 1.0, 2.5, 10.0]), min_size=n - 1, max_size=n - 1
+        )
+    )
+    t = np.concatenate([[0.0], np.cumsum(gaps)]) if n > 1 else np.array([0.0])
+    coords = draw(
+        st.lists(
+            st.tuples(st.integers(-4, 4), st.integers(-4, 4)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Trajectory(t, np.asarray(coords, dtype=float) * 50.0)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHM_PARAMS))
+@settings(max_examples=200, deadline=None)
+@given(traj=conformance_trajectories())
+def test_engines_select_identical_indices(name: str, traj: Trajectory):
+    numpy_engine = make_compressor(name, engine="numpy", **ALGORITHM_PARAMS[name])
+    python_engine = make_compressor(name, engine="python", **ALGORITHM_PARAMS[name])
+    np.testing.assert_array_equal(
+        numpy_engine.select_indices(traj),
+        python_engine.select_indices(traj),
+        err_msg=f"{name}: engines disagree",
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(traj=conformance_trajectories(min_points=4))
+def test_error_reports_bit_identical(traj: Trajectory):
+    """evaluate_compression is bit-identical across engines.
+
+    Uses TD-TR output as the approximation under test; the report spans
+    every error notion in the package (synchronized, perpendicular,
+    speed), so this transitively pins all five metric functions.
+    """
+    approx = make_compressor("td-tr", epsilon=25.0).compress(traj).compressed
+    report_np = evaluate_compression(traj, approx, engine="numpy")
+    report_py = evaluate_compression(traj, approx, engine="python")
+    for field in dataclasses.fields(report_np):
+        left = getattr(report_np, field.name)
+        right = getattr(report_py, field.name)
+        assert left == right, (
+            f"{field.name}: numpy={left!r} != python={right!r}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHM_PARAMS))
+def test_engines_agree_on_realistic_trip(name: str, urban_trajectory):
+    """Dense realistic data, not just lattice geometry."""
+    numpy_engine = make_compressor(name, engine="numpy", **ALGORITHM_PARAMS[name])
+    python_engine = make_compressor(name, engine="python", **ALGORITHM_PARAMS[name])
+    np.testing.assert_array_equal(
+        numpy_engine.select_indices(urban_trajectory),
+        python_engine.select_indices(urban_trajectory),
+        err_msg=f"{name}: engines disagree on urban trip",
+    )

@@ -1,0 +1,104 @@
+"""Golden regression: pinned outputs for every algorithm on fixed inputs.
+
+Three small synthetic trips live as CSVs under ``tests/data/golden/``
+next to ``expected.json``, which records — per trajectory, per algorithm
+spec — the exact retained indices and the full
+:func:`~repro.error.metrics.evaluate_compression` report. Any change to
+an algorithm's selection logic or to the error notions shows up here as
+a concrete diff against known-good numbers, not just a property violation.
+
+To bless intentional changes::
+
+    PYTHONPATH=src python -m pytest tests/core/test_golden.py --regen-golden
+
+then review the ``expected.json`` diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_compressor
+from repro.error.metrics import evaluate_compression
+from repro.trajectory import io as _io
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
+EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+
+TRAJECTORIES = ("golden-urban", "golden-rural", "golden-highway")
+
+#: One representative spec per registered algorithm. Thresholds are
+#: chosen so each algorithm both keeps and drops points on every fixture.
+SPECS = (
+    "ndp:epsilon=20",
+    "td-tr:epsilon=20",
+    "nopw:epsilon=20",
+    "bopw:epsilon=20",
+    "opw-tr:epsilon=20",
+    "opw-sp:epsilon=20,speed=3",
+    "td-sp:epsilon=20,speed=3",
+    "every-ith:step=4",
+    "distance-threshold:epsilon=150",
+    "angular:angle=0.5",
+    "sliding-window:epsilon=20",
+    "bottom-up:epsilon=20",
+    "td-tr-budget:budget=8",
+    "bottom-up-budget:budget=8",
+    "bottom-up-total-error:epsilon=10",
+    "dead-reckoning:epsilon=20",
+)
+
+
+def _compute(traj_name: str, spec: str) -> dict:
+    traj = _io.read_csv(GOLDEN_DIR / f"{traj_name}.csv", object_id=traj_name)
+    result = make_compressor(spec).compress(traj)
+    report = evaluate_compression(traj, result.compressed)
+    return {
+        "indices": [int(i) for i in result.indices],
+        "report": report.to_dict(),
+    }
+
+
+def _load_expected() -> dict:
+    if not EXPECTED_PATH.exists():
+        pytest.fail(
+            f"{EXPECTED_PATH} missing; run pytest with --regen-golden to create it"
+        )
+    return json.loads(EXPECTED_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict:
+    return _load_expected()
+
+
+def test_regen_golden(regen_golden):
+    """Not a test when run normally; rewrites expected.json under --regen-golden."""
+    if not regen_golden:
+        pytest.skip("pass --regen-golden to regenerate")
+    blob = {
+        traj_name: {spec: _compute(traj_name, spec) for spec in SPECS}
+        for traj_name in TRAJECTORIES
+    }
+    EXPECTED_PATH.write_text(json.dumps(blob, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("traj_name", TRAJECTORIES)
+@pytest.mark.parametrize("spec", SPECS)
+def test_golden_output(traj_name, spec, expected, regen_golden):
+    if regen_golden:
+        pytest.skip("regenerating, not checking")
+    assert traj_name in expected, f"no golden entry for {traj_name}; regenerate"
+    assert spec in expected[traj_name], f"no golden entry for {spec}; regenerate"
+    want = expected[traj_name][spec]
+    got = _compute(traj_name, spec)
+    np.testing.assert_array_equal(
+        got["indices"], want["indices"], err_msg=f"{traj_name}/{spec}: indices drifted"
+    )
+    # JSON round-trips float64 exactly (repr is shortest-round-trip), so
+    # the report comparison is exact equality, not approximate.
+    assert got["report"] == want["report"], f"{traj_name}/{spec}: report drifted"

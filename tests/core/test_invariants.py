@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core import Compressor, available_compressors, make_compressor
+from repro.error import synchronized_deltas
 from repro.trajectory import Trajectory
 
 from tests.conftest import trajectories
@@ -67,6 +68,65 @@ class TestUniversalInvariants:
             compressor.compress(urban_trajectory).compressed.object_id
             == urban_trajectory.object_id
         )
+
+
+#: Algorithms whose output is a fixed point: compressing their own output
+#: again removes nothing. The others are excluded for structural reasons:
+#:
+#: * ``every-ith`` decimates positionally — it re-decimates any input;
+#: * ``sliding-window`` draws window boundaries positionally, so they
+#:   shift once points are removed;
+#: * ``nopw`` / ``bopw`` / ``opw-sp`` / ``td-sp`` retain a point because
+#:   of a violation against a *window* chord; after compression the
+#:   chords differ and a previously violating point can become redundant;
+#: * ``angular`` and ``dead-reckoning`` judge each point against its
+#:   immediate neighbours / the previous two kept points — removing
+#:   points changes that local context;
+#: * ``bottom-up-total-error`` budgets α against its *input*: re-running
+#:   on the degraded output resets the budget and merges further.
+_IDEMPOTENT = (
+    "ndp",
+    "td-tr",
+    "opw-tr",
+    "distance-threshold",
+    "bottom-up",
+    "td-tr-budget",
+    "bottom-up-budget",
+)
+
+
+@pytest.mark.parametrize("name", _IDEMPOTENT)
+@settings(max_examples=40, deadline=None)
+@given(traj=trajectories(min_points=3, max_points=30))
+def test_idempotent_on_own_output(name, traj):
+    compressor = make_compressor(name, **_PARAMS[name])
+    once = compressor.compress(traj).compressed
+    twice = compressor.compress(once)
+    np.testing.assert_array_equal(twice.indices, np.arange(len(once)))
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "opw-tr:epsilon=25,strategy=violating",
+        "opw-tr:epsilon=25,strategy=before-float",
+        "opw-sp:epsilon=25,speed=5",
+    ],
+)
+@settings(max_examples=40, deadline=None)
+@given(traj=trajectories(min_points=3, max_points=30))
+def test_opening_window_sync_bound_for_dropped_points(spec, traj):
+    """Every *dropped* point stays within epsilon of the approximation.
+
+    The opening-window guarantee: a point is only dropped while the
+    window containing it passes the synchronized-distance test against
+    the chord that becomes its final segment. Retained points trivially
+    have zero deviation, so the per-point deltas are bounded everywhere.
+    """
+    result = make_compressor(spec).compress(traj)
+    deltas = synchronized_deltas(traj, result.compressed)
+    dropped = np.setdiff1d(np.arange(len(traj)), result.indices)
+    assert np.all(deltas[dropped] <= 25.0 + 1e-6)
 
 
 @settings(max_examples=15, deadline=None)

@@ -49,6 +49,28 @@ class TestRegistry:
         with pytest.raises(KeyError, match="available"):
             make_compressor("super-compress")
 
+    def test_unknown_name_error_names_every_registered_algorithm(self):
+        from repro.core.registry import available_compressors
+        from repro.exceptions import CompressorSpecError, UnknownCompressorError
+
+        with pytest.raises(UnknownCompressorError) as excinfo:
+            make_compressor("super-compress")
+        message = str(excinfo.value)
+        assert "super-compress" in message
+        for name in available_compressors():
+            assert name in message
+        # Catchable both as a spec error and as the historical KeyError;
+        # str() must read like a sentence, not a repr-quoted KeyError.
+        assert isinstance(excinfo.value, CompressorSpecError)
+        assert isinstance(excinfo.value, KeyError)
+        assert not message.startswith('"')
+
+    def test_unknown_name_in_spec_string_lists_options(self):
+        from repro.exceptions import UnknownCompressorError
+
+        with pytest.raises(UnknownCompressorError, match="td-tr"):
+            make_compressor("super-compress:epsilon=30")
+
     def test_bad_params_propagate(self):
         with pytest.raises(TypeError):
             make_compressor("td-tr", wrong_param=1.0)

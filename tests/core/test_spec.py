@@ -160,7 +160,7 @@ class TestKeywordOnlyMigration:
 
     def test_too_many_positionals_rejected(self):
         with pytest.raises(TypeError, match="at most"):
-            TDTR(30.0, "iterative", "extra")
+            TDTR(30.0, "iterative", "numpy", "extra")
 
     def test_positional_selects_same_indices(self, zigzag):
         with pytest.warns(DeprecationWarning):

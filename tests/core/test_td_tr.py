@@ -56,9 +56,9 @@ class TestTDTR:
         result = TDTR(epsilon=1.0).compress(straight_line)
         np.testing.assert_array_equal(result.indices, [0, len(straight_line) - 1])
 
-    def test_engines_agree(self, urban_trajectory):
-        iterative = TDTR(epsilon=40.0, engine="iterative").compress(urban_trajectory)
-        recursive = TDTR(epsilon=40.0, engine="recursive").compress(urban_trajectory)
+    def test_traversals_agree(self, urban_trajectory):
+        iterative = TDTR(epsilon=40.0, traversal="iterative").compress(urban_trajectory)
+        recursive = TDTR(epsilon=40.0, traversal="recursive").compress(urban_trajectory)
         np.testing.assert_array_equal(iterative.indices, recursive.indices)
 
     def test_rejects_unknown_engine(self):
