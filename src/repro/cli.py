@@ -16,7 +16,11 @@ Exposes the library's everyday operations without writing code:
 * ``pipeline`` — batch-compress a whole fleet of trajectory files
   through the parallel engine, with fault isolation and a metrics
   JSON export;
-* ``report`` — per-segment error diagnostics of a compression.
+* ``report`` — per-segment error diagnostics of a compression;
+* ``serve`` — run the trajectory-ingestion service (see
+  ``docs/SERVING.md``);
+* ``serve-bench`` — load-test a served ingestion run, writing
+  ``BENCH_serve.json``.
 
 Algorithms are selected either by name plus flags (``-a opw-sp -e 30
 --speed 5``) or as one spec string (``-a "opw-sp:epsilon=30,speed=5"``).
@@ -481,11 +485,77 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import TrajectoryServer
+
+    server = TrajectoryServer(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout,
+        sweep_interval_s=args.sweep_interval,
+        queue_size=args.queue_size,
+        replace=args.replace,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        where = f" (store: {args.store})" if args.store else ""
+        print(f"serving on {server.host}:{server.port}{where}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        # Ctrl-C lands here with sessions possibly un-flushed; persisting
+        # the store file is safe (atomic) and cheap even when clean.
+        server.manager.persist()
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_bench
+
+    report = run_bench(
+        sessions=args.sessions,
+        fixes_per_session=args.fixes,
+        rejects=args.rejects,
+        spec=args.spec,
+        batch=args.batch,
+        seed=args.seed,
+        output=Path(args.output),
+    )
+    results = report["results"]
+    print(
+        f"{args.sessions} concurrent sessions x {args.fixes} fixes "
+        f"({args.spec}): retained streams batch-identical"
+    )
+    print(
+        f"append latency p50 {results['p50_append_ms']:.3f} ms, "
+        f"p99 {results['p99_append_ms']:.3f} ms; "
+        f"{results['fixes_per_sec']:.0f} fixes/s sustained"
+    )
+    print(
+        f"admission control: {results['rejected_sessions']}/{args.rejects} "
+        f"over-limit opens rejected"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Spatiotemporal trajectory compression (Meratnia & de By, EDBT 2004)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -662,6 +732,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pipeline.set_defaults(func=_cmd_pipeline)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the trajectory-ingestion service (NDJSON over TCP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback)")
+    p_serve.add_argument("--port", type=int, default=8750,
+                         help="TCP port (0 = ephemeral, printed on start)")
+    p_serve.add_argument(
+        "--store", default=None,
+        help="store file (.rsto) closed sessions are flushed into; "
+             "loaded first if it already exists",
+    )
+    p_serve.add_argument("--max-sessions", type=int, default=1024,
+                         help="admission limit: opens beyond this are rejected")
+    p_serve.add_argument("--idle-timeout", type=float, default=300.0,
+                         help="seconds of inactivity before a session is "
+                              "flushed and evicted")
+    p_serve.add_argument("--sweep-interval", type=float, default=5.0,
+                         help="how often the idle sweeper runs (seconds)")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="per-connection request queue bound (backpressure)")
+    p_serve.add_argument(
+        "--replace", action="store_true",
+        help="allow a flushed session to overwrite a stored object id",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "serve-bench",
+        help="load-test the ingestion service and write BENCH_serve.json",
+    )
+    p_bench.add_argument("--sessions", type=int, default=50,
+                         help="concurrent sessions (also the induced "
+                              "admission limit)")
+    p_bench.add_argument("--fixes", type=int, default=200,
+                         help="fixes streamed per session")
+    p_bench.add_argument("--rejects", type=int, default=8,
+                         help="over-limit opens attempted while the server "
+                              "is full")
+    p_bench.add_argument("--spec", default="opw-tr:epsilon=25",
+                         help="online compressor spec for every session")
+    p_bench.add_argument("--batch", type=int, default=1,
+                         help="fixes per append request (1 = per-fix latency)")
+    p_bench.add_argument("--seed", type=int, default=7, help="workload RNG seed")
+    p_bench.add_argument("--output", "-o", default="BENCH_serve.json",
+                         help="report path (written atomically)")
+    p_bench.set_defaults(func=_cmd_serve_bench)
+
     return parser
 
 
@@ -680,6 +799,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:
         # stdout went away (e.g. `repro stats x.csv | head`): exit quietly.
         return 0
+    except KeyboardInterrupt:
+        # Ctrl-C (e.g. stopping `repro serve`): no traceback, POSIX code.
+        print(file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ __all__ = [
     "CodecError",
     "CorruptRecordError",
     "StreamError",
+    "ServeError",
     "DataGenError",
 ]
 
@@ -95,6 +96,20 @@ class CorruptRecordError(CodecError):
 
 class StreamError(ReproError):
     """A point stream violated its protocol (e.g. time went backwards)."""
+
+
+class ServeError(ReproError):
+    """The ingestion service refused a request or the wire protocol broke.
+
+    Carries a machine-readable ``code`` (e.g. ``"rejected"``,
+    ``"unknown-session"``, ``"bad-spec"``) that travels verbatim in the
+    service's error responses, so clients can branch on the kind of
+    failure without parsing English.
+    """
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class DataGenError(ReproError):

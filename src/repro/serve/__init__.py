@@ -1,0 +1,26 @@
+"""Trajectory-ingestion service: online compression behind a socket.
+
+The serving layer the ROADMAP's north star asks for: trackers connect
+over TCP, speak a newline-delimited JSON protocol
+(:mod:`repro.serve.protocol`), and stream fixes into per-object online
+compressors; retained points stream back the moment the opening window
+decides them, and closed sessions are flushed atomically into a
+:class:`~repro.storage.store.TrajectoryStore`. See ``docs/SERVING.md``
+for the protocol spec and operational semantics, and
+:mod:`repro.serve.bench` for the load generator behind
+``repro serve-bench``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION
+from repro.serve.server import TrajectoryServer
+from repro.serve.session import Session, SessionManager
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "Session",
+    "SessionManager",
+    "TrajectoryServer",
+]

@@ -1,0 +1,226 @@
+"""Concurrent load generator for the ingestion service.
+
+Starts an in-process :class:`~repro.serve.server.TrajectoryServer` on an
+ephemeral loopback port, opens ``sessions`` concurrent client
+connections (one session each), streams a deterministic synthetic
+random-walk trajectory through every session, and measures client-side
+append round-trip latency. With the admission limit induced at exactly
+``sessions``, a further ``rejects`` opens are attempted while the server
+is full and must come back with code ``"rejected"``.
+
+Correctness is asserted, not assumed: every session's retained stream
+(appends + close tail) must exactly equal the batch compressor's
+selection on the same input — same points, same order, nothing dropped.
+
+Results land in ``BENCH_serve.json``::
+
+    repro serve-bench --sessions 50 --fixes 200
+
+or programmatically via :func:`run_bench`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.registry import make_compressor
+from repro.exceptions import ServeError
+from repro.io_util import write_atomic_json
+from repro.serve.client import ServeClient
+from repro.serve.server import TrajectoryServer
+from repro.trajectory.trajectory import Trajectory
+from repro.types import Fix
+
+__all__ = ["DEFAULT_OUTPUT", "DEFAULT_SPEC", "make_workload", "run_bench"]
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_serve.json"
+DEFAULT_SPEC = "opw-tr:epsilon=25"
+
+
+def make_workload(
+    sessions: int, fixes_per_session: int, seed: int = 7
+) -> list[tuple[str, list[Fix]]]:
+    """Deterministic per-session fix streams (bounded random walks).
+
+    A plain numpy random walk (1 Hz, ~14 m/s steps) is cheap enough to
+    generate thousands of sessions and irregular enough that the opening
+    window breaks regularly, exercising the retained-fix streaming path.
+    """
+    rng = np.random.default_rng(seed)
+    workload = []
+    for i in range(sessions):
+        steps = rng.normal(0.0, 10.0, size=(fixes_per_session, 2))
+        xy = np.cumsum(steps, axis=0)
+        t = np.arange(fixes_per_session, dtype=float)
+        fixes = [Fix(float(t[j]), float(xy[j, 0]), float(xy[j, 1]))
+                 for j in range(fixes_per_session)]
+        workload.append((f"bench-{i:04d}", fixes))
+    return workload
+
+
+def _expected_retained(spec: str, fixes: list[Fix]) -> list[Fix]:
+    """The batch algorithm's selection on the same input."""
+    traj = Trajectory.from_points([(f.t, f.x, f.y) for f in fixes])
+    indices = make_compressor(spec).compress(traj).indices
+    return [fixes[i] for i in indices]
+
+
+async def _attempt_rejected_open(host: str, port: int, object_id: str) -> bool:
+    """True when an open is refused with the structured ``rejected`` code."""
+    async with await ServeClient.connect(host, port) as client:
+        try:
+            await client.open(object_id, DEFAULT_SPEC)
+        except ServeError as exc:
+            return exc.code == "rejected"
+    return False
+
+
+async def _bench(
+    sessions: int,
+    fixes_per_session: int,
+    rejects: int,
+    spec: str,
+    batch: int,
+    seed: int,
+) -> dict:
+    workload = make_workload(sessions, fixes_per_session, seed)
+    server = TrajectoryServer(
+        port=0,
+        max_sessions=sessions,      # induced limit: extras must be rejected
+        idle_timeout_s=3600.0,      # nothing may be evicted mid-bench
+        sweep_interval_s=3600.0,
+    )
+    await server.start()
+    try:
+        latencies_ms: list[float] = []
+        # Fill the server to its admission limit first...
+        open_clients = []
+        for object_id, _ in workload:
+            client = await ServeClient.connect(server.host, server.port)
+            await client.open(object_id, spec)
+            open_clients.append(client)
+        for client in open_clients:
+            await client.aclose()
+        # ...so the induced-limit rejections are deterministic.
+        rejected = 0
+        for k in range(rejects):
+            if await _attempt_rejected_open(
+                server.host, server.port, f"reject-{k:03d}"
+            ):
+                rejected += 1
+        # Now stream all sessions concurrently (sessions are already
+        # open server-side; each task reconnects and keeps appending).
+        started = time.perf_counter()
+        retained_streams = await asyncio.gather(
+            *(
+                _drive_append_and_close(
+                    server.host, server.port, object_id, fixes, batch, latencies_ms
+                )
+                for object_id, fixes in workload
+            )
+        )
+        elapsed = time.perf_counter() - started
+
+        # Equivalence: nothing dropped, nothing reordered, batch-identical.
+        for (object_id, fixes), retained in zip(workload, retained_streams):
+            expected = _expected_retained(spec, fixes)
+            assert retained == expected, (
+                f"{object_id}: served retained stream diverged from the "
+                f"batch result ({len(retained)} vs {len(expected)} points)"
+            )
+
+        stats = server.stats()
+        ordered = sorted(latencies_ms)
+        total_fixes = sessions * fixes_per_session
+        return {
+            "config": {
+                "spec": spec,
+                "sessions": sessions,
+                "fixes_per_session": fixes_per_session,
+                "append_batch": batch,
+                "induced_max_sessions": sessions,
+                "attempted_rejects": rejects,
+                "seed": seed,
+            },
+            "results": {
+                "p50_append_ms": _percentile(ordered, 50.0),
+                "p99_append_ms": _percentile(ordered, 99.0),
+                "max_append_ms": ordered[-1] if ordered else None,
+                "appends": len(ordered),
+                "fixes_total": total_fixes,
+                "elapsed_s": elapsed,
+                "fixes_per_sec": total_fixes / elapsed if elapsed > 0 else None,
+                "rejected_sessions": rejected,
+                "retained_total": sum(len(r) for r in retained_streams),
+                "equivalence": "batch-identical",
+            },
+            "server_stats": stats,
+        }
+    finally:
+        await server.stop()
+
+
+async def _drive_append_and_close(
+    host: str,
+    port: int,
+    object_id: str,
+    fixes: list[Fix],
+    batch: int,
+    latencies_ms: list[float],
+) -> list[Fix]:
+    """Append + close for an already-open session, on a new connection."""
+    retained: list[Fix] = []
+    async with await ServeClient.connect(host, port) as client:
+        for start in range(0, len(fixes), batch):
+            chunk = fixes[start : start + batch]
+            began = time.perf_counter()
+            retained.extend(await client.append(object_id, chunk))
+            latencies_ms.append((time.perf_counter() - began) * 1e3)
+        summary = await client.close_session(object_id)
+        retained.extend(summary["retained"])
+        assert summary["stored"] is not None, f"{object_id}: nothing stored"
+    return retained
+
+
+def _percentile(ordered: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return None
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def run_bench(
+    sessions: int = 50,
+    fixes_per_session: int = 200,
+    rejects: int = 8,
+    spec: str = DEFAULT_SPEC,
+    batch: int = 1,
+    seed: int = 7,
+    output: Path | str | None = DEFAULT_OUTPUT,
+) -> dict:
+    """Run the load benchmark; returns (and optionally writes) the report.
+
+    Args:
+        sessions: concurrent sessions (also the induced admission limit).
+        fixes_per_session: stream length per session.
+        rejects: extra opens attempted while the server is full; each
+            must come back with the structured ``rejected`` error.
+        spec: online compressor spec for every session.
+        batch: fixes per append request (1 = per-fix latency).
+        seed: workload RNG seed.
+        output: where to write the JSON report (atomically); ``None``
+            skips the write.
+    """
+    if sessions < 1 or fixes_per_session < 2:
+        raise ValueError("need at least 1 session and 2 fixes per session")
+    report = asyncio.run(
+        _bench(sessions, fixes_per_session, rejects, spec, batch, seed)
+    )
+    if output is not None:
+        write_atomic_json(Path(output), report)
+    return report

@@ -1,0 +1,129 @@
+"""Asyncio client for the trajectory-ingestion service.
+
+A thin, typed wrapper over the NDJSON wire protocol: requests go out one
+line at a time, each awaited response is checked for ``ok`` and error
+responses are raised as :class:`~repro.exceptions.ServeError` carrying
+the server's machine-readable ``code``. Retained fixes come back as
+:class:`~repro.types.Fix` values in decision order.
+
+Usage::
+
+    async with await ServeClient.connect("127.0.0.1", port) as client:
+        await client.open("car-17", "opw-tr:epsilon=30")
+        for fix in feed:
+            retained = await client.append("car-17", [fix])
+            ...
+        summary = await client.close_session("car-17")
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Sequence
+
+from repro.exceptions import ServeError
+from repro.serve.protocol import MAX_LINE_BYTES, decode_line, encode_message
+from repro.types import Fix
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One client connection to a :class:`~repro.serve.server.TrajectoryServer`.
+
+    The protocol is strictly request/response per connection, so one
+    client instance must not be shared between concurrently running
+    coroutines; open one connection per concurrent session instead (the
+    load generator in :mod:`repro.serve.bench` does exactly that).
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        """Open a TCP connection to a running server."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Close the connection (open sessions stay live server-side)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def request(self, message: dict) -> dict:
+        """Send one raw protocol message and await its response.
+
+        Raises:
+            ServeError: an ``ok: false`` response (with the server's
+                ``code``), or a dropped connection
+                (code ``connection-closed``).
+        """
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServeError(
+                "server closed the connection", code="connection-closed"
+            )
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServeError(
+                str(response.get("error", "unspecified server error")),
+                code=str(response.get("code", "internal")),
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+
+    async def open(self, session: str, spec: str) -> dict:
+        """Open a session compressing under a spec string."""
+        return await self.request({"op": "open", "session": session, "spec": spec})
+
+    async def append(
+        self, session: str, fixes: Iterable[Fix | Sequence[float]]
+    ) -> list[Fix]:
+        """Append fixes; returns the fixes the window decided to retain."""
+        wire = [[float(f[0]), float(f[1]), float(f[2])] for f in fixes]
+        response = await self.request(
+            {"op": "append", "session": session, "fixes": wire}
+        )
+        return [Fix(*triple) for triple in response["retained"]]
+
+    async def close_session(self, session: str) -> dict:
+        """Close a session; returns ``{"retained": [...], "stored": ...}``.
+
+        ``retained`` holds the final fixes (as :class:`Fix`) the close
+        decided; ``stored`` is the store's catalog summary, or ``None``
+        for a session that never appended a fix.
+        """
+        response = await self.request({"op": "close", "session": session})
+        return {
+            "retained": [Fix(*triple) for triple in response["retained"]],
+            "stored": response.get("stored"),
+        }
+
+    async def flush(self) -> dict:
+        """Ask the server to re-persist its store file now."""
+        return await self.request({"op": "flush"})
+
+    async def stats(self) -> dict:
+        """The server's observability snapshot (see ``docs/SERVING.md``)."""
+        response = await self.request({"op": "stats"})
+        return response["stats"]

@@ -1,0 +1,144 @@
+"""Wire protocol of the trajectory-ingestion service.
+
+Newline-delimited JSON over a byte stream: each message is one JSON
+object on one ``\\n``-terminated line, UTF-8 encoded. Requests carry an
+``op`` (one of :data:`OPS`) plus op-specific fields; responses echo the
+``op`` (and ``session`` where applicable) and carry ``ok``. Error
+responses set ``ok`` to false plus a machine-readable ``code`` from
+:data:`ERROR_CODES` and a human-readable ``error``.
+
+The full request/response catalogue, with examples, is in
+``docs/SERVING.md``. Fixes travel as ``[t, x, y]`` triples of JSON
+numbers; Python's ``repr``-based float serialization makes the round
+trip exact, which is what lets a served session reproduce the batch
+algorithm's output bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Sequence
+
+from repro.exceptions import ServeError
+from repro.types import Fix
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "encode_message",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "parse_fix",
+    "render_fixes",
+]
+
+#: Version announced in ``stats`` responses; bump on wire changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line (requests *and* responses). Bounds
+#: per-connection buffering; a batched append must stay under it.
+MAX_LINE_BYTES = 1_048_576
+
+#: The request verbs the server understands.
+OPS = ("open", "append", "close", "flush", "stats")
+
+#: Machine-readable error codes carried by ``ok: false`` responses.
+ERROR_CODES = (
+    "bad-json",        # the line was not a JSON object
+    "bad-request",     # missing/ill-typed fields, unknown op, oversized line
+    "bad-spec",        # compressor spec unparsable or not streamable
+    "bad-fix",         # a fix was not [t, x, y] with finite numbers
+    "rejected",        # admission control: session limit reached
+    "duplicate-session",
+    "unknown-session",
+    "out-of-order",    # fix timestamp did not advance the session clock
+    "storage",         # the store refused the flush (e.g. id collision)
+    "internal",
+)
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialize one protocol message to its wire line (with newline).
+
+    ``allow_nan=False`` keeps the wire format interoperable JSON: a
+    non-finite float in a message is a programming error, surfaced here.
+    """
+    return (
+        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict.
+
+    Raises:
+        ServeError: (code ``bad-json`` / ``bad-request``) for non-JSON
+            bytes or a JSON value that is not an object.
+    """
+    try:
+        message = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"undecodable protocol line: {exc}", code="bad-json") from None
+    if not isinstance(message, dict):
+        raise ServeError(
+            f"protocol messages are JSON objects, got {type(message).__name__}",
+            code="bad-request",
+        )
+    return message
+
+
+def ok_response(op: str, session: str | None = None, **fields: object) -> dict:
+    """A successful response for ``op`` (echoing ``session`` if given)."""
+    response: dict = {"ok": True, "op": op}
+    if session is not None:
+        response["session"] = session
+    response.update(fields)
+    return response
+
+
+def error_response(
+    op: str | None,
+    code: str,
+    message: str,
+    session: str | None = None,
+    **fields: object,
+) -> dict:
+    """An ``ok: false`` response with a :data:`ERROR_CODES` code."""
+    response: dict = {"ok": False, "op": op, "code": code, "error": message}
+    if session is not None:
+        response["session"] = session
+    response.update(fields)
+    return response
+
+
+def parse_fix(value: object) -> Fix:
+    """Validate one wire fix (``[t, x, y]``, finite numbers) into a Fix.
+
+    Raises:
+        ServeError: (code ``bad-fix``) for wrong shape, wrong types or
+            non-finite values.
+    """
+    if (
+        not isinstance(value, Sequence)
+        or isinstance(value, (str, bytes))
+        or len(value) != 3
+    ):
+        raise ServeError(f"a fix is a [t, x, y] triple, got {value!r}", code="bad-fix")
+    try:
+        t, x, y = (float(part) for part in value)
+    except (TypeError, ValueError):
+        raise ServeError(
+            f"fix components must be numbers, got {value!r}", code="bad-fix"
+        ) from None
+    if not (math.isfinite(t) and math.isfinite(x) and math.isfinite(y)):
+        raise ServeError(f"non-finite fix {value!r}", code="bad-fix")
+    return Fix(t, x, y)
+
+
+def render_fixes(fixes: Iterable[Fix]) -> list[list[float]]:
+    """Render fixes as wire triples (the inverse of :func:`parse_fix`)."""
+    return [[fix.t, fix.x, fix.y] for fix in fixes]

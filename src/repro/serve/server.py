@@ -1,0 +1,401 @@
+"""The asyncio trajectory-ingestion server.
+
+A stdlib-only TCP server speaking the NDJSON protocol of
+:mod:`repro.serve.protocol`. Each connection gets a **bounded** inbound
+queue: a reader task parses lines off the socket and blocks when the
+queue is full (which stops reading and lets TCP flow control push back
+on the producer), while a processor task drains the queue, dispatches to
+the shared :class:`~repro.serve.session.SessionManager`, and writes each
+response followed by ``await writer.drain()`` — so a slow consumer
+throttles the server instead of growing its buffers.
+
+Sessions are keyed by object id and are **server-global**, not
+per-connection: a tracker that reconnects can keep appending to its open
+session, and a connection that vanishes leaves its sessions to the idle
+sweeper, which evicts *and flushes* them (no data loss). Retained fixes
+stream back in each ``append`` response the moment the opening window
+decides them, in decision order.
+
+Usage::
+
+    server = TrajectoryServer(port=0, store_path="fleet.rsto")
+    await server.start()          # port 0 -> server.port has the real one
+    ...
+    await server.stop()
+
+or from the command line: ``repro serve --port 8765 --store fleet.rsto``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.exceptions import ReproError, ServeError
+from repro.pipeline.metrics import Metrics
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_fix,
+    render_fixes,
+)
+from repro.serve.session import SessionManager
+from repro.storage.store import TrajectoryStore
+
+__all__ = ["TrajectoryServer"]
+
+#: Append-latency histogram buckets in milliseconds: loopback appends
+#: sit well under a millisecond, WAN round trips in the tens.
+_LATENCY_BUCKETS_MS = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+#: Queue sentinels: end-of-connection, and an oversized inbound line.
+_EOF = object()
+_OVERSIZE = object()
+
+
+class TrajectoryServer:
+    """Ingestion service: live fixes in, compressed stored trajectories out.
+
+    Args:
+        host, port: bind address; ``port=0`` picks an ephemeral port
+            (read :attr:`port` after :meth:`start`).
+        store: destination store; created empty when omitted. When
+            ``store_path`` names an existing file, the store is loaded
+            from it instead — restarting a server resumes its data.
+        store_path: when set, every session flush atomically re-persists
+            the store file (see :mod:`repro.serve.session`).
+        max_sessions: admission limit on live sessions.
+        idle_timeout_s: inactivity after which a session is evictable.
+        sweep_interval_s: period of the background eviction sweep.
+        queue_size: per-connection bounded inbound queue (backpressure).
+        durable: fsync on store persists.
+        replace: allow flushes to overwrite already-stored ids.
+        metrics: shared registry; one is created if absent.
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: TrajectoryStore | None = None,
+        store_path: str | Path | None = None,
+        max_sessions: int = 1024,
+        idle_timeout_s: float = 300.0,
+        sweep_interval_s: float = 5.0,
+        queue_size: int = 64,
+        durable: bool = True,
+        replace: bool = False,
+        metrics: Metrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if sweep_interval_s <= 0:
+            raise ValueError(
+                f"sweep_interval_s must be positive, got {sweep_interval_s}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.queue_size = int(queue_size)
+        self.sweep_interval_s = float(sweep_interval_s)
+        self.metrics = metrics if metrics is not None else Metrics()
+        store_path = None if store_path is None else Path(store_path)
+        if store is None:
+            if store_path is not None and store_path.exists():
+                store = TrajectoryStore.load(store_path)
+            else:
+                store = TrajectoryStore()
+        self.manager = SessionManager(
+            store,
+            max_sessions=max_sessions,
+            idle_timeout_s=idle_timeout_s,
+            store_path=store_path,
+            durable=durable,
+            replace=replace,
+            metrics=self.metrics,
+            clock=clock,
+        )
+        self._latency = self.metrics.histogram(
+            "append_latency_ms", buckets=_LATENCY_BUCKETS_MS
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._connections: set[asyncio.Task | None] = set()
+        self._started_at: float | None = None
+        self._clock = clock
+
+    @property
+    def store(self) -> TrajectoryStore:
+        """The store flushed sessions land in."""
+        return self.manager.store
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "TrajectoryServer":
+        """Bind the listening socket and start the eviction sweeper."""
+        if self._server is not None:
+            raise ServeError("server already started", code="internal")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = self._clock()
+        self._sweeper = asyncio.create_task(self._sweep_loop())
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (call :meth:`start` first)."""
+        if self._server is None:
+            raise ServeError("server not started", code="internal")
+        await self._server.serve_forever()
+
+    async def run(self) -> None:
+        """Start and serve until cancelled; stops cleanly on the way out."""
+        await self.start()
+        try:
+            await self.serve_forever()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Stop listening, cancel the sweeper, persist the store file."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            if task is not None:
+                task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *(t for t in self._connections if t is not None),
+                return_exceptions=True,
+            )
+            self._connections.clear()
+        self.manager.persist()
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval_s)
+            self.manager.evict_idle()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.counter("connections_opened").inc()
+        self._connections.add(asyncio.current_task())
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+        processor = asyncio.create_task(self._process_queue(queue, writer))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded MAX_LINE_BYTES: report, then hang up —
+                    # the stream is no longer line-synchronized.
+                    await queue.put(_OVERSIZE)
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                # A full queue blocks here, which stops socket reads and
+                # lets TCP flow control throttle the producer.
+                await queue.put(line)
+            await queue.put(_EOF)
+            await processor
+        except asyncio.CancelledError:
+            # Server shutdown cancelled the connection mid-flight. Swallow
+            # the cancellation (a handler task that *ends* cancelled makes
+            # asyncio's stream machinery log a spurious error) and fall
+            # through to the teardown below.
+            processor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await processor
+        finally:
+            self._connections.discard(asyncio.current_task())
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+            self.metrics.counter("connections_closed").inc()
+
+    async def _process_queue(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        write_ok = True
+        while True:
+            item = await queue.get()
+            if item is _EOF:
+                return
+            if item is _OVERSIZE:
+                response = error_response(
+                    None,
+                    "bad-request",
+                    f"protocol line exceeds {MAX_LINE_BYTES} bytes; "
+                    f"closing connection",
+                )
+            else:
+                response = self._handle_line(item)
+            if write_ok:
+                try:
+                    writer.write(encode_message(response))
+                    # Slow consumers block us here, not in kernel buffers.
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    # The socket is gone, but keep draining the queue so
+                    # the reader task never deadlocks on a full queue; it
+                    # will see the reset and put the _EOF sentinel.
+                    write_ok = False
+            if item is _OVERSIZE:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Request dispatch (synchronous: one event-loop thread, no locks)
+    # ------------------------------------------------------------------ #
+
+    def _handle_line(self, line: bytes) -> dict:
+        try:
+            message = decode_line(line)
+        except ServeError as exc:
+            return error_response(None, exc.code, str(exc))
+        op = message.get("op")
+        session = message.get("session")
+        session_str = session if isinstance(session, str) else None
+        try:
+            if op == "open":
+                return self._op_open(message)
+            if op == "append":
+                return self._op_append(message)
+            if op == "close":
+                return self._op_close(message)
+            if op == "flush":
+                return self._op_flush()
+            if op == "stats":
+                return ok_response("stats", stats=self.stats())
+            return error_response(
+                op if isinstance(op, str) else None,
+                "bad-request",
+                f"unknown op {op!r}; valid ops: open, append, close, flush, stats",
+                session_str,
+            )
+        except ServeError as exc:
+            self.metrics.counter("requests_failed").inc()
+            return error_response(op, exc.code, str(exc), session_str)
+        except ReproError as exc:
+            self.metrics.counter("requests_failed").inc()
+            return error_response(
+                op, "internal", f"{type(exc).__name__}: {exc}", session_str
+            )
+
+    def _op_open(self, message: dict) -> dict:
+        session_id = message.get("session")
+        spec = message.get("spec")
+        self.manager.open(session_id, spec)
+        return ok_response("open", session_id, spec=spec)
+
+    def _op_append(self, message: dict) -> dict:
+        started = time.perf_counter()
+        session_id = message.get("session")
+        if "fixes" in message:
+            raw = message["fixes"]
+            if not isinstance(raw, list):
+                raise ServeError(
+                    f"'fixes' must be a list of [t, x, y] triples, "
+                    f"got {type(raw).__name__}",
+                    code="bad-request",
+                )
+        elif "fix" in message:
+            raw = [message["fix"]]
+        else:
+            raise ServeError(
+                "append needs a 'fix' triple or a 'fixes' list", code="bad-request"
+            )
+        fixes = [parse_fix(value) for value in raw]
+        retained = []
+        try:
+            for fix in fixes:
+                retained.extend(self.manager.append(session_id, fix))
+        except ServeError as exc:
+            # Mid-batch failure: fixes before the bad one are already in
+            # the session; report what they decided so nothing the client
+            # sees is ever silently dropped.
+            session_str = session_id if isinstance(session_id, str) else None
+            return error_response(
+                "append",
+                exc.code,
+                str(exc),
+                session_str,
+                retained=render_fixes(retained),
+            )
+        self._latency.observe((time.perf_counter() - started) * 1e3)
+        return ok_response(
+            "append",
+            session_id,
+            retained=render_fixes(retained),
+            n_retained=len(retained),
+        )
+
+    def _op_close(self, message: dict) -> dict:
+        session_id = message.get("session")
+        record, tail = self.manager.close(session_id)
+        stored = None
+        if record is not None:
+            stored = {
+                "object_id": record.object_id,
+                "n_raw_points": record.n_raw_points,
+                "n_stored_points": record.n_stored_points,
+                "stored_bytes": record.stored_bytes,
+                "sync_error_bound_m": record.sync_error_bound_m,
+            }
+        return ok_response(
+            "close", session_id, retained=render_fixes(tail), stored=stored
+        )
+
+    def _op_flush(self) -> dict:
+        self.manager.persist()
+        path = self.manager.store_path
+        return ok_response(
+            "flush",
+            path=None if path is None else str(path),
+            n_objects=len(self.manager.store),
+        )
+
+    def stats(self) -> dict:
+        """The ``stats`` verb's payload: manager counters + server view."""
+        payload = self.manager.stats()
+        payload.update(
+            protocol_version=PROTOCOL_VERSION,
+            uptime_s=(
+                None
+                if self._started_at is None
+                else max(0.0, self._clock() - self._started_at)
+            ),
+            connections_opened=self.metrics.counter("connections_opened").value,
+            connections_closed=self.metrics.counter("connections_closed").value,
+            requests_failed=self.metrics.counter("requests_failed").value,
+            append_latency_ms=self._latency.to_dict(),
+        )
+        return payload

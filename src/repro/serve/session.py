@@ -1,0 +1,333 @@
+"""Server-side session state: per-object online compression + lifecycle.
+
+A :class:`Session` owns one :class:`~repro.streaming.online.StreamingOPW`
+and the retained points it has decided so far; a :class:`SessionManager`
+owns all live sessions and implements the service's resource policy:
+
+* **admission control** — at most ``max_sessions`` live sessions; an
+  ``open`` beyond the limit is rejected with a structured error (code
+  ``"rejected"``) after one attempt to reclaim capacity from idle
+  sessions;
+* **idle LRU eviction** — sessions that have not appended for
+  ``idle_timeout_s`` are evicted in least-recently-active order. An
+  evicted session is *flushed, not dropped*: its compressed trajectory
+  lands in the store exactly as a client ``close`` would land it, so a
+  tracker that silently disappears loses no data;
+* **durable flush** — every flush inserts into the
+  :class:`~repro.storage.store.TrajectoryStore` and (when a
+  ``store_path`` is configured) persists the store file atomically via
+  the PR-2 durability path (tmp + fsync + rename, per-record CRCs).
+
+The manager is synchronous and single-threaded by design: the asyncio
+server calls it from one event loop, so no locking is needed. All
+observability flows through a shared
+:class:`~repro.pipeline.metrics.Metrics` registry.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+
+from repro.exceptions import ReproError, ServeError, StorageError, StreamError
+from repro.pipeline.metrics import Metrics
+from repro.storage.store import StoredRecord, TrajectoryStore
+from repro.streaming.online import StreamingOPW, make_online_compressor
+from repro.trajectory.builder import TrajectoryBuilder
+from repro.trajectory.trajectory import Trajectory
+from repro.types import Fix
+
+__all__ = ["Session", "SessionManager"]
+
+
+class Session:
+    """One object's live ingestion state."""
+
+    __slots__ = (
+        "object_id",
+        "spec",
+        "compressor",
+        "builder",
+        "n_fixes_in",
+        "n_retained",
+        "opened_at",
+        "last_active",
+    )
+
+    def __init__(
+        self, object_id: str, spec: str, compressor: StreamingOPW, now: float
+    ) -> None:
+        self.object_id = object_id
+        self.spec = spec
+        self.compressor = compressor
+        self.builder = TrajectoryBuilder(object_id)
+        self.n_fixes_in = 0
+        self.n_retained = 0
+        self.opened_at = now
+        self.last_active = now
+
+    def append(self, fix: Fix, now: float) -> list[Fix]:
+        """Push one fix; returns the fixes its arrival decided as retained.
+
+        Raises:
+            StreamError: the fix's timestamp does not strictly advance
+                the session clock (session state is unchanged).
+        """
+        kept = self.compressor.push(fix)
+        for point in kept:
+            self.builder.append_fix(point)
+        self.n_fixes_in += 1
+        self.n_retained += len(kept)
+        self.last_active = now
+        return kept
+
+    def finalize(self) -> tuple[Trajectory | None, list[Fix]]:
+        """Close the compressor; returns (trajectory, tail retained fixes).
+
+        The trajectory is ``None`` when the session never appended a fix.
+        """
+        tail = self.compressor.finish()
+        for point in tail:
+            self.builder.append_fix(point)
+        self.n_retained += len(tail)
+        if len(self.builder) == 0:
+            return None, tail
+        return self.builder.build(), tail
+
+    def summary(self, now: float) -> dict:
+        """JSON-ready snapshot for diagnostics."""
+        return {
+            "session": self.object_id,
+            "spec": self.spec,
+            "fixes_in": self.n_fixes_in,
+            "retained": self.n_retained,
+            "window_size": self.compressor.window_size,
+            "idle_s": max(0.0, now - self.last_active),
+        }
+
+
+class SessionManager:
+    """Live-session registry with admission control and LRU eviction.
+
+    Args:
+        store: destination for flushed trajectories.
+        max_sessions: admission limit on concurrently live sessions.
+        idle_timeout_s: inactivity after which a session is evictable.
+        store_path: when set, the store file is re-persisted atomically
+            after every flush (close or eviction).
+        durable: fsync on persist (the store's ``save`` durability knob).
+        replace: allow a flush to overwrite an existing stored id.
+        metrics: shared observability registry (one is created if absent).
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        store: TrajectoryStore,
+        *,
+        max_sessions: int = 1024,
+        idle_timeout_s: float = 300.0,
+        store_path: str | Path | None = None,
+        durable: bool = True,
+        replace: bool = False,
+        metrics: Metrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if idle_timeout_s <= 0:
+            raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
+        self.store = store
+        self.max_sessions = int(max_sessions)
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.store_path = None if store_path is None else Path(store_path)
+        self.durable = durable
+        self.replace = replace
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._clock = clock
+        # Ordered least-recently-active first: append moves to the end,
+        # so eviction scans from the front and stops at the first keeper.
+        self._sessions: OrderedDict[str, Session] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    @property
+    def live_session_ids(self) -> list[str]:
+        """Ids of live sessions, sorted."""
+        return sorted(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def open(self, session_id: object, spec: object) -> Session:
+        """Admit one new session compressing under ``spec``.
+
+        Raises:
+            ServeError: bad arguments (``bad-request``), an id already
+                live (``duplicate-session``), an unusable spec
+                (``bad-spec``), or the admission limit (``rejected``).
+        """
+        if not isinstance(session_id, str) or not session_id:
+            raise ServeError(
+                f"open needs a non-empty string session id, got {session_id!r}",
+                code="bad-request",
+            )
+        if not isinstance(spec, str) or not spec:
+            raise ServeError(
+                f"open needs a compressor spec string, got {spec!r}",
+                code="bad-request",
+            )
+        if session_id in self._sessions:
+            raise ServeError(
+                f"session {session_id!r} is already open", code="duplicate-session"
+            )
+        if len(self._sessions) >= self.max_sessions:
+            # Try to reclaim capacity from idle sessions before refusing.
+            self.evict_idle()
+        if len(self._sessions) >= self.max_sessions:
+            self.metrics.counter("sessions_rejected").inc()
+            raise ServeError(
+                f"session limit reached ({self.max_sessions} live); retry later",
+                code="rejected",
+            )
+        try:
+            compressor = make_online_compressor(spec)
+        except (ReproError, ValueError, KeyError) as exc:
+            raise ServeError(str(exc), code="bad-spec") from exc
+        session = Session(session_id, spec, compressor, self._clock())
+        self._sessions[session_id] = session
+        self.metrics.counter("sessions_opened").inc()
+        return session
+
+    def get(self, session_id: object) -> Session:
+        """The live session for ``session_id``.
+
+        Raises:
+            ServeError: (``unknown-session``) when it is not live.
+        """
+        session = (
+            self._sessions.get(session_id) if isinstance(session_id, str) else None
+        )
+        if session is None:
+            raise ServeError(
+                f"no open session {session_id!r}", code="unknown-session"
+            )
+        return session
+
+    def append(self, session_id: object, fix: Fix) -> list[Fix]:
+        """Push one fix into a session; returns the newly retained fixes.
+
+        Raises:
+            ServeError: ``unknown-session`` or ``out-of-order``.
+        """
+        session = self.get(session_id)
+        try:
+            kept = session.append(fix, self._clock())
+        except StreamError as exc:
+            raise ServeError(str(exc), code="out-of-order") from exc
+        self._sessions.move_to_end(session.object_id)
+        self.metrics.counter("fixes_in").inc()
+        self.metrics.counter("fixes_retained").inc(len(kept))
+        return kept
+
+    def close(self, session_id: object) -> tuple[StoredRecord | None, list[Fix]]:
+        """End a session: finish the window and flush it into the store.
+
+        Returns:
+            ``(stored_record, tail)`` — the store's catalog entry (None
+            for a session that never appended) and the final retained
+            fixes the close decided.
+
+        Raises:
+            ServeError: ``unknown-session``, or ``storage`` when the
+                store refuses the insert (the session is gone either
+                way — its window cannot be reopened).
+        """
+        session = self.get(session_id)
+        del self._sessions[session.object_id]
+        record, tail = self._flush(session)
+        return record, tail
+
+    def evict_idle(self, now: float | None = None) -> list[str]:
+        """Evict (flush + end) every session idle for ``idle_timeout_s``.
+
+        Scans in least-recently-active order and stops at the first
+        non-idle session. A flush failure during eviction is counted
+        (``evict_flush_failures``) but does not stop the sweep — the
+        session is discarded regardless, because keeping a dead window
+        live would pin the capacity the sweep exists to reclaim.
+
+        Returns:
+            The evicted session ids, oldest first.
+        """
+        now = self._clock() if now is None else now
+        evicted: list[str] = []
+        for session_id, session in list(self._sessions.items()):
+            if now - session.last_active < self.idle_timeout_s:
+                break
+            del self._sessions[session_id]
+            self.metrics.counter("sessions_evicted").inc()
+            try:
+                self._flush(session)
+            except ServeError:
+                self.metrics.counter("evict_flush_failures").inc()
+            evicted.append(session_id)
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Flush & stats
+    # ------------------------------------------------------------------ #
+
+    def _flush(self, session: Session) -> tuple[StoredRecord | None, list[Fix]]:
+        """Finalize a session and land it in the store (+ store file)."""
+        trajectory, tail = session.finalize()
+        if trajectory is None:
+            return None, tail
+        try:
+            record = self.store.insert(
+                trajectory,
+                object_id=session.object_id,
+                compressor=None,  # points were already chosen online
+                replace=self.replace,
+                raw_point_count=session.n_fixes_in,
+                sync_error_bound_m=session.compressor.sync_error_bound(),
+            )
+        except StorageError as exc:
+            raise ServeError(str(exc), code="storage") from exc
+        self.metrics.counter("sessions_flushed").inc()
+        self.metrics.counter("fixes_flushed").inc(record.n_stored_points)
+        self.persist()
+        return record, tail
+
+    def persist(self) -> None:
+        """Atomically re-persist the store file, when one is configured."""
+        if self.store_path is not None:
+            self.store.save(self.store_path, durable=self.durable)
+
+    def stats(self) -> dict:
+        """JSON-ready counters answering the ``stats`` verb.
+
+        Reports live occupancy plus every lifecycle counter (opened,
+        rejected, evicted, flushed) and fix throughput.
+        """
+        counter = self.metrics.counter
+        return {
+            "live_sessions": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "idle_timeout_s": self.idle_timeout_s,
+            "stored_objects": len(self.store),
+            "sessions_opened": counter("sessions_opened").value,
+            "sessions_rejected": counter("sessions_rejected").value,
+            "sessions_evicted": counter("sessions_evicted").value,
+            "sessions_flushed": counter("sessions_flushed").value,
+            "fixes_in": counter("fixes_in").value,
+            "fixes_retained": counter("fixes_retained").value,
+            "fixes_flushed": counter("fixes_flushed").value,
+        }

@@ -1,0 +1,96 @@
+"""End-to-end smoke check: one served session must match the batch result.
+
+Starts a server on an ephemeral loopback port with a temporary store
+file, runs one complete client session (open / per-fix appends / close),
+then loads the persisted store file back and asserts the stored
+trajectory's points are identical to the batch ``OPW-TR`` selection on
+the same input. Exits non-zero on any divergence.
+
+Run it directly (CI does)::
+
+    python -m repro.serve.smoke
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.opw_tr import OPWTR
+from repro.serve.client import ServeClient
+from repro.serve.server import TrajectoryServer
+from repro.storage.store import TrajectoryStore
+from repro.trajectory.trajectory import Trajectory
+
+_EPSILON = 30.0
+_SPEC = f"opw-tr:epsilon={_EPSILON:g}"
+
+
+def _workload() -> Trajectory:
+    """A small deterministic trip with turns (so the window breaks)."""
+    rng = np.random.default_rng(42)
+    t = np.arange(120, dtype=float)
+    xy = np.cumsum(rng.normal(0.0, 12.0, size=(120, 2)), axis=0)
+    return Trajectory(t, xy, object_id="smoke-1")
+
+
+async def _session(store_path: Path, traj: Trajectory) -> dict:
+    server = TrajectoryServer(port=0, store_path=store_path)
+    await server.start()
+    try:
+        async with await ServeClient.connect(server.host, server.port) as client:
+            await client.open("smoke-1", _SPEC)
+            retained = []
+            for fix in traj:
+                retained.extend(await client.append("smoke-1", [fix]))
+            summary = await client.close_session("smoke-1")
+            retained.extend(summary["retained"])
+            stats = await client.stats()
+        return {"retained": retained, "stored": summary["stored"], "stats": stats}
+    finally:
+        await server.stop()
+
+
+def main() -> int:
+    traj = _workload()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        store_path = Path(tmp) / "smoke.rsto"
+        outcome = asyncio.run(_session(store_path, traj))
+
+        expected = traj.t[OPWTR(epsilon=_EPSILON).compress(traj).indices]
+        served = [fix.t for fix in outcome["retained"]]
+        if list(expected) != served:
+            print(
+                f"FAIL: served session retained {len(served)} points, "
+                f"batch OPW-TR retained {len(expected)}",
+                file=sys.stderr,
+            )
+            return 1
+
+        store = TrajectoryStore.load(store_path)
+        if "smoke-1" not in store:
+            print("FAIL: store file lacks the flushed trajectory", file=sys.stderr)
+            return 1
+        stored = store.get("smoke-1")
+        if list(stored.t) != served:
+            print("FAIL: stored trajectory diverges from the served stream",
+                  file=sys.stderr)
+            return 1
+
+        stats = outcome["stats"]
+        if stats["sessions_flushed"] != 1 or stats["fixes_in"] != len(traj):
+            print(f"FAIL: unexpected stats {stats}", file=sys.stderr)
+            return 1
+    print(
+        f"serve smoke OK: {len(traj)} fixes -> {len(served)} retained "
+        f"({_SPEC}), stored output batch-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

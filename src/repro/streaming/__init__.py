@@ -7,11 +7,16 @@ the points the corresponding batch algorithm (NOPW / OPW-TR / OPW-SP)
 would.
 """
 
-from repro.streaming.online import StreamingOPW, make_online_compressor
+from repro.streaming.online import (
+    STREAMABLE_ALGORITHMS,
+    StreamingOPW,
+    make_online_compressor,
+)
 from repro.streaming.stream import PointStream, merge_streams
 
 __all__ = [
     "PointStream",
+    "STREAMABLE_ALGORITHMS",
     "StreamingOPW",
     "make_online_compressor",
     "merge_streams",

@@ -23,7 +23,7 @@ from repro.core.base import require_positive
 from repro.exceptions import StreamError
 from repro.types import Fix
 
-__all__ = ["StreamingOPW", "make_online_compressor"]
+__all__ = ["StreamingOPW", "make_online_compressor", "STREAMABLE_ALGORITHMS"]
 
 _CRITERIA = ("perpendicular", "synchronized")
 
@@ -214,32 +214,105 @@ class StreamingOPW:
         return out
 
 
+#: Algorithms with a streaming (push-based) form. The rest of the
+#: registry is batch-only: retrospective algorithms revisit the whole
+#: series, so they cannot emit points as the stream arrives.
+STREAMABLE_ALGORITHMS = ("nopw", "opw-tr", "opw-sp")
+
+#: Spec keys that configure a :class:`StreamingOPW`, with the CLI's
+#: aliases mapped onto constructor names. ``engine`` is accepted and
+#: ignored so batch spec strings (which may carry ``engine=python``)
+#: stay valid verbatim.
+_SPEC_KEYS = {
+    "epsilon": "epsilon",
+    "max_dist_error": "epsilon",
+    "speed": "max_speed_error",
+    "max_speed_error": "max_speed_error",
+    "max_window": "max_window",
+}
+
+
 def make_online_compressor(
     name: str,
-    epsilon: float,
+    epsilon: float | None = None,
     max_speed_error: float | None = None,
     max_window: int | None = None,
 ) -> StreamingOPW:
-    """Streaming counterpart of a batch algorithm, by paper name.
+    """Streaming counterpart of a batch algorithm, by name or spec string.
+
+    Accepts the same unified spec grammar as
+    :func:`repro.core.registry.make_compressor` —
+    ``"opw-tr:epsilon=30"``, ``"opw-sp:epsilon=30,max_speed_error=5"``
+    (``speed`` and ``max_dist_error`` alias as on the CLI, and an
+    ``engine=`` entry is ignored: streaming has one engine) — or a bare
+    name plus keyword parameters, as before. Explicit keyword arguments
+    override the spec's parameters.
 
     Args:
-        name: ``"nopw"``, ``"opw-tr"`` or ``"opw-sp"``.
-        epsilon: distance threshold in metres.
+        name: ``"nopw"``, ``"opw-tr"`` or ``"opw-sp"``, optionally with
+            ``:key=value,...`` parameters.
+        epsilon: distance threshold in metres (unless the spec sets it).
         max_speed_error: required for ``"opw-sp"``; forbidden otherwise.
         max_window: optional memory bound (see :class:`StreamingOPW`).
+
+    Raises:
+        StreamError: a registered batch algorithm with no streaming form
+            (e.g. ``"td-tr"``), or an unsupported spec parameter.
+        UnknownCompressorError: a name registered nowhere (also
+            catchable as ``KeyError``).
+        CompressorSpecError: a malformed spec string.
+        ValueError: missing ``epsilon``, or a speed threshold given to
+            an algorithm that takes none (and vice versa).
     """
-    if name == "nopw":
-        if max_speed_error is not None:
-            raise ValueError("nopw takes no speed threshold")
-        return StreamingOPW(epsilon, "perpendicular", max_window=max_window)
-    if name == "opw-tr":
-        if max_speed_error is not None:
-            raise ValueError("opw-tr takes no speed threshold")
-        return StreamingOPW(epsilon, "synchronized", max_window=max_window)
-    if name == "opw-sp":
-        if max_speed_error is None:
-            raise ValueError("opw-sp requires max_speed_error")
-        return StreamingOPW(
-            epsilon, "synchronized", max_speed_error=max_speed_error, max_window=max_window
+    from repro.core.registry import available_compressors, parse_compressor_spec
+
+    spec = parse_compressor_spec(name)
+    params: dict[str, object] = {}
+    for key, value in spec.params:
+        if key == "engine":
+            continue
+        if key not in _SPEC_KEYS:
+            raise StreamError(
+                f"spec parameter {key!r} is not supported by the streaming "
+                f"compressors; supported: {', '.join(sorted(set(_SPEC_KEYS)))}"
+            )
+        params[_SPEC_KEYS[key]] = value
+    if epsilon is not None:
+        params["epsilon"] = epsilon
+    if max_speed_error is not None:
+        params["max_speed_error"] = max_speed_error
+    if max_window is not None:
+        params["max_window"] = max_window
+
+    if spec.name not in STREAMABLE_ALGORITHMS:
+        if spec.name in available_compressors():
+            raise StreamError(
+                f"{spec.name!r} is a batch-only algorithm with no streaming "
+                f"form; streamable algorithms: "
+                f"{', '.join(STREAMABLE_ALGORITHMS)}"
+            )
+        from repro.exceptions import UnknownCompressorError
+
+        raise UnknownCompressorError(
+            f"unknown online algorithm {spec.name!r}; "
+            f"use one of {', '.join(STREAMABLE_ALGORITHMS)}"
         )
-    raise KeyError(f"unknown online algorithm {name!r}; use nopw, opw-tr or opw-sp")
+    if params.get("epsilon") is None:
+        raise ValueError(f"{spec.name} requires epsilon")
+    eps = float(params["epsilon"])  # type: ignore[arg-type]
+    speed = params.get("max_speed_error")
+    window = params.get("max_window")
+    window = None if window is None else int(window)  # type: ignore[arg-type]
+    if spec.name == "nopw":
+        if speed is not None:
+            raise ValueError("nopw takes no speed threshold")
+        return StreamingOPW(eps, "perpendicular", max_window=window)
+    if spec.name == "opw-tr":
+        if speed is not None:
+            raise ValueError("opw-tr takes no speed threshold")
+        return StreamingOPW(eps, "synchronized", max_window=window)
+    if speed is None:
+        raise ValueError("opw-sp requires max_speed_error")
+    return StreamingOPW(
+        eps, "synchronized", max_speed_error=float(speed), max_window=window
+    )

@@ -2,12 +2,44 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 from hypothesis import strategies as st
 
 from repro.datagen import TrajectoryGenerator, URBAN
 from repro.trajectory import Trajectory
+
+#: Hard wall-clock ceiling for each ``serve``-marked test. The serving
+#: tests drive real sockets and an event loop; a protocol bug tends to
+#: show up as a hang (reader waiting on a response that never comes),
+#: so a deadline beats a green-but-stuck suite.
+SERVE_TEST_TIMEOUT_S = 30.0
+
+
+@pytest.fixture(autouse=True)
+def _serve_deadline(request: pytest.FixtureRequest):
+    """SIGALRM watchdog for ``serve``-marked tests (no pytest-timeout here)."""
+    if request.node.get_closest_marker("serve") is None:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX-only guard
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"serve test exceeded {SERVE_TEST_TIMEOUT_S:g}s wall-clock deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, SERVE_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:

@@ -1,0 +1,50 @@
+"""Event-loop harness for the serving tests.
+
+pytest-asyncio is not part of this project's toolchain, so socket tests
+wrap their coroutine in :func:`run_async`: a fresh event loop per test
+plus an :func:`asyncio.wait_for` deadline that fires *before* the
+suite-level SIGALRM watchdog, turning a hung protocol exchange into an
+ordinary test failure with a stack trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.serve.client import ServeClient
+from repro.serve.server import TrajectoryServer
+
+#: Inner deadline; the conftest SIGALRM watchdog sits above it at 30 s.
+HARNESS_TIMEOUT_S = 20.0
+
+
+def run_async(coro):
+    """Run ``coro`` on a fresh loop with the harness deadline applied."""
+
+    async def _bounded():
+        return await asyncio.wait_for(coro, timeout=HARNESS_TIMEOUT_S)
+
+    return asyncio.run(_bounded())
+
+
+@contextlib.asynccontextmanager
+async def running_server(**kwargs):
+    """A started :class:`TrajectoryServer` on an ephemeral port."""
+    kwargs.setdefault("port", 0)
+    server = TrajectoryServer(**kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+@contextlib.asynccontextmanager
+async def connected(server: TrajectoryServer):
+    """A :class:`ServeClient` connected to ``server``."""
+    client = await ServeClient.connect(server.host, server.port)
+    try:
+        yield client
+    finally:
+        await client.aclose()

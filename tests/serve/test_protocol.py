@@ -1,0 +1,93 @@
+"""Unit tests for the NDJSON wire protocol helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import protocol
+from repro.types import Fix
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = {"op": "append", "session": "a", "fixes": [[0.0, 1.5, -2.25]]}
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode_line(line) == message
+
+    def test_float_round_trip_is_exact(self):
+        # repr-based float JSON makes the wire loss-free; the served/batch
+        # equivalence guarantee rests on this.
+        values = [0.1, 1.0 / 3.0, 1e-17, 123456.789012345, -9.87654321e12]
+        line = protocol.encode_message({"v": values})
+        assert protocol.decode_line(line)["v"] == values
+
+    def test_non_finite_floats_refused(self):
+        with pytest.raises(ValueError):
+            protocol.encode_message({"v": float("nan")})
+
+    def test_bad_json_has_code(self):
+        with pytest.raises(ServeError) as err:
+            protocol.decode_line(b"{nope\n")
+        assert err.value.code == "bad-json"
+
+    def test_non_object_has_code(self):
+        with pytest.raises(ServeError) as err:
+            protocol.decode_line(b"[1,2,3]\n")
+        assert err.value.code == "bad-request"
+
+
+class TestParseFix:
+    def test_valid_triple(self):
+        assert protocol.parse_fix([1.0, 2.0, 3.0]) == Fix(1.0, 2.0, 3.0)
+
+    def test_accepts_integers(self):
+        assert protocol.parse_fix([1, 2, 3]) == Fix(1.0, 2.0, 3.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [1.0, 2.0],
+            [1.0, 2.0, 3.0, 4.0],
+            "txy",
+            {"t": 1, "x": 2, "y": 3},
+            [1.0, "x", 3.0],
+            [float("inf"), 0.0, 0.0],
+            [0.0, float("nan"), 0.0],
+            None,
+            7,
+        ],
+    )
+    def test_invalid_fix_has_code(self, bad):
+        with pytest.raises(ServeError) as err:
+            protocol.parse_fix(bad)
+        assert err.value.code == "bad-fix"
+
+    def test_render_is_parse_inverse(self):
+        fixes = [Fix(0.0, 0.5, -1.25), Fix(1.0, 2.0, 3.0)]
+        assert [protocol.parse_fix(w) for w in protocol.render_fixes(fixes)] == fixes
+
+
+class TestResponses:
+    def test_ok_response_echoes_session(self):
+        response = protocol.ok_response("open", "s1", spec="nopw:epsilon=5")
+        assert response["ok"] is True
+        assert response["op"] == "open"
+        assert response["session"] == "s1"
+        assert response["spec"] == "nopw:epsilon=5"
+
+    def test_error_response_carries_known_code(self):
+        response = protocol.error_response("append", "bad-fix", "boom", "s1")
+        assert response["ok"] is False
+        assert response["code"] in protocol.ERROR_CODES
+        assert response["error"] == "boom"
+
+    def test_all_server_codes_are_catalogued(self):
+        # The catalogue is the client's contract; keep it closed.
+        assert set(protocol.ERROR_CODES) >= {
+            "bad-json", "bad-request", "bad-spec", "bad-fix", "rejected",
+            "duplicate-session", "unknown-session", "out-of-order",
+            "storage", "internal",
+        }

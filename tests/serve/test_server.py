@@ -1,0 +1,313 @@
+"""Socket-level tests of the ingestion server: one real TCP round trip
+per request against a live :class:`TrajectoryServer`.
+
+The headline guarantee is E2E equivalence — fixes streamed through the
+wire produce exactly the batch algorithm's selection — plus the service
+behaviours a unit test can't see: global sessions across reconnects,
+protocol error responses, pipelined backpressure, persistence and
+restart-resume, and the background idle sweeper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.registry import make_compressor
+from repro.exceptions import ServeError
+from repro.serve.protocol import MAX_LINE_BYTES, encode_message
+from repro.storage.store import TrajectoryStore
+from repro.types import Fix
+
+from tests.serve.harness import connected, run_async, running_server
+
+pytestmark = pytest.mark.serve
+
+
+def fixes_of(traj) -> list[Fix]:
+    return [Fix(float(t), float(x), float(y))
+            for t, x, y in zip(traj.t, traj.x, traj.y)]
+
+
+async def _stream_session(server, object_id, spec, fixes, chunk) -> list[Fix]:
+    """Open, append in chunks, close; returns the full retained stream."""
+    retained: list[Fix] = []
+    async with connected(server) as client:
+        await client.open(object_id, spec)
+        for start in range(0, len(fixes), chunk):
+            retained.extend(
+                await client.append(object_id, fixes[start : start + chunk])
+            )
+        summary = await client.close_session(object_id)
+        retained.extend(summary["retained"])
+    return retained
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "opw-tr:epsilon=35",
+            "opw-sp:epsilon=35,max_speed_error=4",
+            "nopw:epsilon=35",
+        ],
+    )
+    def test_served_stream_matches_batch(self, urban_trajectory, spec):
+        fixes = fixes_of(urban_trajectory)
+
+        async def scenario():
+            async with running_server() as server:
+                return await _stream_session(
+                    server, "urban", spec, fixes, chunk=25
+                )
+
+        retained = run_async(scenario())
+        indices = make_compressor(spec).compress(urban_trajectory).indices
+        expected = [fixes[i] for i in indices]
+        # Identical fixes, identical order — JSON floats round-trip exactly.
+        assert retained == expected
+
+    def test_session_survives_reconnect(self, zigzag):
+        fixes = fixes_of(zigzag)
+        half = len(fixes) // 2
+
+        async def scenario():
+            async with running_server() as server:
+                retained = []
+                async with connected(server) as first:
+                    await first.open("z", "opw-tr:epsilon=30")
+                    retained.extend(await first.append("z", fixes[:half]))
+                # The connection is gone; the session is not.
+                async with connected(server) as second:
+                    retained.extend(await second.append("z", fixes[half:]))
+                    summary = await second.close_session("z")
+                retained.extend(summary["retained"])
+                return retained
+
+        retained = run_async(scenario())
+        indices = make_compressor("opw-tr:epsilon=30").compress(zigzag).indices
+        assert retained == [fixes[i] for i in indices]
+
+
+class TestProtocolErrors:
+    def test_error_codes_over_the_wire(self, zigzag):
+        async def scenario():
+            codes = {}
+            async with running_server(max_sessions=1) as server:
+                async with connected(server) as client:
+                    await client.open("a", "opw-tr:epsilon=30")
+                    with pytest.raises(ServeError) as err:
+                        await client.open("a", "opw-tr:epsilon=30")
+                    codes["duplicate"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.open("b", "opw-tr:epsilon=30")
+                    codes["rejected"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.append("ghost", [Fix(0.0, 0.0, 0.0)])
+                    codes["unknown"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.request(
+                            {"op": "append", "session": "a",
+                             "fixes": [[0.0, 0.0]]}
+                        )
+                    codes["bad-fix"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.request({"op": "warp", "session": "a"})
+                    codes["unknown-op"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.open("", "opw-tr:epsilon=30")
+                    codes["bad-id"] = err.value.code
+            return codes
+
+        codes = run_async(scenario())
+        assert codes == {
+            "duplicate": "duplicate-session",
+            "rejected": "rejected",
+            "unknown": "unknown-session",
+            "bad-fix": "bad-fix",
+            "unknown-op": "bad-request",
+            "bad-id": "bad-request",
+        }
+
+    def test_bad_json_line(self):
+        async def scenario():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"{this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return response
+
+        response = run_async(scenario())
+        assert response["ok"] is False
+        assert response["code"] == "bad-json"
+
+    def test_out_of_order_reports_partial_retained(self):
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("s", "opw-tr:epsilon=10")
+                    # Third fix rewinds time: the response must carry the
+                    # error AND whatever the first two already decided.
+                    response_error = None
+                    try:
+                        await client.request({
+                            "op": "append", "session": "s",
+                            "fixes": [[0.0, 0.0, 0.0], [1.0, 5.0, 0.0],
+                                      [0.5, 9.0, 0.0]],
+                        })
+                    except ServeError as exc:
+                        response_error = exc
+                    # The two good fixes landed; the session still works.
+                    retained = await client.append("s", [Fix(2.0, 10.0, 0.0)])
+                    summary = await client.close_session("s")
+                    return response_error, retained, summary
+
+        error, _, summary = run_async(scenario())
+        assert error is not None and error.code == "out-of-order"
+        assert summary["stored"]["n_raw_points"] == 3  # bad fix not counted
+
+    def test_oversized_line_is_refused(self):
+        async def scenario():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port, limit=MAX_LINE_BYTES
+                )
+                writer.write(b"x" * (MAX_LINE_BYTES + 100) + b"\n")
+                await writer.drain()
+                line = await reader.readline()
+                response = json.loads(line) if line else None
+                eof = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return response, eof
+
+        response, eof = run_async(scenario())
+        assert response is not None and response["ok"] is False
+        assert response["code"] == "bad-request"
+        assert eof == b""  # the server hung up: the stream lost line sync
+
+
+class TestBackpressure:
+    def test_pipelined_requests_all_answered_in_order(self, zigzag):
+        """queue_size=1 forces the reader to block on every queued line;
+        TCP flow control, not buffering, absorbs a pipelining client."""
+        fixes = fixes_of(zigzag)
+
+        async def scenario():
+            async with running_server(queue_size=1) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port, limit=MAX_LINE_BYTES
+                )
+                writer.write(encode_message(
+                    {"op": "open", "session": "p", "spec": "opw-tr:epsilon=30"}
+                ))
+                for fix in fixes:
+                    writer.write(encode_message(
+                        {"op": "append", "session": "p",
+                         "fix": [fix.t, fix.x, fix.y]}
+                    ))
+                writer.write(encode_message({"op": "close", "session": "p"}))
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline())
+                    for _ in range(len(fixes) + 2)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return responses
+
+        responses = run_async(scenario())
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["op"] == "open"
+        assert responses[-1]["op"] == "close"
+        retained = [
+            Fix(*triple)
+            for r in responses[1:]
+            for triple in r.get("retained", [])
+        ]
+        indices = make_compressor("opw-tr:epsilon=30").compress(zigzag).indices
+        assert retained == [fixes[i] for i in indices]
+
+
+class TestPersistenceAndStats:
+    def test_store_file_round_trip_and_restart_resume(self, zigzag, tmp_path):
+        store_path = tmp_path / "fleet.rsto"
+        fixes = fixes_of(zigzag)
+
+        async def first_run():
+            async with running_server(
+                store_path=store_path, durable=False
+            ) as server:
+                await _stream_session(
+                    server, "z", "opw-tr:epsilon=30", fixes, chunk=5
+                )
+
+        async def second_run():
+            async with running_server(
+                store_path=store_path, durable=False
+            ) as server:
+                async with connected(server) as client:
+                    flush = await client.flush()
+                    stats = await client.stats()
+            return flush, stats
+
+        run_async(first_run())
+        indices = make_compressor("opw-tr:epsilon=30").compress(zigzag).indices
+        stored = TrajectoryStore.load(store_path).get("z")
+        assert list(stored.t) == [fixes[i].t for i in indices]
+
+        flush, stats = run_async(second_run())  # restart resumes the data
+        assert flush["path"] == str(store_path)
+        assert flush["n_objects"] == 1
+        assert stats["stored_objects"] == 1
+
+    def test_stats_verb_reports_every_lifecycle_counter(self, zigzag):
+        """Drive opens, a rejection, an eviction and a flush, then check
+        each shows up in the ``stats`` payload."""
+        fixes = fixes_of(zigzag)
+
+        async def scenario():
+            async with running_server(
+                max_sessions=2, idle_timeout_s=0.05, sweep_interval_s=0.02
+            ) as server:
+                async with connected(server) as client:
+                    await client.open("kept", "opw-tr:epsilon=30")
+                    await client.open("idle", "opw-tr:epsilon=30")
+                    await client.append("idle", fixes[:4])
+                    with pytest.raises(ServeError) as err:
+                        await client.open("extra", "opw-tr:epsilon=30")
+                    assert err.value.code == "rejected"
+                    live_before = (await client.stats())["live_sessions"]
+                    # Only "idle" has data; keep "kept" warm while the
+                    # sweeper takes the idle one.
+                    for round_no in range(10):
+                        await client.append(
+                            "kept", [Fix(float(round_no), 0.0, 0.0)]
+                        )
+                        await asyncio.sleep(0.03)
+                        if "idle" not in server.manager:
+                            break
+                    await client.append("kept", fixes[-2:])  # later timestamps
+                    await client.close_session("kept")
+                    stats = await client.stats()
+                return live_before, stats
+
+        live_before, stats = run_async(scenario())
+        assert live_before == 2
+        assert stats["live_sessions"] == 0
+        assert stats["sessions_opened"] == 2
+        assert stats["sessions_rejected"] == 1
+        assert stats["sessions_evicted"] == 1
+        assert stats["sessions_flushed"] == 2  # the evicted one + the close
+        assert stats["stored_objects"] == 2
+        assert stats["protocol_version"] == 1
+        assert stats["connections_opened"] >= 1
+        assert stats["uptime_s"] >= 0.0
+        assert stats["append_latency_ms"]["count"] > 0

@@ -1,0 +1,234 @@
+"""SessionManager unit tests: admission, LRU eviction, flush, counters.
+
+These run entirely in-process with an injected fake clock — no sockets,
+no sleeps — so the resource policies (admission control, idle eviction,
+flush-on-evict) are tested deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OPWTR
+from repro.exceptions import ServeError
+from repro.serve.session import SessionManager
+from repro.storage.store import TrajectoryStore
+from repro.types import Fix
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_manager(clock: FakeClock, **kwargs) -> SessionManager:
+    kwargs.setdefault("max_sessions", 4)
+    kwargs.setdefault("idle_timeout_s", 10.0)
+    return SessionManager(TrajectoryStore(), clock=clock, **kwargs)
+
+
+def fixes_of(traj) -> list[Fix]:
+    return [Fix(float(t), float(x), float(y))
+            for t, x, y in zip(traj.t, traj.x, traj.y)]
+
+
+class TestLifecycle:
+    def test_streamed_close_matches_batch(self, clock, zigzag):
+        manager = make_manager(clock)
+        manager.open("z", "opw-tr:epsilon=30")
+        retained = []
+        for fix in fixes_of(zigzag):
+            retained.extend(manager.append("z", fix))
+        record, tail = manager.close("z")
+        retained.extend(tail)
+
+        expected = zigzag.t[OPWTR(epsilon=30.0).compress(zigzag).indices]
+        assert [f.t for f in retained] == list(expected)
+        assert record is not None
+        assert record.n_raw_points == len(zigzag)
+        assert record.n_stored_points == len(expected)
+        # The compressor's epsilon plus the codec's quantization slack.
+        assert 30.0 <= record.sync_error_bound_m < 30.1
+        assert list(manager.store.get("z").t) == [f.t for f in retained]
+        assert "z" not in manager
+
+    def test_close_without_fixes_stores_nothing(self, clock):
+        manager = make_manager(clock)
+        manager.open("empty", "nopw:epsilon=5")
+        record, tail = manager.close("empty")
+        assert record is None
+        assert tail == []
+        assert len(manager.store) == 0
+        assert manager.stats()["sessions_flushed"] == 0
+
+    def test_unknown_session(self, clock):
+        manager = make_manager(clock)
+        with pytest.raises(ServeError) as err:
+            manager.append("ghost", Fix(0.0, 0.0, 0.0))
+        assert err.value.code == "unknown-session"
+        with pytest.raises(ServeError):
+            manager.close("ghost")
+
+    def test_out_of_order_keeps_session_usable(self, clock):
+        manager = make_manager(clock)
+        manager.open("s", "opw-tr:epsilon=10")
+        manager.append("s", Fix(5.0, 0.0, 0.0))
+        with pytest.raises(ServeError) as err:
+            manager.append("s", Fix(5.0, 1.0, 1.0))  # not strictly later
+        assert err.value.code == "out-of-order"
+        # The rejected fix left no trace: the session keeps accepting.
+        manager.append("s", Fix(6.0, 1.0, 1.0))
+        record, _ = manager.close("s")
+        assert record.n_raw_points == 2
+
+
+class TestOpenValidation:
+    @pytest.mark.parametrize("bad_id", [None, "", 7, ["x"]])
+    def test_bad_session_id(self, clock, bad_id):
+        manager = make_manager(clock)
+        with pytest.raises(ServeError) as err:
+            manager.open(bad_id, "nopw:epsilon=5")
+        assert err.value.code == "bad-request"
+
+    @pytest.mark.parametrize("bad_spec", [None, "", 3.5])
+    def test_bad_spec_type(self, clock, bad_spec):
+        manager = make_manager(clock)
+        with pytest.raises(ServeError) as err:
+            manager.open("s", bad_spec)
+        assert err.value.code == "bad-request"
+
+    @pytest.mark.parametrize(
+        "spec", ["td-tr:epsilon=5", "no-such-algo:epsilon=5", "nopw", "nopw:bogus=1"]
+    )
+    def test_unusable_spec(self, clock, spec):
+        manager = make_manager(clock)
+        with pytest.raises(ServeError) as err:
+            manager.open("s", spec)
+        assert err.value.code == "bad-spec"
+        assert "s" not in manager  # nothing half-admitted
+
+    def test_duplicate_session(self, clock):
+        manager = make_manager(clock)
+        manager.open("dup", "nopw:epsilon=5")
+        with pytest.raises(ServeError) as err:
+            manager.open("dup", "nopw:epsilon=5")
+        assert err.value.code == "duplicate-session"
+
+
+class TestAdmissionAndEviction:
+    def test_rejects_when_full(self, clock):
+        manager = make_manager(clock, max_sessions=2)
+        manager.open("a", "nopw:epsilon=5")
+        manager.open("b", "nopw:epsilon=5")
+        with pytest.raises(ServeError) as err:
+            manager.open("c", "nopw:epsilon=5")
+        assert err.value.code == "rejected"
+        assert manager.stats()["sessions_rejected"] == 1
+        assert len(manager) == 2
+
+    def test_full_open_reclaims_idle_capacity(self, clock):
+        manager = make_manager(clock, max_sessions=2, idle_timeout_s=10.0)
+        manager.open("old", "nopw:epsilon=5")
+        manager.append("old", Fix(0.0, 0.0, 0.0))
+        manager.append("old", Fix(1.0, 5.0, 0.0))
+        clock.advance(11.0)
+        manager.open("fresh", "nopw:epsilon=5")
+        # At the limit, but "old" is idle: opening evicts it instead of
+        # rejecting, and eviction flushes (not drops) its data.
+        manager.open("new", "nopw:epsilon=5")
+        assert "old" not in manager
+        assert "old" in manager.store
+        stats = manager.stats()
+        assert stats["sessions_evicted"] == 1
+        assert stats["sessions_rejected"] == 0
+
+    def test_evict_idle_is_lru_ordered(self, clock):
+        manager = make_manager(clock, idle_timeout_s=10.0)
+        for name in ("a", "b", "c"):
+            manager.open(name, "nopw:epsilon=5")
+            manager.append(name, Fix(0.0, 0.0, 0.0))
+            manager.append(name, Fix(1.0, 5.0, 0.0))
+            clock.advance(4.0)
+        # Activity order is a (12s idle), b (8s), c (4s); touch "a" so
+        # it becomes most recent and "b" becomes the oldest.
+        manager.append("a", Fix(2.0, 6.0, 1.0))
+        clock.advance(9.0)  # idle: b=17s, c=13s, a=9s
+        assert manager.evict_idle() == ["b", "c"]
+        assert manager.live_session_ids == ["a"]
+        assert "b" in manager.store and "c" in manager.store
+
+    def test_eviction_flushes_like_close(self, clock, zigzag):
+        manager = make_manager(clock, idle_timeout_s=1.0)
+        manager.open("z", "opw-tr:epsilon=30")
+        for fix in fixes_of(zigzag):
+            manager.append("z", fix)
+        clock.advance(2.0)
+        assert manager.evict_idle() == ["z"]
+        expected = zigzag.t[OPWTR(epsilon=30.0).compress(zigzag).indices]
+        assert list(manager.store.get("z").t) == list(expected)
+
+    def test_storage_conflict_maps_to_storage_code(self, clock):
+        manager = make_manager(clock)  # replace defaults to False
+        for attempt in range(2):
+            manager.open("same", "nopw:epsilon=5")
+            manager.append("same", Fix(0.0, 0.0, 0.0))
+            manager.append("same", Fix(1.0, 5.0, float(attempt)))
+            if attempt == 0:
+                manager.close("same")
+            else:
+                with pytest.raises(ServeError) as err:
+                    manager.close("same")
+                assert err.value.code == "storage"
+        assert "same" not in manager  # the window is gone either way
+
+
+class TestDurabilityAndStats:
+    def test_flush_persists_store_file(self, clock, tmp_path):
+        store_path = tmp_path / "serve.rsto"
+        manager = SessionManager(
+            TrajectoryStore(), clock=clock, store_path=store_path, durable=False
+        )
+        manager.open("p", "nopw:epsilon=5")
+        manager.append("p", Fix(0.0, 0.0, 0.0))
+        manager.append("p", Fix(1.0, 10.0, 0.0))
+        manager.close("p")
+        assert store_path.exists()
+        reloaded = TrajectoryStore.load(store_path)
+        assert "p" in reloaded
+        assert list(reloaded.get("p").t) == [0.0, 1.0]
+
+    def test_stats_counters(self, clock, zigzag):
+        manager = make_manager(clock, max_sessions=1, idle_timeout_s=10.0)
+        manager.open("z", "opw-tr:epsilon=30")
+        for fix in fixes_of(zigzag):
+            manager.append("z", fix)
+        with pytest.raises(ServeError):
+            manager.open("extra", "nopw:epsilon=5")  # rejected: z is active
+        manager.close("z")
+        stats = manager.stats()
+        assert stats["live_sessions"] == 0
+        assert stats["sessions_opened"] == 1
+        assert stats["sessions_rejected"] == 1
+        assert stats["sessions_flushed"] == 1
+        assert stats["fixes_in"] == len(zigzag)
+        n_batch = len(OPWTR(epsilon=30.0).compress(zigzag).indices)
+        assert stats["fixes_flushed"] == n_batch
+        assert stats["fixes_retained"] <= n_batch  # rest came in the close tail
+        assert stats["stored_objects"] == 1
+
+    def test_invalid_configuration(self, clock):
+        with pytest.raises(ValueError):
+            make_manager(clock, max_sessions=0)
+        with pytest.raises(ValueError):
+            make_manager(clock, idle_timeout_s=0.0)

@@ -1,0 +1,197 @@
+"""Hypothesis property tests for the store's secondary indexes.
+
+Both indexes are checked against a trivially correct linear scan under
+hypothesis-generated *mutation sequences* — insert, overwrite, remove,
+query interleaved freely — so the consistency obligations that only show
+up after mutation (the :class:`IntervalIndex`'s lazy dirty-rebuild, the
+:class:`GridIndex`'s cell unregistration) are exercised on every path,
+not just on a freshly built index.
+
+Contracts verified:
+
+* ``IntervalIndex.overlapping`` returns **exactly** the brute-force
+  answer (it is an exact index);
+* ``GridIndex.candidates`` returns a **superset** of the brute-force
+  answer (it is a conservative filter: false positives allowed, false
+  negatives never), drawn only from currently registered ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BBox
+from repro.geometry.clip import segment_intersects_bbox
+from repro.storage.index import GridIndex
+from repro.storage.interval_index import IntervalIndex
+
+KEYS = [f"obj-{i}" for i in range(6)]
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------- #
+# IntervalIndex
+# --------------------------------------------------------------------- #
+
+interval_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.sampled_from(KEYS),
+            st.floats(0.0, 100.0, **finite),
+            st.floats(0.0, 100.0, **finite),
+        ),
+        st.tuples(st.just("remove"), st.sampled_from(KEYS)),
+        st.tuples(
+            st.just("query"),
+            st.floats(-10.0, 110.0, **finite),
+            st.floats(0.0, 60.0, **finite),
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestIntervalIndexProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(interval_ops)
+    def test_mutation_sequences_match_linear_scan(self, ops):
+        index = IntervalIndex()
+        truth: dict[str, tuple[float, float]] = {}
+        for op in ops:
+            if op[0] == "insert":
+                _, key, a, b = op
+                lo, hi = min(a, b), max(a, b)
+                index.insert(key, lo, hi)
+                truth[key] = (lo, hi)
+            elif op[0] == "remove":
+                index.remove(op[1])
+                truth.pop(op[1], None)
+            else:
+                _, t0, span = op
+                t1 = t0 + span
+                expected = sorted(
+                    key for key, (lo, hi) in truth.items()
+                    if lo <= t1 and hi >= t0
+                )
+                assert index.overlapping(t0, t1) == expected
+        # Terminal query: every sequence ends re-checking the dirty path.
+        assert index.overlapping(-10.0, 110.0) == sorted(truth)
+        assert len(index) == len(truth)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(0.0, 100.0, **finite),
+        st.floats(0.0, 100.0, **finite),
+        st.floats(0.0, 100.0, **finite),
+    )
+    def test_reinsert_replaces_old_interval(self, a, b, probe):
+        """An overwritten interval must answer with its *new* extent."""
+        index = IntervalIndex()
+        index.insert("x", 0.0, 200.0)
+        assert index.covering(probe) == ["x"]  # query, then mutate
+        lo, hi = min(a, b), max(a, b)
+        index.insert("x", lo, hi)
+        assert index.covering(probe) == (["x"] if lo <= probe <= hi else [])
+
+
+# --------------------------------------------------------------------- #
+# GridIndex
+# --------------------------------------------------------------------- #
+
+points = st.lists(
+    st.tuples(
+        st.floats(-2000.0, 2000.0, **finite),
+        st.floats(-2000.0, 2000.0, **finite),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+grid_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.sampled_from(KEYS), points),
+        st.tuples(st.just("remove"), st.sampled_from(KEYS)),
+        st.tuples(
+            st.just("query"),
+            st.floats(-2500.0, 2500.0, **finite),
+            st.floats(-2500.0, 2500.0, **finite),
+            st.floats(0.0, 1500.0, **finite),
+            st.floats(0.0, 1500.0, **finite),
+        ),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def truly_intersects(xy: np.ndarray, box: BBox) -> bool:
+    """Brute-force ground truth: does the polyline touch the box?"""
+    if xy.shape[0] == 1:
+        return box.contains_point(float(xy[0, 0]), float(xy[0, 1]))
+    return any(
+        segment_intersects_bbox(xy[i], xy[i + 1], box)
+        for i in range(xy.shape[0] - 1)
+    )
+
+
+class TestGridIndexProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(grid_ops)
+    def test_mutation_sequences_never_lose_candidates(self, ops):
+        index = GridIndex(cell_size_m=400.0)
+        truth: dict[str, np.ndarray] = {}
+        for op in ops:
+            if op[0] == "insert":
+                _, key, pts = op
+                xy = np.asarray(pts, dtype=float)
+                index.insert(key, xy)
+                truth[key] = xy
+            elif op[0] == "remove":
+                index.remove(op[1])
+                truth.pop(op[1], None)
+            else:
+                _, x0, y0, w, h = op
+                box = BBox(x0, y0, x0 + w, y0 + h)
+                candidates = index.candidates(box)
+                expected = {
+                    key for key, xy in truth.items()
+                    if truly_intersects(xy, box)
+                }
+                assert expected <= candidates  # no false negatives, ever
+                assert candidates <= set(truth)  # only live ids
+        # Terminal full-extent query: every registered id is a candidate.
+        everything = BBox(-3000.0, -3000.0, 3000.0, 3000.0)
+        assert index.candidates(everything) == set(truth)
+        assert len(index) == len(truth)
+
+    @settings(max_examples=60, deadline=None)
+    @given(points, points)
+    def test_reinsert_replaces_old_geometry(self, old_pts, new_pts):
+        """Re-registering an id forgets the old polyline's cells."""
+        index = GridIndex(cell_size_m=400.0)
+        index.insert("x", np.asarray(old_pts, dtype=float))
+        new_xy = np.asarray(new_pts, dtype=float)
+        index.insert("x", new_xy)
+        reference = GridIndex(cell_size_m=400.0)
+        reference.insert("x", new_xy)
+        assert index._object_cells["x"] == reference._object_cells["x"]
+        assert index.n_cells == reference.n_cells
+
+    def test_remove_leaves_no_empty_buckets(self):
+        index = GridIndex(cell_size_m=100.0)
+        index.insert("a", np.array([[0.0, 0.0], [950.0, 0.0]]))
+        index.insert("b", np.array([[0.0, 0.0], [0.0, 950.0]]))
+        index.remove("a")
+        assert index.candidates(BBox(500.0, -50.0, 900.0, 50.0)) == set()
+        index.remove("b")
+        assert index.n_cells == 0
+
+    def test_cell_size_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size_m=0.0)

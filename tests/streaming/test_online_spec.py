@@ -1,0 +1,84 @@
+"""Spec-string support in :func:`make_online_compressor`.
+
+The factory accepts the same unified grammar as the batch registry, so a
+spec that configures a pipeline run (or a server session) works verbatim
+for streaming — and the failure modes are spelled out, not KeyErrors
+from parameter plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import available_compressors
+from repro.exceptions import CompressorSpecError, StreamError
+from repro.streaming import STREAMABLE_ALGORITHMS
+from repro.streaming.online import make_online_compressor
+
+
+class TestSpecStrings:
+    def test_opw_tr_spec(self):
+        opw = make_online_compressor("opw-tr:epsilon=30")
+        assert opw.criterion == "synchronized"
+        assert opw.epsilon == 30.0
+        assert opw.max_speed_error is None
+
+    def test_opw_sp_spec(self):
+        opw = make_online_compressor("opw-sp:epsilon=30,max_speed_error=5")
+        assert opw.criterion == "synchronized"
+        assert opw.max_speed_error == 5.0
+
+    def test_nopw_spec_with_max_window(self):
+        opw = make_online_compressor("nopw:epsilon=12.5,max_window=64")
+        assert opw.criterion == "perpendicular"
+        assert opw.epsilon == 12.5
+        assert opw.max_window == 64
+
+    def test_cli_aliases(self):
+        # The CLI's batch aliases work unchanged for streaming.
+        opw = make_online_compressor("opw-sp:max_dist_error=30,speed=5")
+        assert opw.epsilon == 30.0
+        assert opw.max_speed_error == 5.0
+
+    def test_engine_entry_is_ignored(self):
+        # Batch spec strings may carry engine=python; streaming has one
+        # engine, so the entry must not be an error.
+        opw = make_online_compressor("opw-tr:epsilon=30,engine=python")
+        assert opw.epsilon == 30.0
+
+    def test_explicit_kwargs_override_spec(self):
+        opw = make_online_compressor("opw-tr:epsilon=30", epsilon=7.0)
+        assert opw.epsilon == 7.0
+
+
+class TestSpecErrors:
+    @pytest.mark.parametrize("name", ["td-tr:epsilon=30", "ndp:epsilon=30",
+                                      "bottom-up:epsilon=30"])
+    def test_batch_only_algorithm_is_a_clear_error(self, name):
+        with pytest.raises(StreamError) as err:
+            make_online_compressor(name)
+        message = str(err.value)
+        assert "batch-only" in message
+        for streamable in STREAMABLE_ALGORITHMS:
+            assert streamable in message  # the fix is named in the error
+
+    def test_unknown_name_is_keyerror(self):
+        with pytest.raises(KeyError):
+            make_online_compressor("no-such-algo:epsilon=30")
+
+    def test_unsupported_parameter(self):
+        with pytest.raises(StreamError) as err:
+            make_online_compressor("opw-tr:epsilon=30,budget=5")
+        assert "budget" in str(err.value)
+
+    def test_malformed_spec(self):
+        with pytest.raises(CompressorSpecError):
+            make_online_compressor("opw-tr:epsilon")
+
+    def test_missing_epsilon_in_spec(self):
+        with pytest.raises(ValueError):
+            make_online_compressor("opw-tr")
+
+    def test_streamable_names_are_registered_batch_algorithms(self):
+        # The streaming registry is a strict subset of the batch one.
+        assert set(STREAMABLE_ALGORITHMS) <= set(available_compressors())

@@ -236,6 +236,69 @@ class TestParser:
             main(["--help"])
         assert excinfo.value.code == 0
 
+    def test_version_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestCleanExit:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys, trip_csv):
+        # Ctrl-C inside any subcommand must exit with the POSIX code for
+        # SIGINT and no traceback on stdout.
+        from repro import cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        parser = cli.build_parser()
+        monkeypatch.setattr(
+            cli, "build_parser", lambda: _with_func(parser, interrupted)
+        )
+        assert cli.main(["stats", str(trip_csv)]) == 130
+        assert "Traceback" not in capsys.readouterr().out
+
+    def test_broken_pipe_exits_zero(self, monkeypatch, trip_csv):
+        from repro import cli
+
+        def piped(args):
+            raise BrokenPipeError
+
+        parser = cli.build_parser()
+        monkeypatch.setattr(cli, "build_parser", lambda: _with_func(parser, piped))
+        assert cli.main(["stats", str(trip_csv)]) == 0
+
+
+def _with_func(parser, func):
+    """Rebind every subcommand of a built parser to ``func``."""
+    class _Shim:
+        def parse_args(self, argv):
+            args = parser.parse_args(argv)
+            args.func = func
+            return args
+
+    return _Shim()
+
+
+class TestServeBenchCommand:
+    @pytest.mark.serve
+    def test_smoke_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "serve-bench", "--sessions", "4", "--fixes", "30",
+            "--rejects", "1", "--batch", "5", "-o", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["results"]["equivalence"] == "batch-identical"
+        assert report["results"]["rejected_sessions"] == 1
+        text = capsys.readouterr().out
+        assert "batch-identical" in text
+        assert "p50" in text
+
 
 class TestPipeline:
     @pytest.fixture

@@ -57,6 +57,7 @@ def test_package_count_matches_design():
         "experiments",
         "geometry",
         "pipeline",
+        "serve",
         "storage",
         "streaming",
         "trajectory",
