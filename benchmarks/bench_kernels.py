@@ -108,16 +108,20 @@ def main() -> int:
         "--quick", action="store_true",
         help=f"CI-sized run ({QUICK_POINTS} points instead of {FULL_POINTS})",
     )
+    parser.add_argument(
+        "--output", "-o", type=Path, default=OUTPUT,
+        help=f"report path (default {OUTPUT.name} at the repo root)",
+    )
     args = parser.parse_args()
     n_points = QUICK_POINTS if args.quick else args.points
-    report = bench(n_points)
+    report = bench(n_points, output=args.output)
     for spec, entry in report["algorithms"].items():
         print(
             f"{spec}: python {entry['python']['best_s']:.2f}s, "
             f"numpy {entry['numpy']['best_s']:.2f}s "
             f"({entry['speedup']:.1f}x), kept {entry['numpy']['n_kept']}"
         )
-    print(f"-> {OUTPUT.name}")
+    print(f"-> {args.output}")
     return 0
 
 

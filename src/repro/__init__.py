@@ -43,6 +43,7 @@ from repro.error import (
     max_synchronized_error,
     mean_synchronized_error,
 )
+from repro.obs import Registry
 from repro.pipeline import (
     BatchEngine,
     BatchRunResult,
@@ -80,6 +81,7 @@ __all__ = [
     "OPWSP",
     "OPWTR",
     "PointStream",
+    "Registry",
     "SlidingWindow",
     "StreamingOPW",
     "TDSP",

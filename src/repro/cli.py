@@ -20,7 +20,10 @@ Exposes the library's everyday operations without writing code:
 * ``serve`` — run the trajectory-ingestion service (see
   ``docs/SERVING.md``);
 * ``serve-bench`` — load-test a served ingestion run, writing
-  ``BENCH_serve.json``.
+  ``BENCH_serve.json``;
+* ``obs dump`` — export metrics (from a live server's ``stats`` verb or
+  a metrics JSON file) as Prometheus text exposition or JSON (see
+  ``docs/OBSERVABILITY.md``).
 
 Algorithms are selected either by name plus flags (``-a opw-sp -e 30
 --speed 5``) or as one spec string (``-a "opw-sp:epsilon=30,speed=5"``).
@@ -546,6 +549,43 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_prometheus
+
+    if args.input is not None:
+        data = json.loads(Path(args.input).read_text())
+        if not isinstance(data, dict):
+            raise ReproError(f"{args.input}: expected a JSON object of metrics")
+        # Accept a bare registry export, a server stats payload, or a
+        # bench report — anything carrying a "metrics" registry dict.
+        metrics = data.get("metrics", data)
+        if "server_stats" in data and "metrics" not in data:
+            metrics = data["server_stats"].get("metrics", data["server_stats"])
+    else:
+        import asyncio
+
+        from repro.serve.client import ServeClient
+
+        async def _fetch() -> dict:
+            async with await ServeClient.connect(args.host, args.port) as client:
+                return await client.stats()
+
+        try:
+            stats = asyncio.run(_fetch())
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach server at {args.host}:{args.port}: {exc}"
+            ) from exc
+        metrics = stats.get("metrics", stats)
+    if args.format == "json":
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(metrics, prefix=args.prefix), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -780,6 +820,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", "-o", default="BENCH_serve.json",
                          help="report path (written atomically)")
     p_bench.set_defaults(func=_cmd_serve_bench)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (see docs/OBSERVABILITY.md)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_dump = obs_sub.add_parser(
+        "dump",
+        help="export metrics as Prometheus text exposition or JSON",
+    )
+    p_dump.add_argument(
+        "--input", "-i", default=None,
+        help="metrics JSON file (a registry export, server stats payload "
+             "or bench report); omit to query a live server's stats verb",
+    )
+    p_dump.add_argument("--host", default="127.0.0.1",
+                        help="server address for live queries")
+    p_dump.add_argument("--port", type=int, default=8750,
+                        help="server port for live queries")
+    p_dump.add_argument(
+        "--format", "-f", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default Prometheus text exposition 0.0.4)",
+    )
+    p_dump.add_argument("--prefix", default="repro",
+                        help="metric-name prefix for Prometheus output")
+    p_dump.set_defaults(func=_cmd_obs_dump)
 
     return parser
 

@@ -16,11 +16,13 @@ from __future__ import annotations
 import abc
 import functools
 import inspect
+import time
 import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import CompressionError, ThresholdError
 from repro.trajectory.trajectory import Trajectory
 
@@ -195,12 +197,37 @@ class Compressor(abc.ABC):
         """Compress ``traj``, returning the retained subseries.
 
         Trajectories of one or two points are passed through unchanged.
+
+        Every call is observable: per-call wall time and point counts
+        are sampled into the ambient :func:`repro.obs.get_registry`
+        (a no-op unless observability is enabled), a ``compress``
+        tracing span brackets the call when ``REPRO_TRACE=1``, and
+        ``REPRO_PROFILE=1`` writes a cProfile snapshot per call.
         """
         n = len(traj)
-        if n <= 2:
-            indices = np.arange(n)
-        else:
-            indices = np.asarray(self.select_indices(traj), dtype=int)
+        registry = obs.get_registry()
+        if not registry.enabled and not obs.tracing_enabled() \
+                and not obs.profiling_enabled():
+            # Fast path: observability fully off costs only these checks.
+            if n <= 2:
+                indices = np.arange(n)
+            else:
+                indices = np.asarray(self.select_indices(traj), dtype=int)
+            return CompressionResult(traj, indices, self.name)
+        with obs.profiled(f"compress-{self.name}"), obs.span(
+            "compress", algo=self.name, points=n
+        ):
+            started = time.perf_counter()
+            if n <= 2:
+                indices = np.arange(n)
+            else:
+                indices = np.asarray(self.select_indices(traj), dtype=int)
+            elapsed = time.perf_counter() - started
+        registry.timer(f"compress.{self.name}.s").observe(elapsed)
+        registry.counter("compress_calls").inc()
+        registry.counter("compress_points_in").inc(n)
+        registry.counter("compress_points_kept").inc(int(indices.size))
+        registry.histogram("compress_points_in").observe(n)
         return CompressionResult(traj, indices, self.name)
 
     def __call__(self, traj: Trajectory) -> CompressionResult:

@@ -1,0 +1,105 @@
+"""Exporters: JSON (the historical schema) and Prometheus text.
+
+The JSON form is simply :meth:`repro.obs.registry.Registry.to_dict` —
+byte-compatible with what the batch pipeline has always written (plus
+the additive ``gauges`` category). This module adds the Prometheus text
+exposition format (version 0.0.4) so a scrape target or ``repro obs
+dump`` can publish the same instruments:
+
+* counters become ``repro_<name>_total``;
+* gauges become ``repro_<name>``;
+* timers become summaries (``_count`` / ``_sum``) plus a ``_max`` gauge;
+* histograms become classic cumulative-bucket histograms
+  (``_bucket{le="..."}`` rising to ``le="+Inf"``, ``_sum``, ``_count``).
+
+:func:`render_prometheus` accepts either a live :class:`Registry` or its
+dict export, which is what lets a *client* render metrics fetched over
+the serve protocol's ``stats`` verb without holding the registry.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.registry import Registry
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT_RE = re.compile(r"^[0-9]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Sanitize an instrument name into a legal Prometheus metric name."""
+    flat = _NAME_RE.sub("_", name)
+    if _LEADING_DIGIT_RE.match(flat):
+        flat = f"_{flat}"
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value != value:  # NaN
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    source: "Registry | Mapping[str, Any]", *, prefix: str = "repro"
+) -> str:
+    """Render a registry (or its dict export) as Prometheus text.
+
+    Args:
+        source: a live :class:`Registry` or the dict produced by its
+            ``to_dict`` (round-tripped through JSON or fetched over the
+            wire — both work).
+        prefix: metric-name prefix (``repro`` by default; ``""`` for
+            none).
+
+    Returns:
+        The exposition text, one ``# TYPE`` header per metric family,
+        ending with a newline (empty string for no instruments).
+    """
+    data: Mapping[str, Any] = (
+        source.to_dict() if isinstance(source, Registry) else source
+    )
+    lines: list[str] = []
+
+    for name, value in sorted(dict(data.get("counters", {})).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+
+    for name, value in sorted(dict(data.get("gauges", {})).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, timer in sorted(dict(data.get("timers", {})).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric}_seconds summary")
+        lines.append(f"{metric}_seconds_count {_format_value(timer['count'])}")
+        lines.append(f"{metric}_seconds_sum {_format_value(timer['total_s'])}")
+        lines.append(f"# TYPE {metric}_seconds_max gauge")
+        lines.append(f"{metric}_seconds_max {_format_value(timer['max_s'])}")
+
+    for name, histogram in sorted(dict(data.get("histograms", {})).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bucket in histogram["buckets"]:
+            cumulative += bucket["count"]
+            le = _format_value(float(bucket["le"]))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        total = cumulative + int(histogram.get("overflow", 0))
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{metric}_sum {_format_value(histogram['sum'])}")
+        lines.append(f"{metric}_count {_format_value(histogram['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,96 @@
+"""Opt-in cProfile hooks around kernel calls and pipeline stages.
+
+Profiling is a heavyweight lens, so it is gated twice: nothing happens
+unless the ``REPRO_PROFILE`` environment variable is truthy at the time
+a profiled block runs, and each snapshot is scoped to one named block
+rather than the whole process. With profiling on::
+
+    REPRO_PROFILE=1 repro pipeline fleet/ --spec td-tr:epsilon=30
+
+every wrapped block (``Compressor.compress``, ``BatchEngine.run``)
+writes one ``<name>-<pid>-<seq>.prof`` snapshot into
+``REPRO_PROFILE_DIR`` (default ``./profiles``), atomically via
+:func:`repro.io_util.write_atomic` — a crash mid-dump never leaves a
+torn file. Snapshots are standard :mod:`pstats` marshal dumps::
+
+    python -m pstats profiles/compress-td-tr-12345-0001.prof
+"""
+
+from __future__ import annotations
+
+import marshal
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Iterator
+
+from contextlib import contextmanager
+
+from repro.io_util import write_atomic
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "PROFILE_DIR_ENV_VAR",
+    "profiling_enabled",
+    "profile_dir",
+    "profiled",
+]
+
+#: Environment variable enabling the profiling hooks (``1``/``true``/...).
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+#: Environment variable naming the snapshot directory (default
+#: ``./profiles``).
+PROFILE_DIR_ENV_VAR = "REPRO_PROFILE_DIR"
+
+_seq_lock = threading.Lock()
+_seq = 0
+
+
+def profiling_enabled() -> bool:
+    """Whether profiled blocks currently record cProfile snapshots."""
+    value = os.environ.get(PROFILE_ENV_VAR)
+    return value is not None and value.strip().lower() in ("1", "true", "yes", "on")
+
+
+def profile_dir() -> Path:
+    """The directory profile snapshots are written into."""
+    return Path(os.environ.get(PROFILE_DIR_ENV_VAR) or "profiles")
+
+
+def _next_seq() -> int:
+    global _seq
+    with _seq_lock:
+        _seq += 1
+        return _seq
+
+
+def _snapshot_path(name: str) -> Path:
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "-", name).strip("-") or "block"
+    return profile_dir() / f"{safe}-{os.getpid()}-{_next_seq():04d}.prof"
+
+
+@contextmanager
+def profiled(name: str) -> Iterator[None]:
+    """Profile the wrapped block when ``REPRO_PROFILE`` is on.
+
+    A no-op otherwise. The snapshot is a :mod:`pstats`-loadable marshal
+    dump written atomically; profiling errors never mask the block's own
+    exceptions.
+    """
+    if not profiling_enabled():
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.create_stats()
+        path = _snapshot_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_atomic(path, marshal.dumps(profiler.stats), durable=False)

@@ -1,0 +1,170 @@
+"""Lightweight tracing spans with monotonic timing and a ring buffer.
+
+A span brackets one unit of work — a compress call, a pipeline run, a
+serve append — with a monotonic start/duration, free-form attributes,
+and parent/child nesting tracked through a :mod:`contextvars` variable
+(so nesting is correct across asyncio tasks, each of which sees its own
+current span)::
+
+    with span("compress", algo="td-tr", points=1810):
+        ...
+
+Finished spans land in a bounded ring buffer (newest wins once full);
+:func:`recent_spans` exports them as JSON-ready dicts, :func:`clear_spans`
+empties the buffer. A span that exits through an exception records the
+exception type under ``error`` and re-raises.
+
+Tracing is **off by default**: :func:`span` then returns a shared no-op
+context manager, which keeps hot paths at roughly the cost of one
+function call. Opt in with ``REPRO_TRACE=1`` or
+:func:`configure_tracing`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "DEFAULT_RING_SIZE",
+    "span",
+    "tracing_enabled",
+    "configure_tracing",
+    "current_span",
+    "recent_spans",
+    "clear_spans",
+]
+
+#: Environment variable that switches tracing on at import time.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Default capacity of the finished-span ring buffer.
+DEFAULT_RING_SIZE = 1024
+
+_ids = itertools.count(1)
+_lock = threading.Lock()
+_enabled = os.environ.get(TRACE_ENV_VAR, "").strip().lower() in (
+    "1", "true", "yes", "on",
+)
+_ring: deque[dict] = deque(maxlen=DEFAULT_RING_SIZE)
+_current: contextvars.ContextVar["_Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: times the block, records itself on exit."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth",
+                 "started_s", "_token")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(_ids)
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.started_s = 0.0
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "_Span":
+        parent = _current.get()
+        if parent is not None:
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        self._token = _current.set(self)
+        self.started_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: type | None, *exc_info: object) -> bool:
+        duration = time.perf_counter() - self.started_s
+        if self._token is not None:
+            _current.reset(self._token)
+        record = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_s": self.started_s,
+            "duration_s": duration,
+            "attrs": self.attrs,
+            "error": None if exc_type is None else exc_type.__name__,
+        }
+        with _lock:
+            _ring.append(record)
+        return False
+
+
+def span(name: str, **attrs: object) -> "_Span | _NullSpan":
+    """A context manager tracing the wrapped block as ``name``.
+
+    Attributes are free-form keyword arguments kept verbatim on the
+    exported record. Returns a shared no-op object while tracing is
+    disabled.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _enabled
+
+
+def configure_tracing(enabled: bool, *, ring_size: int | None = None) -> None:
+    """Switch tracing on or off and optionally resize the ring buffer.
+
+    Resizing drops buffered spans (a fresh deque is installed).
+    """
+    global _enabled, _ring
+    with _lock:
+        _enabled = bool(enabled)
+        if ring_size is not None:
+            if ring_size < 1:
+                raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+            _ring = deque(maxlen=int(ring_size))
+
+
+def current_span() -> "_Span | None":
+    """The innermost live span of this task/thread, or ``None``."""
+    return _current.get()
+
+
+def recent_spans(name: str | None = None) -> list[dict]:
+    """Finished spans still in the ring buffer, oldest first.
+
+    Args:
+        name: only spans with this name, when given.
+    """
+    with _lock:
+        records = list(_ring)
+    if name is not None:
+        records = [record for record in records if record["name"] == name]
+    return records
+
+
+def clear_spans() -> None:
+    """Empty the finished-span ring buffer."""
+    with _lock:
+        _ring.clear()

@@ -5,8 +5,9 @@ The fleet-scale layer over :mod:`repro.core`: a
 directory / store of trajectories through any registered compressor on
 a process pool (or inline), isolates per-item failures under a
 ``raise``/``skip``/``retry(n)`` policy, and aggregates per-item samples
-into a JSON-exportable :class:`~repro.pipeline.metrics.Metrics`
-registry. The experiment harness (:func:`repro.experiments.run_sweep`),
+into a JSON-exportable :class:`~repro.obs.Registry` (the deprecated
+``Metrics`` alias remains for one release). The experiment harness
+(:func:`repro.experiments.run_sweep`),
 the storage ingestor and the ``repro pipeline`` / ``flow`` / ``table2``
 CLI commands all run on this one code path.
 """
@@ -32,6 +33,7 @@ from repro.pipeline.metrics import (
     Counter,
     Histogram,
     Metrics,
+    Registry,
     Timer,
 )
 
@@ -47,6 +49,7 @@ __all__ = [
     "ItemSuccess",
     "MalformedItemError",
     "Metrics",
+    "Registry",
     "RunCheckpoint",
     "Timer",
     "execute",

@@ -13,9 +13,10 @@ compressor, with:
   configurable ``raise``/``skip``/``retry(n)`` policy instead of
   killing the run;
 * an observability layer: per-item samples (points in/kept,
-  synchronized error, compression time) aggregated into a
-  :class:`~repro.pipeline.metrics.Metrics` registry and exported as
-  JSON (``repro pipeline --metrics-json``).
+  synchronized error, compression time) aggregated into a shared
+  :class:`~repro.obs.Registry` and exported as JSON
+  (``repro pipeline --metrics-json``), with tracing spans around the
+  run and its stages and opt-in profiling (``REPRO_PROFILE=1``).
 
 Parallel determinism note: a compressor *instance* is pickled to the
 workers as-is; a spec string or :class:`~repro.core.registry.CompressorSpec`
@@ -52,7 +53,7 @@ from repro.pipeline.executor import (
     MalformedItemError,
     execute,
 )
-from repro.pipeline.metrics import Metrics
+from repro.obs import Registry, profiled, span
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -272,14 +273,19 @@ class _CompressTask:
         }
         if self.evaluate != "none" and len(traj) >= 2:
             approx = result.compressed
-            if self.evaluate == "full":
-                report = evaluate_compression(traj, approx)
-                sample["report"] = report.to_dict()
-                sample["mean_sync_error_m"] = report.mean_sync_error_m
-                sample["max_sync_error_m"] = report.max_sync_error_m
-            else:
-                sample["mean_sync_error_m"] = mean_synchronized_error(traj, approx)
-                sample["max_sync_error_m"] = max_synchronized_error(traj, approx)
+            with span("pipeline.evaluate", mode=self.evaluate, points=len(traj)):
+                if self.evaluate == "full":
+                    report = evaluate_compression(traj, approx)
+                    sample["report"] = report.to_dict()
+                    sample["mean_sync_error_m"] = report.mean_sync_error_m
+                    sample["max_sync_error_m"] = report.max_sync_error_m
+                else:
+                    sample["mean_sync_error_m"] = mean_synchronized_error(
+                        traj, approx
+                    )
+                    sample["max_sync_error_m"] = max_synchronized_error(
+                        traj, approx
+                    )
         return sample
 
 
@@ -326,7 +332,7 @@ class BatchRunResult:
     workers: int
     on_error: str
     outcomes: list["ItemResult | ItemFailure"]
-    metrics: Metrics
+    metrics: Registry
     elapsed_s: float
     on_malformed: "str | None" = None
     items_resumed: int = 0
@@ -501,7 +507,7 @@ class BatchEngine:
         self,
         source: Any,
         *,
-        metrics: Metrics | None = None,
+        metrics: Registry | None = None,
         checkpoint: "str | Path | None" = None,
     ) -> BatchRunResult:
         """Compress every item of ``source`` (see :func:`iter_fleet`).
@@ -523,7 +529,7 @@ class BatchEngine:
             A :class:`BatchRunResult` with input-ordered outcomes and
             the aggregated metrics.
         """
-        metrics = metrics if metrics is not None else Metrics()
+        metrics = metrics if metrics is not None else Registry()
         items = list(iter_fleet(source))
         task = _CompressTask(self._spec, self._compressor, self.evaluate)
         ckpt: RunCheckpoint | None = None
@@ -561,16 +567,22 @@ class BatchEngine:
         observe = ckpt is not None or self._quarantine_dir is not None
         started = time.perf_counter()
         try:
-            raw = execute(
-                task,
-                [item for _, item in pending],
+            with profiled("pipeline-run"), span(
+                "pipeline.run",
+                compressor=self.compressor_label,
+                items=len(pending),
                 workers=self.workers,
-                chunk_size=self.chunk_size,
-                policy=self.policy,
-                malformed_mode=_malformed_exec_mode(self._malformed_mode),
-                indices=[i for i, _ in pending],
-                on_outcome=handle if observe else None,
-            )
+            ):
+                raw = execute(
+                    task,
+                    [item for _, item in pending],
+                    workers=self.workers,
+                    chunk_size=self.chunk_size,
+                    policy=self.policy,
+                    malformed_mode=_malformed_exec_mode(self._malformed_mode),
+                    indices=[i for i, _ in pending],
+                    on_outcome=handle if observe else None,
+                )
         finally:
             if ckpt is not None:
                 ckpt.close()
@@ -636,7 +648,7 @@ class BatchEngine:
 
     def _sample_metrics(
         self,
-        metrics: Metrics,
+        metrics: Registry,
         outcomes: list["ItemResult | ItemFailure"],
         elapsed: float,
     ) -> None:

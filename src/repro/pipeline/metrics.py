@@ -1,227 +1,42 @@
-"""Lightweight runtime metrics: counters, timers, histograms.
+"""Deprecated shim: the metrics layer moved to :mod:`repro.obs`.
 
-The observability layer of the batch pipeline. A :class:`Metrics`
-registry owns named instruments; the :class:`~repro.pipeline.engine.BatchEngine`
-samples one set of observations per processed item (points in, points
-kept, synchronized error, compression time) and aggregates them per run.
-Everything exports to plain JSON-ready dicts — no external metrics
-dependency, negligible overhead per observation.
+What used to live here — :class:`Counter`, :class:`Timer`,
+:class:`Histogram` and the ``Metrics`` registry — grew into the
+process-wide observability layer of :mod:`repro.obs` (which adds gauges,
+tracing spans, profiling hooks and Prometheus exposition). The
+instrument classes are re-exported unchanged; :class:`Metrics` remains
+as a one-release compatibility alias for :class:`repro.obs.Registry`
+that warns on construction. New code should use::
 
-The JSON schema (see ``docs/PIPELINE.md``)::
+    from repro.obs import Registry
 
-    {
-      "counters":   {"<name>": <int>},
-      "timers":     {"<name>": {"count", "total_s", "mean_s", "max_s"}},
-      "histograms": {"<name>": {"count", "sum", "min", "max", "mean",
-                                "buckets": [{"le": <upper>, "count": <n>}, ...],
-                                "overflow": <n>}}
-    }
+The JSON export schema is unchanged (``counters`` / ``timers`` /
+``histograms``, now plus ``gauges``); see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
-import bisect
-import time
-from contextlib import contextmanager
-from typing import Iterator, Sequence
+import warnings
 
-__all__ = ["Counter", "Timer", "Histogram", "Metrics", "DEFAULT_BUCKETS"]
-
-#: Default histogram bucket upper bounds: a 1-2-5 geometric ladder wide
-#: enough for point counts (1..100k) and metre-scale errors alike.
-DEFAULT_BUCKETS: tuple[float, ...] = (
-    1, 2, 5, 10, 20, 50, 100, 200, 500,
-    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    Registry,
+    Timer,
 )
 
-
-class Counter:
-    """A monotonically increasing integer counter."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (default 1) to the counter."""
-        if amount < 0:
-            raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
+__all__ = ["Counter", "Timer", "Histogram", "Metrics", "Registry", "DEFAULT_BUCKETS"]
 
 
-class Timer:
-    """Accumulates durations: observation count, total and maximum."""
-
-    __slots__ = ("name", "count", "total_s", "max_s")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.count = 0
-        self.total_s = 0.0
-        self.max_s = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one duration in seconds."""
-        seconds = float(seconds)
-        self.count += 1
-        self.total_s += seconds
-        self.max_s = max(self.max_s, seconds)
-
-    @contextmanager
-    def time(self) -> Iterator[None]:
-        """Context manager measuring the wrapped block with a monotonic clock."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.observe(time.perf_counter() - started)
-
-    @property
-    def mean_s(self) -> float:
-        """Mean observed duration (0 when nothing was observed)."""
-        return self.total_s / self.count if self.count else 0.0
-
-    def to_dict(self) -> dict[str, float | int]:
-        """JSON-ready summary of the timer."""
-        return {
-            "count": self.count,
-            "total_s": self.total_s,
-            "mean_s": self.mean_s,
-            "max_s": self.max_s,
-        }
-
-    def __repr__(self) -> str:
-        return f"Timer({self.name}: n={self.count}, total={self.total_s:.3f}s)"
-
-
-class Histogram:
-    """A fixed-bucket histogram with min/max/sum tracking.
-
-    Buckets are defined by their upper bounds (inclusive); values above
-    the last bound land in an overflow bucket.
-    """
-
-    __slots__ = ("name", "bounds", "bucket_counts", "overflow",
-                 "count", "total", "min", "max")
-
-    def __init__(self, name: str, buckets: Sequence[float] | None = None) -> None:
-        self.name = name
-        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
-        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
-            raise ValueError(f"histogram buckets must be strictly increasing: {bounds}")
-        self.bounds = bounds
-        self.bucket_counts = [0] * len(bounds)
-        self.overflow = 0
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-
-    def observe(self, value: float) -> None:
-        """Record one value."""
-        value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        slot = bisect.bisect_left(self.bounds, value)
-        if slot >= len(self.bounds):
-            self.overflow += 1
-        else:
-            self.bucket_counts[slot] += 1
-
-    @property
-    def mean(self) -> float:
-        """Mean observed value (0 when nothing was observed)."""
-        return self.total / self.count if self.count else 0.0
-
-    def to_dict(self) -> dict[str, object]:
-        """JSON-ready summary: stats plus per-bucket counts."""
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "mean": self.mean,
-            "buckets": [
-                {"le": bound, "count": n}
-                for bound, n in zip(self.bounds, self.bucket_counts)
-            ],
-            "overflow": self.overflow,
-        }
-
-    def __repr__(self) -> str:
-        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g})"
-
-
-class Metrics:
-    """A registry of named counters, timers and histograms.
-
-    Instruments are created on first use (get-or-create semantics), so
-    call sites never need to pre-declare what they observe::
-
-        metrics = Metrics()
-        metrics.counter("items_ok").inc()
-        with metrics.timer("compress_s").time():
-            ...
-        metrics.histogram("points_in").observe(1810)
-        json.dumps(metrics.to_dict())
-    """
+class Metrics(Registry):
+    """Deprecated alias of :class:`repro.obs.Registry` (one release)."""
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._timers: dict[str, Timer] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter called ``name``."""
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
-
-    def timer(self, name: str) -> Timer:
-        """Get or create the timer called ``name``."""
-        timer = self._timers.get(name)
-        if timer is None:
-            timer = self._timers[name] = Timer(name)
-        return timer
-
-    def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
-        """Get or create the histogram called ``name``.
-
-        ``buckets`` is honoured only on creation; later calls return the
-        existing instrument unchanged.
-        """
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(name, buckets)
-        return histogram
-
-    def to_dict(self) -> dict[str, dict[str, object]]:
-        """Export every instrument as one JSON-ready dict."""
-        return {
-            "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-            },
-            "timers": {
-                name: timer.to_dict()
-                for name, timer in sorted(self._timers.items())
-            },
-            "histograms": {
-                name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
-            },
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"Metrics({len(self._counters)} counters, "
-            f"{len(self._timers)} timers, {len(self._histograms)} histograms)"
+        warnings.warn(
+            "repro.pipeline.metrics.Metrics is deprecated and will be removed "
+            "in the next release; use repro.obs.Registry instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        super().__init__()

@@ -114,29 +114,41 @@ async def _bench(
                 rejected += 1
         # Now stream all sessions concurrently (sessions are already
         # open server-side; each task reconnects and keeps appending).
+        # One failed session must not poison the run silently: failures
+        # are collected, the report is still produced (marked failed),
+        # and CI always has something to upload.
         started = time.perf_counter()
-        retained_streams = await asyncio.gather(
+        outcomes = await asyncio.gather(
             *(
                 _drive_append_and_close(
                     server.host, server.port, object_id, fixes, batch, latencies_ms
                 )
                 for object_id, fixes in workload
-            )
+            ),
+            return_exceptions=True,
         )
         elapsed = time.perf_counter() - started
 
-        # Equivalence: nothing dropped, nothing reordered, batch-identical.
-        for (object_id, fixes), retained in zip(workload, retained_streams):
+        failures: list[str] = []
+        retained_streams: list[list[Fix]] = []
+        for (object_id, fixes), outcome in zip(workload, outcomes):
+            if isinstance(outcome, BaseException):
+                failures.append(f"{object_id}: {type(outcome).__name__}: {outcome}")
+                continue
+            retained_streams.append(outcome)
+            # Equivalence: nothing dropped, nothing reordered,
+            # batch-identical against the batch algorithm's selection.
             expected = _expected_retained(spec, fixes)
-            assert retained == expected, (
-                f"{object_id}: served retained stream diverged from the "
-                f"batch result ({len(retained)} vs {len(expected)} points)"
-            )
+            if outcome != expected:
+                failures.append(
+                    f"{object_id}: served retained stream diverged from the "
+                    f"batch result ({len(outcome)} vs {len(expected)} points)"
+                )
 
         stats = server.stats()
         ordered = sorted(latencies_ms)
         total_fixes = sessions * fixes_per_session
-        return {
+        report = {
             "config": {
                 "spec": spec,
                 "sessions": sessions,
@@ -156,10 +168,14 @@ async def _bench(
                 "fixes_per_sec": total_fixes / elapsed if elapsed > 0 else None,
                 "rejected_sessions": rejected,
                 "retained_total": sum(len(r) for r in retained_streams),
-                "equivalence": "batch-identical",
+                "equivalence": "failed" if failures else "batch-identical",
             },
             "server_stats": stats,
         }
+        if failures:
+            report["failed"] = True
+            report["failures"] = failures
+        return report
     finally:
         await server.stop()
 
@@ -215,6 +231,13 @@ def run_bench(
         seed: workload RNG seed.
         output: where to write the JSON report (atomically); ``None``
             skips the write.
+
+    Raises:
+        ServeError: a session failed or its retained stream diverged
+            from the batch result. The (partial) report is written
+            first, with ``"failed": true`` and the per-session reasons
+            under ``"failures"`` — a failing CI run still uploads a
+            non-empty artifact.
     """
     if sessions < 1 or fixes_per_session < 2:
         raise ValueError("need at least 1 session and 2 fixes per session")
@@ -223,4 +246,12 @@ def run_bench(
     )
     if output is not None:
         write_atomic_json(Path(output), report)
+    if report.get("failed"):
+        failures = report.get("failures", [])
+        raise ServeError(
+            f"serve-bench failed ({len(failures)} session(s)): "
+            + "; ".join(failures[:3])
+            + ("..." if len(failures) > 3 else ""),
+            code="internal",
+        )
     return report

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.exceptions import ReproError, ServeError
-from repro.pipeline.metrics import Metrics
+from repro.obs import LATENCY_BUCKETS_MS, Registry, span
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -52,11 +52,9 @@ from repro.storage.store import TrajectoryStore
 __all__ = ["TrajectoryServer"]
 
 #: Append-latency histogram buckets in milliseconds: loopback appends
-#: sit well under a millisecond, WAN round trips in the tens.
-_LATENCY_BUCKETS_MS = (
-    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
-    10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
-)
+#: sit well under a millisecond, WAN round trips in the tens. Shared
+#: with the rest of the codebase via :mod:`repro.obs`.
+_LATENCY_BUCKETS_MS = LATENCY_BUCKETS_MS
 
 #: Queue sentinels: end-of-connection, and an oversized inbound line.
 _EOF = object()
@@ -97,7 +95,7 @@ class TrajectoryServer:
         queue_size: int = 64,
         durable: bool = True,
         replace: bool = False,
-        metrics: Metrics | None = None,
+        metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if queue_size < 1:
@@ -110,13 +108,17 @@ class TrajectoryServer:
         self.port = int(port)
         self.queue_size = int(queue_size)
         self.sweep_interval_s = float(sweep_interval_s)
-        self.metrics = metrics if metrics is not None else Metrics()
+        self.metrics = metrics if metrics is not None else Registry()
         store_path = None if store_path is None else Path(store_path)
         if store is None:
             if store_path is not None and store_path.exists():
-                store = TrajectoryStore.load(store_path)
+                store = TrajectoryStore.load(store_path, metrics=self.metrics)
             else:
-                store = TrajectoryStore()
+                store = TrajectoryStore(metrics=self.metrics)
+        else:
+            # Route the store's flush/load instrumentation into this
+            # server's registry so the STATS verb sees it.
+            store.metrics = self.metrics
         self.manager = SessionManager(
             store,
             max_sessions=max_sessions,
@@ -206,8 +208,10 @@ class TrajectoryServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.metrics.counter("connections_opened").inc()
+        self.metrics.gauge("connections_live").inc()
         self._connections.add(asyncio.current_task())
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+        depth = self.metrics.gauge("queue_depth")
         processor = asyncio.create_task(self._process_queue(queue, writer))
         try:
             while True:
@@ -225,6 +229,7 @@ class TrajectoryServer:
                 # A full queue blocks here, which stops socket reads and
                 # lets TCP flow control throttle the producer.
                 await queue.put(line)
+                depth.inc()
             await queue.put(_EOF)
             await processor
         except asyncio.CancelledError:
@@ -237,19 +242,28 @@ class TrajectoryServer:
                 await processor
         finally:
             self._connections.discard(asyncio.current_task())
+            # Account for lines the cancelled processor never consumed,
+            # so the queue-depth gauge cannot drift on teardown.
+            while not queue.empty():
+                if queue.get_nowait() not in (_EOF, _OVERSIZE):
+                    depth.dec()
             writer.close()
             with contextlib.suppress(asyncio.CancelledError, Exception):
                 await writer.wait_closed()
             self.metrics.counter("connections_closed").inc()
+            self.metrics.gauge("connections_live").dec()
 
     async def _process_queue(
         self, queue: asyncio.Queue, writer: asyncio.StreamWriter
     ) -> None:
         write_ok = True
+        depth = self.metrics.gauge("queue_depth")
         while True:
             item = await queue.get()
             if item is _EOF:
                 return
+            if item is not _OVERSIZE:
+                depth.dec()
             if item is _OVERSIZE:
                 response = error_response(
                     None,
@@ -336,8 +350,9 @@ class TrajectoryServer:
         fixes = [parse_fix(value) for value in raw]
         retained = []
         try:
-            for fix in fixes:
-                retained.extend(self.manager.append(session_id, fix))
+            with span("serve.append", fixes=len(fixes)):
+                for fix in fixes:
+                    retained.extend(self.manager.append(session_id, fix))
         except ServeError as exc:
             # Mid-batch failure: fixes before the bad one are already in
             # the session; report what they decided so nothing the client
@@ -396,6 +411,8 @@ class TrajectoryServer:
             connections_opened=self.metrics.counter("connections_opened").value,
             connections_closed=self.metrics.counter("connections_closed").value,
             requests_failed=self.metrics.counter("requests_failed").value,
+            queue_depth=self.metrics.gauge("queue_depth").value,
             append_latency_ms=self._latency.to_dict(),
+            metrics=self.metrics.to_dict(),
         )
         return payload

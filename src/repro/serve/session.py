@@ -20,8 +20,7 @@ owns all live sessions and implements the service's resource policy:
 
 The manager is synchronous and single-threaded by design: the asyncio
 server calls it from one event loop, so no locking is needed. All
-observability flows through a shared
-:class:`~repro.pipeline.metrics.Metrics` registry.
+observability flows through a shared :class:`~repro.obs.Registry`.
 """
 
 from __future__ import annotations
@@ -32,7 +31,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.exceptions import ReproError, ServeError, StorageError, StreamError
-from repro.pipeline.metrics import Metrics
+from repro.obs import Registry, span
 from repro.storage.store import StoredRecord, TrajectoryStore
 from repro.streaming.online import StreamingOPW, make_online_compressor
 from repro.trajectory.builder import TrajectoryBuilder
@@ -132,7 +131,7 @@ class SessionManager:
         store_path: str | Path | None = None,
         durable: bool = True,
         replace: bool = False,
-        metrics: Metrics | None = None,
+        metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_sessions < 1:
@@ -145,7 +144,7 @@ class SessionManager:
         self.store_path = None if store_path is None else Path(store_path)
         self.durable = durable
         self.replace = replace
-        self.metrics = metrics if metrics is not None else Metrics()
+        self.metrics = metrics if metrics is not None else Registry()
         self._clock = clock
         # Ordered least-recently-active first: append moves to the end,
         # so eviction scans from the front and stops at the first keeper.
@@ -290,20 +289,23 @@ class SessionManager:
         trajectory, tail = session.finalize()
         if trajectory is None:
             return None, tail
-        try:
-            record = self.store.insert(
-                trajectory,
-                object_id=session.object_id,
-                compressor=None,  # points were already chosen online
-                replace=self.replace,
-                raw_point_count=session.n_fixes_in,
-                sync_error_bound_m=session.compressor.sync_error_bound(),
-            )
-        except StorageError as exc:
-            raise ServeError(str(exc), code="storage") from exc
-        self.metrics.counter("sessions_flushed").inc()
-        self.metrics.counter("fixes_flushed").inc(record.n_stored_points)
-        self.persist()
+        with span("serve.flush", session=session.object_id), \
+                self.metrics.timer("flush_s").time():
+            try:
+                record = self.store.insert(
+                    trajectory,
+                    object_id=session.object_id,
+                    compressor=None,  # points were already chosen online
+                    replace=self.replace,
+                    raw_point_count=session.n_fixes_in,
+                    sync_error_bound_m=session.compressor.sync_error_bound(),
+                )
+            except StorageError as exc:
+                raise ServeError(str(exc), code="storage") from exc
+            self.metrics.counter("sessions_flushed").inc()
+            self.metrics.counter("fixes_flushed").inc(record.n_stored_points)
+            self.metrics.counter("flushed_bytes").inc(record.stored_bytes)
+            self.persist()
         return record, tail
 
     def persist(self) -> None:

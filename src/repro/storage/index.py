@@ -20,6 +20,15 @@ from repro.geometry.bbox import BBox
 
 __all__ = ["GridIndex"]
 
+#: Cell-cover padding in metres. The exact intersection predicates that
+#: candidates are verified against do rounded float arithmetic, so a
+#: segment whose endpoint sits within rounding distance of a cell
+#: boundary can "touch" the neighbouring cell. Padding the insert-time
+#: cover by more than that rounding error keeps the index a strict
+#: superset of the predicate's answer. 1e-6 m dwarfs double-precision
+#: error at any realistic coordinate magnitude (eps * 1e9 m ≈ 2e-7).
+_COVER_MARGIN_M = 1e-6
+
 
 class GridIndex:
     """Uniform-grid inverted index from cells to object ids."""
@@ -51,8 +60,8 @@ class GridIndex:
         """
         min_x, max_x = sorted((float(p0[0]), float(p1[0])))
         min_y, max_y = sorted((float(p0[1]), float(p1[1])))
-        c0x, c0y = self._cell_of(min_x, min_y)
-        c1x, c1y = self._cell_of(max_x, max_y)
+        c0x, c0y = self._cell_of(min_x - _COVER_MARGIN_M, min_y - _COVER_MARGIN_M)
+        c1x, c1y = self._cell_of(max_x + _COVER_MARGIN_M, max_y + _COVER_MARGIN_M)
         return {
             (cx, cy)
             for cx in range(c0x, c1x + 1)
@@ -69,7 +78,7 @@ class GridIndex:
         xy = np.asarray(xy, dtype=float)
         cells: set[tuple[int, int]] = set()
         if xy.shape[0] == 1:
-            cells.add(self._cell_of(float(xy[0, 0]), float(xy[0, 1])))
+            cells |= self._cells_of_segment(xy[0], xy[0])
         else:
             for i in range(xy.shape[0] - 1):
                 cells |= self._cells_of_segment(xy[i], xy[i + 1])

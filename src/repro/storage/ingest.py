@@ -17,7 +17,7 @@ from typing import Callable
 
 from repro.exceptions import StorageError, StreamError
 from repro.pipeline.executor import FailurePolicy, ItemFailure, execute
-from repro.pipeline.metrics import Metrics
+from repro.obs import Registry
 from repro.storage.store import StoredRecord, TrajectoryStore
 from repro.streaming.online import StreamingOPW
 from repro.trajectory.builder import TrajectoryBuilder
@@ -173,7 +173,7 @@ class StreamIngestor:
         replace: bool = False,
         *,
         on_error: "FailurePolicy | str" = "raise",
-        metrics: Metrics | None = None,
+        metrics: Registry | None = None,
     ) -> list[StoredRecord]:
         """Flush every active object, in id order.
 

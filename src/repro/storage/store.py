@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 import struct
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,6 +48,7 @@ from repro.exceptions import (
 from repro.geometry.bbox import BBox
 from repro.geometry.clip import segment_intersects_bbox
 from repro.io_util import crc32, write_atomic
+from repro.obs import Registry, get_registry, span
 from repro.storage.codec import decode_trajectory, encode_trajectory, raw_size_bytes
 from repro.storage.index import GridIndex
 from repro.storage.interval_index import IntervalIndex
@@ -125,6 +127,9 @@ class TrajectoryStore:
         cell_size_m: grid-index cell size.
         time_resolution_s / coord_resolution_m: codec quanta.
         cache_size: number of decoded trajectories kept in the LRU cache.
+        metrics: registry for save/load instrumentation (bytes, CRC
+            failures, durations); falls back to the ambient
+            :func:`repro.obs.get_registry` when omitted.
     """
 
     def __init__(
@@ -134,10 +139,12 @@ class TrajectoryStore:
         time_resolution_s: float = 1e-3,
         coord_resolution_m: float = 0.01,
         cache_size: int = 32,
+        metrics: Registry | None = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
         self.compressor = compressor
+        self.metrics = metrics
         self.time_resolution_s = float(time_resolution_s)
         self.coord_resolution_m = float(coord_resolution_m)
         self._records: dict[str, StoredRecord] = {}
@@ -148,6 +155,10 @@ class TrajectoryStore:
         #: Human-readable reasons for records dropped by
         #: ``load(..., verify="skip")``; empty for clean loads.
         self.load_failures: list[str] = []
+
+    def _registry(self) -> Registry:
+        """The registry save/load sample into: explicit, else ambient."""
+        return self.metrics if self.metrics is not None else get_registry()
 
     # ------------------------------------------------------------------ #
     # Ingest
@@ -503,21 +514,26 @@ class TrajectoryStore:
             durable: fsync before the rename (default); ``False`` keeps
                 atomicity but skips the flushes.
         """
-        out = bytearray()
-        out += _FILE_MAGIC
-        out += struct.pack("<BI", _FILE_VERSION, len(self._records))
-        for key in sorted(self._records):
-            rec = self._records[key]
-            bound = (
-                rec.sync_error_bound_m
-                if rec.sync_error_bound_m is not None
-                else float("nan")
-            )
-            framed = struct.pack("<IdI", rec.n_raw_points, bound, len(rec.blob))
-            framed += rec.blob
-            out += framed
-            out += struct.pack("<I", crc32(framed))
-        write_atomic(path, bytes(out), durable=durable)
+        registry = self._registry()
+        with span("store.save", records=len(self._records)), \
+                registry.timer("store.save_s").time():
+            out = bytearray()
+            out += _FILE_MAGIC
+            out += struct.pack("<BI", _FILE_VERSION, len(self._records))
+            for key in sorted(self._records):
+                rec = self._records[key]
+                bound = (
+                    rec.sync_error_bound_m
+                    if rec.sync_error_bound_m is not None
+                    else float("nan")
+                )
+                framed = struct.pack("<IdI", rec.n_raw_points, bound, len(rec.blob))
+                framed += rec.blob
+                out += framed
+                out += struct.pack("<I", crc32(framed))
+            write_atomic(path, bytes(out), durable=durable)
+        registry.counter("store_saves").inc()
+        registry.counter("store_saved_bytes").inc(len(out))
 
     @classmethod
     def load(
@@ -549,6 +565,7 @@ class TrajectoryStore:
         if verify not in ("raise", "skip"):
             raise ValueError(f"verify must be 'raise' or 'skip', got {verify!r}")
         path = Path(path)
+        started = time.perf_counter()
         data = path.read_bytes()
         if len(data) < 9 or data[:4] != _FILE_MAGIC:
             raise StorageError(f"{path}: not a repro store file")
@@ -556,6 +573,7 @@ class TrajectoryStore:
         if not _MIN_FILE_VERSION <= version <= _FILE_VERSION:
             raise StorageError(f"{path}: unsupported store version {version}")
         store = cls(**store_kwargs)  # type: ignore[arg-type]
+        registry = store._registry()
         record_size = 16 + (4 if version >= 3 else 0)
         offset = 9
         truncated = None
@@ -586,7 +604,10 @@ class TrajectoryStore:
                 if not traj.object_id:
                     raise StorageError(f"{path}: stored blob lacks an object id")
             except ReproError as exc:
+                if isinstance(exc, CorruptRecordError):
+                    registry.counter("store_crc_failures").inc()
                 if verify == "skip":
+                    registry.counter("store_load_record_failures").inc()
                     store.load_failures.append(
                         f"record {index}: {type(exc).__name__}: {exc}"
                     )
@@ -613,4 +634,7 @@ class TrajectoryStore:
             store.load_failures.append(truncated)
         elif offset != len(data):
             raise StorageError(f"{path}: trailing bytes after records")
+        registry.counter("store_loads").inc()
+        registry.counter("store_loaded_bytes").inc(len(data))
+        registry.timer("store.load_s").observe(time.perf_counter() - started)
         return store

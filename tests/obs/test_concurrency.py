@@ -1,0 +1,101 @@
+"""Registry under concurrent mutation: asyncio tasks and threads."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.obs import LATENCY_BUCKETS_MS, Registry
+
+
+class TestAsyncioMutation:
+    def test_interleaved_tasks_never_lose_observations(self):
+        """The serve event loop's pattern: many tasks, one registry."""
+        registry = Registry()
+
+        async def session(tag: int, appends: int):
+            depth = registry.gauge("queue_depth")
+            latency = registry.histogram(
+                "append_latency_ms", buckets=LATENCY_BUCKETS_MS
+            )
+            for i in range(appends):
+                depth.inc()
+                await asyncio.sleep(0)  # interleave with the other tasks
+                registry.counter("fixes_in").inc()
+                latency.observe(0.05 * (tag + 1))
+                depth.dec()
+
+        async def main():
+            await asyncio.gather(*(session(tag, 50) for tag in range(8)))
+
+        asyncio.run(main())
+        data = registry.to_dict()
+        assert data["counters"]["fixes_in"] == 8 * 50
+        assert data["histograms"]["append_latency_ms"]["count"] == 8 * 50
+        assert data["gauges"]["queue_depth"] == 0.0
+
+    def test_snapshot_mid_flight_is_consistent_json(self):
+        """to_dict taken while tasks mutate must always be serializable."""
+        import json
+
+        registry = Registry()
+        snapshots: list[dict] = []
+
+        async def mutator(n: int):
+            for i in range(n):
+                registry.counter(f"c{i % 5}").inc()
+                registry.timer(f"t{i % 3}").observe(0.001)
+                await asyncio.sleep(0)
+
+        async def snapshotter(n: int):
+            for _ in range(n):
+                snapshots.append(json.loads(json.dumps(registry.to_dict())))
+                await asyncio.sleep(0)
+
+        async def main():
+            await asyncio.gather(mutator(100), mutator(100), snapshotter(50))
+
+        asyncio.run(main())
+        assert len(snapshots) == 50
+        # Counters only ever grow between snapshots.
+        totals = [sum(s["counters"].values()) for s in snapshots]
+        assert totals == sorted(totals)
+
+
+class TestThreadedMutation:
+    def test_races_on_creation_and_snapshotting(self):
+        """Threads creating, observing and exporting concurrently."""
+        registry = Registry()
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(6)
+        stop = threading.Event()
+
+        def observer():
+            try:
+                barrier.wait()
+                for i in range(500):
+                    registry.counter(f"shared{i % 4}").inc()
+                    registry.histogram(f"h{i % 4}").observe(i)
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        def exporter():
+            try:
+                barrier.wait()
+                while not stop.is_set():
+                    registry.to_dict()
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        workers = [threading.Thread(target=observer) for _ in range(5)]
+        dumper = threading.Thread(target=exporter)
+        for t in [*workers, dumper]:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        dumper.join()
+        assert errors == []
+        data = registry.to_dict()
+        assert sum(data["counters"].values()) == 5 * 500
+        assert sum(h["count"] for h in data["histograms"].values()) == 5 * 500

@@ -1,0 +1,77 @@
+"""Prometheus text exposition: from live registries and wire dicts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Registry, render_prometheus
+
+
+def _sample_registry() -> Registry:
+    registry = Registry()
+    registry.counter("fixes_in").inc(7)
+    registry.gauge("queue_depth").set(3)
+    timer = registry.timer("flush_s")
+    timer.observe(0.25)
+    timer.observe(0.75)
+    hist = registry.histogram("append_latency_ms", buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    hist.observe(5.0)
+    hist.observe(100.0)  # overflow
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_counters_become_total_with_type_header(self):
+        text = render_prometheus(_sample_registry())
+        assert "# TYPE repro_fixes_in_total counter" in text
+        assert "repro_fixes_in_total 7" in text
+
+    def test_gauges_render_plain(self):
+        text = render_prometheus(_sample_registry())
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 3" in text
+
+    def test_timers_become_summaries_with_max_gauge(self):
+        text = render_prometheus(_sample_registry())
+        assert "repro_flush_s_seconds_count 2" in text
+        assert "repro_flush_s_seconds_sum 1" in text
+        assert "repro_flush_s_seconds_max 0.75" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(_sample_registry())
+        lines = text.splitlines()
+        bucket_lines = [l for l in lines if "append_latency_ms_bucket" in l]
+        assert bucket_lines == [
+            'repro_append_latency_ms_bucket{le="1"} 1',
+            'repro_append_latency_ms_bucket{le="10"} 2',
+            'repro_append_latency_ms_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_append_latency_ms_count 3" in text
+
+    def test_dict_export_renders_identically_to_live_registry(self):
+        registry = _sample_registry()
+        live = render_prometheus(registry)
+        # Round-trip through JSON, as the serve stats verb would.
+        wire = json.loads(json.dumps(registry.to_dict()))
+        assert render_prometheus(wire) == live
+
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(Registry()) == ""
+        assert render_prometheus(Registry(enabled=False)) == ""
+
+    def test_prefix_is_configurable_and_removable(self):
+        registry = Registry()
+        registry.counter("x").inc()
+        assert "myapp_x_total 1" in render_prometheus(registry, prefix="myapp")
+        assert render_prometheus(registry, prefix="").startswith("# TYPE x_total")
+
+    def test_names_are_sanitized(self):
+        registry = Registry()
+        registry.counter("compress.td-tr.calls").inc()
+        text = render_prometheus(registry)
+        assert "repro_compress_td_tr_calls_total 1" in text
+
+    def test_output_ends_with_single_newline(self):
+        text = render_prometheus(_sample_registry())
+        assert text.endswith("\n") and not text.endswith("\n\n")

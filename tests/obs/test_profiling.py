@@ -1,0 +1,91 @@
+"""Profiling hooks: env gating, pstats-loadable atomic snapshots."""
+
+from __future__ import annotations
+
+import marshal
+import pstats
+
+import pytest
+
+from repro import obs
+from repro.obs import profiling
+
+
+class TestGating:
+    def test_disabled_without_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(obs.PROFILE_ENV_VAR, raising=False)
+        monkeypatch.setenv(obs.PROFILE_DIR_ENV_VAR, str(tmp_path))
+        assert not obs.profiling_enabled()
+        with obs.profiled("nothing"):
+            sum(range(100))
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "", "no"])
+    def test_falsy_values_stay_disabled(self, monkeypatch, value):
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, value)
+        assert not obs.profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, value)
+        assert obs.profiling_enabled()
+
+    def test_default_snapshot_directory(self, monkeypatch):
+        monkeypatch.delenv(obs.PROFILE_DIR_ENV_VAR, raising=False)
+        assert str(obs.profile_dir()) == "profiles"
+
+
+class TestSnapshots:
+    def test_writes_a_pstats_loadable_snapshot(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, "1")
+        monkeypatch.setenv(obs.PROFILE_DIR_ENV_VAR, str(tmp_path))
+        with obs.profiled("compress-td-tr"):
+            sorted(range(1000), key=lambda x: -x)
+        (snapshot,) = tmp_path.iterdir()
+        assert snapshot.name.startswith("compress-td-tr-")
+        assert snapshot.suffix == ".prof"
+        stats = pstats.Stats(str(snapshot))
+        assert stats.total_calls > 0  # type: ignore[attr-defined]
+        # The raw payload is a plain marshal dump of profiler stats.
+        assert isinstance(marshal.loads(snapshot.read_bytes()), dict)
+
+    def test_snapshot_written_even_when_block_raises(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, "1")
+        monkeypatch.setenv(obs.PROFILE_DIR_ENV_VAR, str(tmp_path))
+        with pytest.raises(RuntimeError):
+            with obs.profiled("failing"):
+                raise RuntimeError("inside")
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_names_are_sanitized_for_the_filesystem(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, "1")
+        monkeypatch.setenv(obs.PROFILE_DIR_ENV_VAR, str(tmp_path))
+        with obs.profiled("weird/name: with spaces"):
+            pass
+        (snapshot,) = tmp_path.iterdir()
+        assert "/" not in snapshot.name and ":" not in snapshot.name
+
+    def test_sequence_numbers_keep_snapshots_distinct(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, "1")
+        monkeypatch.setenv(obs.PROFILE_DIR_ENV_VAR, str(tmp_path))
+        for _ in range(3):
+            with obs.profiled("same-name"):
+                pass
+        assert len(list(tmp_path.iterdir())) == 3
+
+    def test_profiled_checks_env_per_call(self, monkeypatch, tmp_path):
+        """The gate is live: flipping the env mid-process takes effect."""
+        monkeypatch.setenv(obs.PROFILE_DIR_ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, "0")
+        with obs.profiled("off"):
+            pass
+        monkeypatch.setenv(obs.PROFILE_ENV_VAR, "1")
+        with obs.profiled("on"):
+            pass
+        names = [p.name for p in tmp_path.iterdir()]
+        assert len(names) == 1 and names[0].startswith("on-")
+
+    def test_snapshot_path_counter_is_monotonic(self):
+        first = profiling._next_seq()
+        second = profiling._next_seq()
+        assert second == first + 1

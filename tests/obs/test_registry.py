@@ -1,0 +1,166 @@
+"""Registry semantics: get-or-create, no-op mode, the ambient default."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    LATENCY_BUCKETS_MS,
+    Gauge,
+    Registry,
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+    _NULL_TIMER,
+)
+
+
+@pytest.fixture
+def ambient():
+    """A clean ambient registry, restored to env-derived state after."""
+    obs.set_registry(None)
+    yield
+    obs.set_registry(None)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        assert gauge.value == 0.0
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == pytest.approx(3.0)
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_instruments(self):
+        registry = Registry(enabled=False)
+        assert registry.counter("a") is _NULL_COUNTER
+        assert registry.gauge("b") is _NULL_GAUGE
+        assert registry.timer("c") is _NULL_TIMER
+        assert registry.histogram("d") is _NULL_HISTOGRAM
+
+    def test_null_instruments_ignore_observations(self):
+        registry = Registry(enabled=False)
+        registry.counter("a").inc(100)
+        registry.gauge("b").set(7)
+        registry.timer("c").observe(1.0)
+        with registry.timer("c").time():
+            pass
+        registry.histogram("d").observe(3.0)
+        assert _NULL_COUNTER.value == 0
+        assert _NULL_GAUGE.value == 0.0
+        assert _NULL_TIMER.count == 0
+        assert _NULL_HISTOGRAM.count == 0
+
+    def test_exports_empty_categories(self):
+        registry = Registry(enabled=False)
+        registry.counter("a").inc()
+        assert registry.to_dict() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+        }
+
+    def test_flipping_enabled_starts_recording(self):
+        registry = Registry(enabled=False)
+        registry.counter("a").inc()
+        registry.enabled = True
+        registry.counter("a").inc()
+        assert registry.to_dict()["counters"] == {"a": 1}
+
+
+class TestEnabledRegistry:
+    def test_gauges_join_the_export_schema(self):
+        registry = Registry()
+        registry.gauge("queue_depth").set(4)
+        data = json.loads(json.dumps(registry.to_dict()))
+        assert data["gauges"] == {"queue_depth": 4.0}
+        # The historical three categories are still present.
+        assert set(data) == {"counters", "gauges", "timers", "histograms"}
+
+    def test_histogram_buckets_honoured_only_on_creation(self):
+        registry = Registry()
+        first = registry.histogram("lat", buckets=LATENCY_BUCKETS_MS)
+        second = registry.histogram("lat", buckets=(1, 2))
+        assert second is first
+        assert first.bounds == LATENCY_BUCKETS_MS
+
+    def test_threaded_get_or_create_converges_on_one_instrument(self):
+        registry = Registry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for i in range(200):
+                counter = registry.counter(f"c{i % 10}")
+                counter.inc()
+                seen.append(counter)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All threads agreed on one instrument per name...
+        assert len({id(c) for c in seen}) == 10
+        # ...and (GIL-interleaved int +=) every inc landed.
+        data = registry.to_dict()["counters"]
+        assert sum(data.values()) == 8 * 200
+
+
+class TestAmbientRegistry:
+    def test_disabled_by_default(self, ambient, monkeypatch):
+        monkeypatch.delenv(obs.OBS_ENV_VAR, raising=False)
+        obs.set_registry(None)
+        assert obs.get_registry().enabled is False
+
+    def test_env_var_enables_at_first_use(self, ambient, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV_VAR, "1")
+        obs.set_registry(None)
+        assert obs.get_registry().enabled is True
+
+    def test_enable_disable_flip_the_singleton(self, ambient):
+        registry = obs.enable()
+        assert registry is obs.get_registry()
+        assert registry.enabled
+        assert obs.disable() is registry
+        assert not registry.enabled
+
+    def test_set_registry_installs_an_explicit_sink(self, ambient):
+        mine = Registry()
+        obs.set_registry(mine)
+        assert obs.get_registry() is mine
+
+
+class TestKernelInstrumentation:
+    def test_compress_samples_into_enabled_ambient_registry(self, ambient):
+        from repro import TDTR, Trajectory
+
+        traj = Trajectory.from_points(
+            [(float(i), i * 10.0, (i % 7) * 3.0) for i in range(40)]
+        )
+        sink = Registry()
+        obs.set_registry(sink)
+        result = TDTR(epsilon=30.0).compress(traj)
+        data = sink.to_dict()
+        assert data["counters"]["compress_calls"] == 1
+        assert data["counters"]["compress_points_in"] == 40
+        assert data["counters"]["compress_points_kept"] == result.n_kept
+        assert data["timers"]["compress.td-tr.s"]["count"] == 1
+        assert data["histograms"]["compress_points_in"]["count"] == 1
+
+    def test_compress_is_silent_when_ambient_disabled(self, ambient, monkeypatch):
+        from repro import TDTR, Trajectory
+
+        monkeypatch.delenv(obs.OBS_ENV_VAR, raising=False)
+        obs.set_registry(None)
+        traj = Trajectory.from_points(
+            [(float(i), i * 10.0, 0.0) for i in range(10)]
+        )
+        TDTR(epsilon=30.0).compress(traj)
+        assert obs.get_registry().to_dict()["counters"] == {}

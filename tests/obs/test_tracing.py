@@ -1,0 +1,111 @@
+"""Tracing spans: nesting, exception capture, ring buffer, asyncio."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import _NULL_SPAN
+
+
+@pytest.fixture
+def traced():
+    """Tracing on with a small fresh ring; everything off afterwards."""
+    obs.configure_tracing(True, ring_size=64)
+    yield
+    obs.configure_tracing(False, ring_size=obs.DEFAULT_RING_SIZE)
+
+
+class TestDisabledTracing:
+    def test_span_returns_the_shared_null_object(self):
+        obs.configure_tracing(False)
+        assert obs.span("anything", points=3) is _NULL_SPAN
+        assert not obs.tracing_enabled()
+
+    def test_null_span_records_nothing(self):
+        obs.configure_tracing(False)
+        obs.clear_spans()
+        with obs.span("invisible"):
+            pass
+        assert obs.recent_spans() == []
+
+
+class TestEnabledTracing:
+    def test_records_name_attrs_and_duration(self, traced):
+        with obs.span("compress", algo="td-tr", points=1810):
+            pass
+        (record,) = obs.recent_spans("compress")
+        assert record["attrs"] == {"algo": "td-tr", "points": 1810}
+        assert record["duration_s"] >= 0.0
+        assert record["error"] is None
+        assert record["parent_id"] is None
+        assert record["depth"] == 0
+
+    def test_nesting_links_parent_and_child(self, traced):
+        with obs.span("outer") as outer:
+            assert obs.current_span() is outer
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+            assert obs.current_span() is outer
+        assert obs.current_span() is None
+        inner_rec = obs.recent_spans("inner")[0]
+        outer_rec = obs.recent_spans("outer")[0]
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+
+    def test_exception_is_recorded_and_reraised(self, traced):
+        with pytest.raises(KeyError):
+            with obs.span("failing"):
+                raise KeyError("boom")
+        (record,) = obs.recent_spans("failing")
+        assert record["error"] == "KeyError"
+        # The context variable was restored despite the exception.
+        assert obs.current_span() is None
+
+    def test_nested_exception_unwinds_to_the_right_parent(self, traced):
+        with obs.span("outer") as outer:
+            with pytest.raises(ValueError):
+                with obs.span("inner"):
+                    raise ValueError("nested")
+            assert obs.current_span() is outer
+
+    def test_ring_buffer_keeps_newest_when_full(self, traced):
+        obs.configure_tracing(True, ring_size=5)
+        for i in range(12):
+            with obs.span("tick", i=i):
+                pass
+        records = obs.recent_spans("tick")
+        assert len(records) == 5
+        assert [r["attrs"]["i"] for r in records] == [7, 8, 9, 10, 11]
+
+    def test_clear_spans_empties_the_ring(self, traced):
+        with obs.span("one"):
+            pass
+        obs.clear_spans()
+        assert obs.recent_spans() == []
+
+    def test_ring_size_must_be_positive(self, traced):
+        with pytest.raises(ValueError, match="ring_size"):
+            obs.configure_tracing(True, ring_size=0)
+
+    def test_asyncio_tasks_get_independent_nesting(self, traced):
+        """Two interleaved tasks must not adopt each other's spans."""
+
+        async def worker(tag: str):
+            with obs.span("task", tag=tag) as mine:
+                await asyncio.sleep(0)  # force interleaving
+                assert obs.current_span() is mine
+                with obs.span("child", tag=tag) as child:
+                    await asyncio.sleep(0)
+                    assert child.parent_id == mine.span_id
+            return mine.span_id
+
+        async def main():
+            return await asyncio.gather(worker("a"), worker("b"))
+
+        ids = asyncio.run(main())
+        children = obs.recent_spans("child")
+        assert {c["parent_id"] for c in children} == set(ids)

@@ -10,7 +10,7 @@ import pytest
 from repro.core import OPWTR, TDTR, Compressor
 from repro.exceptions import PipelineError
 from repro.pipeline.engine import BatchEngine, iter_fleet, load_fleet
-from repro.pipeline.metrics import Metrics
+from repro.obs import Registry
 from repro.trajectory import Trajectory
 from repro.trajectory.io import write_csv
 
@@ -172,7 +172,7 @@ class TestBatchEngine:
         json.dumps(data)  # the whole document must be JSON-serializable
 
     def test_external_metrics_registry_accumulates_across_runs(self, fleet):
-        metrics = Metrics()
+        metrics = Registry()
         engine = BatchEngine("td-tr:epsilon=30")
         engine.run(fleet[:2], metrics=metrics)
         engine.run(fleet[2:4], metrics=metrics)

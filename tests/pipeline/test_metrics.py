@@ -1,4 +1,4 @@
-"""Tests for the pipeline's counters, timers and histograms."""
+"""Tests for the metrics shim: instruments now live in repro.obs."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.obs import Registry
 from repro.pipeline.metrics import DEFAULT_BUCKETS, Counter, Histogram, Metrics, Timer
 
 
@@ -78,15 +79,15 @@ class TestHistogram:
             Histogram("bad", buckets=[10, 5])
 
 
-class TestMetricsRegistry:
+class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
-        metrics = Metrics()
+        metrics = Registry()
         assert metrics.counter("a") is metrics.counter("a")
         assert metrics.timer("b") is metrics.timer("b")
         assert metrics.histogram("c") is metrics.histogram("c")
 
     def test_to_dict_groups_by_instrument_kind(self):
-        metrics = Metrics()
+        metrics = Registry()
         metrics.counter("items").inc(3)
         metrics.timer("run_s").observe(0.1)
         metrics.histogram("sizes").observe(42)
@@ -97,7 +98,7 @@ class TestMetricsRegistry:
 
     def test_aggregation_totals_match_observations(self):
         """Per-item samples aggregate to exact run totals."""
-        metrics = Metrics()
+        metrics = Registry()
         sizes = [100, 250, 7, 1810]
         for size in sizes:
             metrics.counter("points_in").inc(size)
@@ -108,3 +109,16 @@ class TestMetricsRegistry:
         assert hist["sum"] == pytest.approx(sum(sizes))
         in_buckets = sum(b["count"] for b in hist["buckets"]) + hist["overflow"]
         assert in_buckets == len(sizes)
+
+
+class TestDeprecatedMetricsShim:
+    def test_metrics_warns_but_keeps_working(self):
+        with pytest.deprecated_call(match="repro.obs.Registry"):
+            metrics = Metrics()
+        assert isinstance(metrics, Registry)
+        metrics.counter("still_works").inc()
+        assert metrics.to_dict()["counters"] == {"still_works": 1}
+
+    def test_registry_does_not_warn(self, recwarn):
+        Registry().counter("quiet").inc()
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

@@ -17,7 +17,7 @@ from repro.pipeline.executor import (
     MalformedItemError,
     execute,
 )
-from repro.pipeline.metrics import Metrics
+from repro.obs import Registry
 from repro.trajectory import Trajectory
 from repro.trajectory.io import write_csv
 
@@ -148,7 +148,7 @@ class TestEngineQuarantine:
         engine = BatchEngine(
             "td-tr:epsilon=30", on_malformed=f"quarantine:{bad_dir}"
         )
-        metrics = Metrics()
+        metrics = Registry()
         run = engine.run(csv_fleet_dir, metrics=metrics)
         assert run.n_quarantined == 1
         assert not (csv_fleet_dir / "broken.csv").exists()
@@ -198,7 +198,7 @@ class TestResume:
         engine = BatchEngine("td-tr:epsilon=30")
         ck = tmp_path / "ck"
         first = engine.run(csv_fleet_dir, checkpoint=ck)
-        metrics = Metrics()
+        metrics = Registry()
         second = engine.run(csv_fleet_dir, checkpoint=ck, metrics=metrics)
         assert second.items_resumed == 4
         assert metrics.counter("items_resumed").value == 4

@@ -48,3 +48,28 @@ class TestRunBench:
             run_bench(sessions=0, output=None)
         with pytest.raises(ValueError):
             run_bench(sessions=1, fixes_per_session=1, output=None)
+
+    def test_failure_still_writes_partial_report(self, tmp_path, monkeypatch):
+        """A diverging session raises, but the report must land on disk
+        first with ``failed: true`` so CI never uploads an empty artifact."""
+        import repro.serve.bench as bench_mod
+        from repro.exceptions import ServeError
+
+        def wrong_expectation(spec, fixes):
+            return fixes[:1]  # guaranteed equivalence mismatch
+
+        monkeypatch.setattr(bench_mod, "_expected_retained", wrong_expectation)
+        output = tmp_path / "failed.json"
+        with pytest.raises(ServeError) as err:
+            run_bench(
+                sessions=3, fixes_per_session=30, rejects=0,
+                batch=5, output=output,
+            )
+        assert err.value.code == "internal"
+        report = json.loads(output.read_text())
+        assert report["failed"] is True
+        assert len(report["failures"]) == 3
+        assert report["results"]["equivalence"] == "failed"
+        # The partial report still carries the latency results gathered
+        # before the failure was detected.
+        assert report["results"]["appends"] == 3 * 6

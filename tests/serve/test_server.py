@@ -311,3 +311,60 @@ class TestPersistenceAndStats:
         assert stats["connections_opened"] >= 1
         assert stats["uptime_s"] >= 0.0
         assert stats["append_latency_ms"]["count"] > 0
+
+
+class TestStatsObservability:
+    def test_stats_carries_the_live_metrics_registry(self, zigzag, tmp_path):
+        """STATS now exposes the full obs registry: counters, gauges,
+        timers and histograms — including storage flush metrics — and
+        the payload renders as Prometheus text."""
+        from repro.obs import render_prometheus
+
+        fixes = fixes_of(zigzag)
+        store_path = tmp_path / "obs.rsto"
+
+        async def scenario():
+            async with running_server(
+                store_path=store_path, durable=False
+            ) as server:
+                await _stream_session(
+                    server, "obj-a", "opw-tr:epsilon=30", fixes, chunk=5
+                )
+                async with connected(server) as client:
+                    return await client.stats()
+
+        stats = run_async(scenario())
+        metrics = stats["metrics"]
+        assert set(metrics) == {"counters", "gauges", "timers", "histograms"}
+        assert metrics["counters"]["fixes_in"] == len(fixes)
+        assert metrics["counters"]["sessions_flushed"] == 1
+        assert metrics["counters"]["fixes_flushed"] > 0
+        assert metrics["counters"]["flushed_bytes"] > 0
+        # The server's registry is threaded into its TrajectoryStore.
+        assert metrics["counters"]["store_saves"] >= 1
+        assert metrics["counters"]["store_saved_bytes"] > 0
+        assert metrics["timers"]["flush_s"]["count"] == 1
+        hist = metrics["histograms"]["append_latency_ms"]
+        assert hist["count"] == stats["append_latency_ms"]["count"]
+        assert sum(b["count"] for b in hist["buckets"]) + hist["overflow"] \
+            == hist["count"]
+        # Idle server: every queued line was consumed.
+        assert stats["queue_depth"] == 0.0
+        text = render_prometheus(metrics)
+        assert "repro_fixes_in_total" in text
+        assert 'repro_append_latency_ms_bucket{le="+Inf"}' in text
+
+    def test_queue_depth_gauge_returns_to_zero_after_bursts(self, zigzag):
+        fixes = fixes_of(zigzag)
+
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("burst", "opw-tr:epsilon=30")
+                    for start in range(0, len(fixes), 3):
+                        await client.append("burst", fixes[start:start + 3])
+                    return await client.stats()
+
+        stats = run_async(scenario())
+        assert stats["queue_depth"] == 0.0
+        assert stats["metrics"]["gauges"]["queue_depth"] == 0.0

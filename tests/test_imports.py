@@ -56,6 +56,7 @@ def test_package_count_matches_design():
         "error",
         "experiments",
         "geometry",
+        "obs",
         "pipeline",
         "serve",
         "storage",
