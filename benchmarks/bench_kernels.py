@@ -34,10 +34,16 @@ from repro.datagen import URBAN, TrajectoryGenerator
 from repro.trajectory import Trajectory
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
-#: The paper's two spatiotemporal headliners: top-down (batch) and
-#: opening-window (online). Both inner loops ride the synchronized
-#: distance kernel, the hot path this PR vectorized.
-SPECS = ("td-tr:epsilon=30", "opw-tr:epsilon=30")
+#: The paper's two spatiotemporal headliners — top-down (batch) and
+#: opening-window (online) — plus the one-pass error-bounded family
+#: (OPERB's rectangle regions, CISED's polygon regions). All inner
+#: loops ride the synchronized distance kernels.
+SPECS = (
+    "td-tr:epsilon=30",
+    "opw-tr:epsilon=30",
+    "operb:epsilon=30",
+    "cised:epsilon=30",
+)
 FULL_POINTS = 100_000
 QUICK_POINTS = 4_000
 

@@ -19,7 +19,9 @@ Quickstart::
 
 from repro.core import (
     BOPW,
+    CISED,
     NOPW,
+    OPERB,
     OPWSP,
     OPWTR,
     TDSP,
@@ -53,7 +55,16 @@ from repro.pipeline import (
     Metrics,
 )
 from repro.storage import TrajectoryStore
-from repro.streaming import PointStream, StreamingOPW, make_online_compressor
+from repro.streaming import (
+    OnlineCompressor,
+    PointStream,
+    StreamingCISED,
+    StreamingOPERB,
+    StreamingOPW,
+    available_online_compressors,
+    make_online_compressor,
+    register_online,
+)
 from repro.trajectory import Trajectory, TrajectoryBuilder
 from repro.types import Fix
 
@@ -65,6 +76,7 @@ __all__ = [
     "BatchEngine",
     "BatchRunResult",
     "BottomUp",
+    "CISED",
     "CompressionReport",
     "CompressionResult",
     "Compressor",
@@ -78,11 +90,15 @@ __all__ = [
     "ItemResult",
     "Metrics",
     "NOPW",
+    "OPERB",
     "OPWSP",
     "OPWTR",
+    "OnlineCompressor",
     "PointStream",
     "Registry",
     "SlidingWindow",
+    "StreamingCISED",
+    "StreamingOPERB",
     "StreamingOPW",
     "TDSP",
     "TDTR",
@@ -90,11 +106,13 @@ __all__ = [
     "TrajectoryBuilder",
     "TrajectoryStore",
     "available_compressors",
+    "available_online_compressors",
     "evaluate_compression",
     "make_compressor",
     "make_online_compressor",
     "max_synchronized_error",
     "mean_synchronized_error",
     "parse_compressor_spec",
+    "register_online",
     "__version__",
 ]

@@ -74,8 +74,8 @@ _PROFILES = {
 
 #: Parameters each algorithm accepts: maps CLI options to ctor kwargs.
 _EPSILON_ALGOS = {
-    "ndp", "td-tr", "nopw", "bopw", "opw-tr", "distance-threshold",
-    "sliding-window", "bottom-up",
+    "ndp", "td-tr", "nopw", "bopw", "opw-tr", "operb", "cised",
+    "distance-threshold", "sliding-window", "bottom-up",
 }
 
 
@@ -502,6 +502,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sweep_interval_s=args.sweep_interval,
         queue_size=args.queue_size,
         replace=args.replace,
+        default_spec=args.algorithm,
     )
 
     async def _run() -> None:
@@ -798,6 +799,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replace", action="store_true",
         help="allow a flushed session to overwrite a stored object id",
     )
+    p_serve.add_argument(
+        "--algorithm", "-a", default=None, metavar="SPEC",
+        help="default online compressor spec for opens that carry none, "
+             "e.g. 'operb:epsilon=30' (see repro.streaming)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
@@ -812,8 +818,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--rejects", type=int, default=8,
                          help="over-limit opens attempted while the server "
                               "is full")
-    p_bench.add_argument("--spec", default="opw-tr:epsilon=25",
-                         help="online compressor spec for every session")
+    p_bench.add_argument("--spec", "--algorithm", default="opw-tr:epsilon=25",
+                         help="online compressor spec for every session, "
+                              "e.g. 'operb:epsilon=25' or 'cised:epsilon=25'")
     p_bench.add_argument("--batch", type=int, default=1,
                          help="fixes per append request (1 = per-fix latency)")
     p_bench.add_argument("--seed", type=int, default=7, help="workload RNG seed")

@@ -32,11 +32,7 @@ differential conformance suite pins.
 
 from repro.core.angular import AngularChange
 from repro.core.kernels import ENGINE_ENV_VAR, ENGINES, resolve_engine
-from repro.core.base import (
-    CompressionResult,
-    Compressor,
-    deprecated_positional_init,
-)
+from repro.core.base import CompressionResult, Compressor
 from repro.core.bottom_up import BottomUp
 from repro.core.budget import BottomUpBudget, BottomUpTotalError, TDTRBudget
 from repro.core.dead_reckoning import DeadReckoning, dead_reckoning_indices
@@ -45,6 +41,13 @@ from repro.core.douglas_peucker import (
     perpendicular_segment_error,
     top_down_indices,
     top_down_indices_recursive,
+)
+from repro.core.one_pass import (
+    CISED,
+    OPERB,
+    PolygonRegion,
+    RectangleRegion,
+    one_pass_indices,
 )
 from repro.core.opening_window import (
     BOPW,
@@ -77,6 +80,7 @@ __all__ = [
     "BottomUp",
     "BottomUpBudget",
     "BottomUpTotalError",
+    "CISED",
     "COMPRESSORS",
     "CompressionResult",
     "Compressor",
@@ -88,16 +92,19 @@ __all__ = [
     "ENGINE_ENV_VAR",
     "EveryIth",
     "NOPW",
+    "OPERB",
     "OPWSP",
     "OPWTR",
+    "PolygonRegion",
+    "RectangleRegion",
     "SlidingWindow",
     "TDSP",
     "TDTR",
     "TDTRBudget",
     "available_compressors",
     "dead_reckoning_indices",
-    "deprecated_positional_init",
     "make_compressor",
+    "one_pass_indices",
     "parse_compressor_spec",
     "opening_window_indices",
     "perpendicular_scan",

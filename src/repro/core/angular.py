@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["AngularChange"]
@@ -46,7 +46,6 @@ class AngularChange(Compressor):
     name = "angular"
     online = True
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

@@ -14,10 +14,7 @@ losing the series tail (Sect. 2.2).
 from __future__ import annotations
 
 import abc
-import functools
-import inspect
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,7 +27,6 @@ __all__ = [
     "Compressor",
     "CompressionResult",
     "require_positive",
-    "deprecated_positional_init",
 ]
 
 
@@ -44,52 +40,6 @@ def require_positive(name: str, value: float) -> float:
     if not np.isfinite(value) or value <= 0.0:
         raise ThresholdError(f"{name} must be a finite positive number, got {value}")
     return value
-
-
-def deprecated_positional_init(init):
-    """One-release shim: accept deprecated positional threshold arguments.
-
-    All :class:`Compressor` constructors take their threshold parameters
-    keyword-only (``TDTR(epsilon=30.0)``). This decorator wraps such an
-    ``__init__`` so legacy positional calls (``TDTR(30.0)``) still work
-    for one release, mapping the positionals onto the keyword-only
-    parameter names in declaration order and emitting a
-    :class:`DeprecationWarning`.
-    """
-    names = [
-        param.name
-        for param in inspect.signature(init).parameters.values()
-        if param.kind is inspect.Parameter.KEYWORD_ONLY
-    ]
-
-    @functools.wraps(init)
-    def shim(self, *args, **kwargs):
-        if args:
-            cls = type(self).__name__
-            if len(args) > len(names):
-                raise TypeError(
-                    f"{cls}() takes at most {len(names)} arguments "
-                    f"({len(args)} given)"
-                )
-            keyword_form = ", ".join(
-                f"{name}=..." for name in names[: len(args)]
-            )
-            warnings.warn(
-                f"positional threshold arguments to {cls}() are deprecated "
-                f"and will be removed in the next release; "
-                f"call {cls}({keyword_form}) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            for name, value in zip(names, args):
-                if name in kwargs:
-                    raise TypeError(
-                        f"{cls}() got multiple values for argument {name!r}"
-                    )
-                kwargs[name] = value
-        return init(self, **kwargs)
-
-    return shim
 
 
 @dataclass(frozen=True, eq=False)

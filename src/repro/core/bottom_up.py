@@ -18,7 +18,7 @@ import heapq
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["BottomUp"]
@@ -39,7 +39,6 @@ class BottomUp(Compressor):
 
     name = "bottom-up"
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

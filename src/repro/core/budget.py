@@ -29,7 +29,7 @@ from functools import partial
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.core.douglas_peucker import perpendicular_segment_error
 from repro.core.td_tr import synchronized_segment_error
 from repro.trajectory.trajectory import Trajectory
@@ -66,7 +66,6 @@ class TDTRBudget(Compressor):
 
     name = "td-tr-budget"
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,
@@ -125,7 +124,6 @@ class BottomUpBudget(Compressor):
 
     name = "bottom-up-budget"
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,
@@ -207,7 +205,6 @@ class BottomUpTotalError(Compressor):
 
     name = "bottom-up-total-error"
 
-    @deprecated_positional_init
     def __init__(
         self, *, max_mean_error: float, engine: str | None = None
     ) -> None:

@@ -29,7 +29,7 @@ import math
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["DeadReckoning", "dead_reckoning_indices"]
@@ -87,7 +87,6 @@ class DeadReckoning(Compressor):
     name = "dead-reckoning"
     online = True
 
-    @deprecated_positional_init
     def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         self.engine = kernels.resolve_engine(engine)

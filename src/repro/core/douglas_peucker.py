@@ -31,7 +31,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -157,7 +157,6 @@ class DouglasPeucker(Compressor):
 
     name = "ndp"
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

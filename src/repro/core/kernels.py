@@ -53,6 +53,8 @@ __all__ = [
     "first_above_py",
     "max_with_offset",
     "max_with_offset_py",
+    "sync_circles",
+    "sync_circles_py",
     "segment_mean_distances",
     "chord_point_distances",
     "chord_point_distance_py",
@@ -279,6 +281,65 @@ def max_with_offset_py(values: list[float]) -> tuple[float, int]:
             best = values[offset]
             best_offset = offset
     return best, best_offset
+
+
+# --------------------------------------------------------------------- #
+# Velocity-space feasibility circles (one-pass SED algorithms)
+# --------------------------------------------------------------------- #
+
+
+def sync_circles(
+    t: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    anchor: int,
+    start: int,
+    end: int,
+    epsilon: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch velocity-space discs for points ``start <= i < end``.
+
+    The synchronized distance of point ``i`` under a chord that leaves
+    ``anchor`` with end velocity ``v`` is ``dt_i * |v - c_i|`` where
+    ``c_i = (P_i - P_anchor) / dt_i``. Hence ``SED_i <= epsilon`` iff
+    ``v`` lies in the disc of center ``c_i`` and radius
+    ``r_i = epsilon / dt_i`` — the feasibility region the one-pass
+    algorithms (OPERB, CISED) intersect incrementally.
+
+    Args:
+        t: timestamps, shape ``(n,)``, strictly increasing.
+        x, y: coordinate columns, shape ``(n,)``.
+        anchor: index of the chord's start point.
+        start: first disc index (``start > anchor``).
+        end: one past the last disc index.
+        epsilon: SED threshold in metres.
+
+    Returns:
+        ``(cx, cy, r)`` arrays of shape ``(end - start,)``.
+    """
+    dt = t[start:end] - t[anchor]
+    cx = (x[start:end] - x[anchor]) / dt
+    cy = (y[start:end] - y[anchor]) / dt
+    r = epsilon / dt
+    return cx, cy, r
+
+
+def sync_circles_py(
+    t: list[float],
+    x: list[float],
+    y: list[float],
+    anchor: int,
+    start: int,
+    end: int,
+    epsilon: float,
+) -> list[tuple[float, float, float]]:
+    """Scalar reference mirror of :func:`sync_circles`."""
+    ta, xa, ya = t[anchor], x[anchor], y[anchor]
+    out = []
+    for i in range(start, end):
+        dt = t[i] - ta
+        out.append(((x[i] - xa) / dt, (y[i] - ya) / dt, epsilon / dt))
+    return out
 
 
 # --------------------------------------------------------------------- #

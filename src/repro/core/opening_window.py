@@ -33,7 +33,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = [
@@ -147,7 +147,6 @@ class NOPW(Compressor):
     name = "nopw"
     online = True
 
-    @deprecated_positional_init
     def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         self.engine = kernels.resolve_engine(engine)
@@ -173,7 +172,6 @@ class BOPW(Compressor):
     name = "bopw"
     online = True
 
-    @deprecated_positional_init
     def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         self.engine = kernels.resolve_engine(engine)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.core.opening_window import (
     BreakStrategy,
     WindowScanFn,
@@ -68,7 +68,6 @@ class OPWTR(Compressor):
     name = "opw-tr"
     online = True
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

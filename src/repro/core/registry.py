@@ -34,6 +34,7 @@ from repro.core.bottom_up import BottomUp
 from repro.core.budget import BottomUpBudget, BottomUpTotalError, TDTRBudget
 from repro.core.dead_reckoning import DeadReckoning
 from repro.core.douglas_peucker import DouglasPeucker
+from repro.core.one_pass import CISED, OPERB
 from repro.core.opening_window import BOPW, NOPW
 from repro.core.opw_tr import OPWTR
 from repro.core.sliding_window import SlidingWindow
@@ -58,6 +59,8 @@ COMPRESSORS: dict[str, Callable[..., Compressor]] = {
     "bopw": BOPW,
     "opw-tr": OPWTR,
     "opw-sp": OPWSP,
+    "operb": OPERB,
+    "cised": CISED,
     "td-sp": TDSP,
     "every-ith": EveryIth,
     "distance-threshold": DistanceThreshold,
@@ -74,6 +77,8 @@ COMPRESSORS: dict[str, Callable[..., Compressor]] = {
 _PARAM_ALIASES: dict[str, dict[str, str]] = {
     "opw-sp": {"epsilon": "max_dist_error", "speed": "max_speed_error"},
     "td-sp": {"epsilon": "max_dist_error", "speed": "max_speed_error"},
+    "operb": {"max_dist_error": "epsilon"},
+    "cised": {"max_dist_error": "epsilon"},
     "bottom-up-total-error": {"epsilon": "max_mean_error"},
     "angular": {"angle": "max_angle_rad"},
 }

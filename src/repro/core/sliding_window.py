@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.trajectory import Trajectory
 
 __all__ = ["SlidingWindow"]
@@ -38,7 +38,6 @@ class SlidingWindow(Compressor):
     name = "sliding-window"
     online = True
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

@@ -29,7 +29,7 @@ import math
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.core.douglas_peucker import top_down_indices
 from repro.core.opening_window import WindowScanFn, opening_window_indices
 from repro.trajectory.trajectory import Trajectory
@@ -181,7 +181,6 @@ class OPWSP(Compressor):
     name = "opw-sp"
     online = True
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,
@@ -223,7 +222,6 @@ class TDSP(Compressor):
 
     name = "td-sp"
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

@@ -19,7 +19,7 @@ from functools import partial
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.core.douglas_peucker import resolve_traversal
 from repro.trajectory.trajectory import Trajectory
 
@@ -65,7 +65,6 @@ class TDTR(Compressor):
 
     name = "td-tr"
 
-    @deprecated_positional_init
     def __init__(
         self,
         *,

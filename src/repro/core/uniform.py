@@ -20,7 +20,7 @@ import math
 import numpy as np
 
 from repro.core import kernels
-from repro.core.base import Compressor, deprecated_positional_init, require_positive
+from repro.core.base import Compressor, require_positive
 from repro.trajectory.ops import every_ith_indices
 from repro.trajectory.trajectory import Trajectory
 
@@ -40,7 +40,6 @@ class EveryIth(Compressor):
     name = "every-ith"
     online = True
 
-    @deprecated_positional_init
     def __init__(self, *, step: int, engine: str | None = None) -> None:
         if not isinstance(step, (int, np.integer)) or step < 1:
             raise ValueError(f"step must be a positive integer, got {step!r}")
@@ -69,7 +68,6 @@ class DistanceThreshold(Compressor):
     name = "distance-threshold"
     online = True
 
-    @deprecated_positional_init
     def __init__(self, *, epsilon: float, engine: str | None = None) -> None:
         self.epsilon = require_positive("epsilon", epsilon)
         self.engine = kernels.resolve_engine(engine)

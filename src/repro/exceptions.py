@@ -104,12 +104,17 @@ class ServeError(ReproError):
     Carries a machine-readable ``code`` (e.g. ``"rejected"``,
     ``"unknown-session"``, ``"bad-spec"``) that travels verbatim in the
     service's error responses, so clients can branch on the kind of
-    failure without parsing English.
+    failure without parsing English. ``retained`` carries the fixes a
+    partially-applied batch append decided before the error, so a
+    mid-batch failure never silently drops decisions the client is owed.
     """
 
-    def __init__(self, message: str, code: str = "internal") -> None:
+    def __init__(
+        self, message: str, code: str = "internal", *, retained: list | None = None
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.retained: list = retained if retained is not None else []
 
 
 class DataGenError(ReproError):

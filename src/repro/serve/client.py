@@ -99,10 +99,15 @@ class ServeClient:
     async def append(
         self, session: str, fixes: Iterable[Fix | Sequence[float]]
     ) -> list[Fix]:
-        """Append fixes; returns the fixes the window decided to retain."""
-        wire = [[float(f[0]), float(f[1]), float(f[2])] for f in fixes]
+        """Append fixes; returns the fixes the compressor decided to retain.
+
+        Fixes go out in the protocol's flat batch form (one
+        ``fixes_flat`` array of ``t, x, y`` runs), the cheapest encoding
+        on both ends of the wire.
+        """
+        flat = [float(value) for fix in fixes for value in fix]
         response = await self.request(
-            {"op": "append", "session": session, "fixes": wire}
+            {"op": "append", "session": session, "fixes_flat": flat}
         )
         return [Fix(*triple) for triple in response["retained"]]
 

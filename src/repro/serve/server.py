@@ -44,6 +44,8 @@ from repro.serve.protocol import (
     error_response,
     ok_response,
     parse_fix,
+    parse_fixes,
+    parse_flat_fixes,
     render_fixes,
 )
 from repro.serve.session import SessionManager
@@ -78,6 +80,9 @@ class TrajectoryServer:
         queue_size: per-connection bounded inbound queue (backpressure).
         durable: fsync on store persists.
         replace: allow flushes to overwrite already-stored ids.
+        default_spec: compressor spec applied to ``open`` requests that
+            carry none (the CLI's ``--algorithm`` flag); an open with an
+            explicit spec still wins.
         metrics: shared registry; one is created if absent.
         clock: monotonic time source, injectable for tests.
     """
@@ -95,6 +100,7 @@ class TrajectoryServer:
         queue_size: int = 64,
         durable: bool = True,
         replace: bool = False,
+        default_spec: str | None = None,
         metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -106,6 +112,7 @@ class TrajectoryServer:
             )
         self.host = host
         self.port = int(port)
+        self.default_spec = default_spec
         self.queue_size = int(queue_size)
         self.sweep_interval_s = float(sweep_interval_s)
         self.metrics = metrics if metrics is not None else Registry()
@@ -327,32 +334,29 @@ class TrajectoryServer:
     def _op_open(self, message: dict) -> dict:
         session_id = message.get("session")
         spec = message.get("spec")
+        if spec is None:
+            spec = self.default_spec
         self.manager.open(session_id, spec)
         return ok_response("open", session_id, spec=spec)
 
     def _op_append(self, message: dict) -> dict:
         started = time.perf_counter()
         session_id = message.get("session")
-        if "fixes" in message:
-            raw = message["fixes"]
-            if not isinstance(raw, list):
-                raise ServeError(
-                    f"'fixes' must be a list of [t, x, y] triples, "
-                    f"got {type(raw).__name__}",
-                    code="bad-request",
-                )
+        if "fixes_flat" in message:
+            fixes = parse_flat_fixes(message["fixes_flat"])
+        elif "fixes" in message:
+            fixes = parse_fixes(message["fixes"])
         elif "fix" in message:
-            raw = [message["fix"]]
+            fixes = [parse_fix(message["fix"])]
         else:
             raise ServeError(
-                "append needs a 'fix' triple or a 'fixes' list", code="bad-request"
+                "append needs a 'fix' triple, a 'fixes' list or a "
+                "'fixes_flat' array",
+                code="bad-request",
             )
-        fixes = [parse_fix(value) for value in raw]
-        retained = []
         try:
             with span("serve.append", fixes=len(fixes)):
-                for fix in fixes:
-                    retained.extend(self.manager.append(session_id, fix))
+                retained = self.manager.append_many(session_id, fixes)
         except ServeError as exc:
             # Mid-batch failure: fixes before the bad one are already in
             # the session; report what they decided so nothing the client
@@ -363,7 +367,7 @@ class TrajectoryServer:
                 exc.code,
                 str(exc),
                 session_str,
-                retained=render_fixes(retained),
+                retained=render_fixes(exc.retained),
             )
         self._latency.observe((time.perf_counter() - started) * 1e3)
         return ok_response(

@@ -1,7 +1,9 @@
 """Server-side session state: per-object online compression + lifecycle.
 
-A :class:`Session` owns one :class:`~repro.streaming.online.StreamingOPW`
-and the retained points it has decided so far; a :class:`SessionManager`
+A :class:`Session` owns one :class:`~repro.streaming.base
+.OnlineCompressor` (any registered online algorithm — the opening-window
+family or the one-pass OPERB/CISED compressors) and the retained points
+it has decided so far; a :class:`SessionManager`
 owns all live sessions and implements the service's resource policy:
 
 * **admission control** — at most ``max_sessions`` live sessions; an
@@ -28,12 +30,13 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.exceptions import ReproError, ServeError, StorageError, StreamError
 from repro.obs import Registry, span
 from repro.storage.store import StoredRecord, TrajectoryStore
-from repro.streaming.online import StreamingOPW, make_online_compressor
+from repro.streaming.base import OnlineCompressor
+from repro.streaming.registry import make_online_compressor
 from repro.trajectory.builder import TrajectoryBuilder
 from repro.trajectory.trajectory import Trajectory
 from repro.types import Fix
@@ -47,6 +50,7 @@ class Session:
     __slots__ = (
         "object_id",
         "spec",
+        "algorithm",
         "compressor",
         "builder",
         "n_fixes_in",
@@ -56,10 +60,11 @@ class Session:
     )
 
     def __init__(
-        self, object_id: str, spec: str, compressor: StreamingOPW, now: float
+        self, object_id: str, spec: str, compressor: OnlineCompressor, now: float
     ) -> None:
         self.object_id = object_id
         self.spec = spec
+        self.algorithm = compressor.algorithm
         self.compressor = compressor
         self.builder = TrajectoryBuilder(object_id)
         self.n_fixes_in = 0
@@ -82,6 +87,39 @@ class Session:
         self.last_active = now
         return kept
 
+    def append_many(
+        self, fixes: Sequence[Fix], now: float
+    ) -> tuple[list[Fix], int, StreamError | None]:
+        """Push a batch of fixes through the compressor in one tight loop.
+
+        Bookkeeping (builder appends, counters, activity timestamp) is
+        done once per batch instead of once per fix — the serve hot path.
+
+        Returns:
+            ``(retained, accepted, error)``: the fixes the batch decided
+            to retain, how many input fixes were accepted, and the
+            :class:`StreamError` that stopped the batch mid-way (or
+            ``None``). On an error the accepted prefix is already
+            applied, mirroring per-fix appends; the session stays
+            usable.
+        """
+        kept: list[Fix] = []
+        push = self.compressor.push
+        accepted = 0
+        error: StreamError | None = None
+        try:
+            for fix in fixes:
+                kept.extend(push(fix))
+                accepted += 1
+        except StreamError as exc:
+            error = exc
+        for point in kept:
+            self.builder.append_fix(point)
+        self.n_fixes_in += accepted
+        self.n_retained += len(kept)
+        self.last_active = now
+        return kept, accepted, error
+
     def finalize(self) -> tuple[Trajectory | None, list[Fix]]:
         """Close the compressor; returns (trajectory, tail retained fixes).
 
@@ -100,9 +138,10 @@ class Session:
         return {
             "session": self.object_id,
             "spec": self.spec,
+            "algorithm": self.algorithm,
             "fixes_in": self.n_fixes_in,
             "retained": self.n_retained,
-            "window_size": self.compressor.window_size,
+            "state_size": self.compressor.state_size,
             "idle_s": max(0.0, now - self.last_active),
         }
 
@@ -203,6 +242,7 @@ class SessionManager:
         session = Session(session_id, spec, compressor, self._clock())
         self._sessions[session_id] = session
         self.metrics.counter("sessions_opened").inc()
+        self.metrics.counter(f"sessions_opened.{session.algorithm}").inc()
         return session
 
     def get(self, session_id: object) -> Session:
@@ -234,6 +274,35 @@ class SessionManager:
         self._sessions.move_to_end(session.object_id)
         self.metrics.counter("fixes_in").inc()
         self.metrics.counter("fixes_retained").inc(len(kept))
+        self.metrics.counter(f"fixes_in.{session.algorithm}").inc()
+        return kept
+
+    def append_many(self, session_id: object, fixes: Sequence[Fix]) -> list[Fix]:
+        """Push a batch of fixes into a session; returns the retained ones.
+
+        Equivalent to appending each fix in order, but with per-batch
+        bookkeeping (one clock read, one LRU touch, counters incremented
+        by batch totals) — the difference between ~35k and >100k fixes/s
+        through the service.
+
+        Raises:
+            ServeError: ``unknown-session``, or ``out-of-order`` when a
+                fix mid-batch fails to advance the session clock. The
+                accepted prefix is already applied (the session stays
+                usable) and the fixes it retained are attached to the
+                error as ``retained``, so callers can report them.
+        """
+        session = self.get(session_id)
+        kept, accepted, error = session.append_many(fixes, self._clock())
+        self._sessions.move_to_end(session.object_id)
+        counter = self.metrics.counter
+        counter("fixes_in").inc(accepted)
+        counter("fixes_retained").inc(len(kept))
+        counter(f"fixes_in.{session.algorithm}").inc(accepted)
+        if error is not None:
+            raise ServeError(
+                str(error), code="out-of-order", retained=kept
+            ) from error
         return kept
 
     def close(self, session_id: object) -> tuple[StoredRecord | None, list[Fix]]:
@@ -290,7 +359,8 @@ class SessionManager:
         if trajectory is None:
             return None, tail
         with span("serve.flush", session=session.object_id), \
-                self.metrics.timer("flush_s").time():
+                self.metrics.timer("flush_s").time(), \
+                self.metrics.timer(f"flush_s.{session.algorithm}").time():
             try:
                 record = self.store.insert(
                     trajectory,
@@ -320,6 +390,12 @@ class SessionManager:
         rejected, evicted, flushed) and fix throughput.
         """
         counter = self.metrics.counter
+        exported = self.metrics.to_dict()["counters"] if self.metrics.enabled else {}
+        by_algorithm = {
+            name.split(".", 1)[1]: value
+            for name, value in exported.items()
+            if name.startswith("fixes_in.")
+        }
         return {
             "live_sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
@@ -332,4 +408,5 @@ class SessionManager:
             "fixes_in": counter("fixes_in").value,
             "fixes_retained": counter("fixes_retained").value,
             "fixes_flushed": counter("fixes_flushed").value,
+            "fixes_in_by_algorithm": by_algorithm,
         }

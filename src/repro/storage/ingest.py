@@ -2,8 +2,9 @@
 
 Glues the two online halves of the system together: a
 :class:`StreamIngestor` accepts interleaved fixes from many objects,
-pushes each through a per-object online compressor
-(:class:`~repro.streaming.online.StreamingOPW` by default), buffers the
+pushes each through a per-object online compressor (any
+:class:`~repro.streaming.base.OnlineCompressor`;
+:class:`~repro.streaming.online.StreamingOPW` by default), buffers the
 retained fixes, and flushes finished objects into a
 :class:`~repro.storage.store.TrajectoryStore` — the full
 tracker-to-database pipeline, with only the open windows and retained
@@ -19,6 +20,7 @@ from repro.exceptions import StorageError, StreamError
 from repro.pipeline.executor import FailurePolicy, ItemFailure, execute
 from repro.obs import Registry
 from repro.storage.store import StoredRecord, TrajectoryStore
+from repro.streaming.base import OnlineCompressor
 from repro.streaming.online import StreamingOPW
 from repro.trajectory.builder import TrajectoryBuilder
 from repro.types import Fix
@@ -57,7 +59,7 @@ class StreamIngestor:
     def __init__(
         self,
         store: TrajectoryStore,
-        compressor_factory: Callable[[], StreamingOPW] | None = None,
+        compressor_factory: Callable[[], OnlineCompressor] | None = None,
         on_out_of_order: str = "raise",
     ) -> None:
         if on_out_of_order not in ("raise", "skip"):
@@ -68,7 +70,7 @@ class StreamIngestor:
         self.store = store
         self._factory = compressor_factory or _default_compressor_factory
         self.on_out_of_order = on_out_of_order
-        self._compressors: dict[str, StreamingOPW] = {}
+        self._compressors: dict[str, OnlineCompressor] = {}
         self._builders: dict[str, TrajectoryBuilder] = {}
         self._raw_counts: dict[str, int] = {}
         self._last_times: dict[str, float] = {}
@@ -85,6 +87,19 @@ class StreamIngestor:
         """Fixes received so far for one object (including discarded)."""
         return self._raw_counts.get(object_id, 0)
 
+    @staticmethod
+    def _held_fixes(compressor: OnlineCompressor | None) -> int:
+        """Fixes a compressor holds between pushes (window / candidates).
+
+        The opening-window family reports its open window; other online
+        compressors are measured through the protocol's ``state_size``
+        (three floats per held fix).
+        """
+        if compressor is None:
+            return 0
+        window = getattr(compressor, "window_size", None)
+        return window if window is not None else compressor.state_size // 3
+
     def window_size(self, object_id: str) -> int:
         """Open-window occupancy of one object's online compressor.
 
@@ -92,15 +107,13 @@ class StreamIngestor:
         retained points counted by :meth:`buffered_points` accumulate on
         the receiving side.
         """
-        window = self._compressors.get(object_id)
-        return window.window_size if window else 0
+        return self._held_fixes(self._compressors.get(object_id))
 
     def buffered_points(self, object_id: str) -> int:
         """Retained points waiting to be flushed for one object."""
         builder = self._builders.get(object_id)
-        window = self._compressors.get(object_id)
         buffered = len(builder) if builder else 0
-        return buffered + (window.window_size if window else 0)
+        return buffered + self._held_fixes(self._compressors.get(object_id))
 
     def dropped_count(self, object_id: str) -> int:
         """Out-of-order fixes dropped so far for one active object."""

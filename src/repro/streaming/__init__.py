@@ -1,23 +1,33 @@
 """Online operation: point streams and incremental compression.
 
 :class:`PointStream` replays or wraps live fix feeds with protocol
-enforcement; :func:`merge_streams` interleaves a fleet's feeds;
-:class:`StreamingOPW` compresses a stream push-by-push, selecting exactly
-the points the corresponding batch algorithm (NOPW / OPW-TR / OPW-SP)
-would.
+enforcement; :func:`merge_streams` interleaves a fleet's feeds. The
+push-based compressors all implement the :class:`OnlineCompressor`
+protocol: :class:`StreamingOPW` mirrors the batch opening-window family
+(NOPW / OPW-TR / OPW-SP), while :class:`StreamingOPERB` and
+:class:`StreamingCISED` are the O(1)-state one-pass SED algorithms.
+Construct by name or spec string with :func:`make_online_compressor`;
+new algorithms plug in through :func:`register_online`.
 """
 
-from repro.streaming.online import (
-    STREAMABLE_ALGORITHMS,
-    StreamingOPW,
+from repro.streaming.base import OnlineCompressor
+from repro.streaming.one_pass import StreamingCISED, StreamingOPERB
+from repro.streaming.online import StreamingOPW
+from repro.streaming.registry import (
+    available_online_compressors,
     make_online_compressor,
+    register_online,
 )
 from repro.streaming.stream import PointStream, merge_streams
 
 __all__ = [
+    "OnlineCompressor",
     "PointStream",
-    "STREAMABLE_ALGORITHMS",
+    "StreamingCISED",
+    "StreamingOPERB",
     "StreamingOPW",
+    "available_online_compressors",
     "make_online_compressor",
     "merge_streams",
+    "register_online",
 ]

@@ -1,0 +1,86 @@
+"""The online-compressor protocol.
+
+Every push-based compressor in this package — :class:`~repro.streaming
+.online.StreamingOPW`, :class:`~repro.streaming.one_pass
+.StreamingOPERB`, :class:`~repro.streaming.one_pass.StreamingCISED` —
+implements the same small surface: feed fixes one at a time with
+:meth:`~OnlineCompressor.push`, close the stream with
+:meth:`~OnlineCompressor.finish`, observe progress through the
+counters. Consumers (the serving layer, the storage ingestor, user
+code) target this protocol, not a concrete class, so registering a new
+online algorithm requires no changes on their side.
+
+The protocol contract, which the shared conformance tests pin per
+implementation:
+
+* the first pushed fix is emitted immediately (the stream's head is
+  always retained);
+* timestamps must be strictly increasing — a non-increasing push raises
+  :class:`~repro.exceptions.StreamError`;
+* :meth:`~OnlineCompressor.finish` emits the held tail, is idempotent,
+  and flips :attr:`~OnlineCompressor.closed`; pushing afterwards raises
+  :class:`~repro.exceptions.StreamError`;
+* emitted fixes form a subsequence of the pushed fixes, in push order,
+  beginning with the first and (after ``finish``) ending with the last.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.types import Fix
+
+__all__ = ["OnlineCompressor"]
+
+
+@runtime_checkable
+class OnlineCompressor(Protocol):
+    """A push-based trajectory compressor.
+
+    Structural protocol (``isinstance`` checks the surface, not the
+    class): any object with these members is an online compressor.
+    """
+
+    #: Registry name of the algorithm this instance runs
+    #: (e.g. ``"opw-tr"``, ``"operb"``).
+    algorithm: str
+
+    #: Fixes pushed so far.
+    n_pushed: int
+
+    #: Fixes emitted so far (including those returned by ``finish``).
+    n_emitted: int
+
+    def push(self, fix: Fix) -> Iterable[Fix]:
+        """Feed one fix; returns the fixes decided as retained by it."""
+        ...
+
+    def finish(self) -> Iterable[Fix]:
+        """Close the stream; returns the final retained fixes.
+
+        Idempotent: later calls return no fixes.
+        """
+        ...
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`finish` has been called."""
+        ...
+
+    @property
+    def state_size(self) -> int:
+        """Current per-session working state, in floats.
+
+        The memory the compressor holds between pushes — the open
+        window for the opening-window family (bounded only if
+        ``max_window`` is set), a small constant for the one-pass
+        algorithms.
+        """
+        ...
+
+    def sync_error_bound(self) -> float | None:
+        """Guaranteed bound on the output's max synchronized error.
+
+        ``None`` when the algorithm promises no such bound.
+        """
+        ...

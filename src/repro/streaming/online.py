@@ -21,9 +21,10 @@ import math
 
 from repro.core.base import require_positive
 from repro.exceptions import StreamError
+from repro.streaming.registry import register_online
 from repro.types import Fix
 
-__all__ = ["StreamingOPW", "make_online_compressor", "STREAMABLE_ALGORITHMS"]
+__all__ = ["StreamingOPW"]
 
 _CRITERIA = ("perpendicular", "synchronized")
 
@@ -104,9 +105,30 @@ class StreamingOPW:
         self.n_emitted = 0
 
     @property
+    def algorithm(self) -> str:
+        """Registry name of the configured variant."""
+        if self.criterion == "perpendicular":
+            return "nopw"
+        return "opw-sp" if self.max_speed_error is not None else "opw-tr"
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`finish` has been called."""
+        return self._finished
+
+    @property
     def window_size(self) -> int:
         """Current number of buffered fixes (the open window)."""
         return len(self._window)
+
+    @property
+    def state_size(self) -> int:
+        """Current working state in floats (three per buffered fix).
+
+        Grows with the open window — bounded only when ``max_window``
+        is set, unlike the one-pass compressors' built-in O(1) state.
+        """
+        return 3 * len(self._window)
 
     def sync_error_bound(self) -> float | None:
         """Guaranteed bound on the output's max synchronized error.
@@ -214,105 +236,45 @@ class StreamingOPW:
         return out
 
 
-#: Algorithms with a streaming (push-based) form. The rest of the
-#: registry is batch-only: retrospective algorithms revisit the whole
-#: series, so they cannot emit points as the stream arrives.
-STREAMABLE_ALGORITHMS = ("nopw", "opw-tr", "opw-sp")
+def _window(max_window: object) -> int | None:
+    return None if max_window is None else int(max_window)  # type: ignore[call-overload]
 
-#: Spec keys that configure a :class:`StreamingOPW`, with the CLI's
-#: aliases mapped onto constructor names. ``engine`` is accepted and
-#: ignored so batch spec strings (which may carry ``engine=python``)
-#: stay valid verbatim.
-_SPEC_KEYS = {
+
+def _make_nopw(*, epsilon: float, max_window: int | None = None) -> StreamingOPW:
+    return StreamingOPW(float(epsilon), "perpendicular", max_window=_window(max_window))
+
+
+def _make_opw_tr(*, epsilon: float, max_window: int | None = None) -> StreamingOPW:
+    return StreamingOPW(float(epsilon), "synchronized", max_window=_window(max_window))
+
+
+def _make_opw_sp(
+    *, epsilon: float, max_speed_error: float, max_window: int | None = None
+) -> StreamingOPW:
+    return StreamingOPW(
+        float(epsilon),
+        "synchronized",
+        max_speed_error=float(max_speed_error),
+        max_window=_window(max_window),
+    )
+
+
+#: Shared spec keys of the opening-window family, with the CLI's aliases
+#: mapped onto factory keyword names.
+_OPW_SPEC_KEYS = {
     "epsilon": "epsilon",
     "max_dist_error": "epsilon",
-    "speed": "max_speed_error",
-    "max_speed_error": "max_speed_error",
     "max_window": "max_window",
 }
 
-
-def make_online_compressor(
-    name: str,
-    epsilon: float | None = None,
-    max_speed_error: float | None = None,
-    max_window: int | None = None,
-) -> StreamingOPW:
-    """Streaming counterpart of a batch algorithm, by name or spec string.
-
-    Accepts the same unified spec grammar as
-    :func:`repro.core.registry.make_compressor` —
-    ``"opw-tr:epsilon=30"``, ``"opw-sp:epsilon=30,max_speed_error=5"``
-    (``speed`` and ``max_dist_error`` alias as on the CLI, and an
-    ``engine=`` entry is ignored: streaming has one engine) — or a bare
-    name plus keyword parameters, as before. Explicit keyword arguments
-    override the spec's parameters.
-
-    Args:
-        name: ``"nopw"``, ``"opw-tr"`` or ``"opw-sp"``, optionally with
-            ``:key=value,...`` parameters.
-        epsilon: distance threshold in metres (unless the spec sets it).
-        max_speed_error: required for ``"opw-sp"``; forbidden otherwise.
-        max_window: optional memory bound (see :class:`StreamingOPW`).
-
-    Raises:
-        StreamError: a registered batch algorithm with no streaming form
-            (e.g. ``"td-tr"``), or an unsupported spec parameter.
-        UnknownCompressorError: a name registered nowhere (also
-            catchable as ``KeyError``).
-        CompressorSpecError: a malformed spec string.
-        ValueError: missing ``epsilon``, or a speed threshold given to
-            an algorithm that takes none (and vice versa).
-    """
-    from repro.core.registry import available_compressors, parse_compressor_spec
-
-    spec = parse_compressor_spec(name)
-    params: dict[str, object] = {}
-    for key, value in spec.params:
-        if key == "engine":
-            continue
-        if key not in _SPEC_KEYS:
-            raise StreamError(
-                f"spec parameter {key!r} is not supported by the streaming "
-                f"compressors; supported: {', '.join(sorted(set(_SPEC_KEYS)))}"
-            )
-        params[_SPEC_KEYS[key]] = value
-    if epsilon is not None:
-        params["epsilon"] = epsilon
-    if max_speed_error is not None:
-        params["max_speed_error"] = max_speed_error
-    if max_window is not None:
-        params["max_window"] = max_window
-
-    if spec.name not in STREAMABLE_ALGORITHMS:
-        if spec.name in available_compressors():
-            raise StreamError(
-                f"{spec.name!r} is a batch-only algorithm with no streaming "
-                f"form; streamable algorithms: "
-                f"{', '.join(STREAMABLE_ALGORITHMS)}"
-            )
-        from repro.exceptions import UnknownCompressorError
-
-        raise UnknownCompressorError(
-            f"unknown online algorithm {spec.name!r}; "
-            f"use one of {', '.join(STREAMABLE_ALGORITHMS)}"
-        )
-    if params.get("epsilon") is None:
-        raise ValueError(f"{spec.name} requires epsilon")
-    eps = float(params["epsilon"])  # type: ignore[arg-type]
-    speed = params.get("max_speed_error")
-    window = params.get("max_window")
-    window = None if window is None else int(window)  # type: ignore[arg-type]
-    if spec.name == "nopw":
-        if speed is not None:
-            raise ValueError("nopw takes no speed threshold")
-        return StreamingOPW(eps, "perpendicular", max_window=window)
-    if spec.name == "opw-tr":
-        if speed is not None:
-            raise ValueError("opw-tr takes no speed threshold")
-        return StreamingOPW(eps, "synchronized", max_window=window)
-    if speed is None:
-        raise ValueError("opw-sp requires max_speed_error")
-    return StreamingOPW(
-        eps, "synchronized", max_speed_error=float(speed), max_window=window
-    )
+register_online("nopw", _make_nopw, _OPW_SPEC_KEYS)
+register_online("opw-tr", _make_opw_tr, _OPW_SPEC_KEYS)
+register_online(
+    "opw-sp",
+    _make_opw_sp,
+    {
+        **_OPW_SPEC_KEYS,
+        "speed": "max_speed_error",
+        "max_speed_error": "max_speed_error",
+    },
+)

@@ -35,6 +35,8 @@ ALGORITHM_PARAMS: dict[str, dict] = {
     "nopw": {"epsilon": 25.0},
     "bopw": {"epsilon": 25.0},
     "opw-tr": {"epsilon": 25.0},
+    "operb": {"epsilon": 25.0},
+    "cised": {"epsilon": 25.0},
     "opw-sp": {"max_dist_error": 25.0, "max_speed_error": 4.0},
     "td-sp": {"max_dist_error": 25.0, "max_speed_error": 4.0},
     "every-ith": {"step": 3},

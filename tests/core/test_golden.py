@@ -39,6 +39,8 @@ SPECS = (
     "nopw:epsilon=20",
     "bopw:epsilon=20",
     "opw-tr:epsilon=20",
+    "operb:epsilon=20",
+    "cised:epsilon=20",
     "opw-sp:epsilon=20,speed=3",
     "td-sp:epsilon=20,speed=3",
     "every-ith:step=4",

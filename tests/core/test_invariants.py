@@ -18,6 +18,8 @@ _PARAMS: dict[str, dict[str, float | int]] = {
     "nopw": {"epsilon": 25.0},
     "bopw": {"epsilon": 25.0},
     "opw-tr": {"epsilon": 25.0},
+    "operb": {"epsilon": 25.0},
+    "cised": {"epsilon": 25.0},
     "opw-sp": {"max_dist_error": 25.0, "max_speed_error": 5.0},
     "td-sp": {"max_dist_error": 25.0, "max_speed_error": 5.0},
     "every-ith": {"step": 3},
@@ -83,7 +85,10 @@ class TestUniversalInvariants:
 #:   immediate neighbours / the previous two kept points — removing
 #:   points changes that local context;
 #: * ``bottom-up-total-error`` budgets α against its *input*: re-running
-#:   on the degraded output resets the budget and merges further.
+#:   on the degraded output resets the budget and merges further;
+#: * ``operb`` / ``cised`` accept a candidate end against the feasibility
+#:   region accumulated since the anchor — after compression the anchors
+#:   and accumulated regions differ, so further points can merge.
 _IDEMPOTENT = (
     "ndp",
     "td-tr",

@@ -20,6 +20,8 @@ class TestRegistry:
             "nopw": {"epsilon": 30.0},
             "bopw": {"epsilon": 30.0},
             "opw-tr": {"epsilon": 30.0},
+            "operb": {"epsilon": 30.0},
+            "cised": {"epsilon": 30.0},
             "opw-sp": {"max_dist_error": 30.0, "max_speed_error": 5.0},
             "td-sp": {"max_dist_error": 30.0, "max_speed_error": 5.0},
             "every-ith": {"step": 3},

@@ -1,4 +1,4 @@
-"""Tests for compressor spec strings and the keyword-only migration."""
+"""Tests for compressor spec strings and keyword-only construction."""
 
 from __future__ import annotations
 
@@ -8,7 +8,9 @@ import pytest
 
 from repro.core import (
     BOPW,
+    CISED,
     NOPW,
+    OPERB,
     OPWSP,
     OPWTR,
     TDSP,
@@ -111,6 +113,8 @@ _ALL_KEYWORD_FORMS = [
     (NOPW, {"epsilon": 30.0}),
     (BOPW, {"epsilon": 30.0}),
     (OPWTR, {"epsilon": 30.0}),
+    (OPERB, {"epsilon": 30.0}),
+    (CISED, {"epsilon": 30.0}),
     (OPWSP, {"max_dist_error": 30.0, "max_speed_error": 5.0}),
     (TDSP, {"max_dist_error": 30.0, "max_speed_error": 5.0}),
     (EveryIth, {"step": 3}),
@@ -125,20 +129,18 @@ _ALL_KEYWORD_FORMS = [
 ]
 
 
-class TestKeywordOnlyMigration:
+class TestKeywordOnlyConstruction:
     @pytest.mark.parametrize(("cls", "kwargs"), _ALL_KEYWORD_FORMS)
     def test_keyword_construction_is_silent(self, cls, kwargs, recwarn):
         cls(**kwargs)
         assert not [w for w in recwarn if w.category is DeprecationWarning]
 
     @pytest.mark.parametrize(("cls", "kwargs"), _ALL_KEYWORD_FORMS)
-    def test_positional_construction_warns_but_works(self, cls, kwargs):
+    def test_positional_construction_rejected(self, cls, kwargs):
+        """The PR-1 positional shim is gone: thresholds are keyword-only."""
         values = list(kwargs.values())
-        with pytest.warns(DeprecationWarning, match="positional threshold"):
-            positional = cls(*values)
-        keyword = cls(**kwargs)
-        for name in kwargs:
-            assert getattr(positional, name) == getattr(keyword, name)
+        with pytest.raises(TypeError):
+            cls(*values)
 
     @pytest.mark.parametrize(("cls", "kwargs"), _ALL_KEYWORD_FORMS)
     def test_compressors_pickle(self, cls, kwargs):
@@ -148,22 +150,3 @@ class TestKeywordOnlyMigration:
         assert type(clone) is cls
         for name in kwargs:
             assert getattr(clone, name) == getattr(compressor, name)
-
-    def test_warning_names_the_keyword_form(self):
-        with pytest.warns(DeprecationWarning, match=r"TDTR\(epsilon=\.\.\.\)"):
-            TDTR(30.0)
-
-    def test_duplicate_argument_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                TDTR(30.0, epsilon=40.0)
-
-    def test_too_many_positionals_rejected(self):
-        with pytest.raises(TypeError, match="at most"):
-            TDTR(30.0, "iterative", "numpy", "extra")
-
-    def test_positional_selects_same_indices(self, zigzag):
-        with pytest.warns(DeprecationWarning):
-            legacy = TDTR(30.0).compress(zigzag)
-        modern = TDTR(epsilon=30.0).compress(zigzag)
-        assert (legacy.indices == modern.indices).all()

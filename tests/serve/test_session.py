@@ -13,6 +13,7 @@ from repro.core import OPWTR
 from repro.exceptions import ServeError
 from repro.serve.session import SessionManager
 from repro.storage.store import TrajectoryStore
+from repro.streaming import available_online_compressors
 from repro.types import Fix
 
 
@@ -191,6 +192,64 @@ class TestAdmissionAndEviction:
                     manager.close("same")
                 assert err.value.code == "storage"
         assert "same" not in manager  # the window is gone either way
+
+
+def _spec_for(name: str) -> str:
+    spec = f"{name}:epsilon=30"
+    if name == "opw-sp":
+        spec += ",speed=5"
+    return spec
+
+
+class TestOnlineAlgorithms:
+    """Every registered online algorithm serves end-to-end."""
+
+    @pytest.mark.parametrize("name", sorted(available_online_compressors()))
+    def test_full_session_lifecycle(self, clock, name, zigzag):
+        manager = make_manager(clock)
+        manager.open("s", _spec_for(name))
+        retained = []
+        for fix in fixes_of(zigzag):
+            retained.extend(manager.append("s", fix))
+        record, tail = manager.close("s")
+        retained.extend(tail)
+
+        assert record is not None
+        assert record.n_raw_points == len(zigzag)
+        assert record.n_stored_points == len(retained)
+        # Endpoints always survive; everything stored round-trips.
+        assert retained[0].t == zigzag.t[0]
+        assert retained[-1].t == zigzag.t[-1]
+        assert list(manager.store.get("s").t) == [f.t for f in retained]
+
+    @pytest.mark.parametrize("name", ["operb", "cised", "opw-tr"])
+    def test_sync_bound_recorded(self, clock, name, zigzag):
+        manager = make_manager(clock)
+        manager.open("s", _spec_for(name))
+        for fix in fixes_of(zigzag):
+            manager.append("s", fix)
+        record, _ = manager.close("s")
+        # The compressor's epsilon plus the codec's quantization slack.
+        assert 30.0 <= record.sync_error_bound_m < 30.1
+
+    def test_summary_reports_algorithm_and_state(self, clock):
+        manager = make_manager(clock)
+        session = manager.open("s", "operb:epsilon=30")
+        manager.append("s", Fix(0.0, 0.0, 0.0))
+        manager.append("s", Fix(1.0, 5.0, 0.0))
+        summary = session.summary(clock.now)
+        assert summary["algorithm"] == "operb"
+        assert 0 < summary["state_size"] <= 10
+
+    def test_stats_break_down_by_algorithm(self, clock):
+        manager = make_manager(clock)
+        manager.open("a", "operb:epsilon=30")
+        manager.open("b", "cised:epsilon=30")
+        for i in range(5):
+            manager.append("a", Fix(float(i), float(i), 0.0))
+        manager.append("b", Fix(0.0, 0.0, 0.0))
+        by_algo = manager.stats()["fixes_in_by_algorithm"]
+        assert by_algo == {"operb": 5, "cised": 1}
 
 
 class TestDurabilityAndStats:

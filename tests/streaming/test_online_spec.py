@@ -12,8 +12,10 @@ import pytest
 
 from repro.core.registry import available_compressors
 from repro.exceptions import CompressorSpecError, StreamError
-from repro.streaming import STREAMABLE_ALGORITHMS
-from repro.streaming.online import make_online_compressor
+from repro.streaming import (
+    available_online_compressors,
+    make_online_compressor,
+)
 
 
 class TestSpecStrings:
@@ -34,11 +36,26 @@ class TestSpecStrings:
         assert opw.epsilon == 12.5
         assert opw.max_window == 64
 
+    def test_operb_spec(self):
+        operb = make_online_compressor("operb:epsilon=30")
+        assert operb.algorithm == "operb"
+        assert operb.sync_error_bound() == 30.0
+
+    def test_cised_spec(self):
+        cised = make_online_compressor("cised:epsilon=30,m=12")
+        assert cised.algorithm == "cised"
+        assert cised.sync_error_bound() == 30.0
+        assert cised.m == 12
+
     def test_cli_aliases(self):
         # The CLI's batch aliases work unchanged for streaming.
         opw = make_online_compressor("opw-sp:max_dist_error=30,speed=5")
         assert opw.epsilon == 30.0
         assert opw.max_speed_error == 5.0
+
+    def test_max_dist_error_alias_for_one_pass(self):
+        operb = make_online_compressor("operb:max_dist_error=30")
+        assert operb.sync_error_bound() == 30.0
 
     def test_engine_entry_is_ignored(self):
         # Batch spec strings may carry engine=python; streaming has one
@@ -59,7 +76,7 @@ class TestSpecErrors:
             make_online_compressor(name)
         message = str(err.value)
         assert "batch-only" in message
-        for streamable in STREAMABLE_ALGORITHMS:
+        for streamable in available_online_compressors():
             assert streamable in message  # the fix is named in the error
 
     def test_unknown_name_is_keyerror(self):
@@ -71,6 +88,13 @@ class TestSpecErrors:
             make_online_compressor("opw-tr:epsilon=30,budget=5")
         assert "budget" in str(err.value)
 
+    def test_unsupported_parameter_for_one_pass(self):
+        # max_window is an OPW knob; the one-pass compressors hold no
+        # window, so accepting it silently would be misleading.
+        with pytest.raises(StreamError) as err:
+            make_online_compressor("operb:epsilon=30,max_window=64")
+        assert "max_window" in str(err.value)
+
     def test_malformed_spec(self):
         with pytest.raises(CompressorSpecError):
             make_online_compressor("opw-tr:epsilon")
@@ -81,4 +105,27 @@ class TestSpecErrors:
 
     def test_streamable_names_are_registered_batch_algorithms(self):
         # The streaming registry is a strict subset of the batch one.
-        assert set(STREAMABLE_ALGORITHMS) <= set(available_compressors())
+        assert set(available_online_compressors()) <= set(available_compressors())
+
+
+class TestRegisterOnline:
+    def test_third_party_registration(self):
+        from repro.streaming import StreamingOPERB, register_online
+        from repro.streaming.registry import _ONLINE
+
+        def _factory(*, epsilon):
+            return StreamingOPERB(epsilon=epsilon)
+
+        register_online("test-operb-clone", _factory, {"epsilon": "epsilon"})
+        try:
+            assert "test-operb-clone" in available_online_compressors()
+            clone = make_online_compressor("test-operb-clone:epsilon=9")
+            assert clone.sync_error_bound() == 9.0
+        finally:
+            _ONLINE.pop("test-operb-clone", None)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.streaming import register_online
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_online("operb", lambda **kw: None, {})

@@ -54,6 +54,7 @@ class TestPublicApi:
         names = set(repro.available_compressors())
         assert {
             "ndp", "nopw", "bopw", "td-tr", "opw-tr", "opw-sp", "td-sp",
+            "operb", "cised",
             "every-ith", "distance-threshold", "angular", "sliding-window",
             "bottom-up", "td-tr-budget", "bottom-up-budget",
             "bottom-up-total-error", "dead-reckoning",
