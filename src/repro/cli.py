@@ -21,6 +21,8 @@ Exposes the library's everyday operations without writing code:
   ``docs/SERVING.md``);
 * ``serve-bench`` — load-test a served ingestion run, writing
   ``BENCH_serve.json``;
+* ``serve-chaos`` — fault-injection harness proving the serve tier's
+  crash recovery (WAL replay, torn tails, SIGKILL);
 * ``obs dump`` — export metrics (from a live server's ``stats`` verb or
   a metrics JSON file) as Prometheus text exposition or JSON (see
   ``docs/OBSERVABILITY.md``).
@@ -490,6 +492,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.serve.server import TrajectoryServer
 
@@ -503,20 +507,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         replace=args.replace,
         default_spec=args.algorithm,
+        wal_dir=args.wal,
     )
 
     async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        drain_requested = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, drain_requested.set)
         await server.start()
+        recovery = server.recovery
+        if recovery and recovery["sessions"]:
+            print(
+                f"recovered {recovery['sessions']} session(s), "
+                f"{recovery['fixes']} fixes from the WAL",
+                flush=True,
+            )
         where = f" (store: {args.store})" if args.store else ""
-        print(f"serving on {server.host}:{server.port}{where}", flush=True)
-        await server.serve_forever()
+        wal = f" (wal: {args.wal})" if args.wal else ""
+        print(f"serving on {server.host}:{server.port}{where}{wal}", flush=True)
+        serving = asyncio.create_task(server.serve_forever())
+        waiter = asyncio.create_task(drain_requested.wait())
+        try:
+            await asyncio.wait(
+                {serving, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            serving.cancel()
+            waiter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serving
+        # Graceful drain on SIGTERM/SIGINT: stop accepting, flush every
+        # live session into the store, persist, exit 0 — a supervisor's
+        # TERM loses nothing.
+        drained = await server.drain()
+        failed = drained["failed"]
+        print(
+            f"drained: {len(drained['flushed'])} session(s) flushed"
+            + (f", {failed} failed" if failed else ""),
+            flush=True,
+        )
 
     try:
         asyncio.run(_run())
     finally:
-        # Ctrl-C lands here with sessions possibly un-flushed; persisting
-        # the store file is safe (atomic) and cheap even when clean.
+        # Abnormal exits land here with sessions possibly un-flushed;
+        # persisting the store file is safe (atomic) and cheap even
+        # when clean.
         server.manager.persist()
+    return 0
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.io_util import write_atomic_json
+    from repro.serve.chaos import SCENARIOS, run_chaos
+
+    names = tuple(args.scenario) if args.scenario else SCENARIOS
+    if args.fast:
+        names = tuple(name for name in names if name != "sigkill")
+    report = run_chaos(names, seed=args.seed, n_fixes=args.fixes)
+    for entry in report["scenarios"]:
+        verdict = "PASS" if entry["passed"] else "FAIL"
+        extras = {k: v for k, v in entry.items() if k not in ("name", "passed")}
+        print(f"{verdict}  {entry['name']}: {json.dumps(extras, sort_keys=True)}")
+    if args.output:
+        write_atomic_json(Path(args.output), report)
+        print(f"wrote {args.output}")
+    if not report["passed"]:
+        print("chaos: durability contract violated", file=sys.stderr)
+        return 1
+    print(f"chaos: {len(report['scenarios'])} scenario(s) passed (seed {args.seed})")
     return 0
 
 
@@ -531,6 +594,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         batch=args.batch,
         seed=args.seed,
         output=Path(args.output),
+        wal=args.wal,
     )
     results = report["results"]
     print(
@@ -585,6 +649,33 @@ def _cmd_obs_dump(args: argparse.Namespace) -> int:
     else:
         print(render_prometheus(metrics, prefix=args.prefix), end="")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected at parse time.
+
+    Catching these at the parser keeps bad values out of the server
+    constructor, where a ``ValueError`` would print a traceback instead
+    of a usage line.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite number > 0, rejected at parse time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not 0 < value < float("inf"):
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -786,18 +877,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="store file (.rsto) closed sessions are flushed into; "
              "loaded first if it already exists",
     )
-    p_serve.add_argument("--max-sessions", type=int, default=1024,
+    p_serve.add_argument("--max-sessions", type=_positive_int, default=1024,
                          help="admission limit: opens beyond this are rejected")
-    p_serve.add_argument("--idle-timeout", type=float, default=300.0,
+    p_serve.add_argument("--idle-timeout", type=_positive_float, default=300.0,
                          help="seconds of inactivity before a session is "
                               "flushed and evicted")
-    p_serve.add_argument("--sweep-interval", type=float, default=5.0,
+    p_serve.add_argument("--sweep-interval", type=_positive_float, default=5.0,
                          help="how often the idle sweeper runs (seconds)")
-    p_serve.add_argument("--queue-size", type=int, default=64,
+    p_serve.add_argument("--queue-size", type=_positive_int, default=64,
                          help="per-connection request queue bound (backpressure)")
     p_serve.add_argument(
         "--replace", action="store_true",
         help="allow a flushed session to overwrite a stored object id",
+    )
+    p_serve.add_argument(
+        "--wal", default=None, metavar="DIR",
+        help="write-ahead log directory: every acknowledged request is "
+             "fsynced there before the response, and a restart replays "
+             "surviving sessions (see docs/SERVING.md)",
     )
     p_serve.add_argument(
         "--algorithm", "-a", default=None, metavar="SPEC",
@@ -805,6 +902,28 @@ def build_parser() -> argparse.ArgumentParser:
              "e.g. 'operb:epsilon=30' (see repro.streaming)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "serve-chaos",
+        help="fault-injection harness: prove the serve tier's crash "
+             "recovery (see docs/SERVING.md)",
+    )
+    p_chaos.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable): fsync-fail, torn-tail, "
+             "disconnect, sigkill; default all",
+    )
+    p_chaos.add_argument(
+        "--fast", action="store_true",
+        help="skip the sigkill scenario (spawns real server subprocesses)",
+    )
+    p_chaos.add_argument("--fixes", type=_positive_int, default=120,
+                         help="fixes streamed per scenario")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="scenario RNG seed (fault offsets, workload)")
+    p_chaos.add_argument("--output", "-o", default=None,
+                         help="write the JSON report here (atomically)")
+    p_chaos.set_defaults(func=_cmd_serve_chaos)
 
     p_bench = sub.add_parser(
         "serve-bench",
@@ -826,6 +945,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=7, help="workload RNG seed")
     p_bench.add_argument("--output", "-o", default="BENCH_serve.json",
                          help="report path (written atomically)")
+    p_bench.add_argument(
+        "--wal", action="store_true",
+        help="run the server with a write-ahead log (temporary directory): "
+             "measures the durability overhead",
+    )
     p_bench.set_defaults(func=_cmd_serve_bench)
 
     p_obs = sub.add_parser(

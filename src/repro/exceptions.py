@@ -25,6 +25,7 @@ __all__ = [
     "CorruptRecordError",
     "StreamError",
     "ServeError",
+    "WalError",
     "DataGenError",
 ]
 
@@ -115,6 +116,21 @@ class ServeError(ReproError):
         super().__init__(message)
         self.code = code
         self.retained: list = retained if retained is not None else []
+
+
+class WalError(ServeError):
+    """The serve tier's write-ahead log could not commit durably.
+
+    Raised when a WAL write or fsync fails. Durability of everything
+    staged since the last successful commit is unknown at that point, so
+    the failure is *sticky*: the writer refuses further work until the
+    process restarts and recovery replays the surviving segments
+    (mirroring the fsync-failure stance of production databases). The
+    wire code is ``"wal-failure"``.
+    """
+
+    def __init__(self, message: str, code: str = "wal-failure") -> None:
+        super().__init__(message, code=code)
 
 
 class DataGenError(ReproError):

@@ -22,6 +22,8 @@ from typing import Any
 __all__ = [
     "crc32",
     "crc32_text",
+    "encode_crc_line",
+    "decode_crc_line",
     "fsync_directory",
     "write_atomic",
     "write_atomic_json",
@@ -42,6 +44,37 @@ def crc32(data: bytes) -> int:
 def crc32_text(text: str) -> int:
     """Unsigned CRC-32 of a string's UTF-8 encoding."""
     return crc32(text.encode("utf-8"))
+
+
+def encode_crc_line(payload: str) -> str:
+    """Render one append-only log line: ``<crc32 hex8> <payload>\\n``.
+
+    The shared line format of every append-only log in the library (the
+    pipeline's checkpoint journal, the serve tier's write-ahead log): a
+    fixed-width CRC-32 of the payload, one space, the payload, one
+    newline. ``payload`` must not contain a newline.
+    """
+    return f"{crc32_text(payload):08x} {payload}\n"
+
+
+def decode_crc_line(line: str) -> "str | None":
+    """Validate one CRC-prefixed log line; returns its payload.
+
+    Returns ``None`` for any damage — short line, malformed CRC field,
+    checksum mismatch — which on an append-only log distinguishes a
+    torn tail (droppable: the write never completed) from intact
+    entries. The caller decides whether damage elsewhere is fatal.
+    """
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, payload = line[:8], line[9:]
+    try:
+        stored_crc = int(crc_text, 16)
+    except ValueError:
+        return None
+    if stored_crc != crc32_text(payload):
+        return None
+    return payload
 
 
 def fsync_directory(directory: Path) -> None:

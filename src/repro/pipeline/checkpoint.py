@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import IO, Any
 
 from repro.exceptions import CheckpointError
-from repro.io_util import crc32_text, write_atomic_json
+from repro.io_util import decode_crc_line, encode_crc_line, write_atomic_json
 
 __all__ = ["RunCheckpoint", "read_manifest"]
 
@@ -169,14 +169,8 @@ class RunCheckpoint:
     @staticmethod
     def _parse_line(line: str) -> "dict[str, Any] | None":
         """One ``<crc8hex> <json>`` journal line, or None if damaged."""
-        if len(line) < 10 or line[8] != " ":
-            return None
-        crc_text, payload = line[:8], line[9:]
-        try:
-            stored_crc = int(crc_text, 16)
-        except ValueError:
-            return None
-        if stored_crc != crc32_text(payload):
+        payload = decode_crc_line(line)
+        if payload is None:
             return None
         try:
             entry = json.loads(payload)
@@ -195,7 +189,7 @@ class RunCheckpoint:
         payload = json.dumps(entry, separators=(",", ":"), sort_keys=True)
         if self._journal is None:
             self._journal = self.journal_path.open("a", encoding="utf-8")
-        self._journal.write(f"{crc32_text(payload):08x} {payload}\n")
+        self._journal.write(encode_crc_line(payload))
         self._journal.flush()
         os.fsync(self._journal.fileno())
 

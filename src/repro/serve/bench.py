@@ -22,6 +22,7 @@ or programmatically via :func:`run_bench`.
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time
 from pathlib import Path
 
@@ -86,6 +87,7 @@ async def _bench(
     spec: str,
     batch: int,
     seed: int,
+    wal_dir: "Path | None",
 ) -> dict:
     workload = make_workload(sessions, fixes_per_session, seed)
     server = TrajectoryServer(
@@ -93,6 +95,7 @@ async def _bench(
         max_sessions=sessions,      # induced limit: extras must be rejected
         idle_timeout_s=3600.0,      # nothing may be evicted mid-bench
         sweep_interval_s=3600.0,
+        wal_dir=wal_dir,
     )
     await server.start()
     try:
@@ -172,6 +175,11 @@ async def _bench(
             },
             "server_stats": stats,
         }
+        if wal_dir is not None:
+            # Only present on WAL runs: the perf gate compares configs
+            # for exact equality, so WAL-off reports must stay
+            # byte-compatible with pre-WAL baselines.
+            report["config"]["wal"] = True
         if failures:
             report["failed"] = True
             report["failures"] = failures
@@ -218,6 +226,7 @@ def run_bench(
     batch: int = 1,
     seed: int = 7,
     output: Path | str | None = DEFAULT_OUTPUT,
+    wal: bool = False,
 ) -> dict:
     """Run the load benchmark; returns (and optionally writes) the report.
 
@@ -231,6 +240,9 @@ def run_bench(
         seed: workload RNG seed.
         output: where to write the JSON report (atomically); ``None``
             skips the write.
+        wal: run the server with a write-ahead log (in a temporary
+            directory, deleted afterwards) — measures the fsync-per-group
+            durability overhead against the WAL-off numbers.
 
     Raises:
         ServeError: a session failed or its retained stream diverged
@@ -241,9 +253,18 @@ def run_bench(
     """
     if sessions < 1 or fixes_per_session < 2:
         raise ValueError("need at least 1 session and 2 fixes per session")
-    report = asyncio.run(
-        _bench(sessions, fixes_per_session, rejects, spec, batch, seed)
-    )
+    if wal:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-wal-") as tmp:
+            report = asyncio.run(
+                _bench(
+                    sessions, fixes_per_session, rejects, spec, batch, seed,
+                    Path(tmp) / "wal",
+                )
+            )
+    else:
+        report = asyncio.run(
+            _bench(sessions, fixes_per_session, rejects, spec, batch, seed, None)
+        )
     if output is not None:
         write_atomic_json(Path(output), report)
     if report.get("failed"):

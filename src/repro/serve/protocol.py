@@ -52,14 +52,16 @@ __all__ = [
 ]
 
 #: Version announced in ``stats`` responses; bump on wire changes.
-PROTOCOL_VERSION = 1
+#: v2 added per-session append sequence numbers, the ``resume`` verb,
+#: and the ``wal-failure`` / ``bad-seq`` error codes.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one protocol line (requests *and* responses). Bounds
 #: per-connection buffering; a batched append must stay under it.
 MAX_LINE_BYTES = 1_048_576
 
 #: The request verbs the server understands.
-OPS = ("open", "append", "close", "flush", "stats")
+OPS = ("open", "append", "resume", "close", "flush", "stats")
 
 #: Machine-readable error codes carried by ``ok: false`` responses.
 ERROR_CODES = (
@@ -67,11 +69,14 @@ ERROR_CODES = (
     "bad-request",     # missing/ill-typed fields, unknown op, oversized line
     "bad-spec",        # compressor spec unparsable or not streamable
     "bad-fix",         # a fix was not [t, x, y] with finite numbers
+    "bad-seq",         # append sequence number left a gap; resume first
     "rejected",        # admission control: session limit reached
     "duplicate-session",
     "unknown-session",
     "out-of-order",    # fix timestamp did not advance the session clock
     "storage",         # the store refused the flush (e.g. id collision)
+    "wal-failure",     # the write-ahead log could not commit durably
+    "timeout",         # client-side only: no response within the deadline
     "internal",
 )
 

@@ -34,8 +34,9 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from repro.exceptions import ReproError, ServeError
+from repro.exceptions import ReproError, ServeError, WalError
 from repro.obs import LATENCY_BUCKETS_MS, Registry, span
+from repro.serve.faults import FaultInjector
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -49,6 +50,7 @@ from repro.serve.protocol import (
     render_fixes,
 )
 from repro.serve.session import SessionManager
+from repro.serve.wal import WalWriter
 from repro.storage.store import TrajectoryStore
 
 __all__ = ["TrajectoryServer"]
@@ -83,6 +85,13 @@ class TrajectoryServer:
         default_spec: compressor spec applied to ``open`` requests that
             carry none (the CLI's ``--algorithm`` flag); an open with an
             explicit spec still wins.
+        wal_dir: when set, a :class:`~repro.serve.wal.WalWriter` over
+            this directory makes every acknowledged request durable
+            (group commit before the response is written), and
+            :meth:`start` replays its surviving sessions. Crash safety
+            costs one fsync per group of in-flight requests.
+        faults: optional fault injector threaded into the WAL (chaos
+            harness only).
         metrics: shared registry; one is created if absent.
         clock: monotonic time source, injectable for tests.
     """
@@ -101,6 +110,8 @@ class TrajectoryServer:
         durable: bool = True,
         replace: bool = False,
         default_spec: str | None = None,
+        wal_dir: str | Path | None = None,
+        faults: FaultInjector | None = None,
         metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -126,6 +137,9 @@ class TrajectoryServer:
             # Route the store's flush/load instrumentation into this
             # server's registry so the STATS verb sees it.
             store.metrics = self.metrics
+        self.wal: WalWriter | None = None
+        if wal_dir is not None:
+            self.wal = WalWriter(wal_dir, durable=durable, faults=faults)
         self.manager = SessionManager(
             store,
             max_sessions=max_sessions,
@@ -133,6 +147,7 @@ class TrajectoryServer:
             store_path=store_path,
             durable=durable,
             replace=replace,
+            wal=self.wal,
             metrics=self.metrics,
             clock=clock,
         )
@@ -144,6 +159,9 @@ class TrajectoryServer:
         self._connections: set[asyncio.Task | None] = set()
         self._started_at: float | None = None
         self._clock = clock
+        self._draining = False
+        #: What :meth:`start`'s WAL replay recovered (None = no WAL).
+        self.recovery: dict | None = None
 
     @property
     def store(self) -> TrajectoryStore:
@@ -155,9 +173,17 @@ class TrajectoryServer:
     # ------------------------------------------------------------------ #
 
     async def start(self) -> "TrajectoryServer":
-        """Bind the listening socket and start the eviction sweeper."""
+        """Bind the listening socket and start the eviction sweeper.
+
+        When a WAL is configured, its surviving sessions are replayed
+        into live state *before* the socket opens: a client that
+        reconnects after a crash finds its session at the exact
+        sequence number the server last acknowledged.
+        """
         if self._server is not None:
             raise ServeError("server already started", code="internal")
+        if self.wal is not None:
+            self.recovery = self.manager.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -181,7 +207,68 @@ class TrajectoryServer:
             await self.stop()
 
     async def stop(self) -> None:
-        """Stop listening, cancel the sweeper, persist the store file."""
+        """Stop listening, cancel the sweeper, persist the store file.
+
+        Live sessions stay unflushed — with a WAL they survive in the
+        log and a restart recovers them; use :meth:`drain` to flush
+        everything out instead.
+        """
+        await self._shutdown_tasks()
+        if self.wal is not None and not self.wal.failed:
+            # Make any staged-but-uncommitted truncation markers durable
+            # so a clean stop does not leave dead segments behind.
+            with contextlib.suppress(ServeError):
+                self.wal.commit_sync()
+            self.wal.close()
+        self.manager.persist()
+
+    async def drain(self) -> dict:
+        """Graceful shutdown: stop accepting, flush every session, persist.
+
+        The SIGTERM/SIGINT path. Every live session is finalized and
+        landed in the store exactly as a client ``close`` would land it,
+        truncation markers are committed, and the store file is
+        persisted — after a drain the WAL directory is empty of live
+        sessions and a restart recovers nothing.
+
+        Returns:
+            ``{"flushed": [ids...], "failed": n}``.
+        """
+        self._draining = True
+        await self._shutdown_tasks()
+        before = self.metrics.counter("drain_flush_failures").value
+        flushed = self.manager.flush_all()
+        failed = self.metrics.counter("drain_flush_failures").value - before
+        if self.wal is not None and not self.wal.failed:
+            with contextlib.suppress(ServeError):
+                self.wal.commit_sync()
+            self.wal.close()
+        self.manager.persist()
+        return {"flushed": flushed, "failed": failed}
+
+    def abort(self) -> None:
+        """Crash simulation: drop everything without flushing a byte.
+
+        Closes the listening socket and the WAL handle with no commit,
+        no flush and no persist — the harness uses this to model a hard
+        failure inside one process, then proves recovery from the WAL
+        alone.
+        """
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for task in list(self._connections):
+            if task is not None:
+                task.cancel()
+        self._connections.clear()
+        if self.wal is not None:
+            self.wal.close()
+
+    async def _shutdown_tasks(self) -> None:
+        """Stop the listener, sweeper and connection tasks."""
         if self._sweeper is not None:
             self._sweeper.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -200,12 +287,17 @@ class TrajectoryServer:
                 return_exceptions=True,
             )
             self._connections.clear()
-        self.manager.persist()
 
     async def _sweep_loop(self) -> None:
         while True:
             await asyncio.sleep(self.sweep_interval_s)
             self.manager.evict_idle()
+            if self.wal is not None and self.wal.pending_records:
+                # Evictions stage truncation markers outside any request;
+                # commit them here so idle segments can be reclaimed. A
+                # failure sticks and the next request reports it.
+                with contextlib.suppress(ServeError):
+                    await self.wal.commit()
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -280,6 +372,27 @@ class TrajectoryServer:
                 )
             else:
                 response = self._handle_line(item)
+            if self.wal is not None and self.wal.pending_records:
+                # Durability barrier: whatever this request staged must
+                # hit disk before its acknowledgement leaves the process.
+                # Concurrent connections parked on the same commit ride
+                # one fsync (group commit).
+                try:
+                    await self.wal.commit()
+                except WalError as exc:
+                    # Unknown durability: anything staged since the last
+                    # good commit may or may not be on disk. Discard the
+                    # affected sessions (a restart recovers their durable
+                    # prefix) and tell the client instead of acking.
+                    for sid in self.wal.dirty_sessions():
+                        self.manager.discard(sid)
+                    self.metrics.counter("requests_failed").inc()
+                    response = error_response(
+                        response.get("op"),
+                        exc.code,
+                        str(exc),
+                        response.get("session"),
+                    )
             if write_ok:
                 try:
                     writer.write(encode_message(response))
@@ -310,6 +423,8 @@ class TrajectoryServer:
                 return self._op_open(message)
             if op == "append":
                 return self._op_append(message)
+            if op == "resume":
+                return self._op_resume(message)
             if op == "close":
                 return self._op_close(message)
             if op == "flush":
@@ -319,7 +434,8 @@ class TrajectoryServer:
             return error_response(
                 op if isinstance(op, str) else None,
                 "bad-request",
-                f"unknown op {op!r}; valid ops: open, append, close, flush, stats",
+                f"unknown op {op!r}; valid ops: open, append, resume, "
+                f"close, flush, stats",
                 session_str,
             )
         except ServeError as exc:
@@ -342,6 +458,14 @@ class TrajectoryServer:
     def _op_append(self, message: dict) -> dict:
         started = time.perf_counter()
         session_id = message.get("session")
+        seq = message.get("seq")
+        if seq is not None and (
+            isinstance(seq, bool) or not isinstance(seq, int) or seq < 1
+        ):
+            raise ServeError(
+                f"'seq' must be a positive integer, got {seq!r}",
+                code="bad-request",
+            )
         if "fixes_flat" in message:
             fixes = parse_flat_fixes(message["fixes_flat"])
         elif "fixes" in message:
@@ -356,7 +480,7 @@ class TrajectoryServer:
             )
         try:
             with span("serve.append", fixes=len(fixes)):
-                retained = self.manager.append_many(session_id, fixes)
+                outcome = self.manager.append_batch(session_id, fixes, seq=seq)
         except ServeError as exc:
             # Mid-batch failure: fixes before the bad one are already in
             # the session; report what they decided so nothing the client
@@ -369,12 +493,47 @@ class TrajectoryServer:
                 session_str,
                 retained=render_fixes(exc.retained),
             )
-        self._latency.observe((time.perf_counter() - started) * 1e3)
+        session_str = session_id if isinstance(session_id, str) else None
+        if outcome.error is not None:
+            response = error_response(
+                "append",
+                "out-of-order",
+                str(outcome.error),
+                session_str,
+                seq=outcome.seq,
+                retained=render_fixes(outcome.retained),
+            )
+        else:
+            self._latency.observe((time.perf_counter() - started) * 1e3)
+            response = ok_response(
+                "append",
+                session_str,
+                seq=outcome.seq,
+                retained=render_fixes(outcome.retained),
+                n_retained=len(outcome.retained),
+            )
+        if outcome.duplicate:
+            response["duplicate"] = True
+        return response
+
+    def _op_resume(self, message: dict) -> dict:
+        """Where a session stands, for reconnecting clients.
+
+        Reports the last acknowledged sequence number (so the client
+        re-sends exactly the unacknowledged suffix), the session's spec
+        and whether it was rebuilt from the WAL. An unknown session
+        raises ``unknown-session`` — the client opens a fresh one.
+        """
+        session_id = message.get("session")
+        session = self.manager.get(session_id)
         return ok_response(
-            "append",
-            session_id,
-            retained=render_fixes(retained),
-            n_retained=len(retained),
+            "resume",
+            session.object_id,
+            seq=session.last_seq,
+            spec=session.spec,
+            recovered=session.recovered,
+            fixes_in=session.n_fixes_in,
+            n_retained=session.n_retained,
         )
 
     def _op_close(self, message: dict) -> dict:
@@ -407,6 +566,8 @@ class TrajectoryServer:
         payload = self.manager.stats()
         payload.update(
             protocol_version=PROTOCOL_VERSION,
+            draining=self._draining,
+            recovery=self.recovery,
             uptime_s=(
                 None
                 if self._started_at is None

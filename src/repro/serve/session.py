@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.exceptions import ReproError, ServeError, StorageError, StreamError
 from repro.obs import Registry, span
+from repro.serve.wal import WalWriter
 from repro.storage.store import StoredRecord, TrajectoryStore
 from repro.streaming.base import OnlineCompressor
 from repro.streaming.registry import make_online_compressor
@@ -41,7 +43,27 @@ from repro.trajectory.builder import TrajectoryBuilder
 from repro.trajectory.trajectory import Trajectory
 from repro.types import Fix
 
-__all__ = ["Session", "SessionManager"]
+__all__ = ["AppendOutcome", "Session", "SessionManager"]
+
+#: Bound on the diagnostic failure lists kept for the ``stats`` verb.
+MAX_RECORDED_FAILURES = 16
+
+
+@dataclass
+class AppendOutcome:
+    """What one (possibly replayed) append batch did.
+
+    ``duplicate`` marks an idempotent re-send: a batch whose sequence
+    number the session has already applied. For the most recent batch
+    the cached decisions are replayed verbatim (``retained``/``error``
+    come from the original application); older duplicates return empty.
+    """
+
+    seq: int
+    retained: "list[Fix]" = field(default_factory=list)
+    accepted: int = 0
+    duplicate: bool = False
+    error: "StreamError | None" = None
 
 
 class Session:
@@ -57,6 +79,9 @@ class Session:
         "n_retained",
         "opened_at",
         "last_active",
+        "last_seq",
+        "last_outcome",
+        "recovered",
     )
 
     def __init__(
@@ -71,6 +96,13 @@ class Session:
         self.n_retained = 0
         self.opened_at = now
         self.last_active = now
+        #: Highest applied append sequence number (0 = none yet).
+        self.last_seq = 0
+        #: Cached :class:`AppendOutcome` of the batch at ``last_seq``,
+        #: replayed verbatim when a client idempotently re-sends it.
+        self.last_outcome: "AppendOutcome | None" = None
+        #: True when this session was rebuilt from the WAL at startup.
+        self.recovered = False
 
     def append(self, fix: Fix, now: float) -> list[Fix]:
         """Push one fix; returns the fixes its arrival decided as retained.
@@ -143,6 +175,8 @@ class Session:
             "retained": self.n_retained,
             "state_size": self.compressor.state_size,
             "idle_s": max(0.0, now - self.last_active),
+            "last_seq": self.last_seq,
+            "recovered": self.recovered,
         }
 
 
@@ -157,6 +191,11 @@ class SessionManager:
             after every flush (close or eviction).
         durable: fsync on persist (the store's ``save`` durability knob).
         replace: allow a flush to overwrite an existing stored id.
+        wal: optional :class:`~repro.serve.wal.WalWriter`; when present
+            every open and append batch is staged into it *before* being
+            applied, and a flush stages the truncation marker after the
+            store accepted the trajectory. Call :meth:`recover` to
+            replay its surviving sessions.
         metrics: shared observability registry (one is created if absent).
         clock: monotonic time source, injectable for tests.
     """
@@ -170,6 +209,7 @@ class SessionManager:
         store_path: str | Path | None = None,
         durable: bool = True,
         replace: bool = False,
+        wal: WalWriter | None = None,
         metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -183,11 +223,17 @@ class SessionManager:
         self.store_path = None if store_path is None else Path(store_path)
         self.durable = durable
         self.replace = replace
+        self.wal = wal
         self.metrics = metrics if metrics is not None else Registry()
         self._clock = clock
         # Ordered least-recently-active first: append moves to the end,
         # so eviction scans from the front and stops at the first keeper.
         self._sessions: OrderedDict[str, Session] = OrderedDict()
+        #: Bounded diagnostics for the ``stats`` verb: most recent
+        #: flush failures swallowed by the idle sweep, and sessions the
+        #: recovery replay could not rebuild.
+        self.last_evict_failures: list[dict] = []
+        self.last_recovery_failures: list[dict] = []
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -239,6 +285,11 @@ class SessionManager:
             compressor = make_online_compressor(spec)
         except (ReproError, ValueError, KeyError) as exc:
             raise ServeError(str(exc), code="bad-spec") from exc
+        if self.wal is not None:
+            # Staged before the session exists: recovery must know the
+            # spec of every session it may be asked to replay. A failed
+            # WAL refuses the open (WalError carries code "wal-failure").
+            self.wal.stage_open(session_id, spec)
         session = Session(session_id, spec, compressor, self._clock())
         self._sessions[session_id] = session
         self.metrics.counter("sessions_opened").inc()
@@ -266,16 +317,7 @@ class SessionManager:
         Raises:
             ServeError: ``unknown-session`` or ``out-of-order``.
         """
-        session = self.get(session_id)
-        try:
-            kept = session.append(fix, self._clock())
-        except StreamError as exc:
-            raise ServeError(str(exc), code="out-of-order") from exc
-        self._sessions.move_to_end(session.object_id)
-        self.metrics.counter("fixes_in").inc()
-        self.metrics.counter("fixes_retained").inc(len(kept))
-        self.metrics.counter(f"fixes_in.{session.algorithm}").inc()
-        return kept
+        return self.append_many(session_id, [fix])
 
     def append_many(self, session_id: object, fixes: Sequence[Fix]) -> list[Fix]:
         """Push a batch of fixes into a session; returns the retained ones.
@@ -292,18 +334,76 @@ class SessionManager:
                 usable) and the fixes it retained are attached to the
                 error as ``retained``, so callers can report them.
         """
+        outcome = self.append_batch(session_id, fixes)
+        if outcome.error is not None:
+            raise ServeError(
+                str(outcome.error), code="out-of-order", retained=outcome.retained
+            ) from outcome.error
+        return outcome.retained
+
+    def append_batch(
+        self, session_id: object, fixes: Sequence[Fix], *, seq: int | None = None
+    ) -> AppendOutcome:
+        """Apply one sequenced append batch; the WAL-aware core path.
+
+        ``seq`` is the batch's per-session monotonic sequence number
+        (``None`` auto-assigns the next one, which is what sequence-
+        unaware clients get). The contract that makes reconnects safe:
+
+        * ``seq == last_seq + 1`` — the next batch: staged into the WAL
+          (when one is configured) *before* being applied, so a crash
+          after acknowledgement can always replay it;
+        * ``seq == last_seq`` — an idempotent re-send of the most recent
+          batch (a client that never saw its ack): nothing is re-applied
+          and the cached decisions are returned verbatim;
+        * ``seq < last_seq`` — an older duplicate: nothing is applied,
+          an empty outcome marked ``duplicate`` is returned;
+        * ``seq > last_seq + 1`` — a gap: rejected with code
+          ``bad-seq`` (the client must RESUME and re-send).
+
+        Raises:
+            ServeError: ``unknown-session``, ``bad-seq``, or
+                ``wal-failure`` when the configured WAL has failed.
+        """
         session = self.get(session_id)
+        if seq is None:
+            seq = session.last_seq + 1
+        if seq <= session.last_seq:
+            self.metrics.counter("appends_duplicate").inc()
+            if seq == session.last_seq and session.last_outcome is not None:
+                cached = session.last_outcome
+                return AppendOutcome(
+                    seq=seq,
+                    retained=list(cached.retained),
+                    accepted=cached.accepted,
+                    duplicate=True,
+                    error=cached.error,
+                )
+            return AppendOutcome(seq=seq, duplicate=True)
+        if seq > session.last_seq + 1:
+            raise ServeError(
+                f"append sequence gap for session {session.object_id!r}: "
+                f"got seq {seq}, expected {session.last_seq + 1} "
+                f"(resume and re-send)",
+                code="bad-seq",
+            )
+        if self.wal is not None:
+            # Log-before-apply: once this batch is acknowledged it is in
+            # the WAL; replay applies it through the same deterministic
+            # code path, mid-batch rejections included.
+            self.wal.stage_append(session.object_id, seq, fixes)
         kept, accepted, error = session.append_many(fixes, self._clock())
         self._sessions.move_to_end(session.object_id)
         counter = self.metrics.counter
         counter("fixes_in").inc(accepted)
         counter("fixes_retained").inc(len(kept))
         counter(f"fixes_in.{session.algorithm}").inc(accepted)
-        if error is not None:
-            raise ServeError(
-                str(error), code="out-of-order", retained=kept
-            ) from error
-        return kept
+        outcome = AppendOutcome(
+            seq=seq, retained=kept, accepted=accepted, error=error
+        )
+        session.last_seq = seq
+        session.last_outcome = outcome
+        return outcome
 
     def close(self, session_id: object) -> tuple[StoredRecord | None, list[Fix]]:
         """End a session: finish the window and flush it into the store.
@@ -328,7 +428,9 @@ class SessionManager:
 
         Scans in least-recently-active order and stops at the first
         non-idle session. A flush failure during eviction is counted
-        (``evict_flush_failures``) but does not stop the sweep — the
+        (``evict_flush_failures``) and recorded — exception repr plus
+        session id land in the bounded :attr:`last_evict_failures` list
+        the ``stats`` verb exposes — but does not stop the sweep: the
         session is discarded regardless, because keeping a dead window
         live would pin the capacity the sweep exists to reclaim.
 
@@ -344,10 +446,111 @@ class SessionManager:
             self.metrics.counter("sessions_evicted").inc()
             try:
                 self._flush(session)
-            except ServeError:
+            except ServeError as exc:
                 self.metrics.counter("evict_flush_failures").inc()
+                self._record_failure(
+                    self.last_evict_failures, session_id, exc
+                )
             evicted.append(session_id)
         return evicted
+
+    def discard(self, session_id: object) -> None:
+        """Drop a live session without flushing it (no store insert).
+
+        Used when the WAL fails mid-commit: the session's in-memory
+        state may be ahead of what is durable, so it must not be acked,
+        flushed, or resumed — recovery after restart rebuilds the
+        durable prefix instead. Unknown ids are ignored.
+        """
+        if isinstance(session_id, str) and self._sessions.pop(session_id, None):
+            self.metrics.counter("sessions_discarded").inc()
+
+    def flush_all(self) -> list[str]:
+        """Flush and end every live session (graceful drain).
+
+        Failures are recorded like eviction failures (the drain must
+        visit every session, not stop at the first broken one).
+
+        Returns:
+            Ids of the sessions that flushed cleanly.
+        """
+        flushed: list[str] = []
+        for session_id, session in list(self._sessions.items()):
+            del self._sessions[session_id]
+            try:
+                self._flush(session)
+            except ServeError as exc:
+                self.metrics.counter("drain_flush_failures").inc()
+                self._record_failure(
+                    self.last_evict_failures, session_id, exc
+                )
+            else:
+                flushed.append(session_id)
+        return flushed
+
+    def recover(self) -> dict:
+        """Replay the WAL's surviving sessions into live state.
+
+        Call once at startup, before serving. Every unflushed session in
+        the WAL is rebuilt by replaying its logged append batches
+        through a fresh compressor — streaming compression is
+        deterministic, so the rebuilt state (retained points included)
+        is byte-identical to the pre-crash acknowledged state. Recovered
+        sessions are marked ``recovered`` and keep their sequence
+        numbers, so a reconnecting client can RESUME and continue.
+
+        A session whose spec no longer parses (or whose replay fails) is
+        recorded in :attr:`last_recovery_failures` and skipped; one bad
+        session never blocks the rest.
+
+        Returns:
+            ``{"sessions": n, "fixes": n, "failed": n, "dropped_lines": n}``.
+        """
+        if self.wal is None:
+            return {"sessions": 0, "fixes": 0, "failed": 0, "dropped_lines": 0}
+        recovered_sessions = 0
+        recovered_fixes = 0
+        failed = 0
+        now = self._clock()
+        for rec in self.wal.recovered.live_sessions.values():
+            try:
+                compressor = make_online_compressor(rec.spec)
+                session = Session(rec.session_id, rec.spec, compressor, now)
+                for seq, fixes in rec.appends:
+                    # Replay applies acknowledged batches through the
+                    # exact code path that applied them originally;
+                    # mid-batch StreamErrors are re-decided identically
+                    # and deliberately not re-raised.
+                    kept, accepted, error = session.append_many(fixes, now)
+                    session.last_seq = seq
+                    session.last_outcome = AppendOutcome(
+                        seq=seq, retained=kept, accepted=accepted, error=error
+                    )
+                    recovered_fixes += accepted
+            except (ReproError, ValueError, KeyError) as exc:
+                failed += 1
+                self.metrics.counter("sessions_recovery_failed").inc()
+                self._record_failure(
+                    self.last_recovery_failures, rec.session_id, exc
+                )
+                continue
+            session.recovered = True
+            self._sessions[rec.session_id] = session
+            recovered_sessions += 1
+            self.metrics.counter("sessions_recovered").inc()
+        return {
+            "sessions": recovered_sessions,
+            "fixes": recovered_fixes,
+            "failed": failed,
+            "dropped_lines": self.wal.recovered.dropped_lines,
+        }
+
+    @staticmethod
+    def _record_failure(bucket: list[dict], session_id: str, exc: Exception) -> None:
+        """Append a bounded diagnostic record (session id + error repr)."""
+        bucket.append({"session": session_id, "error": repr(exc)})
+        if len(bucket) > MAX_RECORDED_FAILURES:
+            del bucket[: len(bucket) - MAX_RECORDED_FAILURES]
 
     # ------------------------------------------------------------------ #
     # Flush & stats
@@ -357,6 +560,10 @@ class SessionManager:
         """Finalize a session and land it in the store (+ store file)."""
         trajectory, tail = session.finalize()
         if trajectory is None:
+            if self.wal is not None and not self.wal.failed:
+                # Even an empty session must leave a truncation marker,
+                # or its open record would pin WAL segments forever.
+                self.wal.stage_flushed(session.object_id)
             return None, tail
         with span("serve.flush", session=session.object_id), \
                 self.metrics.timer("flush_s").time(), \
@@ -366,7 +573,10 @@ class SessionManager:
                     trajectory,
                     object_id=session.object_id,
                     compressor=None,  # points were already chosen online
-                    replace=self.replace,
+                    # A recovered session may have flushed just before the
+                    # crash reached its WAL truncation marker; replay is
+                    # deterministic, so overwriting is the safe outcome.
+                    replace=self.replace or session.recovered,
                     raw_point_count=session.n_fixes_in,
                     sync_error_bound_m=session.compressor.sync_error_bound(),
                 )
@@ -376,6 +586,12 @@ class SessionManager:
             self.metrics.counter("fixes_flushed").inc(record.n_stored_points)
             self.metrics.counter("flushed_bytes").inc(record.stored_bytes)
             self.persist()
+        if self.wal is not None and not self.wal.failed:
+            # Truncation marker: only after the store durably holds the
+            # trajectory may the WAL forget this session. The marker is
+            # staged here and rides the next group commit; a crash in
+            # between merely re-flushes on recovery (replace-safe above).
+            self.wal.stage_flushed(session.object_id)
         return record, tail
 
     def persist(self) -> None:
@@ -387,7 +603,9 @@ class SessionManager:
         """JSON-ready counters answering the ``stats`` verb.
 
         Reports live occupancy plus every lifecycle counter (opened,
-        rejected, evicted, flushed) and fix throughput.
+        rejected, evicted, recovered, flushed), fix throughput, the
+        bounded failure diagnostics, and — when a WAL is configured —
+        its commit/segment counters.
         """
         counter = self.metrics.counter
         exported = self.metrics.to_dict()["counters"] if self.metrics.enabled else {}
@@ -396,7 +614,7 @@ class SessionManager:
             for name, value in exported.items()
             if name.startswith("fixes_in.")
         }
-        return {
+        stats = {
             "live_sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
             "idle_timeout_s": self.idle_timeout_s,
@@ -405,8 +623,15 @@ class SessionManager:
             "sessions_rejected": counter("sessions_rejected").value,
             "sessions_evicted": counter("sessions_evicted").value,
             "sessions_flushed": counter("sessions_flushed").value,
+            "sessions_recovered": counter("sessions_recovered").value,
+            "sessions_discarded": counter("sessions_discarded").value,
             "fixes_in": counter("fixes_in").value,
             "fixes_retained": counter("fixes_retained").value,
             "fixes_flushed": counter("fixes_flushed").value,
             "fixes_in_by_algorithm": by_algorithm,
+            "last_evict_failures": list(self.last_evict_failures),
+            "last_recovery_failures": list(self.last_recovery_failures),
         }
+        if self.wal is not None:
+            stats["wal"] = self.wal.stats()
+        return stats

@@ -1,0 +1,40 @@
+"""pytest-facing surface of the fault-injection harness.
+
+The scenarios themselves live in :mod:`repro.serve.chaos` so the
+``repro serve-chaos`` CLI entrypoint can run them without importing the
+test tree; this module re-exports them for the test suite and holds the
+pytest-specific glue (which scenarios are subprocess-heavy and belong
+behind the ``slow`` marker).
+
+Run them all: ``pytest -m chaos`` (add ``-m "chaos or slow"`` semantics
+via ``-m "chaos" --override-ini addopts=''`` to include ``sigkill``, or
+use ``repro serve-chaos``).
+"""
+
+from __future__ import annotations
+
+from repro.serve.chaos import (
+    SCENARIOS,
+    ScenarioResult,
+    make_fixes,
+    reference_selection,
+    run_chaos,
+    run_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "FAST_SCENARIOS",
+    "SLOW_SCENARIOS",
+    "ScenarioResult",
+    "make_fixes",
+    "reference_selection",
+    "run_chaos",
+    "run_scenario",
+]
+
+#: In-process scenarios: fast enough for every CI run.
+FAST_SCENARIOS = tuple(name for name in SCENARIOS if name != "sigkill")
+
+#: Scenarios that spawn real server subprocesses (``slow``-marked).
+SLOW_SCENARIOS = ("sigkill",)

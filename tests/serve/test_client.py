@@ -1,0 +1,202 @@
+"""Client-side durability behaviour: timeouts, reconnects, idempotence.
+
+The server-side contract (sequence numbers, dedup, WAL recovery) is
+tested in ``test_server.py`` and the chaos harness; this file exercises
+the client half — the per-request deadline, the retained prefix carried
+on append errors, and :class:`DurableServeClient`'s redial + resume +
+re-send loop against a real server restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve.client import DurableServeClient, ServeClient
+from repro.serve.server import TrajectoryServer
+from repro.types import Fix
+
+from tests.serve.harness import connected, run_async, running_server
+
+pytestmark = pytest.mark.serve
+
+
+def walk(n: int, t0: float = 0.0) -> list[Fix]:
+    return [Fix(t0 + i, float(i * 7 % 13), float(i * 5 % 11)) for i in range(n)]
+
+
+class TestRequestTimeout:
+    def test_unresponsive_server_times_out_and_breaks_the_connection(self):
+        async def scenario():
+            async def black_hole(reader, writer):
+                await asyncio.sleep(3600)
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                client = await ServeClient.connect(
+                    "127.0.0.1", port, timeout=0.1
+                )
+                with pytest.raises(ServeError) as err:
+                    await client.request({"op": "stats"})
+                broken = client.broken
+                await client.aclose()
+                return err.value.code, broken
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        code, broken = run_async(scenario())
+        assert code == "timeout"
+        # A late response would desynchronise request/response pairing;
+        # the connection must not be reused.
+        assert broken is True
+
+    def test_append_error_carries_the_retained_prefix(self):
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("s", "opw-tr:epsilon=10")
+                    try:
+                        await client.append(
+                            "s",
+                            [Fix(0.0, 0.0, 0.0), Fix(1.0, 50.0, 0.0),
+                             Fix(0.5, 60.0, 0.0)],  # time rewinds
+                        )
+                    except ServeError as exc:
+                        return exc
+            return None
+
+        error = run_async(scenario())
+        assert error is not None and error.code == "out-of-order"
+        # The accepted prefix's decisions ride the error as Fix values.
+        assert error.retained and error.retained[0] == Fix(0.0, 0.0, 0.0)
+
+
+class TestSequenceNumbers:
+    def test_resend_same_seq_replays_cached_ack(self):
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("s", "opw-tr:epsilon=10")
+                    first = await client.append_response(
+                        "s", walk(5), seq=1
+                    )
+                    replay = await client.append_response(
+                        "s", walk(5), seq=1
+                    )
+                    return first, replay, server.manager.get("s").n_fixes_in
+
+        first, replay, n_in = run_async(scenario())
+        assert "duplicate" not in first
+        assert replay["duplicate"] is True
+        assert replay["retained"] == first["retained"]
+        assert n_in == 5  # applied once, not twice
+
+    def test_gap_is_rejected_with_bad_seq(self):
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("s", "opw-tr:epsilon=10")
+                    await client.append("s", walk(3), seq=1)
+                    with pytest.raises(ServeError) as err:
+                        await client.append("s", walk(3, t0=10.0), seq=5)
+                    return err.value.code
+
+        assert run_async(scenario()) == "bad-seq"
+
+    def test_resume_reports_last_acked_seq(self):
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("s", "nopw:epsilon=15")
+                    await client.append("s", walk(4), seq=1)
+                    await client.append("s", walk(4, t0=10.0), seq=2)
+                async with connected(server) as fresh:
+                    return await fresh.resume("s")
+
+        resumed = run_async(scenario())
+        assert resumed["seq"] == 2
+        assert resumed["spec"] == "nopw:epsilon=15"
+        assert resumed["recovered"] is False
+        assert resumed["fixes_in"] == 8
+
+
+class TestDurableClient:
+    def test_survives_server_restart_with_wal(self, tmp_path):
+        """Stop the server mid-stream, restart over the same WAL, finish.
+
+        The durable client redials with backoff, resumes, and the final
+        stored object holds every fix exactly once.
+        """
+
+        async def scenario():
+            wal_dir = tmp_path / "wal"
+            store_path = tmp_path / "client.rsto"
+            first = TrajectoryServer(
+                port=0, wal_dir=wal_dir, store_path=store_path
+            )
+            await first.start()
+            port = first.port
+            client = DurableServeClient(
+                "127.0.0.1", port, timeout=5.0, max_retries=20,
+                backoff_base_s=0.01, backoff_max_s=0.05,
+            )
+            fixes = walk(30)
+            async with client:
+                await client.open("obj", "opw-tr:epsilon=10")
+                await client.append("obj", fixes[:10])
+                # Hard stop: sessions stay in the WAL, not the store.
+                first.abort()
+                second = TrajectoryServer(
+                    port=port, wal_dir=wal_dir, store_path=store_path
+                )
+                await second.start()
+                try:
+                    await client.append("obj", fixes[10:20])
+                    await client.append("obj", fixes[20:])
+                    summary = await client.close_session("obj")
+                    session_stats = await client.stats()
+                finally:
+                    await second.stop()
+            return client.reconnects, summary, session_stats
+
+        reconnects, summary, stats = run_async(scenario())
+        assert reconnects >= 1
+        assert summary["stored"] is not None
+        assert summary["stored"]["n_raw_points"] == 30  # nothing lost/doubled
+        assert stats["sessions_recovered"] == 1
+
+    def test_open_tolerates_duplicate_session_by_resuming(self):
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as plain:
+                    await plain.open("obj", "opw-tr:epsilon=10")
+                    await plain.append("obj", walk(5), seq=1)
+                client = DurableServeClient(
+                    server.host, server.port, timeout=5.0,
+                    backoff_base_s=0.01,
+                )
+                async with client:
+                    response = await client.open("obj", "opw-tr:epsilon=10")
+                    # Sequence numbering continues from the server's
+                    # acknowledged state, not from scratch.
+                    retained = await client.append("obj", walk(5, t0=10.0))
+                    return response, retained is not None
+
+        response, appended = run_async(scenario())
+        assert response["seq"] == 1  # the resume response
+        assert appended
+
+    def test_append_before_open_is_refused(self):
+        async def scenario():
+            async with running_server() as server:
+                client = DurableServeClient(server.host, server.port)
+                async with client:
+                    with pytest.raises(ServeError) as err:
+                        await client.append("ghost", walk(2))
+                    return err.value.code
+
+        assert run_async(scenario()) == "unknown-session"

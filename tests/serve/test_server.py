@@ -307,7 +307,7 @@ class TestPersistenceAndStats:
         assert stats["sessions_evicted"] == 1
         assert stats["sessions_flushed"] == 2  # the evicted one + the close
         assert stats["stored_objects"] == 2
-        assert stats["protocol_version"] == 1
+        assert stats["protocol_version"] == 2
         assert stats["connections_opened"] >= 1
         assert stats["uptime_s"] >= 0.0
         assert stats["append_latency_ms"]["count"] > 0
@@ -368,3 +368,57 @@ class TestStatsObservability:
         stats = run_async(scenario())
         assert stats["queue_depth"] == 0.0
         assert stats["metrics"]["gauges"]["queue_depth"] == 0.0
+
+
+class TestMidBatchDisconnect:
+    def test_socket_death_between_frames_keeps_the_applied_prefix(self):
+        """A connection dying mid-stream loses frames, never applied state.
+
+        The client fires one complete append frame plus the first half
+        of a second (no newline) and drops the socket. The complete
+        frame must be applied; the torn frame must vanish without
+        desynchronising the session, and a reconnect resumes exactly
+        after the applied prefix.
+        """
+        from repro.serve.protocol import encode_message
+
+        fixes = [Fix(float(i), float(i * 3 % 7), 0.0) for i in range(20)]
+
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("s", "opw-tr:epsilon=10")
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                whole = encode_message({
+                    "op": "append", "session": "s", "seq": 1,
+                    "fixes_flat": [v for f in fixes[:10] for v in f],
+                })
+                torn = encode_message({
+                    "op": "append", "session": "s", "seq": 2,
+                    "fixes_flat": [v for f in fixes[10:] for v in f],
+                })
+                writer.write(whole + torn[: len(torn) // 2])  # no newline
+                await writer.drain()
+                # The complete frame's response proves it was applied.
+                response = json.loads(await reader.readline())
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+                async with connected(server) as again:
+                    resumed = await again.resume("s")
+                    # Torn frame gone: seq 2 is still free and appending
+                    # it now continues the stream seamlessly.
+                    retained = await again.append("s", fixes[10:], seq=2)
+                    summary = await again.close_session("s")
+                return response, resumed, retained, summary
+
+        response, resumed, retained, summary = run_async(scenario())
+        assert response["ok"] is True and response["seq"] == 1
+        assert resumed["seq"] == 1
+        assert resumed["fixes_in"] == 10  # the torn frame applied nothing
+        assert summary["stored"]["n_raw_points"] == 20

@@ -291,3 +291,131 @@ class TestDurabilityAndStats:
             make_manager(clock, max_sessions=0)
         with pytest.raises(ValueError):
             make_manager(clock, idle_timeout_s=0.0)
+
+
+class TestEvictFailureDiagnostics:
+    def test_swallowed_evict_flush_failures_are_recorded(self, clock, zigzag):
+        """The idle sweep must not hide why a session's data was lost."""
+        manager = make_manager(clock, max_sessions=8)
+        points = fixes_of(zigzag)
+        # Pre-store the id so the eviction flush collides (replace=False).
+        manager.open("dup", "opw-tr:epsilon=30")
+        manager.append_many("dup", points)
+        manager.close("dup")
+        manager.open("dup", "opw-tr:epsilon=30")
+        manager.append_many("dup", points)
+        clock.advance(60.0)
+        evicted = manager.evict_idle()
+
+        assert evicted == ["dup"]
+        assert manager.metrics.counter("evict_flush_failures").value == 1
+        failures = manager.stats()["last_evict_failures"]
+        assert len(failures) == 1
+        assert failures[0]["session"] == "dup"
+        assert "ServeError" in failures[0]["error"]
+
+    def test_failure_list_is_bounded(self, clock):
+        from repro.serve.session import MAX_RECORDED_FAILURES
+
+        manager = make_manager(clock)
+        for i in range(MAX_RECORDED_FAILURES + 9):
+            manager._record_failure(
+                manager.last_evict_failures, f"s{i:03d}", ValueError("boom")
+            )
+        assert len(manager.last_evict_failures) == MAX_RECORDED_FAILURES
+        # Oldest entries are the ones dropped.
+        assert manager.last_evict_failures[0]["session"] == "s009"
+
+
+class TestSequencedAppends:
+    def test_append_batch_assigns_and_tracks_seq(self, clock, zigzag):
+        manager = make_manager(clock)
+        manager.open("z", "opw-tr:epsilon=30")
+        points = fixes_of(zigzag)
+        first = manager.append_batch("z", points[:4])
+        second = manager.append_batch("z", points[4:8])
+        assert (first.seq, second.seq) == (1, 2)
+        assert manager.get("z").last_seq == 2
+
+    def test_old_duplicate_returns_empty_outcome(self, clock, zigzag):
+        manager = make_manager(clock)
+        manager.open("z", "opw-tr:epsilon=30")
+        points = fixes_of(zigzag)
+        manager.append_batch("z", points[:4], seq=1)
+        manager.append_batch("z", points[4:8], seq=2)
+        stale = manager.append_batch("z", points[:4], seq=1)
+        assert stale.duplicate is True
+        assert stale.retained == [] and stale.accepted == 0
+        assert manager.get("z").n_fixes_in == 8  # nothing re-applied
+
+
+class TestManagerWithWal:
+    def test_lifecycle_is_journaled_and_truncated(self, clock, tmp_path, zigzag):
+        from repro.serve.wal import WalWriter, scan_wal
+
+        wal = WalWriter(tmp_path / "wal", durable=False)
+        manager = make_manager(clock, wal=wal)
+        points = fixes_of(zigzag)
+        manager.open("z", "opw-tr:epsilon=30")
+        manager.append_many("z", points)
+        wal.commit_sync()
+        assert scan_wal(tmp_path / "wal").live_sessions["z"].n_fixes == len(points)
+
+        manager.close("z")
+        wal.commit_sync()
+        wal.close()
+        # The flush marker killed the session's WAL records.
+        assert not scan_wal(tmp_path / "wal").live_sessions
+
+    def test_recover_rebuilds_exact_state(self, clock, tmp_path, zigzag):
+        from repro.serve.wal import WalWriter
+
+        points = fixes_of(zigzag)
+        wal = WalWriter(tmp_path / "wal", durable=False)
+        manager = make_manager(clock, wal=wal)
+        manager.open("z", "opw-tr:epsilon=30")
+        manager.append_many("z", points[:6])
+        wal.commit_sync()
+        wal.close()  # crash: nothing flushed
+
+        wal2 = WalWriter(tmp_path / "wal", durable=False)
+        recovered = SessionManager(
+            TrajectoryStore(), clock=clock, wal=wal2
+        )
+        outcome = recovered.recover()
+        assert outcome["sessions"] == 1 and outcome["fixes"] == 6
+        session = recovered.get("z")
+        assert session.recovered is True
+        assert session.n_fixes_in == 6
+        # Replay is deterministic: continuing the session produces the
+        # same downstream decisions an uninterrupted run would.
+        recovered.append_many("z", points[6:])
+        record, _ = recovered.close("z")
+        uninterrupted = make_manager(clock)
+        uninterrupted.open("z", "opw-tr:epsilon=30")
+        uninterrupted.append_many("z", points)
+        expected, _ = uninterrupted.close("z")
+        assert record.n_stored_points == expected.n_stored_points
+
+    def test_unrecoverable_spec_is_reported_not_fatal(self, clock, tmp_path):
+        from repro.serve.wal import WalWriter
+
+        wal = WalWriter(tmp_path / "wal", durable=False)
+        wal.stage_open("bad", "no-such-algorithm:epsilon=1")
+        wal.stage_open("good", "opw-tr:epsilon=30")
+        wal.stage_append("good", 1, [Fix(0.0, 0.0, 0.0)])
+        wal.commit_sync()
+        wal.close()
+
+        manager = SessionManager(
+            TrajectoryStore(),
+            clock=clock,
+            wal=WalWriter(tmp_path / "wal", durable=False),
+        )
+        outcome = manager.recover()
+        assert outcome == {
+            "sessions": 1, "fixes": 1, "failed": 1, "dropped_lines": 0
+        }
+        assert "good" in manager and "bad" not in manager
+        failures = manager.stats()["last_recovery_failures"]
+        assert failures and failures[0]["session"] == "bad"

@@ -1,0 +1,191 @@
+"""Unit tests of the serve tier's write-ahead log.
+
+Covers the contract pieces the chaos scenarios lean on: group commit
+durability and coalescing, segment liveness/truncation, torn-tail
+recovery, sticky failure, and the scan's demultiplexing of a shared log
+back into per-session replay streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import WalError
+from repro.serve.faults import Fault, FaultInjector
+from repro.serve.wal import WalWriter, scan_wal
+from repro.types import Fix
+
+
+def fixes(*triples):
+    return [Fix(*t) for t in triples]
+
+
+class TestStageAndCommit:
+    def test_committed_records_survive_a_rescan(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "opw-tr:epsilon=10")
+        wal.stage_append("a", 1, fixes((0.0, 1.5, 2.5), (1.0, 3.0, 4.0)))
+        wal.stage_append("a", 2, fixes((2.0, 5.0, 6.0)))
+        wal.commit_sync()
+        wal.close()
+
+        scan = scan_wal(tmp_path)
+        assert list(scan.live_sessions) == ["a"]
+        session = scan.live_sessions["a"]
+        assert session.spec == "opw-tr:epsilon=10"
+        assert [seq for seq, _ in session.appends] == [1, 2]
+        # Floats round-trip exactly through the JSON log lines.
+        assert session.appends[0][1] == fixes((0.0, 1.5, 2.5), (1.0, 3.0, 4.0))
+        assert session.last_seq == 2
+        assert session.n_fixes == 3
+
+    def test_uncommitted_records_are_not_on_disk(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        assert wal.pending_records == 1
+        assert scan_wal(tmp_path).records == 0
+        wal.commit_sync()
+        assert wal.pending_records == 0
+        assert scan_wal(tmp_path).records == 1
+
+    def test_commit_with_nothing_staged_is_a_noop(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.commit_sync()
+        assert wal.stats()["commits"] == 0
+
+    def test_group_commit_coalesces_concurrent_committers(self, tmp_path):
+        async def scenario():
+            wal = WalWriter(tmp_path, durable=False)
+            for i in range(8):
+                wal.stage_append("a", i + 1, fixes((float(i), 0.0, 0.0)))
+            await asyncio.gather(*(wal.commit() for _ in range(8)))
+            return wal.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["committed_records"] == 8
+        # One writer takes the lock and flushes the whole group; the
+        # other seven find their records already durable.
+        assert stats["commits"] == 1
+
+    def test_flushed_marker_truncates_the_segment(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False, segment_bytes=1)
+        wal.stage_open("a", "spec")
+        wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        wal.commit_sync()  # tiny segment_bytes: rotates after this commit
+        wal.stage_flushed("a")
+        wal.commit_sync()
+        wal.close()
+        assert not scan_wal(tmp_path).live_sessions
+        # The flushed session's segments are deleted outright.
+        assert list(tmp_path.glob("seg-*.wal")) == []
+
+    def test_dead_segments_are_dropped_at_startup(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.stage_flushed("a")
+        wal.commit_sync()
+        wal.close()
+        assert list(tmp_path.glob("seg-*.wal"))  # flushed, but still on disk
+        WalWriter(tmp_path, durable=False).close()
+        assert list(tmp_path.glob("seg-*.wal")) == []
+
+
+class TestRecoveryEdges:
+    def test_torn_tail_is_dropped_and_counted(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        wal.commit_sync()
+        wal.close()
+        segment = next(iter(tmp_path.glob("seg-*.wal")))
+        with segment.open("ab") as handle:
+            handle.write(b'00000000 {"k":"a","s":"a","q":2')  # torn mid-write
+
+        scan = scan_wal(tmp_path)
+        assert scan.dropped_lines == 1
+        assert scan.live_sessions["a"].last_seq == 1
+
+    def test_damage_mid_log_discards_everything_after(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.commit_sync()
+        wal.close()
+        segment = next(iter(tmp_path.glob("seg-*.wal")))
+        good = segment.read_bytes()
+        segment.write_bytes(good + b"garbage line\n" + good)
+
+        scan = scan_wal(tmp_path)
+        # The intact prefix survives; damaged line + everything after is
+        # dropped (those bytes postdate the last acknowledged fsync).
+        assert scan.records == 1
+        assert scan.dropped_lines == 2
+
+    def test_missing_directory_recovers_empty(self, tmp_path):
+        scan = scan_wal(tmp_path / "never-created")
+        assert not scan.sessions and scan.records == 0
+
+    def test_reopened_id_after_flush_recovers_fresh_session(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec-one")
+        wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        wal.stage_flushed("a")
+        wal.stage_open("a", "spec-two")
+        wal.stage_append("a", 1, fixes((5.0, 1.0, 1.0)))
+        wal.commit_sync()
+        wal.close()
+
+        scan = scan_wal(tmp_path)
+        session = scan.live_sessions["a"]
+        assert session.spec == "spec-two"
+        assert session.n_fixes == 1
+
+
+class TestStickyFailure:
+    def test_fsync_failure_poisons_the_writer(self, tmp_path):
+        faults = FaultInjector().set(
+            "wal.fsync", Fault(at=1, error=OSError("no space"), once=False)
+        )
+        wal = WalWriter(tmp_path, durable=False, faults=faults)
+        wal.stage_open("a", "spec")
+        with pytest.raises(WalError):
+            wal.commit_sync()
+        assert wal.failed is not None
+        assert wal.dirty_sessions() == {"a"}
+        # Sticky: staging refuses too, so nothing can be acked again.
+        with pytest.raises(WalError):
+            wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        assert wal.stats()["failed"] is True
+        assert wal.stats()["commit_failures"] == 1
+
+    def test_fault_fires_on_the_configured_commit(self, tmp_path):
+        faults = FaultInjector().set(
+            "wal.fsync", Fault(at=3, error=OSError("late failure"), once=False)
+        )
+        wal = WalWriter(tmp_path, durable=False, faults=faults)
+        for seq in (1, 2):
+            wal.stage_append("a", seq, fixes((float(seq), 0.0, 0.0)))
+            wal.commit_sync()  # commits 1 and 2 succeed
+        wal.stage_append("a", 3, fixes((3.0, 0.0, 0.0)))
+        with pytest.raises(WalError):
+            wal.commit_sync()
+        # Only the first two batches are durable (no open record staged
+        # here, so the scan sees appends without a session: count lines).
+        assert faults.get("wal.fsync").triggered == 1
+
+
+class TestSegmentRotation:
+    def test_rotation_keeps_live_sessions_replayable(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False, segment_bytes=128)
+        wal.stage_open("a", "spec")
+        wal.commit_sync()
+        for seq in range(1, 8):
+            wal.stage_append("a", seq, fixes((float(seq), 1.0, 2.0)))
+            wal.commit_sync()
+        wal.close()
+        assert len(list(tmp_path.glob("seg-*.wal"))) > 1  # actually rotated
+
+        scan = scan_wal(tmp_path)
+        session = scan.live_sessions["a"]
+        assert [seq for seq, _ in session.appends] == list(range(1, 8))

@@ -410,3 +410,47 @@ class TestFlowWorkers:
         assert main(["table2", "--workers", "2"]) == 0
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+
+class TestServeArgumentValidation:
+    """Bad serve flags die at the parser with a usage line, not deep in
+    the server constructor with a traceback."""
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--queue-size", "0"),
+        ("--queue-size", "-3"),
+        ("--queue-size", "ten"),
+        ("--max-sessions", "0"),
+        ("--idle-timeout", "0"),
+        ("--idle-timeout", "-1.5"),
+        ("--idle-timeout", "inf"),
+        ("--idle-timeout", "nan"),
+        ("--sweep-interval", "0"),
+        ("--sweep-interval", "oops"),
+    ])
+    def test_invalid_values_are_usage_errors(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", flag, value])
+        assert exit_info.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_valid_values_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--queue-size", "8", "--idle-timeout", "0.5",
+            "--sweep-interval", "2", "--wal", "/tmp/wal",
+        ])
+        assert args.queue_size == 8
+        assert args.idle_timeout == 0.5
+        assert args.sweep_interval == 2.0
+        assert args.wal == "/tmp/wal"
+
+    def test_serve_chaos_fast_scenario_list(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve-chaos", "--fast", "--scenario", "torn-tail"]
+        )
+        assert args.fast is True
+        assert args.scenario == ["torn-tail"]
