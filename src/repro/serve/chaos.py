@@ -220,14 +220,20 @@ async def _scenario_fsync_fail(base: Path, seed: int, n_fixes: int) -> dict:
 
 
 async def _scenario_torn_tail(base: Path, seed: int, n_fixes: int) -> dict:
-    """A crash tears the last WAL record mid-write.
+    """A crash tears the last WAL record mid-write — then a second crash.
 
     Recovery must drop the damaged tail (it was never acknowledged —
     fsync orders the lines), count what it dropped, and restore every
-    intact record.
+    intact record. The scenario then keeps streaming into the recovered
+    session and crashes *again*: the second restart proves the damage
+    was physically truncated out of the old segment at the first
+    recovery — otherwise its scan would rediscover the torn line and
+    discard every batch acknowledged since (acknowledged-data loss).
     """
     fixes = make_fixes(n_fixes, seed)
     batch = 10
+    first_batches = max(1, (n_fixes // batch) // 2)
+    split = first_batches * batch
     wal_dir, store_path = base / "wal", base / "chaos.rsto"
     server = TrajectoryServer(port=0, wal_dir=wal_dir, store_path=store_path)
     await server.start()
@@ -235,9 +241,12 @@ async def _scenario_torn_tail(base: Path, seed: int, n_fixes: int) -> dict:
     try:
         async with await ServeClient.connect(server.host, server.port) as client:
             await client.open("chaos", SPEC)
-            for start in range(0, n_fixes, batch):
-                await client.append("chaos", fixes[start : start + batch])
-                acked += min(batch, n_fixes - start)
+            for start in range(0, split, batch):
+                await client.append(
+                    "chaos", fixes[start : start + batch],
+                    seq=start // batch + 1,
+                )
+                acked += batch
     finally:
         server.abort()
 
@@ -257,21 +266,48 @@ async def _scenario_torn_tail(base: Path, seed: int, n_fixes: int) -> dict:
         assert restarted.recovery["dropped_lines"] >= dropped_expected, (
             f"torn tail was not counted: {restarted.recovery}"
         )
-        session = restarted.manager.get("chaos")
+        assert restarted.manager.get("chaos").n_fixes_in == acked
+        # Keep streaming into the recovered session, every batch acked
+        # (and therefore WAL-durable) before the next goes out.
+        async with await ServeClient.connect(
+            restarted.host, restarted.port
+        ) as client:
+            resumed = await client.resume("chaos")
+            assert resumed["seq"] == first_batches, resumed
+            for start in range(split, n_fixes, batch):
+                await client.append(
+                    "chaos", fixes[start : start + batch],
+                    seq=start // batch + 1,
+                )
+                acked += min(batch, n_fixes - start)
+    finally:
+        restarted.abort()
+
+    # Second crash-restart over the same directory: everything acked in
+    # both lives must come back, and no stale damage may be re-counted.
+    second = TrajectoryServer(port=0, wal_dir=wal_dir, store_path=store_path)
+    await second.start()
+    try:
+        assert second.recovery is not None
+        detail["dropped_lines_second_restart"] = second.recovery["dropped_lines"]
+        assert second.recovery["dropped_lines"] == 0, (
+            f"first recovery left the torn tail on disk: {second.recovery}"
+        )
+        session = second.manager.get("chaos")
         recovered_raw = session.n_fixes_in
-        restarted.manager.close("chaos")
+        second.manager.close("chaos")
         _assert_prefix_identical(
             spec=SPEC,
             fixes=fixes,
             recovered_raw=recovered_raw,
             acked_raw=acked,
             sent_raw=acked,
-            stored=_stored_points(restarted.store, "chaos"),
+            stored=_stored_points(second.store, "chaos"),
             detail=detail,
         )
         return detail
     finally:
-        await restarted.stop()
+        await second.stop()
 
 
 async def _scenario_disconnect(base: Path, seed: int, n_fixes: int) -> dict:

@@ -421,8 +421,14 @@ class DurableServeClient:
         """Close a session, tolerating an ack lost to a reconnect.
 
         If a retry finds the session already gone (``unknown-session``
-        after at least one delivery attempt), the earlier close was
-        applied and its lost response is reported as an empty tail.
+        after at least one delivery attempt) *and* the server reports a
+        healthy WAL, the earlier close was applied — on a durable server
+        sessions only vanish by being closed or evicted-and-flushed, so
+        the data is stored either way — and the lost response is
+        reported as an empty tail with ``ack_lost: True``. Against a
+        non-durable server the same symptom can mean the session died
+        with a crash-restart, so the ambiguity is surfaced by re-raising
+        instead of reporting a clean close.
         """
         self._session_state(session)
         attempts = 0
@@ -435,18 +441,37 @@ class DurableServeClient:
         try:
             response = await self._with_retry(send)
         except ServeError as exc:
-            if exc.code == "unknown-session" and attempts > 1:
-                # The first attempt's ack was lost with the connection;
-                # the close itself landed (sessions only vanish by being
-                # closed or evicted-and-flushed — stored either way).
+            if (
+                exc.code == "unknown-session"
+                and attempts > 1
+                and await self._server_is_durable()
+            ):
                 self._sessions.pop(session, None)
-                return {"retained": [], "stored": None}
+                return {"retained": [], "stored": None, "ack_lost": True}
             raise
         self._sessions.pop(session, None)
         return {
             "retained": [Fix(*triple) for triple in response["retained"]],
             "stored": response.get("stored"),
+            "ack_lost": False,
         }
+
+    async def _server_is_durable(self) -> bool:
+        """Whether the server reports a healthy (non-failed) WAL.
+
+        The lost-ack heuristics are only sound when acknowledged state
+        survives server restarts; a server with no WAL — or a poisoned
+        one, which discards dirty sessions — gives no such promise.
+        """
+        try:
+            response = await self._with_retry(
+                lambda c: c.request({"op": "stats"})
+            )
+        except ServeError:
+            return False
+        stats = response.get("stats")
+        wal = stats.get("wal") if isinstance(stats, dict) else None
+        return isinstance(wal, dict) and not wal.get("failed")
 
     async def flush(self) -> dict:
         """Ask the server to re-persist its store file now."""

@@ -31,7 +31,10 @@ demultiplexes the shared log back into per-session streams:
 A crash can only damage bytes past the last fsync, i.e. records that
 were never acknowledged, so recovery drops everything from the first
 damaged line onward (counting what it dropped) and keeps the intact
-prefix. fsync failure is **sticky**: durability of everything staged
+prefix — and the writer physically truncates the damaged bytes out of
+the segment before accepting new appends, so a later restart can never
+rediscover old damage and discard records acknowledged since. fsync
+failure is **sticky**: durability of everything staged
 since the last successful commit is unknown, so the writer poisons
 itself, the server refuses further appends with ``wal-failure``, and a
 restart recovers the last-known-durable state — the PostgreSQL
@@ -117,6 +120,13 @@ class WalScan:
     records: int = 0
     #: Lines discarded from the first damaged line onward (torn tail).
     dropped_lines: int = 0
+    #: Index of the segment holding the first damaged line (None = no
+    #: damage), and the byte offset of its intact prefix — where the
+    #: writer must physically truncate so the damage cannot be
+    #: rediscovered on a *later* restart and eat records acknowledged
+    #: since (see :meth:`WalWriter._repair_torn_tail`).
+    damaged_segment: "int | None" = None
+    damaged_offset: int = 0
 
     @property
     def live_sessions(self) -> "dict[str, RecoveredSession]":
@@ -166,7 +176,10 @@ def scan_wal(directory: "str | Path") -> WalScan:
     first damaged or unparsable line and everything from there onward
     (including later segments — they postdate the damage) is discarded
     and counted in :attr:`WalScan.dropped_lines`. The intact prefix is
-    always recovered; the scan never refuses.
+    always recovered; the scan never refuses. The first damaged line's
+    location is reported via :attr:`WalScan.damaged_segment` /
+    :attr:`WalScan.damaged_offset` so the writer can cut it out of the
+    file before accepting new appends.
     """
     directory = Path(directory)
     scan = WalScan()
@@ -179,52 +192,77 @@ def scan_wal(directory: "str | Path") -> WalScan:
     )
     scan.segment_indices = [index for index, _ in segments]
     damaged = False
+
+    def mark_damage(index: int, offset: int) -> None:
+        nonlocal damaged
+        damaged = True
+        scan.damaged_segment = index
+        scan.damaged_offset = offset
+        scan.dropped_lines += 1
+
     for index, path in segments:
         live = scan.live_by_segment.setdefault(index, set())
-        lines = path.read_text(encoding="utf-8").split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
-        for line in lines:
+        raw_lines = path.read_bytes().split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()
+        offset = 0
+        for raw in raw_lines:
+            line_start, offset = offset, offset + len(raw) + 1
             if damaged:
                 scan.dropped_lines += 1
+                continue
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                # A torn tail can end in arbitrary bytes; garbage that
+                # is not even text is damage, not a scan crash.
+                mark_damage(index, line_start)
                 continue
             payload = decode_crc_line(line)
             record = None if payload is None else _parse_record(payload)
             if record is None:
-                damaged = True
-                scan.dropped_lines += 1
+                mark_damage(index, line_start)
                 continue
             kind = record.get("k")
             sid = record.get("s")
             if not isinstance(sid, str):
-                damaged = True
-                scan.dropped_lines += 1
+                mark_damage(index, line_start)
                 continue
-            scan.records += 1
             if kind == "o":
+                scan.records += 1
                 spec = record.get("spec")
                 existing = scan.sessions.get(sid)
                 if existing is None or existing.flushed:
                     scan.sessions[sid] = RecoveredSession(sid, str(spec))
                 live.add(sid)
             elif kind == "a":
-                session = scan.sessions.get(sid)
-                if session is None or session.flushed:
-                    # An append with no live open record: the open was
-                    # lost to damage upstream; nothing to attach it to.
-                    continue
                 seq = record.get("q")
                 fixes = _unpack_fixes(record.get("f"))
                 if not isinstance(seq, int) or fixes is None:
+                    # The CRC is intact but the payload is unusable:
+                    # that is corruption, not a torn write — silently
+                    # skipping it would drop an acknowledged batch
+                    # mid-stream while still applying later ones.
+                    mark_damage(index, line_start)
+                    continue
+                scan.records += 1
+                session = scan.sessions.get(sid)
+                if session is None or session.flushed:
+                    # An append with no live open record: the open was
+                    # in a segment already truncated away; nothing to
+                    # attach it to.
                     continue
                 session.appends.append((seq, fixes))
                 live.add(sid)
             elif kind == "f":
+                scan.records += 1
                 session = scan.sessions.get(sid)
                 if session is not None:
                     session.flushed = True
                 for members in scan.live_by_segment.values():
                     members.discard(sid)
+            else:
+                scan.records += 1
     for index in list(scan.live_by_segment):
         if not scan.live_by_segment[index]:
             del scan.live_by_segment[index]
@@ -265,11 +303,14 @@ class WalWriter:
         self.durable = durable
         self.faults = faults
         self.recovered = scan_wal(self.directory)
+        self._repair_torn_tail()
         self._live: "dict[int, set[str]]" = {
             index: set(members)
             for index, members in self.recovered.live_by_segment.items()
         }
-        # Segments every session has flushed out of are already dead.
+        # Segments every session has flushed out of are already dead —
+        # as are segments that postdate a torn tail (the scan discarded
+        # their records, so their bytes must not survive either).
         for index in self.recovered.segment_indices:
             if index not in self._live:
                 self._unlink_segment(index)
@@ -285,6 +326,35 @@ class WalWriter:
         self._dirty: "set[str]" = set()
         self._failed: "BaseException | None" = None
         self._lock = asyncio.Lock()
+
+    def _repair_torn_tail(self) -> None:
+        """Physically cut the first damaged line out of its segment.
+
+        The scan already *ignores* everything from the first damaged
+        line onward, but the bytes are still on disk. Left in place,
+        the damage would be rediscovered by the scan of the *next*
+        restart — and because that writer acknowledges new appends into
+        later segments, the discard-everything-after-damage rule would
+        then throw away acknowledged records. Truncating the segment to
+        its intact prefix before accepting any new append keeps the
+        rule sound across any number of restarts. (Segments wholly past
+        the damage carry no live sessions after the scan and are
+        unlinked by the constructor's dead-segment sweep.)
+        """
+        index = self.recovered.damaged_segment
+        if index is None:
+            return
+        path = _segment_path(self.directory, index)
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except OSError:
+            return
+        try:
+            os.ftruncate(fd, self.recovered.damaged_offset)
+            if self.durable:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------ #
     # Staging
@@ -310,12 +380,15 @@ class WalWriter:
         """
         return set(self._dirty)
 
+    def _check_failed(self) -> None:
+        if self._failed is not None:
+            raise WalError(f"write-ahead log is failed: {self._failed}")
+
     def _stage(self, kind: str, session_id: str, record: dict) -> None:
         # Serialisation is deferred to commit time so it runs in the
         # commit's worker thread, off the event loop (the request hot
         # path only appends a tuple here).
-        if self._failed is not None:
-            raise WalError(f"write-ahead log is failed: {self._failed}")
+        self._check_failed()
         self._pending.append((kind, session_id, record))
         self._staged_records += 1
         self._dirty.add(session_id)
@@ -355,12 +428,17 @@ class WalWriter:
             WalError: the write or fsync failed — now and on every
                 later call (sticky; see the module docstring).
         """
-        if self._failed is not None:
-            raise WalError(f"write-ahead log is failed: {self._failed}")
+        self._check_failed()
         target = self._staged_records
         if self._committed_records >= target:
             return
         async with self._lock:
+            # Re-check after the wait: the lock holder we parked behind
+            # may have poisoned the log. Proceeding would reopen the
+            # closed handle and write records for sessions the server
+            # just discarded — records a restart would then replay even
+            # though their clients were told the commit failed.
+            self._check_failed()
             if self._committed_records >= target:
                 return
             group, staged = self._take_group()
@@ -374,9 +452,13 @@ class WalWriter:
             self._after_commit(group, staged, written)
 
     def commit_sync(self) -> None:
-        """Blocking :meth:`commit` for synchronous callers (CLI, tests)."""
-        if self._failed is not None:
-            raise WalError(f"write-ahead log is failed: {self._failed}")
+        """Blocking :meth:`commit` for synchronous callers (CLI, tests).
+
+        Must not run concurrently with :meth:`commit` — it bypasses the
+        commit lock (the server only calls it after the event loop's
+        connection tasks are torn down).
+        """
+        self._check_failed()
         if self._committed_records >= self._staged_records:
             return
         group, staged = self._take_group()
@@ -452,7 +534,11 @@ class WalWriter:
         self._segment_written += written
         self._committed_records = staged
         self._commits += 1
-        self._dirty.clear()
+        # Sessions with records staged *while* this group's write was in
+        # flight (they sit in ``_pending``) are not durable yet and must
+        # stay dirty — a set-wide clear here would let the server keep
+        # serving their in-memory state even if the next commit fails.
+        self._dirty = {sid for _, sid, _ in self._pending}
         # Truncate: drop whole segments once nothing in them is live.
         for index in [i for i, m in self._live.items() if not m]:
             if index != self._segment_index:

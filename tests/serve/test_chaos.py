@@ -46,6 +46,9 @@ def test_torn_tail_is_counted_not_fatal():
     result = run_scenario("torn-tail", seed=11, n_fixes=100)
     assert result.passed, result.detail
     assert result.detail["dropped_lines"] >= 1
+    # The first recovery truncated the damage out of the segment, so the
+    # second crash-restart inside the scenario rediscovered none of it.
+    assert result.detail["dropped_lines_second_restart"] == 0
 
 
 def test_disconnect_resend_is_deduplicated():

@@ -190,6 +190,72 @@ class TestDurableClient:
         assert response["seq"] == 1  # the resume response
         assert appended
 
+    def test_close_ack_lost_is_tolerated_only_on_durable_servers(
+        self, monkeypatch
+    ):
+        """``unknown-session`` on a retried close means "the close
+        landed" only when the server promises durability (healthy WAL).
+        A WAL-less server that crash-restarted between the attempts has
+        genuinely lost the session, and the client must not report a
+        clean close over lost data."""
+
+        class ScriptedClient:
+            def __init__(self, script):
+                self._script = list(script)
+                self.broken = False
+
+            async def request(self, message):
+                action = self._script.pop(0)
+                if isinstance(action, ServeError):
+                    if action.code in ("connection-closed", "timeout"):
+                        self.broken = True
+                    raise action
+                return action
+
+            async def aclose(self):
+                self.broken = True
+
+        def scripted(stats_payload):
+            connections = [
+                # Attempt 1: the close is sent but its ack is lost.
+                ScriptedClient(
+                    [ServeError("ack lost", code="connection-closed")]
+                ),
+                # Attempt 2: the session is gone; the durability probe
+                # then reads the server's stats on the same connection.
+                ScriptedClient([
+                    ServeError("gone", code="unknown-session"),
+                    {"ok": True, "op": "stats", "stats": stats_payload},
+                ]),
+            ]
+
+            async def fake_ensure(self):
+                if self._client is None or self._client.broken:
+                    self._client = connections.pop(0)
+                return self._client
+
+            return fake_ensure
+
+        async def close_against(stats_payload):
+            monkeypatch.setattr(
+                DurableServeClient, "_ensure_connected",
+                scripted(stats_payload),
+            )
+            client = DurableServeClient("127.0.0.1", 1, backoff_base_s=0.0)
+            client._sessions["obj"] = {"spec": "opw-tr:epsilon=10", "seq": 3}
+            return await client.close_session("obj")
+
+        durable = run_async(close_against({"wal": {"failed": False}}))
+        assert durable == {"retained": [], "stored": None, "ack_lost": True}
+
+        with pytest.raises(ServeError) as err:
+            run_async(close_against({}))  # no WAL: ambiguity surfaces
+        assert err.value.code == "unknown-session"
+
+        with pytest.raises(ServeError) as err:
+            run_async(close_against({"wal": {"failed": True}}))
+        assert err.value.code == "unknown-session"
+
     def test_append_before_open_is_refused(self):
         async def scenario():
             async with running_server() as server:

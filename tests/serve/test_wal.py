@@ -9,10 +9,12 @@ back into per-session replay streams.
 from __future__ import annotations
 
 import asyncio
+import json
 
 import pytest
 
 from repro.exceptions import WalError
+from repro.io_util import encode_crc_line
 from repro.serve.faults import Fault, FaultInjector
 from repro.serve.wal import WalWriter, scan_wal
 from repro.types import Fix
@@ -122,6 +124,88 @@ class TestRecoveryEdges:
         assert scan.records == 1
         assert scan.dropped_lines == 2
 
+    def test_torn_tail_is_truncated_by_the_next_writer(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        wal.commit_sync()
+        wal.close()
+        segment = next(iter(tmp_path.glob("seg-*.wal")))
+        intact = segment.read_bytes()
+        with segment.open("ab") as handle:
+            handle.write(b'00000000 {"k":"a","s":"a","q":2')
+
+        recovered = WalWriter(tmp_path, durable=False)
+        assert recovered.recovered.dropped_lines == 1
+        recovered.close()
+        # The damaged bytes are physically gone, not merely ignored.
+        assert segment.read_bytes() == intact
+        assert scan_wal(tmp_path).dropped_lines == 0
+
+    def test_acked_records_survive_a_second_restart_after_torn_tail(
+        self, tmp_path
+    ):
+        """The REVIEW high-severity case: damage + new acks + crash again.
+
+        Without startup truncation the second scan rediscovers the torn
+        line in the old segment and discards the newer segment's
+        acknowledged records wholesale.
+        """
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        wal.commit_sync()
+        wal.close()
+        segment = next(iter(tmp_path.glob("seg-*.wal")))
+        with segment.open("ab") as handle:
+            handle.write(b'00000000 {"k":"a","s":"a","q":2')
+
+        second = WalWriter(tmp_path, durable=False)  # restart one
+        assert second.recovered.live_sessions["a"].last_seq == 1
+        second.stage_append("a", 2, fixes((1.0, 1.0, 1.0)))
+        second.commit_sync()  # acknowledged into a newer segment
+        second.close()
+
+        third = WalWriter(tmp_path, durable=False)  # restart two
+        session = third.recovered.live_sessions["a"]
+        assert [seq for seq, _ in session.appends] == [1, 2]
+        assert third.recovered.dropped_lines == 0
+        third.close()
+
+    def test_valid_crc_but_invalid_record_is_damage(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
+        wal.commit_sync()
+        wal.close()
+        segment = next(iter(tmp_path.glob("seg-*.wal")))
+        bad = json.dumps({"k": "a", "s": "a", "q": "not-an-int", "f": "x"})
+        tail = json.dumps(
+            {"k": "a", "s": "a", "q": 2, "f": [2.0, 5.0, 5.0]}
+        )
+        with segment.open("a") as handle:
+            handle.write(encode_crc_line(bad))
+            handle.write(encode_crc_line(tail))
+
+        scan = scan_wal(tmp_path)
+        # Corruption stops the scan — the structurally valid append
+        # after it must NOT be applied over a silently dropped batch.
+        assert scan.dropped_lines == 2
+        assert scan.live_sessions["a"].last_seq == 1
+
+    def test_non_utf8_tail_is_damage_not_a_crash(self, tmp_path):
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        wal.commit_sync()
+        wal.close()
+        segment = next(iter(tmp_path.glob("seg-*.wal")))
+        with segment.open("ab") as handle:
+            handle.write(b"\xff\xfe torn binary tail")
+
+        scan = scan_wal(tmp_path)
+        assert scan.dropped_lines == 1
+        assert list(scan.live_sessions) == ["a"]
+
     def test_missing_directory_recovers_empty(self, tmp_path):
         scan = scan_wal(tmp_path / "never-created")
         assert not scan.sessions and scan.records == 0
@@ -158,6 +242,56 @@ class TestStickyFailure:
             wal.stage_append("a", 1, fixes((0.0, 0.0, 0.0)))
         assert wal.stats()["failed"] is True
         assert wal.stats()["commit_failures"] == 1
+
+    def test_sessions_staged_during_a_commit_stay_dirty(self, tmp_path):
+        """A record staged while the group write is in flight is not
+        durable yet; its session must survive the commit's dirty-set
+        bookkeeping or a later failed commit would not discard it."""
+        wal = WalWriter(tmp_path, durable=False)
+        wal.stage_open("a", "spec")
+        original = wal._encode_and_write
+
+        def write_then_stage(group):
+            written = original(group)
+            # Simulates an append arriving while the executor write of
+            # the committing group is still in flight.
+            wal.stage_open("b", "spec")
+            return written
+
+        wal._encode_and_write = write_then_stage
+        wal.commit_sync()
+        wal._encode_and_write = original
+
+        assert wal.dirty_sessions() == {"b"}
+        assert wal.pending_records == 1
+        wal.commit_sync()
+        assert wal.dirty_sessions() == set()
+        assert wal.pending_records == 0
+        wal.close()
+
+    def test_committer_parked_behind_a_poison_refuses_to_write(self, tmp_path):
+        """Both concurrent committers must fail when the lock holder
+        poisons the log; the parked one must not write afterwards or
+        mark the lost records committed."""
+
+        async def scenario():
+            faults = FaultInjector().set(
+                "wal.fsync", Fault(at=1, error=OSError("boom"), once=True)
+            )
+            wal = WalWriter(tmp_path, durable=False, faults=faults)
+            wal.stage_open("a", "spec")
+            results = await asyncio.gather(
+                wal.commit(), wal.commit(), return_exceptions=True
+            )
+            return wal, results
+
+        wal, results = asyncio.run(scenario())
+        assert all(isinstance(r, WalError) for r in results), results
+        # The single-shot fault would let a second write succeed; the
+        # parked committer must never have attempted one.
+        assert wal.stats()["committed_records"] == 0
+        assert wal.stats()["commits"] == 0
+        assert wal.dirty_sessions() == {"a"}
 
     def test_fault_fires_on_the_configured_commit(self, tmp_path):
         faults = FaultInjector().set(
