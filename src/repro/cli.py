@@ -497,6 +497,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve.server import TrajectoryServer
 
+    if args.workers > 1:
+        return _cmd_serve_sharded(args)
+
     server = TrajectoryServer(
         host=args.host,
         port=args.port,
@@ -508,6 +511,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replace=args.replace,
         default_spec=args.algorithm,
         wal_dir=args.wal,
+        shard=args.shard,
     )
 
     async def _run() -> None:
@@ -559,6 +563,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --workers N``: the consistent-hash router tier.
+
+    Spawns N worker processes (each a full durable server with its own
+    WAL directory and store partition) under one thin router that
+    hashes object ids onto them. SIGTERM/SIGINT drains the whole fleet
+    — every worker flushes and persists its partition, the partitions
+    are merged into the ``--store`` file — and exits 0.
+    """
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.serve.pool import WorkerPool
+    from repro.serve.router import ServeRouter
+
+    pool = WorkerPool(
+        args.workers,
+        wal_dir=args.wal,
+        store_path=args.store,
+        default_spec=args.algorithm,
+        max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout,
+        sweep_interval_s=args.sweep_interval,
+        queue_size=args.queue_size,
+        replace=args.replace,
+    )
+    router = ServeRouter(
+        pool,
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        shed_inflight=args.shed_inflight,
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        drain_requested = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, drain_requested.set)
+        await router.start()
+        where = f" (store: {args.store})" if args.store else ""
+        wal = f" (wal: {args.wal})" if args.wal else ""
+        print(
+            f"serving on {router.host}:{router.port}{where}{wal} "
+            f"[router, {args.workers} workers]",
+            flush=True,
+        )
+        serving = asyncio.create_task(router.serve_forever())
+        waiter = asyncio.create_task(drain_requested.wait())
+        try:
+            await asyncio.wait(
+                {serving, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            serving.cancel()
+            waiter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serving
+        drained = await router.drain()
+        merged = drained["merged"]
+        exit_codes = drained["workers"]
+        clean = sum(1 for code in exit_codes.values() if code == 0)
+        summary = f"drained: {clean}/{len(exit_codes)} worker(s) exited cleanly"
+        if merged is not None:
+            summary += (
+                f", merged {merged['n_objects']} object(s) into {merged['path']}"
+            )
+        print(summary, flush=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -567,7 +649,9 @@ def _cmd_serve_chaos(args: argparse.Namespace) -> int:
 
     names = tuple(args.scenario) if args.scenario else SCENARIOS
     if args.fast:
-        names = tuple(name for name in names if name != "sigkill")
+        names = tuple(
+            name for name in names if name not in ("sigkill", "worker-kill")
+        )
     report = run_chaos(names, seed=args.seed, n_fixes=args.fixes)
     for entry in report["scenarios"]:
         verdict = "PASS" if entry["passed"] else "FAIL"
@@ -585,6 +669,9 @@ def _cmd_serve_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve.bench import run_bench
+
+    if args.workers > 1:
+        return _cmd_serve_bench_sharded(args)
 
     report = run_bench(
         sessions=args.sessions,
@@ -611,6 +698,56 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"over-limit opens rejected"
     )
     print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_serve_bench_sharded(args: argparse.Namespace) -> int:
+    from repro.serve.bench import DEFAULT_SHARDED_OUTPUT, run_sharded_bench
+
+    output = args.output
+    if output == "BENCH_serve.json":  # the single-process default
+        output = str(DEFAULT_SHARDED_OUTPUT)
+    report = run_sharded_bench(
+        sessions=args.sessions,
+        fixes_per_session=args.fixes,
+        spec=args.spec,
+        batch=args.batch,
+        workers=args.workers,
+        drivers=args.drivers,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        output=Path(output),
+        baseline=not args.no_baseline,
+    )
+    results = report["results"]
+    print(
+        f"{args.sessions} concurrent sessions x {args.fixes} fixes "
+        f"({args.spec}) across {args.workers} workers: "
+        f"retained streams batch-identical"
+    )
+    print(
+        f"append latency p50 {results['p50_append_ms']:.3f} ms, "
+        f"p99 {results['p99_append_ms']:.3f} ms; "
+        f"{results['fixes_per_sec']:.0f} fixes/s sustained"
+    )
+    for shard, view in sorted(results["per_shard"].items()):
+        print(
+            f"  {shard}: {view['sessions']} sessions, "
+            f"p50 {view['p50_append_ms']:.3f} ms, "
+            f"p99 {view['p99_append_ms']:.3f} ms"
+        )
+    speedup = results["speedup_vs_single_process"]
+    if speedup is not None:
+        cpus = report["environment"]["available_cpus"]
+        print(
+            f"throughput vs single-process WAL server: {speedup:.2f}x "
+            f"({cpus} CPU(s) available)"
+        )
+    print(
+        f"drain: exit {results['drain_exit_code']}, "
+        f"{results['merged_objects']} object(s) merged"
+    )
+    print(f"wrote {output}")
     return 0
 
 
@@ -901,6 +1038,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="default online compressor spec for opens that carry none, "
              "e.g. 'operb:epsilon=30' (see repro.streaming)",
     )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="shard the service across N worker processes behind a "
+             "consistent-hash router; each worker gets its own WAL "
+             "directory and store partition (see docs/SERVING.md)",
+    )
+    p_serve.add_argument(
+        "--shed-inflight", type=_positive_int, default=256, metavar="N",
+        help="router only: per-shard inflight-request ceiling before the "
+             "router sheds load for that shard (code 'rejected')",
+    )
+    p_serve.add_argument(
+        "--shard", default=None, metavar="NAME",
+        help=argparse.SUPPRESS,  # set by the router when spawning workers
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_chaos = sub.add_parser(
@@ -911,11 +1063,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--scenario", action="append", default=None, metavar="NAME",
         help="run only this scenario (repeatable): fsync-fail, torn-tail, "
-             "disconnect, sigkill; default all",
+             "disconnect, sigkill, worker-kill; default all",
     )
     p_chaos.add_argument(
         "--fast", action="store_true",
-        help="skip the sigkill scenario (spawns real server subprocesses)",
+        help="skip the sigkill/worker-kill scenarios (they spawn real "
+             "server subprocesses)",
     )
     p_chaos.add_argument("--fixes", type=_positive_int, default=120,
                          help="fixes streamed per scenario")
@@ -949,6 +1102,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--wal", action="store_true",
         help="run the server with a write-ahead log (temporary directory): "
              "measures the durability overhead",
+    )
+    p_bench.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="bench the sharded tier: N worker processes behind the "
+             "consistent-hash router (WAL always on; writes "
+             "BENCH_serve_sharded.json with per-shard percentiles and a "
+             "speedup vs a single-process run)",
+    )
+    p_bench.add_argument(
+        "--drivers", type=_positive_int, default=None, metavar="N",
+        help="sharded bench only: load-generator subprocesses "
+             "(default scales with CPU count)",
+    )
+    p_bench.add_argument(
+        "--concurrency", type=_positive_int, default=64, metavar="N",
+        help="sharded bench only: concurrent connections per driver",
+    )
+    p_bench.add_argument(
+        "--no-baseline", action="store_true",
+        help="sharded bench only: skip the single-process comparison run",
     )
     p_bench.set_defaults(func=_cmd_serve_bench)
 

@@ -19,7 +19,7 @@ One stdlib-only layer shared by every subsystem (see
   registry or its JSON export (``repro obs dump``).
 """
 
-from repro.obs.export import render_prometheus
+from repro.obs.export import merge_shard_metrics, render_prometheus
 from repro.obs.profiling import (
     PROFILE_DIR_ENV_VAR,
     PROFILE_ENV_VAR,
@@ -78,5 +78,6 @@ __all__ = [
     "profiled",
     "profiling_enabled",
     "profile_dir",
+    "merge_shard_metrics",
     "render_prometheus",
 ]

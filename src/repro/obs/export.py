@@ -25,7 +25,7 @@ from typing import Any, Mapping
 
 from repro.obs.registry import Registry
 
-__all__ = ["render_prometheus"]
+__all__ = ["merge_shard_metrics", "render_prometheus"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LEADING_DIGIT_RE = re.compile(r"^[0-9]")
@@ -48,6 +48,109 @@ def _format_value(value: float) -> str:
         if value == int(value) and abs(value) < 1e15:
             return str(int(value))
     return repr(value)
+
+
+def _merge_timer(merged: dict, timer: Mapping[str, Any]) -> dict:
+    count = merged["count"] + timer["count"]
+    total = merged["total_s"] + timer["total_s"]
+    return {
+        "count": count,
+        "total_s": total,
+        "mean_s": total / count if count else 0.0,
+        "max_s": max(merged["max_s"], timer["max_s"]),
+    }
+
+
+def _merge_histogram(merged: dict, histogram: Mapping[str, Any]) -> "dict | None":
+    """Elementwise-sum two histogram exports; None on mismatched buckets."""
+    bounds = [bucket["le"] for bucket in merged["buckets"]]
+    if [bucket["le"] for bucket in histogram["buckets"]] != bounds:
+        return None
+    count = merged["count"] + histogram["count"]
+    extrema = [
+        value
+        for value in (merged["min"], histogram["min"], merged["max"], histogram["max"])
+        if value is not None
+    ]
+    total = merged["sum"] + histogram["sum"]
+    return {
+        "count": count,
+        "sum": total,
+        "min": min(extrema) if extrema else None,
+        "max": max(extrema) if extrema else None,
+        "mean": total / count if count else 0.0,
+        "buckets": [
+            {"le": le, "count": a["count"] + b["count"]}
+            for le, a, b in zip(bounds, merged["buckets"], histogram["buckets"])
+        ],
+        "overflow": merged["overflow"] + histogram["overflow"],
+    }
+
+
+def merge_shard_metrics(
+    shards: Mapping[str, Mapping[str, Any]],
+    *,
+    extra: "Mapping[str, Any] | None" = None,
+    extra_prefix: str = "router",
+) -> dict:
+    """Merge per-shard registry exports into one fleet-wide wire dict.
+
+    Every instrument appears twice in the result: aggregated under its
+    plain name (counters/gauges summed, timers combined, histograms
+    bucket-wise summed — a histogram whose bucket bounds disagree across
+    shards is left out of the aggregate rather than merged wrongly), and
+    per shard under ``shard.<shard>.<name>`` so a scrape can still tell
+    a hot shard from a cold one. ``extra`` (e.g. the router's own
+    registry export) rides along under ``<extra_prefix>.<name>``,
+    un-aggregated — router traffic is not worker traffic.
+
+    Args:
+        shards: ``{shard_name: registry.to_dict()}`` as fetched from
+            each worker's ``stats`` verb.
+        extra: one more registry export to include, prefixed only.
+        extra_prefix: the prefix for ``extra``'s instruments.
+
+    Returns:
+        A dict in the :meth:`Registry.to_dict` wire schema.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+    unmergeable: set[str] = set()
+    for shard_name, payload in sorted(shards.items()):
+        for name, value in dict(payload.get("counters", {})).items():
+            merged["counters"][f"shard.{shard_name}.{name}"] = value
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in dict(payload.get("gauges", {})).items():
+            merged["gauges"][f"shard.{shard_name}.{name}"] = value
+            merged["gauges"][name] = merged["gauges"].get(name, 0) + value
+        for name, timer in dict(payload.get("timers", {})).items():
+            merged["timers"][f"shard.{shard_name}.{name}"] = dict(timer)
+            current = merged["timers"].get(name)
+            merged["timers"][name] = (
+                dict(timer) if current is None else _merge_timer(current, timer)
+            )
+        for name, histogram in dict(payload.get("histograms", {})).items():
+            merged["histograms"][f"shard.{shard_name}.{name}"] = dict(histogram)
+            if name in unmergeable:
+                continue
+            current = merged["histograms"].get(name)
+            combined = (
+                dict(histogram)
+                if current is None
+                else _merge_histogram(current, histogram)
+            )
+            if combined is None:
+                del merged["histograms"][name]
+                unmergeable.add(name)
+            else:
+                merged["histograms"][name] = combined
+    if extra is not None:
+        for category in ("counters", "gauges"):
+            for name, value in dict(extra.get(category, {})).items():
+                merged[category][f"{extra_prefix}.{name}"] = value
+        for category in ("timers", "histograms"):
+            for name, value in dict(extra.get(category, {})).items():
+                merged[category][f"{extra_prefix}.{name}"] = dict(value)
+    return merged
 
 
 def render_prometheus(

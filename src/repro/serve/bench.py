@@ -22,6 +22,11 @@ or programmatically via :func:`run_bench`.
 from __future__ import annotations
 
 import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -36,9 +41,20 @@ from repro.serve.server import TrajectoryServer
 from repro.trajectory.trajectory import Trajectory
 from repro.types import Fix
 
-__all__ = ["DEFAULT_OUTPUT", "DEFAULT_SPEC", "make_workload", "run_bench"]
+__all__ = [
+    "DEFAULT_OUTPUT",
+    "DEFAULT_SHARDED_OUTPUT",
+    "DEFAULT_SPEC",
+    "make_workload",
+    "run_bench",
+    "run_sharded_bench",
+    "session_stream",
+]
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_serve.json"
+DEFAULT_SHARDED_OUTPUT = (
+    Path(__file__).resolve().parents[3] / "BENCH_serve_sharded.json"
+)
 DEFAULT_SPEC = "opw-tr:epsilon=25"
 
 
@@ -134,18 +150,23 @@ async def _bench(
 
         failures: list[str] = []
         retained_streams: list[list[Fix]] = []
+        session_p99s: list[float] = []
         for (object_id, fixes), outcome in zip(workload, outcomes):
             if isinstance(outcome, BaseException):
                 failures.append(f"{object_id}: {type(outcome).__name__}: {outcome}")
                 continue
-            retained_streams.append(outcome)
+            retained, own_latencies = outcome
+            retained_streams.append(retained)
+            p99 = _percentile(sorted(own_latencies), 99.0)
+            if p99 is not None:
+                session_p99s.append(p99)
             # Equivalence: nothing dropped, nothing reordered,
             # batch-identical against the batch algorithm's selection.
             expected = _expected_retained(spec, fixes)
-            if outcome != expected:
+            if retained != expected:
                 failures.append(
                     f"{object_id}: served retained stream diverged from the "
-                    f"batch result ({len(outcome)} vs {len(expected)} points)"
+                    f"batch result ({len(retained)} vs {len(expected)} points)"
                 )
 
         stats = server.stats()
@@ -172,6 +193,9 @@ async def _bench(
                 "rejected_sessions": rejected,
                 "retained_total": sum(len(r) for r in retained_streams),
                 "equivalence": "failed" if failures else "batch-identical",
+                # Distribution of *per-session* p99s — an aggregate p99
+                # hides a single slow session; this does not.
+                "session_p99_ms": _distribution(session_p99s),
             },
             "server_stats": stats,
         }
@@ -195,19 +219,26 @@ async def _drive_append_and_close(
     fixes: list[Fix],
     batch: int,
     latencies_ms: list[float],
-) -> list[Fix]:
-    """Append + close for an already-open session, on a new connection."""
+) -> tuple[list[Fix], list[float]]:
+    """Append + close for an already-open session, on a new connection.
+
+    Returns the retained stream *and* this session's own append
+    latencies — the shared ``latencies_ms`` list only aggregates, and an
+    aggregate cannot answer per-session (hence per-shard) questions.
+    """
     retained: list[Fix] = []
+    own_latencies: list[float] = []
     async with await ServeClient.connect(host, port) as client:
         for start in range(0, len(fixes), batch):
             chunk = fixes[start : start + batch]
             began = time.perf_counter()
             retained.extend(await client.append(object_id, chunk))
-            latencies_ms.append((time.perf_counter() - began) * 1e3)
+            own_latencies.append((time.perf_counter() - began) * 1e3)
+        latencies_ms.extend(own_latencies)
         summary = await client.close_session(object_id)
         retained.extend(summary["retained"])
         assert summary["stored"] is not None, f"{object_id}: nothing stored"
-    return retained
+    return retained, own_latencies
 
 
 def _percentile(ordered: list[float], q: float) -> float | None:
@@ -216,6 +247,17 @@ def _percentile(ordered: list[float], q: float) -> float | None:
         return None
     rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
     return ordered[rank]
+
+
+def _distribution(values: list[float]) -> dict:
+    """p50/p99/max summary of a sample (None-filled when empty)."""
+    ordered = sorted(values)
+    return {
+        "p50": _percentile(ordered, 50.0),
+        "p99": _percentile(ordered, 99.0),
+        "max": ordered[-1] if ordered else None,
+        "n": len(ordered),
+    }
 
 
 def run_bench(
@@ -276,3 +318,482 @@ def run_bench(
             code="internal",
         )
     return report
+
+
+# ---------------------------------------------------------------------- #
+# Sharded bench: driver subprocesses against a `serve --workers N` fleet
+# ---------------------------------------------------------------------- #
+
+def session_stream(index: int, fixes_per_session: int, seed: int) -> list[Fix]:
+    """Session ``index``'s deterministic fix stream, O(1) in ``index``.
+
+    Unlike :func:`make_workload` (one sequential RNG — generating
+    session *i* means generating everything before it), each session
+    here gets an independently seeded generator, so a driver subprocess
+    can materialize exactly its slice of a 10k-session workload.
+    """
+    rng = np.random.default_rng([seed, index])
+    steps = rng.normal(0.0, 10.0, size=(fixes_per_session, 2))
+    xy = np.cumsum(steps, axis=0)
+    t = np.arange(fixes_per_session, dtype=float)
+    return [
+        Fix(float(t[j]), float(xy[j, 0]), float(xy[j, 1]))
+        for j in range(fixes_per_session)
+    ]
+
+
+def _sharded_session_id(index: int) -> str:
+    return f"shard-bench-{index:05d}"
+
+
+async def _driver_run(
+    host: str,
+    port: int,
+    start: int,
+    count: int,
+    fixes_per_session: int,
+    spec: str,
+    batch: int,
+    seed: int,
+    concurrency: int,
+) -> dict:
+    """One driver's share of the load: open all, then stream all.
+
+    Opens come first so that *every* session in this driver's slice is
+    live server-side before streaming begins — the fleet really holds
+    ``sessions`` concurrent sessions, while TCP connections stay bounded
+    by ``concurrency``. Wall-clock timestamps (not perf counters) frame
+    the measurement so the parent can union the windows across drivers.
+    """
+    indices = list(range(start, start + count))
+    streams = {i: session_stream(i, fixes_per_session, seed) for i in indices}
+    gate = asyncio.Semaphore(concurrency)
+    failures: list[str] = []
+
+    async def _open(index: int) -> None:
+        object_id = _sharded_session_id(index)
+        async with gate:
+            try:
+                async with await ServeClient.connect(
+                    host, port, timeout=60.0
+                ) as client:
+                    await client.open(object_id, spec)
+            except (ServeError, OSError) as exc:
+                failures.append(f"{object_id}: open: {exc}")
+
+    async def _stream(index: int) -> "tuple[int, list[Fix], list[float]] | None":
+        object_id = _sharded_session_id(index)
+        async with gate:
+            try:
+                retained, latencies = await _drive_append_and_close(
+                    host, port, object_id, streams[index], batch, []
+                )
+            except (ServeError, OSError, AssertionError) as exc:
+                failures.append(f"{object_id}: {type(exc).__name__}: {exc}")
+                return None
+            return index, retained, latencies
+
+    t_open = time.time()
+    await asyncio.gather(*(_open(i) for i in indices))
+    if failures:
+        return {"failures": failures, "sessions": {}}
+    t_stream = time.time()
+    outcomes = await asyncio.gather(*(_stream(i) for i in indices))
+    t_done = time.time()
+
+    sessions: dict[str, dict] = {}
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        index, retained, latencies = outcome
+        expected = _expected_retained(spec, streams[index])
+        if retained != expected:
+            failures.append(
+                f"{_sharded_session_id(index)}: served retained stream "
+                f"diverged from the batch result "
+                f"({len(retained)} vs {len(expected)} points)"
+            )
+        sessions[_sharded_session_id(index)] = {
+            "latencies_ms": latencies,
+            "retained": len(retained),
+        }
+    return {
+        "sessions": sessions,
+        "failures": failures,
+        "t_open": t_open,
+        "t_stream": t_stream,
+        "t_done": t_done,
+    }
+
+
+def _driver_main(argv: "list[str] | None" = None) -> int:
+    """Entry point of one driver subprocess (``python -m repro.serve.bench``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.serve.bench driver")
+    parser.add_argument("--host", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--start", type=int, required=True)
+    parser.add_argument("--count", type=int, required=True)
+    parser.add_argument("--fixes", type=int, required=True)
+    parser.add_argument("--spec", required=True)
+    parser.add_argument("--batch", type=int, required=True)
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--concurrency", type=int, required=True)
+    parser.add_argument("--output", required=True)
+    args = parser.parse_args(argv)
+    result = asyncio.run(
+        _driver_run(
+            args.host,
+            args.port,
+            args.start,
+            args.count,
+            args.fixes,
+            args.spec,
+            args.batch,
+            args.seed,
+            args.concurrency,
+        )
+    )
+    Path(args.output).write_text(json.dumps(result))
+    return 1 if result["failures"] else 0
+
+
+def _spawn_fleet(
+    workers: int,
+    tmp: Path,
+    spec: str,
+    max_sessions: int,
+    tag: str,
+) -> "tuple[subprocess.Popen, str, int]":
+    """Start ``repro serve --workers N`` and wait for its port banner."""
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--workers", str(workers),
+        "--max-sessions", str(max_sessions),
+        "--idle-timeout", "3600",
+        "--sweep-interval", "3600",
+        "--wal", str(tmp / f"wal-{tag}"),
+        "--store", str(tmp / f"fleet-{tag}.rsto"),
+        "--algorithm", spec,
+        "--shed-inflight", "1000000",
+    ]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    assert process.stdout is not None
+    deadline = time.time() + 120.0
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise ServeError(
+                f"fleet ({tag}) exited during startup "
+                f"(code {process.poll()})",
+                code="internal",
+            )
+        if line.startswith("serving on "):
+            address = line.split()[2]
+            host, port_text = address.rsplit(":", 1)
+            return process, host, int(port_text)
+        if time.time() > deadline:
+            process.kill()
+            raise ServeError(f"fleet ({tag}) never reported its port", code="internal")
+
+
+def _run_drivers(
+    host: str,
+    port: int,
+    sessions: int,
+    fixes_per_session: int,
+    spec: str,
+    batch: int,
+    seed: int,
+    drivers: int,
+    concurrency: int,
+    tmp: Path,
+    tag: str,
+) -> dict:
+    """Fan the workload over driver subprocesses; merge their results.
+
+    Client-side work (fix encoding, response parsing, equivalence
+    checking) is itself CPU-hungry; running it in one process would
+    measure the *client*, not the fleet. Drivers are real processes so
+    the load generator scales with the tier under test.
+    """
+    per_driver = [sessions // drivers] * drivers
+    for i in range(sessions % drivers):
+        per_driver[i] += 1
+    procs: list[subprocess.Popen] = []
+    outputs: list[Path] = []
+    start = 0
+    for d, count in enumerate(per_driver):
+        if count == 0:
+            continue
+        out = tmp / f"driver-{tag}-{d}.json"
+        outputs.append(out)
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.serve.bench",
+                    "--host", host, "--port", str(port),
+                    "--start", str(start), "--count", str(count),
+                    "--fixes", str(fixes_per_session),
+                    "--spec", spec, "--batch", str(batch),
+                    "--seed", str(seed),
+                    "--concurrency", str(concurrency),
+                    "--output", str(out),
+                ],
+                env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+            )
+        )
+        start += count
+    for proc in procs:
+        proc.wait()
+    merged: dict = {"sessions": {}, "failures": []}
+    windows: list[tuple[float, float]] = []
+    for out in outputs:
+        if not out.exists():
+            merged["failures"].append(f"{out.name}: driver wrote no result")
+            continue
+        result = json.loads(out.read_text())
+        merged["sessions"].update(result.get("sessions", {}))
+        merged["failures"].extend(result.get("failures", []))
+        if "t_stream" in result:
+            windows.append((result["t_stream"], result["t_done"]))
+    if windows:
+        # The union of the drivers' streaming windows: throughput is
+        # fixes over the span every driver was (potentially) streaming.
+        merged["elapsed_s"] = max(w[1] for w in windows) - min(w[0] for w in windows)
+    return merged
+
+
+def _measure_fleet(
+    workers: int,
+    sessions: int,
+    fixes_per_session: int,
+    spec: str,
+    batch: int,
+    seed: int,
+    drivers: int,
+    concurrency: int,
+    tmp: Path,
+    tag: str,
+) -> dict:
+    """One full measurement: spawn fleet, drive load, drain, account."""
+    process, host, port = _spawn_fleet(workers, tmp, spec, sessions, tag)
+    try:
+        merged = _run_drivers(
+            host, port, sessions, fixes_per_session, spec, batch, seed,
+            drivers, concurrency, tmp, tag,
+        )
+
+        async def _stats() -> dict:
+            async with await ServeClient.connect(host, port, timeout=60.0) as client:
+                return await client.stats()
+
+        try:
+            stats = asyncio.run(_stats())
+        except (ServeError, OSError) as exc:
+            stats = {"error": f"stats unavailable: {exc}"}
+        process.send_signal(signal.SIGTERM)
+        try:
+            returncode = process.wait(timeout=120.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            returncode = process.wait()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+    store_path = tmp / f"fleet-{tag}.rsto"
+    merged_objects = None
+    if store_path.exists():
+        from repro.storage.store import TrajectoryStore
+
+        merged_objects = len(TrajectoryStore.load(store_path))
+    per_session = merged["sessions"]
+    all_latencies = sorted(
+        latency
+        for payload in per_session.values()
+        for latency in payload["latencies_ms"]
+    )
+    elapsed = merged.get("elapsed_s")
+    fixes_total = len(per_session) * fixes_per_session
+    return {
+        "sessions": per_session,
+        "failures": merged["failures"],
+        "elapsed_s": elapsed,
+        "fixes_total": fixes_total,
+        "fixes_per_sec": (
+            fixes_total / elapsed if elapsed and elapsed > 0 else None
+        ),
+        "p50_append_ms": _percentile(all_latencies, 50.0),
+        "p99_append_ms": _percentile(all_latencies, 99.0),
+        "appends": len(all_latencies),
+        "drain_exit_code": returncode,
+        "merged_objects": merged_objects,
+        "server_stats": stats,
+    }
+
+
+def _per_shard_view(
+    per_session: dict, workers: int, fixes_per_session: int
+) -> dict:
+    """Pool each shard's raw latencies; real per-shard percentiles.
+
+    Groups sessions with the same consistent-hash ring the router uses,
+    so the shard attribution is exact, and computes percentiles over the
+    pooled raw samples — not an average of per-session averages.
+    """
+    from repro.serve.pool import HashRing
+
+    ring = HashRing(f"worker-{i}" for i in range(workers))
+    grouped: dict[str, list[float]] = {f"worker-{i}": [] for i in range(workers)}
+    counts: dict[str, int] = {f"worker-{i}": 0 for i in range(workers)}
+    for object_id, payload in per_session.items():
+        shard = ring.node_for(object_id)
+        grouped[shard].extend(payload["latencies_ms"])
+        counts[shard] += 1
+    view = {}
+    for shard, latencies in grouped.items():
+        ordered = sorted(latencies)
+        view[shard] = {
+            "sessions": counts[shard],
+            "fixes": counts[shard] * fixes_per_session,
+            "appends": len(ordered),
+            "p50_append_ms": _percentile(ordered, 50.0),
+            "p99_append_ms": _percentile(ordered, 99.0),
+        }
+    return view
+
+
+def run_sharded_bench(
+    sessions: int = 10000,
+    fixes_per_session: int = 50,
+    spec: str = "operb:epsilon=25",
+    batch: int = 25,
+    workers: int = 4,
+    drivers: "int | None" = None,
+    concurrency: int = 64,
+    seed: int = 7,
+    output: "Path | str | None" = DEFAULT_SHARDED_OUTPUT,
+    baseline: bool = True,
+) -> dict:
+    """Benchmark the sharded tier: N workers behind the hash router.
+
+    Drives ``sessions`` live sessions (opened first, so they are all
+    concurrent server-side; TCP connections stay bounded) from
+    ``drivers`` subprocesses, records per-session latencies, reports
+    real per-shard p50/p99 (pooled raw samples grouped by the router's
+    own hash ring), drains the fleet with SIGTERM and verifies the
+    partition merge. With ``baseline`` it then runs the *same* workload
+    against ``--workers 1`` (a plain single-process durable server) and
+    records ``speedup_vs_single_process`` — on a multi-core host this
+    is where shared-nothing sharding pays; ``available_cpus`` is
+    recorded so a 1-core container's ratio is read for what it is.
+
+    Raises:
+        ServeError: any session failed, diverged from the batch result,
+            the drain exited non-zero, or the merged store lost objects.
+            The report is written first (``"failed": true``).
+    """
+    if sessions < 1 or fixes_per_session < 2 or workers < 1:
+        raise ValueError("need >=1 session, >=2 fixes/session, >=1 worker")
+    cpus = os.cpu_count() or 1
+    if drivers is None:
+        drivers = max(2, min(8, cpus))
+    with tempfile.TemporaryDirectory(prefix="repro-serve-sharded-") as tmp_name:
+        tmp = Path(tmp_name)
+        sharded = _measure_fleet(
+            workers, sessions, fixes_per_session, spec, batch, seed,
+            drivers, concurrency, tmp, "sharded",
+        )
+        single = None
+        if baseline:
+            single = _measure_fleet(
+                1, sessions, fixes_per_session, spec, batch, seed,
+                drivers, concurrency, tmp, "single",
+            )
+    failures = list(sharded["failures"])
+    if sharded["drain_exit_code"] != 0:
+        failures.append(
+            f"fleet drain exited {sharded['drain_exit_code']} (want 0)"
+        )
+    if sharded["merged_objects"] != sessions:
+        failures.append(
+            f"merged store holds {sharded['merged_objects']} objects, "
+            f"want {sessions}"
+        )
+    speedup = None
+    if (
+        single is not None
+        and single["fixes_per_sec"]
+        and sharded["fixes_per_sec"]
+    ):
+        speedup = sharded["fixes_per_sec"] / single["fixes_per_sec"]
+    session_p99s = [
+        p99
+        for payload in sharded["sessions"].values()
+        if (p99 := _percentile(sorted(payload["latencies_ms"]), 99.0)) is not None
+    ]
+    report = {
+        "config": {
+            "spec": spec,
+            "sessions": sessions,
+            "fixes_per_session": fixes_per_session,
+            "append_batch": batch,
+            "workers": workers,
+            "drivers": drivers,
+            "concurrency": concurrency,
+            "seed": seed,
+            "wal": True,
+        },
+        "environment": {"available_cpus": cpus},
+        "results": {
+            "p50_append_ms": sharded["p50_append_ms"],
+            "p99_append_ms": sharded["p99_append_ms"],
+            "appends": sharded["appends"],
+            "fixes_total": sharded["fixes_total"],
+            "elapsed_s": sharded["elapsed_s"],
+            "fixes_per_sec": sharded["fixes_per_sec"],
+            "session_p99_ms": _distribution(session_p99s),
+            "per_shard": _per_shard_view(
+                sharded["sessions"], workers, fixes_per_session
+            ),
+            "drain_exit_code": sharded["drain_exit_code"],
+            "merged_objects": sharded["merged_objects"],
+            "speedup_vs_single_process": speedup,
+            "equivalence": "failed" if failures else "batch-identical",
+        },
+        "server_stats": sharded["server_stats"],
+    }
+    if single is not None:
+        report["single_process"] = {
+            "p50_append_ms": single["p50_append_ms"],
+            "p99_append_ms": single["p99_append_ms"],
+            "elapsed_s": single["elapsed_s"],
+            "fixes_per_sec": single["fixes_per_sec"],
+            "failures": single["failures"],
+        }
+    if failures:
+        report["failed"] = True
+        report["failures"] = failures
+    if output is not None:
+        write_atomic_json(Path(output), report)
+    if failures:
+        raise ServeError(
+            f"serve-bench --workers failed ({len(failures)} problem(s)): "
+            + "; ".join(failures[:3])
+            + ("..." if len(failures) > 3 else ""),
+            code="internal",
+        )
+    return report
+
+
+if __name__ == "__main__":  # driver subprocess entry point
+    sys.exit(_driver_main())

@@ -21,9 +21,10 @@ window), so each scenario asserts the recovered raw count ``k`` lies in
 ``[acked, sent]`` and compares against the reference prefix of exactly
 ``k`` fixes.
 
-Run everything via ``repro serve-chaos`` (the ``sigkill`` scenario
-spawns real server subprocesses and takes seconds; skip it with
-``--fast``), or through pytest: ``pytest -m chaos``.
+Run everything via ``repro serve-chaos`` (the ``sigkill`` and
+``worker-kill`` scenarios spawn real server subprocesses and take
+seconds; skip them with ``--fast``), or through pytest:
+``pytest -m chaos``.
 """
 
 from __future__ import annotations
@@ -41,17 +42,27 @@ from pathlib import Path
 from repro.exceptions import ReproError, ServeError
 from repro.serve.client import DurableServeClient, ServeClient
 from repro.serve.faults import Fault, FaultInjector
+from repro.serve.pool import WorkerPool
 from repro.serve.protocol import encode_message
+from repro.serve.router import ServeRouter
 from repro.serve.server import TrajectoryServer
 from repro.serve.wal import scan_wal
 from repro.storage.store import TrajectoryStore
 from repro.streaming.registry import make_online_compressor
 from repro.types import Fix
 
-__all__ = ["SCENARIOS", "ScenarioResult", "run_chaos", "run_scenario"]
+__all__ = [
+    "SCENARIOS",
+    "ScenarioResult",
+    "free_port",
+    "pick_shard_sessions",
+    "run_chaos",
+    "run_scenario",
+    "spawn_server",
+]
 
 #: Scenario registry, in the order ``repro serve-chaos`` runs them.
-SCENARIOS = ("fsync-fail", "torn-tail", "disconnect", "sigkill")
+SCENARIOS = ("fsync-fail", "torn-tail", "disconnect", "sigkill", "worker-kill")
 
 #: Compressor under test; opening-window with a mid-size tolerance so
 #: batches regularly both retain and discard points.
@@ -389,7 +400,8 @@ async def _scenario_disconnect(base: Path, seed: int, n_fixes: int) -> dict:
 # --------------------------------------------------------------------- #
 
 
-def _free_port() -> int:
+def free_port() -> int:
+    """An ephemeral TCP port, bound-and-released (small reuse race OK)."""
     import socket
 
     with socket.socket() as sock:
@@ -397,7 +409,13 @@ def _free_port() -> int:
         return sock.getsockname()[1]
 
 
-def _spawn_server(port: int, wal_dir: Path, store_path: Path) -> subprocess.Popen:
+def spawn_server(port: int, wal_dir: Path, store_path: Path) -> subprocess.Popen:
+    """A real ``repro serve`` subprocess, returned once it reports ready.
+
+    Shared by the ``sigkill`` scenario and the test harness: blocks until
+    the child prints its ``serving on`` banner (which only happens after
+    WAL replay and socket bind), so the caller may connect immediately.
+    """
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
@@ -439,10 +457,10 @@ async def _scenario_sigkill(base: Path, seed: int, n_fixes: int) -> dict:
     batch = 10
     n_batches = (n_fixes + batch - 1) // batch
     kill_after = rng.randint(1, n_batches - 1)
-    port = _free_port()
+    port = free_port()
     wal_dir, store_path = base / "wal", base / "chaos.rsto"
 
-    server = _spawn_server(port, wal_dir, store_path)
+    server = spawn_server(port, wal_dir, store_path)
     restarted: subprocess.Popen | None = None
     try:
         client = DurableServeClient(
@@ -456,7 +474,7 @@ async def _scenario_sigkill(base: Path, seed: int, n_fixes: int) -> dict:
                 if k == kill_after and not killed:
                     server.kill()          # SIGKILL: no handlers, no flush
                     server.wait(timeout=30.0)
-                    restarted = _spawn_server(port, wal_dir, store_path)
+                    restarted = spawn_server(port, wal_dir, store_path)
                     killed = True
                 await client.append("chaos", fixes[k * batch : (k + 1) * batch])
             await client.close_session("chaos")
@@ -491,6 +509,132 @@ async def _scenario_sigkill(base: Path, seed: int, n_fixes: int) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Sharded-fleet scenario: SIGKILL one worker under a live router
+# --------------------------------------------------------------------- #
+
+
+def pick_shard_sessions(pool: WorkerPool, per_shard: int) -> dict[str, str]:
+    """Session ids covering every shard: ``{session_id: owning_worker}``.
+
+    Scans deterministic candidate ids (the ring hash is process-stable)
+    until each worker owns ``per_shard`` of them, so the kill provably
+    disrupts some sessions while others ride on untouched shards.
+    """
+    wanted = {name: per_shard for name in pool.worker_names}
+    chosen: dict[str, str] = {}
+    for i in range(10_000):
+        sid = f"obj-{i}"
+        owner = pool.ring.node_for(sid)
+        if wanted.get(owner, 0) > 0:
+            wanted[owner] -= 1
+            chosen[sid] = owner
+        if not any(wanted.values()):
+            return chosen
+    raise ReproError("ring never covered every shard (broken hash?)")
+
+
+async def _scenario_worker_kill(base: Path, seed: int, n_fixes: int) -> dict:
+    """SIGKILL one shard's worker while clients stream through the router.
+
+    The full sharded stack: a :class:`ServeRouter` over two real
+    ``repro serve`` worker subprocesses, sessions pinned to both shards
+    by the consistent-hash ring, a :class:`DurableServeClient` streaming
+    them interleaved. Mid-stream, the worker owning half the sessions is
+    SIGKILLed. The pool monitor must respawn it over its own WAL
+    directory (replay *before* the banner, so the router re-admits the
+    hash range only once recovery is done), the client must resume
+    through the router, and sessions on the surviving shard must never
+    notice. The drain endgame merges both partitions; every session's
+    stored stream must be byte-identical to an uninterrupted run.
+    """
+    rng = random.Random(seed)
+    batch = 10
+    n_batches = (n_fixes + batch - 1) // batch
+    kill_before = rng.randint(1, n_batches - 1)
+    wal_dir, store_path = base / "wal", base / "fleet.rsto"
+
+    pool = WorkerPool(
+        2,
+        wal_dir=wal_dir,
+        store_path=store_path,
+        idle_timeout_s=3600.0,
+        sweep_interval_s=3600.0,
+    )
+    router = ServeRouter(pool, store_path=store_path)
+    await router.start()
+    owners = pick_shard_sessions(pool, per_shard=2)
+    sessions = {
+        sid: make_fixes(n_fixes, seed + i) for i, sid in enumerate(owners)
+    }
+    victim = next(iter(owners.values()))
+    try:
+        client = DurableServeClient(
+            router.host, router.port, timeout=10.0, max_retries=8,
+            backoff_base_s=0.1, backoff_max_s=1.0,
+        )
+        async with client:
+            for sid in sessions:
+                await client.open(sid, SPEC)
+            killed = False
+            for k in range(n_batches):
+                if k == kill_before and not killed:
+                    pool.kill(victim)  # SIGKILL; the monitor owns recovery
+                    killed = True
+                for sid, fixes in sessions.items():
+                    await client.append(sid, fixes[k * batch : (k + 1) * batch])
+            for sid in sessions:
+                await client.close_session(sid)
+            reconnects = client.reconnects
+
+        drained = await router.drain()
+        exit_codes = drained["workers"]
+        assert all(code == 0 for code in exit_codes.values()), (
+            f"drain left non-zero worker exits: {exit_codes}"
+        )
+        merged = drained["merged"]
+        assert merged is not None and merged["n_objects"] == len(sessions), (
+            f"merge lost objects: {merged}"
+        )
+
+        store = TrajectoryStore.load(store_path)
+        detail: dict = {
+            "victim": victim,
+            "kill_before_batch": kill_before,
+            "owners": owners,
+            "reconnects": reconnects,
+            "respawns": pool.metrics.counter("worker_respawns").value,
+            "worker_exit_codes": exit_codes,
+            "merged_objects": merged["n_objects"],
+            "sessions": {},
+        }
+        assert detail["respawns"] >= 1, "the killed worker was never respawned"
+        for sid, fixes in sessions.items():
+            per_session: dict = {"owner": owners[sid]}
+            _assert_prefix_identical(
+                spec=SPEC,
+                fixes=fixes,
+                recovered_raw=n_fixes,
+                acked_raw=n_fixes,
+                sent_raw=n_fixes,
+                stored=_stored_points(store, sid),
+                detail=per_session,
+            )
+            detail["sessions"][sid] = per_session
+        # Every session closed flushed-and-acked, so no shard's WAL may
+        # still hold live state after the drain.
+        for handle in pool.handles:
+            assert handle.wal_dir is not None
+            leftover = scan_wal(handle.wal_dir)
+            assert not leftover.live_sessions, (
+                f"{handle.name} WAL still live after drain: "
+                f"{sorted(leftover.live_sessions)}"
+            )
+        return detail
+    finally:
+        await router.stop()
+
+
+# --------------------------------------------------------------------- #
 # Runner
 # --------------------------------------------------------------------- #
 
@@ -499,6 +643,7 @@ _RUNNERS = {
     "torn-tail": _scenario_torn_tail,
     "disconnect": _scenario_disconnect,
     "sigkill": _scenario_sigkill,
+    "worker-kill": _scenario_worker_kill,
 }
 
 

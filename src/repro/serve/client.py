@@ -363,9 +363,20 @@ class DurableServeClient:
             state["seq"] = int(response.get("seq", state["seq"]))
 
     async def _with_retry(self, send: Callable[[ServeClient], Awaitable[dict]]) -> dict:
-        """Run one request, redialing on connection-level failures."""
+        """Run one request, redialing on connection-level failures.
+
+        Backs off between attempts even when the redial itself succeeds:
+        behind a sharded router the TCP dial always lands (the router is
+        alive) while the owning worker is still mid-respawn, so without
+        this pause every retry would burn in milliseconds and give up
+        before the shard recovers.
+        """
         last_error: ServeError | None = None
-        for _attempt in range(self.max_retries + 1):
+        delay = self.backoff_base_s
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                await self._sleep(min(delay, self.backoff_max_s))
+                delay *= 2
             try:
                 client = await self._ensure_connected()
                 return await send(client)

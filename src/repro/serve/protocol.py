@@ -76,6 +76,7 @@ ERROR_CODES = (
     "out-of-order",    # fix timestamp did not advance the session clock
     "storage",         # the store refused the flush (e.g. id collision)
     "wal-failure",     # the write-ahead log could not commit durably
+    "unavailable",     # sharded tier: the owning worker is down; retry later
     "timeout",         # client-side only: no response within the deadline
     "internal",
 )

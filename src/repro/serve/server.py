@@ -90,6 +90,8 @@ class TrajectoryServer:
             (group commit before the response is written), and
             :meth:`start` replays its surviving sessions. Crash safety
             costs one fsync per group of in-flight requests.
+        shard: name of this worker's shard when it serves as part of a
+            ``--workers N`` fleet; purely a label, echoed in ``stats``.
         faults: optional fault injector threaded into the WAL (chaos
             harness only).
         metrics: shared registry; one is created if absent.
@@ -111,6 +113,7 @@ class TrajectoryServer:
         replace: bool = False,
         default_spec: str | None = None,
         wal_dir: str | Path | None = None,
+        shard: str | None = None,
         faults: FaultInjector | None = None,
         metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
@@ -123,6 +126,10 @@ class TrajectoryServer:
             )
         self.host = host
         self.port = int(port)
+        #: Shard name when this server is one worker of a sharded fleet
+        #: (``repro serve --workers N``); surfaces in ``stats`` so the
+        #: router's merged view can attribute per-worker payloads.
+        self.shard = shard
         self.default_spec = default_spec
         self.queue_size = int(queue_size)
         self.sweep_interval_s = float(sweep_interval_s)
@@ -566,6 +573,7 @@ class TrajectoryServer:
         payload = self.manager.stats()
         payload.update(
             protocol_version=PROTOCOL_VERSION,
+            shard=self.shard,
             draining=self._draining,
             recovery=self.recovery,
             uptime_s=(

@@ -304,6 +304,44 @@ class TrajectoryStore:
         self._cache.pop(object_id, None)
         return updated
 
+    def adopt_record(self, record: StoredRecord, *, replace: bool = False) -> None:
+        """Take over an already-encoded record from another store.
+
+        The sharded serve tier's merge primitive: the record's blob was
+        produced by a compatible codec (workers and router share one
+        configuration), so re-encoding would be pure waste — the blob is
+        adopted verbatim and only the indexes are rebuilt from it.
+
+        Raises:
+            StorageError: duplicate id without ``replace``.
+            CorruptRecordError: the blob fails its codec checksum.
+        """
+        key = record.object_id
+        if key in self._records and not replace:
+            raise StorageError(f"object id {key!r} already stored (use replace=True)")
+        traj = decode_trajectory(record.blob)
+        self._records[key] = record
+        self._index.insert(key, traj.xy)
+        self._time_index.insert(key, record.start_time, record.end_time)
+        self._cache.pop(key, None)
+
+    def merge_from(self, other: "TrajectoryStore", *, replace: bool = False) -> int:
+        """Adopt every record of ``other`` into this store.
+
+        Used when a drained shard fleet folds its per-worker partition
+        files into one store file. Blobs move without re-encoding.
+
+        Returns:
+            How many records were adopted.
+
+        Raises:
+            StorageError: an id exists in both stores and ``replace`` is
+                false (ids already adopted stay adopted).
+        """
+        for object_id in other.object_ids():
+            self.adopt_record(other.record(object_id), replace=replace)
+        return len(other)
+
     def remove(self, object_id: str) -> None:
         """Delete a stored trajectory.
 

@@ -33,8 +33,12 @@ __all__ = [
     "run_scenario",
 ]
 
-#: In-process scenarios: fast enough for every CI run.
-FAST_SCENARIOS = tuple(name for name in SCENARIOS if name != "sigkill")
+#: Scenarios that spawn real server subprocesses (``slow``-marked):
+#: ``sigkill`` murders a single-process server, ``worker-kill`` murders
+#: one shard of a router-fronted worker fleet.
+SLOW_SCENARIOS = ("sigkill", "worker-kill")
 
-#: Scenarios that spawn real server subprocesses (``slow``-marked).
-SLOW_SCENARIOS = ("sigkill",)
+#: In-process scenarios: fast enough for every CI run.
+FAST_SCENARIOS = tuple(
+    name for name in SCENARIOS if name not in SLOW_SCENARIOS
+)

@@ -1,0 +1,168 @@
+"""HashRing and WorkerPool unit tests (no sockets, no subprocesses).
+
+The Hypothesis suite proves the two properties the sharded tier leans
+on: every object id routes to exactly one live worker, and a membership
+change (worker added or removed) only remaps keys on the changed
+worker's arcs — everything else keeps its shard, which is what lets one
+worker recover its WAL while the rest of the fleet serves untouched.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ServeError
+from repro.serve.pool import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    WorkerPool,
+    partition_path,
+)
+
+#: Small replica count keeps each Hypothesis example cheap; the
+#: properties under test are replica-count-independent.
+RING_REPLICAS = 16
+
+node_sets = st.lists(
+    st.sampled_from([f"worker-{i}" for i in range(8)]),
+    min_size=1, max_size=8, unique=True,
+)
+key_sets = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=100, unique=True
+)
+
+
+class TestRingProperties:
+    @settings(deadline=None)
+    @given(nodes=node_sets, keys=key_sets)
+    def test_every_key_routes_to_exactly_one_live_node(self, nodes, keys):
+        ring = HashRing(nodes, replicas=RING_REPLICAS)
+        for key in keys:
+            owner = ring.node_for(key)
+            assert owner in ring.nodes
+            # Deterministic: the same key never flaps between owners.
+            assert ring.node_for(key) == owner
+
+    @settings(deadline=None)
+    @given(nodes=node_sets.filter(lambda ns: len(ns) >= 2), keys=key_sets)
+    def test_removal_only_remaps_the_victims_keys(self, nodes, keys):
+        ring = HashRing(nodes, replicas=RING_REPLICAS)
+        before = {key: ring.node_for(key) for key in keys}
+        victim = nodes[0]
+        ring.remove(victim)
+        for key in keys:
+            if before[key] == victim:
+                assert ring.node_for(key) != victim
+            else:
+                # The load-bearing property: survivors keep every key.
+                assert ring.node_for(key) == before[key]
+
+    @settings(deadline=None)
+    @given(nodes=node_sets.filter(lambda ns: "newcomer" not in ns),
+           keys=key_sets)
+    def test_addition_only_steals_keys_for_the_new_node(self, nodes, keys):
+        ring = HashRing(nodes, replicas=RING_REPLICAS)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add("newcomer")
+        for key in keys:
+            after = ring.node_for(key)
+            assert after == before[key] or after == "newcomer"
+
+    @settings(deadline=None)
+    @given(nodes=node_sets, keys=key_sets)
+    def test_add_then_remove_round_trips_the_mapping(self, nodes, keys):
+        ring = HashRing(nodes, replicas=RING_REPLICAS)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add("transient")
+        ring.remove("transient")
+        assert {key: ring.node_for(key) for key in keys} == before
+
+    @settings(deadline=None)
+    @given(nodes=node_sets, keys=key_sets, seed=st.randoms())
+    def test_mapping_independent_of_insertion_order(self, nodes, keys, seed):
+        shuffled = list(nodes)
+        seed.shuffle(shuffled)
+        one = HashRing(nodes, replicas=RING_REPLICAS)
+        two = HashRing(shuffled, replicas=RING_REPLICAS)
+        for key in keys:
+            assert one.node_for(key) == two.node_for(key)
+
+
+class TestRingEdges:
+    def test_empty_ring_raises_unavailable(self):
+        ring = HashRing()
+        with pytest.raises(ServeError) as err:
+            ring.node_for("anything")
+        assert err.value.code == "unavailable"
+
+    def test_duplicate_and_unknown_nodes_refuse(self):
+        ring = HashRing(["worker-0"])
+        with pytest.raises(ValueError):
+            ring.add("worker-0")
+        with pytest.raises(ValueError):
+            ring.remove("ghost")
+        with pytest.raises(ValueError):
+            ring.add("")
+
+    def test_bad_replica_count_refuses(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_default_replicas_balance_within_reason(self):
+        """10k synthetic object ids across 4 workers: no shard may hold
+        less than 15% or more than 35% of the keys (even split = 25%)."""
+        ring = HashRing([f"worker-{i}" for i in range(4)],
+                        replicas=DEFAULT_REPLICAS)
+        counts = {name: 0 for name in ring.nodes}
+        n = 10_000
+        for i in range(n):
+            counts[ring.node_for(f"obj-{i}")] += 1
+        assert sum(counts.values()) == n
+        for name, count in counts.items():
+            assert 0.15 <= count / n <= 0.35, (name, counts)
+
+
+class TestPartitionPath:
+    def test_partition_sits_next_to_the_merged_file(self, tmp_path):
+        merged = tmp_path / "fleet.rsto"
+        part = partition_path(merged, "worker-2")
+        assert part == tmp_path / "fleet.rsto.worker-2"
+        assert part.parent == merged.parent
+
+    def test_accepts_strings(self):
+        assert partition_path("fleet.rsto", "worker-0") == \
+            Path("fleet.rsto.worker-0")
+
+
+class TestWorkerPoolLayout:
+    """Construction-time invariants — nothing is spawned here."""
+
+    def test_shared_nothing_layout(self, tmp_path):
+        pool = WorkerPool(
+            3, wal_dir=tmp_path / "wal", store_path=tmp_path / "fleet.rsto"
+        )
+        assert pool.worker_names == ["worker-0", "worker-1", "worker-2"]
+        wal_dirs = {h.wal_dir for h in pool.handles}
+        stores = {h.store_path for h in pool.handles}
+        assert len(wal_dirs) == 3 and len(stores) == 3  # fully disjoint
+        for handle in pool.handles:
+            assert handle.wal_dir == tmp_path / "wal" / handle.name
+            assert handle.store_path == partition_path(
+                tmp_path / "fleet.rsto", handle.name
+            )
+            assert not handle.alive
+            assert not handle.ready.is_set()
+
+    def test_handle_for_agrees_with_the_ring(self, tmp_path):
+        pool = WorkerPool(4)
+        for i in range(200):
+            sid = f"obj-{i}"
+            assert pool.handle_for(sid).name == pool.ring.node_for(sid)
+
+    def test_zero_workers_refuses(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)

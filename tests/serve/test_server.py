@@ -21,28 +21,15 @@ from repro.serve.protocol import MAX_LINE_BYTES, encode_message
 from repro.storage.store import TrajectoryStore
 from repro.types import Fix
 
-from tests.serve.harness import connected, run_async, running_server
+from tests.serve.harness import (
+    connected,
+    fixes_of,
+    run_async,
+    running_server,
+    stream_session,
+)
 
 pytestmark = pytest.mark.serve
-
-
-def fixes_of(traj) -> list[Fix]:
-    return [Fix(float(t), float(x), float(y))
-            for t, x, y in zip(traj.t, traj.x, traj.y)]
-
-
-async def _stream_session(server, object_id, spec, fixes, chunk) -> list[Fix]:
-    """Open, append in chunks, close; returns the full retained stream."""
-    retained: list[Fix] = []
-    async with connected(server) as client:
-        await client.open(object_id, spec)
-        for start in range(0, len(fixes), chunk):
-            retained.extend(
-                await client.append(object_id, fixes[start : start + chunk])
-            )
-        summary = await client.close_session(object_id)
-        retained.extend(summary["retained"])
-    return retained
 
 
 class TestEndToEndEquivalence:
@@ -59,7 +46,7 @@ class TestEndToEndEquivalence:
 
         async def scenario():
             async with running_server() as server:
-                return await _stream_session(
+                return await stream_session(
                     server, "urban", spec, fixes, chunk=25
                 )
 
@@ -245,7 +232,7 @@ class TestPersistenceAndStats:
             async with running_server(
                 store_path=store_path, durable=False
             ) as server:
-                await _stream_session(
+                await stream_session(
                     server, "z", "opw-tr:epsilon=30", fixes, chunk=5
                 )
 
@@ -327,7 +314,7 @@ class TestStatsObservability:
             async with running_server(
                 store_path=store_path, durable=False
             ) as server:
-                await _stream_session(
+                await stream_session(
                     server, "obj-a", "opw-tr:epsilon=30", fixes, chunk=5
                 )
                 async with connected(server) as client:

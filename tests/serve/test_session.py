@@ -16,6 +16,8 @@ from repro.storage.store import TrajectoryStore
 from repro.streaming import available_online_compressors
 from repro.types import Fix
 
+from tests.serve.harness import fixes_of
+
 
 class FakeClock:
     def __init__(self) -> None:
@@ -37,11 +39,6 @@ def make_manager(clock: FakeClock, **kwargs) -> SessionManager:
     kwargs.setdefault("max_sessions", 4)
     kwargs.setdefault("idle_timeout_s", 10.0)
     return SessionManager(TrajectoryStore(), clock=clock, **kwargs)
-
-
-def fixes_of(traj) -> list[Fix]:
-    return [Fix(float(t), float(x), float(y))
-            for t, x, y in zip(traj.t, traj.x, traj.y)]
 
 
 class TestLifecycle:
