@@ -1,0 +1,305 @@
+"""Benchmark: summary-pruned queries vs the load-everything baseline.
+
+Builds a city-scale store (10k objects by default, ~110 raw points
+each, inserted uncompressed so the byte accounting is exact), runs a
+deterministic mix of position / window / nearest queries through
+:class:`repro.query.engine.QueryEngine`, and measures
+
+* **decoded bytes per query** — read from the engine's own counters —
+  against what the brute-force baseline (:mod:`repro.query.baseline`)
+  decodes for the same answers, and
+* wall-clock latency for both sides (informational; the byte ratio is
+  the machine-independent metric the CI perf gate pins).
+
+The headline number is ``decoded_bytes_ratio``: baseline bytes over
+engine bytes, aggregated over the whole query mix. The engine promises
+at least 10x on the full-size store; the report is marked failed when
+it does not deliver. Answers are also cross-checked against the
+baseline — a fast wrong answer must fail the bench, not win it.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_query.py
+
+or the CI-sized variant (fewer objects, same query mix)::
+
+    PYTHONPATH=src python benchmarks/bench_query.py --quick
+
+or via pytest::
+
+    pytest benchmarks/bench_query.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.bbox import BBox
+from repro.obs import Registry
+from repro.query.baseline import brute_nearest, brute_position, brute_window
+from repro.query.engine import QueryEngine
+from repro.storage.store import TrajectoryStore
+from repro.trajectory import Trajectory
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+FULL_OBJECTS = 10_000
+QUICK_OBJECTS = 400
+POINTS_PER_OBJECT = 110
+#: Queries per verb; small enough that brute force stays affordable on
+#: the full store, large enough to average over partition layouts.
+N_QUERIES = 40
+#: The synthetic city: objects move inside a 40 km square.
+CITY_M = 40_000.0
+#: Required decoded-bytes advantage on the full-size store.
+REQUIRED_RATIO = 10.0
+
+
+def make_store(n_objects: int, seed: int = 17) -> TrajectoryStore:
+    """A deterministic store of random-walk trips across the city.
+
+    Uncompressed inserts (``compressor=None``) keep stored bytes equal
+    to raw geometry bytes, so the decoded-byte comparison measures the
+    query layer alone, not compression.
+    """
+    rng = np.random.default_rng(seed)
+    store = TrajectoryStore(cell_size_m=2_000.0)
+    starts = rng.uniform(0.0, 86_400.0, size=n_objects)
+    origins = rng.uniform(0.05 * CITY_M, 0.95 * CITY_M, size=(n_objects, 2))
+    for i in range(n_objects):
+        n = int(rng.integers(POINTS_PER_OBJECT - 10, POINTS_PER_OBJECT + 10))
+        t = starts[i] + np.cumsum(rng.uniform(5.0, 15.0, size=n))
+        steps = rng.normal(0.0, 60.0, size=(n, 2))
+        xy = np.clip(origins[i] + np.cumsum(steps, axis=0), 0.0, CITY_M)
+        store.insert(Trajectory(t, xy, f"obj-{i:05d}"))
+    return store
+
+
+def make_queries(store: TrajectoryStore, seed: int = 23) -> dict[str, list]:
+    """A deterministic query mix anchored on actual stored objects."""
+    rng = np.random.default_rng(seed)
+    keys = store.object_ids()
+    picks = rng.choice(len(keys), size=N_QUERIES, replace=False)
+    position = []
+    window = []
+    nearest = []
+    for index in picks:
+        key = keys[int(index)]
+        rec = store.record(key)
+        when = float(
+            rec.start_time + rng.uniform(0.1, 0.9) * (rec.end_time - rec.start_time)
+        )
+        position.append((key, when))
+        cx, cy = rec.bbox.center
+        half = float(rng.uniform(250.0, 1_500.0))
+        window.append((
+            when - float(rng.uniform(60.0, 600.0)),
+            when + float(rng.uniform(60.0, 600.0)),
+            BBox(cx - half, cy - half, cx + half, cy + half),
+        ))
+        nearest.append((cx, cy, when, int(rng.integers(1, 6))))
+    return {"position": position, "window": window, "nearest": nearest}
+
+
+def _blob_bytes(store: TrajectoryStore) -> dict[str, int]:
+    return {key: len(store.record(key).blob) for key in store.object_ids()}
+
+
+def run_engine(
+    store: TrajectoryStore, queries: dict[str, list]
+) -> tuple[dict, dict]:
+    """Run the mix through the engine; returns (answers, measurements)."""
+    registry = Registry()
+    engine = QueryEngine(store, metrics=registry)
+    answers: dict = {}
+    measure: dict = {}
+    for verb in ("position", "window", "nearest"):
+        before = registry.counter("query_decoded_bytes").value
+        out = []
+        started = time.perf_counter()
+        if verb == "position":
+            for key, when in queries[verb]:
+                a = engine.position_at(key, when)
+                out.append((a.x, a.y))
+        elif verb == "window":
+            for t0, t1, box in queries[verb]:
+                out.append(engine.window(t0, t1, box))
+        else:
+            for x, y, when, k in queries[verb]:
+                out.append([
+                    (a.object_id, a.distance_m)
+                    for a in engine.nearest(x, y, when, k=k)
+                ])
+        elapsed = time.perf_counter() - started
+        measure[verb] = {
+            "decoded_bytes": registry.counter("query_decoded_bytes").value - before,
+            "elapsed_s": elapsed,
+        }
+        answers[verb] = out
+    measure["prune_ratio"] = registry.gauge("query_prune_ratio").value
+    return answers, measure
+
+
+def run_baseline(
+    store: TrajectoryStore, queries: dict[str, list]
+) -> tuple[dict, dict]:
+    """Brute force: decode everything relevant, count the blob bytes.
+
+    Per the load-everything contract, a position query decodes its
+    object's whole blob; window and nearest decode every stored blob.
+    The decode cache is disabled-equivalent here: bytes are charged per
+    query, which is exactly what a cacheless full-load server would do.
+    """
+    blob_bytes = _blob_bytes(store)
+    total_bytes = sum(blob_bytes.values())
+    answers: dict = {}
+    measure: dict = {}
+
+    started = time.perf_counter()
+    answers["position"] = [
+        tuple(float(v) for v in brute_position(store, key, when))
+        for key, when in queries["position"]
+    ]
+    measure["position"] = {
+        "decoded_bytes": sum(
+            blob_bytes[key] for key, _ in queries["position"]
+        ),
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+    started = time.perf_counter()
+    answers["window"] = [
+        brute_window(store, t0, t1, box) for t0, t1, box in queries["window"]
+    ]
+    measure["window"] = {
+        "decoded_bytes": total_bytes * len(queries["window"]),
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+    started = time.perf_counter()
+    answers["nearest"] = [
+        brute_nearest(store, x, y, when, k=k)
+        for x, y, when, k in queries["nearest"]
+    ]
+    measure["nearest"] = {
+        "decoded_bytes": total_bytes * len(queries["nearest"]),
+        "elapsed_s": time.perf_counter() - started,
+    }
+    return answers, measure
+
+
+def bench(n_objects: int, output: Path = OUTPUT) -> dict:
+    """Build, query both ways, verify equality, write the report."""
+    store = make_store(n_objects)
+    queries = make_queries(store)
+    engine_answers, engine_measure = run_engine(store, queries)
+    brute_answers, brute_measure = run_baseline(store, queries)
+
+    failures = []
+    if engine_answers["position"] != brute_answers["position"]:
+        failures.append("position answers diverge from brute force")
+    if engine_answers["window"] != brute_answers["window"]:
+        failures.append("window answers diverge from brute force")
+    if engine_answers["nearest"] != brute_answers["nearest"]:
+        failures.append("nearest answers diverge from brute force")
+
+    verbs = {}
+    engine_total = 0
+    brute_total = 0
+    for verb in ("position", "window", "nearest"):
+        e, b = engine_measure[verb], brute_measure[verb]
+        engine_total += e["decoded_bytes"]
+        brute_total += b["decoded_bytes"]
+        verbs[verb] = {
+            "n_queries": len(queries[verb]),
+            "engine_decoded_bytes_per_query": e["decoded_bytes"] / N_QUERIES,
+            "baseline_decoded_bytes_per_query": b["decoded_bytes"] / N_QUERIES,
+            "decoded_bytes_ratio": (
+                b["decoded_bytes"] / e["decoded_bytes"]
+                if e["decoded_bytes"]
+                else float("inf")
+            ),
+            "engine_ms_per_query": 1e3 * e["elapsed_s"] / N_QUERIES,
+            "baseline_ms_per_query": 1e3 * b["elapsed_s"] / N_QUERIES,
+        }
+    ratio = brute_total / engine_total if engine_total else float("inf")
+    meets = ratio >= REQUIRED_RATIO
+    if not meets:
+        failures.append(
+            f"decoded_bytes_ratio {ratio:.1f} below required {REQUIRED_RATIO}"
+        )
+
+    store_stats = store.stats()
+    report = {
+        "benchmark": "query",
+        "config": {
+            "n_objects": n_objects,
+            "points_per_object": POINTS_PER_OBJECT,
+            "n_queries_per_verb": N_QUERIES,
+            "partition_points": store.summary_config.partition_points,
+            "summary_grid_m": store.summary_config.grid_m,
+        },
+        "results": {
+            "stored_bytes": store_stats.stored_bytes,
+            "engine_decoded_bytes": engine_total,
+            "baseline_decoded_bytes": brute_total,
+            "decoded_bytes_ratio": ratio,
+            "prune_ratio": engine_measure["prune_ratio"],
+            "verbs": verbs,
+        },
+        "failed": bool(failures),
+        "failures": failures,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_query_quick(tmp_path):
+    """Suite-sized smoke: answers match brute force and pruning wins."""
+    report = bench(200, output=tmp_path / "BENCH_query.json")
+    assert not report["failed"], report["failures"]
+    assert report["results"]["decoded_bytes_ratio"] >= REQUIRED_RATIO
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--objects", type=int, default=FULL_OBJECTS,
+        help=f"stored objects (default {FULL_OBJECTS})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-sized run ({QUICK_OBJECTS} objects instead of {FULL_OBJECTS})",
+    )
+    parser.add_argument(
+        "--output", "-o", type=Path, default=OUTPUT,
+        help=f"report path (default {OUTPUT.name} at the repo root)",
+    )
+    args = parser.parse_args()
+    n_objects = QUICK_OBJECTS if args.quick else args.objects
+    report = bench(n_objects, output=args.output)
+    results = report["results"]
+    for verb, entry in results["verbs"].items():
+        print(
+            f"{verb}: engine {entry['engine_decoded_bytes_per_query']:,.0f} "
+            f"B/query vs baseline "
+            f"{entry['baseline_decoded_bytes_per_query']:,.0f} B/query "
+            f"({entry['decoded_bytes_ratio']:.1f}x), "
+            f"{entry['engine_ms_per_query']:.2f} ms vs "
+            f"{entry['baseline_ms_per_query']:.2f} ms"
+        )
+    print(
+        f"overall decoded-bytes ratio: {results['decoded_bytes_ratio']:.1f}x "
+        f"(required >= {REQUIRED_RATIO:.0f}x), "
+        f"prune ratio {results['prune_ratio']:.3f}"
+    )
+    print(f"-> {args.output}")
+    return 1 if report["failed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

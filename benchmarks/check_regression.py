@@ -59,6 +59,8 @@ def _load(path: Path) -> dict:
 def _detect_kind(report: dict) -> str:
     if report.get("benchmark") == "kernels" or "algorithms" in report:
         return "kernels"
+    if report.get("benchmark") == "query":
+        return "query"
     if "results" in report and "config" in report:
         return "serve"
     raise SystemExit(
@@ -93,7 +95,26 @@ def _serve_view(report: dict) -> tuple[dict, dict]:
     return metrics, config
 
 
-_VIEWS = {"kernels": _kernel_view, "serve": _serve_view}
+def _query_view(report: dict) -> tuple[dict, dict]:
+    """(metrics, config) for a ``bench_query.py`` report.
+
+    Only the decoded-byte ratios are gated: byte counts are a pure
+    function of the deterministic store and query mix, so any drop is a
+    real pruning regression, not runner noise. Latencies ride along in
+    the report but are machine-dependent and stay informational.
+    """
+    results = report.get("results", {})
+    metrics = {
+        "decoded_bytes_ratio": (float(results["decoded_bytes_ratio"]), True),
+    }
+    for verb, entry in sorted(results.get("verbs", {}).items()):
+        metrics[f"{verb} decoded_bytes_ratio"] = (
+            float(entry["decoded_bytes_ratio"]), True
+        )
+    return metrics, dict(report.get("config", {}))
+
+
+_VIEWS = {"kernels": _kernel_view, "serve": _serve_view, "query": _query_view}
 
 
 def compare(

@@ -19,6 +19,9 @@ Exposes the library's everyday operations without writing code:
 * ``report`` — per-segment error diagnostics of a compression;
 * ``serve`` — run the trajectory-ingestion service (see
   ``docs/SERVING.md``);
+* ``query`` — position/window/nearest/summaries queries over compressed
+  records, against a ``.rsto`` store file or a live server (see
+  ``docs/QUERYING.md``);
 * ``serve-bench`` — load-test a served ingestion run, writing
   ``BENCH_serve.json``;
 * ``serve-chaos`` — fault-injection harness proving the serve tier's
@@ -751,6 +754,188 @@ def _cmd_serve_bench_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_local(args: argparse.Namespace) -> dict:
+    """Answer one query against a store file via the local engine."""
+    from repro.exceptions import ObjectNotFoundError
+    from repro.geometry.bbox import BBox
+    from repro.query.engine import QueryEngine
+    from repro.storage.store import TrajectoryStore
+
+    store = TrajectoryStore.load(Path(args.store))
+    engine = QueryEngine(store)
+    kind = args.query_command
+    try:
+        if kind == "position":
+            answer = engine.position_at(args.object, args.t)
+            return {
+                "object": answer.object_id,
+                "t": answer.t,
+                "x": answer.x,
+                "y": answer.y,
+                "error_bound_m": answer.error_bound_m,
+                "source": "stored",
+            }
+        if kind == "window":
+            box = None if args.bbox is None else BBox(*args.bbox)
+            ids = engine.window(args.t0, args.t1, box, args.mode)
+            return {"objects": ids, "n": len(ids)}
+        if kind == "nearest":
+            answers = engine.nearest(args.x, args.y, args.t, k=args.k)
+            return {
+                "results": [
+                    {
+                        "object": a.object_id,
+                        "distance_m": a.distance_m,
+                        "x": a.x,
+                        "y": a.y,
+                        "error_bound_m": a.error_bound_m,
+                        "source": "stored",
+                    }
+                    for a in answers
+                ]
+            }
+        # summaries
+        if args.object is not None:
+            objects = {args.object: store.summary(args.object).to_wire()}
+        else:
+            objects = {
+                key: store.summary(key).to_wire() for key in store.object_ids()
+            }
+        config = store.summary_config
+        return {
+            "objects": objects,
+            "live_sessions": [],
+            "config": {
+                "partition_points": config.partition_points,
+                "grid_m": config.grid_m,
+                "time_grid_s": config.time_grid_s,
+            },
+        }
+    except ObjectNotFoundError as exc:
+        raise ReproError(f"no stored object {exc} in {args.store}") from None
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+
+
+def _query_remote(args: argparse.Namespace) -> dict:
+    """Answer one query against a live server (or router) over the wire."""
+    import asyncio
+
+    from repro.exceptions import ServeError
+    from repro.serve.client import ServeClient
+
+    async def _run() -> dict:
+        async with await ServeClient.connect(args.host, args.port) as client:
+            kind = args.query_command
+            if kind == "position":
+                response = await client.request(
+                    {
+                        "op": "query",
+                        "query": "position",
+                        "object": args.object,
+                        "t": args.t,
+                    }
+                )
+                return {**response["result"], "source": response.get("source")}
+            if kind == "window":
+                ids = await client.query_window(
+                    args.t0, args.t1, args.bbox, args.mode
+                )
+                return {"objects": ids, "n": len(ids)}
+            if kind == "nearest":
+                results = await client.query_nearest(
+                    args.x, args.y, args.t, k=args.k
+                )
+                return {"results": results}
+            return await client.summaries(args.object)
+
+    try:
+        return asyncio.run(_run())
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach server at {args.host}:{args.port}: {exc} "
+            f"(use --store to query a store file directly)"
+        ) from exc
+    except ServeError as exc:
+        raise ReproError(f"{exc} (code {exc.code})") from exc
+
+
+def _print_query_result(kind: str, result: dict) -> None:
+    if kind == "position":
+        bound = result.get("error_bound_m")
+        margin = "no error bound" if bound is None else f"±{bound:g} m"
+        print(
+            f"{result['object']} @ t={result['t']:g}: "
+            f"({result['x']:.3f}, {result['y']:.3f})  [{margin}, "
+            f"{result.get('source', 'stored')}]"
+        )
+    elif kind == "window":
+        print(f"{result['n']} object(s)")
+        for object_id in result["objects"]:
+            print(f"  {object_id}")
+    elif kind == "nearest":
+        rows = []
+        for rank, entry in enumerate(result["results"], start=1):
+            bound = entry.get("error_bound_m")
+            rows.append(
+                (
+                    rank,
+                    entry["object"],
+                    f"{entry['distance_m']:.3f}",
+                    f"({entry['x']:.3f}, {entry['y']:.3f})",
+                    "-" if bound is None else f"{bound:g}",
+                    entry.get("source", "stored"),
+                )
+            )
+        print(
+            render_table(
+                ["#", "object", "distance (m)", "position", "bound (m)", "source"],
+                rows,
+                title="nearest objects",
+            )
+        )
+    else:  # summaries
+        config = result.get("config")
+        if config:
+            print(
+                f"summary grid: {config['partition_points']} points/partition, "
+                f"{config['grid_m']:g} m x {config['time_grid_s']:g} s"
+            )
+        rows = [
+            (
+                object_id,
+                summary["n_points"],
+                len(summary["partitions"]),
+                f"[{summary['partitions'][0]['t0']:g}, "
+                f"{summary['partitions'][-1]['t1']:g}]"
+                if summary["partitions"]
+                else "-",
+            )
+            for object_id, summary in sorted(result["objects"].items())
+        ]
+        print(
+            render_table(
+                ["object", "points", "partitions", "time span"],
+                rows,
+                title=f"{len(rows)} stored object(s)",
+            )
+        )
+        live = result.get("live_sessions") or []
+        if live:
+            print(f"live sessions: {', '.join(live)}")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    result = _query_local(args) if args.store is not None else _query_remote(args)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _print_query_result(args.query_command, result)
+    return 0
+
+
 def _cmd_obs_dump(args: argparse.Namespace) -> int:
     import json
 
@@ -1124,6 +1309,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded bench only: skip the single-process comparison run",
     )
     p_bench.set_defaults(func=_cmd_serve_bench)
+
+    p_query = sub.add_parser(
+        "query",
+        help="query compressed trajectories: a .rsto store file directly, "
+             "or a live server/router (see docs/QUERYING.md)",
+    )
+    query_sub = p_query.add_subparsers(dest="query_command", required=True)
+
+    def _query_target_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store", default=None, metavar="FILE",
+            help="query this .rsto store file locally (no server needed)",
+        )
+        p.add_argument("--host", default="127.0.0.1",
+                       help="live server/router address (when --store absent)")
+        p.add_argument("--port", type=int, default=8750,
+                       help="live server/router port")
+        p.add_argument("--json", action="store_true",
+                       help="print the raw JSON result instead of a table")
+
+    p_qpos = query_sub.add_parser(
+        "position", help="interpolated position of one object at a time"
+    )
+    p_qpos.add_argument("object", help="object id")
+    p_qpos.add_argument("t", type=float, help="query time (seconds)")
+    _query_target_args(p_qpos)
+    p_qpos.set_defaults(func=_cmd_query)
+
+    p_qwin = query_sub.add_parser(
+        "window", help="object ids matching a time window (and optional box)"
+    )
+    p_qwin.add_argument("t0", type=float, help="window start (seconds)")
+    p_qwin.add_argument("t1", type=float, help="window end (seconds)")
+    p_qwin.add_argument(
+        "--bbox", type=float, nargs=4, default=None,
+        metavar=("MIN_X", "MIN_Y", "MAX_X", "MAX_Y"),
+        help="restrict to trajectories passing through this box (metres)",
+    )
+    p_qwin.add_argument(
+        "--mode", choices=("stored", "possibly", "definitely"),
+        default="stored",
+        help="answer semantics under compression error (docs/QUERYING.md)",
+    )
+    _query_target_args(p_qwin)
+    p_qwin.set_defaults(func=_cmd_query)
+
+    p_qnear = query_sub.add_parser(
+        "nearest", help="the k objects nearest a point at a time"
+    )
+    p_qnear.add_argument("x", type=float, help="query x (metres)")
+    p_qnear.add_argument("y", type=float, help="query y (metres)")
+    p_qnear.add_argument("t", type=float, help="query time (seconds)")
+    p_qnear.add_argument("-k", type=_positive_int, default=1,
+                         help="how many neighbours (default 1)")
+    _query_target_args(p_qnear)
+    p_qnear.set_defaults(func=_cmd_query)
+
+    p_qsum = query_sub.add_parser(
+        "summaries", help="partition summaries of stored objects"
+    )
+    p_qsum.add_argument("object", nargs="?", default=None,
+                        help="one object id (default: every stored object)")
+    _query_target_args(p_qsum)
+    p_qsum.set_defaults(func=_cmd_query)
 
     p_obs = sub.add_parser(
         "obs", help="observability utilities (see docs/OBSERVABILITY.md)"

@@ -240,6 +240,59 @@ class ServeClient:
         response = await self.request({"op": "stats"})
         return response["stats"]
 
+    async def query_position(self, object_id: str, t: float) -> dict:
+        """Interpolated position of ``object_id`` at time ``t``.
+
+        Returns the response's ``result`` dict (``object``/``t``/``x``/
+        ``y``/``error_bound_m``); live sessions answer before stored
+        records (``source`` on the full response says which).
+
+        Raises:
+            ServeError: ``not-found`` for an unknown object or a time
+                outside its interval.
+        """
+        response = await self.request(
+            {"op": "query", "query": "position", "object": object_id, "t": t}
+        )
+        return response["result"]
+
+    async def query_window(
+        self,
+        t0: float,
+        t1: float,
+        bbox: Sequence[float] | None = None,
+        mode: str = "stored",
+    ) -> list[str]:
+        """Sorted object ids matching a time window (and optional box)."""
+        message: dict = {"op": "query", "query": "window", "t0": t0, "t1": t1}
+        if bbox is not None:
+            message["bbox"] = [float(part) for part in bbox]
+        if mode != "stored":
+            message["mode"] = mode
+        response = await self.request(message)
+        return list(response["objects"])
+
+    async def query_nearest(
+        self, x: float, y: float, t: float, k: int = 1
+    ) -> list[dict]:
+        """The ``k`` objects nearest ``(x, y)`` at time ``t``, ranked."""
+        response = await self.request(
+            {"op": "query", "query": "nearest", "x": x, "y": y, "t": t, "k": k}
+        )
+        return list(response["results"])
+
+    async def summaries(self, object_id: str | None = None) -> dict:
+        """Partition summaries (all objects, or one) + live session ids."""
+        message: dict = {"op": "summaries"}
+        if object_id is not None:
+            message["object"] = object_id
+        response = await self.request(message)
+        return {
+            "objects": response["objects"],
+            "live_sessions": response.get("live_sessions", []),
+            "config": response.get("config"),
+        }
+
 
 class DurableServeClient:
     """A reconnecting client that survives server crashes without data loss.
@@ -494,6 +547,32 @@ class DurableServeClient:
             lambda c: c.request({"op": "stats"})
         )
         return response["stats"]
+
+    async def query_position(self, object_id: str, t: float) -> dict:
+        """Reconnect-safe :meth:`ServeClient.query_position` (read-only)."""
+        return await self._with_retry(lambda c: c.query_position(object_id, t))
+
+    async def query_window(
+        self,
+        t0: float,
+        t1: float,
+        bbox: Sequence[float] | None = None,
+        mode: str = "stored",
+    ) -> list[str]:
+        """Reconnect-safe :meth:`ServeClient.query_window` (read-only)."""
+        return await self._with_retry(
+            lambda c: c.query_window(t0, t1, bbox, mode)
+        )
+
+    async def query_nearest(
+        self, x: float, y: float, t: float, k: int = 1
+    ) -> list[dict]:
+        """Reconnect-safe :meth:`ServeClient.query_nearest` (read-only)."""
+        return await self._with_retry(lambda c: c.query_nearest(x, y, t, k))
+
+    async def summaries(self, object_id: str | None = None) -> dict:
+        """Reconnect-safe :meth:`ServeClient.summaries` (read-only)."""
+        return await self._with_retry(lambda c: c.summaries(object_id))
 
     def _session_state(self, session: str) -> dict:
         state = self._sessions.get(session)

@@ -54,14 +54,17 @@ __all__ = [
 #: Version announced in ``stats`` responses; bump on wire changes.
 #: v2 added per-session append sequence numbers, the ``resume`` verb,
 #: and the ``wal-failure`` / ``bad-seq`` error codes.
-PROTOCOL_VERSION = 2
+#: v3 added the read path: the ``query`` verb (position/window/nearest
+#: over stored + live data), the ``summaries`` verb, and the
+#: ``not-found`` error code.
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one protocol line (requests *and* responses). Bounds
 #: per-connection buffering; a batched append must stay under it.
 MAX_LINE_BYTES = 1_048_576
 
 #: The request verbs the server understands.
-OPS = ("open", "append", "resume", "close", "flush", "stats")
+OPS = ("open", "append", "resume", "close", "flush", "stats", "query", "summaries")
 
 #: Machine-readable error codes carried by ``ok: false`` responses.
 ERROR_CODES = (
@@ -74,6 +77,7 @@ ERROR_CODES = (
     "duplicate-session",
     "unknown-session",
     "out-of-order",    # fix timestamp did not advance the session clock
+    "not-found",       # query: unknown object, or time outside its interval
     "storage",         # the store refused the flush (e.g. id collision)
     "wal-failure",     # the write-ahead log could not commit durably
     "unavailable",     # sharded tier: the owning worker is down; retry later

@@ -278,9 +278,19 @@ class ServeRouter:
             )
         op = message.get("op")
         if op in _SESSION_OPS:
-            return await self._proxy_session_op(
-                line, message, writer, upstreams
+            return await self._proxy_keyed_op(
+                line, message, writer, upstreams, "session"
             )
+        if op == "query":
+            return await self._route_query(line, message, writer, upstreams)
+        if op == "summaries":
+            if message.get("object") is not None:
+                # One object lives on exactly one shard: route like a
+                # session op, keyed by the object id.
+                return await self._proxy_keyed_op(
+                    line, message, writer, upstreams, "object"
+                )
+            return await self._reply(writer, await self._fan_out_summaries())
         if op == "flush":
             return await self._reply(writer, await self._fan_out_flush())
         if op == "stats":
@@ -291,29 +301,64 @@ class ServeRouter:
                 op if isinstance(op, str) else None,
                 "bad-request",
                 f"unknown op {op!r}; valid ops: open, append, resume, "
-                f"close, flush, stats",
+                f"close, flush, stats, query, summaries",
                 message.get("session")
                 if isinstance(message.get("session"), str)
                 else None,
             ),
         )
 
-    async def _proxy_session_op(
+    async def _route_query(
         self,
         line: bytes,
         message: dict,
         writer: asyncio.StreamWriter,
         upstreams: dict[str, _Upstream],
     ) -> bool:
+        """Route one ``query`` request: by ring when the query names one
+        object, scatter-gather across the fleet otherwise."""
+        kind = message.get("query")
+        if kind == "position":
+            return await self._proxy_keyed_op(
+                line, message, writer, upstreams, "object"
+            )
+        if kind == "window":
+            return await self._reply(writer, await self._fan_out_window(message))
+        if kind == "nearest":
+            return await self._reply(writer, await self._fan_out_nearest(message))
+        return await self._reply(
+            writer,
+            error_response(
+                "query",
+                "bad-request",
+                f"unknown query kind {kind!r}; valid kinds: position, "
+                f"window, nearest",
+            ),
+        )
+
+    async def _proxy_keyed_op(
+        self,
+        line: bytes,
+        message: dict,
+        writer: asyncio.StreamWriter,
+        upstreams: dict[str, _Upstream],
+        key_field: str,
+    ) -> bool:
+        """Proxy one request to the shard owning ``message[key_field]``.
+
+        Session ops key on ``session``; single-object read ops key on
+        ``object`` — the ring assigns both the same way, so a query for
+        an object always lands on the shard ingesting it.
+        """
         op = str(message.get("op"))
-        session = message.get("session")
+        session = message.get(key_field)
         if not isinstance(session, str) or not session:
             return await self._reply(
                 writer,
                 error_response(
                     op,
                     "bad-request",
-                    f"{op} needs a non-empty string session id, "
+                    f"{op} needs a non-empty string {key_field} id, "
                     f"got {session!r}",
                 ),
             )
@@ -469,6 +514,97 @@ class ServeRouter:
             },
         )
 
+    def _first_shard_error(self, op: str, responses: dict) -> dict | None:
+        """An error response naming the first failed shard, or ``None``.
+
+        Scatter-gathered reads are all-or-nothing: a partial fleet answer
+        would silently drop the failed shard's objects, so any shard
+        error fails the whole query (the full per-shard picture rides
+        under ``shards`` for diagnosis).
+        """
+        for name in sorted(responses):
+            response = responses[name]
+            if not response.get("ok"):
+                return error_response(
+                    op,
+                    str(response.get("code", "unavailable")),
+                    f"shard {name}: {response.get('error', f'{op} failed')}",
+                    shards=responses,
+                )
+        return None
+
+    async def _fan_out_window(self, message: dict) -> dict:
+        """Scatter a window query; merge to one sorted, deduplicated id
+        list (shards hold disjoint partitions, so the union is exact)."""
+        responses = await self._fan_out(message)
+        failed = self._first_shard_error("query", responses)
+        if failed is not None:
+            return failed
+        objects = sorted(
+            {
+                key
+                for response in responses.values()
+                for key in response.get("objects", [])
+            }
+        )
+        return ok_response("query", query="window", objects=objects, n=len(objects))
+
+    async def _fan_out_nearest(self, message: dict) -> dict:
+        """Scatter a nearest query; merge by (distance, id) and keep k.
+
+        Each shard returns its local top k, and the true k nearest are
+        all within some shard's local top k — so re-ranking the union by
+        the same (distance, id) order a single server uses yields the
+        fleet-wide answer deterministically.
+        """
+        responses = await self._fan_out(message)
+        failed = self._first_shard_error("query", responses)
+        if failed is not None:
+            return failed
+        k = message.get("k", 1)
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            # Unreachable in practice: every shard already rejected it.
+            k = 1  # pragma: no cover - defensive
+        merged: list[dict] = []
+        seen: set[str] = set()
+        for response in responses.values():
+            merged.extend(response.get("results", []))
+        merged.sort(
+            key=lambda entry: (entry.get("distance_m", 0.0), entry.get("object", ""))
+        )
+        results = []
+        for entry in merged:
+            object_id = str(entry.get("object", ""))
+            if object_id in seen:
+                continue  # ring violation or mid-rebalance duplicate
+            seen.add(object_id)
+            results.append(entry)
+            if len(results) == k:
+                break
+        return ok_response("query", query="nearest", results=results)
+
+    async def _fan_out_summaries(self) -> dict:
+        """Scatter a fleet-wide summaries request; union the payloads."""
+        responses = await self._fan_out({"op": "summaries"})
+        failed = self._first_shard_error("summaries", responses)
+        if failed is not None:
+            return failed
+        objects: dict = {}
+        live: set[str] = set()
+        config = None
+        for name in sorted(responses):
+            response = responses[name]
+            objects.update(response.get("objects", {}))
+            live.update(response.get("live_sessions", []))
+            if config is None:
+                config = response.get("config")
+        return ok_response(
+            "summaries",
+            objects=objects,
+            live_sessions=sorted(live),
+            config=config,
+        )
+
     async def _fan_out_stats(self) -> dict:
         responses = await self._fan_out({"op": "stats"})
         shard_stats = {
@@ -511,6 +647,9 @@ class ServeRouter:
             "fixes_in",
             "fixes_retained",
             "fixes_flushed",
+            "queries",
+            "query_decoded_records",
+            "query_decoded_bytes",
             "queue_depth",
             "requests_failed",
         ):

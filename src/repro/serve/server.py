@@ -30,12 +30,19 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import time
 from pathlib import Path
+from types import SimpleNamespace
 from typing import Callable
 
-from repro.exceptions import ReproError, ServeError, WalError
+import numpy as np
+
+from repro.exceptions import ObjectNotFoundError, ReproError, ServeError, WalError
+from repro.geometry.bbox import BBox
 from repro.obs import LATENCY_BUCKETS_MS, Registry, span
+from repro.query.baseline import window_hit
+from repro.query.engine import QueryEngine
 from repro.serve.faults import FaultInjector
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -49,9 +56,9 @@ from repro.serve.protocol import (
     parse_flat_fixes,
     render_fixes,
 )
-from repro.serve.session import SessionManager
+from repro.serve.session import Session, SessionManager
 from repro.serve.wal import WalWriter
-from repro.storage.store import TrajectoryStore
+from repro.storage.store import TrajectoryStore, effective_query_box
 
 __all__ = ["TrajectoryServer"]
 
@@ -158,6 +165,10 @@ class TrajectoryServer:
             metrics=self.metrics,
             clock=clock,
         )
+        #: Summary-pruned read path over the same store the sessions
+        #: flush into; live sessions are overlaid per query so an acked
+        #: fix is queryable before its session closes.
+        self.engine = QueryEngine(self.store, metrics=self.metrics)
         self._latency = self.metrics.histogram(
             "append_latency_ms", buckets=_LATENCY_BUCKETS_MS
         )
@@ -438,11 +449,15 @@ class TrajectoryServer:
                 return self._op_flush()
             if op == "stats":
                 return ok_response("stats", stats=self.stats())
+            if op == "query":
+                return self._op_query(message)
+            if op == "summaries":
+                return self._op_summaries(message)
             return error_response(
                 op if isinstance(op, str) else None,
                 "bad-request",
                 f"unknown op {op!r}; valid ops: open, append, resume, "
-                f"close, flush, stats",
+                f"close, flush, stats, query, summaries",
                 session_str,
             )
         except ServeError as exc:
@@ -568,6 +583,257 @@ class TrajectoryServer:
             n_objects=len(self.manager.store),
         )
 
+    # ------------------------------------------------------------------ #
+    # Read path: QUERY + SUMMARIES
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _number(message: dict, field: str) -> float:
+        """A required finite-number field, as a float."""
+        value = message.get(field)
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or not math.isfinite(value)
+        ):
+            raise ServeError(
+                f"'{field}' must be a finite number, got {value!r}",
+                code="bad-request",
+            )
+        return float(value)
+
+    @staticmethod
+    def _parse_bbox(value: object) -> BBox:
+        """A wire ``[min_x, min_y, max_x, max_y]`` array as a BBox."""
+        if (
+            not isinstance(value, list)
+            or len(value) != 4
+            or any(
+                isinstance(part, bool) or not isinstance(part, (int, float))
+                for part in value
+            )
+        ):
+            raise ServeError(
+                f"'bbox' must be [min_x, min_y, max_x, max_y] numbers, "
+                f"got {value!r}",
+                code="bad-request",
+            )
+        try:
+            return BBox(*(float(part) for part in value))
+        except ValueError as exc:
+            raise ServeError(str(exc), code="bad-request") from None
+
+    @staticmethod
+    def _live_record(session: Session) -> SimpleNamespace:
+        """A record-shaped shim: live sessions share the stored records'
+        mode semantics through :func:`effective_query_box`."""
+        return SimpleNamespace(
+            sync_error_bound_m=session.compressor.sync_error_bound()
+        )
+
+    def _overlays(self) -> dict:
+        """Live sessions' acked-so-far trajectories, keyed by id.
+
+        The read path's query-after-ack overlay: wherever an id appears
+        here, the snapshot answers instead of any stored record of the
+        same id (the live session is the newer data). Sessions that
+        never acked a fix are omitted — the stored record, if any, still
+        answers for them.
+        """
+        out: dict = {}
+        for session_id in self.manager.live_session_ids:
+            session = self.manager.peek(session_id)
+            snapshot = session.snapshot() if session is not None else None
+            if snapshot is not None:
+                out[session_id] = snapshot
+        return out
+
+    def _op_query(self, message: dict) -> dict:
+        kind = message.get("query")
+        if kind == "position":
+            return self._query_position(message)
+        if kind == "window":
+            return self._query_window(message)
+        if kind == "nearest":
+            return self._query_nearest(message)
+        raise ServeError(
+            f"unknown query kind {kind!r}; valid kinds: position, window, "
+            f"nearest",
+            code="bad-request",
+        )
+
+    def _query_position(self, message: dict) -> dict:
+        object_id = message.get("object")
+        if not isinstance(object_id, str) or not object_id:
+            raise ServeError(
+                f"query position needs a non-empty string 'object', "
+                f"got {object_id!r}",
+                code="bad-request",
+            )
+        when = self._number(message, "t")
+        session = self.manager.peek(object_id)
+        if session is not None:
+            snapshot = session.snapshot()
+            if snapshot is not None and snapshot.covers_time(when):
+                position = snapshot.position_at(when)
+                # The engine never ran; count the query here so the
+                # fleet-wide counters cover the live path too.
+                self.metrics.counter("queries").inc()
+                self.metrics.counter("queries_position").inc()
+                return ok_response(
+                    "query",
+                    query="position",
+                    source="live",
+                    result={
+                        "object": object_id,
+                        "t": when,
+                        "x": float(position[0]),
+                        "y": float(position[1]),
+                        "error_bound_m": session.compressor.sync_error_bound(),
+                    },
+                )
+        try:
+            answer = self.engine.position_at(object_id, when)
+        except ObjectNotFoundError:
+            raise ServeError(
+                f"no stored object or covering live session {object_id!r}",
+                code="not-found",
+            ) from None
+        except ValueError as exc:
+            raise ServeError(str(exc), code="not-found") from None
+        return ok_response(
+            "query",
+            query="position",
+            source="stored",
+            result={
+                "object": answer.object_id,
+                "t": answer.t,
+                "x": answer.x,
+                "y": answer.y,
+                "error_bound_m": answer.error_bound_m,
+            },
+        )
+
+    def _query_window(self, message: dict) -> dict:
+        t0 = self._number(message, "t0")
+        t1 = self._number(message, "t1")
+        if t1 < t0:
+            raise ServeError(
+                f"empty time window [{t0}, {t1}]", code="bad-request"
+            )
+        mode = message.get("mode", "stored")
+        if mode not in ("stored", "possibly", "definitely"):
+            raise ServeError(f"unknown query mode {mode!r}", code="bad-request")
+        box = self._parse_bbox(message["bbox"]) if "bbox" in message else None
+        stored = self.engine.window(t0, t1, box, mode)
+        overlays = self._overlays()
+        live_hits = []
+        for session_id, snapshot in overlays.items():
+            if box is None:
+                hit = snapshot.t[0] <= t1 and snapshot.t[-1] >= t0
+            else:
+                session = self.manager.peek(session_id)
+                effective = (
+                    None
+                    if session is None
+                    else effective_query_box(box, self._live_record(session), mode)
+                )
+                hit = effective is not None and window_hit(
+                    snapshot, t0, t1, effective
+                )
+            if hit:
+                live_hits.append(session_id)
+        objects = sorted(
+            set(live_hits) | {key for key in stored if key not in overlays}
+        )
+        return ok_response("query", query="window", objects=objects, n=len(objects))
+
+    def _query_nearest(self, message: dict) -> dict:
+        x = self._number(message, "x")
+        y = self._number(message, "y")
+        when = self._number(message, "t")
+        k = message.get("k", 1)
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            raise ServeError(
+                f"'k' must be a positive integer, got {k!r}", code="bad-request"
+            )
+        overlays = self._overlays()
+        # Ask for k extra stored answers per overlaid id: an overlay
+        # may supersede a stored answer occupying one of the k slots.
+        stored = self.engine.nearest(x, y, when, k=k + len(overlays))
+        ranked = [
+            (a.distance_m, a.object_id, a.x, a.y, a.error_bound_m, "stored")
+            for a in stored
+            if a.object_id not in overlays
+        ]
+        for session_id, snapshot in overlays.items():
+            if not snapshot.covers_time(when):
+                continue
+            position = snapshot.position_at(when)
+            distance = float(np.hypot(position[0] - x, position[1] - y))
+            session = self.manager.peek(session_id)
+            bound = None if session is None else session.compressor.sync_error_bound()
+            ranked.append(
+                (
+                    distance,
+                    session_id,
+                    float(position[0]),
+                    float(position[1]),
+                    bound,
+                    "live",
+                )
+            )
+        ranked.sort(key=lambda entry: (entry[0], entry[1]))
+        results = [
+            {
+                "object": object_id,
+                "distance_m": distance,
+                "x": px,
+                "y": py,
+                "error_bound_m": bound,
+                "source": source,
+            }
+            for distance, object_id, px, py, bound, source in ranked[:k]
+        ]
+        return ok_response("query", query="nearest", results=results)
+
+    def _op_summaries(self, message: dict) -> dict:
+        object_id = message.get("object")
+        if object_id is not None:
+            if not isinstance(object_id, str) or not object_id:
+                raise ServeError(
+                    f"'object' must be a non-empty string, got {object_id!r}",
+                    code="bad-request",
+                )
+            objects = {}
+            if object_id in self.store:
+                objects[object_id] = self.store.summary(object_id).to_wire()
+            is_live = object_id in self.manager
+            if not objects and not is_live:
+                raise ServeError(
+                    f"no stored object or live session {object_id!r}",
+                    code="not-found",
+                )
+            return ok_response(
+                "summaries",
+                objects=objects,
+                live_sessions=[object_id] if is_live else [],
+            )
+        config = self.store.summary_config
+        return ok_response(
+            "summaries",
+            objects={
+                key: self.store.summary(key).to_wire()
+                for key in self.store.object_ids()
+            },
+            live_sessions=self.manager.live_session_ids,
+            config={
+                "partition_points": config.partition_points,
+                "grid_m": config.grid_m,
+                "time_grid_s": config.time_grid_s,
+            },
+        )
+
     def stats(self) -> dict:
         """The ``stats`` verb's payload: manager counters + server view."""
         payload = self.manager.stats()
@@ -584,6 +850,12 @@ class TrajectoryServer:
             connections_opened=self.metrics.counter("connections_opened").value,
             connections_closed=self.metrics.counter("connections_closed").value,
             requests_failed=self.metrics.counter("requests_failed").value,
+            queries=self.metrics.counter("queries").value,
+            query_decoded_records=self.metrics.counter(
+                "query_decoded_records"
+            ).value,
+            query_decoded_bytes=self.metrics.counter("query_decoded_bytes").value,
+            query_prune_ratio=self.metrics.gauge("query_prune_ratio").value,
             queue_depth=self.metrics.gauge("queue_depth").value,
             append_latency_ms=self._latency.to_dict(),
             metrics=self.metrics.to_dict(),

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.exceptions import ReproError, ServeError, StorageError, StreamError
 from repro.obs import Registry, span
 from repro.serve.wal import WalWriter
@@ -75,6 +77,7 @@ class Session:
         "algorithm",
         "compressor",
         "builder",
+        "pending",
         "n_fixes_in",
         "n_retained",
         "opened_at",
@@ -92,6 +95,11 @@ class Session:
         self.algorithm = compressor.algorithm
         self.compressor = compressor
         self.builder = TrajectoryBuilder(object_id)
+        #: Acknowledged fixes the compressor has not yet decided on (the
+        #: suffix pushed after the last retained fix). Kept so read
+        #: queries can see every acked fix (:meth:`snapshot`); its size
+        #: tracks the compressor's own working window.
+        self.pending: list[Fix] = []
         self.n_fixes_in = 0
         self.n_retained = 0
         self.opened_at = now
@@ -114,6 +122,10 @@ class Session:
         kept = self.compressor.push(fix)
         for point in kept:
             self.builder.append_fix(point)
+        self.pending.append(fix)
+        if kept:
+            last_kept_t = kept[-1].t
+            self.pending = [f for f in self.pending if f.t > last_kept_t]
         self.n_fixes_in += 1
         self.n_retained += len(kept)
         self.last_active = now
@@ -147,6 +159,10 @@ class Session:
             error = exc
         for point in kept:
             self.builder.append_fix(point)
+        self.pending.extend(fixes[:accepted])
+        if kept:
+            last_kept_t = kept[-1].t
+            self.pending = [f for f in self.pending if f.t > last_kept_t]
         self.n_fixes_in += accepted
         self.n_retained += len(kept)
         self.last_active = now
@@ -160,10 +176,29 @@ class Session:
         tail = self.compressor.finish()
         for point in tail:
             self.builder.append_fix(point)
+        self.pending.clear()
         self.n_retained += len(tail)
         if len(self.builder) == 0:
             return None, tail
         return self.builder.build(), tail
+
+    def snapshot(self) -> Trajectory | None:
+        """Every acknowledged fix as a queryable trajectory (or ``None``).
+
+        Retained fixes plus the still-undecided suffix: the trajectory a
+        read query must see for query-after-ack consistency. The suffix
+        is raw (exact) data, so the compressor's error bound remains a
+        conservative bound for the whole snapshot. Non-destructive — the
+        session keeps ingesting afterwards.
+        """
+        if len(self.builder) == 0:
+            return None
+        base = self.builder.build()
+        if not self.pending:
+            return base
+        t = np.concatenate([base.t, [fix.t for fix in self.pending]])
+        xy = np.vstack([base.xy, [[fix.x, fix.y] for fix in self.pending]])
+        return Trajectory(t, xy, self.object_id, _validated=True)
 
     def summary(self, now: float) -> dict:
         """JSON-ready snapshot for diagnostics."""
@@ -310,6 +345,16 @@ class SessionManager:
                 f"no open session {session_id!r}", code="unknown-session"
             )
         return session
+
+    def peek(self, session_id: object) -> Session | None:
+        """The live session for ``session_id``, or ``None`` (no error).
+
+        The read path's lookup: queries overlay live sessions when one
+        exists and fall back to stored records when one does not.
+        """
+        return (
+            self._sessions.get(session_id) if isinstance(session_id, str) else None
+        )
 
     def append(self, session_id: object, fix: Fix) -> list[Fix]:
         """Push one fix into a session; returns the newly retained fixes.

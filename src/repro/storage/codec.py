@@ -24,6 +24,7 @@ still decoded for backward compatibility.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,6 +40,11 @@ __all__ = [
     "encode_trajectory",
     "decode_trajectory",
     "raw_size_bytes",
+    "BlobLayout",
+    "RawPartition",
+    "blob_layout",
+    "scan_partitions",
+    "decode_partition",
 ]
 
 _MAGIC = b"RTRJ"
@@ -211,4 +217,197 @@ def decode_trajectory(data: bytes, *, verify: bool = True) -> Trajectory:
         t.astype(float) * time_res,
         np.column_stack([x, y]).astype(float) * coord_res,
         object_id,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Partial decoding
+#
+# The point stream is one delta chain, so a slice cannot be decoded
+# without a restart state. Rather than change the blob format, the query
+# layer keeps *checkpoints* alongside each blob: the byte offset where a
+# partition's varints begin plus the absolute quantized integers of the
+# point just before it. :func:`scan_partitions` derives those checkpoints
+# in one linear pass at ingest time; :func:`decode_partition` then decodes
+# any partition in O(partition) bytes. Partial decodes do not re-verify
+# the CRC trailer — the store checks each record's checksum at load time,
+# and the per-file CRC covers the checkpoints themselves.
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class BlobLayout:
+    """Header facts of an encoded blob, parsed without decoding points."""
+
+    version: int
+    object_id: str | None
+    time_resolution_s: float
+    coord_resolution_m: float
+    n_points: int
+    #: Byte offset of the first point's varints.
+    points_offset: int
+    #: End of the point region (excludes the CRC trailer when present).
+    payload_end: int
+
+
+@dataclass(frozen=True, slots=True)
+class RawPartition:
+    """One partition's restart state and integer-space extents.
+
+    ``prev`` is the absolute quantized ``(t, x, y)`` of the point
+    immediately before the partition (the delta base), or ``None`` for
+    the first partition. The extents cover the partition's own points
+    *plus* that bridging point, so every inter-partition segment is
+    bounded by exactly one partition.
+    """
+
+    offset: int
+    prev: tuple[int, int, int] | None
+    n_points: int
+    t_lo_q: int
+    t_hi_q: int
+    x_lo_q: int
+    x_hi_q: int
+    y_lo_q: int
+    y_hi_q: int
+
+
+def blob_layout(data: bytes) -> BlobLayout:
+    """Parse an encoded blob's header; O(header), no point decoding."""
+    if len(data) < 5 or data[:4] != _MAGIC:
+        raise CodecError("not a repro trajectory blob (bad magic)")
+    version = data[4]
+    if not _MIN_VERSION <= version <= _VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    end = len(data)
+    if version >= 2:
+        end -= _CRC_BYTES
+        if end < 5:
+            raise CodecError("truncated checksum trailer")
+    offset = 5
+    id_len, offset = decode_varint(data, offset)
+    if offset + id_len > end:
+        raise CodecError("truncated object id")
+    object_id = data[offset : offset + id_len].decode("utf-8") or None
+    offset += id_len
+    if offset + 16 > end:
+        raise CodecError("truncated resolution header")
+    time_res, coord_res = struct.unpack_from("<dd", data, offset)
+    offset += 16
+    n, offset = decode_varint(data, offset)
+    if n < 1:
+        raise CodecError(f"blob declares {n} points")
+    return BlobLayout(version, object_id, time_res, coord_res, n, offset, end)
+
+
+def scan_partitions(
+    data: bytes, stride: int
+) -> tuple[BlobLayout, list[RawPartition]]:
+    """One linear pass over a blob, yielding restart checkpoints.
+
+    Partition ``k`` owns points ``[k*stride, (k+1)*stride)``; its ``prev``
+    state is point ``k*stride - 1``, so decoding a partition with its
+    bridge point included reproduces every segment that crosses into it.
+    """
+    if stride < 1:
+        raise CodecError(f"partition stride must be >= 1, got {stride}")
+    layout = blob_layout(data)
+    n = layout.n_points
+    end = layout.payload_end
+    offset = layout.points_offset
+    partitions: list[RawPartition] = []
+    prev_t = prev_x = prev_y = 0
+    # Open-partition accumulators.
+    part_offset = offset
+    part_prev: tuple[int, int, int] | None = None
+    part_first = 0
+    t_lo = x_lo = y_lo = x_hi = y_hi = 0
+    for i in range(n):
+        if i and i % stride == 0:
+            partitions.append(RawPartition(
+                part_offset, part_prev, i - part_first,
+                t_lo, prev_t, x_lo, x_hi, y_lo, y_hi,
+            ))
+            part_offset = offset
+            part_prev = (prev_t, prev_x, prev_y)
+            part_first = i
+            # The bridge point seeds the new partition's extents.
+            t_lo, x_lo, x_hi, y_lo, y_hi = prev_t, prev_x, prev_x, prev_y, prev_y
+        dt, offset = decode_varint(data, offset)
+        dx, offset = decode_varint(data, offset)
+        dy, offset = decode_varint(data, offset)
+        if offset > end:
+            raise CodecError("point varints run past the payload")
+        prev_t += unzigzag(dt)
+        prev_x += unzigzag(dx)
+        prev_y += unzigzag(dy)
+        if i == part_first and part_prev is None:
+            t_lo, x_lo, x_hi, y_lo, y_hi = prev_t, prev_x, prev_x, prev_y, prev_y
+        else:
+            if prev_x < x_lo:
+                x_lo = prev_x
+            elif prev_x > x_hi:
+                x_hi = prev_x
+            if prev_y < y_lo:
+                y_lo = prev_y
+            elif prev_y > y_hi:
+                y_hi = prev_y
+    partitions.append(RawPartition(
+        part_offset, part_prev, n - part_first,
+        t_lo, prev_t, x_lo, x_hi, y_lo, y_hi,
+    ))
+    if offset != end:
+        raise CodecError(f"{end - offset} trailing bytes after records")
+    return layout, partitions
+
+
+def decode_partition(
+    data: bytes,
+    layout: BlobLayout,
+    offset: int,
+    count: int,
+    prev: tuple[int, int, int] | None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Decode ``count`` consecutive points starting at byte ``offset``.
+
+    Args:
+        data: the full encoded blob.
+        layout: its parsed header (for resolutions and bounds).
+        offset: byte offset of the first point's varints.
+        count: number of stored points to decode.
+        prev: the delta base — absolute quantized ints of the point
+            before the slice. When given, that point is *prepended* to
+            the result (the bridging sample); ``None`` means the slice
+            starts at the blob's first point.
+
+    Returns:
+        ``(t, xy, end_offset)`` where ``t``/``xy`` are float arrays in
+        decoded units, bit-identical to the same rows of a full
+        :func:`decode_trajectory`, and ``end_offset`` is the byte offset
+        just past the slice.
+    """
+    bridge = 1 if prev is not None else 0
+    t = np.empty(count + bridge, dtype=np.int64)
+    x = np.empty(count + bridge, dtype=np.int64)
+    y = np.empty(count + bridge, dtype=np.int64)
+    prev_t, prev_x, prev_y = prev if prev is not None else (0, 0, 0)
+    if bridge:
+        t[0], x[0], y[0] = prev_t, prev_x, prev_y
+    end = layout.payload_end
+    for i in range(bridge, count + bridge):
+        dt, offset = decode_varint(data, offset)
+        dx, offset = decode_varint(data, offset)
+        dy, offset = decode_varint(data, offset)
+        if offset > end:
+            raise CodecError("point varints run past the payload")
+        prev_t += unzigzag(dt)
+        prev_x += unzigzag(dx)
+        prev_y += unzigzag(dy)
+        t[i] = prev_t
+        x[i] = prev_x
+        y[i] = prev_y
+    return (
+        t.astype(float) * layout.time_resolution_s,
+        np.column_stack([x, y]).astype(float) * layout.coord_resolution_m,
+        offset,
     )

@@ -49,17 +49,30 @@ from repro.geometry.bbox import BBox
 from repro.geometry.clip import segment_intersects_bbox
 from repro.io_util import crc32, write_atomic
 from repro.obs import Registry, get_registry, span
+from repro.query.summaries import (
+    ObjectSummary,
+    SummaryConfig,
+    build_summary,
+    encode_footer,
+    parse_footer,
+)
 from repro.storage.codec import decode_trajectory, encode_trajectory, raw_size_bytes
 from repro.storage.index import GridIndex
 from repro.storage.interval_index import IntervalIndex
 from repro.trajectory.trajectory import Trajectory
 
-__all__ = ["StoredRecord", "StoreStats", "TrajectoryStore"]
+__all__ = [
+    "StoredRecord",
+    "StoreStats",
+    "TrajectoryStore",
+    "effective_query_box",
+]
 
 _FILE_MAGIC = b"RSTO"
-#: Current store-file version: 3 = per-record CRC-32 (header + blob).
-_FILE_VERSION = 3
-#: Oldest store-file version still loaded (2 = no record checksums).
+#: Current store-file version: 4 = v3 + partition-summary footer.
+_FILE_VERSION = 4
+#: Oldest store-file version still loaded (2 = no record checksums,
+#: 3 = per-record CRC-32 without a summary footer).
 _MIN_FILE_VERSION = 2
 
 
@@ -127,6 +140,11 @@ class TrajectoryStore:
         cell_size_m: grid-index cell size.
         time_resolution_s / coord_resolution_m: codec quanta.
         cache_size: number of decoded trajectories kept in the LRU cache.
+        summary_partition_points / summary_grid_m / summary_time_grid_s:
+            partitioning and outward-quantization parameters of the
+            per-object query summaries (see
+            :mod:`repro.query.summaries`); loading a version-4 file
+            adopts the file's parameters.
         metrics: registry for save/load instrumentation (bytes, CRC
             failures, durations); falls back to the ambient
             :func:`repro.obs.get_registry` when omitted.
@@ -139,6 +157,9 @@ class TrajectoryStore:
         time_resolution_s: float = 1e-3,
         coord_resolution_m: float = 0.01,
         cache_size: int = 32,
+        summary_partition_points: int = 64,
+        summary_grid_m: float = 25.0,
+        summary_time_grid_s: float = 1.0,
         metrics: Registry | None = None,
     ) -> None:
         if cache_size < 0:
@@ -147,7 +168,13 @@ class TrajectoryStore:
         self.metrics = metrics
         self.time_resolution_s = float(time_resolution_s)
         self.coord_resolution_m = float(coord_resolution_m)
+        self.summary_config = SummaryConfig(
+            int(summary_partition_points),
+            float(summary_grid_m),
+            float(summary_time_grid_s),
+        )
         self._records: dict[str, StoredRecord] = {}
+        self._summaries: dict[str, ObjectSummary] = {}
         self._index = GridIndex(cell_size_m)
         self._time_index = IntervalIndex()
         self._cache: OrderedDict[str, Trajectory] = OrderedDict()
@@ -224,6 +251,7 @@ class TrajectoryStore:
             sync_error_bound_m=bound,
         )
         self._records[key] = record
+        self._summaries[key] = build_summary(key, blob, self.summary_config)
         self._index.insert(key, stored.xy)
         self._time_index.insert(key, record.start_time, record.end_time)
         self._cache.pop(key, None)
@@ -299,6 +327,9 @@ class TrajectoryStore:
             sync_error_bound_m=merged_bound,
         )
         self._records[object_id] = updated
+        self._summaries[object_id] = build_summary(
+            object_id, blob, self.summary_config
+        )
         self._index.insert(object_id, combined.xy)
         self._time_index.insert(object_id, updated.start_time, updated.end_time)
         self._cache.pop(object_id, None)
@@ -321,6 +352,7 @@ class TrajectoryStore:
             raise StorageError(f"object id {key!r} already stored (use replace=True)")
         traj = decode_trajectory(record.blob)
         self._records[key] = record
+        self._summaries[key] = build_summary(key, record.blob, self.summary_config)
         self._index.insert(key, traj.xy)
         self._time_index.insert(key, record.start_time, record.end_time)
         self._cache.pop(key, None)
@@ -351,6 +383,7 @@ class TrajectoryStore:
         if object_id not in self._records:
             raise ObjectNotFoundError(object_id)
         del self._records[object_id]
+        self._summaries.pop(object_id, None)
         self._index.remove(object_id)
         self._time_index.remove(object_id)
         self._cache.pop(object_id, None)
@@ -402,6 +435,36 @@ class TrajectoryStore:
         """
         return self.get(object_id).position_at(when)
 
+    def summary(self, object_id: str) -> ObjectSummary:
+        """Partition summary of a stored record (see :mod:`repro.query`).
+
+        Summaries are built incrementally at insert/adopt time and
+        persisted in the version-4 footer; records loaded from older
+        files (or whose footer was quarantined) are summarized lazily
+        here, one linear blob scan per record.
+
+        Raises:
+            ObjectNotFoundError: unknown id.
+        """
+        summary = self._summaries.get(object_id)
+        if summary is None:
+            summary = build_summary(
+                object_id, self.record(object_id).blob, self.summary_config
+            )
+            self._summaries[object_id] = summary
+        return summary
+
+    def spatial_candidates(self, box: BBox) -> set[str]:
+        """Grid-index candidates for ``box`` (superset of the truth)."""
+        return self._index.candidates(box)
+
+    def max_sync_error_bound(self) -> float:
+        """The largest recorded error margin (0.0 when none are known)."""
+        return max(
+            (rec.sync_error_bound_m or 0.0 for rec in self._records.values()),
+            default=0.0,
+        )
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
@@ -445,16 +508,15 @@ class TrajectoryStore:
         if mode not in ("stored", "possibly", "definitely"):
             raise ValueError(f"unknown query mode {mode!r}")
         # The candidate sweep must see the widest relevant box.
-        max_bound = max(
-            (rec.sync_error_bound_m or 0.0 for rec in self._records.values()),
-            default=0.0,
-        )
+        max_bound = self.max_sync_error_bound()
         sweep_box = box.expanded(max_bound) if mode == "possibly" else box
         out = []
         for key in self._index.candidates(sweep_box):
-            rec = self._records.get(key)
-            if rec is None:  # pragma: no cover - index and catalog in sync
-                continue
+            # Index and catalog are kept in sync by every mutation path
+            # (insert/append/adopt_record/remove) — the regression suite
+            # in tests/storage/test_index_consistency.py proves it, so a
+            # missing key here is a real invariant break and raises.
+            rec = self._records[key]
             if t0 is not None and (rec.start_time > t1 or rec.end_time < t0):
                 continue
             effective = self._effective_box(box, rec, mode)
@@ -475,21 +537,7 @@ class TrajectoryStore:
     @staticmethod
     def _effective_box(box: BBox, rec: StoredRecord, mode: str) -> BBox | None:
         """The box to test stored geometry against, per answer semantics."""
-        if mode == "stored":
-            return box
-        bound = rec.sync_error_bound_m
-        if mode == "possibly":
-            # Unknown margin: fall back to the stored-geometry test.
-            return box.expanded(bound if bound is not None else 0.0)
-        # mode == "definitely"
-        if bound is None:
-            return None
-        if box.width <= 2 * bound or box.height <= 2 * bound:
-            return None  # the box cannot certify anything this coarse
-        return BBox(
-            box.min_x + bound, box.min_y + bound,
-            box.max_x - bound, box.max_y - bound,
-        )
+        return effective_query_box(box, rec, mode)
 
     def nearest(
         self, x: float, y: float, when: float, k: int = 1
@@ -569,6 +617,14 @@ class TrajectoryStore:
                 framed += rec.blob
                 out += framed
                 out += struct.pack("<I", crc32(framed))
+            # Version-4 footer: the query summaries, so a reloaded store
+            # answers pruned queries without rescanning any blob. Records
+            # that arrived without a summary (legacy-file loads) are
+            # summarized here.
+            out += encode_footer(
+                {key: self.summary(key) for key in self._records},
+                self.summary_config,
+            )
             write_atomic(path, bytes(out), durable=durable)
         registry.counter("store_saves").inc()
         registry.counter("store_saved_bytes").inc(len(out))
@@ -670,9 +726,56 @@ class TrajectoryStore:
             if verify != "skip":
                 raise StorageError(truncated)
             store.load_failures.append(truncated)
-        elif offset != len(data):
-            raise StorageError(f"{path}: trailing bytes after records")
+        else:
+            if version >= 4 and offset < len(data):
+                try:
+                    config, summaries, offset = parse_footer(data, offset)
+                except ReproError as exc:
+                    if verify != "skip":
+                        raise StorageError(
+                            f"{path}: summary footer: {exc}"
+                        ) from exc
+                    # Quarantine the footer; summaries rebuild lazily.
+                    registry.counter("store_summary_footer_failures").inc()
+                    store.load_failures.append(
+                        f"summary footer: {type(exc).__name__}: {exc}"
+                    )
+                    offset = len(data)
+                else:
+                    store.summary_config = config
+                    store._summaries = {
+                        key: value
+                        for key, value in summaries.items()
+                        if key in store._records
+                    }
+            if offset != len(data):
+                raise StorageError(f"{path}: trailing bytes after records")
         registry.counter("store_loads").inc()
         registry.counter("store_loaded_bytes").inc(len(data))
         registry.timer("store.load_s").observe(time.perf_counter() - started)
         return store
+
+
+def effective_query_box(box: BBox, rec: StoredRecord, mode: str) -> BBox | None:
+    """The box to test a record's stored geometry against.
+
+    Turns the recorded error margin into the three answer semantics of
+    :meth:`TrajectoryStore.query_bbox` (``stored`` / ``possibly`` /
+    ``definitely``); shared by the store and the query engine so both
+    tiers answer identically.
+    """
+    if mode == "stored":
+        return box
+    bound = rec.sync_error_bound_m
+    if mode == "possibly":
+        # Unknown margin: fall back to the stored-geometry test.
+        return box.expanded(bound if bound is not None else 0.0)
+    # mode == "definitely"
+    if bound is None:
+        return None
+    if box.width <= 2 * bound or box.height <= 2 * bound:
+        return None  # the box cannot certify anything this coarse
+    return BBox(
+        box.min_x + bound, box.min_y + bound,
+        box.max_x - bound, box.max_y - bound,
+    )

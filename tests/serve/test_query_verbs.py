@@ -1,0 +1,385 @@
+"""The serve read path: QUERY and SUMMARIES over a live socket.
+
+Covers the query-after-ack consistency contract (acked fixes are
+queryable immediately, live sessions supersede stored records of the
+same id), the three query kinds against a single server, the error
+codes, the fleet-merged counters — and the same verbs scatter-gathered
+through a sharded :class:`ServeRouter`, where merged answers must be
+indistinguishable from a single server's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.storage.store import TrajectoryStore
+from repro.trajectory import Trajectory
+from repro.types import Fix
+
+from tests.serve.harness import (
+    connected,
+    run_async,
+    running_router,
+    running_server,
+)
+
+pytestmark = pytest.mark.serve
+
+RAW_SPEC = "nopw:epsilon=0.001"  # effectively lossless: keeps every fix
+
+
+def _line(object_id: str, t0: float, n: int, x0: float, y0: float,
+          vx: float = 10.0, vy: float = 4.0) -> Trajectory:
+    t = t0 + 10.0 * np.arange(n, dtype=float)
+    xy = np.column_stack([x0 + vx * (t - t0), y0 + vy * (t - t0)])
+    return Trajectory(t, xy, object_id)
+
+
+def _fixes(traj: Trajectory) -> list[Fix]:
+    return [Fix(float(t), float(x), float(y))
+            for t, x, y in zip(traj.t, traj.x, traj.y)]
+
+
+def _seeded_store() -> TrajectoryStore:
+    store = TrajectoryStore(summary_partition_points=4)
+    store.insert(_line("stored-east", 0.0, 12, 1000.0, 0.0, vx=12.0, vy=0.0))
+    store.insert(_line("stored-north", 0.0, 12, -800.0, -800.0, vx=0.0, vy=9.0))
+    return store
+
+
+class TestSingleServerQueries:
+    def test_stored_position_matches_the_store(self):
+        store = _seeded_store()
+        expected = store.get("stored-east").position_at(35.0)
+
+        async def scenario():
+            async with running_server(store=store) as server:
+                async with connected(server) as client:
+                    return await client.query_position("stored-east", 35.0)
+
+        result = run_async(scenario())
+        assert (result["x"], result["y"]) == (
+            float(expected[0]), float(expected[1])
+        )
+        assert result["error_bound_m"] == store.record(
+            "stored-east"
+        ).sync_error_bound_m
+
+    def test_acked_fixes_are_queryable_immediately(self, zigzag):
+        """Query-after-ack: a position between two just-acked fixes is
+        answered from the live session, before any close or flush."""
+        fixes = _fixes(zigzag)
+
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("zig", RAW_SPEC)
+                    await client.append("zig", fixes[:6])
+                    response = await client.request({
+                        "op": "query", "query": "position",
+                        "object": "zig", "t": 25.0,
+                    })
+                    return response
+
+        response = run_async(scenario())
+        assert response["source"] == "live"
+        expected = zigzag.position_at(25.0)
+        assert (response["result"]["x"], response["result"]["y"]) == (
+            float(expected[0]), float(expected[1])
+        )
+
+    def test_live_session_supersedes_stored_record(self, zigzag):
+        """An id with both a stored record and a live session answers
+        from the session — the newer data wins."""
+        store = TrajectoryStore(summary_partition_points=4)
+        store.insert(_line("zig", 0.0, 5, 90_000.0, 90_000.0))
+        fixes = _fixes(zigzag)
+
+        async def scenario():
+            async with running_server(store=store, replace=True) as server:
+                async with connected(server) as client:
+                    await client.open("zig", RAW_SPEC)
+                    await client.append("zig", fixes)
+                    return await client.request({
+                        "op": "query", "query": "position",
+                        "object": "zig", "t": 10.0,
+                    })
+
+        response = run_async(scenario())
+        assert response["source"] == "live"
+        expected = zigzag.position_at(10.0)
+        assert response["result"]["x"] == float(expected[0])
+
+    def test_window_merges_live_and_stored(self, zigzag):
+        fixes = _fixes(zigzag)  # zigzag lives near the origin
+
+        async def scenario():
+            async with running_server(store=_seeded_store()) as server:
+                async with connected(server) as client:
+                    await client.open("zig", RAW_SPEC)
+                    await client.append("zig", fixes)
+                    everywhere = await client.query_window(
+                        0.0, 200.0, bbox=[-2000.0, -2000.0, 2000.0, 2000.0]
+                    )
+                    live_only = await client.query_window(
+                        0.0, 200.0, bbox=[400.0, -50.0, 520.0, 300.0]
+                    )
+                    return everywhere, live_only
+
+        everywhere, live_only = run_async(scenario())
+        assert everywhere == ["stored-east", "stored-north", "zig"]
+        assert live_only == ["zig"]
+
+    def test_nearest_ranks_live_against_stored(self, zigzag):
+        store = _seeded_store()
+        fixes = _fixes(zigzag)
+
+        async def scenario():
+            async with running_server(store=store) as server:
+                async with connected(server) as client:
+                    await client.open("zig", RAW_SPEC)
+                    await client.append("zig", fixes)
+                    return await client.query_nearest(0.0, 0.0, 30.0, k=3)
+
+        results = run_async(scenario())
+        assert [r["object"] for r in results] == [
+            "zig", "stored-north", "stored-east"
+        ]
+        assert results[0]["source"] == "live"
+        assert results[1]["source"] == "stored"
+        assert [r["distance_m"] for r in results] == sorted(
+            r["distance_m"] for r in results
+        )
+
+    def test_closed_session_answers_from_the_store(self, zigzag):
+        fixes = _fixes(zigzag)
+
+        async def scenario():
+            async with running_server() as server:
+                async with connected(server) as client:
+                    await client.open("zig", RAW_SPEC)
+                    await client.append("zig", fixes)
+                    await client.close_session("zig")
+                    return await client.request({
+                        "op": "query", "query": "position",
+                        "object": "zig", "t": 25.0,
+                    })
+
+        response = run_async(scenario())
+        assert response["source"] == "stored"
+        expected = zigzag.position_at(25.0)
+        # The nopw spec keeps every fix; codec quantization is the only
+        # difference between live and stored answers.
+        assert response["result"]["x"] == pytest.approx(
+            float(expected[0]), abs=0.02
+        )
+
+    def test_summaries_cover_stored_and_live(self, zigzag):
+        async def scenario():
+            async with running_server(store=_seeded_store()) as server:
+                async with connected(server) as client:
+                    await client.open("zig", RAW_SPEC)
+                    await client.append("zig", _fixes(zigzag))
+                    all_of_them = await client.summaries()
+                    one = await client.summaries("stored-east")
+                    return all_of_them, one
+
+        all_of_them, one = run_async(scenario())
+        assert sorted(all_of_them["objects"]) == ["stored-east", "stored-north"]
+        assert all_of_them["live_sessions"] == ["zig"]
+        assert all_of_them["config"]["partition_points"] == 4
+        entry = one["objects"]["stored-east"]
+        assert entry["n_points"] == 12
+        assert sum(p["n"] for p in entry["partitions"]) == 12
+
+    def test_error_codes(self):
+        async def scenario():
+            codes = {}
+            async with running_server(store=_seeded_store()) as server:
+                async with connected(server) as client:
+                    with pytest.raises(ServeError) as err:
+                        await client.query_position("ghost", 0.0)
+                    codes["unknown-object"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.query_position("stored-east", 1e9)
+                    codes["outside-interval"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.summaries("ghost")
+                    codes["unknown-summary"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.request({"op": "query", "query": "warp"})
+                    codes["bad-kind"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.request({
+                            "op": "query", "query": "position",
+                            "object": "stored-east", "t": "noon",
+                        })
+                    codes["bad-time"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.query_window(10.0, 0.0)
+                    codes["empty-window"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.request({
+                            "op": "query", "query": "nearest",
+                            "x": 0.0, "y": 0.0, "t": 0.0, "k": 0,
+                        })
+                    codes["bad-k"] = err.value.code
+                    with pytest.raises(ServeError) as err:
+                        await client.request({
+                            "op": "query", "query": "window",
+                            "t0": 0.0, "t1": 1.0, "bbox": [1, 2, 3],
+                        })
+                    codes["bad-bbox"] = err.value.code
+            return codes
+
+        assert run_async(scenario()) == {
+            "unknown-object": "not-found",
+            "outside-interval": "not-found",
+            "unknown-summary": "not-found",
+            "bad-kind": "bad-request",
+            "bad-time": "bad-request",
+            "empty-window": "bad-request",
+            "bad-k": "bad-request",
+            "bad-bbox": "bad-request",
+        }
+
+    def test_stats_surface_query_counters(self):
+        async def scenario():
+            async with running_server(store=_seeded_store()) as server:
+                async with connected(server) as client:
+                    await client.query_position("stored-east", 10.0)
+                    await client.query_window(0.0, 100.0)
+                    await client.query_nearest(0.0, 0.0, 10.0)
+                    return await client.stats()
+
+        stats = run_async(scenario())
+        assert stats["queries"] == 3
+        assert stats["query_decoded_records"] >= 1
+        assert stats["query_decoded_bytes"] > 0
+        assert 0.0 <= stats["query_prune_ratio"] <= 1.0
+        assert stats["metrics"]["counters"]["queries_position"] == 1
+
+
+class TestRouterQueries:
+    """The same verbs through a 2-worker sharded fleet."""
+
+    def _populate(self, n: int = 5):
+        """n objects spread across shards, each at its own origin."""
+        return {
+            f"obj-{i}": _line(f"obj-{i}", 0.0, 8, i * 1000.0, i * 1000.0)
+            for i in range(n)
+        }
+
+    def test_position_routes_by_object(self, tmp_path):
+        objects = self._populate()
+
+        async def scenario():
+            async with running_router(tmp_path) as router:
+                async with connected(router) as client:
+                    for key, traj in objects.items():
+                        await client.open(key, RAW_SPEC)
+                        await client.append(key, _fixes(traj))
+                    out = {}
+                    for key, traj in objects.items():
+                        result = await client.query_position(key, 35.0)
+                        expected = traj.position_at(35.0)
+                        out[key] = (
+                            result["x"] == float(expected[0])
+                            and result["y"] == float(expected[1])
+                        )
+                    return out
+
+        assert all(run_async(scenario()).values())
+
+    def test_window_fans_out_and_merges_sorted(self, tmp_path):
+        objects = self._populate()
+
+        async def scenario():
+            async with running_router(tmp_path) as router:
+                async with connected(router) as client:
+                    for key, traj in objects.items():
+                        await client.open(key, RAW_SPEC)
+                        await client.append(key, _fixes(traj))
+                        await client.close_session(key)
+                    all_of_them = await client.query_window(0.0, 100.0)
+                    boxed = await client.query_window(
+                        0.0, 100.0,
+                        bbox=[1500.0, 1500.0, 3500.0, 3500.0],
+                    )
+                    return all_of_them, boxed
+
+        all_of_them, boxed = run_async(scenario())
+        assert all_of_them == sorted(objects)
+        assert boxed == ["obj-2", "obj-3"]
+
+    def test_nearest_merges_shard_answers_into_one_ranking(self, tmp_path):
+        objects = self._populate()
+
+        async def scenario():
+            async with running_router(tmp_path) as router:
+                async with connected(router) as client:
+                    for key, traj in objects.items():
+                        await client.open(key, RAW_SPEC)
+                        await client.append(key, _fixes(traj))
+                    return await client.query_nearest(
+                        2100.0, 2100.0, 35.0, k=3
+                    )
+
+        results = run_async(scenario())
+        assert [r["object"] for r in results] == ["obj-2", "obj-1", "obj-3"]
+        assert [r["distance_m"] for r in results] == sorted(
+            r["distance_m"] for r in results
+        )
+
+    def test_summaries_merge_across_the_fleet(self, tmp_path):
+        objects = self._populate(4)
+
+        async def scenario():
+            async with running_router(tmp_path) as router:
+                async with connected(router) as client:
+                    for key, traj in objects.items():
+                        await client.open(key, RAW_SPEC)
+                        await client.append(key, _fixes(traj))
+                    live = await client.summaries()
+                    for key in objects:
+                        await client.close_session(key)
+                    stored = await client.summaries()
+                    one = await client.summaries("obj-1")
+                    return live, stored, one
+
+        live, stored, one = run_async(scenario())
+        assert sorted(live["live_sessions"]) == sorted(objects)
+        assert sorted(stored["objects"]) == sorted(objects)
+        assert stored["config"] is not None
+        assert list(one["objects"]) == ["obj-1"]
+
+    def test_shard_errors_propagate_not_found(self, tmp_path):
+        async def scenario():
+            async with running_router(tmp_path) as router:
+                async with connected(router) as client:
+                    with pytest.raises(ServeError) as err:
+                        await client.query_position("ghost", 0.0)
+                    return err.value.code
+
+        assert run_async(scenario()) == "not-found"
+
+    def test_router_stats_sum_query_counters(self, tmp_path):
+        objects = self._populate(3)
+
+        async def scenario():
+            async with running_router(tmp_path) as router:
+                async with connected(router) as client:
+                    for key, traj in objects.items():
+                        await client.open(key, RAW_SPEC)
+                        await client.append(key, _fixes(traj))
+                    for key in objects:
+                        await client.query_position(key, 35.0)
+                    await client.query_window(0.0, 100.0)
+                    return await client.stats()
+
+        stats = run_async(scenario())
+        # position x3 + fan-out window (counted once per worker).
+        assert stats["queries"] >= 3 + 1
+        assert len(stats["shards"]) == 2

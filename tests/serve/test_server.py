@@ -294,7 +294,7 @@ class TestPersistenceAndStats:
         assert stats["sessions_evicted"] == 1
         assert stats["sessions_flushed"] == 2  # the evicted one + the close
         assert stats["stored_objects"] == 2
-        assert stats["protocol_version"] == 2
+        assert stats["protocol_version"] == 3
         assert stats["connections_opened"] >= 1
         assert stats["uptime_s"] >= 0.0
         assert stats["append_latency_ms"]["count"] > 0

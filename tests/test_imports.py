@@ -58,6 +58,7 @@ def test_package_count_matches_design():
         "geometry",
         "obs",
         "pipeline",
+        "query",
         "serve",
         "storage",
         "streaming",
