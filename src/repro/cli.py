@@ -515,6 +515,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_spec=args.algorithm,
         wal_dir=args.wal,
         shard=args.shard,
+        degrade_budget_floor=args.degrade_floor,
+        degrade_budget_factor=args.degrade_factor,
     )
 
     async def _run() -> None:
@@ -588,6 +590,8 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         store_path=args.store,
         default_spec=args.algorithm,
         max_sessions=args.max_sessions,
+        degrade_budget_floor=args.degrade_floor,
+        degrade_budget_factor=args.degrade_factor,
         idle_timeout_s=args.idle_timeout,
         sweep_interval_s=args.sweep_interval,
         queue_size=args.queue_size,
@@ -700,6 +704,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"admission control: {results['rejected_sessions']}/{args.rejects} "
         f"over-limit opens rejected"
     )
+    evicted = results.get("fixes_evicted", 0)
+    renegotiations = results.get("budget_renegotiations", 0)
+    if evicted or renegotiations:
+        by_algorithm = results.get("fixes_evicted_by_algorithm", {})
+        breakdown = ", ".join(
+            f"{name}={count}" for name, count in sorted(by_algorithm.items())
+        )
+        print(
+            f"budget accounting: {evicted} fixes evicted"
+            + (f" ({breakdown})" if breakdown else "")
+            + f", {renegotiations} renegotiation(s), "
+            f"{results.get('sessions_renegotiated', 0)} session(s) "
+            f"renegotiated, "
+            f"{results.get('sessions_admitted_degraded', 0)} degraded "
+            f"admission(s)"
+        )
     print(f"wrote {args.output}")
     return 0
 
@@ -1222,6 +1242,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", "-a", default=None, metavar="SPEC",
         help="default online compressor spec for opens that carry none, "
              "e.g. 'operb:epsilon=30' (see repro.streaming)",
+    )
+    p_serve.add_argument(
+        "--degrade-floor", type=_positive_int, default=None, metavar="N",
+        help="degraded admission: when the session table is full, "
+             "renegotiate live budget-capable sessions down (never below "
+             "this floor) instead of rejecting the open (see "
+             "docs/SERVING.md)",
+    )
+    p_serve.add_argument(
+        "--degrade-factor", type=_positive_float, default=0.5, metavar="F",
+        help="multiplier applied to each live session's budget during a "
+             "degraded admission (0 < F < 1, default 0.5)",
     )
     p_serve.add_argument(
         "--workers", type=_positive_int, default=1, metavar="N",

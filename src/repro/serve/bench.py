@@ -34,7 +34,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.registry import make_compressor
-from repro.exceptions import ServeError
+from repro.exceptions import ServeError, UnknownCompressorError
 from repro.io_util import write_atomic_json
 from repro.serve.client import ServeClient
 from repro.serve.server import TrajectoryServer
@@ -80,10 +80,39 @@ def make_workload(
 
 
 def _expected_retained(spec: str, fixes: list[Fix]) -> list[Fix]:
-    """The batch algorithm's selection on the same input."""
-    traj = Trajectory.from_points([(f.t, f.x, f.y) for f in fixes])
-    indices = make_compressor(spec).compress(traj).indices
-    return [fixes[i] for i in indices]
+    """The oracle selection on the same input.
+
+    Threshold specs have a batch twin (the online form is proven
+    batch-identical), so the batch compressor is the oracle. Budget
+    specs (``squish``/``sttrace``) exist only online; their eviction
+    order is a deterministic pure function of the pushed series, so a
+    local single-pass replay *is* the oracle the served stream must
+    match bit-for-bit.
+    """
+    try:
+        traj = Trajectory.from_points([(f.t, f.x, f.y) for f in fixes])
+        indices = make_compressor(spec).compress(traj).indices
+        return [fixes[i] for i in indices]
+    except UnknownCompressorError:
+        return _online_replay(spec, fixes)
+
+
+def _online_replay(spec: str, fixes: list[Fix]) -> list[Fix]:
+    """Net retained stream of a fresh online compressor over ``fixes``."""
+    from repro.streaming.base import partition_events
+    from repro.streaming.registry import make_online_compressor
+
+    compressor = make_online_compressor(spec)
+    retained: list[Fix] = []
+    evicted_times: set[float] = set()
+    for fix in fixes:
+        kept, evicted = partition_events(compressor.push(fix))
+        retained.extend(kept)
+        evicted_times.update(point.t for point in evicted)
+    kept, evicted = partition_events(compressor.finish())
+    retained.extend(kept)
+    evicted_times.update(point.t for point in evicted)
+    return [point for point in retained if point.t not in evicted_times]
 
 
 async def _attempt_rejected_open(host: str, port: int, object_id: str) -> bool:
@@ -196,6 +225,18 @@ async def _bench(
                 # Distribution of *per-session* p99s — an aggregate p99
                 # hides a single slow session; this does not.
                 "session_p99_ms": _distribution(session_p99s),
+                # Budget-compressor accounting (all zero on threshold
+                # specs): retractions of previously-acked points and
+                # admission-control renegotiations.
+                "fixes_evicted": stats.get("fixes_evicted", 0),
+                "budget_renegotiations": stats.get("budget_renegotiations", 0),
+                "sessions_renegotiated": stats.get("sessions_renegotiated", 0),
+                "sessions_admitted_degraded": stats.get(
+                    "sessions_admitted_degraded", 0
+                ),
+                "fixes_evicted_by_algorithm": stats.get(
+                    "fixes_evicted_by_algorithm", {}
+                ),
             },
             "server_stats": stats,
         }
@@ -227,17 +268,24 @@ async def _drive_append_and_close(
     aggregate cannot answer per-session (hence per-shard) questions.
     """
     retained: list[Fix] = []
+    evicted_times: set[float] = set()
     own_latencies: list[float] = []
     async with await ServeClient.connect(host, port) as client:
         for start in range(0, len(fixes), batch):
             chunk = fixes[start : start + batch]
             began = time.perf_counter()
-            retained.extend(await client.append(object_id, chunk))
+            kept, evicted = await client.append_events(object_id, chunk)
             own_latencies.append((time.perf_counter() - began) * 1e3)
+            retained.extend(kept)
+            # Budget compressors retract previously-acked points; removal
+            # by timestamp is idempotent (at-least-once delivery).
+            evicted_times.update(point.t for point in evicted)
         latencies_ms.extend(own_latencies)
         summary = await client.close_session(object_id)
         retained.extend(summary["retained"])
         assert summary["stored"] is not None, f"{object_id}: nothing stored"
+    if evicted_times:
+        retained = [p for p in retained if p.t not in evicted_times]
     return retained, own_latencies
 
 

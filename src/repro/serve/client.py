@@ -190,6 +190,29 @@ class ServeClient:
         response = await self.append_response(session, fixes, seq=seq)
         return [Fix(*triple) for triple in response["retained"]]
 
+    async def append_events(
+        self,
+        session: str,
+        fixes: Iterable[Fix | Sequence[float]],
+        *,
+        seq: int | None = None,
+    ) -> tuple[list[Fix], list[Fix]]:
+        """Append fixes; returns ``(retained, evicted)``.
+
+        ``evicted`` lists previously retained fixes a budget compressor
+        (``squish:budget=...``, ``sttrace:budget=...``) retracted —
+        push-time evictions plus any pending renegotiation evictions.
+        Consumers tracking the net retained stream should remove them by
+        timestamp, tolerating already-removed entries (a recovery replay
+        may re-deliver an eviction). Threshold compressors never
+        populate it.
+        """
+        response = await self.append_response(session, fixes, seq=seq)
+        return (
+            [Fix(*triple) for triple in response["retained"]],
+            [Fix(*triple) for triple in response.get("evicted", [])],
+        )
+
     async def append_response(
         self,
         session: str,
@@ -480,6 +503,27 @@ class DurableServeClient:
         )
         state["seq"] = seq
         return [Fix(*triple) for triple in response["retained"]]
+
+    async def append_events(
+        self, session: str, fixes: Iterable[Fix | Sequence[float]]
+    ) -> tuple[list[Fix], list[Fix]]:
+        """Crash-safe :meth:`append`, returning ``(retained, evicted)``.
+
+        See :meth:`ServeClient.append_events` for the eviction contract;
+        apply removals idempotently — a deduplicated replay after a
+        reconnect re-delivers the original batch's evictions.
+        """
+        state = self._session_state(session)
+        seq = state["seq"] + 1
+        batch = [Fix(*map(float, fix)) for fix in fixes]
+        response = await self._with_retry(
+            lambda c: c.append_response(session, batch, seq=seq)
+        )
+        state["seq"] = seq
+        return (
+            [Fix(*triple) for triple in response["retained"]],
+            [Fix(*triple) for triple in response.get("evicted", [])],
+        )
 
     async def close_session(self, session: str) -> dict:
         """Close a session, tolerating an ack lost to a reconnect.

@@ -213,6 +213,8 @@ class WorkerPool:
         store_path: "Path | str | None" = None,
         default_spec: "str | None" = None,
         max_sessions: int = 1024,
+        degrade_budget_floor: "int | None" = None,
+        degrade_budget_factor: float = 0.5,
         idle_timeout_s: float = 300.0,
         sweep_interval_s: float = 5.0,
         queue_size: int = 64,
@@ -229,6 +231,10 @@ class WorkerPool:
         self.store_path = None if store_path is None else Path(store_path)
         self.default_spec = default_spec
         self.max_sessions = int(max_sessions)
+        self.degrade_budget_floor = (
+            None if degrade_budget_floor is None else int(degrade_budget_floor)
+        )
+        self.degrade_budget_factor = float(degrade_budget_factor)
         self.idle_timeout_s = float(idle_timeout_s)
         self.sweep_interval_s = float(sweep_interval_s)
         self.queue_size = int(queue_size)
@@ -299,6 +305,11 @@ class WorkerPool:
             command += ["--wal", str(handle.wal_dir)]
         if self.default_spec is not None:
             command += ["--algorithm", self.default_spec]
+        if self.degrade_budget_floor is not None:
+            command += [
+                "--degrade-floor", str(self.degrade_budget_floor),
+                "--degrade-factor", str(self.degrade_budget_factor),
+            ]
         if self.replace:
             command += ["--replace"]
         process = await asyncio.create_subprocess_exec(

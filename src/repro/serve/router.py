@@ -644,8 +644,12 @@ class ServeRouter:
             "sessions_flushed",
             "sessions_recovered",
             "sessions_discarded",
+            "sessions_renegotiated",
+            "sessions_admitted_degraded",
+            "budget_renegotiations",
             "fixes_in",
             "fixes_retained",
+            "fixes_evicted",
             "fixes_flushed",
             "queries",
             "query_decoded_records",
@@ -656,6 +660,14 @@ class ServeRouter:
             summed[field] = sum(
                 int(payload.get(field, 0)) for payload in shard_stats.values()
             )
+        for field in ("fixes_in_by_algorithm", "fixes_evicted_by_algorithm"):
+            merged: dict[str, int] = {}
+            for payload in shard_stats.values():
+                per_shard = payload.get(field)
+                if isinstance(per_shard, dict):
+                    for algorithm, count in per_shard.items():
+                        merged[algorithm] = merged.get(algorithm, 0) + int(count)
+            summed[field] = merged
         wals = {
             name: payload["wal"]
             for name, payload in shard_stats.items()

@@ -97,6 +97,14 @@ class TrajectoryServer:
             (group commit before the response is written), and
             :meth:`start` replays its surviving sessions. Crash safety
             costs one fsync per group of in-flight requests.
+        degrade_budget_floor: enables degraded admission — under
+            ``max_sessions`` pressure, live budget-capable sessions are
+            renegotiated down (budgets multiplied by
+            ``degrade_budget_factor``, never below this floor) and the
+            new session admitted, instead of rejecting it (see
+            :class:`~repro.serve.session.SessionManager`).
+        degrade_budget_factor: budget multiplier under pressure
+            (0 < factor < 1; default 0.5).
         shard: name of this worker's shard when it serves as part of a
             ``--workers N`` fleet; purely a label, echoed in ``stats``.
         faults: optional fault injector threaded into the WAL (chaos
@@ -120,6 +128,8 @@ class TrajectoryServer:
         replace: bool = False,
         default_spec: str | None = None,
         wal_dir: str | Path | None = None,
+        degrade_budget_floor: int | None = None,
+        degrade_budget_factor: float = 0.5,
         shard: str | None = None,
         faults: FaultInjector | None = None,
         metrics: Registry | None = None,
@@ -162,6 +172,8 @@ class TrajectoryServer:
             durable=durable,
             replace=replace,
             wal=self.wal,
+            degrade_budget_floor=degrade_budget_floor,
+            degrade_budget_factor=degrade_budget_factor,
             metrics=self.metrics,
             clock=clock,
         )
@@ -534,6 +546,12 @@ class TrajectoryServer:
                 retained=render_fixes(outcome.retained),
                 n_retained=len(outcome.retained),
             )
+        if outcome.evicted:
+            # Budget compressors retract previously retained points; the
+            # field is present only when something was evicted, so the
+            # threshold-compressor wire form is unchanged.
+            response["evicted"] = render_fixes(outcome.evicted)
+            response["n_evicted"] = len(outcome.evicted)
         if outcome.duplicate:
             response["duplicate"] = True
         return response
@@ -556,6 +574,7 @@ class TrajectoryServer:
             recovered=session.recovered,
             fixes_in=session.n_fixes_in,
             n_retained=session.n_retained,
+            budget=session.budget,
         )
 
     def _op_close(self, message: dict) -> dict:

@@ -39,7 +39,7 @@ from repro.exceptions import ReproError, ServeError, StorageError, StreamError
 from repro.obs import Registry, span
 from repro.serve.wal import WalWriter
 from repro.storage.store import StoredRecord, TrajectoryStore
-from repro.streaming.base import OnlineCompressor
+from repro.streaming.base import Eviction, OnlineCompressor, partition_events
 from repro.streaming.registry import make_online_compressor
 from repro.trajectory.builder import TrajectoryBuilder
 from repro.trajectory.trajectory import Trajectory
@@ -59,10 +59,16 @@ class AppendOutcome:
     number the session has already applied. For the most recent batch
     the cached decisions are replayed verbatim (``retained``/``error``
     come from the original application); older duplicates return empty.
+
+    ``evicted`` lists previously retained fixes a budget compressor
+    retracted — push-time evictions plus any renegotiation evictions
+    that had not yet been reported to the client. Threshold compressors
+    never populate it.
     """
 
     seq: int
     retained: "list[Fix]" = field(default_factory=list)
+    evicted: "list[Fix]" = field(default_factory=list)
     accepted: int = 0
     duplicate: bool = False
     error: "StreamError | None" = None
@@ -80,6 +86,9 @@ class Session:
         "pending",
         "n_fixes_in",
         "n_retained",
+        "n_evicted",
+        "budget_renegotiations",
+        "unreported_evictions",
         "opened_at",
         "last_active",
         "last_seq",
@@ -102,6 +111,13 @@ class Session:
         self.pending: list[Fix] = []
         self.n_fixes_in = 0
         self.n_retained = 0
+        #: Previously retained fixes later retracted (budget compressors).
+        self.n_evicted = 0
+        #: Budget renegotiations applied to this session.
+        self.budget_renegotiations = 0
+        #: Renegotiation evictions the client has not been told about
+        #: yet; drained into the next append outcome's ``evicted``.
+        self.unreported_evictions: list[Fix] = []
         self.opened_at = now
         self.last_active = now
         #: Highest applied append sequence number (0 = none yet).
@@ -119,68 +135,109 @@ class Session:
             StreamError: the fix's timestamp does not strictly advance
                 the session clock (session state is unchanged).
         """
-        kept = self.compressor.push(fix)
-        for point in kept:
-            self.builder.append_fix(point)
-        self.pending.append(fix)
-        if kept:
-            last_kept_t = kept[-1].t
-            self.pending = [f for f in self.pending if f.t > last_kept_t]
-        self.n_fixes_in += 1
-        self.n_retained += len(kept)
-        self.last_active = now
+        kept, _, _, error = self.append_many([fix], now)
+        if error is not None:
+            raise error
         return kept
 
     def append_many(
         self, fixes: Sequence[Fix], now: float
-    ) -> tuple[list[Fix], int, StreamError | None]:
+    ) -> tuple[list[Fix], list[Fix], int, StreamError | None]:
         """Push a batch of fixes through the compressor in one tight loop.
 
         Bookkeeping (builder appends, counters, activity timestamp) is
         done once per batch instead of once per fix — the serve hot path.
+        Budget compressors may interleave :class:`~repro.streaming.base
+        .Eviction` retractions with retained fixes; retractions are
+        applied to the builder here and returned separately.
 
         Returns:
-            ``(retained, accepted, error)``: the fixes the batch decided
-            to retain, how many input fixes were accepted, and the
+            ``(retained, evicted, accepted, error)``: the fixes the
+            batch decided to retain, the previously retained fixes it
+            retracted, how many input fixes were accepted, and the
             :class:`StreamError` that stopped the batch mid-way (or
             ``None``). On an error the accepted prefix is already
             applied, mirroring per-fix appends; the session stays
             usable.
         """
         kept: list[Fix] = []
+        evicted: list[Fix] = []
         push = self.compressor.push
         accepted = 0
         error: StreamError | None = None
         try:
             for fix in fixes:
-                kept.extend(push(fix))
+                for event in push(fix):
+                    if type(event) is Eviction:
+                        evicted.append(event.fix)
+                    else:
+                        kept.append(event)
                 accepted += 1
         except StreamError as exc:
             error = exc
+        # Retains land first, then the retractions: an evicted fix is
+        # always strictly older than the newest retained one, so the
+        # appends never collide with a hole a removal just opened.
         for point in kept:
             self.builder.append_fix(point)
+        for point in evicted:
+            self.builder.remove_time(point.t)
         self.pending.extend(fixes[:accepted])
         if kept:
             last_kept_t = kept[-1].t
             self.pending = [f for f in self.pending if f.t > last_kept_t]
         self.n_fixes_in += accepted
         self.n_retained += len(kept)
+        self.n_evicted += len(evicted)
         self.last_active = now
-        return kept, accepted, error
+        return kept, evicted, accepted, error
 
     def finalize(self) -> tuple[Trajectory | None, list[Fix]]:
         """Close the compressor; returns (trajectory, tail retained fixes).
 
         The trajectory is ``None`` when the session never appended a fix.
         """
-        tail = self.compressor.finish()
+        tail, evicted = partition_events(self.compressor.finish())
         for point in tail:
             self.builder.append_fix(point)
+        for point in evicted:
+            self.builder.remove_time(point.t)
         self.pending.clear()
         self.n_retained += len(tail)
+        self.n_evicted += len(evicted)
         if len(self.builder) == 0:
             return None, tail
         return self.builder.build(), tail
+
+    @property
+    def budget(self) -> int | None:
+        """The compressor's point budget, or ``None`` (threshold spec)."""
+        value = getattr(self.compressor, "budget", None)
+        return int(value) if value is not None else None
+
+    def renegotiate(self, budget: int) -> list[Fix]:
+        """Tighten the compressor's point budget; returns the evictions.
+
+        Only budget-capable compressors support this
+        (:exc:`ServeError` code ``bad-request`` otherwise). The evicted
+        fixes are removed from the builder and queued on
+        :attr:`unreported_evictions` so the next append outcome carries
+        them to the client.
+        """
+        renegotiate = getattr(self.compressor, "renegotiate", None)
+        if renegotiate is None:
+            raise ServeError(
+                f"session {self.object_id!r} runs {self.spec!r}, which has "
+                f"no point budget to renegotiate",
+                code="bad-request",
+            )
+        _, evicted = partition_events(renegotiate(budget))
+        for point in evicted:
+            self.builder.remove_time(point.t)
+        self.n_evicted += len(evicted)
+        self.budget_renegotiations += 1
+        self.unreported_evictions.extend(evicted)
+        return evicted
 
     def snapshot(self) -> Trajectory | None:
         """Every acknowledged fix as a queryable trajectory (or ``None``).
@@ -208,6 +265,9 @@ class Session:
             "algorithm": self.algorithm,
             "fixes_in": self.n_fixes_in,
             "retained": self.n_retained,
+            "evicted": self.n_evicted,
+            "budget": self.budget,
+            "budget_renegotiations": self.budget_renegotiations,
             "state_size": self.compressor.state_size,
             "idle_s": max(0.0, now - self.last_active),
             "last_seq": self.last_seq,
@@ -227,10 +287,20 @@ class SessionManager:
         durable: fsync on persist (the store's ``save`` durability knob).
         replace: allow a flush to overwrite an existing stored id.
         wal: optional :class:`~repro.serve.wal.WalWriter`; when present
-            every open and append batch is staged into it *before* being
-            applied, and a flush stages the truncation marker after the
-            store accepted the trajectory. Call :meth:`recover` to
-            replay its surviving sessions.
+            every open, append batch and budget renegotiation is staged
+            into it *before* being applied, and a flush stages the
+            truncation marker after the store accepted the trajectory.
+            Call :meth:`recover` to replay its surviving sessions.
+        degrade_budget_floor: enables *degraded admission*: when the
+            session limit trips (and idle eviction reclaimed nothing), a
+            new session is admitted anyway if at least one live
+            budget-capable session could be renegotiated down — budgets
+            are multiplied by ``degrade_budget_factor`` (never below
+            this floor), trading per-object fidelity for capacity
+            instead of rejecting trackers. ``None`` (default) keeps the
+            hard-reject behaviour.
+        degrade_budget_factor: multiplier applied to live budgets under
+            admission pressure (0 < factor < 1; default 0.5).
         metrics: shared observability registry (one is created if absent).
         clock: monotonic time source, injectable for tests.
     """
@@ -245,6 +315,8 @@ class SessionManager:
         durable: bool = True,
         replace: bool = False,
         wal: WalWriter | None = None,
+        degrade_budget_floor: int | None = None,
+        degrade_budget_factor: float = 0.5,
         metrics: Registry | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -252,6 +324,15 @@ class SessionManager:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         if idle_timeout_s <= 0:
             raise ValueError(f"idle_timeout_s must be positive, got {idle_timeout_s}")
+        if degrade_budget_floor is not None and degrade_budget_floor < 2:
+            raise ValueError(
+                f"degrade_budget_floor must be >= 2, got {degrade_budget_floor}"
+            )
+        if not 0.0 < degrade_budget_factor < 1.0:
+            raise ValueError(
+                f"degrade_budget_factor must be in (0, 1), "
+                f"got {degrade_budget_factor}"
+            )
         self.store = store
         self.max_sessions = int(max_sessions)
         self.idle_timeout_s = float(idle_timeout_s)
@@ -259,6 +340,10 @@ class SessionManager:
         self.durable = durable
         self.replace = replace
         self.wal = wal
+        self.degrade_budget_floor = (
+            None if degrade_budget_floor is None else int(degrade_budget_floor)
+        )
+        self.degrade_budget_factor = float(degrade_budget_factor)
         self.metrics = metrics if metrics is not None else Registry()
         self._clock = clock
         # Ordered least-recently-active first: append moves to the end,
@@ -311,11 +396,16 @@ class SessionManager:
             # Try to reclaim capacity from idle sessions before refusing.
             self.evict_idle()
         if len(self._sessions) >= self.max_sessions:
-            self.metrics.counter("sessions_rejected").inc()
-            raise ServeError(
-                f"session limit reached ({self.max_sessions} live); retry later",
-                code="rejected",
-            )
+            # Degraded admission: shrink live point budgets instead of
+            # rejecting, when the policy is enabled and anything shrank.
+            if self.degrade_budget_floor is None or not self.degrade_budgets():
+                self.metrics.counter("sessions_rejected").inc()
+                raise ServeError(
+                    f"session limit reached ({self.max_sessions} live); "
+                    f"retry later",
+                    code="rejected",
+                )
+            self.metrics.counter("sessions_admitted_degraded").inc()
         try:
             compressor = make_online_compressor(spec)
         except (ReproError, ValueError, KeyError) as exc:
@@ -355,6 +445,57 @@ class SessionManager:
         return (
             self._sessions.get(session_id) if isinstance(session_id, str) else None
         )
+
+    def renegotiate_session(self, session_id: object, budget: int) -> list[Fix]:
+        """Tighten one session's point budget; returns the evictions.
+
+        WAL-logged *before* being applied (log-before-apply, like
+        appends), so recovery replays the renegotiation at the same
+        point of the session's history and the rebuilt compressor state
+        is bit-identical. The evicted fixes are also queued on the
+        session and ride the next append acknowledgement to the client.
+
+        Raises:
+            ServeError: ``unknown-session``, ``bad-request`` for a
+                session without a budget, or ``wal-failure``.
+        """
+        session = self.get(session_id)
+        if self.wal is not None:
+            self.wal.stage_renegotiate(session.object_id, int(budget))
+        evicted = session.renegotiate(int(budget))
+        counter = self.metrics.counter
+        counter("budget_renegotiations").inc()
+        counter("fixes_evicted").inc(len(evicted))
+        counter(f"fixes_evicted.{session.algorithm}").inc(len(evicted))
+        return evicted
+
+    def degrade_budgets(self) -> int:
+        """Shrink every live budget-capable session's budget one notch.
+
+        The admission-pressure valve: multiplies each live budget by
+        :attr:`degrade_budget_factor`, clamped to
+        :attr:`degrade_budget_floor`. Sessions already at the floor (or
+        without a budget) are left alone.
+
+        Returns:
+            How many sessions were renegotiated.
+        """
+        floor = self.degrade_budget_floor
+        if floor is None:
+            return 0
+        renegotiated = 0
+        for session in list(self._sessions.values()):
+            budget = session.budget
+            if budget is None or budget <= floor:
+                continue
+            target = max(floor, int(budget * self.degrade_budget_factor))
+            if target >= budget:
+                target = budget - 1
+            self.renegotiate_session(session.object_id, target)
+            renegotiated += 1
+        if renegotiated:
+            self.metrics.counter("sessions_renegotiated").inc(renegotiated)
+        return renegotiated
 
     def append(self, session_id: object, fix: Fix) -> list[Fix]:
         """Push one fix into a session; returns the newly retained fixes.
@@ -420,6 +561,7 @@ class SessionManager:
                 return AppendOutcome(
                     seq=seq,
                     retained=list(cached.retained),
+                    evicted=list(cached.evicted),
                     accepted=cached.accepted,
                     duplicate=True,
                     error=cached.error,
@@ -437,14 +579,26 @@ class SessionManager:
             # the WAL; replay applies it through the same deterministic
             # code path, mid-batch rejections included.
             self.wal.stage_append(session.object_id, seq, fixes)
-        kept, accepted, error = session.append_many(fixes, self._clock())
+        kept, evicted, accepted, error = session.append_many(fixes, self._clock())
+        n_push_evicted = len(evicted)
+        if session.unreported_evictions:
+            # Renegotiation evictions the client has not seen yet ride
+            # this acknowledgement (at-least-once: a recovery replay may
+            # re-queue ones an unacked response already carried; the
+            # client-side removal is idempotent).
+            evicted = session.unreported_evictions + evicted
+            session.unreported_evictions = []
         self._sessions.move_to_end(session.object_id)
         counter = self.metrics.counter
         counter("fixes_in").inc(accepted)
         counter("fixes_retained").inc(len(kept))
         counter(f"fixes_in.{session.algorithm}").inc(accepted)
+        if n_push_evicted:
+            # Renegotiation evictions were counted when they happened.
+            counter("fixes_evicted").inc(n_push_evicted)
+            counter(f"fixes_evicted.{session.algorithm}").inc(n_push_evicted)
         outcome = AppendOutcome(
-            seq=seq, retained=kept, accepted=accepted, error=error
+            seq=seq, retained=kept, evicted=evicted, accepted=accepted, error=error
         )
         session.last_seq = seq
         session.last_outcome = outcome
@@ -561,15 +715,29 @@ class SessionManager:
             try:
                 compressor = make_online_compressor(rec.spec)
                 session = Session(rec.session_id, rec.spec, compressor, now)
-                for seq, fixes in rec.appends:
+                for op in rec.ops:
+                    if op[0] == "r":
+                        # Budget renegotiation: replayed at the same
+                        # point of the history, so the deterministic
+                        # eviction core re-evicts the same points and
+                        # the rebuilt state is bit-identical.
+                        session.renegotiate(op[1])
+                        continue
+                    _, seq, fixes = op
                     # Replay applies acknowledged batches through the
                     # exact code path that applied them originally;
                     # mid-batch StreamErrors are re-decided identically
                     # and deliberately not re-raised.
-                    kept, accepted, error = session.append_many(fixes, now)
+                    kept, evicted, accepted, error = session.append_many(
+                        fixes, now
+                    )
                     session.last_seq = seq
                     session.last_outcome = AppendOutcome(
-                        seq=seq, retained=kept, accepted=accepted, error=error
+                        seq=seq,
+                        retained=kept,
+                        evicted=evicted,
+                        accepted=accepted,
+                        error=error,
                     )
                     recovered_fixes += accepted
             except (ReproError, ValueError, KeyError) as exc:
@@ -659,6 +827,11 @@ class SessionManager:
             for name, value in exported.items()
             if name.startswith("fixes_in.")
         }
+        evicted_by_algorithm = {
+            name.split(".", 1)[1]: value
+            for name, value in exported.items()
+            if name.startswith("fixes_evicted.")
+        }
         stats = {
             "live_sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
@@ -670,10 +843,17 @@ class SessionManager:
             "sessions_flushed": counter("sessions_flushed").value,
             "sessions_recovered": counter("sessions_recovered").value,
             "sessions_discarded": counter("sessions_discarded").value,
+            "sessions_renegotiated": counter("sessions_renegotiated").value,
+            "sessions_admitted_degraded": counter(
+                "sessions_admitted_degraded"
+            ).value,
+            "budget_renegotiations": counter("budget_renegotiations").value,
             "fixes_in": counter("fixes_in").value,
             "fixes_retained": counter("fixes_retained").value,
+            "fixes_evicted": counter("fixes_evicted").value,
             "fixes_flushed": counter("fixes_flushed").value,
             "fixes_in_by_algorithm": by_algorithm,
+            "fixes_evicted_by_algorithm": evicted_by_algorithm,
             "last_evict_failures": list(self.last_evict_failures),
             "last_recovery_failures": list(self.last_recovery_failures),
         }

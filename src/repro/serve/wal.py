@@ -23,6 +23,10 @@ demultiplexes the shared log back into per-session streams:
   number and the flat ``(t, x, y)`` array packed as little-endian
   IEEE-754 doubles (bit-exact, and ~8x cheaper to encode than JSON
   float text; the scan also accepts the older plain-list form);
+* ``{"k": "r", "s": id, "b": budget}`` — the session's point budget was
+  renegotiated (degraded admission). Ordered with the appends: a
+  replayed renegotiation evicts exactly the points the live one did
+  only if it runs at the same position in the session's history;
 * ``{"k": "f", "s": id}`` — the session was durably flushed into the
   store; its earlier records are dead. A segment is deleted only when
   every session recorded in it has such a marker — truncation strictly
@@ -91,18 +95,32 @@ def _segment_index(path: Path) -> "int | None":
 
 @dataclass
 class RecoveredSession:
-    """One session's replayable state as reassembled from the log."""
+    """One session's replayable state as reassembled from the log.
+
+    ``ops`` preserves the commit order of every state-changing record:
+    ``("a", seq, fixes)`` for an acknowledged append batch,
+    ``("r", budget)`` for a budget renegotiation. Replaying them in
+    order through the deterministic compressors reconstructs the
+    session bit-identically — a renegotiation's evictions depend on
+    which appends preceded it, so the interleaving matters.
+    """
 
     session_id: str
     spec: str
-    #: Acknowledged append batches in commit order: ``(seq, fixes)``.
-    appends: "list[tuple[int, list[Fix]]]" = field(default_factory=list)
+    #: State-changing records in commit order (see class docstring).
+    ops: "list[tuple]" = field(default_factory=list)
     #: True when a flush marker followed — nothing left to recover.
     flushed: bool = False
 
     @property
+    def appends(self) -> "list[tuple[int, list[Fix]]]":
+        """Acknowledged append batches in commit order: ``(seq, fixes)``."""
+        return [(op[1], op[2]) for op in self.ops if op[0] == "a"]
+
+    @property
     def last_seq(self) -> int:
-        return self.appends[-1][0] if self.appends else 0
+        appends = self.appends
+        return appends[-1][0] if appends else 0
 
     @property
     def n_fixes(self) -> int:
@@ -252,7 +270,18 @@ def scan_wal(directory: "str | Path") -> WalScan:
                     # in a segment already truncated away; nothing to
                     # attach it to.
                     continue
-                session.appends.append((seq, fixes))
+                session.ops.append(("a", seq, fixes))
+                live.add(sid)
+            elif kind == "r":
+                budget = record.get("b")
+                if not isinstance(budget, int):
+                    mark_damage(index, line_start)
+                    continue
+                scan.records += 1
+                session = scan.sessions.get(sid)
+                if session is None or session.flushed:
+                    continue
+                session.ops.append(("r", budget))
                 live.add(sid)
             elif kind == "f":
                 scan.records += 1
@@ -405,6 +434,12 @@ class WalWriter:
             "a",
             session_id,
             {"k": "a", "s": session_id, "q": seq, "f": _pack_fixes(fixes)},
+        )
+
+    def stage_renegotiate(self, session_id: str, budget: int) -> None:
+        """Stage a budget renegotiation (degraded admission)."""
+        self._stage(
+            "r", session_id, {"k": "r", "s": session_id, "b": int(budget)}
         )
 
     def stage_flushed(self, session_id: str) -> None:

@@ -20,7 +20,7 @@ from repro.exceptions import StorageError, StreamError
 from repro.pipeline.executor import FailurePolicy, ItemFailure, execute
 from repro.obs import Registry
 from repro.storage.store import StoredRecord, TrajectoryStore
-from repro.streaming.base import OnlineCompressor
+from repro.streaming.base import OnlineCompressor, partition_events
 from repro.streaming.online import StreamingOPW
 from repro.trajectory.builder import TrajectoryBuilder
 from repro.types import Fix
@@ -148,10 +148,12 @@ class StreamIngestor:
             self._raw_counts[object_id] = 0
         self._raw_counts[object_id] += 1
         self._last_times[object_id] = float(fix.t)
-        kept = compressor.push(fix)
+        kept, evicted = partition_events(compressor.push(fix))
         builder = self._builders[object_id]
         for point in kept:
             builder.append_fix(point)
+        for point in evicted:
+            builder.remove_time(point.t)
         return len(kept)
 
     def finish(self, object_id: str, replace: bool = False) -> StoredRecord:
@@ -167,8 +169,11 @@ class StreamIngestor:
         self._dropped.pop(object_id, None)
         if compressor is None or builder is None:
             raise StorageError(f"no active stream for object {object_id!r}")
-        for point in compressor.finish():
+        tail, evicted = partition_events(compressor.finish())
+        for point in tail:
             builder.append_fix(point)
+        for point in evicted:
+            builder.remove_time(point.t)
         trajectory = builder.build()
         # Points were already chosen online; insert uncompressed but have
         # the store account the raw stream size so its stats stay honest.

@@ -4,13 +4,27 @@
 enforcement; :func:`merge_streams` interleaves a fleet's feeds. The
 push-based compressors all implement the :class:`OnlineCompressor`
 protocol: :class:`StreamingOPW` mirrors the batch opening-window family
-(NOPW / OPW-TR / OPW-SP), while :class:`StreamingOPERB` and
-:class:`StreamingCISED` are the O(1)-state one-pass SED algorithms.
-Construct by name or spec string with :func:`make_online_compressor`;
-new algorithms plug in through :func:`register_online`.
+(NOPW / OPW-TR / OPW-SP), :class:`StreamingOPERB` and
+:class:`StreamingCISED` are the O(1)-state one-pass SED algorithms, and
+the budget-constrained family (:class:`StreamingSQUISH`,
+:class:`StreamingSTTrace`, :class:`StreamingDeadReckoning`) trades a
+fixed point budget for unbounded error, retracting previously retained
+points via :class:`Eviction` events. Construct by name or spec string
+with :func:`make_online_compressor`; new algorithms plug in through
+:func:`register_online`.
 """
 
-from repro.streaming.base import OnlineCompressor
+from repro.streaming.base import (
+    Eviction,
+    OnlineCompressor,
+    PushEvent,
+    partition_events,
+)
+from repro.streaming.budget import (
+    StreamingDeadReckoning,
+    StreamingSQUISH,
+    StreamingSTTrace,
+)
 from repro.streaming.one_pass import StreamingCISED, StreamingOPERB
 from repro.streaming.online import StreamingOPW
 from repro.streaming.registry import (
@@ -21,13 +35,19 @@ from repro.streaming.registry import (
 from repro.streaming.stream import PointStream, merge_streams
 
 __all__ = [
+    "Eviction",
     "OnlineCompressor",
     "PointStream",
+    "PushEvent",
     "StreamingCISED",
+    "StreamingDeadReckoning",
     "StreamingOPERB",
     "StreamingOPW",
+    "StreamingSQUISH",
+    "StreamingSTTrace",
     "available_online_compressors",
     "make_online_compressor",
     "merge_streams",
+    "partition_events",
     "register_online",
 ]

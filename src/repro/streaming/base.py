@@ -22,15 +22,69 @@ implementation:
   :class:`~repro.exceptions.StreamError`;
 * emitted fixes form a subsequence of the pushed fixes, in push order,
   beginning with the first and (after ``finish``) ending with the last.
+
+Budget-constrained compressors (:mod:`repro.streaming.budget`) need one
+more power: a push may *retract* a previously retained point to stay
+under a fixed point budget. Such a compressor yields
+:class:`Eviction` events alongside plain retained fixes; consumers that
+accumulate retained output apply each eviction by removing that fix.
+The widened contract:
+
+* a push returns an ordered event list of ``Fix`` (retain) and
+  :class:`Eviction` (retract) entries; threshold compressors never
+  evict, so their event lists stay plain fix lists;
+* an evicted fix was previously returned as retained and has not been
+  evicted before (no double eviction, no eviction of never-retained
+  points);
+* after applying all events in order, the net retained set is a
+  time-ordered subsequence of the pushed fixes, still beginning with
+  the first pushed fix and (after ``finish``) ending with the last.
+
+:func:`partition_events` splits an event list into its retained and
+evicted halves for consumers that track both.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Iterable, NamedTuple, Protocol, Union, runtime_checkable
 
 from repro.types import Fix
 
-__all__ = ["OnlineCompressor"]
+__all__ = ["Eviction", "OnlineCompressor", "PushEvent", "partition_events"]
+
+
+class Eviction(NamedTuple):
+    """A retraction: ``fix`` was retained earlier and is now dropped.
+
+    Emitted by budget-constrained compressors when admitting a new point
+    would exceed their point budget. Consumers that accumulate retained
+    output must remove ``fix`` from it (match by timestamp — timestamps
+    are unique within a stream).
+    """
+
+    fix: Fix
+
+
+#: One element of a push result: a retained fix or an eviction of one.
+PushEvent = Union[Fix, Eviction]
+
+
+def partition_events(
+    events: Iterable[PushEvent],
+) -> tuple[list[Fix], list[Fix]]:
+    """Split a push/finish event list into ``(retained, evicted)`` fixes.
+
+    Keeps each half in event order. Threshold compressors never emit
+    evictions, so for them the second list is always empty.
+    """
+    retained: list[Fix] = []
+    evicted: list[Fix] = []
+    for event in events:
+        if isinstance(event, Eviction):
+            evicted.append(event.fix)
+        else:
+            retained.append(event)
+    return retained, evicted
 
 
 @runtime_checkable
@@ -51,14 +105,20 @@ class OnlineCompressor(Protocol):
     #: Fixes emitted so far (including those returned by ``finish``).
     n_emitted: int
 
-    def push(self, fix: Fix) -> Iterable[Fix]:
-        """Feed one fix; returns the fixes decided as retained by it."""
+    def push(self, fix: Fix) -> Iterable[PushEvent]:
+        """Feed one fix; returns the events it decided.
+
+        Plain :class:`~repro.types.Fix` entries are newly retained
+        points; :class:`Eviction` entries retract previously retained
+        ones (budget compressors only — threshold compressors return
+        plain fix lists).
+        """
         ...
 
-    def finish(self) -> Iterable[Fix]:
-        """Close the stream; returns the final retained fixes.
+    def finish(self) -> Iterable[PushEvent]:
+        """Close the stream; returns the final events.
 
-        Idempotent: later calls return no fixes.
+        Idempotent: later calls return no events.
         """
         ...
 

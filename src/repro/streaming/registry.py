@@ -41,7 +41,11 @@ class _OnlineRegistration:
 _ONLINE: dict[str, _OnlineRegistration] = {}
 
 #: Modules whose import registers the built-in online algorithms.
-_BUILTIN_MODULES = ("repro.streaming.online", "repro.streaming.one_pass")
+_BUILTIN_MODULES = (
+    "repro.streaming.online",
+    "repro.streaming.one_pass",
+    "repro.streaming.budget",
+)
 
 
 def register_online(

@@ -9,6 +9,8 @@ end, without re-validating the whole series.
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from repro.exceptions import EmptyTrajectoryError, TimestampOrderError
@@ -69,6 +71,26 @@ class TrajectoryBuilder:
         """Append many fixes in order."""
         for fix in fixes:
             self.append_fix(fix)
+
+    def remove_time(self, t: float) -> None:
+        """Remove the fix carrying timestamp ``t`` (budget evictions).
+
+        Budget-constrained online compressors may retract a previously
+        retained point (:class:`repro.streaming.base.Eviction`);
+        timestamps are strictly increasing, so they identify a fix
+        uniquely. O(n) in the held points — builders on the eviction
+        path hold at most a session's point budget.
+
+        Raises:
+            KeyError: no held fix carries timestamp ``t``.
+        """
+        t = float(t)
+        index = bisect.bisect_left(self._t, t)
+        if index == len(self._t) or self._t[index] != t:
+            raise KeyError(f"no fix at t={t} to remove")
+        del self._t[index]
+        del self._x[index]
+        del self._y[index]
 
     def build(self) -> Trajectory:
         """Materialize the accumulated fixes as an immutable trajectory.

@@ -192,6 +192,8 @@ class TestAdmissionAndEviction:
 
 
 def _spec_for(name: str) -> str:
+    if name in ("squish", "sttrace"):
+        return f"{name}:budget=6"
     spec = f"{name}:epsilon=30"
     if name == "opw-sp":
         spec += ",speed=5"
@@ -205,11 +207,17 @@ class TestOnlineAlgorithms:
     def test_full_session_lifecycle(self, clock, name, zigzag):
         manager = make_manager(clock)
         manager.open("s", _spec_for(name))
-        retained = []
+        net: dict[float, Fix] = {}
         for fix in fixes_of(zigzag):
-            retained.extend(manager.append("s", fix))
+            outcome = manager.append_batch("s", [fix])
+            for point in outcome.retained:
+                net[point.t] = point
+            for point in outcome.evicted:  # budget compressors retract
+                del net[point.t]
         record, tail = manager.close("s")
-        retained.extend(tail)
+        for point in tail:
+            net[point.t] = point
+        retained = [net[t] for t in sorted(net)]
 
         assert record is not None
         assert record.n_raw_points == len(zigzag)

@@ -164,9 +164,12 @@ class TestProtocol:
 
     def test_all_registered_names_satisfy_protocol(self):
         for name in available_online_compressors():
-            spec = f"{name}:epsilon=30"
-            if name == "opw-sp":
-                spec += ",speed=5"
+            if name in ("squish", "sttrace"):
+                spec = f"{name}:budget=10"
+            else:
+                spec = f"{name}:epsilon=30"
+                if name == "opw-sp":
+                    spec += ",speed=5"
             compressor = make_online_compressor(spec)
             assert isinstance(compressor, OnlineCompressor), name
 
